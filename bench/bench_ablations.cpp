@@ -1,0 +1,176 @@
+// Ablations of Grazelle design choices called out in the paper's text
+// (beyond its numbered figures):
+//  * the 32·n-chunks default (§5): PageRank edge-phase time vs
+//    chunks-per-thread;
+//  * merge-buffer cost vs chunk count (§3 Discussion) — the other side
+//    of the granularity trade-off;
+//  * dynamic vs static chunk-to-thread assignment (§5 argues dynamic
+//    is needed because work per edge varies).
+#include <cstdio>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "gen/reorder.h"
+#include "bench_common.h"
+
+using namespace grazelle;
+
+namespace {
+
+double run_pr(const Graph& g, std::uint64_t chunk_vectors, unsigned iters) {
+  EngineOptions opts;
+  opts.num_threads = bench::bench_threads();
+  opts.chunk_vectors = chunk_vectors;
+  opts.pull_mode = PullParallelism::kSchedulerAware;
+  opts.select = EngineSelect::kPullOnly;
+  return bench::median_seconds(3, [&] {
+    Engine<apps::PageRank, false> engine(g, opts);
+    apps::PageRank pr(g, engine.pool().size());
+    engine.run(pr, iters);
+  });
+}
+
+double merge_seconds(const Graph& g, std::uint64_t chunk_vectors,
+                     unsigned iters) {
+  EngineOptions opts;
+  opts.num_threads = bench::bench_threads();
+  opts.chunk_vectors = chunk_vectors;
+  opts.pull_mode = PullParallelism::kSchedulerAware;
+  opts.select = EngineSelect::kPullOnly;
+  Engine<apps::PageRank, false> engine(g, opts);
+  apps::PageRank pr(g, engine.pool().size());
+  const RunStats stats = engine.run(pr, iters);
+  double merge = 0;
+  for (const auto& it : stats.per_iteration) merge += it.merge_seconds;
+  return merge;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablations — Grazelle design choices",
+                "Chunks-per-thread heuristic, merge cost, scheduling policy.");
+  const Graph& g = bench::dataset(gen::DatasetId::kTwitter);
+  const unsigned threads = bench::bench_threads();
+  const unsigned iters = 4;
+
+  std::printf("(1) 32n-chunk heuristic: PR time vs chunks per thread "
+              "(twitter analog)\n");
+  bench::Table heuristic({"Chunks/thread", "Vectors/chunk", "PR time(s)",
+                          "Merge time(s)"});
+  for (unsigned cpt : {1u, 4u, 16u, 32u, 128u, 512u}) {
+    const std::uint64_t chunk = std::max<std::uint64_t>(
+        1, g.vsd().num_vectors() / (static_cast<std::uint64_t>(cpt) * threads));
+    heuristic.add_row({std::to_string(cpt), std::to_string(chunk),
+                       bench::fmt(run_pr(g, chunk, iters), 3),
+                       bench::fmt(merge_seconds(g, chunk, iters), 4)});
+  }
+  heuristic.print();
+
+  std::printf("\n(2) merge cost grows with chunk count but stays small in "
+              "absolute terms (paper §3 Discussion)\n");
+  bench::Table merge({"Vectors/chunk", "Chunks", "Merge time per iter (ms)"});
+  for (std::uint64_t chunk : {100ull, 1000ull, 10000ull}) {
+    const std::uint64_t chunks =
+        (g.vsd().num_vectors() + chunk - 1) / chunk;
+    merge.add_row({std::to_string(chunk), std::to_string(chunks),
+                   bench::fmt_ms(merge_seconds(g, chunk, iters) / iters)});
+  }
+  merge.print();
+
+  std::printf("\n(3) chunk assignment policy: dynamic ticket scheduler "
+              "(Grazelle §5) vs Cilk-style work stealing\n");
+  {
+    // A PageRank-shaped scheduler-aware edge sweep, identical under
+    // both schedulers (same chunk ids, same merge protocol).
+    apps::PageRank pr(g, threads);
+    AlignedBuffer<double> accum(g.num_vertices(), 0.0);
+    std::vector<double> merge_slots;
+
+    struct SumBody {
+      const apps::PageRank& pr;
+      const VectorSparseGraph& vsd;
+      AlignedBuffer<double>& accum;
+      std::vector<double>& merge_slots;
+      VertexId prev = kInvalidVertex;
+      double acc = 0.0;
+      void start_chunk(const Chunk&) {
+        prev = kInvalidVertex;
+        acc = 0.0;
+      }
+      void iteration(std::uint64_t i) {
+        const EdgeVector& ev = vsd.vectors()[i];
+        const VertexId dest = ev.top_level();
+        if (dest != prev) {
+          if (prev != kInvalidVertex) accum[prev] = acc;
+          prev = dest;
+          acc = 0.0;
+        }
+        for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+          if (ev.valid(k)) acc += pr.message_array()[ev.neighbor(k)];
+        }
+      }
+      void finish_chunk(const Chunk& c) { merge_slots[c.id] = acc; }
+    };
+
+    const std::uint64_t chunk = 1000;
+    ThreadPool pool(threads);
+    merge_slots.assign(
+        bits::ceil_div(g.vsd().num_vectors(), chunk) + 1, 0.0);
+    const auto make_body = [&](unsigned) {
+      return SumBody{pr, g.vsd(), accum, merge_slots};
+    };
+    const double dynamic_time = bench::median_seconds(5, [&] {
+      parallel_for_scheduler_aware(pool, g.vsd().num_vectors(), chunk,
+                                   make_body);
+    });
+    const double stealing_time = bench::median_seconds(5, [&] {
+      parallel_for_scheduler_aware_ws(pool, g.vsd().num_vectors(), chunk,
+                                      make_body);
+    });
+    bench::Table sched_table({"Policy", "Edge sweep (ms)"});
+    sched_table.add_row({"dynamic ticket", bench::fmt_ms(dynamic_time)});
+    sched_table.add_row({"work stealing", bench::fmt_ms(stealing_time)});
+    sched_table.print();
+  }
+
+  std::printf("\n(4) dense-frontier word-scan cost vs density "
+              "(tzcnt scan, twitter analog vertex count)\n");
+  bench::Table scan({"Density %", "Scan time (ms)"});
+  for (unsigned density : {1u, 10u, 50u, 100u}) {
+    DenseFrontier f(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if ((v * 2654435761u) % 100 < density) f.set(v);
+    }
+    const double t = bench::median_seconds(5, [&] {
+      std::uint64_t sum = 0;
+      f.for_each([&](VertexId v) { sum += v; });
+      if (sum == 0xdead) std::printf(" ");  // defeat dead-code elimination
+    });
+    scan.add_row({std::to_string(density), bench::fmt_ms(t)});
+  }
+  scan.print();
+
+  std::printf("\n(5) vertex-ordering locality: PR time on the same graph "
+              "under different vertex labelings (paper §3 Related Work)\n");
+  {
+    EdgeList base = gen::make_dataset(gen::DatasetId::kTwitter,
+                                      bench::bench_scale());
+    base.canonicalize();
+    bench::Table order_table({"Ordering", "PR time(s)"});
+    const auto time_order = [&](const char* name,
+                                const gen::Permutation& perm) {
+      const Graph graph =
+          Graph::build(gen::apply_permutation(base, perm));
+      order_table.add_row({name, bench::fmt(run_pr(graph, 0, iters), 3)});
+    };
+    time_order("natural (R-MAT)", gen::identity_order(base.num_vertices()));
+    time_order("degree-sorted (hubs first)", gen::degree_order(base));
+    time_order("BFS (Cuthill-McKee-like)", gen::bfs_order(base));
+    time_order("random (worst case)",
+               gen::random_order(base.num_vertices(), 99));
+    order_table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Extension bench — synchronous vs asynchronous execution (paper §2:
+// "recent work has shown that there is no clear winner between the two
+// types"). Compares the hybrid synchronous engine against the
+// worklist-driven asynchronous engine on Connected Components and
+// SSSP, and reports the work each performed (edge visits), since the
+// async engine's advantage is doing less total work at the cost of
+// less regular memory traffic.
+#include <cstdio>
+#include <vector>
+
+#include "apps/connected_components.h"
+#include "apps/sssp.h"
+#include "core/async_engine.h"
+#include "core/engine.h"
+#include "bench_common.h"
+
+using namespace grazelle;
+
+int main() {
+  bench::banner("Extension — synchronous vs asynchronous execution",
+                "CC end-to-end and SSSP from vertex 0; async reports its "
+                "relaxation counts.");
+
+  bench::Table table({"Graph", "App", "Sync (ms)", "Async (ms)",
+                      "Async edge visits", "Graph edges x iters"});
+  for (const auto& spec : gen::all_datasets()) {
+    const Graph& g = bench::dataset(spec.id);
+    const Graph& wg = bench::weighted_dataset(spec.id);
+
+    // Connected Components.
+    unsigned sync_iters = 0;
+    const double sync_cc = bench::median_seconds(3, [&] {
+      EngineOptions opts;
+      opts.num_threads = bench::bench_threads();
+      Engine<apps::ConnectedComponents, false> engine(g, opts);
+      apps::ConnectedComponents cc(g);
+      engine.frontier().set_all();
+      sync_iters = engine.run(cc, 1u << 20).iterations;
+    });
+    AsyncRunStats async_stats;
+    const double async_cc = bench::median_seconds(3, [&] {
+      apps::ConnectedComponents cc(g);
+      AsyncEngine<apps::ConnectedComponents> engine(
+          g, bench::bench_threads());
+      std::vector<VertexId> seeds(g.num_vertices());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) seeds[v] = v;
+      async_stats = engine.run(cc, seeds);
+    });
+    table.add_row({std::string(spec.abbr), "CC", bench::fmt_ms(sync_cc),
+                   bench::fmt_ms(async_cc),
+                   std::to_string(async_stats.edge_visits),
+                   std::to_string(g.num_edges() * sync_iters)});
+
+    // SSSP.
+    unsigned sssp_iters = 0;
+    const double sync_sssp = bench::median_seconds(3, [&] {
+      EngineOptions opts;
+      opts.num_threads = bench::bench_threads();
+      Engine<apps::Sssp, false> engine(wg, opts);
+      apps::Sssp sssp(wg, 0);
+      sssp.seed(engine.frontier());
+      sssp_iters =
+          engine.run(sssp, static_cast<unsigned>(wg.num_vertices()) + 1)
+              .iterations;
+    });
+    AsyncRunStats async_sssp_stats;
+    const double async_sssp = bench::median_seconds(3, [&] {
+      apps::Sssp sssp(wg, 0);
+      AsyncEngine<apps::Sssp> engine(wg, bench::bench_threads());
+      const VertexId seeds[] = {0};
+      async_sssp_stats = engine.run(sssp, seeds);
+    });
+    table.add_row({std::string(spec.abbr), "SSSP", bench::fmt_ms(sync_sssp),
+                   bench::fmt_ms(async_sssp),
+                   std::to_string(async_sssp_stats.edge_visits),
+                   std::to_string(wg.num_edges() * sssp_iters)});
+  }
+  table.print();
+  return 0;
+}

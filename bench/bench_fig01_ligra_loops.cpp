@@ -1,0 +1,112 @@
+// Figure 1: efficiency of inner-loop parallelization in a Ligra-pattern
+// engine on the twitter-2010 analog. Series: PushS, PushP,
+// PushP+PullS, PushP+PullP, PushP+PullP-NoSync; reported as speedup
+// over PushS (log axis in the paper).
+//
+// Expected shape: PushP > PushS; PushP+PullS is the big win;
+// PushP+PullP *loses* most of that win (atomics + write conflicts);
+// NoSync recovers only part of it — the motivation for §3.
+#include <cstdio>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "baselines/ligra/ligra_engine.h"
+#include "bench_common.h"
+
+using namespace grazelle;
+using baselines::ligra::LigraConfig;
+using baselines::ligra::LigraEngine;
+using baselines::ligra::PullInner;
+
+namespace {
+
+struct ConfigCase {
+  const char* name;
+  LigraConfig config;
+};
+
+std::vector<ConfigCase> cases() {
+  LigraConfig base;
+  base.num_threads = bench::bench_threads();
+  std::vector<ConfigCase> out;
+
+  LigraConfig c = base;
+  c.push_inner_parallel = false;
+  c.pull = PullInner::kNone;
+  out.push_back({"PushS", c});
+
+  c = base;
+  c.pull = PullInner::kNone;
+  out.push_back({"PushP", c});
+
+  c = base;
+  c.pull = PullInner::kSerial;
+  out.push_back({"PushP+PullS", c});
+
+  c = base;
+  c.pull = PullInner::kParallel;
+  out.push_back({"PushP+PullP", c});
+
+  c = base;
+  c.pull = PullInner::kParallelNoSync;
+  out.push_back({"PushP+PullP-NoSync", c});
+  return out;
+}
+
+double run_pr(const Graph& g, const LigraConfig& config) {
+  return bench::median_seconds(3, [&] {
+    LigraEngine<apps::PageRank> engine(g, config);
+    apps::PageRank pr(g, engine.pool().size());
+    engine.run(pr, 4);
+  });
+}
+
+double run_cc(const Graph& g, const LigraConfig& config) {
+  return bench::median_seconds(3, [&] {
+    LigraEngine<apps::ConnectedComponents> engine(g, config);
+    apps::ConnectedComponents cc(g);
+    engine.frontier().set_all();
+    engine.run(cc, 1000);
+  });
+}
+
+double run_bfs(const Graph& g, const LigraConfig& config) {
+  return bench::median_seconds(3, [&] {
+    LigraEngine<apps::BreadthFirstSearch> engine(g, config);
+    apps::BreadthFirstSearch bfs(g, 0);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 1 — Ligra-pattern inner-loop parallelization, "
+                "twitter-2010 analog",
+                "Values are speedup over the PushS configuration "
+                "(paper plots the same, log scale).");
+  const Graph& g = bench::dataset(gen::DatasetId::kTwitter);
+
+  const auto all = cases();
+  bench::Table table({"Config", "PR speedup", "CC speedup", "BFS speedup"});
+  double base_pr = 0, base_cc = 0, base_bfs = 0;
+  for (const ConfigCase& cc : all) {
+    const double pr = run_pr(g, cc.config);
+    const double c = run_cc(g, cc.config);
+    const double b = run_bfs(g, cc.config);
+    if (cc.config.pull == PullInner::kNone && !cc.config.push_inner_parallel) {
+      base_pr = pr;
+      base_cc = c;
+      base_bfs = b;
+    }
+    table.add_row({cc.name, bench::fmt(base_pr / pr, 2),
+                   bench::fmt(base_cc / c, 2), bench::fmt(base_bfs / b, 2)});
+  }
+  table.print();
+  std::printf("\nNote: PushP+PullP-NoSync produces incorrect results by "
+              "design (racy); it is timed, not validated.\n");
+  return 0;
+}

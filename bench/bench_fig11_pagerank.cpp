@@ -1,0 +1,72 @@
+// Figure 11: PageRank per-iteration execution time across frameworks
+// and socket counts (1 / 2 / 4 simulated sockets), all six graphs.
+// Series: Grazelle-Pull, Grazelle-Push, Ligra-Pull, Ligra-Push,
+// Polymer, GraphMat, X-Stream. Lower is better (the paper plots
+// log-scale milliseconds).
+//
+// Expected shape: Grazelle-Pull fastest nearly everywhere (scheduler
+// awareness + vectorization); X-Stream slowest by a wide margin
+// (shuffle overhead); Grazelle-Push competitive with GraphMat.
+#include <cstdio>
+
+#include "apps/pagerank.h"
+#include "bench_frameworks.h"
+
+using namespace grazelle;
+using baselines::ligra::PullInner;
+
+int main() {
+  bench::banner("Figure 11 — PageRank per-iteration time (ms) by framework",
+                "Grazelle-Pull uses the scheduler-aware, vectorized engine.");
+  const unsigned iters = 4;
+  const auto make = [](unsigned, const Graph& g, unsigned threads) {
+    return apps::PageRank(g, threads);
+  };
+  const auto no_seed = [](DenseFrontier&, apps::PageRank&) {};
+
+  for (unsigned sockets : {1u, 2u, 4u}) {
+    std::printf("\n--- %u socket(s), %u threads ---\n", sockets,
+                sockets * bench::threads_per_socket());
+    bench::Table table({"Graph", "Grazelle-Pull", "Grazelle-Push",
+                        "Ligra-Pull", "Ligra-Push", "Polymer", "GraphMat",
+                        "X-Stream"});
+    for (const auto& spec : gen::all_datasets()) {
+      const Graph& g = bench::dataset(spec.id);
+      const auto mk = [&](unsigned threads) { return make(0, g, threads); };
+
+      const double grazelle_pull =
+          vector_kernels_available()
+              ? bench::time_grazelle<apps::PageRank, true>(
+                    g, sockets, EngineSelect::kPullOnly,
+                    PullParallelism::kSchedulerAware, mk, no_seed, iters)
+              : bench::time_grazelle<apps::PageRank, false>(
+                    g, sockets, EngineSelect::kPullOnly,
+                    PullParallelism::kSchedulerAware, mk, no_seed, iters);
+      const double grazelle_push =
+          bench::time_grazelle<apps::PageRank, false>(
+              g, sockets, EngineSelect::kPushOnly,
+              PullParallelism::kSchedulerAware, mk, no_seed, iters);
+      const double ligra_pull = bench::time_ligra<apps::PageRank>(
+          g, sockets, PullInner::kSerial, false, mk, no_seed, iters);
+      const double ligra_push = bench::time_ligra<apps::PageRank>(
+          g, sockets, PullInner::kNone, false, mk, no_seed, iters);
+      const double polymer = bench::time_polymer<apps::PageRank>(
+          g, sockets, mk, no_seed, iters);
+      const double graphmat = bench::time_graphmat<apps::PageRank>(
+          g, sockets, mk, no_seed, iters);
+      const double xstream = bench::time_xstream<apps::PageRank>(
+          g, sockets, mk, no_seed, iters);
+
+      const double d = iters;  // per-iteration milliseconds
+      table.add_row({std::string(spec.abbr),
+                     bench::fmt_ms(grazelle_pull / d),
+                     bench::fmt_ms(grazelle_push / d),
+                     bench::fmt_ms(ligra_pull / d),
+                     bench::fmt_ms(ligra_push / d), bench::fmt_ms(polymer / d),
+                     bench::fmt_ms(graphmat / d),
+                     bench::fmt_ms(xstream / d)});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 12: Connected Components end-to-end execution time across
+// frameworks and socket counts. Series: Grazelle (hybrid), Ligra,
+// Ligra-Dense, Polymer, GraphMat, X-Stream. Lower is better.
+//
+// Expected shape: Grazelle fastest (pull throughput dominates even when
+// some iterations push); GraphMat penalized by its SpMV frontier
+// handling; X-Stream slowest (full-partition loads per update).
+#include <cstdio>
+
+#include "apps/connected_components.h"
+#include "bench_frameworks.h"
+
+using namespace grazelle;
+using baselines::ligra::PullInner;
+
+int main() {
+  bench::banner("Figure 12 — Connected Components end-to-end time (ms)",
+                "Grazelle = hybrid scheduler-aware engine; Ligra-Dense = "
+                "dense-frontier-only Ligra (fairness variant, §6.3).");
+  const unsigned max_iters = 10000;
+  const auto seed_all = [](DenseFrontier& f, apps::ConnectedComponents&) {
+    f.set_all();
+  };
+
+  for (unsigned sockets : {1u, 2u, 4u}) {
+    std::printf("\n--- %u socket(s), %u threads ---\n", sockets,
+                sockets * bench::threads_per_socket());
+    bench::Table table({"Graph", "Grazelle", "Ligra", "Ligra-Dense",
+                        "Polymer", "GraphMat", "X-Stream"});
+    for (const auto& spec : gen::all_datasets()) {
+      const Graph& g = bench::dataset(spec.id);
+      const auto mk = [&](unsigned) { return apps::ConnectedComponents(g); };
+
+      const double grazelle =
+          vector_kernels_available()
+              ? bench::time_grazelle<apps::ConnectedComponents, true>(
+                    g, sockets, EngineSelect::kAuto,
+                    PullParallelism::kSchedulerAware, mk, seed_all, max_iters)
+              : bench::time_grazelle<apps::ConnectedComponents, false>(
+                    g, sockets, EngineSelect::kAuto,
+                    PullParallelism::kSchedulerAware, mk, seed_all, max_iters);
+      const double ligra = bench::time_ligra<apps::ConnectedComponents>(
+          g, sockets, PullInner::kSerial, false, mk, seed_all, max_iters);
+      const double ligra_dense = bench::time_ligra<apps::ConnectedComponents>(
+          g, sockets, PullInner::kSerial, true, mk, seed_all, max_iters);
+      const double polymer = bench::time_polymer<apps::ConnectedComponents>(
+          g, sockets, mk, seed_all, max_iters);
+      const double graphmat = bench::time_graphmat<apps::ConnectedComponents>(
+          g, sockets, mk, seed_all, max_iters);
+      const double xstream = bench::time_xstream<apps::ConnectedComponents>(
+          g, sockets, mk, seed_all, max_iters);
+
+      table.add_row({std::string(spec.abbr), bench::fmt_ms(grazelle),
+                     bench::fmt_ms(ligra), bench::fmt_ms(ligra_dense),
+                     bench::fmt_ms(polymer), bench::fmt_ms(graphmat),
+                     bench::fmt_ms(xstream)});
+    }
+    table.print();
+  }
+  return 0;
+}

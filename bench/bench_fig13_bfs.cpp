@@ -1,0 +1,60 @@
+// Figure 13: Breadth-First Search end-to-end execution time across
+// frameworks and socket counts. Series: Grazelle (hybrid), Ligra,
+// Ligra-Dense, Polymer, GraphMat, X-Stream. Lower is better.
+//
+// Expected shape: Ligra wins (its sparse frontier shines when the
+// frontier is nearly empty — §6.3); Grazelle tracks Ligra-Dense;
+// Polymer/GraphMat/X-Stream uncompetitive.
+#include <cstdio>
+
+#include "apps/bfs.h"
+#include "bench_frameworks.h"
+
+using namespace grazelle;
+using baselines::ligra::PullInner;
+
+int main() {
+  bench::banner("Figure 13 — BFS end-to-end time (ms)",
+                "Root = vertex 0 for every graph and framework.");
+  const unsigned max_iters = 1u << 20;
+  const auto seed_root = [](DenseFrontier& f, apps::BreadthFirstSearch& bfs) {
+    bfs.seed(f);
+  };
+
+  for (unsigned sockets : {1u, 2u, 4u}) {
+    std::printf("\n--- %u socket(s), %u threads ---\n", sockets,
+                sockets * bench::threads_per_socket());
+    bench::Table table({"Graph", "Grazelle", "Ligra", "Ligra-Dense",
+                        "Polymer", "GraphMat", "X-Stream"});
+    for (const auto& spec : gen::all_datasets()) {
+      const Graph& g = bench::dataset(spec.id);
+      const auto mk = [&](unsigned) { return apps::BreadthFirstSearch(g, 0); };
+
+      const double grazelle =
+          vector_kernels_available()
+              ? bench::time_grazelle<apps::BreadthFirstSearch, true>(
+                    g, sockets, EngineSelect::kAuto,
+                    PullParallelism::kSchedulerAware, mk, seed_root, max_iters)
+              : bench::time_grazelle<apps::BreadthFirstSearch, false>(
+                    g, sockets, EngineSelect::kAuto,
+                    PullParallelism::kSchedulerAware, mk, seed_root, max_iters);
+      const double ligra = bench::time_ligra<apps::BreadthFirstSearch>(
+          g, sockets, PullInner::kSerial, false, mk, seed_root, max_iters);
+      const double ligra_dense = bench::time_ligra<apps::BreadthFirstSearch>(
+          g, sockets, PullInner::kSerial, true, mk, seed_root, max_iters);
+      const double polymer = bench::time_polymer<apps::BreadthFirstSearch>(
+          g, sockets, mk, seed_root, max_iters);
+      const double graphmat = bench::time_graphmat<apps::BreadthFirstSearch>(
+          g, sockets, mk, seed_root, max_iters);
+      const double xstream = bench::time_xstream<apps::BreadthFirstSearch>(
+          g, sockets, mk, seed_root, max_iters);
+
+      table.add_row({std::string(spec.abbr), bench::fmt_ms(grazelle),
+                     bench::fmt_ms(ligra), bench::fmt_ms(ligra_dense),
+                     bench::fmt_ms(polymer), bench::fmt_ms(graphmat),
+                     bench::fmt_ms(xstream)});
+    }
+    table.print();
+  }
+  return 0;
+}

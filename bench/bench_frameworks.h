@@ -1,0 +1,100 @@
+// Shared runners for the framework-comparison figures (11, 12, 13):
+// uniform timing wrappers around Grazelle and the four baseline-pattern
+// engines. `make(pool_threads)` constructs the program, `seed(frontier,
+// prog)` initializes the frontier.
+//
+// "Sockets" are simulated NUMA nodes (DESIGN.md §2): s sockets means
+// s * threads_per_socket software threads, with Grazelle and Polymer
+// additionally partitioning data across s nodes.
+#pragma once
+
+#include "baselines/graphmat/graphmat_engine.h"
+#include "baselines/ligra/ligra_engine.h"
+#include "baselines/polymer/polymer_engine.h"
+#include "baselines/xstream/xstream_engine.h"
+#include "bench_common.h"
+#include "core/engine.h"
+#include "platform/cpu_features.h"
+
+namespace grazelle::bench {
+
+inline constexpr int kRepeats = 3;
+
+/// Threads per simulated socket (2 keeps 4-socket runs at 8 threads on
+/// the single-core host).
+inline unsigned threads_per_socket() { return 2; }
+
+template <typename P, bool Vec, typename Make, typename Seed>
+double time_grazelle(const Graph& g, unsigned sockets, EngineSelect select,
+                     PullParallelism pull_mode, Make&& make, Seed&& seed,
+                     unsigned max_iters) {
+  EngineOptions opts;
+  opts.num_threads = sockets * threads_per_socket();
+  opts.numa_nodes = sockets;
+  opts.pull_mode = pull_mode;
+  opts.select = select;
+  return median_seconds(kRepeats, [&] {
+    Engine<P, Vec> engine(g, opts);
+    P prog = make(engine.pool().size());
+    seed(engine.frontier(), prog);
+    engine.run(prog, max_iters);
+  });
+}
+
+template <typename P, typename Make, typename Seed>
+double time_ligra(const Graph& g, unsigned sockets,
+                  baselines::ligra::PullInner pull, bool dense_only,
+                  Make&& make, Seed&& seed, unsigned max_iters) {
+  baselines::ligra::LigraConfig config;
+  config.num_threads = sockets * threads_per_socket();
+  config.pull = pull;
+  config.dense_only = dense_only;
+  return median_seconds(kRepeats, [&] {
+    baselines::ligra::LigraEngine<P> engine(g, config);
+    P prog = make(engine.pool().size());
+    seed(engine.frontier(), prog);
+    engine.run(prog, max_iters);
+  });
+}
+
+template <typename P, typename Make, typename Seed>
+double time_polymer(const Graph& g, unsigned sockets, Make&& make,
+                    Seed&& seed, unsigned max_iters) {
+  baselines::polymer::PolymerConfig config;
+  config.num_threads = sockets * threads_per_socket();
+  config.numa_nodes = sockets;
+  return median_seconds(kRepeats, [&] {
+    baselines::polymer::PolymerEngine<P> engine(g, config);
+    P prog = make(engine.pool().size());
+    seed(engine.frontier(), prog);
+    engine.run(prog, max_iters);
+  });
+}
+
+template <typename P, typename Make, typename Seed>
+double time_graphmat(const Graph& g, unsigned sockets, Make&& make,
+                     Seed&& seed, unsigned max_iters) {
+  baselines::graphmat::GraphMatConfig config;
+  config.num_threads = sockets * threads_per_socket();
+  return median_seconds(kRepeats, [&] {
+    baselines::graphmat::GraphMatEngine<P> engine(g, config);
+    P prog = make(engine.pool().size());
+    seed(engine.frontier(), prog);
+    engine.run(prog, max_iters);
+  });
+}
+
+template <typename P, typename Make, typename Seed>
+double time_xstream(const Graph& g, unsigned sockets, Make&& make,
+                    Seed&& seed, unsigned max_iters) {
+  baselines::xstream::XStreamConfig config;
+  config.num_threads = sockets * threads_per_socket();  // pow2-rounded inside
+  return median_seconds(kRepeats, [&] {
+    baselines::xstream::XStreamEngine<P> engine(g, config);
+    P prog = make(engine.pool().size());
+    seed(engine.frontier(), prog);
+    engine.run(prog, max_iters);
+  });
+}
+
+}  // namespace grazelle::bench

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the primitive kernels underlying
+// the paper's claims: masked-gather vs scalar edge-vector accumulation,
+// atomic vs plain combines, dense-frontier scanning, merge-buffer
+// folding, and chunk-scheduler claim throughput.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/merge_buffer.h"
+#include "core/program.h"
+#include "core/pull_engine.h"
+#include "apps/pagerank.h"
+#include "frontier/dense_frontier.h"
+#include "gen/rmat.h"
+#include "graph/graph.h"
+#include "platform/cpu_features.h"
+#include "threading/atomics.h"
+#include "threading/chunk_scheduler.h"
+
+namespace grazelle {
+namespace {
+
+const Graph& kernel_graph() {
+  static const Graph g = [] {
+    gen::RmatParams p;
+    p.scale = 15;
+    p.num_edges = 1 << 19;
+    return Graph::build(gen::generate_rmat(p));
+  }();
+  return g;
+}
+
+template <bool Vectorized>
+void BM_PullSweep(benchmark::State& state) {
+  if (Vectorized && !vector_kernels_available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const Graph& g = kernel_graph();
+  apps::PageRank prog(g, 1);
+  AlignedBuffer<double> accum(g.num_vertices(), 0.0);
+  for (auto _ : state) {
+    auto [dest, value] = detail::process_vector_range<apps::PageRank,
+                                                      Vectorized>(
+        prog, g.vsd(), nullptr, 0, g.vsd().num_vectors(),
+        [&](VertexId d, double v) { accum[d] = v; });
+    if (dest != kInvalidVertex) accum[dest] = value;
+    benchmark::DoNotOptimize(accum.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK_TEMPLATE(BM_PullSweep, false);
+#if defined(GRAZELLE_HAVE_AVX2)
+BENCHMARK_TEMPLATE(BM_PullSweep, true);
+#endif
+
+void BM_AtomicCombine(benchmark::State& state) {
+  std::vector<double> slots(1024, 0.0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    atomic_combine(&slots[i++ & 1023], 1.0,
+                   [](double a, double b) { return a + b; });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicCombine);
+
+void BM_PlainCombine(benchmark::State& state) {
+  std::vector<double> slots(1024, 0.0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t s = i++ & 1023;
+    slots[s] = slots[s] + 1.0;
+    benchmark::DoNotOptimize(slots[s]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlainCombine);
+
+void BM_FrontierScan(benchmark::State& state) {
+  const std::uint64_t n = 1 << 20;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  DenseFrontier f(n);
+  std::mt19937_64 rng(5);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (std::uniform_real_distribution<>(0, 1)(rng) < density) f.set(v);
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    f.for_each([&](VertexId v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FrontierScan)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_MergeBufferFold(benchmark::State& state) {
+  const std::uint64_t chunks = state.range(0);
+  MergeBuffer<double> mb(chunks);
+  for (std::uint64_t c = 0; c < chunks; ++c) mb.deposit(c, c % 1024, 1.0);
+  std::vector<double> accum(1024, 0.0);
+  for (auto _ : state) {
+    mb.merge([&](VertexId d, double v) { accum[d] += v; });
+    benchmark::DoNotOptimize(accum.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chunks));
+}
+BENCHMARK(BM_MergeBufferFold)->Arg(128)->Arg(4096)->Arg(65536);
+
+void BM_ChunkSchedulerClaim(benchmark::State& state) {
+  DynamicChunkScheduler sched(1 << 20, 64);
+  for (auto _ : state) {
+    auto c = sched.next();
+    if (!c) {
+      sched.reset();
+      c = sched.next();
+    }
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChunkSchedulerClaim);
+
+}  // namespace
+}  // namespace grazelle
+
+BENCHMARK_MAIN();

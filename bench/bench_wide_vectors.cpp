@@ -1,0 +1,107 @@
+// Extension bench (paper §4's "longer vectors" discussion + Figure 9's
+// wider-vector packing series): PageRank-shaped pull-sweep throughput
+// across vector widths — scalar, 4-lane AVX2, and 8-lane AVX-512 —
+// on the six dataset analogs.
+//
+// Expected shape: the AVX-512 kernel moves twice the lanes per gather
+// but pays the packing-efficiency drop Figure 9 quantifies, so its
+// advantage over AVX2 shrinks on low-degree graphs (D) and grows on
+// high-degree ones (T, U).
+#include <cstdio>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "core/pull_engine.h"
+#include "core/simd512.h"
+#include "bench_common.h"
+#include "platform/cpu_features.h"
+
+using namespace grazelle;
+
+namespace {
+
+double sweep_scalar4(const Graph& g, const apps::PageRank& pr,
+                     std::vector<double>& out) {
+  return bench::median_seconds(5, [&] {
+    auto t = detail::process_vector_range<apps::PageRank, false>(
+        pr, g.vsd(), nullptr, 0, g.vsd().num_vectors(),
+        [&](VertexId d, double v) { out[d] = v; });
+    if (t.first != kInvalidVertex) out[t.first] = t.second;
+  });
+}
+
+#if defined(GRAZELLE_HAVE_AVX2)
+double sweep_avx2(const Graph& g, const apps::PageRank& pr,
+                  std::vector<double>& out) {
+  return bench::median_seconds(5, [&] {
+    auto t = detail::process_vector_range<apps::PageRank, true>(
+        pr, g.vsd(), nullptr, 0, g.vsd().num_vectors(),
+        [&](VertexId d, double v) { out[d] = v; });
+    if (t.first != kInvalidVertex) out[t.first] = t.second;
+  });
+}
+#endif
+
+double sweep_scalar8(const WideVectorSparse<8>& w, const double* messages,
+                     std::vector<double>& out) {
+  return bench::median_seconds(5, [&] {
+    auto t = wide::pull_sum_sweep_scalar<8>(
+        w, messages, 0, w.num_vectors(),
+        [&](VertexId d, double v) { out[d] = v; });
+    if (t.first != kInvalidVertex) out[t.first] = t.second;
+  });
+}
+
+#if defined(GRAZELLE_HAVE_AVX512)
+double sweep_avx512(const WideVectorSparse<8>& w, const double* messages,
+                    std::vector<double>& out) {
+  return bench::median_seconds(5, [&] {
+    auto t = wide::pull_sum_sweep_avx512(
+        w, messages, 0, w.num_vectors(),
+        [&](VertexId d, double v) { out[d] = v; });
+    if (t.first != kInvalidVertex) out[t.first] = t.second;
+  });
+}
+#endif
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension — pull-sweep throughput across vector widths",
+                "Speedups relative to the 4-lane scalar sweep; the 8-lane "
+                "column includes its packing-efficiency cost.");
+
+  bench::Table table({"Graph", "4-lane pack", "8-lane pack", "AVX2 4-lane",
+                      "scalar 8-lane", "AVX-512 8-lane"});
+  for (const auto& spec : gen::all_datasets()) {
+    const Graph& g = bench::dataset(spec.id);
+    const auto wide8 = WideVectorSparse<8>::build(g.csc());
+    apps::PageRank pr(g, 1);
+    std::vector<double> out(g.num_vertices());
+
+    const double base = sweep_scalar4(g, pr, out);
+    std::string avx2 = "n/a", scalar8, avx512 = "n/a";
+#if defined(GRAZELLE_HAVE_AVX2)
+    if (vector_kernels_available()) {
+      avx2 = bench::fmt(base / sweep_avx2(g, pr, out), 2) + "x";
+    }
+#endif
+    scalar8 =
+        bench::fmt(base / sweep_scalar8(wide8, pr.message_array(), out), 2) +
+        "x";
+#if defined(GRAZELLE_HAVE_AVX512)
+    if (wide::wide_kernels_available()) {
+      avx512 =
+          bench::fmt(base / sweep_avx512(wide8, pr.message_array(), out), 2) +
+          "x";
+    }
+#endif
+    table.add_row(
+        {std::string(spec.abbr),
+         bench::fmt(100 * g.vsd().measured_packing_efficiency(), 1) + "%",
+         bench::fmt(100 * wide8.measured_packing_efficiency(), 1) + "%",
+         avx2, scalar8, avx512});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: the smallest end-to-end Grazelle program.
+//
+// Builds a tiny citation-style graph, runs PageRank on the hybrid
+// engine (scheduler-aware, vectorized pull), and prints the ranking.
+//
+//   ./examples/quickstart
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+using namespace grazelle;
+
+int main() {
+  // 1. Describe the graph as an edge list (who cites whom).
+  EdgeList list;
+  list.add_edge(1, 0);  // paper 1 cites paper 0
+  list.add_edge(2, 0);
+  list.add_edge(3, 0);
+  list.add_edge(3, 1);
+  list.add_edge(4, 1);
+  list.add_edge(4, 2);
+  list.add_edge(5, 4);
+  list.add_edge(0, 5);
+
+  // 2. Preprocess: canonicalize + build CSR/CSC and the Vector-Sparse
+  //    push/pull structures in one call.
+  const Graph graph = Graph::build(std::move(list));
+
+  // 3. Configure the engine. Defaults give the paper's configuration:
+  //    scheduler-aware pull parallelization, hybrid direction choice.
+  EngineOptions options;
+  options.num_threads = 4;
+
+  Engine<apps::PageRank, simd::kVectorBuild> engine(graph, options);
+
+  // 4. Run 20 PageRank iterations.
+  apps::PageRank pagerank(graph, engine.pool().size());
+  const RunStats stats = engine.run(pagerank, 20);
+  pagerank.finalize();
+
+  // 5. Consume the results.
+  std::printf("ran %u iterations in %.3f ms (rank sum %.6f — should be 1)\n",
+              stats.iterations, stats.total_seconds * 1e3,
+              pagerank.rank_sum());
+
+  std::vector<VertexId> order(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return pagerank.ranks()[a] > pagerank.ranks()[b];
+  });
+  std::printf("\nrank  vertex  score\n");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::printf("%4zu  %6llu  %.4f\n", i + 1,
+                static_cast<unsigned long long>(order[i]),
+                pagerank.ranks()[order[i]]);
+  }
+  return 0;
+}

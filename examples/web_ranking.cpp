@@ -1,0 +1,92 @@
+// Web-crawl ranking: the uk-2007-style workload from the paper's
+// motivation — rank pages of a heavily skewed web graph.
+//
+// Demonstrates: R-MAT generation of a skewed crawl, the vectorized
+// scheduler-aware pull engine, unweighted PageRank vs weighted rank
+// (edge weights as link strengths), and packing-efficiency inspection.
+//
+//   ./examples/web_ranking [scale] [edges_per_vertex]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "apps/weighted_rank.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+#include "graph/graph.h"
+#include "graph/graph_stats.h"
+
+using namespace grazelle;
+
+int main(int argc, char** argv) {
+  const unsigned scale = argc > 1 ? std::atoi(argv[1]) : 14;
+  const unsigned epv = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  // A web-crawl-like graph: strongly skewed in-degrees (popular pages).
+  gen::RmatParams params;
+  params.scale = scale;
+  params.num_edges = (std::uint64_t{1} << scale) * epv;
+  params.a = 0.65;
+  params.b = 0.12;
+  params.c = 0.17;
+  std::printf("generating web crawl: 2^%u pages, ~%llu links...\n", scale,
+              static_cast<unsigned long long>(params.num_edges));
+  EdgeList crawl = gen::generate_rmat(params);
+  EdgeList weighted_crawl = gen::with_random_weights(crawl, 0.1, 1.0);
+
+  const Graph graph = Graph::build(std::move(crawl));
+  const Graph weighted = Graph::build(std::move(weighted_crawl));
+
+  const DegreeStats stats = compute_degree_stats(graph.in_degrees(), 1000);
+  std::printf("built: %llu pages, %llu links, max in-degree %llu, "
+              "VSD packing efficiency %.1f%%\n",
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges()),
+              static_cast<unsigned long long>(stats.max_degree),
+              100.0 * graph.vsd().measured_packing_efficiency());
+
+  EngineOptions options;
+  options.num_threads = 4;
+
+  // Unweighted PageRank.
+  Engine<apps::PageRank, simd::kVectorBuild> engine(graph, options);
+  apps::PageRank pagerank(graph, engine.pool().size());
+  const RunStats pr_stats = engine.run(pagerank, 20);
+  pagerank.finalize();
+  std::printf("\nPageRank: %u iterations, %.1f ms, sum %.6f\n",
+              pr_stats.iterations, pr_stats.total_seconds * 1e3,
+              pagerank.rank_sum());
+
+  // Weighted rank over link strengths.
+  Engine<apps::WeightedRank, simd::kVectorBuild> wengine(weighted, options);
+  apps::WeightedRank wrank(weighted);
+  const RunStats wr_stats = wengine.run(wrank, 20);
+  std::printf("WeightedRank: %u iterations, %.1f ms\n", wr_stats.iterations,
+              wr_stats.total_seconds * 1e3);
+
+  // Top pages under both rankings.
+  const auto top5 = [&](std::span<const double> score) {
+    std::vector<VertexId> order(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) order[v] = v;
+    std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                      [&](VertexId a, VertexId b) {
+                        return score[a] > score[b];
+                      });
+    order.resize(5);
+    return order;
+  };
+
+  std::printf("\ntop pages (PageRank):   ");
+  for (VertexId v : top5(pagerank.ranks())) {
+    std::printf("%llu ", static_cast<unsigned long long>(v));
+  }
+  std::printf("\ntop pages (WeightedRank): ");
+  for (VertexId v : top5(wrank.scores())) {
+    std::printf("%llu ", static_cast<unsigned long long>(v));
+  }
+  std::printf("\n");
+  return 0;
+}

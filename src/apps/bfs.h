@@ -1,0 +1,76 @@
+// Breadth-First Search, the paper's fully frontier-driven workload
+// (§6): vertices are marked converged the moment they are visited, and
+// each vertex receives exactly one property write — its parent — which
+// is why scheduler awareness neither helps nor hurts it.
+//
+// The aggregate is the minimum active in-neighbor id, so the parent
+// assignment is deterministic (smallest-id parent wins), which keeps
+// results comparable across engines and thread counts.
+#pragma once
+
+#include <span>
+
+#include "core/program.h"
+#include "frontier/dense_frontier.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+
+namespace grazelle::apps {
+
+class BreadthFirstSearch {
+ public:
+  using Value = std::uint64_t;
+  static constexpr simd::CombineOp kCombine = simd::CombineOp::kMin;
+  static constexpr simd::WeightOp kWeight = simd::WeightOp::kNone;
+  static constexpr bool kUsesFrontier = true;
+  static constexpr bool kUsesConvergedSet = true;
+  static constexpr bool kMessageIsSourceId = true;
+
+  BreadthFirstSearch(const Graph& graph, VertexId root)
+      : parent_(graph.num_vertices(), kInvalidVertex),
+        visited_(graph.num_vertices()),
+        root_(root) {
+    parent_[root] = root;
+    visited_.set(root);
+  }
+
+  /// Seeds `frontier` with the root; call once before Engine::run.
+  void seed(DenseFrontier& frontier) const { frontier.set(root_); }
+
+  [[nodiscard]] std::uint64_t identity() const noexcept {
+    return kInvalidVertex;
+  }
+
+  [[nodiscard]] const std::uint64_t* message_array() const noexcept {
+    return parent_.data();  // unused: kMessageIsSourceId
+  }
+
+  /// Converged set: visited vertices ignore all in-bound messages.
+  [[nodiscard]] bool skip_destination(VertexId v) const noexcept {
+    return visited_.test(v);
+  }
+
+  bool apply(VertexId v, std::uint64_t aggregate, unsigned) {
+    if (aggregate == kInvalidVertex || visited_.test(v)) return false;
+    parent_[v] = aggregate;
+    visited_.set(v);  // vertex-phase threads own disjoint 64-blocks
+    return true;
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> parents() const noexcept {
+    return parent_.span();
+  }
+
+  [[nodiscard]] const DenseFrontier& visited() const noexcept {
+    return visited_;
+  }
+
+  [[nodiscard]] VertexId root() const noexcept { return root_; }
+
+ private:
+  AlignedBuffer<std::uint64_t> parent_;
+  DenseFrontier visited_;
+  VertexId root_;
+};
+
+}  // namespace grazelle::apps

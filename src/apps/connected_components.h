@@ -1,0 +1,89 @@
+// Connected Components via label propagation (minimum-label), the
+// paper's "most common type of frontier utilization" workload (§6):
+// sources activate and deactivate through the frontier, and the
+// minimization operator lets the engine skip no-op writes — unless the
+// write-intense variant (Figure 8a) forces them.
+//
+// Labels propagate along in-edges; on the directed analogs this
+// computes components of the underlying undirected graph only when the
+// edge list is symmetric. symmetrize() below helps callers who want
+// textbook undirected components.
+#pragma once
+
+#include <span>
+
+#include "core/program.h"
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+
+namespace grazelle::apps {
+
+/// WriteIntense selects Figure 8a's variant: every proposed update is
+/// written back even when the label is unchanged.
+template <bool WriteIntense>
+class ConnectedComponentsT {
+ public:
+  using Value = std::uint64_t;
+  static constexpr simd::CombineOp kCombine = simd::CombineOp::kMin;
+  static constexpr simd::WeightOp kWeight = simd::WeightOp::kNone;
+  static constexpr bool kUsesFrontier = true;
+  static constexpr bool kUsesConvergedSet = false;
+  static constexpr bool kMessageIsSourceId = false;
+  static constexpr bool kForceWrites = WriteIntense;
+
+  explicit ConnectedComponentsT(const Graph& graph)
+      : labels_(graph.num_vertices()) {
+    for (VertexId v = 0; v < labels_.size(); ++v) labels_[v] = v;
+  }
+
+  [[nodiscard]] std::uint64_t identity() const noexcept {
+    return kInvalidVertex;
+  }
+
+  [[nodiscard]] const std::uint64_t* message_array() const noexcept {
+    return labels_.data();
+  }
+
+  bool apply(VertexId v, std::uint64_t aggregate, unsigned) {
+    if (aggregate < labels_[v]) {
+      labels_[v] = aggregate;
+      return true;
+    }
+    if constexpr (WriteIntense) {
+      // Figure 8a variant: store unconditionally, report unchanged.
+      labels_[v] = labels_[v] < aggregate ? labels_[v] : aggregate;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> labels() const noexcept {
+    return labels_.span();
+  }
+
+  /// Mutable property access for the asynchronous engine (in-place
+  /// atomic min updates).
+  [[nodiscard]] std::uint64_t* property_array() noexcept {
+    return labels_.data();
+  }
+
+ private:
+  AlignedBuffer<std::uint64_t> labels_;
+};
+
+using ConnectedComponents = ConnectedComponentsT<false>;
+using ConnectedComponentsWriteIntense = ConnectedComponentsT<true>;
+
+/// Adds the reverse of every edge so label propagation computes the
+/// components of the underlying undirected graph.
+[[nodiscard]] inline EdgeList symmetrize(const EdgeList& list) {
+  EdgeList out(list.num_vertices());
+  out.reserve(2 * list.num_edges());
+  for (const Edge& e : list.edges()) {
+    out.add_edge(e.src, e.dst);
+    out.add_edge(e.dst, e.src);
+  }
+  return out;
+}
+
+}  // namespace grazelle::apps

@@ -1,0 +1,68 @@
+// Single-Source Shortest Paths over non-negative edge weights
+// (Bellman-Ford style frontier relaxation). The paper (§6) describes it
+// as behaving like Connected Components — minimization aggregation,
+// frontier-driven — plus edge weights; it exercises the engines'
+// weighted-message path (WeightOp::kAdd).
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "core/program.h"
+#include "frontier/dense_frontier.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+
+namespace grazelle::apps {
+
+class Sssp {
+ public:
+  using Value = double;
+  static constexpr simd::CombineOp kCombine = simd::CombineOp::kMin;
+  static constexpr simd::WeightOp kWeight = simd::WeightOp::kAdd;
+  static constexpr bool kUsesFrontier = true;
+  static constexpr bool kUsesConvergedSet = false;
+  static constexpr bool kMessageIsSourceId = false;
+
+  Sssp(const Graph& graph, VertexId source)
+      : dist_(graph.num_vertices(),
+              std::numeric_limits<double>::infinity()),
+        source_(source) {
+    dist_[source] = 0.0;
+  }
+
+  /// Seeds `frontier` with the source; call once before Engine::run.
+  void seed(DenseFrontier& frontier) const { frontier.set(source_); }
+
+  [[nodiscard]] double identity() const noexcept {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] const double* message_array() const noexcept {
+    return dist_.data();
+  }
+
+  bool apply(VertexId v, double aggregate, unsigned) {
+    if (aggregate < dist_[v]) {
+      dist_[v] = aggregate;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::span<const double> distances() const noexcept {
+    return dist_.span();
+  }
+
+  /// Mutable property access for the asynchronous engine (in-place
+  /// atomic min updates).
+  [[nodiscard]] double* property_array() noexcept { return dist_.data(); }
+
+  [[nodiscard]] VertexId source() const noexcept { return source_; }
+
+ private:
+  AlignedBuffer<double> dist_;
+  VertexId source_;
+};
+
+}  // namespace grazelle::apps

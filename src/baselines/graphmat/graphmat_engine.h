@@ -1,0 +1,118 @@
+// GraphMat-pattern baseline (Sundaram et al., VLDB'15): graph
+// computation mapped onto generalized sparse-matrix-vector
+// multiplication. Structure reproduced:
+//  * one iteration = y := A^T ⊗ x over a (process_message, reduce)
+//    semiring, where x is the vector of active-vertex messages and A
+//    the adjacency matrix in Compressed-Sparse form;
+//  * the engine is PUSH-based, like the original — the Grazelle paper
+//    notes "GraphMat does not contain a pull-based engine" (§6.3):
+//    the multiply walks the active columns of A (sources) and scatters
+//    partial products into y with atomic reduces;
+//  * the frontier is a membership bitmap consulted per column; every
+//    iteration still scans the full vertex range, which is the
+//    frontier-handling inefficiency the paper measures in Figs 12-13;
+//  * apply() then updates vertex state from y, exactly GraphMat's
+//    SEND_MESSAGE / PROCESS_MESSAGE / REDUCE / APPLY pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "core/program.h"
+#include "core/vertex_phase.h"
+#include "threading/atomics.h"
+#include "frontier/dense_frontier.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+#include "threading/parallel_for.h"
+
+namespace grazelle::baselines::graphmat {
+
+struct GraphMatConfig {
+  unsigned num_threads = 1;
+  std::uint64_t grain = 64;
+};
+
+template <GraphProgram P>
+class GraphMatEngine {
+ public:
+  using V = typename P::Value;
+
+  GraphMatEngine(const Graph& graph, const GraphMatConfig& config)
+      : graph_(graph),
+        config_(config),
+        pool_(config.num_threads),
+        vertex_phase_(pool_.size()),
+        accum_(graph.num_vertices()),
+        frontier_(graph.num_vertices()),
+        next_frontier_(graph.num_vertices()) {}
+
+  [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  unsigned run(P& prog, unsigned max_iterations) {
+    parallel_for(pool_, accum_.size(), 65536,
+                 [&](std::uint64_t v) { accum_[v] = prog.identity(); });
+    unsigned iterations = 0;
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+      const std::uint64_t frontier_size =
+          P::kUsesFrontier ? frontier_.count() : graph_.num_vertices();
+      if (P::kUsesFrontier && frontier_size == 0) break;
+      if constexpr (requires { prog.begin_iteration(); }) {
+        prog.begin_iteration();
+      }
+
+      spmv(prog);
+
+      const VertexPhaseResult vr = vertex_phase_.run(
+          prog, accum_.span(), graph_.out_degrees(), next_frontier_, pool_);
+      frontier_.swap(next_frontier_);
+      ++iterations;
+      if (P::kUsesFrontier && vr.changed == 0) break;
+    }
+    return iterations;
+  }
+
+ private:
+  /// y := A^T ⊗ x, push-style: walk the columns of A (sources, CSR),
+  /// test the sparse vector's membership bitmap per column, and
+  /// scatter partial products into y with atomic reduces. The column
+  /// scan covers the whole vertex range every iteration — GraphMat's
+  /// frontier weakness the paper measures in Figures 12-13.
+  void spmv(const P& prog) {
+    const CompressedSparse& csr = graph_.csr();
+    parallel_for(pool_, graph_.num_vertices(), config_.grain,
+                 [&](std::uint64_t src) {
+      if (P::kUsesFrontier && !frontier_.test(src)) return;
+      V msg_base;
+      if constexpr (P::kMessageIsSourceId) {
+        msg_base = static_cast<V>(src);
+      } else {
+        msg_base = prog.message_array()[src];
+      }
+      for (EdgeIndex e = csr.offsets()[src]; e < csr.offsets()[src + 1];
+           ++e) {
+        const VertexId dst = csr.neighbors()[e];
+        if constexpr (P::kUsesConvergedSet) {
+          if (prog.skip_destination(dst)) continue;
+        }
+        V msg = msg_base;
+        if constexpr (P::kWeight != simd::WeightOp::kNone) {
+          msg = apply_weight_scalar<P::kWeight>(msg, csr.weights()[e]);
+        }
+        atomic_combine<program_force_writes<P>()>(
+            &accum_[dst], msg,
+            [](V a, V b) { return combine_scalar<P::kCombine>(a, b); });
+      }
+    });
+  }
+
+  const Graph& graph_;
+  GraphMatConfig config_;
+  ThreadPool pool_;
+  VertexPhase<P> vertex_phase_;
+  AlignedBuffer<V> accum_;
+  DenseFrontier frontier_;
+  DenseFrontier next_frontier_;
+};
+
+}  // namespace grazelle::baselines::graphmat

@@ -1,0 +1,262 @@
+// Ligra-pattern baseline (Shun & Blelloch, PPoPP'13), reimplemented
+// from its published engine structure for the paper's comparisons.
+//
+// Structure reproduced:
+//  * Compressed-Sparse (scalar CSR/CSC) edge traversal — no
+//    Vector-Sparse, no scheduler awareness;
+//  * edgeMap with direction switching between a sparse (push) and a
+//    dense (pull) traversal using the |F| + outdeg(F) > m/20 heuristic;
+//  * sparse and dense frontier representations (`dense_only` disables
+//    the sparse one, giving the paper's Ligra-Dense variant, §6.3);
+//  * the loop-parallelization configurations of Figure 1: inner loops
+//    parallelized by flattening to edge granularity, with atomic
+//    combines (PushP / PullP), without them (PullP-NoSync), or not at
+//    all (PushS / PullS — outer loop only).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "core/vertex_phase.h"
+#include "frontier/dense_frontier.h"
+#include "frontier/sparse_frontier.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+#include "threading/atomics.h"
+#include "threading/parallel_for.h"
+
+namespace grazelle::baselines::ligra {
+
+/// Inner-loop treatment for the pull direction (Figure 1's Pull* bars).
+enum class PullInner {
+  kNone,            ///< no pull engine at all (PushS / PushP configs)
+  kSerial,          ///< outer loop parallel, inner serial (PullS)
+  kParallel,        ///< edge-granular parallel + atomics (PullP)
+  kParallelNoSync,  ///< edge-granular parallel, racy (PullP-NoSync)
+};
+
+struct LigraConfig {
+  unsigned num_threads = 1;
+  /// PushP (edge-granular parallel push) vs PushS (vertex-granular).
+  bool push_inner_parallel = true;
+  PullInner pull = PullInner::kSerial;
+  /// Ligra-Dense: keep direction switching but only the dense frontier
+  /// representation.
+  bool dense_only = false;
+  std::uint64_t grain = 1024;
+};
+
+struct LigraRunStats {
+  unsigned iterations = 0;
+  unsigned sparse_push_iterations = 0;
+  unsigned dense_push_iterations = 0;
+  unsigned pull_iterations = 0;
+};
+
+template <GraphProgram P>
+class LigraEngine {
+ public:
+  using V = typename P::Value;
+
+  LigraEngine(const Graph& graph, const LigraConfig& config)
+      : graph_(graph),
+        config_(config),
+        pool_(config.num_threads),
+        vertex_phase_(pool_.size()),
+        accum_(graph.num_vertices()),
+        frontier_(graph.num_vertices()),
+        next_frontier_(graph.num_vertices()),
+        pull_edge_dst_(graph.num_edges()),
+        push_edge_src_(graph.num_edges()) {
+    // Flattened per-edge top-level ids, enabling edge-granular
+    // parallelization of the "inner" loops.
+    materialize_top_level(graph.csc(), pull_edge_dst_);
+    materialize_top_level(graph.csr(), push_edge_src_);
+  }
+
+  [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  /// Synchronous execution loop, mirroring Engine::run.
+  LigraRunStats run(P& prog, unsigned max_iterations) {
+    LigraRunStats stats;
+    prime_accumulators(prog);
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+      const std::uint64_t frontier_size =
+          P::kUsesFrontier ? frontier_.count() : graph_.num_vertices();
+      if (P::kUsesFrontier && frontier_size == 0) break;
+
+      if constexpr (requires { prog.begin_iteration(); }) {
+        prog.begin_iteration();
+      }
+
+      const bool dense = choose_dense(frontier_size);
+      if (dense && config_.pull != PullInner::kNone) {
+        edge_map_pull(prog);
+        ++stats.pull_iterations;
+      } else if (!dense && !config_.dense_only) {
+        edge_map_sparse_push(prog);
+        ++stats.sparse_push_iterations;
+      } else {
+        edge_map_dense_push(prog);
+        ++stats.dense_push_iterations;
+      }
+
+      const VertexPhaseResult vr = vertex_phase_.run(
+          prog, accum_.span(), graph_.out_degrees(), next_frontier_, pool_);
+      frontier_.swap(next_frontier_);
+      last_active_out_edges_ = vr.active_out_edges;
+      ++stats.iterations;
+      if (P::kUsesFrontier && vr.changed == 0) break;
+    }
+    return stats;
+  }
+
+ private:
+  static void materialize_top_level(const CompressedSparse& adj,
+                                    AlignedBuffer<VertexId>& out) {
+    for (VertexId top = 0; top < adj.num_vertices(); ++top) {
+      for (EdgeIndex e = adj.offsets()[top]; e < adj.offsets()[top + 1];
+           ++e) {
+        out[e] = top;
+      }
+    }
+  }
+
+  void prime_accumulators(const P& prog) {
+    parallel_for(pool_, accum_.size(), 65536,
+                 [&](std::uint64_t v) { accum_[v] = prog.identity(); });
+  }
+
+  [[nodiscard]] bool choose_dense(std::uint64_t frontier_size) const {
+    if (!P::kUsesFrontier) return true;
+    return should_use_dense(frontier_size, last_active_out_edges_,
+                            graph_.num_edges());
+  }
+
+  [[nodiscard]] V message_of(const P& prog, VertexId src,
+                             EdgeIndex e, const CompressedSparse& adj) const {
+    V msg;
+    if constexpr (P::kMessageIsSourceId) {
+      msg = static_cast<V>(src);
+    } else {
+      msg = prog.message_array()[src];
+    }
+    if constexpr (P::kWeight != simd::WeightOp::kNone) {
+      msg = apply_weight_scalar<P::kWeight>(msg, adj.weights()[e]);
+    }
+    return msg;
+  }
+
+  /// edgeMapSparse: materialize the sparse frontier and push from it,
+  /// one active vertex per task.
+  void edge_map_sparse_push(const P& prog) {
+    const SparseFrontier sparse = SparseFrontier::from_dense(frontier_);
+    const auto& active = sparse.vertices();
+    const CompressedSparse& csr = graph_.csr();
+    parallel_for(pool_, active.size(), 16, [&](std::uint64_t i) {
+      const VertexId src = active[i];
+      for (EdgeIndex e = csr.offsets()[src]; e < csr.offsets()[src + 1];
+           ++e) {
+        push_edge(prog, src, csr.neighbors()[e], e, csr);
+      }
+    });
+  }
+
+  /// Dense push: outer loop over all sources (PushS) or flattened over
+  /// edges (PushP).
+  void edge_map_dense_push(const P& prog) {
+    const CompressedSparse& csr = graph_.csr();
+    if (config_.push_inner_parallel) {
+      parallel_for(pool_, graph_.num_edges(), config_.grain,
+                   [&](std::uint64_t e) {
+        const VertexId src = push_edge_src_[e];
+        if (P::kUsesFrontier && !frontier_.test(src)) return;
+        push_edge(prog, src, csr.neighbors()[e], e, csr);
+      });
+    } else {
+      parallel_for(pool_, graph_.num_vertices(), 64, [&](std::uint64_t src) {
+        if (P::kUsesFrontier && !frontier_.test(src)) return;
+        for (EdgeIndex e = csr.offsets()[src]; e < csr.offsets()[src + 1];
+             ++e) {
+          push_edge(prog, src, csr.neighbors()[e], e, csr);
+        }
+      });
+    }
+  }
+
+  void push_edge(const P& prog, VertexId src, VertexId dst, EdgeIndex e,
+                 const CompressedSparse& csr) {
+    if constexpr (P::kUsesConvergedSet) {
+      if (prog.skip_destination(dst)) return;
+    }
+    atomic_combine<program_force_writes<P>()>(
+        &accum_[dst], message_of(prog, src, e, csr),
+        [](V a, V b) { return combine_scalar<P::kCombine>(a, b); });
+  }
+
+  /// edgeMapDense, pull direction: iterate destinations and their
+  /// in-edges, with the inner loop treated per the Figure 1 configs.
+  void edge_map_pull(const P& prog) {
+    const CompressedSparse& csc = graph_.csc();
+    switch (config_.pull) {
+      case PullInner::kNone:
+        break;
+      case PullInner::kSerial:
+        parallel_for(pool_, graph_.num_vertices(), 64,
+                     [&](std::uint64_t dst) {
+          if constexpr (P::kUsesConvergedSet) {
+            if (prog.skip_destination(dst)) return;
+          }
+          V acc = prog.identity();
+          for (EdgeIndex e = csc.offsets()[dst]; e < csc.offsets()[dst + 1];
+               ++e) {
+            const VertexId src = csc.neighbors()[e];
+            if (P::kUsesFrontier && !frontier_.test(src)) continue;
+            acc = combine_scalar<P::kCombine>(acc,
+                                              message_of(prog, src, e, csc));
+          }
+          accum_[dst] = acc;
+        });
+        break;
+      case PullInner::kParallel:
+      case PullInner::kParallelNoSync: {
+        const bool atomic = config_.pull == PullInner::kParallel;
+        parallel_for(pool_, graph_.num_edges(), config_.grain,
+                     [&](std::uint64_t e) {
+          const VertexId dst = pull_edge_dst_[e];
+          if constexpr (P::kUsesConvergedSet) {
+            if (prog.skip_destination(dst)) return;
+          }
+          const VertexId src = csc.neighbors()[e];
+          if (P::kUsesFrontier && !frontier_.test(src)) return;
+          const V msg = message_of(prog, src, e, csc);
+          if (atomic) {
+            atomic_combine<program_force_writes<P>()>(
+                &accum_[dst], msg,
+                [](V a, V b) { return combine_scalar<P::kCombine>(a, b); });
+          } else {
+            accum_[dst] = combine_scalar<P::kCombine>(accum_[dst], msg);
+          }
+        });
+        break;
+      }
+    }
+  }
+
+  const Graph& graph_;
+  LigraConfig config_;
+  ThreadPool pool_;
+  VertexPhase<P> vertex_phase_;
+  AlignedBuffer<V> accum_;
+  DenseFrontier frontier_;
+  DenseFrontier next_frontier_;
+  AlignedBuffer<VertexId> pull_edge_dst_;
+  AlignedBuffer<VertexId> push_edge_src_;
+  // 0: first-iteration direction from frontier size alone (see
+  // core/engine.h).
+  std::uint64_t last_active_out_edges_ = 0;
+};
+
+}  // namespace grazelle::baselines::ligra

@@ -1,0 +1,139 @@
+// Polymer-pattern baseline (Zhang, Chen & Chen, PPoPP'15): a
+// NUMA-aware derivative of Ligra. Structure reproduced:
+//  * the graph is partitioned by destination-vertex ranges across
+//    (simulated) NUMA nodes; each node holds the in-edges of the
+//    vertices it owns plus its own slice of the property arrays;
+//  * each node's threads process only node-local edges and write only
+//    node-local accumulators, so cross-node write traffic is limited to
+//    reading remote source values (Polymer's "virtual vertex array"
+//    placement, cited by the paper in §5);
+//  * within a node the engine is Ligra-like Compressed-Sparse with a
+//    serial inner loop — no Vector-Sparse, no scheduler awareness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "core/vertex_phase.h"
+#include "frontier/dense_frontier.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+#include "platform/numa_topology.h"
+#include "threading/parallel_for.h"
+
+namespace grazelle::baselines::polymer {
+
+struct PolymerConfig {
+  unsigned num_threads = 1;
+  unsigned numa_nodes = 1;
+  std::uint64_t grain = 64;
+};
+
+template <GraphProgram P>
+class PolymerEngine {
+ public:
+  using V = typename P::Value;
+
+  PolymerEngine(const Graph& graph, const PolymerConfig& config)
+      : graph_(graph),
+        config_(config),
+        topology_(config.numa_nodes,
+                  std::max(1u, config.num_threads /
+                                   std::max(1u, config.numa_nodes))),
+        pool_(topology_.num_threads()),
+        vertex_phase_(pool_.size()),
+        accum_(graph.num_vertices()),
+        frontier_(graph.num_vertices()),
+        next_frontier_(graph.num_vertices()) {
+    // Destination-range partitioning: node i owns a contiguous vertex
+    // range (and therefore a contiguous CSC edge range).
+    for (unsigned node = 0; node < config.numa_nodes; ++node) {
+      vertex_ranges_.push_back(
+          topology_.node_range(node, graph.num_vertices()));
+      topology_.record_allocation(
+          node, (graph.csc().offsets()[vertex_ranges_.back().end] -
+                 graph.csc().offsets()[vertex_ranges_.back().begin]) *
+                    sizeof(VertexId));
+    }
+  }
+
+  [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const NumaTopology& topology() const noexcept {
+    return topology_;
+  }
+
+  unsigned run(P& prog, unsigned max_iterations) {
+    parallel_for(pool_, accum_.size(), 65536,
+                 [&](std::uint64_t v) { accum_[v] = prog.identity(); });
+    unsigned iterations = 0;
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+      const std::uint64_t frontier_size =
+          P::kUsesFrontier ? frontier_.count() : graph_.num_vertices();
+      if (P::kUsesFrontier && frontier_size == 0) break;
+      if constexpr (requires { prog.begin_iteration(); }) {
+        prog.begin_iteration();
+      }
+
+      edge_phase(prog);
+
+      const VertexPhaseResult vr = vertex_phase_.run(
+          prog, accum_.span(), graph_.out_degrees(), next_frontier_, pool_);
+      frontier_.swap(next_frontier_);
+      ++iterations;
+      if (P::kUsesFrontier && vr.changed == 0) break;
+    }
+    return iterations;
+  }
+
+ private:
+  /// Each thread works only on the vertex range its NUMA node owns —
+  /// writes are node-local by construction, no atomics needed.
+  void edge_phase(const P& prog) {
+    const CompressedSparse& csc = graph_.csc();
+    pool_.run([&](unsigned tid) {
+      const unsigned node = topology_.node_of_thread(tid);
+      const IndexRange owned = vertex_ranges_[node];
+      // Node-local static interleaving across the node's threads.
+      const unsigned local = topology_.local_id(tid);
+      const unsigned per_node = topology_.threads_per_node();
+      for (VertexId dst = owned.begin + local; dst < owned.end;
+           dst += per_node) {
+        if constexpr (P::kUsesConvergedSet) {
+          if (prog.skip_destination(dst)) continue;
+        }
+        V acc = prog.identity();
+        for (EdgeIndex e = csc.offsets()[dst]; e < csc.offsets()[dst + 1];
+             ++e) {
+          const VertexId src = csc.neighbors()[e];
+          if (P::kUsesFrontier && !frontier_.test(src)) continue;
+          V msg;
+          if constexpr (P::kMessageIsSourceId) {
+            msg = static_cast<V>(src);
+          } else {
+            msg = prog.message_array()[src];
+          }
+          if constexpr (P::kWeight != simd::WeightOp::kNone) {
+            msg = apply_weight_scalar<P::kWeight>(msg, csc.weights()[e]);
+          }
+          acc = combine_scalar<P::kCombine>(acc, msg);
+        }
+        accum_[dst] = acc;
+      }
+    });
+  }
+
+  const Graph& graph_;
+  PolymerConfig config_;
+  NumaTopology topology_;
+  ThreadPool pool_;
+  VertexPhase<P> vertex_phase_;
+  AlignedBuffer<V> accum_;
+  DenseFrontier frontier_;
+  DenseFrontier next_frontier_;
+  std::vector<IndexRange> vertex_ranges_;
+};
+
+}  // namespace grazelle::baselines::polymer

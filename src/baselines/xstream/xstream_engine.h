@@ -1,0 +1,187 @@
+// X-Stream-pattern baseline (Roy, Mihailovic & Zwaenepoel, SOSP'13):
+// edge-centric scatter-gather over streaming partitions. Structure
+// reproduced:
+//  * vertices are divided into K cache-sized streaming partitions; the
+//    unordered edge list is grouped only by *source* partition;
+//  * Scatter streams every edge of every partition (edge-centric: no
+//    per-vertex index, inactive sources are filtered per edge) and
+//    appends updates {dst, value} into per-(source-partition,
+//    destination-partition) buffers — the in-memory shuffle;
+//  * Gather streams each destination partition's update buffers and
+//    folds them into that partition's accumulators, without atomics
+//    (destination partitions are disjoint);
+//  * like the original, the thread count is rounded down to a power of
+//    two (the paper's footnote 1: X-Stream could use only 16 of 28
+//    logical cores per socket).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "platform/bits.h"
+#include "core/vertex_phase.h"
+#include "frontier/dense_frontier.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+#include "threading/parallel_for.h"
+
+namespace grazelle::baselines::xstream {
+
+struct XStreamConfig {
+  unsigned num_threads = 1;
+  /// Number of streaming partitions (0 = pick from vertex count so a
+  /// partition's vertex state is roughly cache-sized).
+  unsigned num_partitions = 0;
+};
+
+template <GraphProgram P>
+class XStreamEngine {
+ public:
+  using V = typename P::Value;
+
+  XStreamEngine(const Graph& graph, const XStreamConfig& config)
+      : graph_(graph),
+        pool_(round_down_pow2(config.num_threads)),
+        vertex_phase_(pool_.size()),
+        accum_(graph.num_vertices()),
+        frontier_(graph.num_vertices()),
+        next_frontier_(graph.num_vertices()) {
+    num_partitions_ = config.num_partitions != 0
+                          ? config.num_partitions
+                          : default_partitions(graph.num_vertices());
+    build_streaming_partitions();
+    updates_.resize(num_partitions_);
+    for (auto& row : updates_) row.resize(num_partitions_);
+  }
+
+  [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] unsigned num_partitions() const noexcept {
+    return num_partitions_;
+  }
+
+  unsigned run(P& prog, unsigned max_iterations) {
+    parallel_for(pool_, accum_.size(), 65536,
+                 [&](std::uint64_t v) { accum_[v] = prog.identity(); });
+    unsigned iterations = 0;
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+      const std::uint64_t frontier_size =
+          P::kUsesFrontier ? frontier_.count() : graph_.num_vertices();
+      if (P::kUsesFrontier && frontier_size == 0) break;
+      if constexpr (requires { prog.begin_iteration(); }) {
+        prog.begin_iteration();
+      }
+
+      scatter(prog);
+      gather(prog);
+
+      const VertexPhaseResult vr = vertex_phase_.run(
+          prog, accum_.span(), graph_.out_degrees(), next_frontier_, pool_);
+      frontier_.swap(next_frontier_);
+      ++iterations;
+      if (P::kUsesFrontier && vr.changed == 0) break;
+    }
+    return iterations;
+  }
+
+ private:
+  struct Update {
+    VertexId dst;
+    V value;
+  };
+
+  struct StreamEdge {
+    VertexId src;
+    VertexId dst;
+    Weight weight;
+  };
+
+  static unsigned round_down_pow2(unsigned n) {
+    unsigned p = 1;
+    while (p * 2 <= std::max(1u, n)) p *= 2;
+    return p;
+  }
+
+  static unsigned default_partitions(std::uint64_t num_vertices) {
+    // Target ~64K vertices of state per partition (cache-sized), at
+    // least one partition.
+    return static_cast<unsigned>(
+        std::max<std::uint64_t>(1, bits::ceil_div(num_vertices,
+                                                  std::uint64_t{65536})));
+  }
+
+  [[nodiscard]] unsigned partition_of(VertexId v) const noexcept {
+    return static_cast<unsigned>(v / vertices_per_partition_);
+  }
+
+  void build_streaming_partitions() {
+    vertices_per_partition_ = bits::ceil_div(
+        std::max<std::uint64_t>(1, graph_.num_vertices()),
+        std::uint64_t{num_partitions_});
+    edges_.resize(num_partitions_);
+    const auto& list_edges = graph_.csr();
+    for (VertexId src = 0; src < graph_.num_vertices(); ++src) {
+      const auto neighbors = list_edges.neighbors_of(src);
+      const auto weights = list_edges.weights_of(src);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        edges_[partition_of(src)].push_back(
+            {src, neighbors[i], weights.empty() ? Weight{0} : weights[i]});
+      }
+    }
+  }
+
+  /// Streams every edge of every source partition, appending updates
+  /// into the shuffle buffers. Partitions are processed in parallel;
+  /// each (p, q) buffer has a single writer, so no locking.
+  void scatter(const P& prog) {
+    parallel_for(pool_, num_partitions_, 1, [&](std::uint64_t p) {
+      for (auto& buffer : updates_[p]) buffer.clear();
+      for (const StreamEdge& e : edges_[p]) {
+        if (P::kUsesFrontier && !frontier_.test(e.src)) continue;
+        if constexpr (P::kUsesConvergedSet) {
+          if (prog.skip_destination(e.dst)) continue;
+        }
+        V msg;
+        if constexpr (P::kMessageIsSourceId) {
+          msg = static_cast<V>(e.src);
+        } else {
+          msg = prog.message_array()[e.src];
+        }
+        if constexpr (P::kWeight != simd::WeightOp::kNone) {
+          msg = apply_weight_scalar<P::kWeight>(msg, e.weight);
+        }
+        updates_[p][partition_of(e.dst)].push_back({e.dst, msg});
+      }
+    });
+  }
+
+  /// Streams each destination partition's update buffers into its
+  /// accumulators — destination partitions are disjoint, so writes are
+  /// unsynchronized.
+  void gather(const P& prog) {
+    (void)prog;
+    parallel_for(pool_, num_partitions_, 1, [&](std::uint64_t q) {
+      for (unsigned p = 0; p < num_partitions_; ++p) {
+        for (const Update& u : updates_[p][q]) {
+          accum_[u.dst] =
+              combine_scalar<P::kCombine>(accum_[u.dst], u.value);
+        }
+      }
+    });
+  }
+
+  const Graph& graph_;
+  ThreadPool pool_;
+  VertexPhase<P> vertex_phase_;
+  AlignedBuffer<V> accum_;
+  DenseFrontier frontier_;
+  DenseFrontier next_frontier_;
+  unsigned num_partitions_ = 1;
+  std::uint64_t vertices_per_partition_ = 1;
+  std::vector<std::vector<StreamEdge>> edges_;
+  std::vector<std::vector<std::vector<Update>>> updates_;
+};
+
+}  // namespace grazelle::baselines::xstream

@@ -1,0 +1,230 @@
+// The Grazelle hybrid engine (§5): alternates Edge and Vertex phases,
+// selecting Edge-Push or Edge-Pull per iteration from the frontier
+// state, with the scheduler-aware parallelized and AVX2-vectorized pull
+// engine as the centerpiece.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/merge_buffer.h"
+#include "frontier/sparse_frontier.h"
+#include "core/program.h"
+#include "core/pull_engine.h"
+#include "core/push_engine.h"
+#include "core/vertex_phase.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "platform/numa_topology.h"
+#include "platform/timer.h"
+
+namespace grazelle {
+
+/// Which Edge-phase implementation the driver may pick.
+enum class EngineSelect {
+  kAuto,      ///< hybrid: frontier-density heuristic per iteration
+  kPullOnly,  ///< always Edge-Pull
+  kPushOnly,  ///< always Edge-Push
+};
+
+struct EngineOptions {
+  unsigned num_threads = 1;
+  /// Simulated NUMA nodes the threads divide into (see DESIGN.md §2).
+  unsigned numa_nodes = 1;
+  /// Edge vectors per scheduler chunk; 0 = Grazelle's default of
+  /// 32 * num_threads equal chunks (§5).
+  std::uint64_t chunk_vectors = 0;
+  PullParallelism pull_mode = PullParallelism::kSchedulerAware;
+  EngineSelect select = EngineSelect::kAuto;
+  /// Extension beyond the paper (its §5 leaves frontier-representation
+  /// switching to future work): when the frontier is very sparse, push
+  /// from an explicit active-vertex list instead of scanning the
+  /// bitmask.
+  bool sparse_push = false;
+  /// Frontier-size threshold (fraction of vertices, denominator) below
+  /// which sparse push triggers: |F| < V / sparse_push_divisor.
+  std::uint64_t sparse_push_divisor = 64;
+};
+
+struct IterationStats {
+  bool used_pull = false;
+  double edge_seconds = 0.0;
+  double vertex_seconds = 0.0;
+  double merge_seconds = 0.0;
+  /// Load-imbalance tail wait inside the pull edge phase (threads *
+  /// wall - busy); 0 for push iterations.
+  double idle_seconds = 0.0;
+  std::uint64_t frontier_size = 0;
+  std::uint64_t changed = 0;
+};
+
+struct RunStats {
+  unsigned iterations = 0;
+  unsigned pull_iterations = 0;
+  unsigned push_iterations = 0;
+  unsigned sparse_push_iterations = 0;  // subset of push_iterations
+  double total_seconds = 0.0;
+  std::vector<IterationStats> per_iteration;
+};
+
+/// Compile-time-vectorized hybrid engine instance bound to one graph.
+/// The same instance can run many programs / iterations; all large
+/// state (accumulators, frontiers, merge buffer) is allocated once.
+template <GraphProgram P, bool Vectorized>
+class Engine {
+ public:
+  using V = typename P::Value;
+
+  Engine(const Graph& graph, const EngineOptions& options)
+      : graph_(graph),
+        options_(options),
+        topology_(options.numa_nodes,
+                  std::max(1u, options.num_threads / std::max(1u, options.numa_nodes))),
+        pool_(options.num_threads),
+        vertex_phase_(pool_.size()),
+        accum_(graph.num_vertices()),
+        frontier_(graph.num_vertices()),
+        next_frontier_(graph.num_vertices()),
+        numa_pieces_(partition_vector_sparse(graph.vsd(), options.numa_nodes)) {
+    for (const NumaPiece& piece : numa_pieces_) {
+      const unsigned node = static_cast<unsigned>(&piece - numa_pieces_.data());
+      topology_.record_allocation(node, piece.vectors.size() * sizeof(EdgeVector));
+    }
+  }
+
+  /// Current frontier (mutable so callers seed it before run()).
+  [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
+
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  [[nodiscard]] const NumaTopology& topology() const noexcept {
+    return topology_;
+  }
+
+  [[nodiscard]] const std::vector<NumaPiece>& numa_pieces() const noexcept {
+    return numa_pieces_;
+  }
+
+  /// Resets all accumulators to the program's identity. Must run once
+  /// before the first Edge phase (the Vertex phase keeps them reset
+  /// afterwards).
+  void prime_accumulators(const P& prog) {
+    parallel_for(pool_, accum_.size(), 65536,
+                 [&](std::uint64_t v) { accum_[v] = prog.identity(); });
+  }
+
+  /// One Edge-Pull phase into the accumulators.
+  void run_edge_pull(const P& prog) {
+    pull_phase_.run(prog, graph_.vsd(), accum_.span(),
+                    P::kUsesFrontier ? &frontier_ : nullptr, pool_,
+                    options_.pull_mode, options_.chunk_vectors, merge_buffer_);
+  }
+
+  /// One Edge-Push phase into the accumulators.
+  void run_edge_push(const P& prog) {
+    push_phase_.run(prog, graph_.vss(), accum_.span(),
+                    P::kUsesFrontier ? &frontier_ : nullptr, pool_);
+  }
+
+  /// One Vertex phase; swaps in the next frontier.
+  VertexPhaseResult run_vertex(P& prog) {
+    const VertexPhaseResult r = vertex_phase_.run(
+        prog, accum_.span(), graph_.out_degrees(), next_frontier_, pool_);
+    frontier_.swap(next_frontier_);
+    return r;
+  }
+
+  /// Full synchronous execution: iterates Edge+Vertex until the
+  /// frontier empties (frontier-driven programs) or `max_iterations`
+  /// is reached. The caller must have seeded frontier() and the
+  /// program's state.
+  RunStats run(P& prog, unsigned max_iterations) {
+    RunStats stats;
+    WallTimer total;
+    prime_accumulators(prog);
+
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+      IterationStats it;
+      it.frontier_size = P::kUsesFrontier ? frontier_.count()
+                                          : graph_.num_vertices();
+      if (P::kUsesFrontier && it.frontier_size == 0) break;
+
+      // Optional per-iteration hook: programs fold their global
+      // variables (per-thread reduction slots) here, between the
+      // previous Vertex phase's barrier and the next Edge phase.
+      if constexpr (requires { prog.begin_iteration(); }) {
+        prog.begin_iteration();
+      }
+
+      it.used_pull = choose_pull(it.frontier_size);
+
+      WallTimer edge_timer;
+      if (it.used_pull) {
+        run_edge_pull(prog);
+        it.merge_seconds = pull_phase_.last_merge_seconds();
+        it.idle_seconds = pull_phase_.last_idle_seconds();
+      } else if (options_.sparse_push && P::kUsesFrontier &&
+                 it.frontier_size <
+                     graph_.num_vertices() / options_.sparse_push_divisor) {
+        const SparseFrontier sparse = SparseFrontier::from_dense(frontier_);
+        push_phase_.run_sparse(prog, graph_.vss(), accum_.span(),
+                               sparse.vertices(), pool_);
+        ++stats.sparse_push_iterations;
+      } else {
+        run_edge_push(prog);
+      }
+      it.edge_seconds = edge_timer.seconds();
+
+      WallTimer vertex_timer;
+      const VertexPhaseResult vr = run_vertex(prog);
+      it.vertex_seconds = vertex_timer.seconds();
+      it.changed = vr.changed;
+      last_active_out_edges_ = vr.active_out_edges;
+
+      ++stats.iterations;
+      (it.used_pull ? stats.pull_iterations : stats.push_iterations) += 1;
+      stats.per_iteration.push_back(it);
+
+      if (P::kUsesFrontier && vr.changed == 0) break;
+    }
+    stats.total_seconds = total.seconds();
+    return stats;
+  }
+
+ private:
+  [[nodiscard]] bool choose_pull(std::uint64_t frontier_size) const {
+    switch (options_.select) {
+      case EngineSelect::kPullOnly:
+        return true;
+      case EngineSelect::kPushOnly:
+        return false;
+      case EngineSelect::kAuto:
+        break;
+    }
+    if (!P::kUsesFrontier) return true;
+    // Beamer-style direction heuristic: pull once the frontier's edge
+    // work is a substantial fraction of the graph.
+    return should_use_dense(frontier_size, last_active_out_edges_,
+                            graph_.num_edges());
+  }
+
+  const Graph& graph_;
+  EngineOptions options_;
+  NumaTopology topology_;
+  ThreadPool pool_;
+  PullEdgePhase<P, Vectorized> pull_phase_;
+  PushEdgePhase<P, Vectorized> push_phase_;
+  VertexPhase<P> vertex_phase_;
+  MergeBuffer<V> merge_buffer_;
+  AlignedBuffer<V> accum_;
+  DenseFrontier frontier_;
+  DenseFrontier next_frontier_;
+  std::vector<NumaPiece> numa_pieces_;
+  // 0 so the first iteration's direction choice rests on the frontier
+  // size alone (a single-seed BFS must start with a push, a full
+  // frontier with a pull).
+  std::uint64_t last_active_out_edges_ = 0;
+};
+
+}  // namespace grazelle

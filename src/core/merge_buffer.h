@@ -1,0 +1,78 @@
+// The merge buffer of the scheduler-aware pull engine (paper §3):
+// one slot per statically-defined chunk, holding the chunk's trailing
+// partial aggregate (lastDest / lastValue). Written without any
+// synchronization — each chunk id has exactly one owner — and folded
+// into the shared accumulators by a single thread after the Edge phase.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/aligned_buffer.h"
+#include "platform/types.h"
+#include "threading/chunk_scheduler.h"
+
+namespace grazelle {
+
+template <typename V>
+class MergeBuffer {
+  struct alignas(kCacheLineBytes) Slot {
+    VertexId last_dest;
+    V last_value;
+    bool used;
+  };
+
+ public:
+  MergeBuffer() = default;
+
+  /// Preallocates `num_chunks` slots. Reused across iterations via
+  /// rearm().
+  explicit MergeBuffer(std::uint64_t num_chunks) : slots_(num_chunks) {
+    rearm();
+  }
+
+  void resize(std::uint64_t num_chunks) {
+    if (slots_.size() < num_chunks) slots_.reset(num_chunks);
+    rearm();
+  }
+
+  /// Marks every slot unused for the next Edge phase.
+  void rearm() {
+    for (auto& s : slots_) s.used = false;
+  }
+
+  /// Deposits chunk `chunk_id`'s trailing partial. Lock-free by
+  /// construction: distinct chunks never share a slot.
+  void deposit(std::uint64_t chunk_id, VertexId last_dest, V last_value) {
+    Slot& s = slots_[chunk_id];
+    s.last_dest = last_dest;
+    s.last_value = last_value;
+    s.used = true;
+  }
+
+  /// Folds every used slot into the shared accumulators:
+  /// fn(dest, value) for each deposit, in chunk order. Sequential —
+  /// the paper found this "extremely fast for the real-world graphs we
+  /// studied" (§3, Benefits) and we quantify it in bench_fig05.
+  template <typename Fn>
+  void merge(Fn&& fn) const {
+    for (const auto& s : slots_) {
+      if (s.used) fn(s.last_dest, s.last_value);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+  /// Number of deposits since the last rearm (diagnostics/tests).
+  [[nodiscard]] std::uint64_t used_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s.used ? 1 : 0;
+    return n;
+  }
+
+ private:
+  AlignedBuffer<Slot> slots_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,99 @@
+// The Grazelle programming model (paper §5): Gather-Apply-Scatter /
+// edgeMap-vertexMap style programs plugged into the engines at compile
+// time so inner loops stay free of indirect calls.
+//
+// A Program supplies:
+//
+//   using Value                 — aggregation value type (double or
+//                                 std::uint64_t; these are the types the
+//                                 vector kernels implement)
+//   static constexpr simd::CombineOp kCombine
+//                               — the commutative/associative operator
+//   static constexpr simd::WeightOp kWeight
+//                               — how edge weights enter the message
+//   static constexpr bool kUsesFrontier
+//                               — pull checks `frontier.contains(src)`
+//   static constexpr bool kUsesConvergedSet
+//                               — pull skips converged destinations
+//   static constexpr bool kMessageIsSourceId
+//                               — the message is the source's id itself
+//                                 (BFS parent discovery) rather than a
+//                                 value read from message_array()
+//
+//   Value identity() const      — neutral element of kCombine
+//   const Value* message_array() const
+//                               — per-vertex outgoing message values
+//                                 (ignored when kMessageIsSourceId)
+//   bool skip_destination(VertexId v) const
+//                               — only when kUsesConvergedSet
+//   bool apply(VertexId v, Value aggregate, unsigned tid)
+//                               — Vertex phase: consume the aggregate,
+//                                 update properties; returns whether v
+//                                 joins the next frontier
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/simd.h"
+#include "platform/types.h"
+
+namespace grazelle {
+
+/// Scalar combine derived from the same operator tag the vector kernels
+/// use, so the two code paths cannot disagree.
+template <simd::CombineOp Op, typename V>
+[[nodiscard]] inline constexpr V combine_scalar(V a, V b) noexcept {
+  if constexpr (Op == simd::CombineOp::kAdd) {
+    return a + b;
+  } else {
+    return b < a ? b : a;
+  }
+}
+
+/// Scalar weight application matching the vector kernels.
+template <simd::WeightOp Op, typename V>
+[[nodiscard]] inline constexpr V apply_weight_scalar(V message,
+                                                     Weight w) noexcept {
+  if constexpr (Op == simd::WeightOp::kNone) {
+    (void)w;
+    return message;
+  } else if constexpr (Op == simd::WeightOp::kAdd) {
+    return message + static_cast<V>(w);
+  } else {
+    return message * static_cast<V>(w);
+  }
+}
+
+/// Whether a program demands that every edge-phase update be written
+/// back even when it does not change the stored value. Defaults to
+/// false (minimization programs naturally skip no-op writes). The
+/// write-intense Connected Components variant of Figure 8a sets it.
+template <typename P>
+[[nodiscard]] inline consteval bool program_force_writes() {
+  if constexpr (requires { P::kForceWrites; }) {
+    return P::kForceWrites;
+  } else {
+    return false;
+  }
+}
+
+/// Compile-time requirements on an engine-pluggable program.
+template <typename P>
+concept GraphProgram = requires(P prog, const P cprog, VertexId v,
+                                typename P::Value value, unsigned tid) {
+  typename P::Value;
+  requires std::same_as<typename P::Value, double> ||
+               std::same_as<typename P::Value, std::uint64_t>;
+  { P::kCombine } -> std::convertible_to<simd::CombineOp>;
+  { P::kWeight } -> std::convertible_to<simd::WeightOp>;
+  { P::kUsesFrontier } -> std::convertible_to<bool>;
+  { P::kUsesConvergedSet } -> std::convertible_to<bool>;
+  { P::kMessageIsSourceId } -> std::convertible_to<bool>;
+  { cprog.identity() } -> std::same_as<typename P::Value>;
+  { cprog.message_array() } -> std::same_as<const typename P::Value*>;
+  { prog.apply(v, value, tid) } -> std::same_as<bool>;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,463 @@
+// Edge-Pull phase over a Vector-Sparse-Destination edge array.
+//
+// This file embodies both contributions of the paper:
+//  * the scheduler-aware inner-loop parallelization (§3) — thread-local
+//    running aggregates, one plain store per destination, per-chunk
+//    merge-buffer deposits, no synchronization anywhere; and
+//  * the Vector-Sparse AVX2 kernel (§4, Listing 7) — aligned vector
+//    loads, per-lane predication from the valid bits, masked gathers of
+//    source values, and a vector accumulator that is horizontally
+//    reduced only when the top-level vertex changes.
+//
+// All the parallelization modes evaluated in Figures 5-8 are here:
+//   kSequential          — one thread over the whole edge-vector array
+//   kVertexParallel      — outer loop (destinations) parallel, inner
+//                          loop serial: the classic pull engine
+//   kTraditional         — inner loop parallel with the traditional
+//                          interface: one atomic combine per vector
+//   kTraditionalNoAtomic — same but with racy plain updates (incorrect
+//                          under contention; benchmark-only, as in the
+//                          paper's "Traditional, Nonatomic" series)
+//   kSchedulerAware      — the paper's contribution
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "core/merge_buffer.h"
+#include "platform/timer.h"
+#include "threading/reduction.h"
+#include "core/program.h"
+#include "frontier/dense_frontier.h"
+#include "graph/vector_sparse.h"
+#include "platform/types.h"
+#include "threading/atomics.h"
+#include "threading/parallel_for.h"
+
+namespace grazelle {
+
+enum class PullParallelism {
+  kSequential,
+  kVertexParallel,
+  kTraditional,
+  kTraditionalNoAtomic,
+  kSchedulerAware,
+};
+
+namespace detail {
+
+/// Scalar per-lane accumulation of one edge vector into `acc`.
+template <GraphProgram P>
+inline void accumulate_vector_scalar(const P& prog, const EdgeVector& ev,
+                                     const WeightVector* wv,
+                                     const DenseFrontier* frontier,
+                                     typename P::Value& acc) {
+  using V = typename P::Value;
+  const V* messages = prog.message_array();
+  for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+    if (!ev.valid(k)) continue;
+    const VertexId src = ev.neighbor(k);
+    if constexpr (P::kUsesFrontier) {
+      if (!frontier->test(src)) continue;
+    }
+    V msg;
+    if constexpr (P::kMessageIsSourceId) {
+      msg = static_cast<V>(src);
+    } else {
+      msg = messages[src];
+    }
+    if constexpr (P::kWeight != simd::WeightOp::kNone) {
+      msg = apply_weight_scalar<P::kWeight>(msg, wv->w[k]);
+    }
+    acc = combine_scalar<P::kCombine>(acc, msg);
+  }
+}
+
+#if defined(GRAZELLE_HAVE_AVX2)
+
+template <typename V>
+struct VecOf;
+template <>
+struct VecOf<double> {
+  using type = simd::VecF64;
+};
+template <>
+struct VecOf<std::uint64_t> {
+  using type = simd::VecU64;
+};
+
+/// Vector accumulation of one edge vector into the 4-lane accumulator
+/// `vacc` (Listing 7's body, generalized over program traits).
+template <GraphProgram P>
+inline void accumulate_vector_simd(const P& prog, const EdgeVector& ev,
+                                   const WeightVector* wv,
+                                   const DenseFrontier* frontier,
+                                   typename VecOf<typename P::Value>::type&
+                                       vacc) {
+  using V = typename P::Value;
+  using Vec = typename VecOf<V>::type;
+
+  const simd::VecU64 lanes = simd::load_lanes(ev);
+  simd::VecU64 mask = simd::valid_mask(lanes);
+  const simd::VecU64 srcs = simd::neighbor_ids(lanes);
+  if constexpr (P::kUsesFrontier) {
+    mask = simd::bitand_(mask, simd::frontier_mask(frontier->words(), srcs));
+  }
+
+  const Vec identity = simd::splat(prog.identity());
+  Vec msgs;
+  if constexpr (P::kMessageIsSourceId) {
+    static_assert(std::is_same_v<V, std::uint64_t>);
+    msgs = simd::blend(identity, srcs, mask);
+  } else {
+    msgs = simd::gather_masked(prog.message_array(), srcs, mask, identity);
+    if constexpr (P::kWeight != simd::WeightOp::kNone) {
+      static_assert(std::is_same_v<V, double>,
+                    "weighted programs aggregate doubles");
+      const simd::VecF64 w = simd::load_weights(*wv);
+      simd::VecF64 weighted;
+      if constexpr (P::kWeight == simd::WeightOp::kAdd) {
+        weighted = simd::add(msgs, w);
+      } else {
+        weighted = simd::mul(msgs, w);
+      }
+      // Re-blend so masked-out lanes stay at identity after weighting.
+      msgs = simd::blend(identity, weighted, mask);
+    }
+  }
+  vacc = simd::combine<P::kCombine>(vacc, msgs);
+}
+
+#endif  // GRAZELLE_HAVE_AVX2
+
+/// Walks edge vectors [begin, end) maintaining the running aggregate of
+/// the current top-level vertex. Whenever the top-level vertex changes,
+/// calls `flush(dest, aggregate)`. Returns the trailing (dest,
+/// aggregate) pair — {kInvalidVertex, identity} when the range is
+/// empty. Destinations for which P::kUsesConvergedSet reports
+/// skip_destination still flow through the dest-change bookkeeping but
+/// contribute identity.
+template <GraphProgram P, bool Vectorized, typename FlushFn>
+inline std::pair<VertexId, typename P::Value> process_vector_range(
+    const P& prog, const VectorSparseGraph& graph,
+    const DenseFrontier* frontier, std::uint64_t begin, std::uint64_t end,
+    FlushFn&& flush) {
+  using V = typename P::Value;
+  const std::span<const EdgeVector> vectors = graph.vectors();
+  const std::span<const WeightVector> weights = graph.weights();
+
+  VertexId prev = kInvalidVertex;
+  [[maybe_unused]] V acc = prog.identity();
+
+#if defined(GRAZELLE_HAVE_AVX2)
+  using Vec = typename VecOf<V>::type;
+  [[maybe_unused]] Vec vacc{};
+  if constexpr (Vectorized) vacc = simd::splat(prog.identity());
+#else
+  static_assert(!Vectorized, "vector kernels not built");
+#endif
+
+  bool skip_current = false;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const EdgeVector& ev = vectors[i];
+    const VertexId dest = ev.top_level();
+    if (dest != prev) {
+      if (prev != kInvalidVertex) {
+        if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+          flush(prev, simd::reduce<P::kCombine>(vacc));
+          vacc = simd::splat(prog.identity());
+#endif
+        } else {
+          flush(prev, acc);
+          acc = prog.identity();
+        }
+      }
+      prev = dest;
+      if constexpr (P::kUsesConvergedSet) {
+        skip_current = prog.skip_destination(dest);
+      }
+    }
+    if constexpr (P::kUsesConvergedSet) {
+      if (skip_current) continue;
+    }
+    const WeightVector* wv = weights.empty() ? nullptr : &weights[i];
+    if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+      accumulate_vector_simd(prog, ev, wv, frontier, vacc);
+#endif
+    } else {
+      accumulate_vector_scalar(prog, ev, wv, frontier, acc);
+    }
+  }
+
+  if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    return {prev, prev == kInvalidVertex ? prog.identity()
+                                         : simd::reduce<P::kCombine>(vacc)};
+#else
+    return {prev, prog.identity()};
+#endif
+  } else {
+    return {prev, acc};
+  }
+}
+
+}  // namespace detail
+
+/// Edge-Pull phase runner. Owns no data; operates on the caller's
+/// accumulator array (one Value per vertex, pre-initialized to
+/// identity; the Vertex phase re-initializes entries as it consumes
+/// them).
+template <GraphProgram P, bool Vectorized>
+class PullEdgePhase {
+ public:
+  using V = typename P::Value;
+
+  /// Runs one pull Edge phase over `graph` (a VSD structure).
+  ///
+  /// `chunk_vectors` is the scheduling granularity in edge vectors per
+  /// chunk (0 = the Grazelle default of 32·threads chunks, §5).
+  /// `merge_buffer` is only used in kSchedulerAware mode and is resized
+  /// as needed. `frontier` may be null when P::kUsesFrontier is false.
+  void run(const P& prog, const VectorSparseGraph& graph,
+           std::span<V> accum, const DenseFrontier* frontier,
+           ThreadPool& pool, PullParallelism mode,
+           std::uint64_t chunk_vectors, MergeBuffer<V>& merge_buffer) {
+    const std::uint64_t n = graph.num_vectors();
+    if (n == 0) return;
+    const std::uint64_t chunk =
+        chunk_vectors != 0
+            ? chunk_vectors
+            : std::max<std::uint64_t>(
+                  1, bits::ceil_div(n, std::uint64_t{32} * pool.size()));
+
+    switch (mode) {
+      case PullParallelism::kSequential:
+        run_sequential(prog, graph, accum, frontier);
+        break;
+      case PullParallelism::kVertexParallel:
+        run_vertex_parallel(prog, graph, accum, frontier, pool);
+        break;
+      case PullParallelism::kTraditional:
+        run_traditional<true>(prog, graph, accum, frontier, pool, chunk);
+        break;
+      case PullParallelism::kTraditionalNoAtomic:
+        run_traditional<false>(prog, graph, accum, frontier, pool, chunk);
+        break;
+      case PullParallelism::kSchedulerAware:
+        run_scheduler_aware(prog, graph, accum, frontier, pool, chunk,
+                            merge_buffer);
+        break;
+    }
+  }
+
+  /// Wall-clock seconds spent in the sequential merge of the last
+  /// scheduler-aware run (Figure 5b's "Merge" bucket).
+  [[nodiscard]] double last_merge_seconds() const noexcept {
+    return last_merge_seconds_;
+  }
+
+  /// Aggregate idle time of the last scheduler-aware run (Figure 5b's
+  /// "Idle" bucket): threads * phase wall time - total busy time. A
+  /// thread is busy from its first chunk claim to its last chunk's
+  /// finish; the remainder is load-imbalance tail wait.
+  [[nodiscard]] double last_idle_seconds() const noexcept {
+    return last_idle_seconds_;
+  }
+
+ private:
+  void run_sequential(const P& prog, const VectorSparseGraph& graph,
+                      std::span<V> accum, const DenseFrontier* frontier) {
+    auto [dest, value] = detail::process_vector_range<P, Vectorized>(
+        prog, graph, frontier, 0, graph.num_vectors(),
+        [&](VertexId d, V v) { accum[d] = v; });
+    if (dest != kInvalidVertex) accum[dest] = value;
+  }
+
+  void run_vertex_parallel(const P& prog, const VectorSparseGraph& graph,
+                           std::span<V> accum, const DenseFrontier* frontier,
+                           ThreadPool& pool) {
+    const auto index = graph.index();
+    parallel_for(pool, graph.num_vertices(), 1024, [&](std::uint64_t v) {
+      const VertexVectorRange& r = index[v];
+      if (r.vector_count == 0) return;
+      auto [dest, value] = detail::process_vector_range<P, Vectorized>(
+          prog, graph, frontier, r.first_vector,
+          r.first_vector + r.vector_count, [&](VertexId, V) {});
+      accum[dest] = value;
+    });
+  }
+
+  template <bool Atomic>
+  void run_traditional(const P& prog, const VectorSparseGraph& graph,
+                       std::span<V> accum, const DenseFrontier* frontier,
+                       ThreadPool& pool, std::uint64_t chunk) {
+    // Traditional interface: the loop body sees one iteration (one edge
+    // vector) at a time and must publish its partial immediately —
+    // one shared-memory combine per vector, atomic for correctness.
+    parallel_for(pool, graph.num_vectors(), chunk, [&](std::uint64_t i) {
+      auto [dest, value] = detail::process_vector_range<P, Vectorized>(
+          prog, graph, frontier, i, i + 1, [&](VertexId, V) {});
+      if (dest == kInvalidVertex) return;
+      constexpr bool kForce = program_force_writes<P>();
+      if constexpr (Atomic) {
+        atomic_combine<kForce>(&accum[dest], value, [](V a, V b) {
+          return combine_scalar<P::kCombine>(a, b);
+        });
+      } else {
+        const V combined = combine_scalar<P::kCombine>(accum[dest], value);
+        if (kForce || combined != accum[dest]) accum[dest] = combined;
+      }
+    });
+  }
+
+  void run_scheduler_aware(const P& prog, const VectorSparseGraph& graph,
+                           std::span<V> accum, const DenseFrontier* frontier,
+                           ThreadPool& pool, std::uint64_t chunk,
+                           MergeBuffer<V>& merge_buffer) {
+    const std::uint64_t n = graph.num_vectors();
+    merge_buffer.resize(bits::ceil_div(n, chunk));
+
+    struct Body {
+      const P& prog;
+      const VectorSparseGraph& graph;
+      std::span<V> accum;
+      const DenseFrontier* frontier;
+      MergeBuffer<V>& merge_buffer;
+
+      VertexId prev = kInvalidVertex;
+      V acc{};
+#if defined(GRAZELLE_HAVE_AVX2)
+      typename detail::VecOf<V>::type vacc{};
+#endif
+      bool skip_current = false;
+
+      void start_chunk(const Chunk&) {
+        prev = kInvalidVertex;
+        reset_acc();
+      }
+
+      void iteration(std::uint64_t i) {
+        const EdgeVector& ev = graph.vectors()[i];
+        const VertexId dest = ev.top_level();
+        if (dest != prev) {
+          if (prev != kInvalidVertex) {
+            // Listing 4: direct, synchronization-free store — this
+            // thread holds the final in-edge vectors of `prev`.
+            accum[prev] = take_acc();
+          }
+          prev = dest;
+          if constexpr (P::kUsesConvergedSet) {
+            skip_current = prog.skip_destination(dest);
+          }
+        }
+        if constexpr (P::kUsesConvergedSet) {
+          if (skip_current) return;
+        }
+        const WeightVector* wv =
+            graph.weights().empty() ? nullptr : &graph.weights()[i];
+        if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+          detail::accumulate_vector_simd(prog, ev, wv, frontier, vacc);
+#endif
+        } else {
+          detail::accumulate_vector_scalar(prog, ev, wv, frontier, acc);
+        }
+      }
+
+      void finish_chunk(const Chunk& c) {
+        // Listing 5: the chunk's trailing partial goes to the chunk's
+        // private merge-buffer slot; another chunk may continue this
+        // destination.
+        if (prev != kInvalidVertex) {
+          merge_buffer.deposit(c.id, prev, take_acc());
+        }
+      }
+
+      void reset_acc() {
+        if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+          vacc = simd::splat(prog.identity());
+#endif
+        } else {
+          acc = prog.identity();
+        }
+      }
+
+      V take_acc() {
+        if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+          const V v = simd::reduce<P::kCombine>(vacc);
+          vacc = simd::splat(prog.identity());
+          return v;
+#else
+          return prog.identity();
+#endif
+        } else {
+          const V v = acc;
+          acc = prog.identity();
+          return v;
+        }
+      }
+    };
+
+    // Wraps the working body, accumulating the span from first chunk
+    // claimed to last chunk finished into a per-thread busy slot
+    // (Figure 5b's Idle = wall - busy).
+    struct TimedBody {
+      Body body;
+      double* busy_slot;
+      WallTimer timer{};
+      bool started = false;
+
+      void start_chunk(const Chunk& c) {
+        if (!started) {
+          timer.restart();
+          started = true;
+        }
+        body.start_chunk(c);
+      }
+      void iteration(std::uint64_t i) { body.iteration(i); }
+      void finish_chunk(const Chunk& c) {
+        body.finish_chunk(c);
+        *busy_slot = timer.seconds();
+      }
+    };
+
+    if (busy_.size() < pool.size()) {
+      busy_ = ReductionArray<double>(pool.size(), 0.0);
+    }
+    busy_.reset(0.0);
+    WallTimer phase_timer;
+
+    parallel_for_scheduler_aware(
+        pool, n, chunk, [&, this](unsigned tid) {
+          return TimedBody{
+              Body{prog, graph, accum, frontier, merge_buffer},
+              &busy_.local(tid)};
+        });
+
+    const double wall = phase_timer.seconds();
+    const double busy =
+        busy_.combine(0.0, [](double a, double b) { return a + b; });
+    last_idle_seconds_ =
+        std::max(0.0, static_cast<double>(pool.size()) * wall - busy);
+
+    // Listing 6: single-threaded merge of the per-chunk partials.
+    WallTimer merge_timer;
+    merge_buffer.merge([&](VertexId d, V v) {
+      accum[d] = combine_scalar<P::kCombine>(accum[d], v);
+    });
+    last_merge_seconds_ = merge_timer.seconds();
+    merge_buffer.rearm();
+  }
+
+  double last_merge_seconds_ = 0.0;
+  double last_idle_seconds_ = 0.0;
+  ReductionArray<double> busy_{1, 0.0};
+};
+
+}  // namespace grazelle

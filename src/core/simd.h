@@ -1,0 +1,198 @@
+// SIMD wrapper for the Vector-Sparse pull kernel (paper Listing 7).
+//
+// The kernel needs exactly the operations wrapped here: load an aligned
+// 256-bit edge vector, derive per-lane predication masks from the valid
+// bits, gather source values (vgatherqpd and the epi64 variant) under
+// those masks, combine lanes, and horizontally reduce when the
+// top-level vertex changes. Everything is behind plain structs so a
+// scalar fallback builds on hosts without AVX2 (selected at compile
+// time via GRAZELLE_HAVE_AVX2).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/vector_sparse.h"
+#include "platform/types.h"
+
+#if defined(GRAZELLE_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace grazelle::simd {
+
+/// The aggregation operators the vector kernels implement. Programs
+/// select one; scalar and vector code paths derive from the same tag so
+/// they cannot diverge.
+enum class CombineOp {
+  kAdd,  ///< summation (PageRank, Collaborative Filtering)
+  kMin,  ///< minimization (Connected Components, BFS parent, SSSP)
+};
+
+/// How an edge's message is applied with its weight before combining.
+enum class WeightOp {
+  kNone,  ///< unweighted: message used as-is
+  kAdd,   ///< message + weight (SSSP relaxation)
+  kMul,   ///< message * weight (weighted rank / CF)
+};
+
+#if defined(GRAZELLE_HAVE_AVX2)
+
+inline constexpr bool kVectorBuild = true;
+
+struct VecU64 {
+  __m256i v;
+};
+
+struct VecF64 {
+  __m256d v;
+};
+
+[[nodiscard]] inline VecU64 splat(std::uint64_t x) noexcept {
+  return {_mm256_set1_epi64x(static_cast<long long>(x))};
+}
+
+[[nodiscard]] inline VecF64 splat(double x) noexcept {
+  return {_mm256_set1_pd(x)};
+}
+
+/// Aligned load of one EdgeVector's four lanes.
+[[nodiscard]] inline VecU64 load_lanes(const EdgeVector& ev) noexcept {
+  return {_mm256_load_si256(reinterpret_cast<const __m256i*>(ev.lane))};
+}
+
+/// Per-lane all-ones where the lane's valid bit (bit 63) is set. This
+/// is the predication mask the paper's format feeds to the masked
+/// gathers. Works because bit 63 is the sign bit: lane < 0 <=> valid.
+[[nodiscard]] inline VecU64 valid_mask(VecU64 lanes) noexcept {
+  return {_mm256_cmpgt_epi64(_mm256_setzero_si256(), lanes.v)};
+}
+
+/// Extracts the four 48-bit neighbor ids.
+[[nodiscard]] inline VecU64 neighbor_ids(VecU64 lanes) noexcept {
+  return {_mm256_and_si256(lanes.v,
+                           _mm256_set1_epi64x(static_cast<long long>(
+                               kVertexIdMask)))};
+}
+
+[[nodiscard]] inline VecU64 bitand_(VecU64 a, VecU64 b) noexcept {
+  return {_mm256_and_si256(a.v, b.v)};
+}
+
+/// Per-lane all-ones where the frontier bit for each id in `ids` is
+/// set — the vectorized form of `frontier.contains(vSrc)` from
+/// Listing 2. The four word loads are issued as scalar loads rather
+/// than a hardware gather: frontier words are hot in cache and scalar
+/// loads beat vgatherqpd latency for them (the value gather, whose
+/// footprint is large, stays a real gather in gather_masked).
+[[nodiscard]] inline VecU64 frontier_mask(const std::uint64_t* words,
+                                          VecU64 ids) noexcept {
+  alignas(32) std::uint64_t id[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(id), ids.v);
+  const __m256i gathered = _mm256_set_epi64x(
+      static_cast<long long>(words[id[3] >> 6]),
+      static_cast<long long>(words[id[2] >> 6]),
+      static_cast<long long>(words[id[1] >> 6]),
+      static_cast<long long>(words[id[0] >> 6]));
+  const __m256i bit_idx = _mm256_and_si256(ids.v, _mm256_set1_epi64x(63));
+  const __m256i bit =
+      _mm256_and_si256(_mm256_srlv_epi64(gathered, bit_idx),
+                       _mm256_set1_epi64x(1));
+  return {_mm256_cmpeq_epi64(bit, _mm256_set1_epi64x(1))};
+}
+
+/// Masked gather of doubles: lanes with a zero mask keep `defaults`.
+[[nodiscard]] inline VecF64 gather_masked(const double* base, VecU64 idx,
+                                          VecU64 mask,
+                                          VecF64 defaults) noexcept {
+  return {_mm256_mask_i64gather_pd(defaults.v, base, idx.v,
+                                   _mm256_castsi256_pd(mask.v), 8)};
+}
+
+/// Masked gather of 64-bit integers.
+[[nodiscard]] inline VecU64 gather_masked(const std::uint64_t* base,
+                                          VecU64 idx, VecU64 mask,
+                                          VecU64 defaults) noexcept {
+  return {_mm256_mask_i64gather_epi64(
+      defaults.v, reinterpret_cast<const long long*>(base), idx.v, mask.v,
+      8)};
+}
+
+/// Per-lane blend: mask lane all-ones -> b, else a.
+[[nodiscard]] inline VecF64 blend(VecF64 a, VecF64 b, VecU64 mask) noexcept {
+  return {_mm256_blendv_pd(a.v, b.v, _mm256_castsi256_pd(mask.v))};
+}
+
+[[nodiscard]] inline VecU64 blend(VecU64 a, VecU64 b, VecU64 mask) noexcept {
+  return {_mm256_blendv_epi8(a.v, b.v, mask.v)};
+}
+
+[[nodiscard]] inline VecF64 add(VecF64 a, VecF64 b) noexcept {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+
+[[nodiscard]] inline VecF64 mul(VecF64 a, VecF64 b) noexcept {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+
+[[nodiscard]] inline VecF64 min(VecF64 a, VecF64 b) noexcept {
+  return {_mm256_min_pd(a.v, b.v)};
+}
+
+/// Signed 64-bit min — valid for all Grazelle values because ids,
+/// labels and the kInvalidVertex sentinel all fit in 48 bits.
+[[nodiscard]] inline VecU64 min(VecU64 a, VecU64 b) noexcept {
+  const __m256i a_gt_b = _mm256_cmpgt_epi64(a.v, b.v);
+  return {_mm256_blendv_epi8(a.v, b.v, a_gt_b)};
+}
+
+template <CombineOp Op>
+[[nodiscard]] inline VecF64 combine(VecF64 a, VecF64 b) noexcept {
+  if constexpr (Op == CombineOp::kAdd) {
+    return add(a, b);
+  } else {
+    return min(a, b);
+  }
+}
+
+template <CombineOp Op>
+[[nodiscard]] inline VecU64 combine(VecU64 a, VecU64 b) noexcept {
+  static_assert(Op == CombineOp::kMin,
+                "integer aggregation supports min only");
+  return min(a, b);
+}
+
+template <CombineOp Op>
+[[nodiscard]] inline double reduce(VecF64 x) noexcept {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, x.v);
+  if constexpr (Op == CombineOp::kAdd) {
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  } else {
+    const double m01 = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+    const double m23 = lanes[2] < lanes[3] ? lanes[2] : lanes[3];
+    return m01 < m23 ? m01 : m23;
+  }
+}
+
+template <CombineOp Op>
+[[nodiscard]] inline std::uint64_t reduce(VecU64 x) noexcept {
+  static_assert(Op == CombineOp::kMin);
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), x.v);
+  const std::uint64_t m01 = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+  const std::uint64_t m23 = lanes[2] < lanes[3] ? lanes[2] : lanes[3];
+  return m01 < m23 ? m01 : m23;
+}
+
+/// Loads one WeightVector as doubles.
+[[nodiscard]] inline VecF64 load_weights(const WeightVector& wv) noexcept {
+  return {_mm256_load_pd(wv.w)};
+}
+
+#else  // !GRAZELLE_HAVE_AVX2
+
+inline constexpr bool kVectorBuild = false;
+
+#endif  // GRAZELLE_HAVE_AVX2
+
+}  // namespace grazelle::simd

@@ -1,0 +1,187 @@
+// AVX-512 pull kernels over the 8-lane Wide Vector-Sparse format —
+// the "512-bit vectors in AVX-512" direction the paper sketches in §4.
+//
+// Two sweep kernels cover the paper's aggregation operators:
+//   * wide_pull_sum_sweep  — gather doubles + add (PageRank-shaped)
+//   * wide_pull_min_sweep  — frontier-filtered min over u64 labels
+//     (Connected Components / BFS-shaped)
+// Each walks a range of 8-lane edge vectors keeping a 512-bit
+// accumulator, flushing `flush(dest, value)` when the top-level vertex
+// changes, and returns the trailing partial — the same contract as the
+// 4-lane detail::process_vector_range, so the scheduler-aware merge
+// protocol composes with these kernels unchanged.
+//
+// Scalar fallbacks keep the suite buildable and testable without
+// AVX-512; wide_kernels_available() gates the fast path at runtime.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/wide_vector_sparse.h"
+#include "platform/cpu_features.h"
+#include "platform/types.h"
+
+#if defined(GRAZELLE_HAVE_AVX512)
+#include <immintrin.h>
+#endif
+
+namespace grazelle::wide {
+
+/// True when the 8-lane AVX-512 kernels can run on this host/build.
+[[nodiscard]] inline bool wide_kernels_available() {
+#if defined(GRAZELLE_HAVE_AVX512)
+  return cpu_features().avx512f;
+#else
+  return false;
+#endif
+}
+
+/// Scalar reference sweep: sum of gathered doubles per destination.
+template <unsigned Lanes, typename FlushFn>
+inline std::pair<VertexId, double> pull_sum_sweep_scalar(
+    const WideVectorSparse<Lanes>& graph, const double* messages,
+    std::uint64_t begin, std::uint64_t end, FlushFn&& flush) {
+  VertexId prev = kInvalidVertex;
+  double acc = 0.0;
+  const auto vectors = graph.vectors();
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const auto& ev = vectors[i];
+    const VertexId dest = ev.top_level();
+    if (dest != prev) {
+      if (prev != kInvalidVertex) flush(prev, acc);
+      prev = dest;
+      acc = 0.0;
+    }
+    for (unsigned k = 0; k < Lanes; ++k) {
+      if (ev.valid(k)) acc += messages[ev.neighbor(k)];
+    }
+  }
+  return {prev, acc};
+}
+
+/// Scalar reference sweep: frontier-filtered min of u64 labels.
+template <unsigned Lanes, typename FlushFn>
+inline std::pair<VertexId, std::uint64_t> pull_min_sweep_scalar(
+    const WideVectorSparse<Lanes>& graph, const std::uint64_t* messages,
+    const std::uint64_t* frontier_words, std::uint64_t begin,
+    std::uint64_t end, FlushFn&& flush) {
+  VertexId prev = kInvalidVertex;
+  std::uint64_t acc = kInvalidVertex;
+  const auto vectors = graph.vectors();
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const auto& ev = vectors[i];
+    const VertexId dest = ev.top_level();
+    if (dest != prev) {
+      if (prev != kInvalidVertex) flush(prev, acc);
+      prev = dest;
+      acc = kInvalidVertex;
+    }
+    for (unsigned k = 0; k < Lanes; ++k) {
+      if (!ev.valid(k)) continue;
+      const VertexId src = ev.neighbor(k);
+      if (frontier_words != nullptr &&
+          (((frontier_words[src >> 6] >> (src & 63)) & 1) == 0)) {
+        continue;
+      }
+      const std::uint64_t m = messages[src];
+      acc = m < acc ? m : acc;
+    }
+  }
+  return {prev, acc};
+}
+
+#if defined(GRAZELLE_HAVE_AVX512)
+
+// GCC 12's avx512fintrin.h trips -Wmaybe-uninitialized on its own
+// _mm512_undefined_* helpers inside the gather intrinsics; the warning
+// is a known false positive in the system header, not in this code.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/// AVX-512 sum sweep over 8-lane vectors. Semantics identical to
+/// pull_sum_sweep_scalar<8>.
+template <typename FlushFn>
+inline std::pair<VertexId, double> pull_sum_sweep_avx512(
+    const WideVectorSparse<8>& graph, const double* messages,
+    std::uint64_t begin, std::uint64_t end, FlushFn&& flush) {
+  VertexId prev = kInvalidVertex;
+  __m512d vacc = _mm512_setzero_pd();
+  const auto vectors = graph.vectors();
+  const __m512i id_mask = _mm512_set1_epi64(
+      static_cast<long long>(kVertexIdMask));
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const auto& ev = vectors[i];
+    const VertexId dest = ev.top_level();
+    if (dest != prev) {
+      if (prev != kInvalidVertex) {
+        flush(prev, _mm512_reduce_add_pd(vacc));
+        vacc = _mm512_setzero_pd();
+      }
+      prev = dest;
+    }
+    const __m512i lanes = _mm512_load_si512(ev.lane);
+    // Valid lanes have bit 63 set: sign-bit compare against zero.
+    const __mmask8 valid =
+        _mm512_cmplt_epi64_mask(lanes, _mm512_setzero_si512());
+    const __m512i srcs = _mm512_and_si512(lanes, id_mask);
+    const __m512d msgs = _mm512_mask_i64gather_pd(
+        _mm512_setzero_pd(), valid, srcs, messages, 8);
+    vacc = _mm512_add_pd(vacc, msgs);
+  }
+  return {prev,
+          prev == kInvalidVertex ? 0.0 : _mm512_reduce_add_pd(vacc)};
+}
+
+/// AVX-512 frontier-filtered min sweep over 8-lane vectors.
+template <typename FlushFn>
+inline std::pair<VertexId, std::uint64_t> pull_min_sweep_avx512(
+    const WideVectorSparse<8>& graph, const std::uint64_t* messages,
+    const std::uint64_t* frontier_words, std::uint64_t begin,
+    std::uint64_t end, FlushFn&& flush) {
+  VertexId prev = kInvalidVertex;
+  const __m512i identity =
+      _mm512_set1_epi64(static_cast<long long>(kInvalidVertex));
+  __m512i vacc = identity;
+  const auto vectors = graph.vectors();
+  const __m512i id_mask =
+      _mm512_set1_epi64(static_cast<long long>(kVertexIdMask));
+  const __m512i ones = _mm512_set1_epi64(1);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const auto& ev = vectors[i];
+    const VertexId dest = ev.top_level();
+    if (dest != prev) {
+      if (prev != kInvalidVertex) {
+        flush(prev, _mm512_reduce_min_epu64(vacc));
+        vacc = identity;
+      }
+      prev = dest;
+    }
+    const __m512i lanes = _mm512_load_si512(ev.lane);
+    __mmask8 mask = _mm512_cmplt_epi64_mask(lanes, _mm512_setzero_si512());
+    const __m512i srcs = _mm512_and_si512(lanes, id_mask);
+    if (frontier_words != nullptr) {
+      // Gather the frontier words, shift the member bit down, test.
+      const __m512i words = _mm512_mask_i64gather_epi64(
+          _mm512_setzero_si512(), mask, _mm512_srli_epi64(srcs, 6),
+          frontier_words, 8);
+      const __m512i bit = _mm512_and_si512(
+          _mm512_srlv_epi64(words,
+                            _mm512_and_si512(srcs, _mm512_set1_epi64(63))),
+          ones);
+      mask &= _mm512_cmpeq_epi64_mask(bit, ones);
+    }
+    const __m512i msgs = _mm512_mask_i64gather_epi64(identity, mask, srcs,
+                                                     messages, 8);
+    vacc = _mm512_min_epu64(vacc, msgs);
+  }
+  return {prev, prev == kInvalidVertex
+                    ? kInvalidVertex
+                    : _mm512_reduce_min_epu64(vacc)};
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // GRAZELLE_HAVE_AVX512
+
+}  // namespace grazelle::wide

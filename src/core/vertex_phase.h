@@ -1,0 +1,95 @@
+// Vertex phase (local update): consumes the aggregates the Edge phase
+// produced, applies the program's update rule, and builds the next
+// frontier. Statically scheduled — "the work is sufficiently regular
+// that load balancing is not a problem" (§5) — with per-thread vertex
+// ranges aligned to 64-vertex frontier words so next-frontier bits can
+// be set without atomics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "core/program.h"
+#include "platform/bits.h"
+#include "frontier/dense_frontier.h"
+#include "platform/types.h"
+#include "threading/reduction.h"
+#include "threading/thread_pool.h"
+
+namespace grazelle {
+
+struct VertexPhaseResult {
+  /// Vertices whose apply() returned true (joined the next frontier).
+  std::uint64_t changed = 0;
+  /// Sum of out-degrees over the next frontier — the quantity the
+  /// hybrid direction heuristic needs.
+  std::uint64_t active_out_edges = 0;
+};
+
+template <GraphProgram P>
+class VertexPhase {
+ public:
+  using V = typename P::Value;
+
+  explicit VertexPhase(unsigned num_threads)
+      : changed_(num_threads), active_edges_(num_threads) {}
+
+  /// Applies `prog` to every vertex. Reads and *resets* accum[v] to
+  /// identity, so the accumulator array is ready for the next Edge
+  /// phase. Rebuilds `next` from scratch.
+  VertexPhaseResult run(P& prog, std::span<V> accum,
+                        std::span<const std::uint64_t> out_degrees,
+                        DenseFrontier& next, ThreadPool& pool) {
+    const std::uint64_t n = accum.size();
+    const unsigned threads = pool.size();
+    changed_.reset(0);
+    active_edges_.reset(0);
+
+    pool.run([&](unsigned tid) {
+      // Word-aligned static split so each thread exclusively owns its
+      // frontier words.
+      const std::uint64_t words = bits::ceil_div(n, std::uint64_t{64});
+      const std::uint64_t words_per_thread =
+          bits::ceil_div(words, std::uint64_t{threads});
+      const std::uint64_t wbegin =
+          std::min<std::uint64_t>(words, tid * words_per_thread);
+      const std::uint64_t wend =
+          std::min<std::uint64_t>(words, wbegin + words_per_thread);
+      for (std::uint64_t w = wbegin; w < wend; ++w) next.words()[w] = 0;
+
+      const std::uint64_t begin = wbegin * 64;
+      const std::uint64_t end = std::min<std::uint64_t>(n, wend * 64);
+      std::uint64_t changed = 0;
+      std::uint64_t active_edges = 0;
+      for (std::uint64_t v = begin; v < end; ++v) {
+        const V aggregate = accum[v];
+        accum[v] = prog.identity();
+        if (prog.apply(v, aggregate, tid)) {
+          next.set(v);
+          ++changed;
+          active_edges += out_degrees[v];
+        }
+      }
+      changed_.local(tid) = changed;
+      active_edges_.local(tid) = active_edges;
+    });
+
+    VertexPhaseResult result;
+    result.changed =
+        changed_.combine(0, [](std::uint64_t a, std::uint64_t b) {
+          return a + b;
+        });
+    result.active_out_edges =
+        active_edges_.combine(0, [](std::uint64_t a, std::uint64_t b) {
+          return a + b;
+        });
+    return result;
+  }
+
+ private:
+  ReductionArray<std::uint64_t> changed_;
+  ReductionArray<std::uint64_t> active_edges_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,79 @@
+// Sparse frontier: an explicit list of active vertex ids, as used by
+// Ligra when the frontier is small (§6.3 discusses this optimization;
+// Grazelle itself stays dense). Built concurrently via per-thread
+// buffers that concatenate on seal().
+#pragma once
+
+#include <vector>
+
+#include "frontier/dense_frontier.h"
+#include "platform/types.h"
+
+namespace grazelle {
+
+/// Append-only concurrent vertex list with per-thread staging.
+class SparseFrontier {
+ public:
+  SparseFrontier() = default;
+
+  explicit SparseFrontier(unsigned num_threads) : staging_(num_threads) {}
+
+  /// Thread-local append; `tid` must be < the staging width.
+  void push(unsigned tid, VertexId v) { staging_[tid].push_back(v); }
+
+  /// Concatenates all staging buffers into the final list. Call once,
+  /// single-threaded, after the producing phase.
+  void seal() {
+    std::size_t total = vertices_.size();
+    for (const auto& s : staging_) total += s.size();
+    vertices_.reserve(total);
+    for (auto& s : staging_) {
+      vertices_.insert(vertices_.end(), s.begin(), s.end());
+      s.clear();
+    }
+  }
+
+  [[nodiscard]] const std::vector<VertexId>& vertices() const noexcept {
+    return vertices_;
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return vertices_.size();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return vertices_.empty(); }
+
+  void clear() {
+    vertices_.clear();
+    for (auto& s : staging_) s.clear();
+  }
+
+  /// Materializes the equivalent dense bit mask.
+  [[nodiscard]] DenseFrontier to_dense(std::uint64_t num_vertices) const {
+    DenseFrontier dense(num_vertices);
+    for (VertexId v : vertices_) dense.set(v);
+    return dense;
+  }
+
+  /// Builds the sparse list from a dense mask (single-threaded).
+  [[nodiscard]] static SparseFrontier from_dense(const DenseFrontier& dense) {
+    SparseFrontier sparse(1);
+    dense.for_each([&](VertexId v) { sparse.push(0, v); });
+    sparse.seal();
+    return sparse;
+  }
+
+ private:
+  std::vector<std::vector<VertexId>> staging_;
+  std::vector<VertexId> vertices_;
+};
+
+/// Ligra's direction heuristic: go dense (pull) when the frontier plus
+/// its out-edges exceed num_edges / 20.
+[[nodiscard]] inline bool should_use_dense(std::uint64_t frontier_size,
+                                           std::uint64_t frontier_out_edges,
+                                           std::uint64_t num_edges) noexcept {
+  return frontier_size + frontier_out_edges > num_edges / 20;
+}
+
+}  // namespace grazelle

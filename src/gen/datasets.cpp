@@ -1,0 +1,88 @@
+#include "gen/datasets.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+
+namespace grazelle::gen {
+namespace {
+
+constexpr std::array<DatasetSpec, 6> kSpecs = {{
+    {DatasetId::kCitPatents, "C", "cit-patents-analog", 16},
+    {DatasetId::kDimacsUsa, "D", "dimacs-usa-analog", 16},
+    {DatasetId::kLiveJournal, "L", "livejournal-analog", 16},
+    {DatasetId::kTwitter, "T", "twitter-2010-analog", 8},
+    {DatasetId::kFriendster, "F", "friendster-analog", 8},
+    {DatasetId::kUk2007, "U", "uk-2007-analog", 8},
+}};
+
+/// Picks the R-MAT scale whose vertex count is closest to `vertices`.
+unsigned scale_for(double vertices) {
+  unsigned s = 1;
+  while ((std::uint64_t{1} << (s + 1)) <= static_cast<std::uint64_t>(vertices) &&
+         s < 40) {
+    ++s;
+  }
+  // Choose the nearer of 2^s and 2^(s+1).
+  const double lo = static_cast<double>(std::uint64_t{1} << s);
+  const double hi = lo * 2.0;
+  return (vertices - lo < hi - vertices) ? s : s + 1;
+}
+
+EdgeList make_rmat(double vertices, double edges, double a, double b, double c,
+                   std::uint64_t seed) {
+  RmatParams p;
+  p.scale = scale_for(vertices);
+  p.num_edges = static_cast<std::uint64_t>(edges);
+  p.a = a;
+  p.b = b;
+  p.c = c;
+  p.seed = seed;
+  return generate_rmat(p);
+}
+
+}  // namespace
+
+std::span<const DatasetSpec> all_datasets() { return kSpecs; }
+
+const DatasetSpec& dataset_spec(DatasetId id) {
+  for (const auto& s : kSpecs) {
+    if (s.id == id) return s;
+  }
+  throw std::invalid_argument("unknown dataset id");
+}
+
+EdgeList make_dataset(DatasetId id, double scale) {
+  if (scale <= 0) throw std::invalid_argument("scale must be positive");
+  switch (id) {
+    case DatasetId::kCitPatents:
+      // 3.7M/16.5M originally: mild skew, avg degree ~4.5.
+      return make_rmat(65536 * scale, 300000 * scale, 0.57, 0.19, 0.19, 101);
+    case DatasetId::kDimacsUsa: {
+      // Road mesh: constant small degrees (paper: 23.9M/58.3M).
+      const double side = std::sqrt(scale);
+      return generate_grid(
+          static_cast<std::uint64_t>(320 * side),
+          static_cast<std::uint64_t>(192 * side));
+    }
+    case DatasetId::kLiveJournal:
+      // 4.8M/69M: moderate skew, avg degree ~14.
+      return make_rmat(131072 * scale, 1000000 * scale, 0.57, 0.19, 0.19, 103);
+    case DatasetId::kTwitter:
+      // 41.7M/1.47B: heavy skew, avg degree ~35.
+      return make_rmat(131072 * scale, 3200000 * scale, 0.60, 0.15, 0.19, 105);
+    case DatasetId::kFriendster:
+      // 65.6M/1.81B: heavy but flatter skew, avg degree ~28.
+      return make_rmat(262144 * scale, 3600000 * scale, 0.55, 0.20, 0.20, 107);
+    case DatasetId::kUk2007:
+      // 105.9M/3.74B: the most extreme in-degree skew of the suite
+      // (column marginal a+c = 0.82).
+      return make_rmat(262144 * scale, 5200000 * scale, 0.65, 0.12, 0.17, 109);
+  }
+  throw std::invalid_argument("unknown dataset id");
+}
+
+}  // namespace grazelle::gen

@@ -1,0 +1,44 @@
+// Dataset presets: synthetic analogs of the paper's six inputs
+// (Table 1), scaled to this host (see DESIGN.md §2). Each preset
+// reproduces the *shape* that drives the paper's effects — degree
+// distribution skew for the scale-free graphs, constant low degree for
+// the dimacs-usa mesh — at a size that fits the reproduction machine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "graph/edge_list.h"
+
+namespace grazelle::gen {
+
+enum class DatasetId {
+  kCitPatents,   // C: small citation graph, mild skew
+  kDimacsUsa,    // D: road mesh, degree ~2-4 everywhere
+  kLiveJournal,  // L: social graph, moderate skew
+  kTwitter,      // T: social graph, heavy skew, avg degree ~35
+  kFriendster,   // F: social graph, heavy but flatter skew
+  kUk2007,       // U: web crawl, the most extreme in-degree skew
+};
+
+struct DatasetSpec {
+  DatasetId id;
+  std::string_view abbr;   // single letter used in the paper's plots
+  std::string_view name;   // analog name, e.g. "cit-patents-analog"
+  /// Suggested PageRank iteration count (paper Table 2, scaled down
+  /// with the graphs so benches stay tractable).
+  unsigned pagerank_iterations;
+};
+
+/// All six presets in the paper's order C, D, L, T, F, U.
+[[nodiscard]] std::span<const DatasetSpec> all_datasets();
+
+[[nodiscard]] const DatasetSpec& dataset_spec(DatasetId id);
+
+/// Generates the analog edge list. `scale` multiplies vertex and edge
+/// counts (1.0 = the default reproduction size; use < 1 in tests).
+/// Deterministic for fixed (id, scale).
+[[nodiscard]] EdgeList make_dataset(DatasetId id, double scale = 1.0);
+
+}  // namespace grazelle::gen

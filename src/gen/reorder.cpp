@@ -1,0 +1,104 @@
+#include "gen/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <random>
+
+namespace grazelle::gen {
+
+Permutation identity_order(std::uint64_t n) {
+  Permutation perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  return perm;
+}
+
+Permutation degree_order(const EdgeList& list, bool by_in_degree,
+                         bool descending) {
+  const auto degrees = by_in_degree ? list.in_degrees() : list.out_degrees();
+  // order[k] = old id placed at rank k; stable so equal degrees keep
+  // their relative order (determinism).
+  std::vector<VertexId> order = identity_order(list.num_vertices());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](VertexId a, VertexId b) {
+                     return descending ? degrees[a] > degrees[b]
+                                       : degrees[a] < degrees[b];
+                   });
+  Permutation perm(list.num_vertices());
+  for (std::uint64_t rank = 0; rank < order.size(); ++rank) {
+    perm[order[rank]] = rank;
+  }
+  return perm;
+}
+
+Permutation bfs_order(const EdgeList& list) {
+  const std::uint64_t n = list.num_vertices();
+  // Undirected adjacency for the traversal.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (const Edge& e : list.edges()) {
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  const auto degrees = list.in_degrees();
+
+  // Component seeds: highest total degree first.
+  std::vector<VertexId> seeds = identity_order(n);
+  std::stable_sort(seeds.begin(), seeds.end(), [&](VertexId a, VertexId b) {
+    return adj[a].size() > adj[b].size();
+  });
+
+  Permutation perm(n, kInvalidVertex);
+  VertexId next_id = 0;
+  std::queue<VertexId> queue;
+  for (VertexId seed : seeds) {
+    if (perm[seed] != kInvalidVertex) continue;
+    perm[seed] = next_id++;
+    queue.push(seed);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop();
+      for (VertexId v : adj[u]) {
+        if (perm[v] == kInvalidVertex) {
+          perm[v] = next_id++;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+Permutation random_order(std::uint64_t n, std::uint64_t seed) {
+  Permutation perm = identity_order(n);
+  std::mt19937_64 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+EdgeList apply_permutation(const EdgeList& list,
+                           std::span<const VertexId> perm) {
+  EdgeList out(list.num_vertices());
+  out.reserve(list.num_edges());
+  const auto& edges = list.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (list.weighted()) {
+      out.add_edge(perm[edges[i].src], perm[edges[i].dst],
+                   list.weights()[i]);
+    } else {
+      out.add_edge(perm[edges[i].src], perm[edges[i].dst]);
+    }
+  }
+  out.set_num_vertices(list.num_vertices());
+  return out;
+}
+
+bool is_permutation(std::span<const VertexId> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (VertexId p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+}  // namespace grazelle::gen

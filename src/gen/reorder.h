@@ -1,0 +1,47 @@
+// Vertex reordering / relabeling — the locality lever behind the
+// paper's §3 "Related Work" thread (Ding & Kennedy's locality groups
+// and successors): the same graph under different vertex orders has
+// very different gather locality in the pull engine's inner loop.
+// The ablation bench quantifies this on our kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace grazelle::gen {
+
+/// A permutation mapping old vertex id -> new vertex id.
+using Permutation = std::vector<VertexId>;
+
+/// Identity permutation of size n.
+[[nodiscard]] Permutation identity_order(std::uint64_t n);
+
+/// Orders vertices by degree (in-degree when `by_in_degree`), highest
+/// first when `descending` — hub-first ordering concentrates the hot
+/// vertices in one cache region.
+[[nodiscard]] Permutation degree_order(const EdgeList& list,
+                                       bool by_in_degree = true,
+                                       bool descending = true);
+
+/// BFS (Cuthill-McKee-flavored) ordering over the underlying
+/// undirected structure, seeded from the highest-degree vertex of each
+/// component: neighbors get nearby ids, improving gather locality on
+/// meshes.
+[[nodiscard]] Permutation bfs_order(const EdgeList& list);
+
+/// Uniformly random permutation — the locality worst case.
+[[nodiscard]] Permutation random_order(std::uint64_t n,
+                                       std::uint64_t seed = 1);
+
+/// Relabels every edge endpoint: vertex v becomes perm[v]. The result
+/// is isomorphic to the input.
+[[nodiscard]] EdgeList apply_permutation(const EdgeList& list,
+                                         std::span<const VertexId> perm);
+
+/// True when `perm` is a bijection on [0, perm.size()).
+[[nodiscard]] bool is_permutation(std::span<const VertexId> perm);
+
+}  // namespace grazelle::gen

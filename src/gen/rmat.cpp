@@ -1,0 +1,55 @@
+#include "gen/rmat.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace grazelle::gen {
+
+EdgeList generate_rmat(const RmatParams& params) {
+  if (params.a + params.b + params.c >= 1.0) {
+    throw std::invalid_argument("R-MAT probabilities must sum below 1");
+  }
+  if (params.scale >= kVertexIdBits) {
+    throw std::invalid_argument("R-MAT scale exceeds 48-bit id space");
+  }
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  const std::uint64_t n = std::uint64_t{1} << params.scale;
+  EdgeList list(n);
+  list.reserve(params.num_edges);
+
+  for (std::uint64_t e = 0; e < params.num_edges; ++e) {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    for (unsigned level = 0; level < params.scale; ++level) {
+      // Jitter the quadrant probabilities per level, then renormalize.
+      const double na = params.a * (1.0 + params.noise * (unit(rng) - 0.5));
+      const double nb = params.b * (1.0 + params.noise * (unit(rng) - 0.5));
+      const double nc = params.c * (1.0 + params.noise * (unit(rng) - 0.5));
+      const double nd =
+          (1.0 - params.a - params.b - params.c) *
+          (1.0 + params.noise * (unit(rng) - 0.5));
+      const double sum = na + nb + nc + nd;
+
+      const double r = unit(rng) * sum;
+      src <<= 1;
+      dst <<= 1;
+      if (r < na) {
+        // top-left: no bits set
+      } else if (r < na + nb) {
+        dst |= 1;  // top-right
+      } else if (r < na + nb + nc) {
+        src |= 1;  // bottom-left
+      } else {
+        src |= 1;  // bottom-right
+        dst |= 1;
+      }
+    }
+    list.add_edge(src, dst);
+  }
+  return list;
+}
+
+}  // namespace grazelle::gen

@@ -1,0 +1,38 @@
+// R-MAT recursive-matrix graph generator (Chakrabarti et al., SDM'04) —
+// the generator the paper uses (via X-Stream) for the Figure 9b
+// synthetic suite, and our source of scale-free analogs for the
+// real-world datasets (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace grazelle::gen {
+
+struct RmatParams {
+  /// Quadrant probabilities; d = 1 - a - b - c. Skew in the *column*
+  /// marginal (a+c vs b+d) skews in-degrees — how we model uk-2007's
+  /// extreme in-degree distribution.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+
+  /// Vertex-id space: 2^scale vertices.
+  unsigned scale = 16;
+
+  /// Edges to sample (duplicates and self-loops survive here; call
+  /// EdgeList::canonicalize or Graph::build to drop them).
+  std::uint64_t num_edges = 1 << 20;
+
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  /// Per-level multiplicative noise on the quadrant probabilities,
+  /// which avoids the artificial self-similarity of noiseless R-MAT.
+  double noise = 0.1;
+};
+
+/// Samples an R-MAT edge list. Deterministic for fixed params.
+[[nodiscard]] EdgeList generate_rmat(const RmatParams& params);
+
+}  // namespace grazelle::gen

@@ -1,0 +1,52 @@
+#include "gen/synthetic.h"
+
+#include <random>
+
+namespace grazelle::gen {
+
+EdgeList generate_uniform(std::uint64_t num_vertices, std::uint64_t num_edges,
+                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> pick(0, num_vertices - 1);
+  EdgeList list(num_vertices);
+  list.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    list.add_edge(pick(rng), pick(rng));
+  }
+  return list;
+}
+
+EdgeList generate_grid(std::uint64_t width, std::uint64_t height) {
+  EdgeList list(width * height);
+  list.reserve(4 * width * height);
+  const auto id = [width](std::uint64_t x, std::uint64_t y) {
+    return y * width + x;
+  };
+  for (std::uint64_t y = 0; y < height; ++y) {
+    for (std::uint64_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        list.add_edge(id(x, y), id(x + 1, y));
+        list.add_edge(id(x + 1, y), id(x, y));
+      }
+      if (y + 1 < height) {
+        list.add_edge(id(x, y), id(x, y + 1));
+        list.add_edge(id(x, y + 1), id(x, y));
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList with_random_weights(const EdgeList& list, double min_w, double max_w,
+                             std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> w(min_w, max_w);
+  EdgeList out(list.num_vertices());
+  out.reserve(list.num_edges());
+  for (const Edge& e : list.edges()) {
+    out.add_edge(e.src, e.dst, w(rng));
+  }
+  return out;
+}
+
+}  // namespace grazelle::gen

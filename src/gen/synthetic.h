@@ -1,0 +1,30 @@
+// Non-R-MAT synthetic generators: uniform random (Erdős–Rényi G(n,m))
+// and a 2-D grid mesh modelling road networks like dimacs-usa (small,
+// near-constant degrees).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace grazelle::gen {
+
+/// G(n, m): `num_edges` directed edges sampled uniformly (self-loops
+/// and duplicates possible until canonicalization). Deterministic for
+/// a fixed seed.
+[[nodiscard]] EdgeList generate_uniform(std::uint64_t num_vertices,
+                                        std::uint64_t num_edges,
+                                        std::uint64_t seed = 1);
+
+/// width × height 4-neighborhood grid with edges in both directions —
+/// the mesh-network shape of dimacs-usa (consistent low degrees).
+[[nodiscard]] EdgeList generate_grid(std::uint64_t width,
+                                     std::uint64_t height);
+
+/// Random weights in [min_w, max_w) attached to an unweighted list
+/// (for SSSP / Collaborative Filtering workloads). Deterministic.
+[[nodiscard]] EdgeList with_random_weights(const EdgeList& list,
+                                           double min_w, double max_w,
+                                           std::uint64_t seed = 7);
+
+}  // namespace grazelle::gen

@@ -1,0 +1,64 @@
+#include "graph/compressed_sparse.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace grazelle {
+
+CompressedSparse CompressedSparse::build(const EdgeList& list,
+                                         GroupBy group_by) {
+  const std::uint64_t v = list.num_vertices();
+  const std::uint64_t m = list.num_edges();
+
+  CompressedSparse out;
+  out.group_by_ = group_by;
+  out.offsets_.reset(v + 1);
+  out.neighbors_.reset(m);
+  if (list.weighted()) out.weights_.reset(m);
+
+  // Counting sort by the top-level endpoint.
+  std::vector<std::uint64_t> count(v + 1, 0);
+  const bool by_src = group_by == GroupBy::kSource;
+  for (const Edge& e : list.edges()) {
+    ++count[by_src ? e.src : e.dst];
+  }
+  out.offsets_[0] = 0;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    out.offsets_[i + 1] = out.offsets_[i] + count[i];
+  }
+
+  std::vector<EdgeIndex> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  const auto& edges = list.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    const VertexId top = by_src ? e.src : e.dst;
+    const VertexId other = by_src ? e.dst : e.src;
+    const EdgeIndex pos = cursor[top]++;
+    out.neighbors_[pos] = other;
+    if (list.weighted()) out.weights_[pos] = list.weights()[i];
+  }
+
+  // Sort each neighbor list (and its weights) for deterministic layout.
+  for (std::uint64_t top = 0; top < v; ++top) {
+    const EdgeIndex begin = out.offsets_[top];
+    const EdgeIndex end = out.offsets_[top + 1];
+    if (!list.weighted()) {
+      std::sort(out.neighbors_.begin() + begin, out.neighbors_.begin() + end);
+    } else {
+      std::vector<std::pair<VertexId, Weight>> tmp;
+      tmp.reserve(end - begin);
+      for (EdgeIndex i = begin; i < end; ++i) {
+        tmp.emplace_back(out.neighbors_[i], out.weights_[i]);
+      }
+      std::sort(tmp.begin(), tmp.end());
+      for (EdgeIndex i = begin; i < end; ++i) {
+        out.neighbors_[i] = tmp[i - begin].first;
+        out.weights_[i] = tmp[i - begin].second;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace grazelle

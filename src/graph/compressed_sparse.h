@@ -1,0 +1,76 @@
+// The classic two-level Compressed-Sparse format (paper Figure 2):
+// a vertex index of starting offsets plus a tightly-packed edge array.
+// Grouped by source it is CSR; grouped by destination it is CSC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/edge_list.h"
+#include "platform/aligned_buffer.h"
+#include "platform/types.h"
+
+namespace grazelle {
+
+/// Which endpoint plays the role of the top-level (outer-loop) vertex.
+enum class GroupBy {
+  kSource,       ///< CSR: top-level vertex is the edge source (push).
+  kDestination,  ///< CSC: top-level vertex is the edge destination (pull).
+};
+
+/// Immutable Compressed-Sparse adjacency. offsets() has num_vertices()+1
+/// entries; the neighbors of top-level vertex v occupy
+/// neighbors()[offsets()[v] .. offsets()[v+1]).
+class CompressedSparse {
+ public:
+  /// Empty adjacency (zero vertices); assign from build().
+  CompressedSparse() = default;
+
+  /// Builds from an edge list. Neighbor lists come out sorted by
+  /// neighbor id. O(V + E log d).
+  [[nodiscard]] static CompressedSparse build(const EdgeList& list,
+                                              GroupBy group_by);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return neighbors_.size();
+  }
+  [[nodiscard]] GroupBy group_by() const noexcept { return group_by_; }
+  [[nodiscard]] bool weighted() const noexcept { return !weights_.empty(); }
+
+  [[nodiscard]] std::span<const EdgeIndex> offsets() const noexcept {
+    return offsets_.span();
+  }
+  [[nodiscard]] std::span<const VertexId> neighbors() const noexcept {
+    return neighbors_.span();
+  }
+  [[nodiscard]] std::span<const Weight> weights() const noexcept {
+    return weights_.span();
+  }
+
+  /// Degree of top-level vertex v (in-degree for CSC, out- for CSR).
+  [[nodiscard]] std::uint64_t degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbor list of top-level vertex v.
+  [[nodiscard]] std::span<const VertexId> neighbors_of(VertexId v) const noexcept {
+    return neighbors_.span().subspan(offsets_[v], degree(v));
+  }
+
+  /// Weights parallel to neighbors_of(v); empty when unweighted.
+  [[nodiscard]] std::span<const Weight> weights_of(VertexId v) const noexcept {
+    if (!weighted()) return {};
+    return weights_.span().subspan(offsets_[v], degree(v));
+  }
+
+ private:
+  GroupBy group_by_ = GroupBy::kSource;
+  AlignedBuffer<EdgeIndex> offsets_;
+  AlignedBuffer<VertexId> neighbors_;
+  AlignedBuffer<Weight> weights_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,78 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace grazelle {
+
+void EdgeList::add_edge(VertexId src, VertexId dst) {
+  if (weighted()) {
+    throw std::logic_error("unweighted add_edge on a weighted EdgeList");
+  }
+  edges_.push_back({src, dst});
+  num_vertices_ = std::max(num_vertices_, std::max(src, dst) + 1);
+}
+
+void EdgeList::add_edge(VertexId src, VertexId dst, Weight weight) {
+  if (!edges_.empty() && !weighted()) {
+    throw std::logic_error("weighted add_edge on an unweighted EdgeList");
+  }
+  edges_.push_back({src, dst});
+  weights_.push_back(weight);
+  num_vertices_ = std::max(num_vertices_, std::max(src, dst) + 1);
+}
+
+void EdgeList::set_num_vertices(std::uint64_t n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+void EdgeList::canonicalize() {
+  std::vector<std::size_t> order(edges_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return edges_[a] < edges_[b];
+  });
+
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  edges.reserve(edges_.size());
+  if (weighted()) weights.reserve(weights_.size());
+
+  for (std::size_t idx : order) {
+    const Edge& e = edges_[idx];
+    if (e.src == e.dst) continue;                       // self-loop
+    if (!edges.empty() && edges.back() == e) continue;  // duplicate
+    edges.push_back(e);
+    if (weighted()) weights.push_back(weights_[idx]);
+  }
+  edges_ = std::move(edges);
+  weights_ = std::move(weights);
+}
+
+EdgeList EdgeList::transposed() const {
+  EdgeList out(num_vertices_);
+  out.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (weighted()) {
+      out.add_edge(edges_[i].dst, edges_[i].src, weights_[i]);
+    } else {
+      out.add_edge(edges_[i].dst, edges_[i].src);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> EdgeList::out_degrees() const {
+  std::vector<std::uint64_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.src];
+  return deg;
+}
+
+std::vector<std::uint64_t> EdgeList::in_degrees() const {
+  std::vector<std::uint64_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.dst];
+  return deg;
+}
+
+}  // namespace grazelle

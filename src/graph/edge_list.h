@@ -1,0 +1,77 @@
+// In-memory edge list: the interchange format between generators,
+// loaders, and the compressed/vectorized builds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/types.h"
+
+namespace grazelle {
+
+/// One directed edge.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A directed graph as a flat edge list with optional per-edge weights.
+/// Weights, when present, are index-parallel with `edges`.
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Creates an empty edge list over `num_vertices` vertices.
+  explicit EdgeList(std::uint64_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Appends an unweighted edge, growing the vertex count if needed.
+  void add_edge(VertexId src, VertexId dst);
+
+  /// Appends a weighted edge. Mixing weighted and unweighted edges in
+  /// one list is an error (checked).
+  void add_edge(VertexId src, VertexId dst, Weight weight);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] bool weighted() const noexcept { return !weights_.empty(); }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<Weight>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Ensures the vertex-id space is at least `n`.
+  void set_num_vertices(std::uint64_t n);
+
+  /// Sorts edges by (src, dst) and removes duplicates and self-loops.
+  /// For weighted lists the first occurrence's weight is kept.
+  void canonicalize();
+
+  /// Returns a copy with every edge reversed (dst -> src).
+  [[nodiscard]] EdgeList transposed() const;
+
+  /// Out-degree of every vertex (size num_vertices()).
+  [[nodiscard]] std::vector<std::uint64_t> out_degrees() const;
+
+  /// In-degree of every vertex (size num_vertices()).
+  [[nodiscard]] std::vector<std::uint64_t> in_degrees() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<Weight> weights_;
+  std::uint64_t num_vertices_ = 0;
+};
+
+}  // namespace grazelle

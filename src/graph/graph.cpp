@@ -1,0 +1,26 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace grazelle {
+
+Graph Graph::build(EdgeList list) {
+  list.canonicalize();
+
+  Graph g;
+  g.csr_ = CompressedSparse::build(list, GroupBy::kSource);
+  g.csc_ = CompressedSparse::build(list, GroupBy::kDestination);
+  g.vss_ = VectorSparseGraph::build(g.csr_);
+  g.vsd_ = VectorSparseGraph::build(g.csc_);
+
+  const std::uint64_t v = g.csr_.num_vertices();
+  g.out_degrees_.reset(v);
+  g.in_degrees_.reset(v);
+  for (VertexId u = 0; u < v; ++u) {
+    g.out_degrees_[u] = g.csr_.degree(u);
+    g.in_degrees_[u] = g.csc_.degree(u);
+  }
+  return g;
+}
+
+}  // namespace grazelle

@@ -1,0 +1,59 @@
+// The loaded-graph bundle engines operate on: both edge groupings in
+// both formats, plus degree arrays. Grazelle keeps two edge lists, one
+// grouped by source (VSS, push) and one by destination (VSD, pull) —
+// paper §5, "Key data structures".
+#pragma once
+
+#include <memory>
+
+#include "graph/compressed_sparse.h"
+#include "graph/edge_list.h"
+#include "graph/vector_sparse.h"
+#include "platform/aligned_buffer.h"
+
+namespace grazelle {
+
+/// Immutable preprocessed graph. Construction canonicalizes the edge
+/// list (sort, dedup, drop self-loops) and materializes CSR, CSC, VSS
+/// and VSD plus degree arrays.
+class Graph {
+ public:
+  /// Builds every representation from `list` (consumed).
+  [[nodiscard]] static Graph build(EdgeList list);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return csr_.num_vertices();
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return csr_.num_edges();
+  }
+  [[nodiscard]] bool weighted() const noexcept { return csr_.weighted(); }
+
+  /// Out-edges grouped by source (push direction).
+  [[nodiscard]] const CompressedSparse& csr() const noexcept { return csr_; }
+  /// In-edges grouped by destination (pull direction).
+  [[nodiscard]] const CompressedSparse& csc() const noexcept { return csc_; }
+  /// Vector-Sparse-Source (push).
+  [[nodiscard]] const VectorSparseGraph& vss() const noexcept { return vss_; }
+  /// Vector-Sparse-Destination (pull).
+  [[nodiscard]] const VectorSparseGraph& vsd() const noexcept { return vsd_; }
+
+  [[nodiscard]] std::span<const std::uint64_t> out_degrees() const noexcept {
+    return out_degrees_.span();
+  }
+  [[nodiscard]] std::span<const std::uint64_t> in_degrees() const noexcept {
+    return in_degrees_.span();
+  }
+
+ private:
+  Graph() = default;
+
+  CompressedSparse csr_;
+  CompressedSparse csc_;
+  VectorSparseGraph vss_;
+  VectorSparseGraph vsd_;
+  AlignedBuffer<std::uint64_t> out_degrees_;
+  AlignedBuffer<std::uint64_t> in_degrees_;
+};
+
+}  // namespace grazelle

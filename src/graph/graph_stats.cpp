@@ -1,0 +1,28 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace grazelle {
+
+DegreeStats compute_degree_stats(std::span<const std::uint64_t> degrees,
+                                 std::uint64_t high_threshold) {
+  DegreeStats s;
+  s.num_vertices = degrees.size();
+  s.high_degree_threshold = high_threshold;
+  if (degrees.empty()) return s;
+
+  s.min_degree = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t d : degrees) {
+    s.num_edges += d;
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d >= high_threshold) ++s.high_degree_count;
+    if (d == 0) ++s.zero_degree_count;
+  }
+  s.avg_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  return s;
+}
+
+}  // namespace grazelle

@@ -1,0 +1,28 @@
+// Degree-distribution statistics used by the dataset table (Table 1)
+// and the skew discussion in §6.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace grazelle {
+
+struct DegreeStats {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t min_degree = 0;
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0.0;
+  /// Vertices with degree >= threshold (the paper compares counts of
+  /// vertices with in-degree >= 100,000 between twitter and uk-2007).
+  std::uint64_t high_degree_count = 0;
+  std::uint64_t high_degree_threshold = 0;
+  std::uint64_t zero_degree_count = 0;
+};
+
+/// Computes stats over a degree sequence. `high_threshold` selects the
+/// high_degree_count cutoff.
+[[nodiscard]] DegreeStats compute_degree_stats(
+    std::span<const std::uint64_t> degrees, std::uint64_t high_threshold);
+
+}  // namespace grazelle

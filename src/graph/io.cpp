@@ -1,0 +1,233 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace grazelle::io {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'G', 'R', 'Z', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("truncated graph file");
+  return value;
+}
+
+}  // namespace
+
+void save_binary(const EdgeList& list, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod(out, list.num_vertices());
+  write_pod(out, list.num_edges());
+  write_pod(out, static_cast<std::uint32_t>(list.weighted() ? 1 : 0));
+  for (const Edge& e : list.edges()) {
+    write_pod(out, e.src);
+    write_pod(out, e.dst);
+  }
+  for (Weight w : list.weights()) write_pod(out, w);
+  if (!out) throw std::runtime_error("write failed for " + path.string());
+}
+
+EdgeList load_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("bad magic in " + path.string());
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported graph file version");
+  }
+  const auto num_vertices = read_pod<std::uint64_t>(in);
+  const auto num_edges = read_pod<std::uint64_t>(in);
+  const auto weighted = read_pod<std::uint32_t>(in);
+
+  EdgeList list(num_vertices);
+  list.reserve(num_edges);
+  std::vector<Edge> edges(num_edges);
+  for (auto& e : edges) {
+    e.src = read_pod<VertexId>(in);
+    e.dst = read_pod<VertexId>(in);
+  }
+  if (weighted != 0) {
+    for (const Edge& e : edges) {
+      list.add_edge(e.src, e.dst, read_pod<Weight>(in));
+    }
+  } else {
+    for (const Edge& e : edges) list.add_edge(e.src, e.dst);
+  }
+  list.set_num_vertices(num_vertices);
+  return list;
+}
+
+EdgeList load_text(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  EdgeList list;
+  std::string line;
+  int columns = 0;  // 2 or 3, fixed by the first data line
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    VertexId src = 0, dst = 0;
+    Weight w = 0;
+    if (!(ss >> src >> dst)) {
+      throw std::runtime_error("malformed edge line: " + line);
+    }
+    const bool has_weight = static_cast<bool>(ss >> w);
+    const int line_columns = has_weight ? 3 : 2;
+    if (columns == 0) columns = line_columns;
+    if (columns != line_columns) {
+      throw std::runtime_error("inconsistent weight column in " +
+                               path.string());
+    }
+    if (has_weight) {
+      list.add_edge(src, dst, w);
+    } else {
+      list.add_edge(src, dst);
+    }
+  }
+  return list;
+}
+
+EdgeList load_dimacs(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  EdgeList list;
+  std::string line;
+  bool saw_problem_line = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ss(line);
+    char kind = 0;
+    ss >> kind;
+    if (kind == 'p') {
+      std::string sp;
+      std::uint64_t n = 0, m = 0;
+      if (!(ss >> sp >> n >> m)) {
+        throw std::runtime_error("malformed DIMACS problem line: " + line);
+      }
+      list.set_num_vertices(n);
+      list.reserve(m);
+      saw_problem_line = true;
+    } else if (kind == 'a') {
+      VertexId src = 0, dst = 0;
+      Weight w = 0;
+      if (!(ss >> src >> dst >> w) || src == 0 || dst == 0) {
+        throw std::runtime_error("malformed DIMACS arc line: " + line);
+      }
+      list.add_edge(src - 1, dst - 1, w);  // 1-based -> 0-based
+    } else {
+      throw std::runtime_error("unexpected DIMACS line: " + line);
+    }
+  }
+  if (!saw_problem_line) {
+    throw std::runtime_error("DIMACS file lacks a problem line: " +
+                             path.string());
+  }
+  return list;
+}
+
+EdgeList load_matrix_market(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("missing MatrixMarket header in " +
+                             path.string());
+  }
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (object != "matrix" || format != "coordinate") {
+    throw std::runtime_error("unsupported MatrixMarket type: " + header);
+  }
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+  if (symmetry != "general" && !symmetric) {
+    throw std::runtime_error("unsupported MatrixMarket symmetry: " +
+                             symmetry);
+  }
+
+  std::string line;
+  bool saw_sizes = false;
+  std::uint64_t rows = 0, cols = 0, entries = 0;
+  EdgeList list;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ss(line);
+    if (!saw_sizes) {
+      if (!(ss >> rows >> cols >> entries)) {
+        throw std::runtime_error("malformed MatrixMarket size line: " + line);
+      }
+      list.set_num_vertices(std::max(rows, cols));
+      list.reserve(symmetric ? 2 * entries : entries);
+      saw_sizes = true;
+      continue;
+    }
+    std::uint64_t i = 0, j = 0;
+    double w = 1.0;
+    if (!(ss >> i >> j) || i == 0 || j == 0) {
+      throw std::runtime_error("malformed MatrixMarket entry: " + line);
+    }
+    if (!pattern && !(ss >> w)) {
+      throw std::runtime_error("missing value in MatrixMarket entry: " +
+                               line);
+    }
+    const auto add = [&](VertexId a, VertexId b) {
+      if (pattern) {
+        list.add_edge(a, b);
+      } else {
+        list.add_edge(a, b, w);
+      }
+    };
+    add(i - 1, j - 1);
+    if (symmetric && i != j) add(j - 1, i - 1);
+  }
+  if (!saw_sizes) {
+    throw std::runtime_error("MatrixMarket file lacks a size line: " +
+                             path.string());
+  }
+  return list;
+}
+
+void save_text(const EdgeList& list, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+  out << "# grazelle text edge list: src dst";
+  if (list.weighted()) out << " weight";
+  out << "\n";
+  const auto& edges = list.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out << edges[i].src << ' ' << edges[i].dst;
+    if (list.weighted()) out << ' ' << list.weights()[i];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed for " + path.string());
+}
+
+}  // namespace grazelle::io

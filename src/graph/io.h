@@ -1,0 +1,40 @@
+// Graph persistence: a compact binary format (mirroring the artifact's
+// preconverted binary inputs) and a SNAP-style text edge-list loader.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "graph/edge_list.h"
+
+namespace grazelle::io {
+
+/// Writes `list` to `path` in the Grazelle binary format
+/// (magic "GRZB", version, counts, raw edges, optional weights).
+void save_binary(const EdgeList& list, const std::filesystem::path& path);
+
+/// Loads a graph previously written by save_binary. Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] EdgeList load_binary(const std::filesystem::path& path);
+
+/// Loads a whitespace-separated text edge list: one "src dst [weight]"
+/// per line; lines starting with '#' or '%' are comments. All data
+/// lines must agree on the presence of the weight column.
+[[nodiscard]] EdgeList load_text(const std::filesystem::path& path);
+
+/// Writes a text edge list readable by load_text.
+void save_text(const EdgeList& list, const std::filesystem::path& path);
+
+/// Loads a 9th-DIMACS-challenge ".gr" shortest-path graph (the format
+/// dimacs-usa ships in): "c" comment lines, one "p sp <n> <m>" problem
+/// line, and "a <src> <dst> <weight>" arc lines with 1-based vertex
+/// ids (converted to 0-based).
+[[nodiscard]] EdgeList load_dimacs(const std::filesystem::path& path);
+
+/// Loads a MatrixMarket "coordinate" file as a graph: entry (i, j
+/// [, w]) becomes edge i -> j (1-based ids converted to 0-based).
+/// Supports `general` and `symmetric` (mirrors off-diagonal entries);
+/// `pattern` files load unweighted.
+[[nodiscard]] EdgeList load_matrix_market(const std::filesystem::path& path);
+
+}  // namespace grazelle::io

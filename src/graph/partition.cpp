@@ -1,0 +1,42 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+namespace grazelle {
+
+std::vector<NumaPiece> partition_vector_sparse(const VectorSparseGraph& graph,
+                                               unsigned num_nodes) {
+  const std::uint64_t v = graph.num_vertices();
+  const std::uint64_t total_vectors = graph.num_vectors();
+  const auto index = graph.index();
+
+  std::vector<NumaPiece> pieces(std::max(1u, num_nodes));
+
+  // Boundary vertices: for node i, the first vertex whose edge vectors
+  // belong to node i. Found by binary search for the first vertex whose
+  // first_vector is >= the ideal (equal-split) vector boundary.
+  std::vector<VertexId> vertex_boundary(pieces.size() + 1);
+  vertex_boundary[0] = 0;
+  vertex_boundary[pieces.size()] = v;
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    const std::uint64_t target = total_vectors * i / pieces.size();
+    const auto it = std::lower_bound(
+        index.begin(), index.end(), target,
+        [](const VertexVectorRange& r, std::uint64_t t) {
+          return r.first_vector < t;
+        });
+    vertex_boundary[i] = static_cast<VertexId>(it - index.begin());
+  }
+
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const VertexId vb = vertex_boundary[i];
+    const VertexId ve = vertex_boundary[i + 1];
+    const std::uint64_t vec_begin = vb < v ? index[vb].first_vector : total_vectors;
+    const std::uint64_t vec_end = ve < v ? index[ve].first_vector : total_vectors;
+    pieces[i].vertices = {vb, ve};
+    pieces[i].vectors = {vec_begin, vec_end};
+  }
+  return pieces;
+}
+
+}  // namespace grazelle

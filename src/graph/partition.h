@@ -1,0 +1,33 @@
+// NUMA partitioning of a Vector-Sparse edge array (paper §5):
+// "divide the edge vector array into equally-sized pieces, place each
+// piece in locally-allocated memory on each NUMA node, and generate a
+// separate vertex index for each NUMA node's piece."
+//
+// Pieces are rounded to top-level-vertex boundaries so each vertex's
+// final edge vector lives in exactly one piece — the property the
+// scheduler-aware merge protocol relies on per node.
+#pragma once
+
+#include <vector>
+
+#include "graph/vector_sparse.h"
+#include "platform/numa_topology.h"
+
+namespace grazelle {
+
+/// One node's share of the graph: a contiguous edge-vector range and
+/// the contiguous top-level-vertex range whose vectors it contains.
+struct NumaPiece {
+  IndexRange vectors;
+  IndexRange vertices;
+};
+
+/// Splits `graph`'s edge-vector array into `num_nodes` near-equal
+/// contiguous pieces aligned to top-level-vertex boundaries. Every
+/// vector and every vertex (with degree > 0 falling inside exactly one
+/// piece's vertex range) is covered exactly once. Zero-degree vertices
+/// are assigned to the piece whose vertex range contains them.
+[[nodiscard]] std::vector<NumaPiece> partition_vector_sparse(
+    const VectorSparseGraph& graph, unsigned num_nodes);
+
+}  // namespace grazelle

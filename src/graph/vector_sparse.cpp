@@ -1,0 +1,73 @@
+#include "graph/vector_sparse.h"
+
+#include <stdexcept>
+
+namespace grazelle {
+
+VectorSparseGraph VectorSparseGraph::build(const CompressedSparse& adj) {
+  const std::uint64_t v = adj.num_vertices();
+  if (v > kVertexIdMask) {
+    throw std::invalid_argument("vertex id space exceeds 48 bits");
+  }
+
+  VectorSparseGraph out;
+  out.group_by_ = adj.group_by();
+  out.num_edges_ = adj.num_edges();
+  out.index_.reset(v);
+
+  std::uint64_t total_vectors = 0;
+  for (VertexId top = 0; top < v; ++top) {
+    total_vectors += bits::ceil_div(adj.degree(top), kEdgeVectorLanes);
+  }
+  out.vectors_.reset(total_vectors);
+  if (adj.weighted()) out.weights_.reset(total_vectors);
+
+  EdgeIndex cursor = 0;
+  for (VertexId top = 0; top < v; ++top) {
+    const auto neighbors = adj.neighbors_of(top);
+    const auto weights = adj.weights_of(top);
+    const std::uint64_t degree = neighbors.size();
+    const std::uint64_t vec_count = bits::ceil_div(degree, kEdgeVectorLanes);
+
+    out.index_[top] = VertexVectorRange{
+        cursor, static_cast<std::uint32_t>(vec_count),
+        static_cast<std::uint32_t>(degree)};
+
+    for (std::uint64_t vi = 0; vi < vec_count; ++vi) {
+      EdgeVector& vec = out.vectors_[cursor + vi];
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        const std::uint64_t e = vi * kEdgeVectorLanes + k;
+        const bool valid = e < degree;
+        const std::uint64_t piece =
+            (top >> (vsenc::kPieceBits * k)) & vsenc::kPieceMask;
+        vec.lane[k] = vsenc::make_lane(valid, piece, valid ? neighbors[e] : 0);
+        if (adj.weighted()) {
+          out.weights_[cursor + vi].w[k] = valid ? weights[e] : Weight{0};
+        }
+      }
+    }
+    cursor += vec_count;
+  }
+  return out;
+}
+
+double VectorSparseGraph::measured_packing_efficiency() const noexcept {
+  if (vectors_.empty()) return 1.0;
+  return static_cast<double>(num_edges_) /
+         (static_cast<double>(num_vectors()) * kEdgeVectorLanes);
+}
+
+double VectorSparseGraph::packing_efficiency(
+    std::span<const std::uint64_t> degrees, unsigned lanes) noexcept {
+  if (lanes == 0) return 0.0;
+  std::uint64_t edges = 0;
+  std::uint64_t slots = 0;
+  for (std::uint64_t d : degrees) {
+    edges += d;
+    slots += bits::ceil_div(d, static_cast<std::uint64_t>(lanes)) * lanes;
+  }
+  if (slots == 0) return 1.0;
+  return static_cast<double>(edges) / static_cast<double>(slots);
+}
+
+}  // namespace grazelle

@@ -1,0 +1,169 @@
+// Vector-Sparse: the paper's second contribution (§4, Figure 4).
+//
+// Edges are packed into aligned 256-bit vectors of four 64-bit lanes.
+// Each lane carries:
+//   bit  63     : valid flag (drives per-lane predication / masking)
+//   bits 62..60 : unused, zero
+//   bits 59..48 : a 12-bit piece of the 48-bit top-level vertex id
+//                 (lane k holds id bits [12k, 12k+12), so the four
+//                 lanes reassemble the full id)
+//   bits 47..0  : the neighbor (individual) vertex id
+//
+// A top-level vertex of degree d occupies ceil(d/4) vectors; trailing
+// lanes of the last vector are padding with valid=0. Because every
+// vector belongs to exactly one top-level vertex and starts at a
+// 32-byte boundary, the inner loop needs no bounds checks and no
+// unaligned accesses — the two obstacles Compressed-Sparse poses to
+// SIMD (§1). The paper's figure splits the 48 id bits unevenly
+// (3/15/15/15); we use the equivalent uniform 12/12/12/12 split (any
+// reassembling split is functionally identical — see DESIGN.md §5).
+//
+// Vector-Sparse-Source (VSS) groups by source (push direction);
+// Vector-Sparse-Destination (VSD) groups by destination (pull).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/compressed_sparse.h"
+#include "platform/aligned_buffer.h"
+#include "platform/bits.h"
+#include "platform/types.h"
+
+namespace grazelle {
+
+namespace vsenc {
+
+inline constexpr unsigned kPieceBits = 12;
+inline constexpr unsigned kPieceShift = 48;
+inline constexpr std::uint64_t kPieceMask = (1u << kPieceBits) - 1;
+inline constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+
+/// Encodes one lane. `piece` is the 12-bit slice of the top-level id
+/// this lane carries; `neighbor` must fit in 48 bits.
+[[nodiscard]] inline constexpr std::uint64_t make_lane(
+    bool valid, std::uint64_t piece, VertexId neighbor) noexcept {
+  return (valid ? kValidBit : 0) | ((piece & kPieceMask) << kPieceShift) |
+         (neighbor & kVertexIdMask);
+}
+
+[[nodiscard]] inline constexpr bool lane_valid(std::uint64_t lane) noexcept {
+  return (lane & kValidBit) != 0;
+}
+
+[[nodiscard]] inline constexpr VertexId lane_neighbor(
+    std::uint64_t lane) noexcept {
+  return lane & kVertexIdMask;
+}
+
+[[nodiscard]] inline constexpr std::uint64_t lane_piece(
+    std::uint64_t lane) noexcept {
+  return (lane >> kPieceShift) & kPieceMask;
+}
+
+}  // namespace vsenc
+
+/// One 256-bit edge vector: up to four edges of one top-level vertex.
+struct alignas(32) EdgeVector {
+  std::uint64_t lane[kEdgeVectorLanes];
+
+  /// Reassembles the 48-bit top-level vertex id from the four pieces.
+  [[nodiscard]] VertexId top_level() const noexcept {
+    VertexId id = 0;
+    for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+      id |= vsenc::lane_piece(lane[k]) << (vsenc::kPieceBits * k);
+    }
+    return id;
+  }
+
+  /// 4-bit mask of valid lanes (bit k = lane k valid).
+  [[nodiscard]] unsigned valid_mask() const noexcept {
+    unsigned m = 0;
+    for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+      m |= vsenc::lane_valid(lane[k]) ? (1u << k) : 0u;
+    }
+    return m;
+  }
+
+  [[nodiscard]] unsigned valid_count() const noexcept {
+    return bits::popcount(valid_mask());
+  }
+
+  [[nodiscard]] VertexId neighbor(unsigned k) const noexcept {
+    return vsenc::lane_neighbor(lane[k]);
+  }
+
+  [[nodiscard]] bool valid(unsigned k) const noexcept {
+    return vsenc::lane_valid(lane[k]);
+  }
+};
+
+static_assert(sizeof(EdgeVector) == 32);
+
+/// Per-edge-vector weights (index-parallel with the edge vector array).
+struct alignas(32) WeightVector {
+  Weight w[kEdgeVectorLanes];
+};
+
+/// The edge-vector span a top-level vertex occupies, plus its degree.
+struct VertexVectorRange {
+  EdgeIndex first_vector = 0;
+  std::uint32_t vector_count = 0;
+  std::uint32_t degree = 0;
+};
+
+/// Immutable Vector-Sparse adjacency (VSS when built from CSR, VSD when
+/// built from CSC).
+class VectorSparseGraph {
+ public:
+  /// Empty structure (zero vertices); assign from build().
+  VectorSparseGraph() = default;
+
+  /// Packs a Compressed-Sparse adjacency into Vector-Sparse form.
+  /// Neighbor order within each top-level vertex is preserved.
+  [[nodiscard]] static VectorSparseGraph build(const CompressedSparse& adj);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return index_.size();
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::uint64_t num_vectors() const noexcept {
+    return vectors_.size();
+  }
+  [[nodiscard]] GroupBy group_by() const noexcept { return group_by_; }
+  [[nodiscard]] bool weighted() const noexcept { return !weights_.empty(); }
+
+  [[nodiscard]] std::span<const EdgeVector> vectors() const noexcept {
+    return vectors_.span();
+  }
+  [[nodiscard]] std::span<const WeightVector> weights() const noexcept {
+    return weights_.span();
+  }
+  [[nodiscard]] std::span<const VertexVectorRange> index() const noexcept {
+    return index_.span();
+  }
+
+  [[nodiscard]] const VertexVectorRange& range(VertexId v) const noexcept {
+    return index_[v];
+  }
+
+  /// Fraction of lanes that hold real edges, i.e. the paper's packing
+  /// efficiency (Figure 9) measured on this structure.
+  [[nodiscard]] double measured_packing_efficiency() const noexcept;
+
+  /// Analytic packing efficiency for a hypothetical `lanes`-wide vector
+  /// over the given degree sequence: sum(d) / (lanes * sum(ceil(d/lanes)))
+  /// over vertices with d > 0. Used for the 8- and 16-lane series of
+  /// Figure 9 without materializing wider formats.
+  [[nodiscard]] static double packing_efficiency(
+      std::span<const std::uint64_t> degrees, unsigned lanes) noexcept;
+
+ private:
+  GroupBy group_by_ = GroupBy::kSource;
+  std::uint64_t num_edges_ = 0;
+  AlignedBuffer<EdgeVector> vectors_;
+  AlignedBuffer<WeightVector> weights_;
+  AlignedBuffer<VertexVectorRange> index_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,148 @@
+// Wide Vector-Sparse: the paper's Vector-Sparse format generalized to
+// longer vectors ("its underlying ideas are generalizable to other
+// vector architectures and longer vectors (e.g., 512-bit vectors in
+// AVX-512)" — §4). The 48-bit top-level vertex id is split into
+// 48/Lanes-bit pieces, one per lane; everything else matches the
+// 4-lane layout in graph/vector_sparse.h.
+//
+// Lanes must divide 48 and be a power of two in [2, 16]: 4 lanes gives
+// the paper's AVX2 layout (12-bit pieces), 8 lanes the AVX-512 layout
+// (6-bit pieces). Figure 9 quantifies how packing efficiency drops as
+// lanes widen; this structure lets the suite *materialize* those wider
+// formats and run real wide kernels over them (core/simd512.h) instead
+// of only computing the efficiency analytically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "graph/compressed_sparse.h"
+#include "graph/vector_sparse.h"
+#include "platform/aligned_buffer.h"
+#include "platform/bits.h"
+#include "platform/types.h"
+
+namespace grazelle {
+
+template <unsigned Lanes>
+struct alignas(Lanes * 8) WideEdgeVector {
+  static_assert(Lanes >= 2 && Lanes <= 16 && 48 % Lanes == 0 &&
+                    (Lanes & (Lanes - 1)) == 0,
+                "Lanes must be a power of two dividing 48");
+  static constexpr unsigned kLanes = Lanes;
+  static constexpr unsigned kPieceBits = 48 / Lanes;
+  static constexpr std::uint64_t kPieceMask =
+      (std::uint64_t{1} << kPieceBits) - 1;
+  static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+
+  std::uint64_t lane[Lanes];
+
+  [[nodiscard]] static constexpr std::uint64_t make_lane(
+      bool valid, std::uint64_t piece, VertexId neighbor) noexcept {
+    return (valid ? kValidBit : 0) | ((piece & kPieceMask) << 48) |
+           (neighbor & kVertexIdMask);
+  }
+
+  [[nodiscard]] VertexId top_level() const noexcept {
+    VertexId id = 0;
+    for (unsigned k = 0; k < Lanes; ++k) {
+      id |= ((lane[k] >> 48) & kPieceMask) << (kPieceBits * k);
+    }
+    return id;
+  }
+
+  [[nodiscard]] bool valid(unsigned k) const noexcept {
+    return (lane[k] & kValidBit) != 0;
+  }
+
+  [[nodiscard]] VertexId neighbor(unsigned k) const noexcept {
+    return lane[k] & kVertexIdMask;
+  }
+
+  [[nodiscard]] unsigned valid_count() const noexcept {
+    unsigned n = 0;
+    for (unsigned k = 0; k < Lanes; ++k) n += valid(k) ? 1 : 0;
+    return n;
+  }
+};
+
+/// Lane-parameterized Vector-Sparse adjacency.
+template <unsigned Lanes>
+class WideVectorSparse {
+ public:
+  using Vector = WideEdgeVector<Lanes>;
+
+  WideVectorSparse() = default;
+
+  [[nodiscard]] static WideVectorSparse build(const CompressedSparse& adj) {
+    const std::uint64_t v = adj.num_vertices();
+    if (v > kVertexIdMask) {
+      throw std::invalid_argument("vertex id space exceeds 48 bits");
+    }
+    WideVectorSparse out;
+    out.group_by_ = adj.group_by();
+    out.num_edges_ = adj.num_edges();
+    out.index_.reset(v);
+
+    std::uint64_t total = 0;
+    for (VertexId top = 0; top < v; ++top) {
+      total += bits::ceil_div(adj.degree(top), std::uint64_t{Lanes});
+    }
+    out.vectors_.reset(total);
+
+    EdgeIndex cursor = 0;
+    for (VertexId top = 0; top < v; ++top) {
+      const auto neighbors = adj.neighbors_of(top);
+      const std::uint64_t degree = neighbors.size();
+      const std::uint64_t count =
+          bits::ceil_div(degree, std::uint64_t{Lanes});
+      out.index_[top] = VertexVectorRange{
+          cursor, static_cast<std::uint32_t>(count),
+          static_cast<std::uint32_t>(degree)};
+      for (std::uint64_t vi = 0; vi < count; ++vi) {
+        Vector& vec = out.vectors_[cursor + vi];
+        for (unsigned k = 0; k < Lanes; ++k) {
+          const std::uint64_t e = vi * Lanes + k;
+          const bool is_valid = e < degree;
+          const std::uint64_t piece =
+              (top >> (Vector::kPieceBits * k)) & Vector::kPieceMask;
+          vec.lane[k] =
+              Vector::make_lane(is_valid, piece, is_valid ? neighbors[e] : 0);
+        }
+      }
+      cursor += count;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return index_.size();
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::uint64_t num_vectors() const noexcept {
+    return vectors_.size();
+  }
+  [[nodiscard]] GroupBy group_by() const noexcept { return group_by_; }
+
+  [[nodiscard]] std::span<const Vector> vectors() const noexcept {
+    return vectors_.span();
+  }
+  [[nodiscard]] const VertexVectorRange& range(VertexId v) const noexcept {
+    return index_[v];
+  }
+
+  [[nodiscard]] double measured_packing_efficiency() const noexcept {
+    if (vectors_.empty()) return 1.0;
+    return static_cast<double>(num_edges_) /
+           (static_cast<double>(num_vectors()) * Lanes);
+  }
+
+ private:
+  GroupBy group_by_ = GroupBy::kSource;
+  std::uint64_t num_edges_ = 0;
+  AlignedBuffer<Vector> vectors_;
+  AlignedBuffer<VertexVectorRange> index_;
+};
+
+}  // namespace grazelle

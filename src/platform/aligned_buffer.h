@@ -1,0 +1,101 @@
+// RAII-owned, vector-aligned bulk arrays. All Grazelle data-plane arrays
+// (vertex properties, edge vectors, frontier words) live in these so that
+// every 256-bit access is aligned — one of the two Vector-Sparse goals.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "platform/bits.h"
+#include "platform/types.h"
+
+namespace grazelle {
+
+/// A fixed-capacity, 64-byte-aligned array of trivially-copyable T.
+///
+/// Intentionally narrower than std::vector: no growth, no per-element
+/// construction cost for huge graph arrays (value-initialization is
+/// explicit via `fill`). Move-only.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is for plain data-plane types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(std::size_t count, const T& init) : AlignedBuffer(count) {
+    fill(init);
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  /// Discards contents and reallocates for `count` elements
+  /// (uninitialized).
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    const std::size_t bytes =
+        bits::round_up(count * sizeof(T), kVectorAlignBytes);
+    data_ = static_cast<T*>(std::aligned_alloc(kVectorAlignBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+    size_ = count;
+  }
+
+  void fill(const T& value) { std::fill_n(data_, size_, value); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, size_};
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace grazelle

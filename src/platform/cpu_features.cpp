@@ -1,0 +1,35 @@
+#include "platform/cpu_features.h"
+
+#include <cpuid.h>
+
+namespace grazelle {
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx & (1u << 5)) != 0;
+    f.bmi1 = (ebx & (1u << 3)) != 0;
+    f.bmi2 = (ebx & (1u << 8)) != 0;
+    f.avx512f = (ebx & (1u << 16)) != 0;
+  }
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+bool vector_kernels_available() {
+#if defined(GRAZELLE_HAVE_AVX2)
+  return cpu_features().avx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace grazelle

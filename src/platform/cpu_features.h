@@ -1,0 +1,21 @@
+// Runtime CPU feature detection so vectorized kernels can be selected
+// safely even when the binary was built with -mavx2.
+#pragma once
+
+namespace grazelle {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool bmi1 = false;
+  bool bmi2 = false;
+  bool avx512f = false;
+};
+
+/// Queries CPUID once and caches the result.
+[[nodiscard]] const CpuFeatures& cpu_features();
+
+/// True when both the build (GRAZELLE_HAVE_AVX2) and the host support
+/// the AVX2 kernels.
+[[nodiscard]] bool vector_kernels_available();
+
+}  // namespace grazelle

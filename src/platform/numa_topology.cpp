@@ -1,0 +1,39 @@
+#include "platform/numa_topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace grazelle {
+
+NumaTopology::NumaTopology(unsigned num_nodes, unsigned threads_per_node)
+    : num_nodes_(num_nodes),
+      threads_per_node_(threads_per_node),
+      node_bytes_(num_nodes) {
+  if (num_nodes == 0 || threads_per_node == 0) {
+    throw std::invalid_argument("NumaTopology dimensions must be positive");
+  }
+}
+
+IndexRange NumaTopology::node_range(unsigned node, std::uint64_t n) const {
+  if (node >= num_nodes_) {
+    throw std::out_of_range("node index out of range");
+  }
+  // First (n % nodes) nodes get one extra element so sizes differ by at
+  // most one.
+  const std::uint64_t base = n / num_nodes_;
+  const std::uint64_t extra = n % num_nodes_;
+  const std::uint64_t begin =
+      static_cast<std::uint64_t>(node) * base + std::min<std::uint64_t>(node, extra);
+  const std::uint64_t size = base + (node < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+void NumaTopology::record_allocation(unsigned node, std::uint64_t bytes) {
+  node_bytes_.at(node).fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t NumaTopology::bytes_on_node(unsigned node) const {
+  return node_bytes_.at(node).load(std::memory_order_relaxed);
+}
+
+}  // namespace grazelle

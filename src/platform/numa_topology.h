@@ -1,0 +1,81 @@
+// Simulated NUMA topology.
+//
+// The paper evaluates on a 4-socket machine and partitions the edge
+// vector array plus the vertex property arrays across nodes (§5,
+// "Multi-core and NUMA Support"). All of that partitioning logic is
+// ordinary data-structure work; only the physical placement of pages
+// needs real libnuma. This reproduction keeps the full partitioning
+// logic but models placement: a topology maps global thread ids to
+// (node, local id) and owns per-node byte counters so tests and benches
+// can check that data distribution is balanced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/types.h"
+
+namespace grazelle {
+
+/// A contiguous index range [begin, end).
+struct IndexRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool contains(std::uint64_t i) const noexcept {
+    return i >= begin && i < end;
+  }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// Describes how threads group into (simulated) NUMA nodes.
+class NumaTopology {
+ public:
+  /// `num_nodes` simulated sockets, each running `threads_per_node`
+  /// software threads.
+  NumaTopology(unsigned num_nodes, unsigned threads_per_node);
+
+  /// Flat topology: every thread on one node.
+  [[nodiscard]] static NumaTopology single_node(unsigned num_threads) {
+    return NumaTopology(1, num_threads);
+  }
+
+  [[nodiscard]] unsigned num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] unsigned threads_per_node() const noexcept {
+    return threads_per_node_;
+  }
+  [[nodiscard]] unsigned num_threads() const noexcept {
+    return num_nodes_ * threads_per_node_;
+  }
+
+  /// Node that owns global thread `tid`. Threads are grouped
+  /// contiguously: node = tid / threads_per_node.
+  [[nodiscard]] unsigned node_of_thread(unsigned tid) const noexcept {
+    return tid / threads_per_node_;
+  }
+
+  /// Thread id within its node.
+  [[nodiscard]] unsigned local_id(unsigned tid) const noexcept {
+    return tid % threads_per_node_;
+  }
+
+  /// Splits [0, n) into num_nodes() contiguous near-equal pieces and
+  /// returns node `node`'s piece. This is the paper's "equally-sized
+  /// pieces" edge-array split.
+  [[nodiscard]] IndexRange node_range(unsigned node, std::uint64_t n) const;
+
+  /// Records that `bytes` of data were placed on `node` (simulated).
+  void record_allocation(unsigned node, std::uint64_t bytes);
+
+  /// Total simulated bytes placed on `node` so far.
+  [[nodiscard]] std::uint64_t bytes_on_node(unsigned node) const;
+
+ private:
+  unsigned num_nodes_;
+  unsigned threads_per_node_;
+  std::vector<std::atomic<std::uint64_t>> node_bytes_;
+};
+
+}  // namespace grazelle

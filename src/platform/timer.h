@@ -1,0 +1,75 @@
+// Wall-clock timing and the per-phase profiler behind Figure 5b's
+// Work / Merge / Write / Idle breakdown.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace grazelle {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named time buckets, e.g. "work", "merge", "write", "idle".
+/// Not thread-safe; engines keep one per thread and combine at the end.
+class PhaseProfiler {
+ public:
+  void add(const std::string& phase, double seconds) {
+    buckets_[phase] += seconds;
+  }
+
+  void merge_from(const PhaseProfiler& other) {
+    for (const auto& [name, secs] : other.buckets_) buckets_[name] += secs;
+  }
+
+  [[nodiscard]] double total(const std::string& phase) const {
+    auto it = buckets_.find(phase);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& buckets() const {
+    return buckets_;
+  }
+
+  void clear() { buckets_.clear(); }
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+/// RAII helper that adds elapsed time to a profiler bucket on scope exit.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler& profiler, std::string phase)
+      : profiler_(profiler), phase_(std::move(phase)) {}
+
+  ~ScopedPhase() { profiler_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler& profiler_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,40 @@
+// Core scalar types and constants shared by every Grazelle module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace grazelle {
+
+/// Vertex identifier. Grazelle (per the paper, §4) encodes vertex ids in
+/// 48 bits; we use a 64-bit integer and reserve the top 16 bits for the
+/// Vector-Sparse control fields.
+using VertexId = std::uint64_t;
+
+/// Index into an edge array or edge-vector array.
+using EdgeIndex = std::uint64_t;
+
+/// Edge weight type used by weighted applications (SSSP, CF).
+using Weight = double;
+
+/// Number of usable bits in a vertex identifier.
+inline constexpr unsigned kVertexIdBits = 48;
+
+/// Largest representable vertex id (also used as the "no vertex" sentinel
+/// in contexts where the full 48-bit range is not a legal vertex).
+inline constexpr VertexId kVertexIdMask = (VertexId{1} << kVertexIdBits) - 1;
+
+/// Sentinel meaning "no vertex".
+inline constexpr VertexId kInvalidVertex = kVertexIdMask;
+
+/// Cache line size assumed for padding decisions (x86).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Alignment used for all bulk data arrays so 256-bit (and 512-bit)
+/// vector loads are always aligned.
+inline constexpr std::size_t kVectorAlignBytes = 64;
+
+/// Number of 64-bit lanes per Vector-Sparse edge vector (AVX2: 256-bit).
+inline constexpr std::size_t kEdgeVectorLanes = 4;
+
+}  // namespace grazelle

@@ -1,0 +1,72 @@
+// Lock-free combine helpers used by the traditional (non-scheduler-aware)
+// engines: the paper's Listing 1 `atomicCAS(vertex[vDst].value,
+// compute(...))` generalized over value type and operator.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <type_traits>
+
+namespace grazelle {
+
+/// Atomically sets `*loc = op(*loc, value)` via a compare-exchange loop.
+/// `op` must be commutative and associative for parallel use. Returns
+/// true when the stored value changed. By default a no-op update skips
+/// the write entirely (minimization operators exploit this); set
+/// ForceWrite to always perform the store — the "write-intense"
+/// behaviour benchmarked in the paper's Figure 8a.
+template <bool ForceWrite = false, typename T, typename Op>
+inline bool atomic_combine(T* loc, T value, Op op) {
+  std::atomic_ref<T> ref(*loc);
+  T observed = ref.load(std::memory_order_relaxed);
+  for (;;) {
+    const T desired = op(observed, value);
+    if constexpr (!ForceWrite) {
+      if (desired == observed) return false;  // no-op update, skip it
+    }
+    if (ref.compare_exchange_weak(observed, desired,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+/// Atomically performs `*loc = min(*loc, value)`; returns true if it
+/// lowered the value.
+template <typename T>
+inline bool atomic_min(T* loc, T value) {
+  return atomic_combine(loc, value,
+                        [](T a, T b) { return b < a ? b : a; });
+}
+
+/// Atomic `*loc += value` for arithmetic types (CAS loop for doubles).
+template <typename T>
+inline void atomic_add(T* loc, T value) {
+  if constexpr (std::integral<T>) {
+    std::atomic_ref<T>(*loc).fetch_add(value, std::memory_order_relaxed);
+  } else {
+    atomic_combine(loc, value, [](T a, T b) { return a + b; });
+  }
+}
+
+/// One-shot atomic claim: sets `*loc = value` only if `*loc == expected`.
+/// This is BFS's "first parent wins" write. Returns true on success.
+template <typename T>
+inline bool atomic_claim(T* loc, T expected, T value) {
+  std::atomic_ref<T> ref(*loc);
+  return ref.compare_exchange_strong(expected, value,
+                                     std::memory_order_relaxed);
+}
+
+/// Relaxed atomic load/store for values shared across phase boundaries.
+template <typename T>
+inline T atomic_load(const T* loc) {
+  return std::atomic_ref<const T>(*loc).load(std::memory_order_relaxed);
+}
+
+template <typename T>
+inline void atomic_store(T* loc, T value) {
+  std::atomic_ref<T>(*loc).store(value, std::memory_order_relaxed);
+}
+
+}  // namespace grazelle

@@ -1,0 +1,45 @@
+// Generation-counting barrier used between engine phases.
+//
+// Deliberately blocking (condition variable) rather than spinning: the
+// reproduction host may oversubscribe cores, and a spin barrier would
+// burn whole scheduler quanta per waiter.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace grazelle {
+
+/// Reusable barrier for a fixed number of participants.
+class Barrier {
+ public:
+  explicit Barrier(unsigned num_threads) : expected_(num_threads) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants have arrived.
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == expected_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+  }
+
+  [[nodiscard]] unsigned participants() const noexcept { return expected_; }
+
+ private:
+  const unsigned expected_;
+  unsigned arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace grazelle

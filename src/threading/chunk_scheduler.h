@@ -1,0 +1,107 @@
+// Chunked iteration-space schedulers.
+//
+// The paper's key structural observation (§3): schedulers hand out
+// *chunks* of consecutive iterations, and the chunking of the iteration
+// space can be static (fixed chunk boundaries, so merge buffers can be
+// preallocated, one slot per chunk) while the *assignment* of chunks to
+// threads stays dynamic. Grazelle's Edge phase uses a dynamic scheduler
+// with 32·n equal chunks by default (§5).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "platform/bits.h"
+
+namespace grazelle {
+
+/// One scheduler chunk: iterations [begin, end), with a stable id equal
+/// to begin / chunk_size. Ids index the merge buffer.
+struct Chunk {
+  std::uint64_t id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+/// Statically chunks [0, total) into fixed-size pieces and dynamically
+/// hands them to whichever thread asks next (atomic ticket counter).
+/// reset() rearms it for the next phase without reallocation.
+class DynamicChunkScheduler {
+ public:
+  DynamicChunkScheduler(std::uint64_t total, std::uint64_t chunk_size)
+      : total_(total),
+        chunk_size_(chunk_size == 0 ? 1 : chunk_size),
+        num_chunks_(total == 0 ? 0 : bits::ceil_div(total, chunk_size_)) {}
+
+  /// Convenience: the paper's default granularity of `chunks_per_thread`
+  /// (32) chunks per thread.
+  [[nodiscard]] static DynamicChunkScheduler with_chunk_count(
+      std::uint64_t total, std::uint64_t desired_chunks) {
+    const std::uint64_t chunks = desired_chunks == 0 ? 1 : desired_chunks;
+    return DynamicChunkScheduler(
+        total, total == 0 ? 1 : bits::ceil_div(total, chunks));
+  }
+
+  /// Claims the next unassigned chunk, or nullopt when exhausted.
+  /// Thread-safe.
+  [[nodiscard]] std::optional<Chunk> next() noexcept {
+    const std::uint64_t id = next_.fetch_add(1, std::memory_order_relaxed);
+    if (id >= num_chunks_) return std::nullopt;
+    const std::uint64_t begin = id * chunk_size_;
+    const std::uint64_t end = std::min(begin + chunk_size_, total_);
+    return Chunk{id, begin, end};
+  }
+
+  /// Rearms for another full pass over the iteration space.
+  void reset() noexcept { next_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t num_chunks() const noexcept {
+    return num_chunks_;
+  }
+  [[nodiscard]] std::uint64_t chunk_size() const noexcept {
+    return chunk_size_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t chunk_size_;
+  std::uint64_t num_chunks_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Static assignment: thread t owns every chunk with id % threads == t.
+/// Used by the ablation bench comparing scheduling policies and by the
+/// Vertex phase (one contiguous chunk per thread).
+class StaticChunkScheduler {
+ public:
+  StaticChunkScheduler(std::uint64_t total, std::uint64_t chunk_size,
+                       unsigned num_threads)
+      : inner_(total, chunk_size), num_threads_(num_threads) {}
+
+  /// Chunk `k`-th chunk owned by `thread`, or nullopt past the end.
+  [[nodiscard]] std::optional<Chunk> chunk_for(unsigned thread,
+                                               std::uint64_t k) const noexcept {
+    const std::uint64_t id = k * num_threads_ + thread;
+    if (id >= inner_.num_chunks()) return std::nullopt;
+    const std::uint64_t begin = id * inner_.chunk_size();
+    const std::uint64_t end =
+        std::min(begin + inner_.chunk_size(), inner_.total());
+    return Chunk{id, begin, end};
+  }
+
+  [[nodiscard]] std::uint64_t num_chunks() const noexcept {
+    return inner_.num_chunks();
+  }
+
+ private:
+  DynamicChunkScheduler inner_;
+  unsigned num_threads_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,125 @@
+// Parallel loop constructs: the traditional iteration-index interface
+// (what Cilk Plus / OpenMP expose) and the paper's scheduler-aware
+// interface (§3, Figure 3).
+//
+// Traditional: the loop body sees only the iteration index and must
+// pessimistically assume every iteration runs on a different thread.
+//
+// Scheduler-aware: the body additionally sees chunk boundaries
+// (StartChunk / FinishChunk with the chunk id), so it can keep running
+// state in thread-local storage across the consecutive iterations a
+// scheduler actually hands to one thread, and spill per-chunk partials
+// into a preallocated merge buffer instead of synchronizing.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "threading/chunk_scheduler.h"
+#include "threading/thread_pool.h"
+#include "threading/work_stealing.h"
+
+namespace grazelle {
+
+/// Requirements on a scheduler-aware loop body (Figure 3's application
+/// side): per-chunk bracketing plus the per-iteration call.
+template <typename B>
+concept SchedulerAwareBody = requires(B body, const Chunk& chunk,
+                                      std::uint64_t i) {
+  body.start_chunk(chunk);
+  body.iteration(i);
+  body.finish_chunk(chunk);
+};
+
+/// Traditional parallel_for: `fn(i)` for each i in [0, n), dynamically
+/// scheduled in chunks of `grain` iterations. `fn` must be safe to call
+/// concurrently from different threads.
+template <typename Fn>
+  requires std::invocable<Fn&, std::uint64_t>
+void parallel_for(ThreadPool& pool, std::uint64_t n, std::uint64_t grain,
+                  Fn&& fn) {
+  if (n == 0) return;
+  DynamicChunkScheduler scheduler(n, grain);
+  pool.run([&](unsigned) {
+    while (auto chunk = scheduler.next()) {
+      for (std::uint64_t i = chunk->begin; i < chunk->end; ++i) fn(i);
+    }
+  });
+}
+
+/// Chunk-granular parallel loop: `fn(tid, chunk)` once per chunk. The
+/// building block for engines that manage their own inner loops.
+template <typename Fn>
+  requires std::invocable<Fn&, unsigned, const Chunk&>
+void parallel_for_chunks(ThreadPool& pool, std::uint64_t n,
+                         std::uint64_t chunk_size, Fn&& fn) {
+  if (n == 0) return;
+  DynamicChunkScheduler scheduler(n, chunk_size);
+  pool.run([&](unsigned tid) {
+    while (auto chunk = scheduler.next()) fn(tid, *chunk);
+  });
+}
+
+/// Scheduler-aware parallel_for (the paper's first contribution).
+///
+/// `make_body(tid)` constructs one loop body per participating thread;
+/// the body lives in that thread's stack (thread-local state is just
+/// its members). For every chunk the runtime assigns to a thread, the
+/// protocol is:
+///
+///   body.start_chunk(chunk);
+///   for (i = chunk.begin; i < chunk.end; ++i) body.iteration(i);
+///   body.finish_chunk(chunk);
+///
+/// The iteration space is statically chunked (stable chunk ids), so a
+/// merge buffer with `scheduler.num_chunks()` slots can be preallocated
+/// by the caller; assignment of chunks to threads remains dynamic.
+///
+/// Returns the number of chunks executed.
+template <typename BodyFactory>
+std::uint64_t parallel_for_scheduler_aware(ThreadPool& pool, std::uint64_t n,
+                                           std::uint64_t chunk_size,
+                                           BodyFactory&& make_body) {
+  if (n == 0) return 0;
+  DynamicChunkScheduler scheduler(n, chunk_size);
+  pool.run([&](unsigned tid) {
+    auto body = make_body(tid);
+    static_assert(SchedulerAwareBody<decltype(body)>);
+    while (auto chunk = scheduler.next()) {
+      body.start_chunk(*chunk);
+      for (std::uint64_t i = chunk->begin; i < chunk->end; ++i) {
+        body.iteration(i);
+      }
+      body.finish_chunk(*chunk);
+    }
+  });
+  return scheduler.num_chunks();
+}
+
+/// Scheduler-aware parallel_for on the work-stealing scheduler
+/// (Cilk-style chunk assignment) instead of the dynamic ticket
+/// scheduler. Chunk ids are identical between the two, so the same
+/// merge buffer works with either; the ablation bench compares them.
+template <typename BodyFactory>
+std::uint64_t parallel_for_scheduler_aware_ws(ThreadPool& pool,
+                                              std::uint64_t n,
+                                              std::uint64_t chunk_size,
+                                              BodyFactory&& make_body) {
+  if (n == 0) return 0;
+  WorkStealingScheduler scheduler(n, chunk_size, pool.size());
+  pool.run([&](unsigned tid) {
+    auto body = make_body(tid);
+    static_assert(SchedulerAwareBody<decltype(body)>);
+    while (auto chunk = scheduler.next(tid)) {
+      body.start_chunk(*chunk);
+      for (std::uint64_t i = chunk->begin; i < chunk->end; ++i) {
+        body.iteration(i);
+      }
+      body.finish_chunk(*chunk);
+    }
+  });
+  return scheduler.num_chunks();
+}
+
+}  // namespace grazelle

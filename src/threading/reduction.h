@@ -1,0 +1,49 @@
+// Padded per-thread reduction slots — Grazelle's "global variables"
+// (§5): values produced during one phase and consumed after its
+// barrier, without false sharing in between.
+#pragma once
+
+#include <cstddef>
+
+#include "platform/aligned_buffer.h"
+#include "platform/types.h"
+
+namespace grazelle {
+
+/// One cache-line-padded slot of T per thread; combine() folds them.
+template <typename T>
+class ReductionArray {
+  struct alignas(kCacheLineBytes) Slot {
+    T value;
+  };
+
+ public:
+  explicit ReductionArray(unsigned num_threads, T initial = T{})
+      : slots_(num_threads) {
+    reset(initial);
+  }
+
+  void reset(T initial = T{}) {
+    for (auto& s : slots_) s.value = initial;
+  }
+
+  [[nodiscard]] T& local(unsigned tid) noexcept { return slots_[tid].value; }
+
+  /// Folds all slots with `op` starting from `init`. Call after the
+  /// producing phase's barrier.
+  template <typename Op>
+  [[nodiscard]] T combine(T init, Op op) const {
+    T acc = init;
+    for (const auto& s : slots_) acc = op(acc, s.value);
+    return acc;
+  }
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(slots_.size());
+  }
+
+ private:
+  AlignedBuffer<Slot> slots_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,78 @@
+#include "threading/thread_pool.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+
+namespace grazelle {
+namespace {
+
+void try_pin_to_cpu(std::thread& thread, unsigned cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % std::max(1u, std::thread::hardware_concurrency()), &set);
+  // Best-effort only; pinning is an optimization, never a correctness
+  // requirement.
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads, bool pin_threads)
+    : phase_barrier_(std::max(1u, num_threads)) {
+  const unsigned workers = std::max(1u, num_threads) - 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, tid = i + 1] { worker_loop(tid); });
+    if (pin_threads) try_pin_to_cpu(workers_.back(), i + 1);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& task) {
+  {
+    std::lock_guard lock(mutex_);
+    task_ = &task;
+    active_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  task(0);  // caller participates as thread 0
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned tid) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(tid);
+    {
+      std::lock_guard lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace grazelle

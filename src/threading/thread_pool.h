@@ -1,0 +1,57 @@
+// Persistent worker pool. Grazelle (§5) creates one pinned software
+// thread per logical core at startup and reuses them for every phase;
+// this pool provides the same lifetime model behind a fork-join `run`.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "threading/barrier.h"
+
+namespace grazelle {
+
+/// Fixed-size pool executing fork-join tasks. `run(f)` invokes
+/// `f(tid)` on every worker (tid in [0, size())) and returns when all
+/// have finished. Workers persist across run() calls.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1). When `pin_threads` is true,
+  /// each worker is pinned round-robin to the available CPUs
+  /// (best-effort; ignored on failure).
+  explicit ThreadPool(unsigned num_threads, bool pin_threads = false);
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;  // workers + caller
+  }
+
+  /// Runs `task(tid)` on all size() threads — the calling thread
+  /// participates as tid 0 — and blocks until every invocation returns.
+  /// Not reentrant.
+  void run(const std::function<void(unsigned)>& task);
+
+  /// Barrier spanning all size() pool threads, usable from inside a
+  /// run() task to separate phases.
+  [[nodiscard]] Barrier& phase_barrier() noexcept { return phase_barrier_; }
+
+ private:
+  void worker_loop(unsigned tid);
+
+  std::vector<std::thread> workers_;
+  Barrier phase_barrier_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,156 @@
+// Work-stealing chunk scheduler: a Chase-Lev deque per thread, chunks
+// pre-distributed round-robin, idle threads stealing from victims.
+// This is the scheduling discipline of Intel Cilk Plus, which the
+// paper's Ligra baseline runs on (Figure 1 caption); Grazelle itself
+// uses the simpler dynamic ticket scheduler (§5), and the ablation
+// bench compares the two. Chunk ids remain stable under stealing, so
+// the scheduler-aware merge-buffer protocol composes with this
+// scheduler unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "platform/aligned_buffer.h"
+#include "threading/chunk_scheduler.h"
+
+namespace grazelle {
+
+/// Bounded lock-free work-stealing deque (Chase & Lev, SPAA'05;
+/// Lê et al., PPoPP'13 memory-order treatment). Fixed capacity — the
+/// chunk count is known up front, so no growth path is needed. The
+/// owner pushes/pops at the bottom; thieves take from the top.
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t capacity)
+      : buffer_(capacity == 0 ? 1 : capacity) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner-only push. Must not exceed capacity.
+  void push_bottom(std::uint64_t value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    buffer_[static_cast<std::size_t>(b) % buffer_.size()] = value;
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only pop (LIFO end).
+  [[nodiscard]] std::optional<std::uint64_t> pop_bottom() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const std::uint64_t value =
+        buffer_[static_cast<std::size_t>(b) % buffer_.size()];
+    if (t != b) return value;  // more than one element left
+    // Last element: race against thieves for it.
+    std::optional<std::uint64_t> result = value;
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      result = std::nullopt;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return result;
+  }
+
+  /// Thief-side steal (FIFO end). Safe from any thread.
+  [[nodiscard]] std::optional<std::uint64_t> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    const std::uint64_t value =
+        buffer_[static_cast<std::size_t>(t) % buffer_.size()];
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race; caller retries elsewhere
+    }
+    return value;
+  }
+
+  [[nodiscard]] bool maybe_empty() const noexcept {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  AlignedBuffer<std::uint64_t> buffer_;
+};
+
+/// Statically chunks [0, total) exactly like DynamicChunkScheduler
+/// (same stable chunk ids), but distributes the chunks round-robin to
+/// per-thread deques; a thread exhausting its own deque steals.
+class WorkStealingScheduler {
+ public:
+  WorkStealingScheduler(std::uint64_t total, std::uint64_t chunk_size,
+                        unsigned num_threads)
+      : total_(total),
+        chunk_size_(chunk_size == 0 ? 1 : chunk_size),
+        num_chunks_(total == 0 ? 0
+                               : bits::ceil_div(total, chunk_size_)) {
+    const unsigned threads = num_threads == 0 ? 1 : num_threads;
+    const std::size_t per_thread =
+        static_cast<std::size_t>(bits::ceil_div(
+            num_chunks_, static_cast<std::uint64_t>(threads))) +
+        1;
+    for (unsigned t = 0; t < threads; ++t) {
+      deques_.emplace_back(per_thread);
+    }
+    // Round-robin distribution, pushed in reverse so pop_bottom hands
+    // out ascending ids (better locality for the merge protocol).
+    for (std::uint64_t id = num_chunks_; id-- > 0;) {
+      deques_[id % threads].push_bottom(id);
+    }
+  }
+
+  /// Claims a chunk for `tid`: own deque first, then steal round-robin.
+  [[nodiscard]] std::optional<Chunk> next(unsigned tid) {
+    if (auto id = deques_[tid % deques_.size()].pop_bottom()) {
+      return make_chunk(*id);
+    }
+    // Steal: sweep victims starting after self; retry while any deque
+    // may still hold work (races can yield transient nullopt).
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      bool any_nonempty = false;
+      for (std::size_t k = 1; k < deques_.size(); ++k) {
+        ChaseLevDeque& victim = deques_[(tid + k) % deques_.size()];
+        if (victim.maybe_empty()) continue;
+        any_nonempty = true;
+        if (auto id = victim.steal()) return make_chunk(*id);
+      }
+      if (!any_nonempty) break;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t num_chunks() const noexcept {
+    return num_chunks_;
+  }
+  [[nodiscard]] std::uint64_t chunk_size() const noexcept {
+    return chunk_size_;
+  }
+
+ private:
+  [[nodiscard]] Chunk make_chunk(std::uint64_t id) const noexcept {
+    const std::uint64_t begin = id * chunk_size_;
+    return Chunk{id, begin, std::min(begin + chunk_size_, total_)};
+  }
+
+  std::uint64_t total_;
+  std::uint64_t chunk_size_;
+  std::uint64_t num_chunks_;
+  std::deque<ChaseLevDeque> deques_;
+};
+
+}  // namespace grazelle

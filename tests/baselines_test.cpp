@@ -1,0 +1,357 @@
+// Correctness tests for the four baseline-framework pattern
+// reimplementations: every engine must agree with the serial references
+// (and therefore with Grazelle) on PR / CC / BFS / SSSP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "baselines/graphmat/graphmat_engine.h"
+#include "baselines/ligra/ligra_engine.h"
+#include "baselines/polymer/polymer_engine.h"
+#include "baselines/xstream/xstream_engine.h"
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+#include "reference_impls.h"
+
+namespace grazelle {
+namespace {
+
+using baselines::graphmat::GraphMatConfig;
+using baselines::graphmat::GraphMatEngine;
+using baselines::ligra::LigraConfig;
+using baselines::ligra::LigraEngine;
+using baselines::ligra::PullInner;
+using baselines::polymer::PolymerConfig;
+using baselines::polymer::PolymerEngine;
+using baselines::xstream::XStreamConfig;
+using baselines::xstream::XStreamEngine;
+
+EdgeList test_graph() {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.num_edges = 4000;
+  p.a = 0.6;
+  p.b = 0.15;
+  p.c = 0.19;
+  p.seed = 99;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return list;
+}
+
+template <typename RunFn>
+void expect_pagerank_matches(const EdgeList& list, const Graph& g,
+                             RunFn&& run) {
+  const auto expected = testing::reference_pagerank(list, 8);
+  const auto ranks = run(g);
+  ASSERT_EQ(ranks.size(), expected.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NEAR(ranks[v], expected[v], 1e-10) << "vertex " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ligra
+
+struct LigraCase {
+  const char* name;
+  LigraConfig config;
+};
+
+std::vector<LigraCase> ligra_cases() {
+  // The Figure 1 configurations plus Ligra-Dense.
+  std::vector<LigraCase> cases;
+  LigraConfig base;
+  base.num_threads = 4;
+
+  LigraConfig c = base;
+  c.push_inner_parallel = false;
+  c.pull = PullInner::kNone;
+  cases.push_back({"PushS", c});
+
+  c = base;
+  c.pull = PullInner::kNone;
+  cases.push_back({"PushP", c});
+
+  c = base;
+  c.pull = PullInner::kSerial;
+  cases.push_back({"PushP_PullS", c});
+
+  c = base;
+  c.pull = PullInner::kParallel;
+  cases.push_back({"PushP_PullP", c});
+
+  c = base;
+  c.pull = PullInner::kSerial;
+  c.dense_only = true;
+  cases.push_back({"LigraDense", c});
+  return cases;
+}
+
+TEST(LigraBaseline, PageRankAllConfigs) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  for (const LigraCase& lc : ligra_cases()) {
+    SCOPED_TRACE(lc.name);
+    expect_pagerank_matches(list, g, [&](const Graph& graph) {
+      LigraEngine<apps::PageRank> engine(graph, lc.config);
+      apps::PageRank pr(graph, engine.pool().size());
+      engine.run(pr, 8);
+      return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+    });
+  }
+}
+
+TEST(LigraBaseline, ConnectedComponentsAllConfigs) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_min_labels(list);
+  for (const LigraCase& lc : ligra_cases()) {
+    SCOPED_TRACE(lc.name);
+    LigraEngine<apps::ConnectedComponents> engine(g, lc.config);
+    apps::ConnectedComponents cc(g);
+    engine.frontier().set_all();
+    engine.run(cc, 1000);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(cc.labels()[v], expected[v]) << lc.name << " vertex " << v;
+    }
+  }
+}
+
+TEST(LigraBaseline, BfsAllConfigs) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_bfs_parents(list, 0);
+  for (const LigraCase& lc : ligra_cases()) {
+    SCOPED_TRACE(lc.name);
+    LigraEngine<apps::BreadthFirstSearch> engine(g, lc.config);
+    apps::BreadthFirstSearch bfs(g, 0);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(bfs.parents()[v], expected[v]) << lc.name << " vertex " << v;
+    }
+  }
+}
+
+TEST(LigraBaseline, DirectionSwitchingHappens) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  LigraConfig config;
+  config.num_threads = 4;
+  config.pull = PullInner::kSerial;
+  LigraEngine<apps::BreadthFirstSearch> engine(g, config);
+  apps::BreadthFirstSearch bfs(g, 0);
+  bfs.seed(engine.frontier());
+  const auto stats = engine.run(bfs, 1u << 20);
+  EXPECT_GT(stats.sparse_push_iterations, 0u);
+  EXPECT_GT(stats.pull_iterations, 0u);
+}
+
+TEST(LigraBaseline, DenseOnlyNeverUsesSparse) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  LigraConfig config;
+  config.num_threads = 4;
+  config.pull = PullInner::kSerial;
+  config.dense_only = true;
+  LigraEngine<apps::BreadthFirstSearch> engine(g, config);
+  apps::BreadthFirstSearch bfs(g, 0);
+  bfs.seed(engine.frontier());
+  const auto stats = engine.run(bfs, 1u << 20);
+  EXPECT_EQ(stats.sparse_push_iterations, 0u);
+  EXPECT_GT(stats.dense_push_iterations + stats.pull_iterations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Polymer
+
+TEST(PolymerBaseline, PageRankAcrossNodeCounts) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  for (unsigned nodes : {1u, 2u, 4u}) {
+    SCOPED_TRACE(nodes);
+    expect_pagerank_matches(list, g, [&](const Graph& graph) {
+      PolymerConfig config;
+      config.num_threads = 4;
+      config.numa_nodes = nodes;
+      PolymerEngine<apps::PageRank> engine(graph, config);
+      apps::PageRank pr(graph, engine.pool().size());
+      engine.run(pr, 8);
+      return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+    });
+  }
+}
+
+TEST(PolymerBaseline, CcMatchesReference) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_min_labels(list);
+  PolymerConfig config;
+  config.num_threads = 4;
+  config.numa_nodes = 2;
+  PolymerEngine<apps::ConnectedComponents> engine(g, config);
+  apps::ConnectedComponents cc(g);
+  engine.frontier().set_all();
+  engine.run(cc, 1000);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(cc.labels()[v], expected[v]);
+  }
+}
+
+TEST(PolymerBaseline, BfsMatchesReference) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_bfs_parents(list, 0);
+  PolymerConfig config;
+  config.num_threads = 4;
+  config.numa_nodes = 2;
+  PolymerEngine<apps::BreadthFirstSearch> engine(g, config);
+  apps::BreadthFirstSearch bfs(g, 0);
+  bfs.seed(engine.frontier());
+  engine.run(bfs, 1u << 20);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(bfs.parents()[v], expected[v]);
+  }
+}
+
+TEST(PolymerBaseline, RecordsNodeLocalAllocations) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  PolymerConfig config;
+  config.num_threads = 4;
+  config.numa_nodes = 2;
+  PolymerEngine<apps::PageRank> engine(g, config);
+  EXPECT_GT(engine.topology().bytes_on_node(0), 0u);
+  EXPECT_GT(engine.topology().bytes_on_node(1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GraphMat
+
+TEST(GraphMatBaseline, PageRankMatches) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  expect_pagerank_matches(list, g, [&](const Graph& graph) {
+    GraphMatConfig config;
+    config.num_threads = 4;
+    GraphMatEngine<apps::PageRank> engine(graph, config);
+    apps::PageRank pr(graph, engine.pool().size());
+    engine.run(pr, 8);
+    return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+  });
+}
+
+TEST(GraphMatBaseline, CcAndBfsMatch) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  {
+    const auto expected = testing::reference_min_labels(list);
+    GraphMatConfig config;
+    config.num_threads = 4;
+    GraphMatEngine<apps::ConnectedComponents> engine(g, config);
+    apps::ConnectedComponents cc(g);
+    engine.frontier().set_all();
+    engine.run(cc, 1000);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(cc.labels()[v], expected[v]);
+    }
+  }
+  {
+    const auto expected = testing::reference_bfs_parents(list, 0);
+    GraphMatConfig config;
+    config.num_threads = 4;
+    GraphMatEngine<apps::BreadthFirstSearch> engine(g, config);
+    apps::BreadthFirstSearch bfs(g, 0);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(bfs.parents()[v], expected[v]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// X-Stream
+
+TEST(XStreamBaseline, PageRankMatchesAcrossPartitionCounts) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  for (unsigned parts : {1u, 3u, 8u}) {
+    SCOPED_TRACE(parts);
+    expect_pagerank_matches(list, g, [&](const Graph& graph) {
+      XStreamConfig config;
+      config.num_threads = 4;
+      config.num_partitions = parts;
+      XStreamEngine<apps::PageRank> engine(graph, config);
+      apps::PageRank pr(graph, engine.pool().size());
+      engine.run(pr, 8);
+      return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+    });
+  }
+}
+
+TEST(XStreamBaseline, CcAndBfsMatch) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  XStreamConfig config;
+  config.num_threads = 4;
+  config.num_partitions = 4;
+  {
+    const auto expected = testing::reference_min_labels(list);
+    XStreamEngine<apps::ConnectedComponents> engine(g, config);
+    apps::ConnectedComponents cc(g);
+    engine.frontier().set_all();
+    engine.run(cc, 1000);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(cc.labels()[v], expected[v]);
+    }
+  }
+  {
+    const auto expected = testing::reference_bfs_parents(list, 0);
+    XStreamEngine<apps::BreadthFirstSearch> engine(g, config);
+    apps::BreadthFirstSearch bfs(g, 0);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(bfs.parents()[v], expected[v]);
+    }
+  }
+}
+
+TEST(XStreamBaseline, ThreadCountRoundsDownToPowerOfTwo) {
+  const EdgeList list = test_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  XStreamConfig config;
+  config.num_threads = 7;
+  XStreamEngine<apps::PageRank> engine(g, config);
+  EXPECT_EQ(engine.pool().size(), 4u);
+}
+
+TEST(XStreamBaseline, SsspMatchesBellmanFord) {
+  EdgeList list = gen::with_random_weights(test_graph(), 0.5, 2.0, 31);
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_sssp(list, 2);
+  XStreamConfig config;
+  config.num_threads = 4;
+  XStreamEngine<apps::Sssp> engine(g, config);
+  apps::Sssp sssp(g, 2);
+  sssp.seed(engine.frontier());
+  engine.run(sssp, static_cast<unsigned>(g.num_vertices()) + 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(expected[v])) {
+      ASSERT_TRUE(std::isinf(sssp.distances()[v]));
+    } else {
+      ASSERT_NEAR(sssp.distances()[v], expected[v], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grazelle

@@ -1,0 +1,94 @@
+// Tests for the Collaborative Filtering (SGD matrix factorization)
+// application: training reduces RMSE, planted low-rank structure is
+// recovered, and the Hogwild parallel path converges too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/collaborative_filtering.h"
+#include "graph/graph.h"
+
+namespace grazelle {
+namespace {
+
+Graph rating_graph() {
+  return Graph::build(apps::make_rating_graph(120, 80, 20));
+}
+
+TEST(CollaborativeFiltering, RejectsBadConfiguration) {
+  const Graph g = rating_graph();
+  apps::CfOptions bad;
+  bad.latent_dim = 6;  // not a multiple of 4
+  EXPECT_THROW(apps::CollaborativeFiltering(g, bad), std::invalid_argument);
+
+  EdgeList unweighted(4);
+  unweighted.add_edge(0, 2);
+  const Graph ug = Graph::build(std::move(unweighted));
+  EXPECT_THROW(apps::CollaborativeFiltering(ug, apps::CfOptions{}),
+               std::invalid_argument);
+}
+
+TEST(CollaborativeFiltering, TrainingReducesRmseSerial) {
+  const Graph g = rating_graph();
+  apps::CollaborativeFiltering cf(g, apps::CfOptions{});
+  ThreadPool pool(1);
+  const double before = cf.rmse(pool);
+  for (int epoch = 0; epoch < 30; ++epoch) cf.train_epoch(pool);
+  const double after = cf.rmse(pool);
+  EXPECT_LT(after, before * 0.5);
+  EXPECT_LT(after, 0.2);  // planted structure has noise 0.05
+}
+
+TEST(CollaborativeFiltering, HogwildParallelConverges) {
+  const Graph g = rating_graph();
+  apps::CollaborativeFiltering cf(g, apps::CfOptions{});
+  ThreadPool pool(4);
+  for (int epoch = 0; epoch < 30; ++epoch) cf.train_epoch(pool);
+  EXPECT_LT(cf.rmse(pool), 0.2);
+}
+
+TEST(CollaborativeFiltering, PredictionsTrackRatings) {
+  const EdgeList list = apps::make_rating_graph(60, 40, 15);
+  const Graph g = Graph::build(EdgeList(list));
+  apps::CollaborativeFiltering cf(g, apps::CfOptions{});
+  ThreadPool pool(2);
+  for (int epoch = 0; epoch < 40; ++epoch) cf.train_epoch(pool);
+
+  // Spot-check: predictions land near the observed ratings.
+  double worst = 0.0;
+  for (std::size_t e = 0; e < list.num_edges(); e += 37) {
+    const Edge& edge = list.edges()[e];
+    const double err =
+        std::abs(cf.predict(edge.src, edge.dst) - list.weights()[e]);
+    worst = std::max(worst, err);
+  }
+  EXPECT_LT(worst, 0.6);
+}
+
+TEST(CollaborativeFiltering, FactorAccess) {
+  const Graph g = rating_graph();
+  apps::CfOptions opts;
+  opts.latent_dim = 8;
+  apps::CollaborativeFiltering cf(g, opts);
+  EXPECT_EQ(cf.factor(0).size(), 8u);
+  EXPECT_EQ(cf.latent_dim(), 8u);
+}
+
+TEST(RatingGraphGenerator, ShapeAndDeterminism) {
+  const EdgeList a = apps::make_rating_graph(50, 30, 10);
+  EXPECT_EQ(a.num_vertices(), 80u);
+  EXPECT_EQ(a.num_edges(), 500u);
+  ASSERT_TRUE(a.weighted());
+  for (const Edge& e : a.edges()) {
+    EXPECT_LT(e.src, 50u);   // users on the left
+    EXPECT_GE(e.dst, 50u);   // items on the right
+  }
+  const EdgeList b = apps::make_rating_graph(50, 30, 10);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+}  // namespace
+}  // namespace grazelle

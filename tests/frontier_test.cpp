@@ -1,0 +1,126 @@
+// Unit tests for the dense bitmask and sparse frontiers plus the
+// direction-switch heuristic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "frontier/dense_frontier.h"
+#include "frontier/sparse_frontier.h"
+#include "threading/thread_pool.h"
+
+namespace grazelle {
+namespace {
+
+TEST(DenseFrontier, SetTestReset) {
+  DenseFrontier f(200);
+  EXPECT_FALSE(f.test(5));
+  f.set(5);
+  f.set(64);
+  f.set(199);
+  EXPECT_TRUE(f.test(5));
+  EXPECT_TRUE(f.test(64));
+  EXPECT_TRUE(f.test(199));
+  EXPECT_FALSE(f.test(6));
+  f.reset(64);
+  EXPECT_FALSE(f.test(64));
+  EXPECT_EQ(f.count(), 2u);
+}
+
+TEST(DenseFrontier, SetAllRespectsTail) {
+  DenseFrontier f(70);
+  f.set_all();
+  EXPECT_EQ(f.count(), 70u);
+  EXPECT_TRUE(f.test(69));
+  // The tail bits beyond num_vertices stay clear.
+  EXPECT_EQ(f.words()[1] >> 6, 0u);
+}
+
+TEST(DenseFrontier, SetAllExactWordBoundary) {
+  DenseFrontier f(128);
+  f.set_all();
+  EXPECT_EQ(f.count(), 128u);
+}
+
+TEST(DenseFrontier, ClearAllEmpties) {
+  DenseFrontier f(100);
+  f.set_all();
+  f.clear_all();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.count(), 0u);
+}
+
+TEST(DenseFrontier, ForEachVisitsAscending) {
+  DenseFrontier f(300);
+  const std::vector<VertexId> members = {0, 63, 64, 127, 128, 255, 299};
+  for (VertexId v : members) f.set(v);
+  std::vector<VertexId> seen;
+  f.for_each([&](VertexId v) { seen.push_back(v); });
+  EXPECT_EQ(seen, members);
+}
+
+TEST(DenseFrontier, AtomicSetConcurrent) {
+  DenseFrontier f(10000);
+  ThreadPool pool(4);
+  pool.run([&](unsigned tid) {
+    for (VertexId v = tid; v < 10000; v += 4) f.set_atomic(v);
+  });
+  EXPECT_EQ(f.count(), 10000u);
+}
+
+TEST(DenseFrontier, SwapExchangesContents) {
+  DenseFrontier a(64), b(64);
+  a.set(1);
+  b.set(2);
+  a.swap(b);
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(b.test(1));
+  EXPECT_FALSE(a.test(1));
+}
+
+TEST(SparseFrontier, PerThreadStagingAndSeal) {
+  SparseFrontier f(3);
+  f.push(0, 10);
+  f.push(1, 20);
+  f.push(2, 30);
+  f.push(0, 11);
+  EXPECT_EQ(f.size(), 0u);  // staged only
+  f.seal();
+  EXPECT_EQ(f.size(), 4u);
+  auto v = f.vertices();
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<VertexId>{10, 11, 20, 30}));
+}
+
+TEST(SparseFrontier, DenseConversionRoundTrip) {
+  DenseFrontier dense(500);
+  dense.set(3);
+  dense.set(499);
+  dense.set(64);
+  const SparseFrontier sparse = SparseFrontier::from_dense(dense);
+  EXPECT_EQ(sparse.size(), 3u);
+  const DenseFrontier back = sparse.to_dense(500);
+  EXPECT_TRUE(back.test(3));
+  EXPECT_TRUE(back.test(64));
+  EXPECT_TRUE(back.test(499));
+  EXPECT_EQ(back.count(), 3u);
+}
+
+TEST(SparseFrontier, ClearResets) {
+  SparseFrontier f(1);
+  f.push(0, 1);
+  f.seal();
+  f.clear();
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(DirectionHeuristic, SwitchesAtEdgeFraction) {
+  const std::uint64_t m = 10000;
+  EXPECT_FALSE(should_use_dense(10, 100, m));   // tiny frontier: push
+  EXPECT_TRUE(should_use_dense(100, 1000, m));  // heavy frontier: pull
+  EXPECT_TRUE(should_use_dense(0, m, m));
+}
+
+}  // namespace
+}  // namespace grazelle

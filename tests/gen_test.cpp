@@ -1,0 +1,216 @@
+// Unit tests for the graph generators and dataset presets.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+#include "apps/bfs.h"
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "graph/graph_stats.h"
+#include "reference_impls.h"
+
+namespace grazelle {
+namespace {
+
+using gen::DatasetId;
+
+TEST(Rmat, DeterministicForFixedSeed) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.num_edges = 5000;
+  const EdgeList a = gen::generate_rmat(p);
+  const EdgeList b = gen::generate_rmat(p);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.num_edges = 5000;
+  const EdgeList a = gen::generate_rmat(p);
+  p.seed += 1;
+  const EdgeList b = gen::generate_rmat(p);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(Rmat, RespectsVertexIdSpace) {
+  gen::RmatParams p;
+  p.scale = 8;
+  p.num_edges = 10000;
+  const EdgeList list = gen::generate_rmat(p);
+  EXPECT_EQ(list.num_edges(), 10000u);
+  for (const Edge& e : list.edges()) {
+    EXPECT_LT(e.src, 256u);
+    EXPECT_LT(e.dst, 256u);
+  }
+}
+
+TEST(Rmat, SkewedParamsProduceSkewedInDegrees) {
+  gen::RmatParams skewed;
+  skewed.scale = 12;
+  skewed.num_edges = 1 << 16;
+  skewed.a = 0.65;
+  skewed.b = 0.12;
+  skewed.c = 0.17;
+
+  gen::RmatParams flat = skewed;
+  flat.a = 0.25;
+  flat.b = 0.25;
+  flat.c = 0.25;
+
+  const auto max_in = [](const EdgeList& l) {
+    const auto deg = l.in_degrees();
+    return *std::max_element(deg.begin(), deg.end());
+  };
+  EXPECT_GT(max_in(gen::generate_rmat(skewed)),
+            2 * max_in(gen::generate_rmat(flat)));
+}
+
+TEST(Rmat, InvalidProbabilitiesThrow) {
+  gen::RmatParams p;
+  p.a = 0.5;
+  p.b = 0.4;
+  p.c = 0.2;  // sums over 1
+  EXPECT_THROW((void)gen::generate_rmat(p), std::invalid_argument);
+}
+
+TEST(Uniform, ProducesRequestedCounts) {
+  const EdgeList list = gen::generate_uniform(1000, 5000, 3);
+  EXPECT_EQ(list.num_edges(), 5000u);
+  EXPECT_LE(list.num_vertices(), 1000u);
+}
+
+TEST(Uniform, Deterministic) {
+  EXPECT_EQ(gen::generate_uniform(100, 500, 9).edges(),
+            gen::generate_uniform(100, 500, 9).edges());
+}
+
+TEST(Grid, DegreesAreMeshLike) {
+  const EdgeList list = gen::generate_grid(10, 8);
+  EXPECT_EQ(list.num_vertices(), 80u);
+  // 2*(2*W*H - W - H) directed edges.
+  EXPECT_EQ(list.num_edges(), 2u * (2 * 10 * 8 - 10 - 8));
+  const auto deg = list.out_degrees();
+  const auto [mn, mx] = std::minmax_element(deg.begin(), deg.end());
+  EXPECT_EQ(*mn, 2u);  // corners
+  EXPECT_EQ(*mx, 4u);  // interior
+}
+
+TEST(Grid, IsSymmetric) {
+  const EdgeList list = gen::generate_grid(5, 5);
+  const auto out = list.out_degrees();
+  const auto in = list.in_degrees();
+  EXPECT_EQ(out, in);
+}
+
+TEST(RandomWeights, AttachesWeightsInRange) {
+  EdgeList base(4);
+  base.add_edge(0, 1);
+  base.add_edge(1, 2);
+  base.add_edge(2, 3);
+  const EdgeList weighted = gen::with_random_weights(base, 1.0, 2.0, 5);
+  ASSERT_TRUE(weighted.weighted());
+  EXPECT_EQ(weighted.edges(), base.edges());
+  for (Weight w : weighted.weights()) {
+    EXPECT_GE(w, 1.0);
+    EXPECT_LT(w, 2.0);
+  }
+}
+
+TEST(Datasets, AllSixPresent) {
+  const auto specs = gen::all_datasets();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].abbr, "C");
+  EXPECT_EQ(specs[5].abbr, "U");
+  for (const auto& s : specs) EXPECT_GT(s.pagerank_iterations, 0u);
+}
+
+TEST(Datasets, TinyScaleGeneratesQuickly) {
+  for (const auto& spec : gen::all_datasets()) {
+    const EdgeList list = gen::make_dataset(spec.id, 0.02);
+    EXPECT_GT(list.num_vertices(), 0u) << spec.name;
+    EXPECT_GT(list.num_edges(), 0u) << spec.name;
+  }
+}
+
+TEST(Datasets, Deterministic) {
+  EXPECT_EQ(gen::make_dataset(DatasetId::kTwitter, 0.02).edges(),
+            gen::make_dataset(DatasetId::kTwitter, 0.02).edges());
+}
+
+TEST(Datasets, MeshAnalogHasLowConstantDegree) {
+  const EdgeList d = gen::make_dataset(DatasetId::kDimacsUsa, 0.05);
+  const auto deg = d.out_degrees();
+  const auto stats = compute_degree_stats(
+      std::span<const std::uint64_t>(deg.data(), deg.size()), 100);
+  EXPECT_LE(stats.max_degree, 4u);
+  EXPECT_GE(stats.avg_degree, 2.0);
+}
+
+TEST(Datasets, Uk2007AnalogIsMostInDegreeSkewed) {
+  // The paper: uk-2007's in-degree distribution is the most skewed of
+  // the suite. Compare the U and F analogs at equal tiny scale.
+  const auto max_in = [](DatasetId id) {
+    const auto deg = gen::make_dataset(id, 0.05).in_degrees();
+    return *std::max_element(deg.begin(), deg.end());
+  };
+  EXPECT_GT(max_in(DatasetId::kUk2007), max_in(DatasetId::kFriendster));
+}
+
+TEST(Datasets, InvalidScaleThrows) {
+  EXPECT_THROW((void)gen::make_dataset(DatasetId::kTwitter, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Datasets, EveryAnalogRunsCorrectPageRank) {
+  // End-to-end integration: the full engine on each dataset analog at
+  // tiny scale must reproduce the serial reference.
+  for (const auto& spec : gen::all_datasets()) {
+    SCOPED_TRACE(spec.name);
+    EdgeList list = gen::make_dataset(spec.id, 0.01);
+    list.canonicalize();
+    const Graph g = Graph::build(EdgeList(list));
+    const auto expected = testing::reference_pagerank(list, 6);
+
+    EngineOptions opts;
+    opts.num_threads = 3;
+    Engine<apps::PageRank, false> engine(g, opts);
+    apps::PageRank pr(g, engine.pool().size());
+    engine.run(pr, 6);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_NEAR(pr.ranks()[v], expected[v], 1e-10)
+          << spec.name << " vertex " << v;
+    }
+  }
+}
+
+TEST(Datasets, EveryAnalogRunsCorrectBfs) {
+  for (const auto& spec : gen::all_datasets()) {
+    SCOPED_TRACE(spec.name);
+    EdgeList list = gen::make_dataset(spec.id, 0.01);
+    list.canonicalize();
+    const Graph g = Graph::build(EdgeList(list));
+    const auto expected = testing::reference_bfs_parents(list, 0);
+
+    EngineOptions opts;
+    opts.num_threads = 3;
+    Engine<apps::BreadthFirstSearch, false> engine(g, opts);
+    apps::BreadthFirstSearch bfs(g, 0);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(bfs.parents()[v], expected[v])
+          << spec.name << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grazelle

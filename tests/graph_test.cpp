@@ -1,0 +1,492 @@
+// Unit tests for the graph substrate: edge lists, Compressed-Sparse,
+// Vector-Sparse encoding, NUMA partitioning, stats, and IO.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "graph/compressed_sparse.h"
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "graph/graph_stats.h"
+#include "graph/io.h"
+#include "graph/partition.h"
+#include "graph/vector_sparse.h"
+
+namespace grazelle {
+namespace {
+
+EdgeList small_graph() {
+  // Figure-2-like shape: vertex 0 has 3 in-edges, vertex 1 has 2, etc.
+  EdgeList list(8);
+  list.add_edge(1, 0);
+  list.add_edge(2, 0);
+  list.add_edge(5, 0);
+  list.add_edge(0, 1);
+  list.add_edge(4, 1);
+  list.add_edge(3, 2);
+  list.add_edge(0, 3);
+  list.add_edge(1, 3);
+  list.add_edge(2, 3);
+  list.add_edge(4, 3);
+  list.add_edge(5, 3);
+  return list;
+}
+
+TEST(EdgeList, AddAndCount) {
+  EdgeList list;
+  list.add_edge(0, 5);
+  list.add_edge(3, 1);
+  EXPECT_EQ(list.num_edges(), 2u);
+  EXPECT_EQ(list.num_vertices(), 6u);
+}
+
+TEST(EdgeList, CanonicalizeRemovesDuplicatesAndSelfLoops) {
+  EdgeList list;
+  list.add_edge(0, 1);
+  list.add_edge(0, 1);
+  list.add_edge(2, 2);
+  list.add_edge(1, 0);
+  list.canonicalize();
+  EXPECT_EQ(list.num_edges(), 2u);
+  EXPECT_EQ(list.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(list.edges()[1], (Edge{1, 0}));
+}
+
+TEST(EdgeList, CanonicalizeKeepsFirstWeight) {
+  EdgeList list;
+  list.add_edge(0, 1, 3.5);
+  list.add_edge(0, 1, 9.0);
+  list.canonicalize();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(list.weights()[0], 3.5);
+}
+
+TEST(EdgeList, MixedWeightednessThrows) {
+  EdgeList list;
+  list.add_edge(0, 1);
+  EXPECT_THROW(list.add_edge(1, 2, 1.0), std::logic_error);
+}
+
+TEST(EdgeList, TransposeReversesEdges) {
+  EdgeList list = small_graph();
+  EdgeList t = list.transposed();
+  EXPECT_EQ(t.num_edges(), list.num_edges());
+  EXPECT_EQ(t.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(t.num_vertices(), list.num_vertices());
+}
+
+TEST(EdgeList, Degrees) {
+  EdgeList list = small_graph();
+  const auto out = list.out_degrees();
+  const auto in = list.in_degrees();
+  EXPECT_EQ(out[0], 2u);  // 0->1, 0->3
+  EXPECT_EQ(in[0], 3u);   // 1->0, 2->0, 5->0
+  EXPECT_EQ(in[3], 5u);
+  EXPECT_EQ(in[7], 0u);
+}
+
+TEST(CompressedSparse, CscMatchesFigure2Shape) {
+  const auto csc = CompressedSparse::build(small_graph(),
+                                           GroupBy::kDestination);
+  EXPECT_EQ(csc.num_vertices(), 8u);
+  EXPECT_EQ(csc.num_edges(), 11u);
+  EXPECT_EQ(csc.offsets()[0], 0u);
+  EXPECT_EQ(csc.offsets()[1], 3u);  // vertex 0 has 3 in-edges
+  EXPECT_EQ(csc.degree(0), 3u);
+  EXPECT_EQ(csc.degree(3), 5u);
+  const auto n0 = csc.neighbors_of(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2, 5}));
+}
+
+TEST(CompressedSparse, CsrGroupsBySource) {
+  const auto csr = CompressedSparse::build(small_graph(), GroupBy::kSource);
+  const auto n0 = csr.neighbors_of(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 3}));
+  EXPECT_EQ(csr.degree(7), 0u);
+}
+
+TEST(CompressedSparse, WeightsFollowNeighbors) {
+  EdgeList list(3);
+  list.add_edge(2, 0, 2.0);
+  list.add_edge(1, 0, 1.0);
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  ASSERT_TRUE(csc.weighted());
+  const auto n = csc.neighbors_of(0);
+  const auto w = csc.weights_of(0);
+  ASSERT_EQ(n.size(), 2u);
+  // Sorted by neighbor id: (1, 1.0) then (2, 2.0).
+  EXPECT_EQ(n[0], 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_EQ(n[1], 2u);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(VectorSparseEncoding, LaneRoundTrip) {
+  const VertexId neighbor = 0x0000123456789abcull & kVertexIdMask;
+  const std::uint64_t piece = 0xabc;
+  const std::uint64_t lane = vsenc::make_lane(true, piece, neighbor);
+  EXPECT_TRUE(vsenc::lane_valid(lane));
+  EXPECT_EQ(vsenc::lane_neighbor(lane), neighbor);
+  EXPECT_EQ(vsenc::lane_piece(lane), piece);
+
+  const std::uint64_t invalid = vsenc::make_lane(false, piece, neighbor);
+  EXPECT_FALSE(vsenc::lane_valid(invalid));
+}
+
+TEST(VectorSparseEncoding, TopLevelIdReassembly) {
+  const VertexId top = 0x0000fedcba987654ull & kVertexIdMask;
+  EdgeVector ev;
+  for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+    ev.lane[k] = vsenc::make_lane(true, (top >> (12 * k)) & 0xfff, k);
+  }
+  EXPECT_EQ(ev.top_level(), top);
+  EXPECT_EQ(ev.valid_mask(), 0xfu);
+  EXPECT_EQ(ev.valid_count(), 4u);
+}
+
+TEST(VectorSparse, BuildPreservesEdgesAndPads) {
+  const auto csc = CompressedSparse::build(small_graph(),
+                                           GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+  EXPECT_EQ(vsd.num_vertices(), 8u);
+  EXPECT_EQ(vsd.num_edges(), 11u);
+  // Degrees 3,2,1,5 and zeros: ceil(3/4)+ceil(2/4)+ceil(1/4)+ceil(5/4)=5.
+  EXPECT_EQ(vsd.num_vectors(), 5u);
+
+  // Vertex 0: one vector, 3 valid lanes with its in-neighbors.
+  const VertexVectorRange& r0 = vsd.range(0);
+  EXPECT_EQ(r0.vector_count, 1u);
+  EXPECT_EQ(r0.degree, 3u);
+  const EdgeVector& v0 = vsd.vectors()[r0.first_vector];
+  EXPECT_EQ(v0.valid_count(), 3u);
+  EXPECT_EQ(v0.top_level(), 0u);
+  EXPECT_EQ(v0.neighbor(0), 1u);
+  EXPECT_EQ(v0.neighbor(1), 2u);
+  EXPECT_EQ(v0.neighbor(2), 5u);
+  EXPECT_FALSE(v0.valid(3));
+
+  // Vertex 3: degree 5 -> two vectors, second with one valid lane.
+  const VertexVectorRange& r3 = vsd.range(3);
+  EXPECT_EQ(r3.vector_count, 2u);
+  const EdgeVector& v3b = vsd.vectors()[r3.first_vector + 1];
+  EXPECT_EQ(v3b.valid_count(), 1u);
+  EXPECT_EQ(v3b.top_level(), 3u);
+}
+
+TEST(VectorSparse, EveryVectorBelongsToOneVertex) {
+  const auto csc = CompressedSparse::build(small_graph(),
+                                           GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+  for (VertexId v = 0; v < vsd.num_vertices(); ++v) {
+    const auto& r = vsd.range(v);
+    for (std::uint64_t i = 0; i < r.vector_count; ++i) {
+      EXPECT_EQ(vsd.vectors()[r.first_vector + i].top_level(), v);
+    }
+  }
+}
+
+TEST(VectorSparse, RoundTripAgainstCompressedSparse) {
+  std::mt19937_64 rng(42);
+  EdgeList list(200);
+  for (int i = 0; i < 2000; ++i) {
+    list.add_edge(rng() % 200, rng() % 200);
+  }
+  list.canonicalize();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+  EXPECT_EQ(vsd.num_edges(), csc.num_edges());
+  for (VertexId v = 0; v < csc.num_vertices(); ++v) {
+    const auto expected = csc.neighbors_of(v);
+    std::vector<VertexId> actual;
+    const auto& r = vsd.range(v);
+    for (std::uint64_t i = 0; i < r.vector_count; ++i) {
+      const EdgeVector& ev = vsd.vectors()[r.first_vector + i];
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        if (ev.valid(k)) actual.push_back(ev.neighbor(k));
+      }
+    }
+    EXPECT_EQ(actual,
+              std::vector<VertexId>(expected.begin(), expected.end()));
+  }
+}
+
+TEST(VectorSparse, WeightsTravelWithLanes) {
+  EdgeList list(4);
+  list.add_edge(1, 0, 10.0);
+  list.add_edge(2, 0, 20.0);
+  list.add_edge(3, 0, 30.0);
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+  ASSERT_TRUE(vsd.weighted());
+  const WeightVector& wv = vsd.weights()[0];
+  EXPECT_DOUBLE_EQ(wv.w[0], 10.0);
+  EXPECT_DOUBLE_EQ(wv.w[1], 20.0);
+  EXPECT_DOUBLE_EQ(wv.w[2], 30.0);
+  EXPECT_DOUBLE_EQ(wv.w[3], 0.0);  // padding lane
+}
+
+TEST(VectorSparse, PackingEfficiencyMeasuredVsAnalytic) {
+  std::mt19937_64 rng(7);
+  EdgeList list(500);
+  for (int i = 0; i < 5000; ++i) list.add_edge(rng() % 500, rng() % 500);
+  list.canonicalize();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+
+  std::vector<std::uint64_t> degrees(csc.num_vertices());
+  for (VertexId v = 0; v < csc.num_vertices(); ++v) degrees[v] = csc.degree(v);
+
+  EXPECT_NEAR(vsd.measured_packing_efficiency(),
+              VectorSparseGraph::packing_efficiency(degrees, 4), 1e-12);
+}
+
+TEST(VectorSparse, PackingEfficiencyKnownValues) {
+  // degrees {1}: 1 edge in 4 slots = 25%; {4}: 100%; {5}: 5/8.
+  const std::uint64_t one[] = {1};
+  const std::uint64_t four[] = {4};
+  const std::uint64_t five[] = {5};
+  EXPECT_DOUBLE_EQ(VectorSparseGraph::packing_efficiency(one, 4), 0.25);
+  EXPECT_DOUBLE_EQ(VectorSparseGraph::packing_efficiency(four, 4), 1.0);
+  EXPECT_DOUBLE_EQ(VectorSparseGraph::packing_efficiency(five, 4), 0.625);
+  // Wider vectors pack worse for the same degrees.
+  EXPECT_DOUBLE_EQ(VectorSparseGraph::packing_efficiency(five, 8), 0.625);
+  EXPECT_DOUBLE_EQ(VectorSparseGraph::packing_efficiency(five, 16), 0.3125);
+}
+
+TEST(VectorSparse, RejectsOversizedIdSpace) {
+  // The 48-bit id limit (paper §4) is enforced at build time. Use an
+  // EdgeList that *claims* a huge vertex space without materializing it.
+  EdgeList list(2);
+  list.add_edge(0, 1);
+  list.set_num_vertices(kVertexIdMask + 1);
+  // Building CSC over 2^48 offsets would exhaust memory; check the
+  // guard directly on the encoding instead.
+  EXPECT_GT(list.num_vertices(), kVertexIdMask);
+  // make_lane truncates ids beyond 48 bits — encoding round-trips only
+  // within the mask.
+  const std::uint64_t lane = vsenc::make_lane(true, 0, kVertexIdMask + 5);
+  EXPECT_EQ(vsenc::lane_neighbor(lane), 4u);
+}
+
+TEST(VectorSparse, EmptyGraph) {
+  EdgeList list(4);
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+  EXPECT_EQ(vsd.num_vectors(), 0u);
+  EXPECT_DOUBLE_EQ(vsd.measured_packing_efficiency(), 1.0);
+}
+
+TEST(Partition, PiecesCoverVectorsAndVertices) {
+  std::mt19937_64 rng(11);
+  EdgeList list(300);
+  for (int i = 0; i < 3000; ++i) list.add_edge(rng() % 300, rng() % 300);
+  list.canonicalize();
+  const auto vsd = VectorSparseGraph::build(
+      CompressedSparse::build(list, GroupBy::kDestination));
+
+  for (unsigned nodes : {1u, 2u, 3u, 4u, 7u}) {
+    const auto pieces = partition_vector_sparse(vsd, nodes);
+    ASSERT_EQ(pieces.size(), nodes);
+    std::uint64_t vec_end = 0;
+    std::uint64_t vtx_end = 0;
+    for (const NumaPiece& p : pieces) {
+      EXPECT_EQ(p.vectors.begin, vec_end);
+      EXPECT_EQ(p.vertices.begin, vtx_end);
+      vec_end = p.vectors.end;
+      vtx_end = p.vertices.end;
+      // Piece boundaries align to vertex boundaries: the first vertex
+      // of a piece starts exactly at the piece's first vector.
+      if (p.vertices.size() > 0 && p.vertices.begin < vsd.num_vertices()) {
+        EXPECT_EQ(vsd.range(p.vertices.begin).first_vector, p.vectors.begin);
+      }
+    }
+    EXPECT_EQ(vec_end, vsd.num_vectors());
+    EXPECT_EQ(vtx_end, vsd.num_vertices());
+  }
+}
+
+TEST(Partition, BalancedForUniformDegrees) {
+  EdgeList list(1024);
+  for (VertexId v = 0; v < 1024; ++v) {
+    for (VertexId k = 1; k <= 4; ++k) list.add_edge((v + k) % 1024, v);
+  }
+  const auto vsd = VectorSparseGraph::build(
+      CompressedSparse::build(list, GroupBy::kDestination));
+  const auto pieces = partition_vector_sparse(vsd, 4);
+  for (const NumaPiece& p : pieces) {
+    EXPECT_NEAR(static_cast<double>(p.vectors.size()),
+                static_cast<double>(vsd.num_vectors()) / 4.0,
+                static_cast<double>(vsd.num_vectors()) * 0.05);
+  }
+}
+
+TEST(GraphBundle, BuildsAllRepresentations) {
+  Graph g = Graph::build(small_graph());
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 11u);
+  EXPECT_EQ(g.csr().group_by(), GroupBy::kSource);
+  EXPECT_EQ(g.csc().group_by(), GroupBy::kDestination);
+  EXPECT_EQ(g.vss().num_edges(), 11u);
+  EXPECT_EQ(g.vsd().num_edges(), 11u);
+  EXPECT_EQ(g.out_degrees()[0], 2u);
+  EXPECT_EQ(g.in_degrees()[3], 5u);
+}
+
+TEST(GraphStats, ComputesDistribution) {
+  const std::uint64_t degrees[] = {0, 1, 5, 100, 2};
+  const DegreeStats s = compute_degree_stats(degrees, 100);
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.num_edges, 108u);
+  EXPECT_EQ(s.min_degree, 0u);
+  EXPECT_EQ(s.max_degree, 100u);
+  EXPECT_EQ(s.high_degree_count, 1u);
+  EXPECT_EQ(s.zero_degree_count, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 108.0 / 5.0);
+}
+
+TEST(GraphIo, BinaryRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = dir / "grazelle_io_test.grzb";
+  EdgeList list = small_graph();
+  io::save_binary(list, path);
+  const EdgeList loaded = io::load_binary(path);
+  EXPECT_EQ(loaded.num_vertices(), list.num_vertices());
+  EXPECT_EQ(loaded.edges(), list.edges());
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, BinaryRoundTripWeighted) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_test_w.grzb";
+  EdgeList list(3);
+  list.add_edge(0, 1, 1.5);
+  list.add_edge(1, 2, 2.5);
+  io::save_binary(list, path);
+  const EdgeList loaded = io::load_binary(path);
+  EXPECT_EQ(loaded.edges(), list.edges());
+  EXPECT_EQ(loaded.weights(), list.weights());
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, TextRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_test.txt";
+  EdgeList list = small_graph();
+  io::save_text(list, path);
+  const EdgeList loaded = io::load_text(path);
+  EXPECT_EQ(loaded.edges(), list.edges());
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, RejectsBadMagic) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_bad.grzb";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE and some junk";
+  }
+  EXPECT_THROW((void)io::load_binary(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)io::load_binary("/nonexistent/nowhere.grzb"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, DimacsLoader) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_test.gr";
+  {
+    std::ofstream out(path);
+    out << "c 9th DIMACS style file\n"
+        << "p sp 4 3\n"
+        << "a 1 2 10\n"
+        << "a 2 3 20.5\n"
+        << "a 4 1 5\n";
+  }
+  const EdgeList list = io::load_dimacs(path);
+  EXPECT_EQ(list.num_vertices(), 4u);
+  ASSERT_EQ(list.num_edges(), 3u);
+  EXPECT_EQ(list.edges()[0], (Edge{0, 1}));  // ids converted to 0-based
+  EXPECT_EQ(list.edges()[2], (Edge{3, 0}));
+  EXPECT_DOUBLE_EQ(list.weights()[1], 20.5);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, DimacsRejectsMalformed) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto no_problem = dir / "grazelle_io_noprob.gr";
+  {
+    std::ofstream out(no_problem);
+    out << "a 1 2 3\n";
+  }
+  EXPECT_THROW((void)io::load_dimacs(no_problem), std::runtime_error);
+  std::filesystem::remove(no_problem);
+
+  const auto zero_id = dir / "grazelle_io_zeroid.gr";
+  {
+    std::ofstream out(zero_id);
+    out << "p sp 2 1\na 0 1 3\n";
+  }
+  EXPECT_THROW((void)io::load_dimacs(zero_id), std::runtime_error);
+  std::filesystem::remove(zero_id);
+}
+
+TEST(GraphIo, MatrixMarketGeneralWeighted) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_test.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "% comment\n"
+        << "3 3 2\n"
+        << "1 2 1.5\n"
+        << "3 1 2.5\n";
+  }
+  const EdgeList list = io::load_matrix_market(path);
+  EXPECT_EQ(list.num_vertices(), 3u);
+  ASSERT_EQ(list.num_edges(), 2u);
+  EXPECT_EQ(list.edges()[0], (Edge{0, 1}));
+  EXPECT_DOUBLE_EQ(list.weights()[1], 2.5);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, MatrixMarketSymmetricPattern) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_sym.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        << "3 3 2\n"
+        << "2 1\n"
+        << "3 3\n";  // diagonal: not mirrored
+  }
+  const EdgeList list = io::load_matrix_market(path);
+  EXPECT_FALSE(list.weighted());
+  ASSERT_EQ(list.num_edges(), 3u);  // (1,0), (0,1), (2,2)
+  EXPECT_EQ(list.edges()[0], (Edge{1, 0}));
+  EXPECT_EQ(list.edges()[1], (Edge{0, 1}));
+  EXPECT_EQ(list.edges()[2], (Edge{2, 2}));
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, MatrixMarketRejectsUnsupported) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_bad.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix array real general\n1 1\n3.0\n";
+  }
+  EXPECT_THROW((void)io::load_matrix_market(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace grazelle

@@ -1,0 +1,96 @@
+// Tests for frontier-driven PageRank-Delta: exact mode converges to
+// the same fixed point as the standard iteration; tolerance mode
+// shrinks the frontier while staying close.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/pagerank_delta.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "reference_impls.h"
+
+namespace grazelle {
+namespace {
+
+/// Graph with no dangling vertices (every vertex gets a ring edge), so
+/// the basic PR recurrence and the dangling-redistributing reference
+/// coincide.
+EdgeList no_dangling_graph() {
+  gen::RmatParams p;
+  p.scale = 8;
+  p.num_edges = 2500;
+  p.seed = 77;
+  EdgeList list = gen::generate_rmat(p);
+  const std::uint64_t n = list.num_vertices();
+  for (VertexId v = 0; v < n; ++v) list.add_edge(v, (v + 1) % n);
+  list.canonicalize();
+  return list;
+}
+
+TEST(PageRankDelta, ExactModeMatchesFixedPoint) {
+  const EdgeList list = no_dangling_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  // 200 standard iterations ~ machine-precision fixed point.
+  const auto expected = testing::reference_pagerank(list, 200);
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine<apps::PageRankDelta, false> engine(g, opts);
+  apps::PageRankDelta pr(g, 0.85, /*tolerance=*/0.0);
+  pr.seed(engine.frontier());
+  engine.run(pr, 200);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NEAR(pr.ranks()[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(PageRankDelta, ToleranceShrinksFrontierAndStaysClose) {
+  const EdgeList list = no_dangling_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_pagerank(list, 200);
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine<apps::PageRankDelta, false> engine(g, opts);
+  apps::PageRankDelta pr(g, 0.85, /*tolerance=*/1e-4);
+  pr.seed(engine.frontier());
+  const RunStats stats = engine.run(pr, 500);
+  // The tolerance must terminate the run well before the cap...
+  EXPECT_LT(stats.iterations, 100u);
+  // ...with ranks near the true fixed point.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NEAR(pr.ranks()[v], expected[v],
+                1e-3 * expected[v] + 1e-7)
+        << "vertex " << v;
+  }
+  // Frontier sizes must be non-trivially decreasing by the end.
+  ASSERT_GE(stats.per_iteration.size(), 2u);
+  EXPECT_LT(stats.per_iteration.back().frontier_size,
+            stats.per_iteration.front().frontier_size);
+}
+
+TEST(PageRankDelta, SchedulerAwareAndTraditionalAgree) {
+  const EdgeList list = no_dangling_graph();
+  const Graph g = Graph::build(EdgeList(list));
+
+  const auto run_mode = [&](PullParallelism mode) {
+    EngineOptions opts;
+    opts.num_threads = 4;
+    opts.pull_mode = mode;
+    opts.select = EngineSelect::kPullOnly;
+    Engine<apps::PageRankDelta, false> engine(g, opts);
+    apps::PageRankDelta pr(g);
+    pr.seed(engine.frontier());
+    engine.run(pr, 30);
+    return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+  };
+  const auto sa = run_mode(PullParallelism::kSchedulerAware);
+  const auto trad = run_mode(PullParallelism::kTraditional);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NEAR(sa[v], trad[v], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace grazelle

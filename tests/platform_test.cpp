@@ -1,0 +1,200 @@
+// Unit tests for the platform substrate: bit ops, aligned buffers,
+// timers, CPU feature detection, and the simulated NUMA topology.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "platform/aligned_buffer.h"
+#include "platform/bits.h"
+#include "platform/cpu_features.h"
+#include "platform/numa_topology.h"
+#include "platform/timer.h"
+#include "platform/types.h"
+
+namespace grazelle {
+namespace {
+
+TEST(Bits, CountTrailingZeros) {
+  EXPECT_EQ(bits::count_trailing_zeros(1), 0u);
+  EXPECT_EQ(bits::count_trailing_zeros(0b1000), 3u);
+  EXPECT_EQ(bits::count_trailing_zeros(std::uint64_t{1} << 63), 63u);
+  EXPECT_EQ(bits::count_trailing_zeros(0), 64u);
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(bits::popcount(0), 0u);
+  EXPECT_EQ(bits::popcount(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(bits::popcount(0b1011), 3u);
+}
+
+TEST(Bits, ClearLowest) {
+  EXPECT_EQ(bits::clear_lowest(0b1011), 0b1010u);
+  EXPECT_EQ(bits::clear_lowest(0b1000), 0u);
+}
+
+TEST(Bits, CeilDivAndRoundUp) {
+  EXPECT_EQ(bits::ceil_div<std::uint64_t>(10, 4), 3u);
+  EXPECT_EQ(bits::ceil_div<std::uint64_t>(8, 4), 2u);
+  EXPECT_EQ(bits::ceil_div<std::uint64_t>(1, 4), 1u);
+  EXPECT_EQ(bits::round_up<std::uint64_t>(10, 4), 12u);
+  EXPECT_EQ(bits::round_up<std::uint64_t>(8, 4), 8u);
+}
+
+TEST(Bits, ForEachSetBitVisitsAscending) {
+  std::vector<std::uint64_t> seen;
+  bits::for_each_set_bit((1ull << 3) | (1ull << 17) | (1ull << 63), 100,
+                         [&](std::uint64_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{103, 117, 163}));
+}
+
+TEST(Bits, ForEachSetBitEmptyWord) {
+  bool called = false;
+  bits::for_each_set_bit(0, 0, [&](std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(AlignedBuffer, AlignmentAndSize) {
+  AlignedBuffer<double> buf(1001);
+  EXPECT_EQ(buf.size(), 1001u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kVectorAlignBytes,
+            0u);
+}
+
+TEST(AlignedBuffer, FillAndIndex) {
+  AlignedBuffer<int> buf(64, 7);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 7);
+  buf[10] = 42;
+  EXPECT_EQ(buf[10], 42);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(16, 3);
+  int* data = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.size(), 16u);
+}
+
+TEST(AlignedBuffer, SpanView) {
+  AlignedBuffer<int> buf(8, 1);
+  auto s = buf.span();
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(std::accumulate(s.begin(), s.end(), 0), 8);
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+  AlignedBuffer<int> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(PhaseProfiler, AccumulatesBuckets) {
+  PhaseProfiler p;
+  p.add("work", 1.0);
+  p.add("work", 2.0);
+  p.add("merge", 0.5);
+  EXPECT_DOUBLE_EQ(p.total("work"), 3.0);
+  EXPECT_DOUBLE_EQ(p.total("merge"), 0.5);
+  EXPECT_DOUBLE_EQ(p.total("missing"), 0.0);
+}
+
+TEST(PhaseProfiler, MergeFrom) {
+  PhaseProfiler a, b;
+  a.add("work", 1.0);
+  b.add("work", 2.0);
+  b.add("idle", 1.5);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.total("work"), 3.0);
+  EXPECT_DOUBLE_EQ(a.total("idle"), 1.5);
+}
+
+TEST(ScopedPhase, AddsOnExit) {
+  PhaseProfiler p;
+  { ScopedPhase s(p, "scope"); }
+  EXPECT_GE(p.total("scope"), 0.0);
+  EXPECT_EQ(p.buckets().count("scope"), 1u);
+}
+
+TEST(CpuFeatures, ConsistentWithBuild) {
+  // On this suite's own host the detection must at least not crash and
+  // must be internally consistent with the compiled kernels.
+  const CpuFeatures& f = cpu_features();
+#if defined(GRAZELLE_HAVE_AVX2)
+  EXPECT_EQ(vector_kernels_available(), f.avx2);
+#else
+  (void)f;
+  EXPECT_FALSE(vector_kernels_available());
+#endif
+}
+
+TEST(NumaTopology, ThreadMapping) {
+  NumaTopology topo(4, 7);
+  EXPECT_EQ(topo.num_nodes(), 4u);
+  EXPECT_EQ(topo.num_threads(), 28u);
+  EXPECT_EQ(topo.node_of_thread(0), 0u);
+  EXPECT_EQ(topo.node_of_thread(6), 0u);
+  EXPECT_EQ(topo.node_of_thread(7), 1u);
+  EXPECT_EQ(topo.node_of_thread(27), 3u);
+  EXPECT_EQ(topo.local_id(8), 1u);
+}
+
+TEST(NumaTopology, NodeRangesPartitionExactly) {
+  NumaTopology topo(3, 2);
+  const std::uint64_t n = 10;
+  std::uint64_t covered = 0;
+  std::uint64_t prev_end = 0;
+  for (unsigned node = 0; node < 3; ++node) {
+    const IndexRange r = topo.node_range(node, n);
+    EXPECT_EQ(r.begin, prev_end);
+    prev_end = r.end;
+    covered += r.size();
+    // Near-equal split: sizes differ by at most 1.
+    EXPECT_LE(r.size(), bits::ceil_div(n, std::uint64_t{3}));
+    EXPECT_GE(r.size(), n / 3);
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(prev_end, n);
+}
+
+TEST(NumaTopology, NodeRangeEmptyInput) {
+  NumaTopology topo(2, 1);
+  EXPECT_EQ(topo.node_range(0, 0).size(), 0u);
+  EXPECT_EQ(topo.node_range(1, 0).size(), 0u);
+}
+
+TEST(NumaTopology, AllocationAccounting) {
+  NumaTopology topo(2, 1);
+  topo.record_allocation(0, 100);
+  topo.record_allocation(0, 50);
+  topo.record_allocation(1, 10);
+  EXPECT_EQ(topo.bytes_on_node(0), 150u);
+  EXPECT_EQ(topo.bytes_on_node(1), 10u);
+}
+
+TEST(NumaTopology, InvalidArgumentsThrow) {
+  EXPECT_THROW(NumaTopology(0, 1), std::invalid_argument);
+  NumaTopology topo(2, 1);
+  EXPECT_THROW((void)topo.node_range(2, 10), std::out_of_range);
+}
+
+TEST(IndexRange, ContainsAndSize) {
+  IndexRange r{5, 9};
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_TRUE(r.contains(5));
+  EXPECT_TRUE(r.contains(8));
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_FALSE(r.contains(4));
+}
+
+}  // namespace
+}  // namespace grazelle

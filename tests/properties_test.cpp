@@ -1,0 +1,214 @@
+// Parameterized property sweeps: the engine invariants checked across
+// randomized graph families, seeds, and configurations.
+//
+// Invariants:
+//  * every pull parallelization mode produces bit-identical aggregates
+//    to the sequential walk (determinism of the merge protocol);
+//  * push and pull produce the same converged application results;
+//  * PageRank mass is conserved (sum = 1) on every graph;
+//  * Vector-Sparse round-trips Compressed-Sparse exactly;
+//  * the NUMA partitioner covers and aligns for every (graph, nodes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+#include "graph/partition.h"
+#include "reference_impls.h"
+
+namespace grazelle {
+namespace {
+
+enum class Family { kRmat, kUniform, kGrid, kStar, kChain };
+
+EdgeList make_family(Family family, std::uint64_t seed) {
+  switch (family) {
+    case Family::kRmat: {
+      gen::RmatParams p;
+      p.scale = 8;
+      p.num_edges = 1500;
+      p.seed = seed;
+      return gen::generate_rmat(p);
+    }
+    case Family::kUniform:
+      return gen::generate_uniform(200 + seed % 57, 1800, seed);
+    case Family::kGrid:
+      return gen::generate_grid(12 + seed % 7, 9 + seed % 5);
+    case Family::kStar: {
+      EdgeList list(150);
+      for (VertexId v = 1; v < 150; ++v) {
+        list.add_edge(v, seed % 150);
+        if (v % 3 == 0) list.add_edge(seed % 149, v);
+      }
+      return list;
+    }
+    case Family::kChain: {
+      EdgeList list(120);
+      for (VertexId v = 0; v + 1 < 120; ++v) list.add_edge(v, v + 1);
+      return list;
+    }
+  }
+  return EdgeList{};
+}
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kRmat: return "Rmat";
+    case Family::kUniform: return "Uniform";
+    case Family::kGrid: return "Grid";
+    case Family::kStar: return "Star";
+    case Family::kChain: return "Chain";
+  }
+  return "?";
+}
+
+using PropertyParam = std::tuple<Family, std::uint64_t>;
+
+class GraphFamilySweep : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  EdgeList list_ = [] {
+    auto [family, seed] = GetParam();
+    EdgeList l = make_family(family, seed);
+    l.canonicalize();
+    return l;
+  }();
+  Graph graph_ = Graph::build(EdgeList(list_));
+};
+
+std::string param_name(const ::testing::TestParamInfo<PropertyParam>& info) {
+  return std::string(family_name(std::get<0>(info.param))) + "Seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+TEST_P(GraphFamilySweep, AllPullModesProduceIdenticalAggregates) {
+  apps::ConnectedComponents cc(graph_);
+  DenseFrontier all(graph_.num_vertices());
+  all.set_all();
+  ThreadPool pool(4);
+
+  const auto run_mode = [&](PullParallelism mode, std::uint64_t chunk) {
+    MergeBuffer<std::uint64_t> mb;
+    AlignedBuffer<std::uint64_t> accum(graph_.num_vertices(),
+                                       kInvalidVertex);
+    PullEdgePhase<apps::ConnectedComponents, false> phase;
+    phase.run(cc, graph_.vsd(), accum.span(), &all, pool, mode, chunk, mb);
+    return std::vector<std::uint64_t>(accum.begin(), accum.end());
+  };
+
+  const auto expected = run_mode(PullParallelism::kSequential, 0);
+  for (std::uint64_t chunk : {1ull, 3ull, 17ull, 1000ull}) {
+    EXPECT_EQ(run_mode(PullParallelism::kSchedulerAware, chunk), expected)
+        << "chunk " << chunk;
+  }
+  EXPECT_EQ(run_mode(PullParallelism::kVertexParallel, 0), expected);
+  EXPECT_EQ(run_mode(PullParallelism::kTraditional, 8), expected);
+}
+
+TEST_P(GraphFamilySweep, PageRankMassConserved) {
+  EngineOptions opts;
+  opts.num_threads = 4;
+  Engine<apps::PageRank, false> engine(graph_, opts);
+  apps::PageRank pr(graph_, engine.pool().size());
+  engine.run(pr, 12);
+  pr.finalize();
+  EXPECT_NEAR(pr.rank_sum(), 1.0, 1e-9);
+
+  const auto expected = testing::reference_pagerank(list_, 12);
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    ASSERT_NEAR(pr.ranks()[v], expected[v], 1e-10);
+  }
+}
+
+TEST_P(GraphFamilySweep, PushAndPullConvergeIdentically) {
+  const auto run_select = [&](EngineSelect select) {
+    EngineOptions opts;
+    opts.num_threads = 4;
+    opts.select = select;
+    Engine<apps::ConnectedComponents, false> engine(graph_, opts);
+    apps::ConnectedComponents cc(graph_);
+    engine.frontier().set_all();
+    engine.run(cc, 10000);
+    return std::vector<std::uint64_t>(cc.labels().begin(),
+                                      cc.labels().end());
+  };
+  const auto pull = run_select(EngineSelect::kPullOnly);
+  const auto push = run_select(EngineSelect::kPushOnly);
+  const auto hybrid = run_select(EngineSelect::kAuto);
+  EXPECT_EQ(pull, push);
+  EXPECT_EQ(pull, hybrid);
+  EXPECT_EQ(pull, testing::reference_min_labels(list_));
+}
+
+TEST_P(GraphFamilySweep, BfsMatchesReferenceFromSeveralRoots) {
+  for (VertexId root : {VertexId{0}, graph_.num_vertices() / 2}) {
+    const auto expected = testing::reference_bfs_parents(list_, root);
+    EngineOptions opts;
+    opts.num_threads = 4;
+    Engine<apps::BreadthFirstSearch, false> engine(graph_, opts);
+    apps::BreadthFirstSearch bfs(graph_, root);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      ASSERT_EQ(bfs.parents()[v], expected[v])
+          << "root " << root << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(GraphFamilySweep, VectorSparseRoundTripsExactly) {
+  for (GroupBy group : {GroupBy::kSource, GroupBy::kDestination}) {
+    const auto& cs = group == GroupBy::kSource ? graph_.csr() : graph_.csc();
+    const auto& vs = group == GroupBy::kSource ? graph_.vss() : graph_.vsd();
+    ASSERT_EQ(vs.num_edges(), cs.num_edges());
+    for (VertexId top = 0; top < cs.num_vertices(); ++top) {
+      const auto expected = cs.neighbors_of(top);
+      std::vector<VertexId> actual;
+      const auto& r = vs.range(top);
+      EXPECT_EQ(r.degree, expected.size());
+      for (std::uint64_t i = 0; i < r.vector_count; ++i) {
+        const EdgeVector& ev = vs.vectors()[r.first_vector + i];
+        EXPECT_EQ(ev.top_level(), top);
+        for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+          if (ev.valid(k)) actual.push_back(ev.neighbor(k));
+        }
+      }
+      ASSERT_EQ(actual,
+                std::vector<VertexId>(expected.begin(), expected.end()));
+    }
+  }
+}
+
+TEST_P(GraphFamilySweep, PartitionerCoversForAllNodeCounts) {
+  for (unsigned nodes : {1u, 2u, 3u, 5u, 8u}) {
+    const auto pieces = partition_vector_sparse(graph_.vsd(), nodes);
+    ASSERT_EQ(pieces.size(), nodes);
+    std::uint64_t vec_cursor = 0, vtx_cursor = 0;
+    for (const NumaPiece& p : pieces) {
+      EXPECT_EQ(p.vectors.begin, vec_cursor);
+      EXPECT_EQ(p.vertices.begin, vtx_cursor);
+      vec_cursor = p.vectors.end;
+      vtx_cursor = p.vertices.end;
+    }
+    EXPECT_EQ(vec_cursor, graph_.vsd().num_vectors());
+    EXPECT_EQ(vtx_cursor, graph_.num_vertices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GraphFamilySweep,
+    ::testing::Combine(::testing::Values(Family::kRmat, Family::kUniform,
+                                         Family::kGrid, Family::kStar,
+                                         Family::kChain),
+                       ::testing::Values(1, 2, 3)),
+    param_name);
+
+}  // namespace
+}  // namespace grazelle

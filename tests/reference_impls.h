@@ -1,0 +1,118 @@
+// Plain, obviously-correct serial reference implementations the engine
+// and baseline results are checked against.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "platform/types.h"
+
+namespace grazelle::testing {
+
+/// Serial PageRank with dangling-mass redistribution, matching
+/// apps::PageRank's update rule exactly.
+inline std::vector<double> reference_pagerank(const EdgeList& list,
+                                              unsigned iterations,
+                                              double damping = 0.85) {
+  const std::uint64_t n = list.num_vertices();
+  const auto out_deg = list.out_degrees();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (unsigned it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (out_deg[v] == 0) dangling += rank[v];
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n);
+    const double redistributed = damping * dangling / static_cast<double>(n);
+    for (VertexId v = 0; v < n; ++v) next[v] = base + redistributed;
+    for (const Edge& e : list.edges()) {
+      next[e.dst] +=
+          damping * rank[e.src] / static_cast<double>(out_deg[e.src]);
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+/// Fixpoint of directed min-label propagation along edges (the
+/// semantics of apps::ConnectedComponents on the same edge list).
+inline std::vector<std::uint64_t> reference_min_labels(const EdgeList& list) {
+  const std::uint64_t n = list.num_vertices();
+  std::vector<std::uint64_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Edge& e : list.edges()) {
+      if (label[e.src] < label[e.dst]) {
+        label[e.dst] = label[e.src];
+        changed = true;
+      }
+    }
+  }
+  return label;
+}
+
+/// Level-synchronous BFS from `root` returning, for every reached
+/// vertex, the minimum-id predecessor on a shortest path — the
+/// deterministic parent rule of apps::BreadthFirstSearch. Unreached
+/// vertices get kInvalidVertex; the root is its own parent.
+inline std::vector<std::uint64_t> reference_bfs_parents(const EdgeList& list,
+                                                        VertexId root) {
+  const std::uint64_t n = list.num_vertices();
+  std::vector<std::vector<VertexId>> out(n);
+  for (const Edge& e : list.edges()) out[e.src].push_back(e.dst);
+
+  constexpr std::uint64_t kUnreached = ~std::uint64_t{0};
+  std::vector<std::uint64_t> dist(n, kUnreached);
+  std::vector<std::uint64_t> parent(n, kInvalidVertex);
+  dist[root] = 0;
+  parent[root] = root;
+
+  std::vector<VertexId> frontier = {root};
+  std::uint64_t level = 0;
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (VertexId u : frontier) {
+      for (VertexId v : out[u]) {
+        if (dist[v] == kUnreached) {
+          dist[v] = level + 1;
+          parent[v] = u;
+          next.push_back(v);
+        } else if (dist[v] == level + 1 && u < parent[v]) {
+          parent[v] = u;  // smaller-id predecessor on a shortest path
+        }
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+  return parent;
+}
+
+/// Bellman-Ford shortest-path distances over non-negative weights.
+inline std::vector<double> reference_sssp(const EdgeList& list,
+                                          VertexId source) {
+  const std::uint64_t n = list.num_vertices();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  dist[source] = 0.0;
+  for (std::uint64_t round = 0; round + 1 < n + 1; ++round) {
+    bool changed = false;
+    for (std::size_t i = 0; i < list.edges().size(); ++i) {
+      const Edge& e = list.edges()[i];
+      const double cand = dist[e.src] + list.weights()[i];
+      if (cand < dist[e.dst]) {
+        dist[e.dst] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace grazelle::testing

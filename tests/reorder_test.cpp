@@ -1,0 +1,131 @@
+// Tests for vertex reordering: permutation validity, isomorphism
+// preservation, ordering-specific properties, and invariance of
+// engine results under relabeling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "gen/reorder.h"
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+
+namespace grazelle {
+namespace {
+
+EdgeList reorder_graph() {
+  gen::RmatParams p;
+  p.scale = 8;
+  p.num_edges = 2000;
+  p.seed = 3;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return list;
+}
+
+TEST(Reorder, AllOrdersArePermutations) {
+  const EdgeList list = reorder_graph();
+  EXPECT_TRUE(gen::is_permutation(gen::identity_order(list.num_vertices())));
+  EXPECT_TRUE(gen::is_permutation(gen::degree_order(list)));
+  EXPECT_TRUE(gen::is_permutation(gen::bfs_order(list)));
+  EXPECT_TRUE(
+      gen::is_permutation(gen::random_order(list.num_vertices(), 5)));
+}
+
+TEST(Reorder, IsPermutationDetectsInvalid) {
+  EXPECT_TRUE(gen::is_permutation(std::vector<VertexId>{2, 0, 1}));
+  EXPECT_FALSE(gen::is_permutation(std::vector<VertexId>{0, 0, 1}));
+  EXPECT_FALSE(gen::is_permutation(std::vector<VertexId>{0, 3, 1}));
+}
+
+TEST(Reorder, ApplyPermutationPreservesStructure) {
+  const EdgeList list = reorder_graph();
+  const auto perm = gen::random_order(list.num_vertices(), 11);
+  const EdgeList relabeled = gen::apply_permutation(list, perm);
+
+  EXPECT_EQ(relabeled.num_vertices(), list.num_vertices());
+  EXPECT_EQ(relabeled.num_edges(), list.num_edges());
+
+  // The multiset of relabeled edges must equal the mapped originals.
+  std::multiset<std::pair<VertexId, VertexId>> expected, actual;
+  for (const Edge& e : list.edges()) {
+    expected.emplace(perm[e.src], perm[e.dst]);
+  }
+  for (const Edge& e : relabeled.edges()) actual.emplace(e.src, e.dst);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(Reorder, DegreeOrderSortsDescending) {
+  const EdgeList list = reorder_graph();
+  const auto perm = gen::degree_order(list, /*by_in_degree=*/true,
+                                      /*descending=*/true);
+  const auto degrees = list.in_degrees();
+  // Invert: rank -> old id, then degree sequence by rank is
+  // non-increasing.
+  std::vector<VertexId> by_rank(list.num_vertices());
+  for (VertexId old = 0; old < list.num_vertices(); ++old) {
+    by_rank[perm[old]] = old;
+  }
+  for (std::size_t r = 1; r < by_rank.size(); ++r) {
+    EXPECT_GE(degrees[by_rank[r - 1]], degrees[by_rank[r]]);
+  }
+}
+
+TEST(Reorder, BfsOrderGivesNeighborsNearbyIdsOnChain) {
+  EdgeList chain(10);
+  for (VertexId v = 0; v + 1 < 10; ++v) chain.add_edge(v, v + 1);
+  const auto perm = gen::bfs_order(chain);
+  ASSERT_TRUE(gen::is_permutation(perm));
+  // On a chain, BFS from an endpoint assigns consecutive ids; any BFS
+  // order keeps adjacent vertices within distance 2 of each other.
+  for (VertexId v = 0; v + 1 < 10; ++v) {
+    const auto d = perm[v] > perm[v + 1] ? perm[v] - perm[v + 1]
+                                         : perm[v + 1] - perm[v];
+    EXPECT_LE(d, 2u);
+  }
+}
+
+TEST(Reorder, BfsOrderCoversDisconnectedComponents) {
+  EdgeList two(8);
+  two.add_edge(0, 1);
+  two.add_edge(4, 5);  // vertices 2,3,6,7 isolated
+  const auto perm = gen::bfs_order(two);
+  EXPECT_TRUE(gen::is_permutation(perm));
+}
+
+TEST(Reorder, WeightsFollowEdges) {
+  EdgeList list(3);
+  list.add_edge(0, 1, 1.5);
+  list.add_edge(1, 2, 2.5);
+  const std::vector<VertexId> perm = {2, 0, 1};
+  const EdgeList out = gen::apply_permutation(list, perm);
+  ASSERT_EQ(out.num_edges(), 2u);
+  EXPECT_EQ(out.edges()[0], (Edge{2, 0}));
+  EXPECT_DOUBLE_EQ(out.weights()[0], 1.5);
+}
+
+TEST(Reorder, PageRankInvariantUnderRelabeling) {
+  const EdgeList list = reorder_graph();
+  const auto perm = gen::degree_order(list);
+  const EdgeList relabeled = gen::apply_permutation(list, perm);
+
+  const auto run = [](const EdgeList& l) {
+    const Graph g = Graph::build(EdgeList(l));
+    EngineOptions opts;
+    opts.num_threads = 2;
+    Engine<apps::PageRank, false> engine(g, opts);
+    apps::PageRank pr(g, engine.pool().size());
+    engine.run(pr, 10);
+    return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+  };
+  const auto original = run(list);
+  const auto permuted = run(relabeled);
+  for (VertexId v = 0; v < list.num_vertices(); ++v) {
+    ASSERT_NEAR(original[v], permuted[perm[v]], 1e-12) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace grazelle

@@ -1,0 +1,179 @@
+// Unit tests for the AVX2 SIMD layer: every wrapper is checked against
+// its scalar definition. Skipped entirely on non-AVX2 builds/hosts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/simd.h"
+#include "platform/cpu_features.h"
+
+#if defined(GRAZELLE_HAVE_AVX2)
+
+namespace grazelle {
+namespace {
+
+using simd::CombineOp;
+
+class SimdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!vector_kernels_available()) GTEST_SKIP() << "AVX2 unavailable";
+  }
+};
+
+std::array<std::uint64_t, 4> to_array(simd::VecU64 v) {
+  alignas(32) std::array<std::uint64_t, 4> out;
+  _mm256_store_si256(reinterpret_cast<__m256i*>(out.data()), v.v);
+  return out;
+}
+
+std::array<double, 4> to_array(simd::VecF64 v) {
+  alignas(32) std::array<double, 4> out;
+  _mm256_store_pd(out.data(), v.v);
+  return out;
+}
+
+EdgeVector make_vector(VertexId top, std::array<VertexId, 4> neighbors,
+                       unsigned valid_mask) {
+  EdgeVector ev;
+  for (unsigned k = 0; k < 4; ++k) {
+    ev.lane[k] = vsenc::make_lane((valid_mask >> k) & 1,
+                                  (top >> (12 * k)) & 0xfff, neighbors[k]);
+  }
+  return ev;
+}
+
+TEST_F(SimdTest, SplatAndToArray) {
+  EXPECT_EQ(to_array(simd::splat(std::uint64_t{42})),
+            (std::array<std::uint64_t, 4>{42, 42, 42, 42}));
+  EXPECT_EQ(to_array(simd::splat(2.5)), (std::array<double, 4>{2.5, 2.5, 2.5, 2.5}));
+}
+
+TEST_F(SimdTest, LoadLanesAndNeighborIds) {
+  const EdgeVector ev = make_vector(7, {10, 20, 30, 40}, 0b1111);
+  const auto srcs = to_array(simd::neighbor_ids(simd::load_lanes(ev)));
+  EXPECT_EQ(srcs, (std::array<std::uint64_t, 4>{10, 20, 30, 40}));
+}
+
+TEST_F(SimdTest, ValidMaskMatchesScalarValidBits) {
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    const EdgeVector ev = make_vector(3, {1, 2, 3, 4}, mask);
+    const auto lanes = to_array(simd::valid_mask(simd::load_lanes(ev)));
+    for (unsigned k = 0; k < 4; ++k) {
+      EXPECT_EQ(lanes[k] != 0, ev.valid(k)) << "mask " << mask << " lane " << k;
+      EXPECT_TRUE(lanes[k] == 0 || lanes[k] == ~std::uint64_t{0});
+    }
+  }
+}
+
+TEST_F(SimdTest, FrontierMaskMatchesScalarTest) {
+  std::vector<std::uint64_t> words(8, 0);
+  std::mt19937_64 rng(3);
+  for (auto& w : words) w = rng();
+
+  const auto scalar_test = [&](std::uint64_t v) {
+    return (words[v >> 6] >> (v & 63)) & 1;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::uint64_t, 4> ids;
+    for (auto& id : ids) id = rng() % (words.size() * 64);
+    const simd::VecU64 vids = {_mm256_set_epi64x(
+        static_cast<long long>(ids[3]), static_cast<long long>(ids[2]),
+        static_cast<long long>(ids[1]), static_cast<long long>(ids[0]))};
+    const auto mask = to_array(simd::frontier_mask(words.data(), vids));
+    for (unsigned k = 0; k < 4; ++k) {
+      EXPECT_EQ(mask[k] != 0, scalar_test(ids[k]) != 0);
+    }
+  }
+}
+
+TEST_F(SimdTest, GatherMaskedDouble) {
+  std::vector<double> base = {0.5, 1.5, 2.5, 3.5, 4.5, 5.5};
+  const simd::VecU64 idx = {_mm256_set_epi64x(5, 0, 3, 1)};
+  // Lanes 0 and 3 enabled (note set_epi64x is high-to-low).
+  const simd::VecU64 mask = {_mm256_set_epi64x(-1, 0, 0, -1)};
+  const auto out = to_array(
+      simd::gather_masked(base.data(), idx, mask, simd::splat(-1.0)));
+  EXPECT_DOUBLE_EQ(out[0], 1.5);   // idx 1, enabled
+  EXPECT_DOUBLE_EQ(out[1], -1.0);  // disabled -> default
+  EXPECT_DOUBLE_EQ(out[2], -1.0);  // disabled -> default
+  EXPECT_DOUBLE_EQ(out[3], 5.5);   // idx 5, enabled
+}
+
+TEST_F(SimdTest, GatherMaskedU64) {
+  std::vector<std::uint64_t> base = {100, 200, 300, 400};
+  const simd::VecU64 idx = {_mm256_set_epi64x(3, 2, 1, 0)};
+  const simd::VecU64 mask = {_mm256_set_epi64x(0, -1, 0, -1)};
+  const auto out = to_array(simd::gather_masked(
+      base.data(), idx, mask, simd::splat(std::uint64_t{7})));
+  EXPECT_EQ(out[0], 100u);
+  EXPECT_EQ(out[1], 7u);
+  EXPECT_EQ(out[2], 300u);
+  EXPECT_EQ(out[3], 7u);
+}
+
+TEST_F(SimdTest, BlendSelectsPerLane) {
+  const auto out = to_array(
+      simd::blend(simd::splat(std::uint64_t{1}), simd::splat(std::uint64_t{2}),
+                  simd::VecU64{_mm256_set_epi64x(-1, 0, -1, 0)}));
+  EXPECT_EQ(out, (std::array<std::uint64_t, 4>{1, 2, 1, 2}));
+
+  const auto outd = to_array(
+      simd::blend(simd::splat(1.0), simd::splat(2.0),
+                  simd::VecU64{_mm256_set_epi64x(0, -1, 0, -1)}));
+  EXPECT_EQ(outd, (std::array<double, 4>{2.0, 1.0, 2.0, 1.0}));
+}
+
+TEST_F(SimdTest, ArithmeticOps) {
+  const auto sum = to_array(simd::add(simd::splat(1.5), simd::splat(2.0)));
+  EXPECT_EQ(sum, (std::array<double, 4>{3.5, 3.5, 3.5, 3.5}));
+  const auto prod = to_array(simd::mul(simd::splat(1.5), simd::splat(2.0)));
+  EXPECT_EQ(prod, (std::array<double, 4>{3.0, 3.0, 3.0, 3.0}));
+}
+
+TEST_F(SimdTest, MinU64UsesFullValueRange) {
+  // Values up to the 48-bit sentinel must compare correctly.
+  const simd::VecU64 a = {_mm256_set_epi64x(
+      static_cast<long long>(kInvalidVertex), 5, 1000, 0)};
+  const simd::VecU64 b = {_mm256_set_epi64x(
+      7, static_cast<long long>(kInvalidVertex), 999, 1)};
+  const auto out = to_array(simd::min(a, b));
+  EXPECT_EQ(out[3], 7u);
+  EXPECT_EQ(out[2], 5u);
+  EXPECT_EQ(out[1], 999u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST_F(SimdTest, ReduceAddAndMin) {
+  const simd::VecF64 v = {_mm256_set_pd(4.0, 3.0, 2.0, 1.0)};
+  EXPECT_DOUBLE_EQ(simd::reduce<CombineOp::kAdd>(v), 10.0);
+  EXPECT_DOUBLE_EQ(simd::reduce<CombineOp::kMin>(v), 1.0);
+
+  const simd::VecU64 u = {_mm256_set_epi64x(9, 4, 17, 6)};
+  EXPECT_EQ(simd::reduce<CombineOp::kMin>(u), 4u);
+}
+
+TEST_F(SimdTest, LoadWeights) {
+  WeightVector wv{{1.0, 2.0, 3.0, 4.0}};
+  const auto out = to_array(simd::load_weights(wv));
+  EXPECT_EQ(out, (std::array<double, 4>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST_F(SimdTest, CombineDispatch) {
+  const auto s = to_array(simd::combine<CombineOp::kAdd>(simd::splat(1.0),
+                                                         simd::splat(2.0)));
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  const auto m = to_array(simd::combine<CombineOp::kMin>(
+      simd::splat(std::uint64_t{9}), simd::splat(std::uint64_t{3})));
+  EXPECT_EQ(m[0], 3u);
+}
+
+}  // namespace
+}  // namespace grazelle
+
+#else
+TEST(SimdTest, SkippedWithoutAvx2Build) { GTEST_SKIP(); }
+#endif  // GRAZELLE_HAVE_AVX2

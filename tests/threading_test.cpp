@@ -1,0 +1,296 @@
+// Unit tests for the threading runtime: barrier, pool, chunk
+// schedulers, both parallel_for interfaces, atomics, reductions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "threading/atomics.h"
+#include "threading/barrier.h"
+#include "threading/chunk_scheduler.h"
+#include "threading/parallel_for.h"
+#include "threading/reduction.h"
+#include "threading/thread_pool.h"
+
+namespace grazelle {
+namespace {
+
+TEST(Barrier, SingleParticipantDoesNotBlock) {
+  Barrier b(1);
+  b.arrive_and_wait();
+  b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr unsigned kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violation{false};
+  pool.run([&](unsigned) {
+    phase1.fetch_add(1);
+    pool.phase_barrier().arrive_and_wait();
+    // After the barrier every thread must observe all phase-1 work.
+    if (phase1.load() != static_cast<int>(kThreads)) violation = true;
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(ThreadPool, RunsAllThreadIds) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+  std::mutex m;
+  std::set<unsigned> seen;
+  pool.run([&](unsigned tid) {
+    std::lock_guard lock(m);
+    seen.insert(tid);
+  });
+  EXPECT_EQ(seen, (std::set<unsigned>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.run([&](unsigned) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, SingleThreadPool) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int x = 0;
+  pool.run([&](unsigned tid) {
+    EXPECT_EQ(tid, 0u);
+    ++x;
+  });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(DynamicChunkScheduler, CoversIterationSpaceExactly) {
+  DynamicChunkScheduler s(100, 7);
+  EXPECT_EQ(s.num_chunks(), 15u);
+  std::uint64_t covered = 0;
+  std::uint64_t expected_begin = 0;
+  while (auto c = s.next()) {
+    EXPECT_EQ(c->begin, expected_begin);
+    EXPECT_EQ(c->id, c->begin / 7);
+    covered += c->size();
+    expected_begin = c->end;
+  }
+  EXPECT_EQ(covered, 100u);
+  EXPECT_FALSE(s.next().has_value());
+}
+
+TEST(DynamicChunkScheduler, ResetRearms) {
+  DynamicChunkScheduler s(10, 10);
+  EXPECT_TRUE(s.next().has_value());
+  EXPECT_FALSE(s.next().has_value());
+  s.reset();
+  EXPECT_TRUE(s.next().has_value());
+}
+
+TEST(DynamicChunkScheduler, WithChunkCount) {
+  auto s = DynamicChunkScheduler::with_chunk_count(1000, 32);
+  EXPECT_GE(s.num_chunks(), 31u);
+  EXPECT_LE(s.num_chunks(), 33u);
+}
+
+TEST(DynamicChunkScheduler, ZeroTotal) {
+  DynamicChunkScheduler s(0, 8);
+  EXPECT_EQ(s.num_chunks(), 0u);
+  EXPECT_FALSE(s.next().has_value());
+}
+
+TEST(DynamicChunkScheduler, ConcurrentClaimsAreDisjoint) {
+  DynamicChunkScheduler s(100000, 13);
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> total{0};
+  pool.run([&](unsigned) {
+    while (auto c = s.next()) total.fetch_add(c->size());
+  });
+  EXPECT_EQ(total.load(), 100000u);
+}
+
+TEST(StaticChunkScheduler, RoundRobinOwnership) {
+  StaticChunkScheduler s(100, 10, 3);
+  // Thread 0 owns chunks 0, 3, 6, 9.
+  EXPECT_EQ(s.chunk_for(0, 0)->id, 0u);
+  EXPECT_EQ(s.chunk_for(0, 1)->id, 3u);
+  EXPECT_EQ(s.chunk_for(1, 0)->id, 1u);
+  EXPECT_EQ(s.chunk_for(2, 2)->id, 8u);
+  EXPECT_FALSE(s.chunk_for(0, 4).has_value());
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(pool, hits.size(), 37,
+               [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, 8, [&](std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunks, ChunksPartitionSpace) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<Chunk> chunks;
+  parallel_for_chunks(pool, 1000, 64, [&](unsigned, const Chunk& c) {
+    std::lock_guard lock(m);
+    chunks.push_back(c);
+  });
+  std::uint64_t total = 0;
+  std::set<std::uint64_t> ids;
+  for (const Chunk& c : chunks) {
+    total += c.size();
+    ids.insert(c.id);
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(ids.size(), chunks.size());
+}
+
+// Scheduler-aware interface: verify the protocol ordering and that
+// chunk-local accumulation plus a merge equals a serial reduction.
+TEST(ParallelForSchedulerAware, ProtocolAndReduction) {
+  constexpr std::uint64_t kN = 100000;
+  constexpr std::uint64_t kChunk = 997;
+  ThreadPool pool(4);
+
+  struct Slot {
+    std::uint64_t sum = 0;
+    bool used = false;
+  };
+  std::vector<Slot> merge(bits::ceil_div(kN, kChunk));
+
+  struct Body {
+    std::vector<Slot>& merge;
+    std::uint64_t acc = 0;
+    std::uint64_t expected_next = 0;
+    bool in_chunk = false;
+
+    void start_chunk(const Chunk& c) {
+      EXPECT_FALSE(in_chunk);
+      in_chunk = true;
+      acc = 0;
+      expected_next = c.begin;
+    }
+    void iteration(std::uint64_t i) {
+      EXPECT_TRUE(in_chunk);
+      EXPECT_EQ(i, expected_next);  // consecutive iterations
+      ++expected_next;
+      acc += i;
+    }
+    void finish_chunk(const Chunk& c) {
+      EXPECT_TRUE(in_chunk);
+      in_chunk = false;
+      EXPECT_EQ(expected_next, c.end);
+      merge[c.id].sum = acc;
+      merge[c.id].used = true;
+    }
+  };
+
+  const std::uint64_t chunks = parallel_for_scheduler_aware(
+      pool, kN, kChunk, [&](unsigned) { return Body{merge}; });
+  EXPECT_EQ(chunks, merge.size());
+
+  std::uint64_t total = 0;
+  for (const Slot& s : merge) {
+    EXPECT_TRUE(s.used);
+    total += s.sum;
+  }
+  EXPECT_EQ(total, kN * (kN - 1) / 2);
+}
+
+TEST(ParallelForSchedulerAware, EmptyRange) {
+  ThreadPool pool(2);
+  struct Body {
+    void start_chunk(const Chunk&) { FAIL(); }
+    void iteration(std::uint64_t) { FAIL(); }
+    void finish_chunk(const Chunk&) { FAIL(); }
+  };
+  EXPECT_EQ(parallel_for_scheduler_aware(pool, 0, 8,
+                                         [&](unsigned) { return Body{}; }),
+            0u);
+}
+
+TEST(Atomics, AtomicAddIntegerAndDouble) {
+  std::uint64_t x = 0;
+  double d = 0.0;
+  ThreadPool pool(4);
+  pool.run([&](unsigned) {
+    for (int i = 0; i < 1000; ++i) {
+      atomic_add(&x, std::uint64_t{1});
+      atomic_add(&d, 0.5);
+    }
+  });
+  EXPECT_EQ(x, 4000u);
+  EXPECT_DOUBLE_EQ(d, 2000.0);
+}
+
+TEST(Atomics, AtomicMinConcurrent) {
+  std::uint64_t x = ~std::uint64_t{0};
+  ThreadPool pool(4);
+  pool.run([&](unsigned tid) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      atomic_min(&x, 1000 * (tid + 1) - i);
+    }
+  });
+  EXPECT_EQ(x, 1u);  // tid 0, i = 999
+}
+
+TEST(Atomics, AtomicCombineReportsChange) {
+  std::uint64_t x = 5;
+  const auto min_op = [](std::uint64_t a, std::uint64_t b) {
+    return b < a ? b : a;
+  };
+  EXPECT_FALSE(atomic_combine(&x, std::uint64_t{7}, min_op));
+  EXPECT_EQ(x, 5u);
+  EXPECT_TRUE(atomic_combine(&x, std::uint64_t{3}, min_op));
+  EXPECT_EQ(x, 3u);
+}
+
+TEST(Atomics, ForceWriteStillCorrect) {
+  std::uint64_t x = 5;
+  const auto min_op = [](std::uint64_t a, std::uint64_t b) {
+    return b < a ? b : a;
+  };
+  EXPECT_TRUE((atomic_combine<true>(&x, std::uint64_t{7}, min_op)));
+  EXPECT_EQ(x, 5u);  // value unchanged, write forced
+}
+
+TEST(Atomics, AtomicClaim) {
+  std::uint64_t x = 10;
+  EXPECT_FALSE(atomic_claim(&x, std::uint64_t{11}, std::uint64_t{99}));
+  EXPECT_TRUE(atomic_claim(&x, std::uint64_t{10}, std::uint64_t{99}));
+  EXPECT_EQ(x, 99u);
+}
+
+TEST(ReductionArray, CombinesAllSlots) {
+  ThreadPool pool(4);
+  ReductionArray<std::uint64_t> red(pool.size(), 0);
+  pool.run([&](unsigned tid) { red.local(tid) = tid + 1; });
+  EXPECT_EQ(red.combine(0, [](std::uint64_t a, std::uint64_t b) {
+    return a + b;
+  }),
+            10u);
+}
+
+TEST(ReductionArray, SlotsArePadded) {
+  ReductionArray<double> red(2);
+  EXPECT_GE(reinterpret_cast<std::uintptr_t>(&red.local(1)) -
+                reinterpret_cast<std::uintptr_t>(&red.local(0)),
+            kCacheLineBytes);
+}
+
+}  // namespace
+}  // namespace grazelle

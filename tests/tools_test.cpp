@@ -1,0 +1,155 @@
+// End-to-end integration tests of the command-line tools: invoke the
+// built binaries and check their observable behavior (exit codes,
+// stdout, files written). Binary locations come from the
+// GRAZELLE_TOOLS_DIR compile definition set by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace grazelle {
+namespace {
+
+std::string tools_dir() { return GRAZELLE_TOOLS_DIR; }
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& cmd) {
+  CommandResult result;
+  std::FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(GrazelleRunTool, PageRankOnDatasetAnalog) {
+  const auto r = run_command(tools_dir() +
+                             "/grazelle_run -a pr -i C -N 4 -S 0.02 -n 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("PageRank Sum:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("iterations:"), std::string::npos);
+}
+
+TEST(GrazelleRunTool, BfsWritesOutputFile) {
+  const auto out =
+      std::filesystem::temp_directory_path() / "grazelle_tool_bfs.txt";
+  const auto r = run_command(tools_dir() + "/grazelle_run -a bfs -i C -S " +
+                             "0.02 -r 0 -o " + out.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("vertices reached:"), std::string::npos);
+  std::ifstream f(out);
+  ASSERT_TRUE(f.good());
+  std::uint64_t vertex = 0, parent = 0;
+  ASSERT_TRUE(static_cast<bool>(f >> vertex >> parent));
+  EXPECT_EQ(vertex, 0u);
+  EXPECT_EQ(parent, 0u);  // root is its own parent
+  std::filesystem::remove(out);
+}
+
+TEST(GrazelleRunTool, RejectsUnknownApp) {
+  const auto r = run_command(tools_dir() + "/grazelle_run -a nope -i C");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown application"), std::string::npos);
+}
+
+TEST(GrazelleRunTool, RejectsMissingInput) {
+  const auto r = run_command(tools_dir() + "/grazelle_run -a pr");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(GrazelleRunTool, TraditionalPullModeRuns) {
+  const auto r = run_command(
+      tools_dir() +
+      "/grazelle_run -a cc -i C -S 0.02 --engine pull --pull-mode trad");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(GraphConvertTool, RoundTripThroughBinary) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto bin = dir / "grazelle_tool_conv.grzb";
+  const auto txt = dir / "grazelle_tool_conv.txt";
+
+  auto r = run_command(tools_dir() + "/graph_convert C " + bin.string() +
+                       " --scale 0.02 --canonicalize");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(std::filesystem::exists(bin));
+
+  r = run_command(tools_dir() + "/graph_convert " + bin.string() + " " +
+                  txt.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(std::filesystem::exists(txt));
+
+  // The text file round-trips through grazelle_run.
+  r = run_command(tools_dir() + "/grazelle_run -a pr -i " + txt.string() +
+                  " -N 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  std::filesystem::remove(bin);
+  std::filesystem::remove(txt);
+}
+
+TEST(GraphInfoTool, PrintsStatsAndPacking) {
+  const auto r = run_command(tools_dir() + "/graph_info C --scale 0.02");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("packing efficiency"), std::string::npos);
+  EXPECT_NE(r.output.find("NUMA split"), std::string::npos);
+  EXPECT_NE(r.output.find("degree histogram"), std::string::npos);
+}
+
+TEST(GraphInfoTool, FailsOnMissingFile) {
+  const auto r = run_command(tools_dir() + "/graph_info /nonexistent/x.txt");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(ValidateOutputTool, CrossEngineResultsAgree) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto pull = dir / "grazelle_tool_pull.txt";
+  const auto push = dir / "grazelle_tool_push.txt";
+
+  auto r = run_command(tools_dir() + "/grazelle_run -a cc -i C -S 0.02 " +
+                       "--engine pull -o " + pull.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = run_command(tools_dir() + "/grazelle_run -a cc -i C -S 0.02 " +
+                  "--engine push -o " + push.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  r = run_command(tools_dir() + "/validate_output " + pull.string() + " " +
+                  push.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("OK:"), std::string::npos);
+
+  std::filesystem::remove(pull);
+  std::filesystem::remove(push);
+}
+
+TEST(ValidateOutputTool, DetectsMismatch) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto a = dir / "grazelle_tool_va.txt";
+  const auto b = dir / "grazelle_tool_vb.txt";
+  {
+    std::ofstream fa(a), fb(b);
+    fa << "0 1.0\n1 2.0\n";
+    fb << "0 1.0\n1 2.5\n";
+  }
+  const auto r = run_command(tools_dir() + "/validate_output " + a.string() +
+                             " " + b.string());
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("FAIL"), std::string::npos);
+  std::filesystem::remove(a);
+  std::filesystem::remove(b);
+}
+
+}  // namespace
+}  // namespace grazelle

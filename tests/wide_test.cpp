@@ -1,0 +1,215 @@
+// Tests for the lane-parameterized Wide Vector-Sparse format and the
+// AVX-512 8-lane pull kernels (checked against their scalar
+// references).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/simd512.h"
+#include "graph/wide_vector_sparse.h"
+#include "gen/rmat.h"
+#include "gen/synthetic.h"
+
+namespace grazelle {
+namespace {
+
+EdgeList sample_graph() {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.num_edges = 6000;
+  p.seed = 4242;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return list;
+}
+
+template <unsigned Lanes>
+void expect_round_trip(const CompressedSparse& csc) {
+  const auto wide = WideVectorSparse<Lanes>::build(csc);
+  EXPECT_EQ(wide.num_edges(), csc.num_edges());
+  for (VertexId top = 0; top < csc.num_vertices(); ++top) {
+    const auto expected = csc.neighbors_of(top);
+    const auto& r = wide.range(top);
+    EXPECT_EQ(r.degree, expected.size());
+    std::vector<VertexId> actual;
+    for (std::uint64_t i = 0; i < r.vector_count; ++i) {
+      const auto& ev = wide.vectors()[r.first_vector + i];
+      EXPECT_EQ(ev.top_level(), top);
+      for (unsigned k = 0; k < Lanes; ++k) {
+        if (ev.valid(k)) actual.push_back(ev.neighbor(k));
+      }
+    }
+    ASSERT_EQ(actual, std::vector<VertexId>(expected.begin(),
+                                            expected.end()));
+  }
+}
+
+TEST(WideVectorSparse, RoundTripAllLaneWidths) {
+  const auto csc =
+      CompressedSparse::build(sample_graph(), GroupBy::kDestination);
+  expect_round_trip<4>(csc);
+  expect_round_trip<8>(csc);
+  expect_round_trip<16>(csc);
+}
+
+TEST(WideVectorSparse, FourLaneMatchesCanonicalFormat) {
+  const auto csc =
+      CompressedSparse::build(sample_graph(), GroupBy::kDestination);
+  const auto canonical = VectorSparseGraph::build(csc);
+  const auto wide = WideVectorSparse<4>::build(csc);
+  ASSERT_EQ(wide.num_vectors(), canonical.num_vectors());
+  for (std::uint64_t i = 0; i < wide.num_vectors(); ++i) {
+    for (unsigned k = 0; k < 4; ++k) {
+      EXPECT_EQ(wide.vectors()[i].lane[k], canonical.vectors()[i].lane[k]);
+    }
+  }
+}
+
+TEST(WideVectorSparse, EightLanePieceReassembly) {
+  // 6-bit pieces: exercise a top-level id using all piece positions.
+  using V8 = WideEdgeVector<8>;
+  const VertexId top = 0x0000ABCDEF123456ull & kVertexIdMask;
+  V8 ev;
+  for (unsigned k = 0; k < 8; ++k) {
+    ev.lane[k] = V8::make_lane(true, (top >> (6 * k)) & 0x3f, k);
+  }
+  EXPECT_EQ(ev.top_level(), top);
+  EXPECT_EQ(V8::kPieceBits, 6u);
+}
+
+TEST(WideVectorSparse, PackingMatchesAnalytic) {
+  const EdgeList list = sample_graph();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto degrees = list.in_degrees();
+  const std::span<const std::uint64_t> d(degrees.data(), degrees.size());
+  EXPECT_NEAR(WideVectorSparse<8>::build(csc).measured_packing_efficiency(),
+              VectorSparseGraph::packing_efficiency(d, 8), 1e-12);
+  EXPECT_NEAR(WideVectorSparse<16>::build(csc).measured_packing_efficiency(),
+              VectorSparseGraph::packing_efficiency(d, 16), 1e-12);
+}
+
+TEST(WideSweep, ScalarSumSweepMatchesDirectComputation) {
+  const EdgeList list = sample_graph();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto wide = WideVectorSparse<8>::build(csc);
+
+  std::vector<double> messages(csc.num_vertices());
+  std::mt19937_64 rng(9);
+  for (auto& m : messages) {
+    m = std::uniform_real_distribution<>(0, 1)(rng);
+  }
+
+  std::vector<double> result(csc.num_vertices(), 0.0);
+  auto trailing = wide::pull_sum_sweep_scalar<8>(
+      wide, messages.data(), 0, wide.num_vectors(),
+      [&](VertexId d, double v) { result[d] = v; });
+  if (trailing.first != kInvalidVertex) {
+    result[trailing.first] = trailing.second;
+  }
+
+  for (VertexId v = 0; v < csc.num_vertices(); ++v) {
+    double expected = 0.0;
+    for (VertexId src : csc.neighbors_of(v)) expected += messages[src];
+    ASSERT_NEAR(result[v], expected, 1e-9) << "vertex " << v;
+  }
+}
+
+#if defined(GRAZELLE_HAVE_AVX512)
+
+class WideAvx512 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!wide::wide_kernels_available()) {
+      GTEST_SKIP() << "AVX-512 unavailable on this host";
+    }
+  }
+};
+
+TEST_F(WideAvx512, SumSweepMatchesScalar) {
+  const EdgeList list = sample_graph();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto wide8 = WideVectorSparse<8>::build(csc);
+
+  std::vector<double> messages(csc.num_vertices());
+  std::mt19937_64 rng(11);
+  for (auto& m : messages) {
+    m = std::uniform_real_distribution<>(0, 1)(rng);
+  }
+
+  std::vector<std::pair<VertexId, double>> scalar, vec;
+  const auto ts = wide::pull_sum_sweep_scalar<8>(
+      wide8, messages.data(), 0, wide8.num_vectors(),
+      [&](VertexId d, double v) { scalar.emplace_back(d, v); });
+  const auto tv = wide::pull_sum_sweep_avx512(
+      wide8, messages.data(), 0, wide8.num_vectors(),
+      [&](VertexId d, double v) { vec.emplace_back(d, v); });
+
+  ASSERT_EQ(scalar.size(), vec.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].first, vec[i].first);
+    // Different summation order within the 8-lane accumulator.
+    EXPECT_NEAR(scalar[i].second, vec[i].second, 1e-9);
+  }
+  EXPECT_EQ(ts.first, tv.first);
+  EXPECT_NEAR(ts.second, tv.second, 1e-9);
+}
+
+TEST_F(WideAvx512, MinSweepMatchesScalarWithFrontier) {
+  const EdgeList list = sample_graph();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto wide8 = WideVectorSparse<8>::build(csc);
+
+  std::vector<std::uint64_t> labels(csc.num_vertices());
+  for (VertexId v = 0; v < labels.size(); ++v) labels[v] = v;
+
+  // Random half-full frontier.
+  std::vector<std::uint64_t> frontier_words(
+      (csc.num_vertices() + 63) / 64, 0);
+  std::mt19937_64 rng(13);
+  for (auto& w : frontier_words) w = rng();
+
+  const std::vector<const std::uint64_t*> frontiers = {
+      nullptr, frontier_words.data()};
+  for (const std::uint64_t* frontier : frontiers) {
+    std::vector<std::pair<VertexId, std::uint64_t>> scalar, vec;
+    const auto ts = wide::pull_min_sweep_scalar<8>(
+        wide8, labels.data(), frontier, 0, wide8.num_vectors(),
+        [&](VertexId d, std::uint64_t v) { scalar.emplace_back(d, v); });
+    const auto tv = wide::pull_min_sweep_avx512(
+        wide8, labels.data(), frontier, 0, wide8.num_vectors(),
+        [&](VertexId d, std::uint64_t v) { vec.emplace_back(d, v); });
+    EXPECT_EQ(scalar, vec);
+    EXPECT_EQ(ts, tv);
+  }
+}
+
+TEST_F(WideAvx512, PartialRangesMatchScalar) {
+  const EdgeList list = sample_graph();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto wide8 = WideVectorSparse<8>::build(csc);
+  std::vector<double> messages(csc.num_vertices(), 0.5);
+
+  const std::uint64_t n = wide8.num_vectors();
+  for (auto [b, e] : {std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                      {0, 1},
+                      {n / 3, 2 * n / 3},
+                      {n - 1, n}}) {
+    std::vector<std::pair<VertexId, double>> scalar, vec;
+    const auto ts = wide::pull_sum_sweep_scalar<8>(
+        wide8, messages.data(), b, e,
+        [&](VertexId d, double v) { scalar.emplace_back(d, v); });
+    const auto tv = wide::pull_sum_sweep_avx512(
+        wide8, messages.data(), b, e,
+        [&](VertexId d, double v) { vec.emplace_back(d, v); });
+    EXPECT_EQ(scalar.size(), vec.size());
+    EXPECT_EQ(ts.first, tv.first);
+    EXPECT_NEAR(ts.second, tv.second, 1e-9);
+  }
+}
+
+#endif  // GRAZELLE_HAVE_AVX512
+
+}  // namespace
+}  // namespace grazelle

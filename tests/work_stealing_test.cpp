@@ -1,0 +1,171 @@
+// Tests for the Chase-Lev deque and the work-stealing chunk scheduler:
+// single-owner semantics, exactly-once consumption under concurrent
+// stealing, and the scheduler-aware loop on top of it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "threading/parallel_for.h"
+#include "threading/thread_pool.h"
+#include "threading/work_stealing.h"
+
+namespace grazelle {
+namespace {
+
+TEST(ChaseLevDeque, OwnerLifoOrder) {
+  ChaseLevDeque d(8);
+  d.push_bottom(1);
+  d.push_bottom(2);
+  d.push_bottom(3);
+  EXPECT_EQ(d.pop_bottom(), 3u);
+  EXPECT_EQ(d.pop_bottom(), 2u);
+  EXPECT_EQ(d.pop_bottom(), 1u);
+  EXPECT_FALSE(d.pop_bottom().has_value());
+}
+
+TEST(ChaseLevDeque, StealFifoOrder) {
+  ChaseLevDeque d(8);
+  d.push_bottom(1);
+  d.push_bottom(2);
+  d.push_bottom(3);
+  EXPECT_EQ(d.steal(), 1u);
+  EXPECT_EQ(d.steal(), 2u);
+  EXPECT_EQ(d.pop_bottom(), 3u);
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(ChaseLevDeque, EmptyDequeBehaviour) {
+  ChaseLevDeque d(4);
+  EXPECT_FALSE(d.pop_bottom().has_value());
+  EXPECT_FALSE(d.steal().has_value());
+  EXPECT_TRUE(d.maybe_empty());
+  d.push_bottom(9);
+  EXPECT_FALSE(d.maybe_empty());
+}
+
+TEST(ChaseLevDeque, ConcurrentStealsConsumeExactlyOnce) {
+  constexpr std::uint64_t kItems = 20000;
+  ChaseLevDeque d(kItems);
+  for (std::uint64_t i = 0; i < kItems; ++i) d.push_bottom(i);
+
+  ThreadPool pool(6);
+  std::vector<std::atomic<int>> seen(kItems);
+  pool.run([&](unsigned tid) {
+    if (tid == 0) {
+      // Owner drains from the bottom.
+      while (auto v = d.pop_bottom()) seen[*v].fetch_add(1);
+    } else {
+      // Thieves hammer the top until the deque stays empty.
+      int dry = 0;
+      while (dry < 1000) {
+        if (auto v = d.steal()) {
+          seen[*v].fetch_add(1);
+          dry = 0;
+        } else {
+          ++dry;
+        }
+      }
+    }
+  });
+
+  std::uint64_t consumed = 0;
+  for (const auto& s : seen) {
+    EXPECT_LE(s.load(), 1);
+    consumed += s.load();
+  }
+  EXPECT_EQ(consumed, kItems);
+}
+
+TEST(WorkStealingScheduler, CoversChunksExactlyOnceSingleThread) {
+  WorkStealingScheduler sched(1000, 64, 1);
+  std::set<std::uint64_t> ids;
+  std::uint64_t covered = 0;
+  while (auto c = sched.next(0)) {
+    EXPECT_TRUE(ids.insert(c->id).second);
+    covered += c->size();
+  }
+  EXPECT_EQ(covered, 1000u);
+  EXPECT_EQ(ids.size(), sched.num_chunks());
+}
+
+TEST(WorkStealingScheduler, StableChunkIdsMatchTicketScheduler) {
+  WorkStealingScheduler ws(500, 13, 4);
+  DynamicChunkScheduler ticket(500, 13);
+  EXPECT_EQ(ws.num_chunks(), ticket.num_chunks());
+  // Collect all chunks from the WS scheduler and verify each equals the
+  // ticket scheduler's definition of the same id.
+  std::vector<std::optional<Chunk>> by_id(ws.num_chunks());
+  for (unsigned tid = 0; tid < 4; ++tid) {
+    while (auto c = ws.next(tid)) {
+      ASSERT_LT(c->id, by_id.size());
+      ASSERT_FALSE(by_id[c->id].has_value());
+      by_id[c->id] = c;
+    }
+  }
+  while (auto c = ticket.next()) {
+    ASSERT_TRUE(by_id[c->id].has_value());
+    EXPECT_EQ(*by_id[c->id], *c);
+  }
+}
+
+TEST(WorkStealingScheduler, AllChunksConsumedConcurrently) {
+  WorkStealingScheduler sched(100000, 7, 5);
+  ThreadPool pool(5);
+  std::atomic<std::uint64_t> covered{0};
+  std::vector<std::atomic<int>> claimed(sched.num_chunks());
+  pool.run([&](unsigned tid) {
+    while (auto c = sched.next(tid)) {
+      claimed[c->id].fetch_add(1);
+      covered.fetch_add(c->size());
+    }
+  });
+  EXPECT_EQ(covered.load(), 100000u);
+  for (const auto& c : claimed) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(WorkStealingScheduler, ZeroTotal) {
+  WorkStealingScheduler sched(0, 8, 2);
+  EXPECT_EQ(sched.num_chunks(), 0u);
+  EXPECT_FALSE(sched.next(0).has_value());
+  EXPECT_FALSE(sched.next(1).has_value());
+}
+
+TEST(ParallelForSchedulerAwareWs, ReductionMatchesSerial) {
+  constexpr std::uint64_t kN = 50000;
+  constexpr std::uint64_t kChunk = 331;
+  ThreadPool pool(4);
+
+  struct Slot {
+    std::uint64_t sum = 0;
+    bool used = false;
+  };
+  std::vector<Slot> merge(bits::ceil_div(kN, kChunk));
+
+  struct Body {
+    std::vector<Slot>& merge;
+    std::uint64_t acc = 0;
+    void start_chunk(const Chunk&) { acc = 0; }
+    void iteration(std::uint64_t i) { acc += i; }
+    void finish_chunk(const Chunk& c) {
+      merge[c.id].sum = acc;
+      merge[c.id].used = true;
+    }
+  };
+
+  const std::uint64_t chunks = parallel_for_scheduler_aware_ws(
+      pool, kN, kChunk, [&](unsigned) { return Body{merge}; });
+  EXPECT_EQ(chunks, merge.size());
+
+  std::uint64_t total = 0;
+  for (const Slot& s : merge) {
+    EXPECT_TRUE(s.used);
+    total += s.sum;
+  }
+  EXPECT_EQ(total, kN * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace grazelle

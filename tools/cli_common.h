@@ -1,0 +1,90 @@
+// Shared command-line plumbing for the Grazelle tools: dataset loading
+// by name or file, engine-option parsing, and result output — mirroring
+// the artifact's command-line interface (paper Appendix A.5.2).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace grazelle::cli {
+
+/// Parses the dataset selector: either a file path (binary .grzb or
+/// text edge list) or a named analog "C"/"D"/"L"/"T"/"F"/"U".
+inline std::optional<EdgeList> load_input(const std::string& input,
+                                          double scale, bool weighted) {
+  for (const auto& spec : gen::all_datasets()) {
+    if (input == spec.abbr || input == spec.name) {
+      EdgeList list = gen::make_dataset(spec.id, scale);
+      if (weighted) list = gen::with_random_weights(list, 0.1, 2.0);
+      return list;
+    }
+  }
+  const auto has_suffix = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return input.size() > n && input.compare(input.size() - n, n, suffix) == 0;
+  };
+  try {
+    if (has_suffix(".grzb")) return io::load_binary(input);
+    if (has_suffix(".gr")) return io::load_dimacs(input);
+    if (has_suffix(".mtx")) return io::load_matrix_market(input);
+    return io::load_text(input);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot load '%s': %s\n", input.c_str(),
+                 e.what());
+    return std::nullopt;
+  }
+}
+
+inline std::optional<PullParallelism> parse_pull_mode(
+    const std::string& mode) {
+  if (mode == "sa" || mode == "scheduler-aware") {
+    return PullParallelism::kSchedulerAware;
+  }
+  if (mode == "trad" || mode == "traditional") {
+    return PullParallelism::kTraditional;
+  }
+  if (mode == "tradna") return PullParallelism::kTraditionalNoAtomic;
+  if (mode == "vertex") return PullParallelism::kVertexParallel;
+  if (mode == "seq") return PullParallelism::kSequential;
+  return std::nullopt;
+}
+
+inline std::optional<EngineSelect> parse_engine(const std::string& sel) {
+  if (sel == "auto" || sel == "hybrid") return EngineSelect::kAuto;
+  if (sel == "pull") return EngineSelect::kPullOnly;
+  if (sel == "push") return EngineSelect::kPushOnly;
+  return std::nullopt;
+}
+
+/// Writes one value per line ("vertex value") to `path`, as the
+/// artifact's -o flag does.
+template <typename Span>
+inline bool write_output(const std::string& path, Span values) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open output file %s\n", path.c_str());
+    return false;
+  }
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    if constexpr (std::is_floating_point_v<
+                      std::remove_cvref_t<decltype(values[0])>>) {
+      std::fprintf(f, "%zu %.10g\n", v, static_cast<double>(values[v]));
+    } else {
+      std::fprintf(f, "%zu %llu\n", v,
+                   static_cast<unsigned long long>(values[v]));
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace grazelle::cli

@@ -1,0 +1,95 @@
+// graph_info — inspects a graph: counts, degree distributions, and
+// Vector-Sparse packing efficiency at several vector widths (the
+// artifact's fig9 make target prints the same quantities).
+//
+//   graph_info <input> [--scale <f>]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "graph/graph_stats.h"
+#include "graph/partition.h"
+#include "graph/vector_sparse.h"
+
+using namespace grazelle;
+
+namespace {
+
+void print_degree_block(const char* title,
+                        std::span<const std::uint64_t> degrees) {
+  const DegreeStats s = compute_degree_stats(degrees, 1000);
+  std::printf("%s:\n", title);
+  std::printf("  min / avg / max degree:  %llu / %.2f / %llu\n",
+              static_cast<unsigned long long>(s.min_degree), s.avg_degree,
+              static_cast<unsigned long long>(s.max_degree));
+  std::printf("  zero-degree vertices:    %llu\n",
+              static_cast<unsigned long long>(s.zero_degree_count));
+  std::printf("  vertices with deg>=1000: %llu\n",
+              static_cast<unsigned long long>(s.high_degree_count));
+  std::printf("  packing efficiency:      4-elem %.1f%%  8-elem %.1f%%  "
+              "16-elem %.1f%%\n",
+              100 * VectorSparseGraph::packing_efficiency(degrees, 4),
+              100 * VectorSparseGraph::packing_efficiency(degrees, 8),
+              100 * VectorSparseGraph::packing_efficiency(degrees, 16));
+
+  // Log2 degree histogram.
+  std::vector<std::uint64_t> buckets(2, 0);
+  for (std::uint64_t d : degrees) {
+    std::size_t b = 0;
+    while ((std::uint64_t{1} << b) < d + 1) ++b;
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  std::printf("  degree histogram (bucket = [2^(k-1), 2^k)):\n");
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    std::printf("    k=%2zu: %llu\n", b,
+                static_cast<unsigned long long>(buckets[b]));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  double scale = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (input.empty()) {
+      input = argv[i];
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: %s <input> [--scale <f>]\n", argv[0]);
+    return 1;
+  }
+
+  auto list = cli::load_input(input, scale, /*weighted=*/false);
+  if (!list) return 1;
+  const Graph graph = Graph::build(std::move(*list));
+
+  std::printf("graph: %llu vertices, %llu edges%s\n",
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.weighted() ? " (weighted)" : "");
+  std::printf("edge vectors: VSD %llu, VSS %llu (32 bytes each)\n",
+              static_cast<unsigned long long>(graph.vsd().num_vectors()),
+              static_cast<unsigned long long>(graph.vss().num_vectors()));
+
+  print_degree_block("in-degrees (pull side)", graph.in_degrees());
+  print_degree_block("out-degrees (push side)", graph.out_degrees());
+
+  std::printf("NUMA split (4 nodes) of the VSD edge-vector array:\n");
+  for (const NumaPiece& p : partition_vector_sparse(graph.vsd(), 4)) {
+    std::printf("  vectors [%llu, %llu)  vertices [%llu, %llu)\n",
+                static_cast<unsigned long long>(p.vectors.begin),
+                static_cast<unsigned long long>(p.vectors.end),
+                static_cast<unsigned long long>(p.vertices.begin),
+                static_cast<unsigned long long>(p.vertices.end));
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+// grazelle_run — the framework's command-line front end, mirroring the
+// artifact's runner (paper Appendix A.5.2: -i, -n, -N, -s, -o, -u plus
+// application selection). Run with -h for usage.
+//
+// Examples:
+//   grazelle_run -a pr -i T -N 16
+//   grazelle_run -a bfs -i graph.grzb -r 5 -n 8 -o parents.txt
+//   grazelle_run -a cc -i U --engine pull --pull-mode trad -s 1000
+#include <getopt.h>
+
+#include <cstdio>
+#include <string>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "apps/weighted_rank.h"
+#include "cli_common.h"
+#include "platform/cpu_features.h"
+
+using namespace grazelle;
+
+namespace {
+
+struct Options {
+  std::string app = "pr";
+  std::string input;
+  std::string output;
+  unsigned threads = 4;
+  unsigned numa_nodes = 1;
+  unsigned iterations = 16;
+  std::uint64_t granularity = 0;  // 0 = 32n chunks (Grazelle default)
+  VertexId root = 0;
+  double scale = 0.25;
+  std::string engine = "auto";
+  std::string pull_mode = "sa";
+  bool no_vector = false;
+  bool sparse_push = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s -a <app> -i <input> [options]\n"
+      "\n"
+      "  -a <app>          pr | cc | bfs | sssp | wrank (default pr)\n"
+      "  -i <input>        graph file (.grzb binary or text edge list), or\n"
+      "                    a dataset analog name: C D L T F U\n"
+      "  -n <threads>      worker threads (default 4)\n"
+      "  -u <nodes>        simulated NUMA nodes (default 1)\n"
+      "  -N <iterations>   iterations for PR/wrank (default 16)\n"
+      "  -s <granularity>  edge vectors per scheduler chunk\n"
+      "                    (default: 32 x threads chunks)\n"
+      "  -r <root>         BFS root / SSSP source (default 0)\n"
+      "  -o <file>         write per-vertex results to file\n"
+      "  -S <scale>        dataset analog scale factor (default 0.25)\n"
+      "  --engine <e>      auto | pull | push (default auto)\n"
+      "  --pull-mode <m>   sa | trad | tradna | vertex | seq (default sa)\n"
+      "  --no-vector       disable the AVX2 kernels\n"
+      "  --sparse-push     enable the sparse-frontier push extension\n"
+      "  -h                this help\n",
+      argv0);
+}
+
+template <typename P, bool Vec, typename Make, typename Seed, typename Out>
+int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
+            Out&& out, unsigned max_iters) {
+  EngineOptions eopts;
+  eopts.num_threads = opt.threads;
+  eopts.numa_nodes = opt.numa_nodes;
+  eopts.chunk_vectors = opt.granularity;
+  eopts.sparse_push = opt.sparse_push;
+  if (const auto m = cli::parse_pull_mode(opt.pull_mode)) {
+    eopts.pull_mode = *m;
+  } else {
+    std::fprintf(stderr, "error: unknown pull mode '%s'\n",
+                 opt.pull_mode.c_str());
+    return 1;
+  }
+  if (const auto s = cli::parse_engine(opt.engine)) {
+    eopts.select = *s;
+  } else {
+    std::fprintf(stderr, "error: unknown engine '%s'\n", opt.engine.c_str());
+    return 1;
+  }
+
+  Engine<P, Vec> engine(graph, eopts);
+  P prog = make(engine.pool().size());
+  seed(engine.frontier(), prog);
+  const RunStats stats = engine.run(prog, max_iters);
+
+  std::printf("iterations:        %u (pull %u, push %u, sparse-push %u)\n",
+              stats.iterations, stats.pull_iterations, stats.push_iterations,
+              stats.sparse_push_iterations);
+  std::printf("execution time:    %.3f ms\n", stats.total_seconds * 1e3);
+  if (stats.iterations > 0) {
+    std::printf("time/iteration:    %.3f ms\n",
+                stats.total_seconds * 1e3 / stats.iterations);
+  }
+  return out(prog) ? 0 : 1;
+}
+
+template <bool Vec>
+int dispatch(const Graph& graph, const Options& opt) {
+  if (opt.app == "pr") {
+    return run_app<apps::PageRank, Vec>(
+        graph, opt,
+        [&](unsigned threads) { return apps::PageRank(graph, threads); },
+        [](DenseFrontier&, apps::PageRank&) {},
+        [&](apps::PageRank& pr) {
+          pr.finalize();
+          std::printf("PageRank Sum:      %.9f\n", pr.rank_sum());
+          return opt.output.empty() || cli::write_output(opt.output,
+                                                         pr.ranks());
+        },
+        opt.iterations);
+  }
+  if (opt.app == "cc") {
+    return run_app<apps::ConnectedComponents, Vec>(
+        graph, opt,
+        [&](unsigned) { return apps::ConnectedComponents(graph); },
+        [](DenseFrontier& f, apps::ConnectedComponents&) { f.set_all(); },
+        [&](apps::ConnectedComponents& cc) {
+          return opt.output.empty() || cli::write_output(opt.output,
+                                                         cc.labels());
+        },
+        1u << 20);
+  }
+  if (opt.app == "bfs") {
+    return run_app<apps::BreadthFirstSearch, Vec>(
+        graph, opt,
+        [&](unsigned) { return apps::BreadthFirstSearch(graph, opt.root); },
+        [](DenseFrontier& f, apps::BreadthFirstSearch& bfs) { bfs.seed(f); },
+        [&](apps::BreadthFirstSearch& bfs) {
+          std::printf("vertices reached:  %llu\n",
+                      static_cast<unsigned long long>(bfs.visited().count()));
+          return opt.output.empty() || cli::write_output(opt.output,
+                                                         bfs.parents());
+        },
+        1u << 20);
+  }
+  if (opt.app == "sssp") {
+    if (!graph.weighted()) {
+      std::fprintf(stderr, "error: sssp needs a weighted graph\n");
+      return 1;
+    }
+    return run_app<apps::Sssp, Vec>(
+        graph, opt, [&](unsigned) { return apps::Sssp(graph, opt.root); },
+        [](DenseFrontier& f, apps::Sssp& sssp) { sssp.seed(f); },
+        [&](apps::Sssp& sssp) {
+          return opt.output.empty() || cli::write_output(opt.output,
+                                                         sssp.distances());
+        },
+        static_cast<unsigned>(graph.num_vertices()) + 1);
+  }
+  if (opt.app == "wrank") {
+    if (!graph.weighted()) {
+      std::fprintf(stderr, "error: wrank needs a weighted graph\n");
+      return 1;
+    }
+    return run_app<apps::WeightedRank, Vec>(
+        graph, opt, [&](unsigned) { return apps::WeightedRank(graph); },
+        [](DenseFrontier&, apps::WeightedRank&) {},
+        [&](apps::WeightedRank& wr) {
+          return opt.output.empty() || cli::write_output(opt.output,
+                                                         wr.scores());
+        },
+        opt.iterations);
+  }
+  std::fprintf(stderr, "error: unknown application '%s'\n", opt.app.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  static option long_options[] = {
+      {"engine", required_argument, nullptr, 1000},
+      {"pull-mode", required_argument, nullptr, 1001},
+      {"no-vector", no_argument, nullptr, 1002},
+      {"sparse-push", no_argument, nullptr, 1003},
+      {nullptr, 0, nullptr, 0},
+  };
+
+  int c;
+  while ((c = getopt_long(argc, argv, "a:i:n:u:N:s:r:o:S:h", long_options,
+                          nullptr)) != -1) {
+    switch (c) {
+      case 'a': opt.app = optarg; break;
+      case 'i': opt.input = optarg; break;
+      case 'n': opt.threads = std::atoi(optarg); break;
+      case 'u': opt.numa_nodes = std::atoi(optarg); break;
+      case 'N': opt.iterations = std::atoi(optarg); break;
+      case 's': opt.granularity = std::atoll(optarg); break;
+      case 'r': opt.root = std::atoll(optarg); break;
+      case 'o': opt.output = optarg; break;
+      case 'S': opt.scale = std::atof(optarg); break;
+      case 1000: opt.engine = optarg; break;
+      case 1001: opt.pull_mode = optarg; break;
+      case 1002: opt.no_vector = true; break;
+      case 1003: opt.sparse_push = true; break;
+      case 'h': usage(argv[0]); return 0;
+      default: usage(argv[0]); return 1;
+    }
+  }
+  if (opt.input.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  const bool needs_weights = opt.app == "sssp" || opt.app == "wrank";
+  auto list = cli::load_input(opt.input, opt.scale, needs_weights);
+  if (!list) return 1;
+
+  const Graph graph = Graph::build(std::move(*list));
+  std::printf("graph:             %llu vertices, %llu edges%s\n",
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.weighted() ? " (weighted)" : "");
+
+  const bool vectorize = !opt.no_vector && vector_kernels_available();
+  std::printf("kernels:           %s\n", vectorize ? "AVX2" : "scalar");
+#if defined(GRAZELLE_HAVE_AVX2)
+  if (vectorize) return dispatch<true>(graph, opt);
+#endif
+  return dispatch<false>(graph, opt);
+}

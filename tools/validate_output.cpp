@@ -1,0 +1,89 @@
+// validate_output — compares two per-vertex result files written by
+// grazelle_run's -o flag (artifact-style correctness checking across
+// frameworks / configurations).
+//
+//   validate_output <file-a> <file-b> [--tolerance <eps>]
+//
+// Integer columns (CC labels, BFS parents) must match exactly;
+// floating-point columns (PR ranks, SSSP distances) within the
+// relative tolerance (default 1e-6). Exit code 0 = match.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  std::string path_a, path_b;
+  double tolerance = 1e-6;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (path_a.empty()) {
+      path_a = argv[i];
+    } else if (path_b.empty()) {
+      path_b = argv[i];
+    }
+  }
+  if (path_a.empty() || path_b.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <file-a> <file-b> [--tolerance <eps>]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::ifstream a(path_a), b(path_b);
+  if (!a || !b) {
+    std::fprintf(stderr, "error: cannot open input files\n");
+    return 2;
+  }
+
+  std::uint64_t line = 0;
+  std::uint64_t mismatches = 0;
+  double worst = 0.0;
+  std::uint64_t va = 0, vb = 0;
+  std::string sa, sb;
+  while (true) {
+    const bool got_a = static_cast<bool>(a >> va >> sa);
+    const bool got_b = static_cast<bool>(b >> vb >> sb);
+    if (!got_a && !got_b) break;
+    if (got_a != got_b) {
+      std::fprintf(stderr, "length mismatch at line %llu\n",
+                   static_cast<unsigned long long>(line));
+      return 1;
+    }
+    ++line;
+    if (va != vb) {
+      std::fprintf(stderr, "vertex id mismatch at line %llu\n",
+                   static_cast<unsigned long long>(line));
+      return 1;
+    }
+    const double xa = std::atof(sa.c_str());
+    const double xb = std::atof(sb.c_str());
+    const bool both_inf = std::isinf(xa) && std::isinf(xb);
+    const double scale = std::max({std::fabs(xa), std::fabs(xb), 1.0});
+    const double err = both_inf ? 0.0 : std::fabs(xa - xb) / scale;
+    if (err > tolerance) {
+      ++mismatches;
+      worst = std::max(worst, err);
+      if (mismatches <= 5) {
+        std::fprintf(stderr, "mismatch: vertex %llu: %s vs %s\n",
+                     static_cast<unsigned long long>(va), sa.c_str(),
+                     sb.c_str());
+      }
+    }
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu/%llu values differ (worst rel. error %g)\n",
+                 static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(line), worst);
+    return 1;
+  }
+  std::printf("OK: %llu values match within %g\n",
+              static_cast<unsigned long long>(line), tolerance);
+  return 0;
+}
