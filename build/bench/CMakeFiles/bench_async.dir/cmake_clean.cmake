@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async.dir/bench_async.cpp.o"
+  "CMakeFiles/bench_async.dir/bench_async.cpp.o.d"
+  "bench_async"
+  "bench_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_ligra_loops.dir/bench_fig01_ligra_loops.cpp.o"
+  "CMakeFiles/bench_fig01_ligra_loops.dir/bench_fig01_ligra_loops.cpp.o.d"
+  "bench_fig01_ligra_loops"
+  "bench_fig01_ligra_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_ligra_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_sched_awareness.dir/bench_fig05_sched_awareness.cpp.o"
+  "CMakeFiles/bench_fig05_sched_awareness.dir/bench_fig05_sched_awareness.cpp.o.d"
+  "bench_fig05_sched_awareness"
+  "bench_fig05_sched_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_sched_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_granularity.dir/bench_fig06_granularity.cpp.o"
+  "CMakeFiles/bench_fig06_granularity.dir/bench_fig06_granularity.cpp.o.d"
+  "bench_fig06_granularity"
+  "bench_fig06_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

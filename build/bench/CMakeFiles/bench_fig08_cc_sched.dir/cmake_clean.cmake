@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cc_sched.dir/bench_fig08_cc_sched.cpp.o"
+  "CMakeFiles/bench_fig08_cc_sched.dir/bench_fig08_cc_sched.cpp.o.d"
+  "bench_fig08_cc_sched"
+  "bench_fig08_cc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vectorization.dir/bench_fig10_vectorization.cpp.o"
+  "CMakeFiles/bench_fig10_vectorization.dir/bench_fig10_vectorization.cpp.o.d"
+  "bench_fig10_vectorization"
+  "bench_fig10_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

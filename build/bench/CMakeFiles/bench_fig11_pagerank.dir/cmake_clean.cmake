@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pagerank.dir/bench_fig11_pagerank.cpp.o"
+  "CMakeFiles/bench_fig11_pagerank.dir/bench_fig11_pagerank.cpp.o.d"
+  "bench_fig11_pagerank"
+  "bench_fig11_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

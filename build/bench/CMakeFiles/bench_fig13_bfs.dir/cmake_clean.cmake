@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bfs.dir/bench_fig13_bfs.cpp.o"
+  "CMakeFiles/bench_fig13_bfs.dir/bench_fig13_bfs.cpp.o.d"
+  "bench_fig13_bfs"
+  "bench_fig13_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wide_vectors.dir/bench_wide_vectors.cpp.o"
+  "CMakeFiles/bench_wide_vectors.dir/bench_wide_vectors.cpp.o.d"
+  "bench_wide_vectors"
+  "bench_wide_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wide_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender.dir/recommender.cpp.o"
+  "CMakeFiles/recommender.dir/recommender.cpp.o.d"
+  "recommender"
+  "recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

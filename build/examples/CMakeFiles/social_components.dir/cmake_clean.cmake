@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_components.dir/social_components.cpp.o"
+  "CMakeFiles/social_components.dir/social_components.cpp.o.d"
+  "social_components"
+  "social_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

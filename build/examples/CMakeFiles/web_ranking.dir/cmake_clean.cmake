@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_ranking.dir/web_ranking.cpp.o"
+  "CMakeFiles/web_ranking.dir/web_ranking.cpp.o.d"
+  "web_ranking"
+  "web_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

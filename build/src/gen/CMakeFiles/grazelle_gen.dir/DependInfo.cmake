@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/datasets.cpp" "src/gen/CMakeFiles/grazelle_gen.dir/datasets.cpp.o" "gcc" "src/gen/CMakeFiles/grazelle_gen.dir/datasets.cpp.o.d"
+  "/root/repo/src/gen/reorder.cpp" "src/gen/CMakeFiles/grazelle_gen.dir/reorder.cpp.o" "gcc" "src/gen/CMakeFiles/grazelle_gen.dir/reorder.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/gen/CMakeFiles/grazelle_gen.dir/rmat.cpp.o" "gcc" "src/gen/CMakeFiles/grazelle_gen.dir/rmat.cpp.o.d"
+  "/root/repo/src/gen/synthetic.cpp" "src/gen/CMakeFiles/grazelle_gen.dir/synthetic.cpp.o" "gcc" "src/gen/CMakeFiles/grazelle_gen.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/grazelle_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/grazelle_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grazelle_gen.dir/datasets.cpp.o"
+  "CMakeFiles/grazelle_gen.dir/datasets.cpp.o.d"
+  "CMakeFiles/grazelle_gen.dir/reorder.cpp.o"
+  "CMakeFiles/grazelle_gen.dir/reorder.cpp.o.d"
+  "CMakeFiles/grazelle_gen.dir/rmat.cpp.o"
+  "CMakeFiles/grazelle_gen.dir/rmat.cpp.o.d"
+  "CMakeFiles/grazelle_gen.dir/synthetic.cpp.o"
+  "CMakeFiles/grazelle_gen.dir/synthetic.cpp.o.d"
+  "libgrazelle_gen.a"
+  "libgrazelle_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grazelle_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

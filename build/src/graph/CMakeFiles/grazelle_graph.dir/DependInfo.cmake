@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/compressed_sparse.cpp" "src/graph/CMakeFiles/grazelle_graph.dir/compressed_sparse.cpp.o" "gcc" "src/graph/CMakeFiles/grazelle_graph.dir/compressed_sparse.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/grazelle_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/grazelle_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/grazelle_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/grazelle_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/graph/CMakeFiles/grazelle_graph.dir/graph_stats.cpp.o" "gcc" "src/graph/CMakeFiles/grazelle_graph.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/grazelle_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/grazelle_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/grazelle_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/grazelle_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/vector_sparse.cpp" "src/graph/CMakeFiles/grazelle_graph.dir/vector_sparse.cpp.o" "gcc" "src/graph/CMakeFiles/grazelle_graph.dir/vector_sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/grazelle_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grazelle_graph.dir/compressed_sparse.cpp.o"
+  "CMakeFiles/grazelle_graph.dir/compressed_sparse.cpp.o.d"
+  "CMakeFiles/grazelle_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/grazelle_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/grazelle_graph.dir/graph.cpp.o"
+  "CMakeFiles/grazelle_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/grazelle_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/grazelle_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/grazelle_graph.dir/io.cpp.o"
+  "CMakeFiles/grazelle_graph.dir/io.cpp.o.d"
+  "CMakeFiles/grazelle_graph.dir/partition.cpp.o"
+  "CMakeFiles/grazelle_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/grazelle_graph.dir/vector_sparse.cpp.o"
+  "CMakeFiles/grazelle_graph.dir/vector_sparse.cpp.o.d"
+  "libgrazelle_graph.a"
+  "libgrazelle_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grazelle_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

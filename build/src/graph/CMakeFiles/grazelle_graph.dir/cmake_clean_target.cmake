@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrazelle_graph.a"
+)

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cpu_features.cpp" "src/platform/CMakeFiles/grazelle_platform.dir/cpu_features.cpp.o" "gcc" "src/platform/CMakeFiles/grazelle_platform.dir/cpu_features.cpp.o.d"
+  "/root/repo/src/platform/numa_topology.cpp" "src/platform/CMakeFiles/grazelle_platform.dir/numa_topology.cpp.o" "gcc" "src/platform/CMakeFiles/grazelle_platform.dir/numa_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grazelle_platform.dir/cpu_features.cpp.o"
+  "CMakeFiles/grazelle_platform.dir/cpu_features.cpp.o.d"
+  "CMakeFiles/grazelle_platform.dir/numa_topology.cpp.o"
+  "CMakeFiles/grazelle_platform.dir/numa_topology.cpp.o.d"
+  "libgrazelle_platform.a"
+  "libgrazelle_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grazelle_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

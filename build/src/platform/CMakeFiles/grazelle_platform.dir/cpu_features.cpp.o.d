@@ -1,0 +1,4 @@
+src/platform/CMakeFiles/grazelle_platform.dir/cpu_features.cpp.o: \
+ /root/repo/src/platform/cpu_features.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/platform/cpu_features.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cpuid.h

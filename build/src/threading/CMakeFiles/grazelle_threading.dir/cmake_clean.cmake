@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grazelle_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/grazelle_threading.dir/thread_pool.cpp.o.d"
+  "libgrazelle_threading.a"
+  "libgrazelle_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grazelle_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

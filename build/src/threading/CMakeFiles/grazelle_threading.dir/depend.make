@@ -1,0 +1,2 @@
+# Empty dependencies file for grazelle_threading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async.dir/async_test.cpp.o"
+  "CMakeFiles/test_async.dir/async_test.cpp.o.d"
+  "test_async"
+  "test_async.pdb"
+  "test_async[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cf.dir/cf_test.cpp.o"
+  "CMakeFiles/test_cf.dir/cf_test.cpp.o.d"
+  "test_cf"
+  "test_cf.pdb"
+  "test_cf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontier.dir/frontier_test.cpp.o"
+  "CMakeFiles/test_frontier.dir/frontier_test.cpp.o.d"
+  "test_frontier"
+  "test_frontier.pdb"
+  "test_frontier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pagerank_delta.dir/pagerank_delta_test.cpp.o"
+  "CMakeFiles/test_pagerank_delta.dir/pagerank_delta_test.cpp.o.d"
+  "test_pagerank_delta"
+  "test_pagerank_delta.pdb"
+  "test_pagerank_delta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pagerank_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

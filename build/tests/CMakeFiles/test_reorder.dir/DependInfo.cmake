@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reorder_test.cpp" "tests/CMakeFiles/test_reorder.dir/reorder_test.cpp.o" "gcc" "tests/CMakeFiles/test_reorder.dir/reorder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/grazelle_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/grazelle_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/grazelle_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/grazelle_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

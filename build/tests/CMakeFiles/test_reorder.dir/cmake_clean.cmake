@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reorder.dir/reorder_test.cpp.o"
+  "CMakeFiles/test_reorder.dir/reorder_test.cpp.o.d"
+  "test_reorder"
+  "test_reorder.pdb"
+  "test_reorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

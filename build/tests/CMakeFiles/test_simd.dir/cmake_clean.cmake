@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd.dir/simd_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd_test.cpp.o.d"
+  "test_simd"
+  "test_simd.pdb"
+  "test_simd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

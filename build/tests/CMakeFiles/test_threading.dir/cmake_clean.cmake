@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threading.dir/threading_test.cpp.o"
+  "CMakeFiles/test_threading.dir/threading_test.cpp.o.d"
+  "test_threading"
+  "test_threading.pdb"
+  "test_threading[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools.dir/tools_test.cpp.o"
+  "CMakeFiles/test_tools.dir/tools_test.cpp.o.d"
+  "test_tools"
+  "test_tools.pdb"
+  "test_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wide.dir/wide_test.cpp.o"
+  "CMakeFiles/test_wide.dir/wide_test.cpp.o.d"
+  "test_wide"
+  "test_wide.pdb"
+  "test_wide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_stealing.dir/work_stealing_test.cpp.o"
+  "CMakeFiles/test_work_stealing.dir/work_stealing_test.cpp.o.d"
+  "test_work_stealing"
+  "test_work_stealing.pdb"
+  "test_work_stealing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_threading[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_frontier[1]_include.cmake")
+include("/root/repo/build/tests/test_simd[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_wide[1]_include.cmake")
+include("/root/repo/build/tests/test_work_stealing[1]_include.cmake")
+include("/root/repo/build/tests/test_async[1]_include.cmake")
+include("/root/repo/build/tests/test_cf[1]_include.cmake")
+include("/root/repo/build/tests/test_reorder[1]_include.cmake")
+include("/root/repo/build/tests/test_pagerank_delta[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")

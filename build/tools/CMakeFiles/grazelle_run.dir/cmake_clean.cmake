@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grazelle_run.dir/grazelle_run.cpp.o"
+  "CMakeFiles/grazelle_run.dir/grazelle_run.cpp.o.d"
+  "grazelle_run"
+  "grazelle_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grazelle_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_output.dir/validate_output.cpp.o"
+  "CMakeFiles/validate_output.dir/validate_output.cpp.o.d"
+  "validate_output"
+  "validate_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
