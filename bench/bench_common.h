@@ -138,6 +138,49 @@ inline std::string fmt_ms(double seconds) {
   return buf;
 }
 
+/// One machine-readable JSON object per line, printed alongside the
+/// human-readable tables so plots/scripts can consume bench output
+/// without parsing column layouts.
+class JsonRow {
+ public:
+  JsonRow& field(const std::string& key, const std::string& value) {
+    return append("\"" + key + "\": \"" + value + "\"");
+  }
+
+  JsonRow& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+
+  JsonRow& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return append("\"" + key + "\": " + buf);
+  }
+
+  JsonRow& field(const std::string& key, std::uint64_t value) {
+    return append("\"" + key + "\": " + std::to_string(value));
+  }
+
+  JsonRow& field(const std::string& key, unsigned value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+
+  JsonRow& field(const std::string& key, bool value) {
+    return append("\"" + key + "\": " + (value ? "true" : "false"));
+  }
+
+  void print() const { std::printf("{%s}\n", body_.c_str()); }
+
+ private:
+  JsonRow& append(std::string kv) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += std::move(kv);
+    return *this;
+  }
+
+  std::string body_;
+};
+
 inline void banner(const std::string& title, const std::string& note) {
   std::printf("\n=== %s ===\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());

@@ -138,11 +138,7 @@ class AsyncEngine {
  private:
   /// Atomic test-and-set on the queued bitmask; true when this call
   /// transitioned the bit from 0 to 1 (the caller owns the enqueue).
-  bool try_enqueue(VertexId v) {
-    std::atomic_ref<std::uint64_t> word(queued_.words()[v >> 6]);
-    const std::uint64_t bit = std::uint64_t{1} << (v & 63);
-    return (word.fetch_or(bit, std::memory_order_relaxed) & bit) == 0;
-  }
+  bool try_enqueue(VertexId v) { return queued_.test_and_set_atomic(v); }
 
   const Graph& graph_;
   ThreadPool pool_;

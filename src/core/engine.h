@@ -45,6 +45,21 @@ struct EngineOptions {
   /// Frontier-size threshold (fraction of vertices, denominator) below
   /// which sparse push triggers: |F| < V / sparse_push_divisor.
   std::uint64_t sparse_push_divisor = 64;
+  /// Extension: frontier-gated pull. When true, sparse pull iterations
+  /// test each edge vector's precomputed source-occupancy span against
+  /// the hierarchical frontier's summary and skip provably inactive
+  /// vectors wholesale — converting the pull Edge phase from O(E) to
+  /// O(E_touched + summary probes). A no-op for programs with
+  /// kUsesFrontier == false.
+  bool frontier_gating = false;
+  /// Frontier-density threshold (denominator) below which the gate is
+  /// applied: |F| * gating_divisor <= V. On denser frontiers nearly
+  /// every span is occupied, so the gate would be pure overhead.
+  std::uint64_t gating_divisor = 32;
+  /// Beamer-threshold divisor the hybrid heuristic uses when gating is
+  /// on (the classic heuristic pulls above num_edges/20; gating makes
+  /// sparse pull cheap, so the pull band widens to num_edges/this).
+  std::uint64_t gating_pull_divisor = 200;
 };
 
 struct IterationStats {
@@ -57,6 +72,10 @@ struct IterationStats {
   double idle_seconds = 0.0;
   std::uint64_t frontier_size = 0;
   std::uint64_t changed = 0;
+  /// Whether the frontier-occupancy gate was applied this iteration.
+  bool gated = false;
+  /// Edge vectors skipped by the occupancy gate (0 when not gated).
+  std::uint64_t vectors_skipped = 0;
 };
 
 struct RunStats {
@@ -64,6 +83,8 @@ struct RunStats {
   unsigned pull_iterations = 0;
   unsigned push_iterations = 0;
   unsigned sparse_push_iterations = 0;  // subset of push_iterations
+  unsigned gated_iterations = 0;  // subset of pull_iterations
+  std::uint64_t vectors_skipped = 0;  // total across gated iterations
   double total_seconds = 0.0;
   std::vector<IterationStats> per_iteration;
 };
@@ -114,11 +135,33 @@ class Engine {
                  [&](std::uint64_t v) { accum_[v] = prog.identity(); });
   }
 
-  /// One Edge-Pull phase into the accumulators.
+  /// One Edge-Pull phase into the accumulators. Applies the occupancy
+  /// gate per the engine options and current frontier density.
   void run_edge_pull(const P& prog) {
+    run_edge_pull(prog,
+                  should_gate(P::kUsesFrontier ? frontier_.count() : 0));
+  }
+
+  /// One Edge-Pull phase with an explicit gating decision (benchmarks
+  /// use this to compare gated vs ungated on identical frontiers).
+  void run_edge_pull(const P& prog, bool gated) {
     pull_phase_.run(prog, graph_.vsd(), accum_.span(),
                     P::kUsesFrontier ? &frontier_ : nullptr, pool_,
-                    options_.pull_mode, options_.chunk_vectors, merge_buffer_);
+                    options_.pull_mode, options_.chunk_vectors, merge_buffer_,
+                    gated);
+  }
+
+  /// Edge vectors the occupancy gate skipped during the most recent
+  /// Edge-Pull phase.
+  [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
+    return pull_phase_.last_vectors_skipped();
+  }
+
+  /// Whether a pull iteration over a frontier of this size would apply
+  /// the occupancy gate.
+  [[nodiscard]] bool should_gate(std::uint64_t frontier_size) const noexcept {
+    return options_.frontier_gating && P::kUsesFrontier &&
+           frontier_size * options_.gating_divisor <= graph_.num_vertices();
   }
 
   /// One Edge-Push phase into the accumulators.
@@ -161,9 +204,15 @@ class Engine {
 
       WallTimer edge_timer;
       if (it.used_pull) {
-        run_edge_pull(prog);
+        it.gated = should_gate(it.frontier_size);
+        run_edge_pull(prog, it.gated);
         it.merge_seconds = pull_phase_.last_merge_seconds();
         it.idle_seconds = pull_phase_.last_idle_seconds();
+        it.vectors_skipped = pull_phase_.last_vectors_skipped();
+        if (it.gated) {
+          ++stats.gated_iterations;
+          stats.vectors_skipped += it.vectors_skipped;
+        }
       } else if (options_.sparse_push && P::kUsesFrontier &&
                  it.frontier_size <
                      graph_.num_vertices() / options_.sparse_push_divisor) {
@@ -204,9 +253,13 @@ class Engine {
     }
     if (!P::kUsesFrontier) return true;
     // Beamer-style direction heuristic: pull once the frontier's edge
-    // work is a substantial fraction of the graph.
+    // work is a substantial fraction of the graph. With frontier gating
+    // on, sparse pull iterations skip most edge vectors outright, so
+    // the pull band widens (a larger divisor lowers the threshold).
+    const std::uint64_t divisor =
+        options_.frontier_gating ? options_.gating_pull_divisor : 20;
     return should_use_dense(frontier_size, last_active_out_edges_,
-                            graph_.num_edges());
+                            graph_.num_edges(), divisor);
   }
 
   const Graph& graph_;

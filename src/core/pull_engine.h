@@ -27,6 +27,8 @@
 #include <utility>
 
 #include "core/merge_buffer.h"
+#include "platform/aligned_buffer.h"
+#include "platform/bits.h"
 #include "platform/timer.h"
 #include "threading/reduction.h"
 #include "core/program.h"
@@ -49,7 +51,10 @@ enum class PullParallelism {
 namespace detail {
 
 /// Scalar per-lane accumulation of one edge vector into `acc`.
-template <GraphProgram P>
+/// `SummaryGate` additionally pre-tests each source's frontier-word
+/// summary bit — on sparse frontiers the summary stays hot in L1 while
+/// the bitmask does not (see HierarchicalFrontier).
+template <GraphProgram P, bool SummaryGate = false>
 inline void accumulate_vector_scalar(const P& prog, const EdgeVector& ev,
                                      const WeightVector* wv,
                                      const DenseFrontier* frontier,
@@ -59,6 +64,9 @@ inline void accumulate_vector_scalar(const P& prog, const EdgeVector& ev,
   for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
     if (!ev.valid(k)) continue;
     const VertexId src = ev.neighbor(k);
+    if constexpr (P::kUsesFrontier && SummaryGate) {
+      if (!frontier->word_maybe_nonzero(src >> 6)) continue;
+    }
     if constexpr (P::kUsesFrontier) {
       if (!frontier->test(src)) continue;
     }
@@ -90,7 +98,9 @@ struct VecOf<std::uint64_t> {
 
 /// Vector accumulation of one edge vector into the 4-lane accumulator
 /// `vacc` (Listing 7's body, generalized over program traits).
-template <GraphProgram P>
+/// `SummaryGate` swaps the membership test for the summary-pretested
+/// variant used by the frontier-gated pull path.
+template <GraphProgram P, bool SummaryGate = false>
 inline void accumulate_vector_simd(const P& prog, const EdgeVector& ev,
                                    const WeightVector* wv,
                                    const DenseFrontier* frontier,
@@ -102,7 +112,11 @@ inline void accumulate_vector_simd(const P& prog, const EdgeVector& ev,
   const simd::VecU64 lanes = simd::load_lanes(ev);
   simd::VecU64 mask = simd::valid_mask(lanes);
   const simd::VecU64 srcs = simd::neighbor_ids(lanes);
-  if constexpr (P::kUsesFrontier) {
+  if constexpr (P::kUsesFrontier && SummaryGate) {
+    mask = simd::bitand_(
+        mask, simd::frontier_mask_summary(frontier->words(),
+                                          frontier->summary_words(), srcs));
+  } else if constexpr (P::kUsesFrontier) {
     mask = simd::bitand_(mask, simd::frontier_mask(frontier->words(), srcs));
   }
 
@@ -205,6 +219,121 @@ inline std::pair<VertexId, typename P::Value> process_vector_range(
   }
 }
 
+/// Tests one bit of the per-phase candidate bitmap (see
+/// PullEdgePhase::build_candidates): bit i set ⇔ edge vector i has at
+/// least one valid lane whose source is in the frontier. The word is
+/// reused for 64 consecutive vectors, so on a sequential walk this is
+/// one L1 load plus a shift-and-test per vector — cheap enough that
+/// skipping stays profitable even where the per-vector work it avoids
+/// is only a handful of instructions.
+[[nodiscard]] inline bool candidate_vector(const std::uint64_t* candidates,
+                                           std::uint64_t i) noexcept {
+  return ((candidates[i >> 6] >> (i & 63)) & 1) != 0;
+}
+
+/// Frontier-gated variant of process_vector_range: each vector is
+/// pre-tested against the candidate bitmap and provably inactive
+/// vectors are skipped wholesale — no 32-byte vector load, no
+/// top-level reassembly, no dest bookkeeping, no masked gathers.
+/// Skipped vectors are counted in `skipped`. A skipped vector
+/// contributes exactly the identity, so the dest-change/flush protocol
+/// is preserved by simply not surfacing its destination: flushes fire
+/// on the next *occupied* vector's dest change, trailing skipped
+/// destinations keep their pre-primed identity accumulator, and the
+/// returned trailing pair reflects the last occupied destination.
+template <GraphProgram P, bool Vectorized, typename FlushFn>
+inline std::pair<VertexId, typename P::Value> process_vector_range_gated(
+    const P& prog, const VectorSparseGraph& graph,
+    const DenseFrontier* frontier, const std::uint64_t* candidates,
+    std::uint64_t begin, std::uint64_t end, std::uint64_t& skipped,
+    FlushFn&& flush) {
+  static_assert(P::kUsesFrontier,
+                "gating is meaningful only for frontier-driven programs");
+  using V = typename P::Value;
+  const std::span<const EdgeVector> vectors = graph.vectors();
+  const std::span<const WeightVector> weights = graph.weights();
+
+  VertexId prev = kInvalidVertex;
+  [[maybe_unused]] V acc = prog.identity();
+
+#if defined(GRAZELLE_HAVE_AVX2)
+  using Vec = typename VecOf<V>::type;
+  [[maybe_unused]] Vec vacc{};
+  if constexpr (Vectorized) vacc = simd::splat(prog.identity());
+#else
+  static_assert(!Vectorized, "vector kernels not built");
+#endif
+
+  bool skip_current = false;
+  // Word-driven tzcnt scan of the candidate bitmap: one zero test
+  // retires up to 64 provably inactive vectors, and occupied vectors
+  // are located with count_trailing_zeros — the same scan idiom the
+  // frontier itself uses (§5). On a sparse frontier the walk cost
+  // collapses to roughly one load per 64 vectors.
+  std::uint64_t i = begin;
+  while (i < end) {
+    const std::uint64_t word = candidates[i >> 6] >> (i & 63);
+    if (word == 0) {
+      const std::uint64_t next = std::min(end, ((i >> 6) + 1) << 6);
+      skipped += next - i;
+      i = next;
+      continue;
+    }
+    const unsigned tz = bits::count_trailing_zeros(word);
+    if (i + tz >= end) {
+      skipped += end - i;
+      break;
+    }
+    skipped += tz;
+    i += tz;
+    const EdgeVector& ev = vectors[i];
+    const VertexId dest = ev.top_level();
+    if (dest != prev) {
+      if (prev != kInvalidVertex) {
+        if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+          flush(prev, simd::reduce<P::kCombine>(vacc));
+          vacc = simd::splat(prog.identity());
+#endif
+        } else {
+          flush(prev, acc);
+          acc = prog.identity();
+        }
+      }
+      prev = dest;
+      if constexpr (P::kUsesConvergedSet) {
+        skip_current = prog.skip_destination(dest);
+      }
+    }
+    bool accumulate = true;
+    if constexpr (P::kUsesConvergedSet) {
+      accumulate = !skip_current;
+    }
+    if (accumulate) {
+      const WeightVector* wv = weights.empty() ? nullptr : &weights[i];
+      if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+        accumulate_vector_simd<P, true>(prog, ev, wv, frontier, vacc);
+#endif
+      } else {
+        accumulate_vector_scalar<P, true>(prog, ev, wv, frontier, acc);
+      }
+    }
+    ++i;
+  }
+
+  if constexpr (Vectorized) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    return {prev, prev == kInvalidVertex ? prog.identity()
+                                         : simd::reduce<P::kCombine>(vacc)};
+#else
+    return {prev, prog.identity()};
+#endif
+  } else {
+    return {prev, acc};
+  }
+}
+
 }  // namespace detail
 
 /// Edge-Pull phase runner. Owns no data; operates on the caller's
@@ -222,10 +351,21 @@ class PullEdgePhase {
   /// chunk (0 = the Grazelle default of 32·threads chunks, §5).
   /// `merge_buffer` is only used in kSchedulerAware mode and is resized
   /// as needed. `frontier` may be null when P::kUsesFrontier is false.
+  ///
+  /// `gated` selects the frontier-gated walkers. The phase first
+  /// scatters the active frontier through the graph's source->vector
+  /// incidence index into a per-vector candidate bitmap — cost
+  /// proportional to the frontier's out-edges, exactly the regime the
+  /// gate heuristic admits — then the walkers test one bitmap bit per
+  /// vector and skip provably inactive vectors wholesale
+  /// (last_vectors_skipped() reports how many). A no-op for programs
+  /// with kUsesFrontier == false or when `frontier` is null.
   void run(const P& prog, const VectorSparseGraph& graph,
            std::span<V> accum, const DenseFrontier* frontier,
            ThreadPool& pool, PullParallelism mode,
-           std::uint64_t chunk_vectors, MergeBuffer<V>& merge_buffer) {
+           std::uint64_t chunk_vectors, MergeBuffer<V>& merge_buffer,
+           bool gated = false) {
+    last_vectors_skipped_ = 0;
     const std::uint64_t n = graph.num_vectors();
     if (n == 0) return;
     const std::uint64_t chunk =
@@ -233,6 +373,41 @@ class PullEdgePhase {
             ? chunk_vectors
             : std::max<std::uint64_t>(
                   1, bits::ceil_div(n, std::uint64_t{32} * pool.size()));
+
+    if (skipped_.size() < pool.size()) {
+      skipped_ = ReductionArray<std::uint64_t>(pool.size(), 0);
+    }
+    skipped_.reset(0);
+
+    if constexpr (P::kUsesFrontier) {
+      if (gated && frontier != nullptr) {
+        build_candidates(graph, frontier);
+        switch (mode) {
+          case PullParallelism::kSequential:
+            run_sequential_gated(prog, graph, accum, frontier);
+            break;
+          case PullParallelism::kVertexParallel:
+            run_vertex_parallel_gated(prog, graph, accum, frontier, pool);
+            break;
+          case PullParallelism::kTraditional:
+            run_traditional_gated<true>(prog, graph, accum, frontier, pool,
+                                        chunk);
+            break;
+          case PullParallelism::kTraditionalNoAtomic:
+            run_traditional_gated<false>(prog, graph, accum, frontier, pool,
+                                         chunk);
+            break;
+          case PullParallelism::kSchedulerAware:
+            run_scheduler_aware_gated(prog, graph, accum, frontier, pool,
+                                      chunk, merge_buffer);
+            break;
+        }
+        last_vectors_skipped_ = skipped_.combine(
+            std::uint64_t{0},
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        return;
+      }
+    }
 
     switch (mode) {
       case PullParallelism::kSequential:
@@ -268,13 +443,57 @@ class PullEdgePhase {
     return last_idle_seconds_;
   }
 
+  /// Edge vectors the last gated run skipped via the occupancy test
+  /// (0 after ungated runs).
+  [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
+    return last_vectors_skipped_;
+  }
+
  private:
+  /// Builds the per-vector candidate bitmap for one gated phase: the
+  /// active frontier is scattered through the graph's source->vector
+  /// incidence index (VectorSparseGraph::source_vectors), setting bit i
+  /// exactly when edge vector i holds an active source lane. The
+  /// scatter costs one store per active out-edge — proportional to
+  /// |frontier|, not |E| — and the walk over the frontier itself rides
+  /// the hierarchical frontier's summary (for_each skips empty
+  /// 64-word blocks). Unmarked vectors are *proven* inactive, so the
+  /// gated walkers need no further per-vector frontier test.
+  void build_candidates(const VectorSparseGraph& graph,
+                        const DenseFrontier* frontier) {
+    const std::uint64_t words =
+        bits::ceil_div(graph.num_vectors(), std::uint64_t{64});
+    if (candidates_.size() < words) candidates_.reset(words);
+    std::fill_n(candidates_.data(), words, std::uint64_t{0});
+    const std::span<const EdgeIndex> offsets = graph.source_offsets();
+    const std::span<const std::uint32_t> incident = graph.source_vectors();
+    std::uint64_t* bits_out = candidates_.data();
+    frontier->for_each([&](VertexId v) {
+      const EdgeIndex hi = offsets[v + 1];
+      for (EdgeIndex j = offsets[v]; j < hi; ++j) {
+        const std::uint64_t i = incident[j];
+        bits_out[i >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+    });
+  }
+
   void run_sequential(const P& prog, const VectorSparseGraph& graph,
                       std::span<V> accum, const DenseFrontier* frontier) {
     auto [dest, value] = detail::process_vector_range<P, Vectorized>(
         prog, graph, frontier, 0, graph.num_vectors(),
         [&](VertexId d, V v) { accum[d] = v; });
     if (dest != kInvalidVertex) accum[dest] = value;
+  }
+
+  void run_sequential_gated(const P& prog, const VectorSparseGraph& graph,
+                            std::span<V> accum,
+                            const DenseFrontier* frontier) {
+    std::uint64_t skipped = 0;
+    auto [dest, value] = detail::process_vector_range_gated<P, Vectorized>(
+        prog, graph, frontier, candidates_.data(), 0, graph.num_vectors(),
+        skipped, [&](VertexId d, V v) { accum[d] = v; });
+    if (dest != kInvalidVertex) accum[dest] = value;
+    skipped_.local(0) += skipped;
   }
 
   void run_vertex_parallel(const P& prog, const VectorSparseGraph& graph,
@@ -289,6 +508,41 @@ class PullEdgePhase {
           r.first_vector + r.vector_count, [&](VertexId, V) {});
       accum[dest] = value;
     });
+  }
+
+  /// Gated vertex-parallel: the destination's whole-range source span
+  /// (vertex_spans) is tested first — one O(1) summary probe can prove
+  /// the entire in-neighborhood inactive — before falling back to
+  /// per-vector candidate-bitmap gating inside the range.
+  void run_vertex_parallel_gated(const P& prog,
+                                 const VectorSparseGraph& graph,
+                                 std::span<V> accum,
+                                 const DenseFrontier* frontier,
+                                 ThreadPool& pool) {
+    const auto index = graph.index();
+    const auto vertex_spans = graph.vertex_spans();
+    parallel_for_chunks(
+        pool, graph.num_vertices(), 1024, [&](unsigned tid, const Chunk& c) {
+          std::uint64_t skipped = 0;
+          for (std::uint64_t v = c.begin; v < c.end; ++v) {
+            const VertexVectorRange& r = index[v];
+            if (r.vector_count == 0) continue;
+            const SourceWordSpan span = vertex_spans[v];
+            if (!frontier->span_maybe_active(
+                    span.min_word,
+                    static_cast<std::uint64_t>(span.max_word) + 1)) {
+              skipped += r.vector_count;
+              continue;
+            }
+            auto [dest, value] =
+                detail::process_vector_range_gated<P, Vectorized>(
+                    prog, graph, frontier, candidates_.data(),
+                    r.first_vector, r.first_vector + r.vector_count, skipped,
+                    [&](VertexId, V) {});
+            if (dest != kInvalidVertex) accum[dest] = value;
+          }
+          skipped_.local(tid) += skipped;
+        });
   }
 
   template <bool Atomic>
@@ -312,6 +566,76 @@ class PullEdgePhase {
         if (kForce || combined != accum[dest]) accum[dest] = combined;
       }
     });
+  }
+
+  /// Gated traditional: the candidate-bitmap test runs before the
+  /// per-vector atomic combine, so provably inactive vectors cost one
+  /// bit test and no shared-memory traffic. Values are unchanged — a
+  /// skipped vector would have combined exactly the identity.
+  template <bool Atomic>
+  void run_traditional_gated(const P& prog, const VectorSparseGraph& graph,
+                             std::span<V> accum, const DenseFrontier* frontier,
+                             ThreadPool& pool, std::uint64_t chunk) {
+    const std::uint64_t* candidates = candidates_.data();
+    parallel_for_chunks(
+        pool, graph.num_vectors(), chunk, [&](unsigned tid, const Chunk& c) {
+          std::uint64_t skipped = 0;
+          for (std::uint64_t i = c.begin; i < c.end; ++i) {
+            if (!detail::candidate_vector(candidates, i)) {
+              ++skipped;
+              continue;
+            }
+            auto [dest, value] = detail::process_vector_range<P, Vectorized>(
+                prog, graph, frontier, i, i + 1, [&](VertexId, V) {});
+            if (dest == kInvalidVertex) continue;
+            constexpr bool kForce = program_force_writes<P>();
+            if constexpr (Atomic) {
+              atomic_combine<kForce>(&accum[dest], value, [](V a, V b) {
+                return combine_scalar<P::kCombine>(a, b);
+              });
+            } else {
+              const V combined =
+                  combine_scalar<P::kCombine>(accum[dest], value);
+              if (kForce || combined != accum[dest]) accum[dest] = combined;
+            }
+          }
+          skipped_.local(tid) += skipped;
+        });
+  }
+
+  /// Gated scheduler-aware: chunks of the edge-vector array are
+  /// handed out dynamically exactly as in the ungated runner, but each
+  /// chunk walks the candidate bitmap word-by-word instead of visiting
+  /// every index. The chunk protocol is unchanged: interior dest
+  /// changes store once with a plain write, and the trailing
+  /// (dest, partial) pair goes to the chunk's private merge-buffer
+  /// slot. A fully skipped chunk deposits nothing.
+  void run_scheduler_aware_gated(const P& prog,
+                                 const VectorSparseGraph& graph,
+                                 std::span<V> accum,
+                                 const DenseFrontier* frontier,
+                                 ThreadPool& pool, std::uint64_t chunk,
+                                 MergeBuffer<V>& merge_buffer) {
+    const std::uint64_t n = graph.num_vectors();
+    merge_buffer.resize(bits::ceil_div(n, chunk));
+    const std::uint64_t* candidates = candidates_.data();
+    parallel_for_chunks(
+        pool, n, chunk, [&](unsigned tid, const Chunk& c) {
+          std::uint64_t skipped = 0;
+          auto [dest, value] =
+              detail::process_vector_range_gated<P, Vectorized>(
+                  prog, graph, frontier, candidates, c.begin, c.end, skipped,
+                  [&](VertexId d, V v) { accum[d] = v; });
+          if (dest != kInvalidVertex) merge_buffer.deposit(c.id, dest, value);
+          skipped_.local(tid) += skipped;
+        });
+
+    WallTimer merge_timer;
+    merge_buffer.merge([&](VertexId d, V v) {
+      accum[d] = combine_scalar<P::kCombine>(accum[d], v);
+    });
+    last_merge_seconds_ = merge_timer.seconds();
+    merge_buffer.rearm();
   }
 
   void run_scheduler_aware(const P& prog, const VectorSparseGraph& graph,
@@ -435,9 +759,8 @@ class PullEdgePhase {
 
     parallel_for_scheduler_aware(
         pool, n, chunk, [&, this](unsigned tid) {
-          return TimedBody{
-              Body{prog, graph, accum, frontier, merge_buffer},
-              &busy_.local(tid)};
+          return TimedBody{Body{prog, graph, accum, frontier, merge_buffer},
+                           &busy_.local(tid)};
         });
 
     const double wall = phase_timer.seconds();
@@ -457,7 +780,10 @@ class PullEdgePhase {
 
   double last_merge_seconds_ = 0.0;
   double last_idle_seconds_ = 0.0;
+  std::uint64_t last_vectors_skipped_ = 0;
   ReductionArray<double> busy_{1, 0.0};
+  ReductionArray<std::uint64_t> skipped_{1, 0};
+  AlignedBuffer<std::uint64_t> candidates_;
 };
 
 }  // namespace grazelle

@@ -100,6 +100,32 @@ struct VecF64 {
   return {_mm256_cmpeq_epi64(bit, _mm256_set1_epi64x(1))};
 }
 
+/// frontier_mask with a hierarchical-summary pre-test: a lane whose
+/// whole frontier *word* is provably empty (summary bit clear — see
+/// HierarchicalFrontier) never needs its word loaded, and when all four
+/// words are provably empty the scattered word loads are skipped
+/// entirely. On sparse frontiers the summary (1/64th the bitmask) stays
+/// resident in L1 while the bitmask itself does not, so the pre-test
+/// turns most membership checks into a single hot load.
+[[nodiscard]] inline VecU64 frontier_mask_summary(
+    const std::uint64_t* words, const std::uint64_t* summary,
+    VecU64 ids) noexcept {
+  alignas(32) std::uint64_t id[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(id), ids.v);
+  std::uint64_t occupied = 0;
+  for (unsigned k = 0; k < 4; ++k) {
+    const std::uint64_t w = id[k] >> 6;
+    occupied |= (summary[w >> 6] >> (w & 63)) & 1;
+  }
+  if (occupied == 0) return {_mm256_setzero_si256()};
+  return frontier_mask(words, ids);
+}
+
+/// True when any lane of `m` has any bit set (ptest, no extracts).
+[[nodiscard]] inline bool any_lane(VecU64 m) noexcept {
+  return _mm256_testz_si256(m.v, m.v) == 0;
+}
+
 /// Masked gather of doubles: lanes with a zero mask keep `defaults`.
 [[nodiscard]] inline VecF64 gather_masked(const double* base, VecU64 idx,
                                           VecU64 mask,

@@ -46,6 +46,11 @@ class VertexPhase {
     changed_.reset(0);
     active_edges_.reset(0);
 
+    // The summary level spans many threads' word ranges, so it is
+    // cleared once up front; set() republishes bits as threads rebuild
+    // their data words below.
+    next.clear_summary();
+
     pool.run([&](unsigned tid) {
       // Word-aligned static split so each thread exclusively owns its
       // frontier words.

@@ -2,99 +2,19 @@
 // vertex, scanned 64 vertices at a time with tzcnt. Grazelle uses this
 // representation exclusively; the Ligra baseline can also switch to a
 // sparse representation (sparse_frontier.h).
+//
+// Since the frontier-gated pull work the dense frontier *is* the
+// two-level HierarchicalFrontier: the flat bitmask plus a summary bit
+// per 64-bit word, which count()/empty()/for_each() exploit to skip
+// empty regions and which the gated pull engine queries through
+// any_in_word_range(). The alias keeps the historical name at every
+// call site.
 #pragma once
 
-#include <cstdint>
-
-#include "platform/aligned_buffer.h"
-#include "platform/bits.h"
-#include "platform/types.h"
-#include "threading/atomics.h"
+#include "frontier/hierarchical_frontier.h"
 
 namespace grazelle {
 
-/// Fixed-capacity vertex bit set.
-class DenseFrontier {
- public:
-  DenseFrontier() = default;
-
-  explicit DenseFrontier(std::uint64_t num_vertices)
-      : num_vertices_(num_vertices),
-        words_(bits::ceil_div(num_vertices, std::uint64_t{64}), 0) {}
-
-  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
-    return num_vertices_;
-  }
-
-  [[nodiscard]] std::uint64_t num_words() const noexcept {
-    return words_.size();
-  }
-
-  [[nodiscard]] bool test(VertexId v) const noexcept {
-    return (words_[v >> 6] >> (v & 63)) & 1;
-  }
-
-  /// Non-atomic set; safe when each vertex is written by one thread
-  /// (e.g. the statically-partitioned Vertex phase).
-  void set(VertexId v) noexcept { words_[v >> 6] |= std::uint64_t{1} << (v & 63); }
-
-  /// Atomic set for concurrent writers (push engine).
-  void set_atomic(VertexId v) noexcept {
-    std::atomic_ref<std::uint64_t> ref(words_[v >> 6]);
-    ref.fetch_or(std::uint64_t{1} << (v & 63), std::memory_order_relaxed);
-  }
-
-  void reset(VertexId v) noexcept {
-    words_[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
-  }
-
-  void clear_all() noexcept { words_.fill(0); }
-
-  /// Sets every vertex bit (trailing bits of the last word stay zero).
-  void set_all() noexcept {
-    words_.fill(~std::uint64_t{0});
-    const unsigned tail = num_vertices_ & 63;
-    if (tail != 0 && !words_.empty()) {
-      words_[words_.size() - 1] = (std::uint64_t{1} << tail) - 1;
-    }
-  }
-
-  /// Population count: |frontier|.
-  [[nodiscard]] std::uint64_t count() const noexcept {
-    std::uint64_t total = 0;
-    for (std::uint64_t w : words_) total += bits::popcount(w);
-    return total;
-  }
-
-  [[nodiscard]] bool empty() const noexcept {
-    for (std::uint64_t w : words_) {
-      if (w != 0) return false;
-    }
-    return true;
-  }
-
-  /// tzcnt scan: `fn(v)` for every member, ascending.
-  template <typename Fn>
-  void for_each(Fn&& fn) const {
-    for (std::uint64_t wi = 0; wi < words_.size(); ++wi) {
-      bits::for_each_set_bit(words_[wi], wi * 64, fn);
-    }
-  }
-
-  /// Raw word access for vectorized membership gathers.
-  [[nodiscard]] const std::uint64_t* words() const noexcept {
-    return words_.data();
-  }
-  [[nodiscard]] std::uint64_t* words() noexcept { return words_.data(); }
-
-  void swap(DenseFrontier& other) noexcept {
-    std::swap(num_vertices_, other.num_vertices_);
-    std::swap(words_, other.words_);
-  }
-
- private:
-  std::uint64_t num_vertices_ = 0;
-  AlignedBuffer<std::uint64_t> words_;
-};
+using DenseFrontier = HierarchicalFrontier;
 
 }  // namespace grazelle

@@ -69,11 +69,13 @@ class SparseFrontier {
 };
 
 /// Ligra's direction heuristic: go dense (pull) when the frontier plus
-/// its out-edges exceed num_edges / 20.
-[[nodiscard]] inline bool should_use_dense(std::uint64_t frontier_size,
-                                           std::uint64_t frontier_out_edges,
-                                           std::uint64_t num_edges) noexcept {
-  return frontier_size + frontier_out_edges > num_edges / 20;
+/// its out-edges exceed num_edges / divisor. The classic threshold is
+/// divisor = 20; frontier-gated pull widens the band (a larger divisor)
+/// because the occupancy index makes sparse pull iterations cheap.
+[[nodiscard]] inline bool should_use_dense(
+    std::uint64_t frontier_size, std::uint64_t frontier_out_edges,
+    std::uint64_t num_edges, std::uint64_t divisor = 20) noexcept {
+  return frontier_size + frontier_out_edges > num_edges / divisor;
 }
 
 }  // namespace grazelle

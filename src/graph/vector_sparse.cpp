@@ -1,6 +1,8 @@
 #include "graph/vector_sparse.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace grazelle {
 
@@ -8,6 +10,13 @@ VectorSparseGraph VectorSparseGraph::build(const CompressedSparse& adj) {
   const std::uint64_t v = adj.num_vertices();
   if (v > kVertexIdMask) {
     throw std::invalid_argument("vertex id space exceeds 48 bits");
+  }
+  // The occupancy spans store frontier-word indices (id / 64) as
+  // 32-bit values, which covers 2^38 vertices — far beyond the 48-bit
+  // id check above ever reaches in practice, but guard it anyway.
+  if ((v >> 6) > ~std::uint32_t{0}) {
+    throw std::invalid_argument(
+        "vertex count exceeds the 32-bit frontier-word span encoding");
   }
 
   VectorSparseGraph out;
@@ -20,6 +29,8 @@ VectorSparseGraph VectorSparseGraph::build(const CompressedSparse& adj) {
     total_vectors += bits::ceil_div(adj.degree(top), kEdgeVectorLanes);
   }
   out.vectors_.reset(total_vectors);
+  out.vector_spans_.reset(total_vectors);
+  out.vertex_spans_.reset(v);
   if (adj.weighted()) out.weights_.reset(total_vectors);
 
   EdgeIndex cursor = 0;
@@ -33,20 +44,60 @@ VectorSparseGraph VectorSparseGraph::build(const CompressedSparse& adj) {
         cursor, static_cast<std::uint32_t>(vec_count),
         static_cast<std::uint32_t>(degree)};
 
+    SourceWordSpan vertex_span;
     for (std::uint64_t vi = 0; vi < vec_count; ++vi) {
       EdgeVector& vec = out.vectors_[cursor + vi];
+      SourceWordSpan span;
       for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
         const std::uint64_t e = vi * kEdgeVectorLanes + k;
         const bool valid = e < degree;
         const std::uint64_t piece =
             (top >> (vsenc::kPieceBits * k)) & vsenc::kPieceMask;
         vec.lane[k] = vsenc::make_lane(valid, piece, valid ? neighbors[e] : 0);
+        if (valid) {
+          span.widen(neighbors[e]);
+          vertex_span.widen(neighbors[e]);
+        }
         if (adj.weighted()) {
           out.weights_[cursor + vi].w[k] = valid ? weights[e] : Weight{0};
         }
       }
+      out.vector_spans_[cursor + vi] = span;
     }
+    out.vertex_spans_[top] = vertex_span;
     cursor += vec_count;
+  }
+
+  // Neighbor->vector incidence, built by count / prefix-sum / fill.
+  // One uint32 entry per edge; vertices with several edges in the same
+  // vector simply list that vector more than once (harmless to the
+  // bitmap scatter that consumes this).
+  if (total_vectors > ~std::uint32_t{0}) {
+    throw std::invalid_argument(
+        "vector count exceeds the 32-bit incidence encoding");
+  }
+  out.source_offsets_.reset(v + 1);
+  std::fill_n(out.source_offsets_.data(), v + 1, EdgeIndex{0});
+  for (std::uint64_t i = 0; i < total_vectors; ++i) {
+    const EdgeVector& vec = out.vectors_[i];
+    for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+      if (vec.valid(k)) ++out.source_offsets_[vec.neighbor(k) + 1];
+    }
+  }
+  for (VertexId u = 0; u < v; ++u) {
+    out.source_offsets_[u + 1] += out.source_offsets_[u];
+  }
+  out.source_vectors_.reset(out.num_edges_);
+  std::vector<EdgeIndex> fill_cursor(out.source_offsets_.data(),
+                                     out.source_offsets_.data() + v);
+  for (std::uint64_t i = 0; i < total_vectors; ++i) {
+    const EdgeVector& vec = out.vectors_[i];
+    for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+      if (vec.valid(k)) {
+        out.source_vectors_[fill_cursor[vec.neighbor(k)]++] =
+            static_cast<std::uint32_t>(i);
+      }
+    }
   }
   return out;
 }

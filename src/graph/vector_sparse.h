@@ -112,6 +112,29 @@ struct VertexVectorRange {
   std::uint32_t degree = 0;
 };
 
+/// Source-occupancy metadata for frontier gating: the span of *frontier
+/// words* (vertex id / 64) covered by the neighbor (source) lanes of
+/// one edge vector — or of one top-level vertex's whole vector range.
+/// One HierarchicalFrontier::any_in_word_range(min_word, max_word + 1)
+/// test against this span proves the vector (or the destination's
+/// entire in-neighborhood) has no active source and can be skipped
+/// wholesale. The empty span is encoded min_word > max_word, which the
+/// range test reports as unoccupied.
+struct SourceWordSpan {
+  std::uint32_t min_word = ~std::uint32_t{0};
+  std::uint32_t max_word = 0;
+
+  void widen(VertexId neighbor) noexcept {
+    const std::uint32_t w = static_cast<std::uint32_t>(neighbor >> 6);
+    if (w < min_word) min_word = w;
+    if (w > max_word) max_word = w;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return min_word > max_word; }
+};
+
+static_assert(sizeof(SourceWordSpan) == 8);
+
 /// Immutable Vector-Sparse adjacency (VSS when built from CSR, VSD when
 /// built from CSC).
 class VectorSparseGraph {
@@ -143,6 +166,33 @@ class VectorSparseGraph {
     return index_.span();
   }
 
+  /// Per-edge-vector source-word spans, index-parallel with vectors().
+  [[nodiscard]] std::span<const SourceWordSpan> vector_spans() const noexcept {
+    return vector_spans_.span();
+  }
+
+  /// Per-top-level-vertex source-word spans, index-parallel with
+  /// index(). The span of vertex v covers every source lane in its
+  /// vector range (empty span for degree-0 vertices).
+  [[nodiscard]] std::span<const SourceWordSpan> vertex_spans() const noexcept {
+    return vertex_spans_.span();
+  }
+
+  /// Neighbor->vector incidence in CSR form: for vertex u,
+  /// source_vectors()[source_offsets()[u] .. source_offsets()[u+1])
+  /// are the indices of the edge vectors holding a valid lane whose
+  /// neighbor id is u. For a VSD structure this maps each pull
+  /// *source* to the vectors it feeds; the frontier-gated pull path
+  /// scatters the active frontier through it to mark exactly the
+  /// occupied vectors before the walk (core/pull_engine.h).
+  [[nodiscard]] std::span<const EdgeIndex> source_offsets() const noexcept {
+    return source_offsets_.span();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> source_vectors()
+      const noexcept {
+    return source_vectors_.span();
+  }
+
   [[nodiscard]] const VertexVectorRange& range(VertexId v) const noexcept {
     return index_[v];
   }
@@ -164,6 +214,10 @@ class VectorSparseGraph {
   AlignedBuffer<EdgeVector> vectors_;
   AlignedBuffer<WeightVector> weights_;
   AlignedBuffer<VertexVectorRange> index_;
+  AlignedBuffer<SourceWordSpan> vector_spans_;
+  AlignedBuffer<SourceWordSpan> vertex_spans_;
+  AlignedBuffer<EdgeIndex> source_offsets_;
+  AlignedBuffer<std::uint32_t> source_vectors_;
 };
 
 }  // namespace grazelle

@@ -50,6 +50,14 @@ EdgeList star_graph(std::uint64_t n) {
 
 EdgeList grid_graph() { return gen::generate_grid(24, 16); }
 
+/// A long chain: BFS advances exactly one vertex per iteration, the
+/// extreme sparse-frontier case frontier gating targets.
+EdgeList path_graph(std::uint64_t n) {
+  EdgeList list(n);
+  for (VertexId v = 0; v + 1 < n; ++v) list.add_edge(v, v + 1);
+  return list;
+}
+
 // ---------------------------------------------------------------------------
 // Parameterized sweep: (mode, vectorized, threads, chunk_vectors)
 
@@ -211,6 +219,173 @@ TEST_P(EngineSweep, SsspMatchesBellmanFord) {
 
 INSTANTIATE_TEST_SUITE_P(AllModes, EngineSweep,
                          ::testing::ValuesIn(make_configs()), config_name);
+
+// ---------------------------------------------------------------------------
+// Frontier-gated pull: gated and ungated runs must produce bit-identical
+// results in every pull-parallelization mode. gating_divisor = 0 forces
+// the gate onto every pull iteration regardless of frontier density, so
+// the skip logic is exercised even where the heuristic would keep it off
+// (including scheduler-aware merge-buffer deposits at chunk boundaries —
+// the star graph's hub spans many chunks).
+
+class GatedEngineSweep : public ::testing::TestWithParam<EngineConfig> {};
+
+EngineOptions gated_options_for(const EngineConfig& c) {
+  EngineOptions o = options_for(c);
+  o.frontier_gating = true;
+  o.gating_divisor = 0;  // |F| * 0 <= V: gate every pull iteration
+  return o;
+}
+
+TEST_P(GatedEngineSweep, BfsParentsIdenticalToUngated) {
+  const EngineConfig& c = GetParam();
+  std::vector<EdgeList> graphs;
+  graphs.push_back(rmat_graph());
+  graphs.push_back(path_graph(700));
+  graphs.push_back(star_graph(600));
+  for (EdgeList& list : graphs) {
+    list.canonicalize();
+    const Graph g = Graph::build(EdgeList(list));
+
+    std::vector<VertexId> ungated(g.num_vertices());
+    with_engine<apps::BreadthFirstSearch>(g, options_for(c), c.vectorized,
+                                          [&](auto& engine) {
+      apps::BreadthFirstSearch bfs(g, 0);
+      bfs.seed(engine.frontier());
+      engine.run(bfs, 1u << 20);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ungated[v] = bfs.parents()[v];
+      }
+    });
+
+    with_engine<apps::BreadthFirstSearch>(g, gated_options_for(c),
+                                          c.vectorized, [&](auto& engine) {
+      apps::BreadthFirstSearch bfs(g, 0);
+      bfs.seed(engine.frontier());
+      engine.run(bfs, 1u << 20);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(bfs.parents()[v], ungated[v]) << "vertex " << v;
+      }
+    });
+  }
+}
+
+TEST_P(GatedEngineSweep, CcLabelsIdenticalToUngated) {
+  const EngineConfig& c = GetParam();
+  EdgeList list = rmat_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_min_labels(list);
+
+  with_engine<apps::ConnectedComponents>(g, gated_options_for(c),
+                                         c.vectorized, [&](auto& engine) {
+    apps::ConnectedComponents cc(g);
+    engine.frontier().set_all();
+    engine.run(cc, 1000);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(cc.labels()[v], expected[v]) << "vertex " << v;
+    }
+  });
+}
+
+TEST_P(GatedEngineSweep, PageRankUnaffectedByGatingFlag) {
+  // PageRank has kUsesFrontier == false: the gate must be a no-op and
+  // the ranks bit-identical to an ungated run.
+  const EngineConfig& c = GetParam();
+  EdgeList list = rmat_graph();
+  list.canonicalize();
+  const Graph g = Graph::build(EdgeList(list));
+
+  std::vector<double> ungated(g.num_vertices());
+  with_engine<apps::PageRank>(g, options_for(c), c.vectorized,
+                              [&](auto& engine) {
+    apps::PageRank pr(g, engine.pool().size());
+    engine.run(pr, 10);
+    pr.finalize();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ungated[v] = pr.ranks()[v];
+    }
+  });
+
+  with_engine<apps::PageRank>(g, gated_options_for(c), c.vectorized,
+                              [&](auto& engine) {
+    apps::PageRank pr(g, engine.pool().size());
+    const RunStats stats = engine.run(pr, 10);
+    pr.finalize();
+    EXPECT_EQ(stats.gated_iterations, 0u);
+    EXPECT_EQ(stats.vectors_skipped, 0u);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(pr.ranks()[v], ungated[v]) << "vertex " << v;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, GatedEngineSweep,
+                         ::testing::ValuesIn(make_configs()), config_name);
+
+TEST(GatedEngine, SkipsVectorsOnSparseFrontiers) {
+  // A chain BFS keeps the frontier at one vertex; nearly every edge
+  // vector must be skipped once the engine pulls.
+  EdgeList list = path_graph(3000);
+  const Graph g = Graph::build(EdgeList(list));
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.select = EngineSelect::kPullOnly;
+  opts.frontier_gating = true;
+  Engine<apps::BreadthFirstSearch, false> engine(g, opts);
+  apps::BreadthFirstSearch bfs(g, 0);
+  bfs.seed(engine.frontier());
+  const RunStats stats = engine.run(bfs, 1u << 20);
+  EXPECT_GT(stats.gated_iterations, 0u);
+  EXPECT_GT(stats.vectors_skipped, 0u);
+  // Sanity: the traversal still reached the end of the chain.
+  EXPECT_EQ(bfs.parents()[2999], 2998u);
+}
+
+TEST(GatedEngine, GateStaysOffOnDenseFrontiers) {
+  // With the default density threshold, a full frontier must not gate.
+  EdgeList list = rmat_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.select = EngineSelect::kPullOnly;
+  opts.frontier_gating = true;  // default gating_divisor = 32
+  Engine<apps::ConnectedComponents, false> engine(g, opts);
+  apps::ConnectedComponents cc(g);
+  engine.frontier().set_all();
+  const RunStats stats = engine.run(cc, 1000);
+  ASSERT_FALSE(stats.per_iteration.empty());
+  EXPECT_FALSE(stats.per_iteration.front().gated);
+  const auto expected = testing::reference_min_labels(list);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(cc.labels()[v], expected[v]);
+  }
+}
+
+TEST(GatedEngine, GatingWidensPullBand) {
+  // The same frontier state that pushes under the classic heuristic
+  // pulls when gating widens the band.
+  EdgeList list = rmat_graph();
+  const Graph g = Graph::build(EdgeList(list));
+  const auto expected = testing::reference_bfs_parents(list, 0);
+  for (bool gating : {false, true}) {
+    EngineOptions opts;
+    opts.num_threads = 4;
+    opts.select = EngineSelect::kAuto;
+    opts.frontier_gating = gating;
+    Engine<apps::BreadthFirstSearch, false> engine(g, opts);
+    apps::BreadthFirstSearch bfs(g, 0);
+    bfs.seed(engine.frontier());
+    const RunStats stats = engine.run(bfs, 1u << 20);
+    if (gating) {
+      // The widened band converts at least one classic push iteration
+      // into a (gated) pull.
+      EXPECT_GT(stats.pull_iterations, 0u);
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(bfs.parents()[v], expected[v]) << "gating " << gating;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Push engine and hybrid driver

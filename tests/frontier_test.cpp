@@ -122,5 +122,137 @@ TEST(DirectionHeuristic, SwitchesAtEdgeFraction) {
   EXPECT_TRUE(should_use_dense(0, m, m));
 }
 
+TEST(DirectionHeuristic, WiderDivisorLowersThreshold) {
+  const std::uint64_t m = 10000;
+  // 10 + 100 <= 10000/20 stays push classically, but a gating-widened
+  // divisor of 200 pulls (threshold drops to 50 edges).
+  EXPECT_FALSE(should_use_dense(10, 100, m, 20));
+  EXPECT_TRUE(should_use_dense(10, 100, m, 200));
+}
+
+// The soundness invariant the gated pull kernels rely on: a zero
+// summary bit proves the corresponding data word is zero. (The
+// converse — summary bit set but word empty — is allowed and harmless.)
+void expect_summary_covers_words(const HierarchicalFrontier& f) {
+  for (std::uint64_t w = 0; w < f.num_words(); ++w) {
+    if (f.words()[w] != 0) {
+      EXPECT_TRUE(f.word_maybe_nonzero(w)) << "word " << w;
+    }
+  }
+}
+
+TEST(HierarchicalFrontier, SummaryMaintainedBySetAndReset) {
+  HierarchicalFrontier f(10000);
+  EXPECT_EQ(f.num_words(), 157u);
+  EXPECT_EQ(f.num_summary_words(), 3u);
+  f.set(0);
+  f.set(4095);
+  f.set(4096);
+  f.set(9999);
+  expect_summary_covers_words(f);
+  EXPECT_TRUE(f.word_maybe_nonzero(0));
+  EXPECT_TRUE(f.word_maybe_nonzero(63));
+  EXPECT_TRUE(f.word_maybe_nonzero(64));
+  EXPECT_FALSE(f.word_maybe_nonzero(1));
+
+  // Clearing the only bit in a word clears the summary bit...
+  f.reset(4096);
+  EXPECT_FALSE(f.word_maybe_nonzero(64));
+  // ...but clearing one of two bits keeps it.
+  f.set(1);
+  f.reset(0);
+  EXPECT_TRUE(f.word_maybe_nonzero(0));
+  expect_summary_covers_words(f);
+  EXPECT_EQ(f.count(), 3u);
+}
+
+TEST(HierarchicalFrontier, SetAllAndClearAllMaintainSummary) {
+  HierarchicalFrontier f(70000);  // >1 summary word, ragged tails
+  f.set_all();
+  expect_summary_covers_words(f);
+  EXPECT_EQ(f.count(), 70000u);
+  // Summary tail bits beyond num_words stay clear.
+  const std::uint64_t tail = f.num_words() % 64;
+  ASSERT_NE(tail, 0u);
+  EXPECT_EQ(f.summary_words()[f.num_summary_words() - 1] >> tail, 0u);
+  f.clear_all();
+  EXPECT_TRUE(f.empty());
+  for (std::uint64_t s = 0; s < f.num_summary_words(); ++s) {
+    EXPECT_EQ(f.summary_words()[s], 0u);
+  }
+}
+
+TEST(HierarchicalFrontier, SwapExchangesSummaries) {
+  HierarchicalFrontier a(8192), b(8192);
+  a.set(100);
+  b.set(5000);
+  a.swap(b);
+  EXPECT_TRUE(a.word_maybe_nonzero(5000 >> 6));
+  EXPECT_FALSE(a.word_maybe_nonzero(100 >> 6));
+  EXPECT_TRUE(b.word_maybe_nonzero(100 >> 6));
+  expect_summary_covers_words(a);
+  expect_summary_covers_words(b);
+}
+
+TEST(HierarchicalFrontier, AnyInWordRangeMatchesBruteForce) {
+  HierarchicalFrontier f(20000);
+  for (VertexId v : {64u, 4100u, 12345u, 19999u}) f.set(v);
+  const auto brute = [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t w = lo; w < hi && w < f.num_words(); ++w) {
+      if (f.words()[w] != 0) return true;
+    }
+    return false;
+  };
+  const std::uint64_t probes[] = {0,  1,  2,  63,  64,  65,  127, 128,
+                                  129, 192, 193, 250, 312, f.num_words()};
+  for (std::uint64_t lo : probes) {
+    for (std::uint64_t hi : probes) {
+      if (lo >= hi) continue;
+      EXPECT_EQ(f.any_in_word_range(lo, hi), brute(lo, hi))
+          << "range [" << lo << ", " << hi << ")";
+    }
+  }
+}
+
+TEST(HierarchicalFrontier, AnyInWordRangeSingleWord) {
+  HierarchicalFrontier f(256);
+  f.set(70);  // word 1
+  EXPECT_FALSE(f.any_in_word_range(0, 1));
+  EXPECT_TRUE(f.any_in_word_range(1, 2));
+  EXPECT_TRUE(f.any_in_word_range(0, 4));
+  EXPECT_FALSE(f.any_in_word_range(2, 4));
+}
+
+TEST(HierarchicalFrontier, CountAndForEachUseSummary) {
+  HierarchicalFrontier f(100000);
+  std::vector<VertexId> members;
+  for (VertexId v = 17; v < 100000; v += 977) members.push_back(v);
+  for (VertexId v : members) f.set(v);
+  EXPECT_EQ(f.count(), members.size());
+  std::vector<VertexId> seen;
+  f.for_each([&](VertexId v) { seen.push_back(v); });
+  EXPECT_EQ(seen, members);
+  EXPECT_FALSE(f.empty());
+}
+
+TEST(HierarchicalFrontier, ConcurrentAtomicSetsPublishSummary) {
+  HierarchicalFrontier f(100000);
+  ThreadPool pool(8);
+  // All 8 threads hammer vertices that share summary words.
+  pool.run([&](unsigned tid) {
+    for (VertexId v = tid; v < 100000; v += 8) f.set_atomic(v);
+  });
+  EXPECT_EQ(f.count(), 100000u);
+  expect_summary_covers_words(f);
+}
+
+TEST(HierarchicalFrontier, TestAndSetAtomicReportsOwnership) {
+  HierarchicalFrontier f(128);
+  EXPECT_TRUE(f.test_and_set_atomic(90));
+  EXPECT_FALSE(f.test_and_set_atomic(90));
+  EXPECT_TRUE(f.test(90));
+  EXPECT_TRUE(f.word_maybe_nonzero(1));
+}
+
 }  // namespace
 }  // namespace grazelle

@@ -216,6 +216,90 @@ TEST(VectorSparse, RoundTripAgainstCompressedSparse) {
   }
 }
 
+TEST(VectorSparse, SourceWordSpansMatchLanes) {
+  std::mt19937_64 rng(7);
+  EdgeList list(500);
+  for (int i = 0; i < 3000; ++i) {
+    list.add_edge(rng() % 500, rng() % 500);
+  }
+  list.canonicalize();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+  ASSERT_EQ(vsd.vector_spans().size(), vsd.num_vectors());
+  ASSERT_EQ(vsd.vertex_spans().size(), vsd.num_vertices());
+
+  for (VertexId v = 0; v < vsd.num_vertices(); ++v) {
+    const auto& r = vsd.range(v);
+    SourceWordSpan vertex_expected;
+    for (std::uint64_t i = 0; i < r.vector_count; ++i) {
+      const EdgeVector& ev = vsd.vectors()[r.first_vector + i];
+      SourceWordSpan expected;
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        if (ev.valid(k)) {
+          expected.widen(ev.neighbor(k));
+          vertex_expected.widen(ev.neighbor(k));
+        }
+      }
+      const SourceWordSpan& got = vsd.vector_spans()[r.first_vector + i];
+      EXPECT_EQ(got.min_word, expected.min_word);
+      EXPECT_EQ(got.max_word, expected.max_word);
+      EXPECT_FALSE(got.empty());  // every stored vector has a valid lane
+    }
+    const SourceWordSpan& vs = vsd.vertex_spans()[v];
+    EXPECT_EQ(vs.min_word, vertex_expected.min_word);
+    EXPECT_EQ(vs.max_word, vertex_expected.max_word);
+    EXPECT_EQ(vs.empty(), r.vector_count == 0);
+  }
+}
+
+TEST(VectorSparse, SourceWordSpanValues) {
+  // Sources 65 and 129 land in frontier words 1 and 2; the isolated
+  // vertex 3 gets the empty span.
+  EdgeList list(200);
+  list.add_edge(65, 0);
+  list.add_edge(129, 0);
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+  const SourceWordSpan& s0 = vsd.vector_spans()[vsd.range(0).first_vector];
+  EXPECT_EQ(s0.min_word, 1u);
+  EXPECT_EQ(s0.max_word, 2u);
+  EXPECT_TRUE(vsd.vertex_spans()[3].empty());
+}
+
+TEST(VectorSparse, SourceIncidenceMatchesLanes) {
+  std::mt19937_64 rng(11);
+  EdgeList list(400);
+  for (int i = 0; i < 3000; ++i) list.add_edge(rng() % 400, rng() % 400);
+  list.canonicalize();
+  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+  const auto vsd = VectorSparseGraph::build(csc);
+
+  const auto offsets = vsd.source_offsets();
+  const auto incident = vsd.source_vectors();
+  ASSERT_EQ(offsets.size(), vsd.num_vertices() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), vsd.num_edges());
+  ASSERT_EQ(incident.size(), vsd.num_edges());
+
+  // Brute-force the inverse mapping from the lanes and compare.
+  std::vector<std::vector<std::uint32_t>> expected(vsd.num_vertices());
+  for (std::uint64_t i = 0; i < vsd.num_vectors(); ++i) {
+    const EdgeVector& ev = vsd.vectors()[i];
+    for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+      if (ev.valid(k)) {
+        expected[ev.neighbor(k)].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  for (VertexId u = 0; u < vsd.num_vertices(); ++u) {
+    std::vector<std::uint32_t> got(incident.begin() + offsets[u],
+                                   incident.begin() + offsets[u + 1]);
+    std::sort(got.begin(), got.end());
+    std::sort(expected[u].begin(), expected[u].end());
+    EXPECT_EQ(got, expected[u]) << "vertex " << u;
+  }
+}
+
 TEST(VectorSparse, WeightsTravelWithLanes) {
   EdgeList list(4);
   list.add_edge(1, 0, 10.0);

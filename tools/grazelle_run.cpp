@@ -37,6 +37,7 @@ struct Options {
   std::string pull_mode = "sa";
   bool no_vector = false;
   bool sparse_push = false;
+  bool frontier_gating = false;
 };
 
 void usage(const char* argv0) {
@@ -58,6 +59,8 @@ void usage(const char* argv0) {
       "  --pull-mode <m>   sa | trad | tradna | vertex | seq (default sa)\n"
       "  --no-vector       disable the AVX2 kernels\n"
       "  --sparse-push     enable the sparse-frontier push extension\n"
+      "  --frontier-gating enable frontier-gated pull (skip edge vectors\n"
+      "                    with no active sources on sparse frontiers)\n"
       "  -h                this help\n",
       argv0);
 }
@@ -70,6 +73,7 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   eopts.numa_nodes = opt.numa_nodes;
   eopts.chunk_vectors = opt.granularity;
   eopts.sparse_push = opt.sparse_push;
+  eopts.frontier_gating = opt.frontier_gating;
   if (const auto m = cli::parse_pull_mode(opt.pull_mode)) {
     eopts.pull_mode = *m;
   } else {
@@ -92,6 +96,11 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   std::printf("iterations:        %u (pull %u, push %u, sparse-push %u)\n",
               stats.iterations, stats.pull_iterations, stats.push_iterations,
               stats.sparse_push_iterations);
+  if (stats.gated_iterations > 0) {
+    std::printf("frontier gating:   %u iterations, %llu vectors skipped\n",
+                stats.gated_iterations,
+                static_cast<unsigned long long>(stats.vectors_skipped));
+  }
   std::printf("execution time:    %.3f ms\n", stats.total_seconds * 1e3);
   if (stats.iterations > 0) {
     std::printf("time/iteration:    %.3f ms\n",
@@ -180,6 +189,7 @@ int main(int argc, char** argv) {
       {"pull-mode", required_argument, nullptr, 1001},
       {"no-vector", no_argument, nullptr, 1002},
       {"sparse-push", no_argument, nullptr, 1003},
+      {"frontier-gating", no_argument, nullptr, 1004},
       {nullptr, 0, nullptr, 0},
   };
 
@@ -200,6 +210,7 @@ int main(int argc, char** argv) {
       case 1001: opt.pull_mode = optarg; break;
       case 1002: opt.no_vector = true; break;
       case 1003: opt.sparse_push = true; break;
+      case 1004: opt.frontier_gating = true; break;
       case 'h': usage(argv[0]); return 0;
       default: usage(argv[0]); return 1;
     }
