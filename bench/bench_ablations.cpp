@@ -23,7 +23,7 @@ double run_pr(const Graph& g, std::uint64_t chunk_vectors, unsigned iters) {
   opts.num_threads = bench::bench_threads();
   opts.chunk_vectors = chunk_vectors;
   opts.pull_mode = PullParallelism::kSchedulerAware;
-  opts.select = EngineSelect::kPullOnly;
+  opts.direction.select = EngineSelect::kPullOnly;
   return bench::median_seconds(3, [&] {
     Engine<apps::PageRank, false> engine(g, opts);
     apps::PageRank pr(g, engine.pool().size());
@@ -37,7 +37,7 @@ double merge_seconds(const Graph& g, std::uint64_t chunk_vectors,
   opts.num_threads = bench::bench_threads();
   opts.chunk_vectors = chunk_vectors;
   opts.pull_mode = PullParallelism::kSchedulerAware;
-  opts.select = EngineSelect::kPullOnly;
+  opts.direction.select = EngineSelect::kPullOnly;
   Engine<apps::PageRank, false> engine(g, opts);
   apps::PageRank pr(g, engine.pool().size());
   const RunStats stats = engine.run(pr, iters);

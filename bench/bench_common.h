@@ -19,6 +19,7 @@
 #include "gen/synthetic.h"
 #include "graph/graph.h"
 #include "platform/timer.h"
+#include "telemetry/report.h"
 
 namespace grazelle::bench {
 
@@ -138,6 +139,40 @@ inline std::string fmt_ms(double seconds) {
   return buf;
 }
 
+/// Optional machine-readable sink: when the GRAZELLE_BENCH_JSON env
+/// var names a file, every JsonRow and emit_report() line is appended
+/// there as well as printed — so any bench gets a parseable results
+/// file without touching its own code. Opened once per process.
+inline std::FILE* json_sink() {
+  static std::FILE* f = []() -> std::FILE* {
+    if (const char* path = std::getenv("GRAZELLE_BENCH_JSON")) {
+      return std::fopen(path, "a");
+    }
+    return nullptr;
+  }();
+  return f;
+}
+
+/// Appends one line to the GRAZELLE_BENCH_JSON sink (no-op when unset).
+inline void emit_json_line(const std::string& line) {
+  if (std::FILE* f = json_sink()) {
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fflush(f);
+  }
+}
+
+/// Emits a structured RunReport (telemetry/report.h) to the JSON sink,
+/// and to stdout when no sink is configured. Benches that attach a
+/// telemetry::Telemetry to an engine hand the result here.
+inline void emit_report(const RunReport& report) {
+  const std::string body = report.to_json();
+  if (json_sink() != nullptr) {
+    emit_json_line(body);
+  } else {
+    std::printf("%s\n", body.c_str());
+  }
+}
+
 /// One machine-readable JSON object per line, printed alongside the
 /// human-readable tables so plots/scripts can consume bench output
 /// without parsing column layouts.
@@ -169,7 +204,10 @@ class JsonRow {
     return append("\"" + key + "\": " + (value ? "true" : "false"));
   }
 
-  void print() const { std::printf("{%s}\n", body_.c_str()); }
+  void print() const {
+    std::printf("{%s}\n", body_.c_str());
+    emit_json_line("{" + body_ + "}");
+  }
 
  private:
   JsonRow& append(std::string kv) {

@@ -35,7 +35,7 @@ Profile run_pr(const Graph& g, PullParallelism mode, unsigned iters) {
   opts.num_threads = bench::bench_threads();
   opts.chunk_vectors = kGranularity;
   opts.pull_mode = mode;
-  opts.select = EngineSelect::kPullOnly;
+  opts.direction.select = EngineSelect::kPullOnly;
 
   Profile best{};
   double best_total = 1e100;

@@ -24,7 +24,7 @@ double run_pr(const Graph& g, PullParallelism mode, std::uint64_t chunk,
   opts.num_threads = bench::bench_threads();
   opts.chunk_vectors = chunk;
   opts.pull_mode = mode;
-  opts.select = EngineSelect::kPullOnly;
+  opts.direction.select = EngineSelect::kPullOnly;
   return bench::median_seconds(3, [&] {
     Engine<apps::PageRank, false> engine(g, opts);
     apps::PageRank pr(g, engine.pool().size());

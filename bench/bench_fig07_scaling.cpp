@@ -26,7 +26,7 @@ double run_pr(const Graph& g, PullParallelism mode, unsigned threads,
   opts.num_threads = threads;
   opts.chunk_vectors = chunk;
   opts.pull_mode = mode;
-  opts.select = EngineSelect::kPullOnly;
+  opts.direction.select = EngineSelect::kPullOnly;
   return bench::median_seconds(3, [&] {
     Engine<apps::PageRank, false> engine(g, opts);
     apps::PageRank pr(g, engine.pool().size());

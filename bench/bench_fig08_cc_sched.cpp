@@ -24,7 +24,7 @@ double run_cc(const Graph& g, PullParallelism mode) {
   opts.num_threads = bench::bench_threads();
   opts.chunk_vectors = 0;  // Grazelle default: 32n chunks
   opts.pull_mode = mode;
-  opts.select = EngineSelect::kPullOnly;
+  opts.direction.select = EngineSelect::kPullOnly;
   return bench::median_seconds(3, [&] {
     Engine<CC, false> engine(g, opts);
     CC cc(g);

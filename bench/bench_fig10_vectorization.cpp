@@ -29,7 +29,7 @@ namespace {
 EngineOptions default_opts() {
   EngineOptions opts;
   opts.num_threads = bench::bench_threads();
-  opts.select = EngineSelect::kPullOnly;
+  opts.direction.select = EngineSelect::kPullOnly;
   return opts;
 }
 
@@ -39,7 +39,7 @@ double edge_pull_time(const Graph& g, unsigned iters) {
     Engine<apps::PageRank, Vec> engine(g, default_opts());
     apps::PageRank pr(g, engine.pool().size());
     engine.prime_accumulators(pr);
-    for (unsigned i = 0; i < iters; ++i) engine.run_edge_pull(pr);
+    for (unsigned i = 0; i < iters; ++i) engine.run_edge_phase(pr, PhasePlan::pull());
   });
 }
 
@@ -49,7 +49,7 @@ double edge_push_time(const Graph& g, unsigned iters) {
     Engine<apps::PageRank, Vec> engine(g, default_opts());
     apps::PageRank pr(g, engine.pool().size());
     engine.prime_accumulators(pr);
-    for (unsigned i = 0; i < iters; ++i) engine.run_edge_push(pr);
+    for (unsigned i = 0; i < iters; ++i) engine.run_edge_phase(pr, PhasePlan::push());
   });
 }
 

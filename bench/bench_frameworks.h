@@ -32,7 +32,7 @@ double time_grazelle(const Graph& g, unsigned sockets, EngineSelect select,
   opts.num_threads = sockets * threads_per_socket();
   opts.numa_nodes = sockets;
   opts.pull_mode = pull_mode;
-  opts.select = select;
+  opts.direction.select = select;
   return median_seconds(kRepeats, [&] {
     Engine<P, Vec> engine(g, opts);
     P prog = make(engine.pool().size());

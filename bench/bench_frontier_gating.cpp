@@ -83,17 +83,17 @@ std::vector<Row> sweep(const char* app, const Graph& g,
     // Untimed warmup so the first timed variant doesn't pay the cold
     // caches (accumulators, message array, edge vectors) alone.
     engine.prime_accumulators(prog);
-    engine.run_edge_pull(prog, /*gated=*/false);
+    engine.run_edge_phase(prog, PhasePlan::pull(false));
     engine.prime_accumulators(prog);
     row.ungated_s = bench::median_seconds(
-        repeats, [&] { engine.run_edge_pull(prog, /*gated=*/false); });
+        repeats, [&] { engine.run_edge_phase(prog, PhasePlan::pull(false)); });
     engine.prime_accumulators(prog);
     row.gated_s = bench::median_seconds(
-        repeats, [&] { engine.run_edge_pull(prog, /*gated=*/true); });
+        repeats, [&] { engine.run_edge_phase(prog, PhasePlan::pull(true)); });
     row.skipped = engine.last_vectors_skipped();
     engine.prime_accumulators(prog);
     row.push_s =
-        bench::median_seconds(repeats, [&] { engine.run_edge_push(prog); });
+        bench::median_seconds(repeats, [&] { engine.run_edge_phase(prog, PhasePlan::push()); });
     rows.push_back(row);
 
     bench::JsonRow()
@@ -152,7 +152,7 @@ void run_all(const Graph& g) {
     Engine<apps::PageRank, Vec> engine(g, opts);
     apps::PageRank pr(g, engine.pool().size());
     engine.prime_accumulators(pr);
-    engine.run_edge_pull(pr, false);  // untimed cold-cache warmup
+    engine.run_edge_phase(pr, PhasePlan::pull(false));  // untimed cold-cache warmup
     // Interleave the two variants so slow host-level drift (frequency,
     // scheduler) hits both equally — they run identical code, and the
     // row exists to prove exactly that.
@@ -160,11 +160,11 @@ void run_all(const Graph& g) {
     for (int r = 0; r < 3 * repeats; ++r) {
       engine.prime_accumulators(pr);
       WallTimer tu;
-      engine.run_edge_pull(pr, false);
+      engine.run_edge_phase(pr, PhasePlan::pull(false));
       ungated_s.push_back(tu.seconds());
       engine.prime_accumulators(pr);
       WallTimer tg;
-      engine.run_edge_pull(pr, true);
+      engine.run_edge_phase(pr, PhasePlan::pull(true));
       gated_s.push_back(tg.seconds());
     }
     const auto median = [](std::vector<double>& v) {

@@ -31,6 +31,7 @@
 #include "frontier/dense_frontier.h"
 #include "graph/graph.h"
 #include "platform/timer.h"
+#include "telemetry/telemetry.h"
 #include "threading/atomics.h"
 #include "threading/thread_pool.h"
 
@@ -68,6 +69,14 @@ class AsyncEngine {
 
   [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
 
+  /// Attaches (or with nullptr detaches) a telemetry sink: one span per
+  /// batch plus kAsyncRelaxations / kAsyncEdgeVisits, folded from the
+  /// per-thread tallies the engine already keeps (no hot-path cost).
+  void set_telemetry(telemetry::Telemetry* t) noexcept {
+    telemetry_ = t;
+    pool_.set_telemetry(t);
+  }
+
   /// Runs to convergence from the given seed vertices. The program's
   /// property array must already reflect the seeds (e.g. dist[src]=0).
   AsyncRunStats run(P& prog, std::span<const VertexId> seeds) {
@@ -87,6 +96,8 @@ class AsyncEngine {
       std::atomic<std::uint64_t> relaxations{0};
       std::atomic<std::uint64_t> edge_visits{0};
 
+      telemetry::ScopedSpan batch_span(telemetry_, 0, "async_batch",
+                                       "active", active.size());
       pool_.run([&](unsigned tid) {
         std::vector<VertexId>& next = local_[tid];
         next.clear();
@@ -124,6 +135,10 @@ class AsyncEngine {
 
       stats.relaxations += relaxations.load();
       stats.edge_visits += edge_visits.load();
+      telemetry::count(telemetry_, 0, telemetry::Counter::kAsyncRelaxations,
+                       relaxations.load());
+      telemetry::count(telemetry_, 0, telemetry::Counter::kAsyncEdgeVisits,
+                       edge_visits.load());
 
       active.clear();
       for (auto& buf : local_) {
@@ -144,6 +159,7 @@ class AsyncEngine {
   ThreadPool pool_;
   DenseFrontier queued_;
   std::vector<std::vector<VertexId>> local_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace grazelle

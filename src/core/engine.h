@@ -2,6 +2,11 @@
 // selecting Edge-Push or Edge-Pull per iteration from the frontier
 // state, with the scheduler-aware parallelized and AVX2-vectorized pull
 // engine as the centerpiece.
+//
+// Engine configuration lives in core/options.h (EngineOptions with the
+// DirectionPolicy / GatingPolicy knob groups and the PhasePlan edge-
+// phase descriptor); run statistics and the structured RunReport live
+// in telemetry/report.h. This header wires them to the phase runners.
 #pragma once
 
 #include <algorithm>
@@ -9,6 +14,7 @@
 #include <vector>
 
 #include "core/merge_buffer.h"
+#include "core/options.h"
 #include "frontier/sparse_frontier.h"
 #include "core/program.h"
 #include "core/pull_engine.h"
@@ -18,76 +24,10 @@
 #include "graph/partition.h"
 #include "platform/numa_topology.h"
 #include "platform/timer.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
 
 namespace grazelle {
-
-/// Which Edge-phase implementation the driver may pick.
-enum class EngineSelect {
-  kAuto,      ///< hybrid: frontier-density heuristic per iteration
-  kPullOnly,  ///< always Edge-Pull
-  kPushOnly,  ///< always Edge-Push
-};
-
-struct EngineOptions {
-  unsigned num_threads = 1;
-  /// Simulated NUMA nodes the threads divide into (see DESIGN.md §2).
-  unsigned numa_nodes = 1;
-  /// Edge vectors per scheduler chunk; 0 = Grazelle's default of
-  /// 32 * num_threads equal chunks (§5).
-  std::uint64_t chunk_vectors = 0;
-  PullParallelism pull_mode = PullParallelism::kSchedulerAware;
-  EngineSelect select = EngineSelect::kAuto;
-  /// Extension beyond the paper (its §5 leaves frontier-representation
-  /// switching to future work): when the frontier is very sparse, push
-  /// from an explicit active-vertex list instead of scanning the
-  /// bitmask.
-  bool sparse_push = false;
-  /// Frontier-size threshold (fraction of vertices, denominator) below
-  /// which sparse push triggers: |F| < V / sparse_push_divisor.
-  std::uint64_t sparse_push_divisor = 64;
-  /// Extension: frontier-gated pull. When true, sparse pull iterations
-  /// test each edge vector's precomputed source-occupancy span against
-  /// the hierarchical frontier's summary and skip provably inactive
-  /// vectors wholesale — converting the pull Edge phase from O(E) to
-  /// O(E_touched + summary probes). A no-op for programs with
-  /// kUsesFrontier == false.
-  bool frontier_gating = false;
-  /// Frontier-density threshold (denominator) below which the gate is
-  /// applied: |F| * gating_divisor <= V. On denser frontiers nearly
-  /// every span is occupied, so the gate would be pure overhead.
-  std::uint64_t gating_divisor = 32;
-  /// Beamer-threshold divisor the hybrid heuristic uses when gating is
-  /// on (the classic heuristic pulls above num_edges/20; gating makes
-  /// sparse pull cheap, so the pull band widens to num_edges/this).
-  std::uint64_t gating_pull_divisor = 200;
-};
-
-struct IterationStats {
-  bool used_pull = false;
-  double edge_seconds = 0.0;
-  double vertex_seconds = 0.0;
-  double merge_seconds = 0.0;
-  /// Load-imbalance tail wait inside the pull edge phase (threads *
-  /// wall - busy); 0 for push iterations.
-  double idle_seconds = 0.0;
-  std::uint64_t frontier_size = 0;
-  std::uint64_t changed = 0;
-  /// Whether the frontier-occupancy gate was applied this iteration.
-  bool gated = false;
-  /// Edge vectors skipped by the occupancy gate (0 when not gated).
-  std::uint64_t vectors_skipped = 0;
-};
-
-struct RunStats {
-  unsigned iterations = 0;
-  unsigned pull_iterations = 0;
-  unsigned push_iterations = 0;
-  unsigned sparse_push_iterations = 0;  // subset of push_iterations
-  unsigned gated_iterations = 0;  // subset of pull_iterations
-  std::uint64_t vectors_skipped = 0;  // total across gated iterations
-  double total_seconds = 0.0;
-  std::vector<IterationStats> per_iteration;
-};
 
 /// Compile-time-vectorized hybrid engine instance bound to one graph.
 /// The same instance can run many programs / iterations; all large
@@ -127,6 +67,18 @@ class Engine {
     return numa_pieces_;
   }
 
+  /// Attaches (or with nullptr detaches) a telemetry sink for
+  /// subsequent phases/runs. The sink only observes: results are
+  /// bit-identical with and without one. The engine forwards it to the
+  /// pool and every phase runner.
+  void set_telemetry(telemetry::Telemetry* t) noexcept {
+    telemetry_ = t;
+    pool_.set_telemetry(t);
+  }
+  [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
   /// Resets all accumulators to the program's identity. Must run once
   /// before the first Edge phase (the Vertex phase keeps them reset
   /// afterwards).
@@ -135,20 +87,65 @@ class Engine {
                  [&](std::uint64_t v) { accum_[v] = prog.identity(); });
   }
 
-  /// One Edge-Pull phase into the accumulators. Applies the occupancy
-  /// gate per the engine options and current frontier density.
-  void run_edge_pull(const P& prog) {
-    run_edge_pull(prog,
-                  should_gate(P::kUsesFrontier ? frontier_.count() : 0));
+  /// Resolves the per-iteration Edge-phase decision — direction
+  /// (Beamer-style heuristic honoring DirectionPolicy::select), pull
+  /// gating (GatingPolicy), sparse push (DirectionPolicy) — for a
+  /// frontier of `frontier_size` vertices, without running anything.
+  [[nodiscard]] PhasePlan plan_edge_phase(std::uint64_t frontier_size) const {
+    if (choose_pull(frontier_size)) {
+      return PhasePlan::pull(should_gate(frontier_size));
+    }
+    const bool sparse =
+        options_.direction.sparse_push && P::kUsesFrontier &&
+        frontier_size <
+            graph_.num_vertices() / options_.direction.sparse_push_divisor;
+    return PhasePlan::push(sparse);
   }
 
-  /// One Edge-Pull phase with an explicit gating decision (benchmarks
-  /// use this to compare gated vs ungated on identical frontiers).
-  void run_edge_pull(const P& prog, bool gated) {
-    pull_phase_.run(prog, graph_.vsd(), accum_.span(),
+  /// Runs one Edge phase exactly as described by `plan` — the single
+  /// entry point behind which pull/gated-pull/push/sparse-push live.
+  /// Drivers either pass plan_edge_phase(...) for the engine's own
+  /// heuristic decision or construct a PhasePlan directly (benchmarks
+  /// compare gated vs ungated on identical frontiers this way).
+  void run_edge_phase(const P& prog, const PhasePlan& plan) {
+    if (plan.is_pull()) {
+      pull_phase_.run(prog, graph_.vsd(), accum_.span(),
+                      P::kUsesFrontier ? &frontier_ : nullptr, pool_,
+                      options_.pull_mode, options_.chunk_vectors,
+                      merge_buffer_, plan.gated, telemetry_);
+      return;
+    }
+    if (plan.sparse && P::kUsesFrontier) {
+      const SparseFrontier sparse = SparseFrontier::from_dense(frontier_);
+      push_phase_.run_sparse(prog, graph_.vss(), accum_.span(),
+                             sparse.vertices(), pool_, telemetry_);
+      return;
+    }
+    push_phase_.run(prog, graph_.vss(), accum_.span(),
                     P::kUsesFrontier ? &frontier_ : nullptr, pool_,
-                    options_.pull_mode, options_.chunk_vectors, merge_buffer_,
-                    gated);
+                    /*chunk_words=*/64, telemetry_);
+  }
+
+  /// One Edge-Pull phase into the accumulators. Applies the occupancy
+  /// gate per the engine options and current frontier density.
+  GRAZELLE_DEPRECATED(
+      "use run_edge_phase(prog, plan_edge_phase(frontier().count()))")
+  void run_edge_pull(const P& prog) {
+    run_edge_phase(prog,
+                   PhasePlan::pull(should_gate(
+                       P::kUsesFrontier ? frontier_.count() : 0)));
+  }
+
+  /// One Edge-Pull phase with an explicit gating decision.
+  GRAZELLE_DEPRECATED("use run_edge_phase(prog, PhasePlan::pull(gated))")
+  void run_edge_pull(const P& prog, bool gated) {
+    run_edge_phase(prog, PhasePlan::pull(gated));
+  }
+
+  /// One Edge-Push phase into the accumulators.
+  GRAZELLE_DEPRECATED("use run_edge_phase(prog, PhasePlan::push())")
+  void run_edge_push(const P& prog) {
+    run_edge_phase(prog, PhasePlan::push());
   }
 
   /// Edge vectors the occupancy gate skipped during the most recent
@@ -160,20 +157,16 @@ class Engine {
   /// Whether a pull iteration over a frontier of this size would apply
   /// the occupancy gate.
   [[nodiscard]] bool should_gate(std::uint64_t frontier_size) const noexcept {
-    return options_.frontier_gating && P::kUsesFrontier &&
-           frontier_size * options_.gating_divisor <= graph_.num_vertices();
-  }
-
-  /// One Edge-Push phase into the accumulators.
-  void run_edge_push(const P& prog) {
-    push_phase_.run(prog, graph_.vss(), accum_.span(),
-                    P::kUsesFrontier ? &frontier_ : nullptr, pool_);
+    return options_.gating.enabled && P::kUsesFrontier &&
+           frontier_size * options_.gating.density_divisor <=
+               graph_.num_vertices();
   }
 
   /// One Vertex phase; swaps in the next frontier.
   VertexPhaseResult run_vertex(P& prog) {
-    const VertexPhaseResult r = vertex_phase_.run(
-        prog, accum_.span(), graph_.out_degrees(), next_frontier_, pool_);
+    const VertexPhaseResult r =
+        vertex_phase_.run(prog, accum_.span(), graph_.out_degrees(),
+                          next_frontier_, pool_, telemetry_);
     frontier_.swap(next_frontier_);
     return r;
   }
@@ -200,12 +193,20 @@ class Engine {
         prog.begin_iteration();
       }
 
-      it.used_pull = choose_pull(it.frontier_size);
+      it.plan = plan_edge_phase(it.frontier_size);
+      it.used_pull = it.plan.is_pull();
+      it.gated = it.plan.is_pull() && it.plan.gated;
+      it.used_sparse_push = !it.plan.is_pull() && it.plan.sparse;
 
       WallTimer edge_timer;
+      {
+        telemetry::ScopedSpan span(telemetry_, 0, it.plan.name(),
+                                   "iteration", iter);
+        run_edge_phase(prog, it.plan);
+      }
+      it.edge_seconds = edge_timer.seconds();
+
       if (it.used_pull) {
-        it.gated = should_gate(it.frontier_size);
-        run_edge_pull(prog, it.gated);
         it.merge_seconds = pull_phase_.last_merge_seconds();
         it.idle_seconds = pull_phase_.last_idle_seconds();
         it.vectors_skipped = pull_phase_.last_vectors_skipped();
@@ -213,20 +214,17 @@ class Engine {
           ++stats.gated_iterations;
           stats.vectors_skipped += it.vectors_skipped;
         }
-      } else if (options_.sparse_push && P::kUsesFrontier &&
-                 it.frontier_size <
-                     graph_.num_vertices() / options_.sparse_push_divisor) {
-        const SparseFrontier sparse = SparseFrontier::from_dense(frontier_);
-        push_phase_.run_sparse(prog, graph_.vss(), accum_.span(),
-                               sparse.vertices(), pool_);
+      } else if (it.used_sparse_push) {
         ++stats.sparse_push_iterations;
-      } else {
-        run_edge_push(prog);
       }
-      it.edge_seconds = edge_timer.seconds();
 
       WallTimer vertex_timer;
-      const VertexPhaseResult vr = run_vertex(prog);
+      VertexPhaseResult vr;
+      {
+        telemetry::ScopedSpan span(telemetry_, 0, "vertex", "iteration",
+                                   iter);
+        vr = run_vertex(prog);
+      }
       it.vertex_seconds = vertex_timer.seconds();
       it.changed = vr.changed;
       last_active_out_edges_ = vr.active_out_edges;
@@ -243,7 +241,7 @@ class Engine {
 
  private:
   [[nodiscard]] bool choose_pull(std::uint64_t frontier_size) const {
-    switch (options_.select) {
+    switch (options_.direction.select) {
       case EngineSelect::kPullOnly:
         return true;
       case EngineSelect::kPushOnly:
@@ -256,8 +254,9 @@ class Engine {
     // work is a substantial fraction of the graph. With frontier gating
     // on, sparse pull iterations skip most edge vectors outright, so
     // the pull band widens (a larger divisor lowers the threshold).
-    const std::uint64_t divisor =
-        options_.frontier_gating ? options_.gating_pull_divisor : 20;
+    const std::uint64_t divisor = options_.gating.enabled
+                                      ? options_.direction.gated_pull_divisor
+                                      : options_.direction.pull_divisor;
     return should_use_dense(frontier_size, last_active_out_edges_,
                             graph_.num_edges(), divisor);
   }
@@ -274,6 +273,7 @@ class Engine {
   DenseFrontier frontier_;
   DenseFrontier next_frontier_;
   std::vector<NumaPiece> numa_pieces_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   // 0 so the first iteration's direction choice rests on the frontier
   // size alone (a single-seed BFS must start with a push, a full
   // frontier with a pull).

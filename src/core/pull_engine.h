@@ -27,9 +27,11 @@
 #include <utility>
 
 #include "core/merge_buffer.h"
+#include "core/options.h"
 #include "platform/aligned_buffer.h"
 #include "platform/bits.h"
 #include "platform/timer.h"
+#include "telemetry/telemetry.h"
 #include "threading/reduction.h"
 #include "core/program.h"
 #include "frontier/dense_frontier.h"
@@ -39,14 +41,6 @@
 #include "threading/parallel_for.h"
 
 namespace grazelle {
-
-enum class PullParallelism {
-  kSequential,
-  kVertexParallel,
-  kTraditional,
-  kTraditionalNoAtomic,
-  kSchedulerAware,
-};
 
 namespace detail {
 
@@ -360,12 +354,18 @@ class PullEdgePhase {
   /// vector and skip provably inactive vectors wholesale
   /// (last_vectors_skipped() reports how many). A no-op for programs
   /// with kUsesFrontier == false or when `frontier` is null.
+  ///
+  /// `t` (optional) receives per-chunk trace spans plus the phase's
+  /// vector/edge counters. Ungated runs examine every valid lane, so
+  /// kEdgesTouched grows by num_edges() exactly; gated runs report
+  /// lanes examined (visited vectors × lane width), an upper bound.
   void run(const P& prog, const VectorSparseGraph& graph,
            std::span<V> accum, const DenseFrontier* frontier,
            ThreadPool& pool, PullParallelism mode,
            std::uint64_t chunk_vectors, MergeBuffer<V>& merge_buffer,
-           bool gated = false) {
+           bool gated = false, telemetry::Telemetry* t = nullptr) {
     last_vectors_skipped_ = 0;
+    telemetry_ = t;
     const std::uint64_t n = graph.num_vectors();
     if (n == 0) return;
     const std::uint64_t chunk =
@@ -381,7 +381,11 @@ class PullEdgePhase {
 
     if constexpr (P::kUsesFrontier) {
       if (gated && frontier != nullptr) {
-        build_candidates(graph, frontier);
+        {
+          telemetry::ScopedSpan span(t, 0, "gate_build");
+          build_candidates(graph, frontier);
+        }
+        telemetry::count(t, 0, telemetry::Counter::kGateBuilds, 1);
         switch (mode) {
           case PullParallelism::kSequential:
             run_sequential_gated(prog, graph, accum, frontier);
@@ -405,6 +409,15 @@ class PullEdgePhase {
         last_vectors_skipped_ = skipped_.combine(
             std::uint64_t{0},
             [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        if (t != nullptr) {
+          const std::uint64_t visited =
+              n - std::min(n, last_vectors_skipped_);
+          t->count(0, telemetry::Counter::kVectorsSkipped,
+                   last_vectors_skipped_);
+          t->count(0, telemetry::Counter::kVectorsVisited, visited);
+          t->count(0, telemetry::Counter::kEdgesTouched,
+                   visited * kEdgeVectorLanes);
+        }
         return;
       }
     }
@@ -426,6 +439,12 @@ class PullEdgePhase {
         run_scheduler_aware(prog, graph, accum, frontier, pool, chunk,
                             merge_buffer);
         break;
+    }
+
+    if (t != nullptr) {
+      // Ungated: every vector is walked and every valid lane examined.
+      t->count(0, telemetry::Counter::kVectorsVisited, n);
+      t->count(0, telemetry::Counter::kEdgesTouched, graph.num_edges());
     }
   }
 
@@ -522,7 +541,8 @@ class PullEdgePhase {
     const auto index = graph.index();
     const auto vertex_spans = graph.vertex_spans();
     parallel_for_chunks(
-        pool, graph.num_vertices(), 1024, [&](unsigned tid, const Chunk& c) {
+        pool, graph.num_vertices(), 1024,
+        [&](unsigned tid, const Chunk& c) {
           std::uint64_t skipped = 0;
           for (std::uint64_t v = c.begin; v < c.end; ++v) {
             const VertexVectorRange& r = index[v];
@@ -542,7 +562,8 @@ class PullEdgePhase {
             if (dest != kInvalidVertex) accum[dest] = value;
           }
           skipped_.local(tid) += skipped;
-        });
+        },
+        telemetry_, "pull_chunk");
   }
 
   template <bool Atomic>
@@ -578,7 +599,8 @@ class PullEdgePhase {
                              ThreadPool& pool, std::uint64_t chunk) {
     const std::uint64_t* candidates = candidates_.data();
     parallel_for_chunks(
-        pool, graph.num_vectors(), chunk, [&](unsigned tid, const Chunk& c) {
+        pool, graph.num_vectors(), chunk,
+        [&](unsigned tid, const Chunk& c) {
           std::uint64_t skipped = 0;
           for (std::uint64_t i = c.begin; i < c.end; ++i) {
             if (!detail::candidate_vector(candidates, i)) {
@@ -600,7 +622,8 @@ class PullEdgePhase {
             }
           }
           skipped_.local(tid) += skipped;
-        });
+        },
+        telemetry_, "pull_chunk");
   }
 
   /// Gated scheduler-aware: chunks of the edge-vector array are
@@ -620,7 +643,8 @@ class PullEdgePhase {
     merge_buffer.resize(bits::ceil_div(n, chunk));
     const std::uint64_t* candidates = candidates_.data();
     parallel_for_chunks(
-        pool, n, chunk, [&](unsigned tid, const Chunk& c) {
+        pool, n, chunk,
+        [&](unsigned tid, const Chunk& c) {
           std::uint64_t skipped = 0;
           auto [dest, value] =
               detail::process_vector_range_gated<P, Vectorized>(
@@ -628,14 +652,10 @@ class PullEdgePhase {
                   [&](VertexId d, V v) { accum[d] = v; });
           if (dest != kInvalidVertex) merge_buffer.deposit(c.id, dest, value);
           skipped_.local(tid) += skipped;
-        });
+        },
+        telemetry_, "pull_chunk");
 
-    WallTimer merge_timer;
-    merge_buffer.merge([&](VertexId d, V v) {
-      accum[d] = combine_scalar<P::kCombine>(accum[d], v);
-    });
-    last_merge_seconds_ = merge_timer.seconds();
-    merge_buffer.rearm();
+    fold_merge_buffer(accum, merge_buffer);
   }
 
   void run_scheduler_aware(const P& prog, const VectorSparseGraph& graph,
@@ -758,10 +778,12 @@ class PullEdgePhase {
     WallTimer phase_timer;
 
     parallel_for_scheduler_aware(
-        pool, n, chunk, [&, this](unsigned tid) {
+        pool, n, chunk,
+        [&, this](unsigned tid) {
           return TimedBody{Body{prog, graph, accum, frontier, merge_buffer},
                            &busy_.local(tid)};
-        });
+        },
+        telemetry_, "pull_chunk");
 
     const double wall = phase_timer.seconds();
     const double busy =
@@ -769,7 +791,18 @@ class PullEdgePhase {
     last_idle_seconds_ =
         std::max(0.0, static_cast<double>(pool.size()) * wall - busy);
 
-    // Listing 6: single-threaded merge of the per-chunk partials.
+    fold_merge_buffer(accum, merge_buffer);
+  }
+
+  /// Listing 6: single-threaded fold of the per-chunk trailing
+  /// partials into the shared accumulators, timed for Figure 5b's
+  /// "Merge" bucket and (when a sink is attached) spanned + counted.
+  void fold_merge_buffer(std::span<V> accum, MergeBuffer<V>& merge_buffer) {
+    if (telemetry_ != nullptr) {
+      telemetry_->count(0, telemetry::Counter::kMergeFolds,
+                        merge_buffer.used_count());
+    }
+    telemetry::ScopedSpan span(telemetry_, 0, "merge_fold");
     WallTimer merge_timer;
     merge_buffer.merge([&](VertexId d, V v) {
       accum[d] = combine_scalar<P::kCombine>(accum[d], v);
@@ -781,6 +814,7 @@ class PullEdgePhase {
   double last_merge_seconds_ = 0.0;
   double last_idle_seconds_ = 0.0;
   std::uint64_t last_vectors_skipped_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;  // valid for one run() only
   ReductionArray<double> busy_{1, 0.0};
   ReductionArray<std::uint64_t> skipped_{1, 0};
   AlignedBuffer<std::uint64_t> candidates_;

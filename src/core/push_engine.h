@@ -18,6 +18,7 @@
 #include "graph/vector_sparse.h"
 #include "platform/bits.h"
 #include "platform/types.h"
+#include "telemetry/telemetry.h"
 #include "threading/atomics.h"
 #include "threading/parallel_for.h"
 
@@ -34,43 +35,77 @@ class PushEdgePhase {
   /// as an engine extension; see EngineOptions::sparse_push).
   void run_sparse(const P& prog, const VectorSparseGraph& graph,
                   std::span<V> accum, std::span<const VertexId> active,
-                  ThreadPool& pool) {
-    parallel_for(pool, active.size(), 16, [&](std::uint64_t i) {
-      push_vertex(prog, graph, accum, active[i]);
-    });
+                  ThreadPool& pool, telemetry::Telemetry* t = nullptr) {
+    parallel_for_chunks(
+        pool, active.size(), 16,
+        [&](unsigned tid, const Chunk& c) {
+          std::uint64_t updates = 0;
+          std::uint64_t lanes = 0;
+          for (std::uint64_t i = c.begin; i < c.end; ++i) {
+            if (t != nullptr) {
+              lanes += graph.range(active[i]).vector_count * kEdgeVectorLanes;
+            }
+            updates += push_vertex(prog, graph, accum, active[i]);
+          }
+          if (t != nullptr) {
+            t->count(tid, telemetry::Counter::kPushUpdates, updates);
+            t->count(tid, telemetry::Counter::kEdgesTouched, lanes);
+          }
+        },
+        t, "sparse_push_chunk");
   }
 
   /// Runs one push Edge phase over `graph` (a VSS structure),
   /// scattering into `accum`. `frontier` selects active sources (null =
   /// all sources active). Parallelized over 64-vertex frontier words.
+  ///
+  /// `t` (optional) gets per-chunk spans plus kPushUpdates (atomic
+  /// combines issued) and kEdgesTouched (lanes examined); the null
+  /// checks sit at vertex granularity, never inside the lane loop.
   void run(const P& prog, const VectorSparseGraph& graph, std::span<V> accum,
            const DenseFrontier* frontier, ThreadPool& pool,
-           std::uint64_t chunk_words = 64) {
+           std::uint64_t chunk_words = 64, telemetry::Telemetry* t = nullptr) {
     const std::uint64_t n = graph.num_vertices();
     const std::uint64_t words = bits::ceil_div(n, std::uint64_t{64});
-    parallel_for(pool, words, chunk_words, [&](std::uint64_t w) {
-      std::uint64_t bitsword;
-      if (frontier != nullptr) {
-        bitsword = frontier->words()[w];
-      } else {
-        const std::uint64_t base = w * 64;
-        const std::uint64_t live = n > base ? std::min<std::uint64_t>(
-                                                  64, n - base)
-                                            : 0;
-        bitsword = live == 64 ? ~std::uint64_t{0}
-                              : ((std::uint64_t{1} << live) - 1);
-      }
-      bits::for_each_set_bit(bitsword, w * 64, [&](std::uint64_t src) {
-        push_vertex(prog, graph, accum, static_cast<VertexId>(src));
-      });
-    });
+    parallel_for_chunks(
+        pool, words, chunk_words,
+        [&](unsigned tid, const Chunk& c) {
+          std::uint64_t updates = 0;
+          std::uint64_t lanes = 0;
+          for (std::uint64_t w = c.begin; w < c.end; ++w) {
+            std::uint64_t bitsword;
+            if (frontier != nullptr) {
+              bitsword = frontier->words()[w];
+            } else {
+              const std::uint64_t base = w * 64;
+              const std::uint64_t live =
+                  n > base ? std::min<std::uint64_t>(64, n - base) : 0;
+              bitsword = live == 64 ? ~std::uint64_t{0}
+                                    : ((std::uint64_t{1} << live) - 1);
+            }
+            bits::for_each_set_bit(bitsword, w * 64, [&](std::uint64_t src) {
+              if (t != nullptr) {
+                lanes += graph.range(static_cast<VertexId>(src)).vector_count *
+                         kEdgeVectorLanes;
+              }
+              updates +=
+                  push_vertex(prog, graph, accum, static_cast<VertexId>(src));
+            });
+          }
+          if (t != nullptr) {
+            t->count(tid, telemetry::Counter::kPushUpdates, updates);
+            t->count(tid, telemetry::Counter::kEdgesTouched, lanes);
+          }
+        },
+        t, "push_chunk");
   }
 
  private:
-  void push_vertex(const P& prog, const VectorSparseGraph& graph,
-                   std::span<V> accum, VertexId src) {
+  /// Returns the number of atomic combines issued (kPushUpdates).
+  std::uint64_t push_vertex(const P& prog, const VectorSparseGraph& graph,
+                            std::span<V> accum, VertexId src) {
     const VertexVectorRange& r = graph.range(src);
-    if (r.vector_count == 0) return;
+    if (r.vector_count == 0) return 0;
 
     V msg_base;
     if constexpr (P::kMessageIsSourceId) {
@@ -81,6 +116,7 @@ class PushEdgePhase {
 
     const std::span<const EdgeVector> vectors = graph.vectors();
     const std::span<const WeightVector> weights = graph.weights();
+    std::uint64_t updates = 0;
     for (std::uint64_t i = r.first_vector; i < r.first_vector + r.vector_count;
          ++i) {
       const EdgeVector& ev = vectors[i];
@@ -111,8 +147,10 @@ class PushEdgePhase {
         atomic_combine<program_force_writes<P>()>(
             &accum[dst], msg,
             [](V a, V b) { return combine_scalar<P::kCombine>(a, b); });
+        ++updates;
       }
     }
+    return updates;
   }
 };
 

@@ -14,6 +14,7 @@
 #include "platform/bits.h"
 #include "frontier/dense_frontier.h"
 #include "platform/types.h"
+#include "telemetry/telemetry.h"
 #include "threading/reduction.h"
 #include "threading/thread_pool.h"
 
@@ -38,9 +39,13 @@ class VertexPhase {
   /// Applies `prog` to every vertex. Reads and *resets* accum[v] to
   /// identity, so the accumulator array is ready for the next Edge
   /// phase. Rebuilds `next` from scratch.
+  ///
+  /// `t` (optional) gets one span per thread plus kVertexUpdates
+  /// (apply() calls) and kFrontierActivations (next-frontier joins).
   VertexPhaseResult run(P& prog, std::span<V> accum,
                         std::span<const std::uint64_t> out_degrees,
-                        DenseFrontier& next, ThreadPool& pool) {
+                        DenseFrontier& next, ThreadPool& pool,
+                        telemetry::Telemetry* t = nullptr) {
     const std::uint64_t n = accum.size();
     const unsigned threads = pool.size();
     changed_.reset(0);
@@ -52,6 +57,7 @@ class VertexPhase {
     next.clear_summary();
 
     pool.run([&](unsigned tid) {
+      telemetry::ScopedSpan span(t, tid, "vertex_phase");
       // Word-aligned static split so each thread exclusively owns its
       // frontier words.
       const std::uint64_t words = bits::ceil_div(n, std::uint64_t{64});
@@ -78,6 +84,10 @@ class VertexPhase {
       }
       changed_.local(tid) = changed;
       active_edges_.local(tid) = active_edges;
+      if (t != nullptr) {
+        t->count(tid, telemetry::Counter::kVertexUpdates, end - begin);
+        t->count(tid, telemetry::Counter::kFrontierActivations, changed);
+      }
     });
 
     VertexPhaseResult result;

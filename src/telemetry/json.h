@@ -1,0 +1,324 @@
+// Minimal JSON support for the telemetry layer: a string-building
+// writer (stable field order, no allocating DOM on the write path) and
+// a small recursive-descent parser used by tests and validators to
+// round-trip RunReport / trace output. Deliberately tiny — objects,
+// arrays, strings (with basic escapes), numbers, booleans, null — not
+// a general-purpose JSON library.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace grazelle::telemetry::json {
+
+/// Escapes a string for embedding in a JSON document (quotes added).
+[[nodiscard]] inline std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+[[nodiscard]] inline std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // %g may emit "inf"/"nan", which JSON forbids; clamp to null.
+  for (const char* bad : {"inf", "nan", "-inf", "-nan"}) {
+    if (std::string(buf) == bad) return "null";
+  }
+  return buf;
+}
+
+[[nodiscard]] inline std::string number(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+/// Incremental writer for one JSON object: append fields in order,
+/// close with str(). Nested raw values (arrays, objects) are appended
+/// pre-serialized via field_raw.
+class ObjectWriter {
+ public:
+  ObjectWriter& field(const std::string& key, const std::string& value) {
+    return field_raw(key, quote(value));
+  }
+  ObjectWriter& field(const std::string& key, const char* value) {
+    return field_raw(key, quote(value));
+  }
+  ObjectWriter& field(const std::string& key, double value) {
+    return field_raw(key, number(value));
+  }
+  ObjectWriter& field(const std::string& key, std::uint64_t value) {
+    return field_raw(key, number(value));
+  }
+  ObjectWriter& field(const std::string& key, unsigned value) {
+    return field_raw(key, number(static_cast<std::uint64_t>(value)));
+  }
+  ObjectWriter& field(const std::string& key, bool value) {
+    return field_raw(key, value ? "true" : "false");
+  }
+  ObjectWriter& field_raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += quote(key);
+    body_ += ": ";
+    body_ += value;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Joins pre-serialized values into a JSON array.
+[[nodiscard]] inline std::string array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += items[i];
+  }
+  out += "]";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+/// Parsed JSON value. Numbers are stored as double (adequate for the
+/// counter magnitudes and timings the telemetry layer emits).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<ValuePtr> items;
+  std::map<std::string, ValuePtr> members;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return members.count(key) != 0;
+  }
+  /// Object member access; throws on missing key or non-object.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (type != Type::kObject) throw std::runtime_error("not an object");
+    auto it = members.find(key);
+    if (it == members.end()) {
+      throw std::runtime_error("missing key: " + key);
+    }
+    return *it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default: return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.type = Value::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      v.members[key] = std::make_shared<Value>(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(std::make_shared<Value>(parse_value()));
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            // ASCII only — all the telemetry layer ever emits.
+            out += static_cast<char>(code & 0x7f);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::kNumber;
+    try {
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses a complete JSON document; throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] inline Value parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace grazelle::telemetry::json

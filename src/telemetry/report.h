@@ -1,0 +1,189 @@
+// Run statistics and the structured RunReport.
+//
+// IterationStats/RunStats are the engine's always-on, lightweight
+// accounting (they predate the telemetry layer and remain cheap enough
+// to collect unconditionally). RunReport is the machine-readable
+// superset: run stats + phase-time breakdown + telemetry counters +
+// run context, serialized with stable field names by to_json(). The
+// JSON schema is versioned (kReportSchemaVersion); scripts may rely on
+// any field present at a given version.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+
+namespace grazelle {
+
+struct IterationStats {
+  /// The engine's resolved Edge-phase decision for this iteration.
+  PhasePlan plan{};
+  bool used_pull = false;
+  bool used_sparse_push = false;
+  double edge_seconds = 0.0;
+  double vertex_seconds = 0.0;
+  double merge_seconds = 0.0;
+  /// Load-imbalance tail wait inside the pull edge phase (threads *
+  /// wall - busy); 0 for push iterations.
+  double idle_seconds = 0.0;
+  std::uint64_t frontier_size = 0;
+  std::uint64_t changed = 0;
+  /// Whether the frontier-occupancy gate was applied this iteration.
+  bool gated = false;
+  /// Edge vectors skipped by the occupancy gate (0 when not gated).
+  std::uint64_t vectors_skipped = 0;
+};
+
+struct RunStats {
+  unsigned iterations = 0;
+  unsigned pull_iterations = 0;
+  unsigned push_iterations = 0;
+  unsigned sparse_push_iterations = 0;  // subset of push_iterations
+  unsigned gated_iterations = 0;  // subset of pull_iterations
+  std::uint64_t vectors_skipped = 0;  // total across gated iterations
+  double total_seconds = 0.0;
+  std::vector<IterationStats> per_iteration;
+};
+
+namespace telemetry {
+
+inline constexpr unsigned kReportSchemaVersion = 1;
+
+/// Wall-clock attribution of one run, split by phase. Derived from the
+/// per-iteration stats, so it is available with or without a Telemetry
+/// sink attached.
+struct PhaseSeconds {
+  double pull = 0.0;
+  double push = 0.0;
+  double sparse_push = 0.0;
+  double vertex = 0.0;
+  double fold = 0.0;   ///< sequential merge-buffer folds
+  double idle = 0.0;   ///< pull-phase load-imbalance tail wait
+
+  [[nodiscard]] double edge_total() const noexcept {
+    return pull + push + sparse_push;
+  }
+};
+
+/// Structured result of one engine run: context (filled by the driver),
+/// run stats, phase breakdown, and aggregated telemetry counters.
+struct RunReport {
+  // --- context (optional; set by the driver) ---
+  std::string app;
+  std::string graph;
+  std::string engine;
+  std::string pull_mode;
+  unsigned threads = 0;
+  bool vectorized = false;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+
+  RunStats stats;
+  PhaseSeconds phases;
+  /// Aggregated telemetry counters (all zero when no sink was attached).
+  CounterArray counters{};
+  bool telemetry_attached = false;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Derives the per-phase wall-time breakdown from per-iteration stats.
+[[nodiscard]] inline PhaseSeconds phase_breakdown(const RunStats& stats) {
+  PhaseSeconds p;
+  for (const IterationStats& it : stats.per_iteration) {
+    if (it.used_pull) {
+      p.pull += it.edge_seconds;
+    } else if (it.used_sparse_push) {
+      p.sparse_push += it.edge_seconds;
+    } else {
+      p.push += it.edge_seconds;
+    }
+    p.vertex += it.vertex_seconds;
+    p.fold += it.merge_seconds;
+    p.idle += it.idle_seconds;
+  }
+  return p;
+}
+
+/// Assembles a report from run stats and an optional telemetry sink.
+/// Context fields start empty; drivers fill them before serializing.
+[[nodiscard]] inline RunReport build_report(const RunStats& stats,
+                                            const Telemetry* telemetry) {
+  RunReport r;
+  r.stats = stats;
+  r.phases = phase_breakdown(stats);
+  if (telemetry != nullptr) {
+    r.counters = telemetry->counters();
+    r.telemetry_attached = true;
+  }
+  return r;
+}
+
+inline std::string RunReport::to_json() const {
+  json::ObjectWriter phases_w;
+  phases_w.field("pull_seconds", phases.pull)
+      .field("push_seconds", phases.push)
+      .field("sparse_push_seconds", phases.sparse_push)
+      .field("vertex_seconds", phases.vertex)
+      .field("fold_seconds", phases.fold)
+      .field("idle_seconds", phases.idle);
+
+  json::ObjectWriter counters_w;
+  for (unsigned c = 0; c < kNumCounters; ++c) {
+    counters_w.field(counter_name(static_cast<Counter>(c)), counters[c]);
+  }
+
+  std::vector<std::string> iterations;
+  iterations.reserve(stats.per_iteration.size());
+  for (std::size_t i = 0; i < stats.per_iteration.size(); ++i) {
+    const IterationStats& it = stats.per_iteration[i];
+    json::ObjectWriter w;
+    w.field("iteration", static_cast<std::uint64_t>(i))
+        .field("phase", it.plan.name())
+        .field("gated", it.gated)
+        .field("frontier_size", it.frontier_size)
+        .field("changed", it.changed)
+        .field("edge_seconds", it.edge_seconds)
+        .field("vertex_seconds", it.vertex_seconds)
+        .field("fold_seconds", it.merge_seconds)
+        .field("idle_seconds", it.idle_seconds)
+        .field("vectors_skipped", it.vectors_skipped);
+    iterations.push_back(w.str());
+  }
+
+  json::ObjectWriter w;
+  w.field("schema_version", static_cast<std::uint64_t>(kReportSchemaVersion))
+      .field("app", app)
+      .field("graph", graph)
+      .field("engine", engine)
+      .field("pull_mode", pull_mode)
+      .field("threads", threads)
+      .field("vectorized", vectorized)
+      .field("num_vertices", num_vertices)
+      .field("num_edges", num_edges)
+      .field("iterations", stats.iterations)
+      .field("pull_iterations", stats.pull_iterations)
+      .field("push_iterations", stats.push_iterations)
+      .field("sparse_push_iterations", stats.sparse_push_iterations)
+      .field("gated_iterations", stats.gated_iterations)
+      .field("vectors_skipped", stats.vectors_skipped)
+      .field("total_seconds", stats.total_seconds)
+      .field("telemetry_attached", telemetry_attached)
+      .field_raw("phases", phases_w.str())
+      .field_raw("counters", counters_w.str())
+      .field_raw("per_iteration", json::array(iterations));
+  return w.str();
+}
+
+}  // namespace telemetry
+
+// The report types are part of the public stats API; lift them into
+// the main namespace alongside RunStats.
+using telemetry::RunReport;
+using telemetry::build_report;
+
+}  // namespace grazelle

@@ -1,0 +1,198 @@
+// Engine telemetry: near-zero-overhead instrumentation shared by every
+// phase runner.
+//
+// Design constraints (ISSUE 2 / DESIGN.md §7):
+//  * Disabled must cost nothing measurable. All hooks take a nullable
+//    `Telemetry*`; when null they reduce to one well-predicted branch
+//    per *chunk or phase* (never per edge), and instrumented runs are
+//    bit-identical to uninstrumented runs — telemetry only observes.
+//  * Per-thread everything. Each worker owns a cache-line-aligned slab
+//    of counters and an event buffer; there is no shared mutable state
+//    on the hot path, so recording is a plain store.
+//  * Events carry wall-clock offsets from one process epoch, in
+//    microseconds — exactly chrome://tracing's unit — so the trace
+//    exporter (trace.h) is a straight serialization.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace grazelle::telemetry {
+
+/// Monotonic counters the engines maintain. Names (counter_name) are
+/// stable: they are RunReport JSON keys.
+enum class Counter : unsigned {
+  kEdgesTouched,        ///< edge lanes examined by an Edge phase
+  kVectorsVisited,      ///< edge vectors walked by pull phases
+  kVectorsSkipped,      ///< edge vectors skipped by the occupancy gate
+  kChunksExecuted,      ///< scheduler chunks run to completion
+  kChunksStolen,        ///< chunks claimed from another thread's deque
+  kMergeFolds,          ///< merge-buffer slots folded after pull phases
+  kGateBuilds,          ///< candidate-bitmap constructions
+  kPushUpdates,         ///< atomic combines issued by push phases
+  kVertexUpdates,       ///< vertices whose apply() ran
+  kFrontierActivations, ///< vertices that joined a next frontier
+  kPoolTasks,           ///< fork-join tasks executed by pool threads
+  kAsyncRelaxations,    ///< worklist pops in the async engine
+  kAsyncEdgeVisits,     ///< edges traversed by the async engine
+  kCount,
+};
+
+inline constexpr unsigned kNumCounters =
+    static_cast<unsigned>(Counter::kCount);
+
+/// Stable JSON field name for a counter.
+[[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kEdgesTouched: return "edges_touched";
+    case Counter::kVectorsVisited: return "vectors_visited";
+    case Counter::kVectorsSkipped: return "vectors_skipped";
+    case Counter::kChunksExecuted: return "chunks_executed";
+    case Counter::kChunksStolen: return "chunks_stolen";
+    case Counter::kMergeFolds: return "merge_folds";
+    case Counter::kGateBuilds: return "gate_builds";
+    case Counter::kPushUpdates: return "push_updates";
+    case Counter::kVertexUpdates: return "vertex_updates";
+    case Counter::kFrontierActivations: return "frontier_activations";
+    case Counter::kPoolTasks: return "pool_tasks";
+    case Counter::kAsyncRelaxations: return "async_relaxations";
+    case Counter::kAsyncEdgeVisits: return "async_edge_visits";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Aggregated counter values, indexable by Counter.
+using CounterArray = std::array<std::uint64_t, kNumCounters>;
+
+/// One completed duration span. `name` and `arg_name` must be string
+/// literals (or otherwise outlive the Telemetry object) — events store
+/// the pointer, never a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t tid = 0;
+  const char* arg_name = nullptr;  ///< nullptr = no argument
+  std::uint64_t arg = 0;
+};
+
+/// Per-run telemetry sink. One instance per instrumented run; attach it
+/// to an Engine (and through it the ThreadPool and phase runners) with
+/// Engine::set_telemetry(). Thread-safe by partitioning: thread `tid`
+/// writes only slab `tid`; aggregation happens after the run on one
+/// thread.
+class Telemetry {
+ public:
+  explicit Telemetry(unsigned num_threads)
+      : threads_(num_threads == 0 ? 1 : num_threads),
+        epoch_(Clock::now()) {
+    for (auto& t : threads_) t.events.reserve(256);
+  }
+
+  [[nodiscard]] unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Microseconds since this object's construction (the trace epoch).
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              epoch_)
+            .count());
+  }
+
+  void count(unsigned tid, Counter c, std::uint64_t n = 1) noexcept {
+    slab(tid).counters[static_cast<unsigned>(c)] += n;
+  }
+
+  void record(unsigned tid, const char* name, std::uint64_t start_us,
+              std::uint64_t duration_us, const char* arg_name = nullptr,
+              std::uint64_t arg = 0) {
+    slab(tid).events.push_back(
+        {name, start_us, duration_us, static_cast<std::uint32_t>(tid),
+         arg_name, arg});
+  }
+
+  /// Sum of one counter across all threads.
+  [[nodiscard]] std::uint64_t total(Counter c) const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& t : threads_) {
+      sum += t.counters[static_cast<unsigned>(c)];
+    }
+    return sum;
+  }
+
+  /// Snapshot of every counter, summed across threads. Counters are
+  /// monotonic, so successive snapshots are element-wise non-decreasing.
+  [[nodiscard]] CounterArray counters() const noexcept {
+    CounterArray out{};
+    for (unsigned c = 0; c < kNumCounters; ++c) {
+      out[c] = total(static_cast<Counter>(c));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events(unsigned tid) const {
+    return threads_[tid % threads_.size()].events;
+  }
+
+  [[nodiscard]] std::uint64_t num_events() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& t : threads_) n += t.events.size();
+    return n;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct alignas(64) PerThread {
+    CounterArray counters{};
+    std::vector<TraceEvent> events;
+  };
+
+  [[nodiscard]] PerThread& slab(unsigned tid) noexcept {
+    return threads_[tid % threads_.size()];
+  }
+
+  std::vector<PerThread> threads_;
+  Clock::time_point epoch_;
+};
+
+/// Null-safe counter hook: the disabled path is one branch.
+inline void count(Telemetry* t, unsigned tid, Counter c,
+                  std::uint64_t n = 1) noexcept {
+  if (t != nullptr) t->count(tid, c, n);
+}
+
+/// RAII duration span; records on destruction. A null Telemetry makes
+/// construction and destruction no-ops (no clock reads).
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* t, unsigned tid, const char* name,
+             const char* arg_name = nullptr, std::uint64_t arg = 0) noexcept
+      : t_(t), tid_(tid), name_(name), arg_name_(arg_name), arg_(arg),
+        start_us_(t != nullptr ? t->now_us() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (t_ != nullptr) {
+      t_->record(tid_, name_, start_us_, t_->now_us() - start_us_, arg_name_,
+                 arg_);
+    }
+  }
+
+ private:
+  Telemetry* t_;
+  unsigned tid_;
+  const char* name_;
+  const char* arg_name_;
+  std::uint64_t arg_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace grazelle::telemetry

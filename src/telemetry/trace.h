@@ -1,0 +1,76 @@
+// chrome://tracing export of the per-thread telemetry event buffers.
+//
+// Emits the Trace Event Format's JSON-object flavor: a "traceEvents"
+// array of complete ("ph":"X") duration events plus thread_name
+// metadata, timestamps in microseconds since the Telemetry epoch.
+// Load the file at chrome://tracing (or https://ui.perfetto.dev) to
+// see per-thread phase/chunk timelines — scheduler imbalance shows up
+// directly as ragged chunk rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+
+namespace grazelle::telemetry {
+
+/// Serializes every recorded event as a chrome trace document.
+[[nodiscard]] inline std::string chrome_trace_json(const Telemetry& t) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  const auto append = [&](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
+
+  for (unsigned tid = 0; tid < t.num_threads(); ++tid) {
+    json::ObjectWriter meta;
+    meta.field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", std::uint64_t{0})
+        .field("tid", static_cast<std::uint64_t>(tid))
+        .field_raw("args",
+                   json::ObjectWriter()
+                       .field("name", tid == 0 ? std::string("main")
+                                               : "worker-" +
+                                                     std::to_string(tid))
+                       .str());
+    append(meta.str());
+  }
+
+  for (unsigned tid = 0; tid < t.num_threads(); ++tid) {
+    for (const TraceEvent& e : t.events(tid)) {
+      json::ObjectWriter w;
+      w.field("name", e.name)
+          .field("cat", "grazelle")
+          .field("ph", "X")
+          .field("ts", e.start_us)
+          .field("dur", e.duration_us)
+          .field("pid", std::uint64_t{0})
+          .field("tid", static_cast<std::uint64_t>(e.tid));
+      if (e.arg_name != nullptr) {
+        w.field_raw("args",
+                    json::ObjectWriter().field(e.arg_name, e.arg).str());
+      }
+      append(w.str());
+    }
+  }
+
+  out += "],\n\"displayTimeUnit\": \"ms\"}";
+  return out;
+}
+
+/// Writes the chrome trace to `path`; false (with errno intact) when
+/// the file cannot be written.
+inline bool write_chrome_trace(const Telemetry& t, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = chrome_trace_json(t);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace grazelle::telemetry

@@ -60,6 +60,12 @@ class DynamicChunkScheduler {
   /// Rearms for another full pass over the iteration space.
   void reset() noexcept { next_.store(0, std::memory_order_relaxed); }
 
+  /// Chunks handed out since construction or the last reset() —
+  /// telemetry reads this after the loop (kChunksExecuted).
+  [[nodiscard]] std::uint64_t chunks_claimed() const noexcept {
+    return std::min(next_.load(std::memory_order_relaxed), num_chunks_);
+  }
+
   [[nodiscard]] std::uint64_t num_chunks() const noexcept {
     return num_chunks_;
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "telemetry/telemetry.h"
 #include "threading/chunk_scheduler.h"
 #include "threading/thread_pool.h"
 #include "threading/work_stealing.h"
@@ -50,15 +51,29 @@ void parallel_for(ThreadPool& pool, std::uint64_t n, std::uint64_t grain,
 
 /// Chunk-granular parallel loop: `fn(tid, chunk)` once per chunk. The
 /// building block for engines that manage their own inner loops.
+///
+/// When a telemetry sink is attached, each chunk becomes one trace span
+/// named `label` (one null check + two clock reads per chunk, nothing
+/// per iteration); with `t == nullptr` the loop is byte-for-byte the
+/// uninstrumented one.
 template <typename Fn>
   requires std::invocable<Fn&, unsigned, const Chunk&>
 void parallel_for_chunks(ThreadPool& pool, std::uint64_t n,
-                         std::uint64_t chunk_size, Fn&& fn) {
+                         std::uint64_t chunk_size, Fn&& fn,
+                         telemetry::Telemetry* t = nullptr,
+                         const char* label = "chunk") {
   if (n == 0) return;
   DynamicChunkScheduler scheduler(n, chunk_size);
   pool.run([&](unsigned tid) {
-    while (auto chunk = scheduler.next()) fn(tid, *chunk);
+    while (auto chunk = scheduler.next()) {
+      telemetry::ScopedSpan span(t, tid, label, "chunk_id", chunk->id);
+      fn(tid, *chunk);
+    }
   });
+  if (t != nullptr) {
+    t->count(0, telemetry::Counter::kChunksExecuted,
+             scheduler.chunks_claimed());
+  }
 }
 
 /// Scheduler-aware parallel_for (the paper's first contribution).
@@ -78,15 +93,17 @@ void parallel_for_chunks(ThreadPool& pool, std::uint64_t n,
 ///
 /// Returns the number of chunks executed.
 template <typename BodyFactory>
-std::uint64_t parallel_for_scheduler_aware(ThreadPool& pool, std::uint64_t n,
-                                           std::uint64_t chunk_size,
-                                           BodyFactory&& make_body) {
+std::uint64_t parallel_for_scheduler_aware(
+    ThreadPool& pool, std::uint64_t n, std::uint64_t chunk_size,
+    BodyFactory&& make_body, telemetry::Telemetry* t = nullptr,
+    const char* label = "chunk") {
   if (n == 0) return 0;
   DynamicChunkScheduler scheduler(n, chunk_size);
   pool.run([&](unsigned tid) {
     auto body = make_body(tid);
     static_assert(SchedulerAwareBody<decltype(body)>);
     while (auto chunk = scheduler.next()) {
+      telemetry::ScopedSpan span(t, tid, label, "chunk_id", chunk->id);
       body.start_chunk(*chunk);
       for (std::uint64_t i = chunk->begin; i < chunk->end; ++i) {
         body.iteration(i);
@@ -94,6 +111,10 @@ std::uint64_t parallel_for_scheduler_aware(ThreadPool& pool, std::uint64_t n,
       body.finish_chunk(*chunk);
     }
   });
+  if (t != nullptr) {
+    t->count(0, telemetry::Counter::kChunksExecuted,
+             scheduler.chunks_claimed());
+  }
   return scheduler.num_chunks();
 }
 
@@ -102,16 +123,17 @@ std::uint64_t parallel_for_scheduler_aware(ThreadPool& pool, std::uint64_t n,
 /// scheduler. Chunk ids are identical between the two, so the same
 /// merge buffer works with either; the ablation bench compares them.
 template <typename BodyFactory>
-std::uint64_t parallel_for_scheduler_aware_ws(ThreadPool& pool,
-                                              std::uint64_t n,
-                                              std::uint64_t chunk_size,
-                                              BodyFactory&& make_body) {
+std::uint64_t parallel_for_scheduler_aware_ws(
+    ThreadPool& pool, std::uint64_t n, std::uint64_t chunk_size,
+    BodyFactory&& make_body, telemetry::Telemetry* t = nullptr,
+    const char* label = "chunk") {
   if (n == 0) return 0;
   WorkStealingScheduler scheduler(n, chunk_size, pool.size());
   pool.run([&](unsigned tid) {
     auto body = make_body(tid);
     static_assert(SchedulerAwareBody<decltype(body)>);
     while (auto chunk = scheduler.next(tid)) {
+      telemetry::ScopedSpan span(t, tid, label, "chunk_id", chunk->id);
       body.start_chunk(*chunk);
       for (std::uint64_t i = chunk->begin; i < chunk->end; ++i) {
         body.iteration(i);
@@ -119,6 +141,10 @@ std::uint64_t parallel_for_scheduler_aware_ws(ThreadPool& pool,
       body.finish_chunk(*chunk);
     }
   });
+  if (t != nullptr) {
+    t->count(0, telemetry::Counter::kChunksExecuted, scheduler.num_chunks());
+    t->count(0, telemetry::Counter::kChunksStolen, scheduler.steals());
+  }
   return scheduler.num_chunks();
 }
 

@@ -39,6 +39,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(unsigned)>& task) {
+  telemetry::count(telemetry_, 0, telemetry::Counter::kPoolTasks, 1);
   {
     std::lock_guard lock(mutex_);
     task_ = &task;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.h"
 #include "threading/barrier.h"
 
 namespace grazelle {
@@ -39,11 +40,20 @@ class ThreadPool {
   /// run() task to separate phases.
   [[nodiscard]] Barrier& phase_barrier() noexcept { return phase_barrier_; }
 
+  /// Attaches (or with nullptr detaches) a telemetry sink. Each run()
+  /// then counts one kPoolTasks fork-join dispatch. Not thread-safe
+  /// against a concurrent run().
+  void set_telemetry(telemetry::Telemetry* t) noexcept { telemetry_ = t; }
+  [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
  private:
   void worker_loop(unsigned tid);
 
   std::vector<std::thread> workers_;
   Barrier phase_barrier_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;

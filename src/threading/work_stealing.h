@@ -127,11 +127,19 @@ class WorkStealingScheduler {
         ChaseLevDeque& victim = deques_[(tid + k) % deques_.size()];
         if (victim.maybe_empty()) continue;
         any_nonempty = true;
-        if (auto id = victim.steal()) return make_chunk(*id);
+        if (auto id = victim.steal()) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          return make_chunk(*id);
+        }
       }
       if (!any_nonempty) break;
     }
     return std::nullopt;
+  }
+
+  /// Successful cross-thread steals so far (telemetry: kChunksStolen).
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t num_chunks() const noexcept {
@@ -151,6 +159,7 @@ class WorkStealingScheduler {
   std::uint64_t chunk_size_;
   std::uint64_t num_chunks_;
   std::deque<ChaseLevDeque> deques_;
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace grazelle

@@ -107,7 +107,7 @@ EngineOptions options_for(const EngineConfig& c,
   o.num_threads = c.threads;
   o.chunk_vectors = c.chunk_vectors;
   o.pull_mode = c.mode;
-  o.select = select;
+  o.direction.select = select;
   return o;
 }
 
@@ -222,7 +222,7 @@ INSTANTIATE_TEST_SUITE_P(AllModes, EngineSweep,
 
 // ---------------------------------------------------------------------------
 // Frontier-gated pull: gated and ungated runs must produce bit-identical
-// results in every pull-parallelization mode. gating_divisor = 0 forces
+// results in every pull-parallelization mode. gating.density_divisor = 0 forces
 // the gate onto every pull iteration regardless of frontier density, so
 // the skip logic is exercised even where the heuristic would keep it off
 // (including scheduler-aware merge-buffer deposits at chunk boundaries —
@@ -232,8 +232,8 @@ class GatedEngineSweep : public ::testing::TestWithParam<EngineConfig> {};
 
 EngineOptions gated_options_for(const EngineConfig& c) {
   EngineOptions o = options_for(c);
-  o.frontier_gating = true;
-  o.gating_divisor = 0;  // |F| * 0 <= V: gate every pull iteration
+  o.gating.enabled = true;
+  o.gating.density_divisor = 0;  // |F| * 0 <= V: gate every pull iteration
   return o;
 }
 
@@ -329,8 +329,8 @@ TEST(GatedEngine, SkipsVectorsOnSparseFrontiers) {
   const Graph g = Graph::build(EdgeList(list));
   EngineOptions opts;
   opts.num_threads = 4;
-  opts.select = EngineSelect::kPullOnly;
-  opts.frontier_gating = true;
+  opts.direction.select = EngineSelect::kPullOnly;
+  opts.gating.enabled = true;
   Engine<apps::BreadthFirstSearch, false> engine(g, opts);
   apps::BreadthFirstSearch bfs(g, 0);
   bfs.seed(engine.frontier());
@@ -347,8 +347,8 @@ TEST(GatedEngine, GateStaysOffOnDenseFrontiers) {
   const Graph g = Graph::build(EdgeList(list));
   EngineOptions opts;
   opts.num_threads = 4;
-  opts.select = EngineSelect::kPullOnly;
-  opts.frontier_gating = true;  // default gating_divisor = 32
+  opts.direction.select = EngineSelect::kPullOnly;
+  opts.gating.enabled = true;  // default density_divisor = 32
   Engine<apps::ConnectedComponents, false> engine(g, opts);
   apps::ConnectedComponents cc(g);
   engine.frontier().set_all();
@@ -370,8 +370,8 @@ TEST(GatedEngine, GatingWidensPullBand) {
   for (bool gating : {false, true}) {
     EngineOptions opts;
     opts.num_threads = 4;
-    opts.select = EngineSelect::kAuto;
-    opts.frontier_gating = gating;
+    opts.direction.select = EngineSelect::kAuto;
+    opts.gating.enabled = gating;
     Engine<apps::BreadthFirstSearch, false> engine(g, opts);
     apps::BreadthFirstSearch bfs(g, 0);
     bfs.seed(engine.frontier());
@@ -397,7 +397,7 @@ TEST(PushEngine, PageRankMatchesPull) {
 
   EngineOptions opts;
   opts.num_threads = 4;
-  opts.select = EngineSelect::kPushOnly;
+  opts.direction.select = EngineSelect::kPushOnly;
   Engine<apps::PageRank, false> engine(g, opts);
   apps::PageRank pr(g, engine.pool().size());
   engine.run(pr, 5);
@@ -413,7 +413,7 @@ TEST(PushEngine, BfsMatchesReference) {
 
   EngineOptions opts;
   opts.num_threads = 4;
-  opts.select = EngineSelect::kPushOnly;
+  opts.direction.select = EngineSelect::kPushOnly;
   Engine<apps::BreadthFirstSearch, false> engine(g, opts);
   apps::BreadthFirstSearch bfs(g, 0);
   bfs.seed(engine.frontier());
@@ -430,7 +430,7 @@ TEST(HybridEngine, BfsSwitchesDirectionsAndMatches) {
 
   EngineOptions opts;
   opts.num_threads = 4;
-  opts.select = EngineSelect::kAuto;
+  opts.direction.select = EngineSelect::kAuto;
   Engine<apps::BreadthFirstSearch, false> engine(g, opts);
   apps::BreadthFirstSearch bfs(g, 0);
   bfs.seed(engine.frontier());
@@ -508,7 +508,7 @@ TEST(HybridEngine, SparsePushExtensionMatchesReference) {
 
   EngineOptions opts;
   opts.num_threads = 4;
-  opts.sparse_push = true;
+  opts.direction.sparse_push = true;
   Engine<apps::BreadthFirstSearch, false> engine(g, opts);
   apps::BreadthFirstSearch bfs(g, 0);
   bfs.seed(engine.frontier());

@@ -78,7 +78,7 @@ TEST(PageRankDelta, SchedulerAwareAndTraditionalAgree) {
     EngineOptions opts;
     opts.num_threads = 4;
     opts.pull_mode = mode;
-    opts.select = EngineSelect::kPullOnly;
+    opts.direction.select = EngineSelect::kPullOnly;
     Engine<apps::PageRankDelta, false> engine(g, opts);
     apps::PageRankDelta pr(g);
     pr.seed(engine.frontier());

@@ -131,7 +131,7 @@ TEST_P(GraphFamilySweep, PushAndPullConvergeIdentically) {
   const auto run_select = [&](EngineSelect select) {
     EngineOptions opts;
     opts.num_threads = 4;
-    opts.select = select;
+    opts.direction.select = select;
     Engine<apps::ConnectedComponents, false> engine(graph_, opts);
     apps::ConnectedComponents cc(graph_);
     engine.frontier().set_all();

@@ -1,0 +1,401 @@
+// Telemetry layer: JSON round-trips, counter monotonicity, phase-time
+// accounting, chrome-trace export, the PhasePlan API, the deprecated
+// EngineOptions aliases, and — the load-bearing guarantee — that an
+// attached telemetry sink never changes computed results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "platform/cpu_features.h"
+#include "telemetry/json.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace grazelle {
+namespace {
+
+Graph test_graph() {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.num_edges = 4000;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return Graph::build(std::move(list));
+}
+
+EngineOptions base_options(unsigned threads = 2) {
+  EngineOptions o;
+  o.num_threads = threads;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer/parser
+
+TEST(TelemetryJson, ParsesScalarsObjectsAndArrays) {
+  const auto v = telemetry::json::parse(
+      R"({"a": 1, "b": -2.5e3, "s": "x\ny", "t": true, "n": null,)"
+      R"( "arr": [1, 2, 3], "o": {"inner": false}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").num, 1.0);
+  EXPECT_EQ(v.at("b").num, -2500.0);
+  EXPECT_EQ(v.at("s").str, "x\ny");
+  EXPECT_TRUE(v.at("t").boolean);
+  EXPECT_EQ(v.at("n").type, telemetry::json::Value::Type::kNull);
+  ASSERT_TRUE(v.at("arr").is_array());
+  EXPECT_EQ(v.at("arr").items.size(), 3u);
+  EXPECT_FALSE(v.at("o").at("inner").boolean);
+}
+
+TEST(TelemetryJson, RejectsMalformedInput) {
+  EXPECT_THROW((void)telemetry::json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)telemetry::json::parse("{} extra"), std::runtime_error);
+  EXPECT_THROW((void)telemetry::json::parse("[1,]"), std::runtime_error);
+}
+
+TEST(TelemetryJson, WriterOutputRoundTrips) {
+  telemetry::json::ObjectWriter w;
+  w.field("name", std::string("quote\"and\\slash"))
+      .field("count", std::uint64_t{42})
+      .field("ratio", 0.125)
+      .field("on", true);
+  const auto v = telemetry::json::parse(w.str());
+  EXPECT_EQ(v.at("name").str, "quote\"and\\slash");
+  EXPECT_EQ(v.at("count").num, 42.0);
+  EXPECT_EQ(v.at("ratio").num, 0.125);
+  EXPECT_TRUE(v.at("on").boolean);
+}
+
+// ---------------------------------------------------------------------------
+// Counters and spans
+
+TEST(Telemetry, CountersSumAcrossThreads) {
+  telemetry::Telemetry t(4);
+  t.count(0, telemetry::Counter::kEdgesTouched, 10);
+  t.count(3, telemetry::Counter::kEdgesTouched, 5);
+  t.count(1, telemetry::Counter::kChunksStolen, 2);
+  EXPECT_EQ(t.total(telemetry::Counter::kEdgesTouched), 15u);
+  EXPECT_EQ(t.total(telemetry::Counter::kChunksStolen), 2u);
+  EXPECT_EQ(t.total(telemetry::Counter::kMergeFolds), 0u);
+}
+
+TEST(Telemetry, NullHooksAreSafe) {
+  telemetry::count(nullptr, 0, telemetry::Counter::kEdgesTouched, 7);
+  { telemetry::ScopedSpan span(nullptr, 0, "nothing"); }
+  SUCCEED();
+}
+
+TEST(Telemetry, ScopedSpanRecordsDuration) {
+  telemetry::Telemetry t(1);
+  { telemetry::ScopedSpan span(&t, 0, "work", "arg", 9); }
+  ASSERT_EQ(t.events(0).size(), 1u);
+  const telemetry::TraceEvent& e = t.events(0)[0];
+  EXPECT_STREQ(e.name, "work");
+  EXPECT_STREQ(e.arg_name, "arg");
+  EXPECT_EQ(e.arg, 9u);
+  EXPECT_GE(t.now_us(), e.start_us + e.duration_us);
+}
+
+TEST(Telemetry, CountersMonotonicAcrossIterations) {
+  const Graph g = test_graph();
+  EngineOptions o = base_options();
+  o.direction.select = EngineSelect::kPullOnly;
+  Engine<apps::PageRank, false> engine(g, o);
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+
+  apps::PageRank pr(g, engine.pool().size());
+  engine.prime_accumulators(pr);
+  telemetry::CounterArray prev = t.counters();
+  for (int iter = 0; iter < 4; ++iter) {
+    engine.run_edge_phase(pr, PhasePlan::pull());
+    engine.run_vertex(pr);
+    const telemetry::CounterArray now = t.counters();
+    for (unsigned c = 0; c < telemetry::kNumCounters; ++c) {
+      EXPECT_GE(now[c], prev[c]) << "counter " << c << " regressed";
+    }
+    // The edge phase must have made visible progress every iteration.
+    EXPECT_GT(now[static_cast<unsigned>(telemetry::Counter::kEdgesTouched)],
+              prev[static_cast<unsigned>(telemetry::Counter::kEdgesTouched)]);
+    prev = now;
+  }
+}
+
+TEST(Telemetry, UngatedPullCountsEveryEdgeExactly) {
+  const Graph g = test_graph();
+  EngineOptions o = base_options();
+  o.direction.select = EngineSelect::kPullOnly;
+  Engine<apps::PageRank, false> engine(g, o);
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+
+  apps::PageRank pr(g, engine.pool().size());
+  const RunStats stats = engine.run(pr, 3);
+  EXPECT_EQ(t.total(telemetry::Counter::kEdgesTouched),
+            g.num_edges() * stats.pull_iterations);
+  EXPECT_EQ(t.total(telemetry::Counter::kVectorsVisited),
+            g.vsd().num_vectors() * stats.pull_iterations);
+  EXPECT_GT(t.total(telemetry::Counter::kChunksExecuted), 0u);
+  EXPECT_GT(t.total(telemetry::Counter::kVertexUpdates), 0u);
+  EXPECT_GT(t.total(telemetry::Counter::kPoolTasks), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Phase-time accounting
+
+TEST(Telemetry, PhaseTimesSumToWallTime) {
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  apps::PageRank pr(g, engine.pool().size());
+  const RunStats stats = engine.run(pr, 16);
+  ASSERT_GT(stats.iterations, 0u);
+
+  const telemetry::PhaseSeconds phases = telemetry::phase_breakdown(stats);
+  double sum = 0.0;
+  for (const IterationStats& it : stats.per_iteration) {
+    sum += it.edge_seconds + it.vertex_seconds;
+  }
+  // Edge+vertex timers nest strictly inside the total timer...
+  EXPECT_LE(sum, stats.total_seconds * 1.02 + 1e-4);
+  // ...and the loop around them (frontier counts, stats bookkeeping)
+  // must not dominate.
+  EXPECT_GE(sum, stats.total_seconds * 0.3);
+  // The derived breakdown attributes exactly the edge+vertex time.
+  EXPECT_NEAR(phases.edge_total() + phases.vertex, sum, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+
+TEST(RunReport, ToJsonRoundTripsThroughParser) {
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+  apps::PageRank pr(g, engine.pool().size());
+  const RunStats stats = engine.run(pr, 5);
+
+  RunReport report = build_report(stats, &t);
+  report.app = "pr";
+  report.graph = "rmat:9";
+  report.engine = "auto";
+  report.pull_mode = "sa";
+  report.threads = engine.pool().size();
+  report.num_vertices = g.num_vertices();
+  report.num_edges = g.num_edges();
+
+  const auto v = telemetry::json::parse(report.to_json());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("schema_version").num,
+            static_cast<double>(telemetry::kReportSchemaVersion));
+  EXPECT_EQ(v.at("app").str, "pr");
+  EXPECT_EQ(v.at("iterations").num, static_cast<double>(stats.iterations));
+  EXPECT_TRUE(v.at("telemetry_attached").boolean);
+  EXPECT_EQ(v.at("num_edges").num, static_cast<double>(g.num_edges()));
+
+  ASSERT_TRUE(v.at("phases").is_object());
+  EXPECT_TRUE(v.at("phases").has("pull_seconds"));
+  EXPECT_TRUE(v.at("phases").has("vertex_seconds"));
+
+  ASSERT_TRUE(v.at("counters").is_object());
+  for (unsigned c = 0; c < telemetry::kNumCounters; ++c) {
+    const auto counter = static_cast<telemetry::Counter>(c);
+    ASSERT_TRUE(v.at("counters").has(telemetry::counter_name(counter)))
+        << telemetry::counter_name(counter);
+    EXPECT_EQ(v.at("counters").at(telemetry::counter_name(counter)).num,
+              static_cast<double>(t.total(counter)));
+  }
+
+  ASSERT_TRUE(v.at("per_iteration").is_array());
+  ASSERT_EQ(v.at("per_iteration").items.size(), stats.per_iteration.size());
+  const auto& first = *v.at("per_iteration").items[0];
+  EXPECT_TRUE(first.has("phase"));
+  EXPECT_TRUE(first.has("edge_seconds"));
+  EXPECT_EQ(first.at("phase").str, stats.per_iteration[0].plan.name());
+}
+
+TEST(RunReport, WithoutTelemetryCountersAreZero) {
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  apps::PageRank pr(g, engine.pool().size());
+  const RunStats stats = engine.run(pr, 3);
+  const RunReport report = build_report(stats, nullptr);
+  EXPECT_FALSE(report.telemetry_attached);
+  const auto v = telemetry::json::parse(report.to_json());
+  EXPECT_FALSE(v.at("telemetry_attached").boolean);
+  EXPECT_EQ(v.at("counters").at("edges_touched").num, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+TEST(ChromeTrace, OutputParsesAndHasPerThreadEvents) {
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+  apps::PageRank pr(g, engine.pool().size());
+  (void)engine.run(pr, 4);
+  ASSERT_GT(t.num_events(), 0u);
+
+  const auto v = telemetry::json::parse(telemetry::chrome_trace_json(t));
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v.at("traceEvents").is_array());
+  const auto& events = v.at("traceEvents").items;
+  // thread_name metadata for every thread + at least one real span.
+  ASSERT_GT(events.size(), static_cast<std::size_t>(engine.pool().size()));
+  bool saw_meta = false;
+  bool saw_span = false;
+  for (const auto& e : events) {
+    ASSERT_TRUE(e->is_object());
+    const std::string ph = e->at("ph").str;
+    if (ph == "M") saw_meta = true;
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_TRUE(e->has("ts"));
+      EXPECT_TRUE(e->has("dur"));
+      EXPECT_TRUE(e->has("name"));
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_span);
+}
+
+// ---------------------------------------------------------------------------
+// Observation-only guarantee: attaching telemetry never changes results
+
+template <typename P, typename SeedFn, typename ResultFn>
+void expect_bit_identical(const Graph& g, unsigned max_iters, SeedFn&& seed,
+                          ResultFn&& result) {
+  auto run_once = [&](bool with_telemetry) {
+    Engine<P, false> engine(g, base_options(/*threads=*/3));
+    telemetry::Telemetry t(engine.pool().size());
+    if (with_telemetry) engine.set_telemetry(&t);
+    P prog = seed(g, engine);
+    (void)engine.run(prog, max_iters);
+    return result(prog);
+  };
+  const auto plain = run_once(false);
+  const auto instrumented = run_once(true);
+  ASSERT_EQ(plain.size(), instrumented.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], instrumented[i]) << "diverged at vertex " << i;
+  }
+}
+
+TEST(TelemetryTransparency, PageRankBitIdentical) {
+  const Graph g = test_graph();
+  expect_bit_identical<apps::PageRank>(
+      g, 16,
+      [](const Graph& graph, Engine<apps::PageRank, false>& engine) {
+        return apps::PageRank(graph, engine.pool().size());
+      },
+      [](apps::PageRank& pr) {
+        pr.finalize();
+        return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+      });
+}
+
+TEST(TelemetryTransparency, ConnectedComponentsBitIdentical) {
+  const Graph g = test_graph();
+  expect_bit_identical<apps::ConnectedComponents>(
+      g, 1u << 20,
+      [](const Graph& graph, Engine<apps::ConnectedComponents, false>& engine) {
+        engine.frontier().set_all();
+        return apps::ConnectedComponents(graph);
+      },
+      [](apps::ConnectedComponents& cc) {
+        return std::vector<std::uint64_t>(cc.labels().begin(),
+                                          cc.labels().end());
+      });
+}
+
+TEST(TelemetryTransparency, BfsBitIdentical) {
+  const Graph g = test_graph();
+  expect_bit_identical<apps::BreadthFirstSearch>(
+      g, 1u << 20,
+      [](const Graph& graph, Engine<apps::BreadthFirstSearch, false>& engine) {
+        apps::BreadthFirstSearch bfs(graph, 0);
+        bfs.seed(engine.frontier());
+        return bfs;
+      },
+      [](apps::BreadthFirstSearch& bfs) {
+        return std::vector<std::uint64_t>(bfs.parents().begin(),
+                                          bfs.parents().end());
+      });
+}
+
+// ---------------------------------------------------------------------------
+// PhasePlan and the options API
+
+TEST(PhasePlan, NamesAreStable) {
+  EXPECT_STREQ(PhasePlan::pull().name(), "edge_pull");
+  EXPECT_STREQ(PhasePlan::pull(true).name(), "edge_pull_gated");
+  EXPECT_STREQ(PhasePlan::push().name(), "edge_push");
+  EXPECT_STREQ(PhasePlan::push(true).name(), "edge_push_sparse");
+  EXPECT_EQ(PhasePlan::pull(), PhasePlan::pull());
+  EXPECT_NE(PhasePlan::pull(), PhasePlan::push());
+}
+
+TEST(PhasePlan, EngineResolvesDirectionAndGating) {
+  const Graph g = test_graph();
+  EngineOptions o = base_options();
+  o.gating.enabled = true;
+  Engine<apps::BreadthFirstSearch, false> engine(g, o);
+  // Tiny frontier with no recorded out-edge work: push, and dense pull
+  // would be gated if chosen.
+  const PhasePlan sparse_plan = engine.plan_edge_phase(1);
+  EXPECT_FALSE(sparse_plan.is_pull());
+  // Full frontier: pull, ungated (density above 1/32 of vertices).
+  const PhasePlan dense_plan = engine.plan_edge_phase(g.num_vertices());
+  EXPECT_TRUE(dense_plan.is_pull());
+  EXPECT_FALSE(dense_plan.gated);
+  EXPECT_TRUE(engine.should_gate(0));
+  EXPECT_FALSE(engine.should_gate(g.num_vertices()));
+}
+
+TEST(EngineOptions, DeprecatedAliasesAliasThePolicyFields) {
+  EngineOptions o;
+  // Intentional use of the deprecated names to pin alias behavior.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  o.frontier_gating = true;
+  o.gating_divisor = 7;
+  o.select = EngineSelect::kPushOnly;
+  o.sparse_push = true;
+  o.sparse_push_divisor = 11;
+  o.gating_pull_divisor = 99;
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(o.gating.enabled);
+  EXPECT_EQ(o.gating.density_divisor, 7u);
+  EXPECT_EQ(o.direction.select, EngineSelect::kPushOnly);
+  EXPECT_TRUE(o.direction.sparse_push);
+  EXPECT_EQ(o.direction.sparse_push_divisor, 11u);
+  EXPECT_EQ(o.direction.gated_pull_divisor, 99u);
+}
+
+TEST(EngineOptions, CopiesRebindAliasesToTheirOwnStorage) {
+  EngineOptions a;
+  a.gating.enabled = true;
+  EngineOptions b = a;
+  EXPECT_TRUE(b.gating.enabled);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  b.frontier_gating = false;  // must write b, not a
+#pragma GCC diagnostic pop
+  EXPECT_FALSE(b.gating.enabled);
+  EXPECT_TRUE(a.gating.enabled);
+  b = a;
+  EXPECT_TRUE(b.gating.enabled);
+}
+
+}  // namespace
+}  // namespace grazelle

@@ -8,12 +8,22 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+
+#include "telemetry/json.h"
 
 namespace grazelle {
 namespace {
 
 std::string tools_dir() { return GRAZELLE_TOOLS_DIR; }
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream f(path);
+  std::ostringstream body;
+  body << f.rdbuf();
+  return body.str();
+}
 
 struct CommandResult {
   int exit_code = -1;
@@ -61,6 +71,47 @@ TEST(GrazelleRunTool, RejectsUnknownApp) {
   const auto r = run_command(tools_dir() + "/grazelle_run -a nope -i C");
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("unknown application"), std::string::npos);
+}
+
+TEST(GrazelleRunTool, RejectsUnknownEngineBeforeLoadingGraph) {
+  // A huge rmat scale would take minutes to generate; the argument
+  // error must fire first, so this returns immediately.
+  const auto r = run_command(tools_dir() +
+                             "/grazelle_run -a pr -i rmat:28 --engine bogus");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown engine 'bogus'"), std::string::npos)
+      << r.output;
+}
+
+TEST(GrazelleRunTool, RejectsUnknownPullMode) {
+  const auto r = run_command(tools_dir() +
+                             "/grazelle_run -a pr -i C --pull-mode warp");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown pull mode 'warp'"), std::string::npos)
+      << r.output;
+}
+
+TEST(GrazelleRunTool, StatsJsonAndTraceFilesParse) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto stats = dir / "grazelle_tool_stats.json";
+  const auto trace = dir / "grazelle_tool_trace.json";
+  const auto r = run_command(tools_dir() +
+                             "/grazelle_run -a pr -i rmat:8 -N 4 -n 2 " +
+                             "--stats-json " + stats.string() + " --trace " +
+                             trace.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const auto v = telemetry::json::parse(read_file(stats));
+  EXPECT_EQ(v.at("app").str, "pr");
+  EXPECT_TRUE(v.at("telemetry_attached").boolean);
+  EXPECT_GT(v.at("counters").at("edges_touched").num, 0.0);
+  EXPECT_GT(v.at("per_iteration").items.size(), 0u);
+
+  const auto t = telemetry::json::parse(read_file(trace));
+  EXPECT_GT(t.at("traceEvents").items.size(), 0u);
+
+  std::filesystem::remove(stats);
+  std::filesystem::remove(trace);
 }
 
 TEST(GrazelleRunTool, RejectsMissingInput) {

@@ -11,14 +11,17 @@
 
 #include "core/engine.h"
 #include "gen/datasets.h"
+#include "gen/rmat.h"
 #include "gen/synthetic.h"
 #include "graph/graph.h"
 #include "graph/io.h"
 
 namespace grazelle::cli {
 
-/// Parses the dataset selector: either a file path (binary .grzb or
-/// text edge list) or a named analog "C"/"D"/"L"/"T"/"F"/"U".
+/// Parses the dataset selector: a file path (binary .grzb or text edge
+/// list), a named analog "C"/"D"/"L"/"T"/"F"/"U", or "rmat:<scale>" —
+/// a synthetic R-MAT with 2^scale vertices and 16 edges per vertex
+/// (deterministic; what the CI smoke job runs on).
 inline std::optional<EdgeList> load_input(const std::string& input,
                                           double scale, bool weighted) {
   for (const auto& spec : gen::all_datasets()) {
@@ -27,6 +30,20 @@ inline std::optional<EdgeList> load_input(const std::string& input,
       if (weighted) list = gen::with_random_weights(list, 0.1, 2.0);
       return list;
     }
+  }
+  if (input.rfind("rmat:", 0) == 0) {
+    const int s = std::atoi(input.c_str() + 5);
+    if (s <= 0 || s > 30) {
+      std::fprintf(stderr, "error: bad rmat scale in '%s' (want 1..30)\n",
+                   input.c_str());
+      return std::nullopt;
+    }
+    gen::RmatParams p;
+    p.scale = static_cast<unsigned>(s);
+    p.num_edges = std::uint64_t{16} << p.scale;
+    EdgeList list = gen::generate_rmat(p);
+    if (weighted) list = gen::with_random_weights(list, 0.1, 2.0);
+    return list;
   }
   const auto has_suffix = [&](const char* suffix) {
     const std::size_t n = std::strlen(suffix);
@@ -63,6 +80,22 @@ inline std::optional<EngineSelect> parse_engine(const std::string& sel) {
   if (sel == "pull") return EngineSelect::kPullOnly;
   if (sel == "push") return EngineSelect::kPushOnly;
   return std::nullopt;
+}
+
+/// Writes `body` to `path`, reporting failures on stderr.
+inline bool write_text_file(const std::string& path,
+                            const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open output file %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Writes one value per line ("vertex value") to `path`, as the

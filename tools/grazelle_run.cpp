@@ -9,6 +9,7 @@
 #include <getopt.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "apps/bfs.h"
@@ -18,6 +19,9 @@
 #include "apps/weighted_rank.h"
 #include "cli_common.h"
 #include "platform/cpu_features.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 using namespace grazelle;
 
@@ -38,6 +42,12 @@ struct Options {
   bool no_vector = false;
   bool sparse_push = false;
   bool frontier_gating = false;
+  std::string stats_json;  // --stats-json: RunReport destination
+  std::string trace;       // --trace: chrome://tracing destination
+  // Enum args resolved (and rejected) up front in main(), before the
+  // graph is loaded.
+  PullParallelism pull_mode_parsed = PullParallelism::kSchedulerAware;
+  EngineSelect select_parsed = EngineSelect::kAuto;
 };
 
 void usage(const char* argv0) {
@@ -61,7 +71,15 @@ void usage(const char* argv0) {
       "  --sparse-push     enable the sparse-frontier push extension\n"
       "  --frontier-gating enable frontier-gated pull (skip edge vectors\n"
       "                    with no active sources on sparse frontiers)\n"
-      "  -h                this help\n",
+      "  --stats-json <f>  write a structured RunReport (stable JSON\n"
+      "                    schema: phase times, counters, per-iteration\n"
+      "                    stats) to <f>\n"
+      "  --trace <f>       write a chrome://tracing / Perfetto trace of\n"
+      "                    per-thread phase and chunk spans to <f>\n"
+      "  -h                this help\n"
+      "\n"
+      "  <input> also accepts rmat:<scale> for a synthetic R-MAT graph\n"
+      "  with 2^scale vertices.\n",
       argv0);
 }
 
@@ -72,23 +90,19 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   eopts.num_threads = opt.threads;
   eopts.numa_nodes = opt.numa_nodes;
   eopts.chunk_vectors = opt.granularity;
-  eopts.sparse_push = opt.sparse_push;
-  eopts.frontier_gating = opt.frontier_gating;
-  if (const auto m = cli::parse_pull_mode(opt.pull_mode)) {
-    eopts.pull_mode = *m;
-  } else {
-    std::fprintf(stderr, "error: unknown pull mode '%s'\n",
-                 opt.pull_mode.c_str());
-    return 1;
-  }
-  if (const auto s = cli::parse_engine(opt.engine)) {
-    eopts.select = *s;
-  } else {
-    std::fprintf(stderr, "error: unknown engine '%s'\n", opt.engine.c_str());
-    return 1;
-  }
+  eopts.direction.sparse_push = opt.sparse_push;
+  eopts.gating.enabled = opt.frontier_gating;
+  eopts.pull_mode = opt.pull_mode_parsed;
+  eopts.direction.select = opt.select_parsed;
 
   Engine<P, Vec> engine(graph, eopts);
+  // A telemetry sink only when an output asks for one: disabled runs
+  // carry no instrumentation cost.
+  std::optional<telemetry::Telemetry> telem;
+  if (!opt.stats_json.empty() || !opt.trace.empty()) {
+    telem.emplace(engine.pool().size());
+    engine.set_telemetry(&*telem);
+  }
   P prog = make(engine.pool().size());
   seed(engine.frontier(), prog);
   const RunStats stats = engine.run(prog, max_iters);
@@ -105,6 +119,25 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   if (stats.iterations > 0) {
     std::printf("time/iteration:    %.3f ms\n",
                 stats.total_seconds * 1e3 / stats.iterations);
+  }
+
+  if (!opt.stats_json.empty()) {
+    RunReport report = build_report(stats, telem ? &*telem : nullptr);
+    report.app = opt.app;
+    report.graph = opt.input;
+    report.engine = opt.engine;
+    report.pull_mode = opt.pull_mode;
+    report.threads = engine.pool().size();
+    report.vectorized = Vec;
+    report.num_vertices = graph.num_vertices();
+    report.num_edges = graph.num_edges();
+    if (!cli::write_text_file(opt.stats_json, report.to_json())) return 1;
+  }
+  if (!opt.trace.empty() &&
+      !telemetry::write_chrome_trace(*telem, opt.trace)) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n",
+                 opt.trace.c_str());
+    return 1;
   }
   return out(prog) ? 0 : 1;
 }
@@ -190,6 +223,8 @@ int main(int argc, char** argv) {
       {"no-vector", no_argument, nullptr, 1002},
       {"sparse-push", no_argument, nullptr, 1003},
       {"frontier-gating", no_argument, nullptr, 1004},
+      {"stats-json", required_argument, nullptr, 1005},
+      {"trace", required_argument, nullptr, 1006},
       {nullptr, 0, nullptr, 0},
   };
 
@@ -211,12 +246,39 @@ int main(int argc, char** argv) {
       case 1002: opt.no_vector = true; break;
       case 1003: opt.sparse_push = true; break;
       case 1004: opt.frontier_gating = true; break;
+      case 1005: opt.stats_json = optarg; break;
+      case 1006: opt.trace = optarg; break;
       case 'h': usage(argv[0]); return 0;
       default: usage(argv[0]); return 1;
     }
   }
   if (opt.input.empty()) {
     usage(argv[0]);
+    return 1;
+  }
+
+  // Validate every enumerated argument up front, before the (possibly
+  // expensive) graph load, so a typo fails fast with a clear message.
+  if (opt.app != "pr" && opt.app != "cc" && opt.app != "bfs" &&
+      opt.app != "sssp" && opt.app != "wrank") {
+    std::fprintf(stderr,
+                 "error: unknown application '%s' (want pr|cc|bfs|sssp|wrank)\n",
+                 opt.app.c_str());
+    return 1;
+  }
+  if (const auto m = cli::parse_pull_mode(opt.pull_mode)) {
+    opt.pull_mode_parsed = *m;
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown pull mode '%s' (want sa|trad|tradna|vertex|seq)\n",
+                 opt.pull_mode.c_str());
+    return 1;
+  }
+  if (const auto s = cli::parse_engine(opt.engine)) {
+    opt.select_parsed = *s;
+  } else {
+    std::fprintf(stderr, "error: unknown engine '%s' (want auto|pull|push)\n",
+                 opt.engine.c_str());
     return 1;
   }
 
