@@ -1,0 +1,117 @@
+// bench_load — the "pack once, serve many" payoff: wall-clock to get a
+// ready-to-serve Graph bundle from each persistence format.
+//
+//   text edge list   parse + canonicalize + build every representation
+//   .grzb binary     binary edge-list read + build every representation
+//   .gzg (copy-in)   store::read_graph — one read + CRC + zero rebuild
+//   .gzg (mapped)    store::open_graph — mmap, zero-copy, zero rebuild
+//
+// The mapped open is the load-path analogue of weight-file mmap in
+// inference serving; the acceptance target is >= 10x over text parse +
+// build at rmat scale 18 (override with GRAZELLE_BENCH_LOAD_SCALE).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.h"
+#include "gen/rmat.h"
+#include "graph/io.h"
+#include "graph/store.h"
+
+using namespace grazelle;
+
+namespace {
+
+unsigned load_scale() {
+  if (const char* s = std::getenv("GRAZELLE_BENCH_LOAD_SCALE")) {
+    const int v = std::atoi(s);
+    if (v > 0 && v <= 30) return static_cast<unsigned>(v);
+  }
+  return 18;
+}
+
+/// Folds a graph into a checksum so the loads cannot be optimized away
+/// (and to confirm every path produced the same structure).
+std::uint64_t fingerprint(const Graph& g) {
+  std::uint64_t h = g.num_vertices() * 1000003 + g.num_edges();
+  for (const EdgeVector& v : g.vsd().vectors().first(
+           std::min<std::size_t>(g.vsd().vectors().size(), 1024))) {
+    for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+      h = h * 31 + v.lane[k];
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned scale = load_scale();
+  std::printf("\n=== Load path: text vs .grzb vs packed .gzg ===\n");
+  std::printf("(rmat scale %u; set GRAZELLE_BENCH_LOAD_SCALE to change)\n\n",
+              scale);
+
+  gen::RmatParams p;
+  p.scale = scale;
+  p.num_edges = std::uint64_t{16} << scale;
+  EdgeList list = gen::generate_rmat(p);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto txt = dir / "grazelle_bench_load.txt";
+  const auto bin = dir / "grazelle_bench_load.grzb";
+  const auto gzg = dir / "grazelle_bench_load.gzg";
+
+  io::save_text(list, txt);
+  io::save_binary(list, bin);
+  const Graph built = Graph::build(std::move(list));
+  store::pack_graph(built, gzg);
+  const std::uint64_t expect = fingerprint(built);
+
+  std::printf("graph: %llu vertices, %llu edges\n",
+              static_cast<unsigned long long>(built.num_vertices()),
+              static_cast<unsigned long long>(built.num_edges()));
+  std::printf("files: text %.1f MB, .grzb %.1f MB, .gzg %.1f MB\n\n",
+              std::filesystem::file_size(txt) / 1e6,
+              std::filesystem::file_size(bin) / 1e6,
+              std::filesystem::file_size(gzg) / 1e6);
+
+  std::uint64_t sink = 0;
+  const auto time_path = [&](int repeats, auto&& load) {
+    return bench::median_seconds(repeats, [&] { sink ^= fingerprint(load()); });
+  };
+
+  const double t_text =
+      time_path(3, [&] { return Graph::build(io::load_text(txt)); });
+  const double t_bin =
+      time_path(3, [&] { return Graph::build(io::load_binary(bin)); });
+  const double t_read = time_path(5, [&] { return store::read_graph(gzg); });
+  const double t_open = time_path(9, [&] { return store::open_graph(gzg); });
+
+  bench::Table table({"load path", "median ms", "vs text"});
+  const auto row = [&](const char* name, double t) {
+    table.add_row({name, bench::fmt_ms(t), bench::fmt(t_text / t, 1) + "x"});
+    bench::JsonRow()
+        .field("bench", "load")
+        .field("path", name)
+        .field("rmat_scale", static_cast<std::uint64_t>(scale))
+        .field("median_seconds", t)
+        .field("speedup_vs_text", t_text / t)
+        .print();
+  };
+  row("text parse + build", t_text);
+  row(".grzb read + build", t_bin);
+  row(".gzg copy-in read", t_read);
+  row(".gzg mapped open", t_open);
+  table.print();
+
+  std::printf("\nmapped .gzg open speedup vs text parse + build: %.0fx "
+              "(target >= 10x)\n",
+              t_text / t_open);
+  if (sink == 0 && expect != 0) std::printf("(impossible)\n");
+
+  std::filesystem::remove(txt);
+  std::filesystem::remove(bin);
+  std::filesystem::remove(gzg);
+  return t_text / t_open >= 10.0 ? 0 : 1;
+}

@@ -126,28 +126,6 @@ class Engine {
                     /*chunk_words=*/64, telemetry_);
   }
 
-  /// One Edge-Pull phase into the accumulators. Applies the occupancy
-  /// gate per the engine options and current frontier density.
-  GRAZELLE_DEPRECATED(
-      "use run_edge_phase(prog, plan_edge_phase(frontier().count()))")
-  void run_edge_pull(const P& prog) {
-    run_edge_phase(prog,
-                   PhasePlan::pull(should_gate(
-                       P::kUsesFrontier ? frontier_.count() : 0)));
-  }
-
-  /// One Edge-Pull phase with an explicit gating decision.
-  GRAZELLE_DEPRECATED("use run_edge_phase(prog, PhasePlan::pull(gated))")
-  void run_edge_pull(const P& prog, bool gated) {
-    run_edge_phase(prog, PhasePlan::pull(gated));
-  }
-
-  /// One Edge-Push phase into the accumulators.
-  GRAZELLE_DEPRECATED("use run_edge_phase(prog, PhasePlan::push())")
-  void run_edge_push(const P& prog) {
-    run_edge_phase(prog, PhasePlan::push());
-  }
-
   /// Edge vectors the occupancy gate skipped during the most recent
   /// Edge-Pull phase.
   [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {

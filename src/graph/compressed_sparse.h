@@ -7,7 +7,7 @@
 #include <span>
 
 #include "graph/edge_list.h"
-#include "platform/aligned_buffer.h"
+#include "platform/data_array.h"
 #include "platform/types.h"
 
 namespace grazelle {
@@ -30,6 +30,21 @@ class CompressedSparse {
   /// neighbor id. O(V + E log d).
   [[nodiscard]] static CompressedSparse build(const EdgeList& list,
                                               GroupBy group_by);
+
+  /// Assembles from prebuilt arrays (owned or mapped) without copying.
+  /// This is the zero-copy store's entry point: the arrays must have
+  /// the exact layout build() produces.
+  [[nodiscard]] static CompressedSparse adopt(GroupBy group_by,
+                                              DataArray<EdgeIndex> offsets,
+                                              DataArray<VertexId> neighbors,
+                                              DataArray<Weight> weights) {
+    CompressedSparse out;
+    out.group_by_ = group_by;
+    out.offsets_ = std::move(offsets);
+    out.neighbors_ = std::move(neighbors);
+    out.weights_ = std::move(weights);
+    return out;
+  }
 
   [[nodiscard]] std::uint64_t num_vertices() const noexcept {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -68,9 +83,9 @@ class CompressedSparse {
 
  private:
   GroupBy group_by_ = GroupBy::kSource;
-  AlignedBuffer<EdgeIndex> offsets_;
-  AlignedBuffer<VertexId> neighbors_;
-  AlignedBuffer<Weight> weights_;
+  DataArray<EdgeIndex> offsets_;
+  DataArray<VertexId> neighbors_;
+  DataArray<Weight> weights_;
 };
 
 }  // namespace grazelle

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace grazelle {
 
@@ -21,6 +22,38 @@ Graph Graph::build(EdgeList list) {
     g.in_degrees_[u] = g.csc_.degree(u);
   }
   return g;
+}
+
+Graph Graph::adopt(CompressedSparse csr, CompressedSparse csc,
+                   VectorSparseGraph vss, VectorSparseGraph vsd,
+                   DataArray<std::uint64_t> out_degrees,
+                   DataArray<std::uint64_t> in_degrees, bool mapped) {
+  Graph g;
+  g.csr_ = std::move(csr);
+  g.csc_ = std::move(csc);
+  g.vss_ = std::move(vss);
+  g.vsd_ = std::move(vsd);
+  g.out_degrees_ = std::move(out_degrees);
+  g.in_degrees_ = std::move(in_degrees);
+  g.mapped_ = mapped;
+  return g;
+}
+
+EdgeList Graph::to_edge_list() const {
+  EdgeList list(num_vertices());
+  list.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto neighbors = csr_.neighbors_of(v);
+    const auto weights = csr_.weights_of(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (weighted()) {
+        list.add_edge(v, neighbors[i], weights[i]);
+      } else {
+        list.add_edge(v, neighbors[i]);
+      }
+    }
+  }
+  return list;
 }
 
 }  // namespace grazelle

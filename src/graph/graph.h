@@ -2,6 +2,10 @@
 // both formats, plus degree arrays. Grazelle keeps two edge lists, one
 // grouped by source (VSS, push) and one by destination (VSD, pull) —
 // paper §5, "Key data structures".
+//
+// Every array in the bundle is a DataArray: either built in memory
+// (owned) or borrowed zero-copy from a packed .gzg container opened
+// through graph/store.h. Engines hold `const Graph&` and never copy.
 #pragma once
 
 #include <memory>
@@ -9,7 +13,7 @@
 #include "graph/compressed_sparse.h"
 #include "graph/edge_list.h"
 #include "graph/vector_sparse.h"
-#include "platform/aligned_buffer.h"
+#include "platform/data_array.h"
 
 namespace grazelle {
 
@@ -21,6 +25,16 @@ class Graph {
   /// Builds every representation from `list` (consumed).
   [[nodiscard]] static Graph build(EdgeList list);
 
+  /// Assembles a bundle from prebuilt representations (the zero-copy
+  /// store's entry point). `mapped` records whether the arrays borrow
+  /// from a memory-mapped container rather than owned allocations.
+  [[nodiscard]] static Graph adopt(CompressedSparse csr, CompressedSparse csc,
+                                   VectorSparseGraph vss,
+                                   VectorSparseGraph vsd,
+                                   DataArray<std::uint64_t> out_degrees,
+                                   DataArray<std::uint64_t> in_degrees,
+                                   bool mapped);
+
   [[nodiscard]] std::uint64_t num_vertices() const noexcept {
     return csr_.num_vertices();
   }
@@ -28,6 +42,10 @@ class Graph {
     return csr_.num_edges();
   }
   [[nodiscard]] bool weighted() const noexcept { return csr_.weighted(); }
+
+  /// Whether the data-plane arrays are borrowed from a memory-mapped
+  /// .gzg container (true) or owned allocations built in-process.
+  [[nodiscard]] bool mapped() const noexcept { return mapped_; }
 
   /// Out-edges grouped by source (push direction).
   [[nodiscard]] const CompressedSparse& csr() const noexcept { return csr_; }
@@ -45,6 +63,11 @@ class Graph {
     return in_degrees_.span();
   }
 
+  /// Reconstructs the canonical edge list from CSR (sorted by (src,
+  /// dst), weights preserved) — the inverse of build() after
+  /// canonicalize(), used by format converters.
+  [[nodiscard]] EdgeList to_edge_list() const;
+
  private:
   Graph() = default;
 
@@ -52,8 +75,9 @@ class Graph {
   CompressedSparse csc_;
   VectorSparseGraph vss_;
   VectorSparseGraph vsd_;
-  AlignedBuffer<std::uint64_t> out_degrees_;
-  AlignedBuffer<std::uint64_t> in_degrees_;
+  DataArray<std::uint64_t> out_degrees_;
+  DataArray<std::uint64_t> in_degrees_;
+  bool mapped_ = false;
 };
 
 }  // namespace grazelle

@@ -62,6 +62,37 @@ EdgeList load_binary(const std::filesystem::path& path) {
   const auto num_edges = read_pod<std::uint64_t>(in);
   const auto weighted = read_pod<std::uint32_t>(in);
 
+  // Validate the declared counts against the actual file size before
+  // allocating anything: a corrupted or truncated header must fail with
+  // a clear error, not a multi-GB allocation attempt.
+  constexpr std::uint64_t kHeaderBytes =
+      kMagic.size() + sizeof(kVersion) + 2 * sizeof(std::uint64_t) +
+      sizeof(std::uint32_t);
+  const std::uint64_t file_bytes = std::filesystem::file_size(path);
+  const std::uint64_t payload_bytes =
+      file_bytes > kHeaderBytes ? file_bytes - kHeaderBytes : 0;
+  const std::uint64_t edge_bytes =
+      2 * sizeof(VertexId) + (weighted != 0 ? sizeof(Weight) : 0);
+  if (weighted > 1) {
+    throw std::runtime_error("corrupt header in " + path.string() +
+                             ": bad weighted flag " +
+                             std::to_string(weighted));
+  }
+  if (num_edges != payload_bytes / edge_bytes ||
+      payload_bytes % edge_bytes != 0) {
+    throw std::runtime_error(
+        "corrupt header in " + path.string() + ": declares " +
+        std::to_string(num_edges) + " edges but the file holds " +
+        std::to_string(payload_bytes) + " payload bytes (" +
+        std::to_string(edge_bytes) + " per edge)");
+  }
+  if (num_vertices > kVertexIdMask) {
+    throw std::runtime_error("corrupt header in " + path.string() +
+                             ": vertex count " +
+                             std::to_string(num_vertices) +
+                             " exceeds the 48-bit id space");
+  }
+
   EdgeList list(num_vertices);
   list.reserve(num_edges);
   std::vector<Edge> edges(num_edges);

@@ -1,0 +1,488 @@
+#include "graph/store.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "platform/aligned_buffer.h"
+#include "platform/bits.h"
+#include "platform/mapped_file.h"
+#include "platform/types.h"
+
+namespace grazelle::store {
+namespace {
+
+// The container is defined in terms of the in-memory layout of the
+// data-plane element types on a little-endian host (the only targets
+// the engine supports); pin the layouts the format depends on.
+static_assert(sizeof(EdgeIndex) == 8);
+static_assert(sizeof(VertexId) == 8);
+static_assert(sizeof(Weight) == 8);
+static_assert(sizeof(EdgeVector) == 32);
+static_assert(sizeof(WeightVector) == 32);
+static_assert(sizeof(VertexVectorRange) == 16);
+static_assert(sizeof(SourceWordSpan) == 8);
+static_assert(std::is_trivially_copyable_v<EdgeVector>);
+static_assert(std::is_trivially_copyable_v<VertexVectorRange>);
+static_assert(std::is_trivially_copyable_v<SourceWordSpan>);
+
+constexpr std::array<char, 4> kMagic = {'G', 'Z', 'G', 'F'};
+constexpr std::uint64_t kFlagWeighted = 1;
+constexpr std::uint32_t kSectionAlign = 64;
+constexpr std::uint32_t kMaxSections = 64;
+constexpr std::uint64_t kAnyCount = ~std::uint64_t{0};
+
+struct FileHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t flags;
+  std::uint32_t vector_lanes;
+  std::uint32_t section_count;
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;
+  std::uint8_t reserved[24];
+};
+static_assert(sizeof(FileHeader) == 64);
+
+struct SectionEntry {
+  char name[16];  // NUL-padded
+  std::uint64_t offset;
+  std::uint64_t length;
+  std::uint32_t alignment;
+  std::uint32_t crc32;
+};
+static_assert(sizeof(SectionEntry) == 40);
+
+[[noreturn]] void fail(StoreErrc code, const std::string& what) {
+  throw StoreError(code, what);
+}
+
+std::string entry_name(const SectionEntry& e) {
+  const std::size_t n = ::strnlen(e.name, sizeof(e.name));
+  return std::string(e.name, n);
+}
+
+/// A container parsed from a contiguous byte image (mapped or read).
+struct Parsed {
+  const std::byte* base = nullptr;
+  std::size_t file_size = 0;
+  StoreInfo info;
+  std::string origin;
+
+  [[nodiscard]] const SectionInfo* find(const std::string& name) const {
+    for (const SectionInfo& s : info.sections) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+Parsed parse(const std::byte* base, std::size_t size, std::string origin) {
+  Parsed p;
+  p.base = base;
+  p.file_size = size;
+  p.origin = std::move(origin);
+
+  if (size < sizeof(kMagic)) {
+    fail(StoreErrc::kTruncated, p.origin + ": too small to be a container");
+  }
+  if (std::memcmp(base, kMagic.data(), kMagic.size()) != 0) {
+    fail(StoreErrc::kBadMagic, p.origin + ": bad magic (not a .gzg file)");
+  }
+  if (size < sizeof(FileHeader)) {
+    fail(StoreErrc::kTruncated, p.origin + ": truncated header");
+  }
+  FileHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.version != kFormatVersion) {
+    fail(StoreErrc::kBadVersion,
+         p.origin + ": unsupported container version " +
+             std::to_string(header.version) + " (want " +
+             std::to_string(kFormatVersion) + ")");
+  }
+  if (header.vector_lanes != kEdgeVectorLanes) {
+    fail(StoreErrc::kBadHeader,
+         p.origin + ": packed for " + std::to_string(header.vector_lanes) +
+             "-lane edge vectors, this build uses " +
+             std::to_string(kEdgeVectorLanes));
+  }
+  if (header.section_count == 0 || header.section_count > kMaxSections) {
+    fail(StoreErrc::kBadHeader, p.origin + ": implausible section count " +
+                                    std::to_string(header.section_count));
+  }
+  const std::size_t table_bytes =
+      std::size_t{header.section_count} * sizeof(SectionEntry);
+  if (size < sizeof(FileHeader) + table_bytes) {
+    fail(StoreErrc::kTruncated, p.origin + ": truncated section table");
+  }
+
+  p.info.version = header.version;
+  p.info.weighted = (header.flags & kFlagWeighted) != 0;
+  p.info.vector_lanes = header.vector_lanes;
+  p.info.num_vertices = header.num_vertices;
+  p.info.num_edges = header.num_edges;
+  p.info.sections.reserve(header.section_count);
+  for (std::uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry e;
+    std::memcpy(&e, base + sizeof(FileHeader) + i * sizeof(SectionEntry),
+                sizeof(e));
+    SectionInfo s;
+    s.name = entry_name(e);
+    s.offset = e.offset;
+    s.length = e.length;
+    s.alignment = e.alignment;
+    s.crc32 = e.crc32;
+    if (s.alignment == 0 || (s.alignment & (s.alignment - 1)) != 0) {
+      fail(StoreErrc::kBadHeader, p.origin + ": section '" + s.name +
+                                      "' has non-power-of-two alignment " +
+                                      std::to_string(s.alignment));
+    }
+    if (s.offset % s.alignment != 0) {
+      fail(StoreErrc::kUnalignedSection,
+           p.origin + ": section '" + s.name + "' offset " +
+               std::to_string(s.offset) + " violates alignment " +
+               std::to_string(s.alignment));
+    }
+    if (s.offset > size || s.length > size - s.offset) {
+      fail(StoreErrc::kTruncated, p.origin + ": section '" + s.name +
+                                      "' extends past end of file");
+    }
+    p.info.sections.push_back(std::move(s));
+  }
+  return p;
+}
+
+void verify_section(const Parsed& p, const SectionInfo& s) {
+  const std::uint32_t actual = crc32(p.base + s.offset, s.length);
+  if (actual != s.crc32) {
+    fail(StoreErrc::kChecksumMismatch,
+         p.origin + ": section '" + s.name + "' checksum mismatch");
+  }
+}
+
+/// Resolves one section as a typed DataArray view. `expected_count` of
+/// kAnyCount accepts any whole number of elements. A missing section
+/// with `required == false` yields an empty array (unweighted graphs
+/// simply omit the weight sections).
+template <typename T>
+DataArray<T> section_array(const Parsed& p, const char* name,
+                           std::uint64_t expected_count, bool required,
+                           const std::shared_ptr<const void>& keepalive,
+                           bool verify_crc) {
+  const SectionInfo* s = p.find(name);
+  if (s == nullptr) {
+    if (!required) return {};
+    fail(StoreErrc::kBadSection,
+         p.origin + ": missing section '" + std::string(name) + "'");
+  }
+  if (s->length % sizeof(T) != 0) {
+    fail(StoreErrc::kBadSection,
+         p.origin + ": section '" + s->name + "' length " +
+             std::to_string(s->length) + " is not a multiple of " +
+             std::to_string(sizeof(T)));
+  }
+  const std::uint64_t count = s->length / sizeof(T);
+  if (expected_count != kAnyCount && count != expected_count) {
+    fail(StoreErrc::kBadSection,
+         p.origin + ": section '" + s->name + "' holds " +
+             std::to_string(count) + " elements, expected " +
+             std::to_string(expected_count));
+  }
+  if (s->alignment < alignof(T)) {
+    fail(StoreErrc::kUnalignedSection,
+         p.origin + ": section '" + s->name + "' alignment " +
+             std::to_string(s->alignment) + " is below alignof(T) = " +
+             std::to_string(alignof(T)));
+  }
+  if (verify_crc) verify_section(p, *s);
+  return DataArray<T>::view(reinterpret_cast<const T*>(p.base + s->offset),
+                            count, keepalive);
+}
+
+/// Rebuilds one Vector-Sparse structure ("vss" or "vsd") from views.
+VectorSparseGraph assemble_vector_sparse(
+    const Parsed& p, const std::string& prefix, GroupBy group_by,
+    const std::shared_ptr<const void>& keepalive, bool verify_crc) {
+  const std::uint64_t v = p.info.num_vertices;
+  const std::uint64_t m = p.info.num_edges;
+  const auto name = [&](const char* suffix) { return prefix + suffix; };
+
+  auto vectors = section_array<EdgeVector>(p, name(".vectors").c_str(),
+                                           kAnyCount, true, keepalive,
+                                           verify_crc);
+  const std::uint64_t nvec = vectors.size();
+  auto weights = section_array<WeightVector>(
+      p, name(".weights").c_str(), p.info.weighted ? nvec : kAnyCount,
+      p.info.weighted, keepalive, verify_crc);
+  auto index = section_array<VertexVectorRange>(p, name(".index").c_str(), v,
+                                                true, keepalive, verify_crc);
+  auto vecspans = section_array<SourceWordSpan>(
+      p, name(".vecspans").c_str(), nvec, true, keepalive, verify_crc);
+  auto vtxspans = section_array<SourceWordSpan>(
+      p, name(".vtxspans").c_str(), v, true, keepalive, verify_crc);
+  auto srcoffs = section_array<EdgeIndex>(p, name(".srcoffs").c_str(), v + 1,
+                                          true, keepalive, verify_crc);
+  auto srcvecs = section_array<std::uint32_t>(p, name(".srcvecs").c_str(), m,
+                                              true, keepalive, verify_crc);
+  return VectorSparseGraph::adopt(
+      group_by, m, std::move(vectors), std::move(weights), std::move(index),
+      std::move(vecspans), std::move(vtxspans), std::move(srcoffs),
+      std::move(srcvecs));
+}
+
+Graph assemble(const Parsed& p, const std::shared_ptr<const void>& keepalive,
+               bool verify_crc, bool mapped) {
+  const std::uint64_t v = p.info.num_vertices;
+  const std::uint64_t m = p.info.num_edges;
+  const bool w = p.info.weighted;
+
+  auto csr = CompressedSparse::adopt(
+      GroupBy::kSource,
+      section_array<EdgeIndex>(p, "csr.offsets", v + 1, true, keepalive,
+                               verify_crc),
+      section_array<VertexId>(p, "csr.neighbors", m, true, keepalive,
+                              verify_crc),
+      section_array<Weight>(p, "csr.weights", w ? m : kAnyCount, w, keepalive,
+                            verify_crc));
+  auto csc = CompressedSparse::adopt(
+      GroupBy::kDestination,
+      section_array<EdgeIndex>(p, "csc.offsets", v + 1, true, keepalive,
+                               verify_crc),
+      section_array<VertexId>(p, "csc.neighbors", m, true, keepalive,
+                              verify_crc),
+      section_array<Weight>(p, "csc.weights", w ? m : kAnyCount, w, keepalive,
+                            verify_crc));
+  auto vss = assemble_vector_sparse(p, "vss", GroupBy::kSource, keepalive,
+                                    verify_crc);
+  auto vsd = assemble_vector_sparse(p, "vsd", GroupBy::kDestination,
+                                    keepalive, verify_crc);
+  auto out_deg = section_array<std::uint64_t>(p, "deg.out", v, true,
+                                              keepalive, verify_crc);
+  auto in_deg = section_array<std::uint64_t>(p, "deg.in", v, true, keepalive,
+                                             verify_crc);
+  return Graph::adopt(std::move(csr), std::move(csc), std::move(vss),
+                      std::move(vsd), std::move(out_deg), std::move(in_deg),
+                      mapped);
+}
+
+// ---------------------------------------------------------------------------
+// Reading the raw file image
+
+/// Whole-file image: memory-mapped when possible, else read into a
+/// 64-byte-aligned owned buffer (which preserves every section's
+/// alignment guarantee, since section offsets are multiples of 64).
+struct FileImage {
+  std::shared_ptr<const void> keepalive;
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+};
+
+FileImage read_image(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail(StoreErrc::kIoError, "cannot open " + path.string());
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  auto buffer = std::make_shared<AlignedBuffer<std::byte>>(size);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(buffer->data()),
+               static_cast<std::streamsize>(size))) {
+    fail(StoreErrc::kIoError, "cannot read " + path.string());
+  }
+  FileImage img;
+  img.data = buffer->data();
+  img.size = size;
+  img.keepalive = std::move(buffer);
+  return img;
+}
+
+FileImage map_image(const std::filesystem::path& path) {
+  std::shared_ptr<MappedFile> mapping;
+  try {
+    mapping = std::make_shared<MappedFile>(MappedFile::map(path));
+  } catch (const std::exception& e) {
+    fail(StoreErrc::kIoError, e.what());
+  }
+  FileImage img;
+  img.data = mapping->data();
+  img.size = mapping->size();
+  img.keepalive = std::move(mapping);
+  return img;
+}
+
+/// Cheapest available image for metadata-only operations.
+FileImage open_image(const std::filesystem::path& path) {
+  return MappedFile::supported() ? map_image(path) : read_image(path);
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+
+struct PendingSection {
+  const char* name;
+  const void* data;
+  std::uint64_t length;
+};
+
+template <typename Array>
+void add_section(std::vector<PendingSection>& out, const char* name,
+                 const Array& array) {
+  using T = std::remove_cvref_t<decltype(*array.data())>;
+  out.push_back(PendingSection{name, array.data(),
+                               array.size() * sizeof(T)});
+}
+
+void add_vector_sparse_sections(std::vector<PendingSection>& out,
+                                const std::string& prefix,
+                                const VectorSparseGraph& vs,
+                                std::vector<std::string>& names) {
+  const auto name = [&](const char* suffix) -> const char* {
+    names.push_back(prefix + suffix);
+    return names.back().c_str();
+  };
+  add_section(out, name(".vectors"), vs.vectors());
+  if (vs.weighted()) add_section(out, name(".weights"), vs.weights());
+  add_section(out, name(".index"), vs.index());
+  add_section(out, name(".vecspans"), vs.vector_spans());
+  add_section(out, name(".vtxspans"), vs.vertex_spans());
+  add_section(out, name(".srcoffs"), vs.source_offsets());
+  add_section(out, name(".srcvecs"), vs.source_vectors());
+}
+
+}  // namespace
+
+const char* to_string(StoreErrc code) noexcept {
+  switch (code) {
+    case StoreErrc::kIoError: return "io error";
+    case StoreErrc::kBadMagic: return "bad magic";
+    case StoreErrc::kBadVersion: return "bad version";
+    case StoreErrc::kBadHeader: return "bad header";
+    case StoreErrc::kTruncated: return "truncated";
+    case StoreErrc::kUnalignedSection: return "unaligned section";
+    case StoreErrc::kBadSection: return "bad section";
+    case StoreErrc::kChecksumMismatch: return "checksum mismatch";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void pack_graph(const Graph& graph, const std::filesystem::path& path) {
+  // Collect the sections in a stable order (readers look up by name, so
+  // the order is a convention, not a contract).
+  std::vector<PendingSection> sections;
+  std::vector<std::string> vs_names;  // owns the vss./vsd. name strings
+  vs_names.reserve(16);
+  add_section(sections, "csr.offsets", graph.csr().offsets());
+  add_section(sections, "csr.neighbors", graph.csr().neighbors());
+  if (graph.weighted()) {
+    add_section(sections, "csr.weights", graph.csr().weights());
+  }
+  add_section(sections, "csc.offsets", graph.csc().offsets());
+  add_section(sections, "csc.neighbors", graph.csc().neighbors());
+  if (graph.weighted()) {
+    add_section(sections, "csc.weights", graph.csc().weights());
+  }
+  add_vector_sparse_sections(sections, "vss", graph.vss(), vs_names);
+  add_vector_sparse_sections(sections, "vsd", graph.vsd(), vs_names);
+  add_section(sections, "deg.out", graph.out_degrees());
+  add_section(sections, "deg.in", graph.in_degrees());
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic.data(), kMagic.size());
+  header.version = kFormatVersion;
+  header.flags = graph.weighted() ? kFlagWeighted : 0;
+  header.vector_lanes = kEdgeVectorLanes;
+  header.section_count = static_cast<std::uint32_t>(sections.size());
+  header.num_vertices = graph.num_vertices();
+  header.num_edges = graph.num_edges();
+
+  std::vector<SectionEntry> table(sections.size());
+  std::uint64_t cursor = bits::round_up(
+      sizeof(FileHeader) + sections.size() * sizeof(SectionEntry),
+      std::size_t{kSectionAlign});
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    SectionEntry& e = table[i];
+    std::memset(e.name, 0, sizeof(e.name));
+    std::strncpy(e.name, sections[i].name, sizeof(e.name) - 1);
+    e.offset = cursor;
+    e.length = sections[i].length;
+    e.alignment = kSectionAlign;
+    e.crc32 = crc32(sections[i].data, sections[i].length);
+    cursor = bits::round_up(cursor + e.length, std::uint64_t{kSectionAlign});
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail(StoreErrc::kIoError, "cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(table.data()),
+            static_cast<std::streamsize>(table.size() * sizeof(SectionEntry)));
+  std::uint64_t written =
+      sizeof(FileHeader) + table.size() * sizeof(SectionEntry);
+  static constexpr char kZeros[kSectionAlign] = {};
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const std::uint64_t pad = table[i].offset - written;
+    out.write(kZeros, static_cast<std::streamsize>(pad));
+    out.write(static_cast<const char*>(sections[i].data),
+              static_cast<std::streamsize>(sections[i].length));
+    written = table[i].offset + table[i].length;
+  }
+  if (!out) fail(StoreErrc::kIoError, "write failed for " + path.string());
+}
+
+Graph open_graph(const std::filesystem::path& path) {
+  FileImage img = map_image(path);
+  const Parsed p = parse(img.data, img.size, path.string());
+  return assemble(p, img.keepalive, /*verify_crc=*/false, /*mapped=*/true);
+}
+
+Graph read_graph(const std::filesystem::path& path) {
+  FileImage img = read_image(path);
+  const Parsed p = parse(img.data, img.size, path.string());
+  return assemble(p, img.keepalive, /*verify_crc=*/true, /*mapped=*/false);
+}
+
+Graph load_graph(const std::filesystem::path& path) {
+  if (MappedFile::supported()) {
+    try {
+      return open_graph(path);
+    } catch (const StoreError& e) {
+      // Only an I/O-level mmap failure falls back to the copy-in path;
+      // format errors are real and must surface.
+      if (e.code() != StoreErrc::kIoError) throw;
+    }
+  }
+  return read_graph(path);
+}
+
+StoreInfo inspect_store(const std::filesystem::path& path) {
+  FileImage img = open_image(path);
+  return parse(img.data, img.size, path.string()).info;
+}
+
+void verify_store(const std::filesystem::path& path) {
+  FileImage img = open_image(path);
+  const Parsed p = parse(img.data, img.size, path.string());
+  for (const SectionInfo& s : p.info.sections) verify_section(p, s);
+}
+
+}  // namespace grazelle::store

@@ -1,0 +1,110 @@
+// The packed graph container (.gzg): persist a fully built Graph
+// bundle — CSR, CSC, VSS, VSD (including occupancy spans and the
+// source→vector incidence index), and degree arrays — for instant
+// zero-copy reload.
+//
+// Rationale (DESIGN.md §8): the Vector-Sparse format exists so the
+// engine runs over flat, aligned, padded arrays; rebuilding those
+// arrays from an edge list on every run dominates wall-clock for
+// anything production-shaped. Packing is the load-path analogue of
+// weight-file mmap in inference stacks: build once, serve many.
+//
+// File layout (little-endian):
+//   [FileHeader 64 B] [SectionEntry x section_count] [padding]
+//   [section payloads, each starting at a 64-byte-aligned offset]
+// Every section records its absolute offset, byte length, alignment,
+// and CRC32 (IEEE). open_graph() validates the structure and borrows
+// the payloads in place; verify_store() additionally checks every
+// checksum; read_graph() copies payloads into owned allocations
+// (checksum-verified) for filesystems where mmap is unavailable.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace grazelle::store {
+
+/// What went wrong with a container file. Each validation failure mode
+/// throws StoreError carrying one of these codes, so callers (and
+/// tests) can distinguish them without parsing messages.
+enum class StoreErrc {
+  kIoError,            ///< cannot open/read/write the file
+  kBadMagic,           ///< not a .gzg container
+  kBadVersion,         ///< container version unsupported
+  kBadHeader,          ///< header fields inconsistent (lanes, counts)
+  kTruncated,          ///< section table or payload exceeds file size
+  kUnalignedSection,   ///< section offset violates its alignment
+  kBadSection,         ///< section missing or its size is inconsistent
+  kChecksumMismatch,   ///< section payload CRC32 does not match
+};
+
+[[nodiscard]] const char* to_string(StoreErrc code) noexcept;
+
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrc code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] StoreErrc code() const noexcept { return code_; }
+
+ private:
+  StoreErrc code_;
+};
+
+/// One section-table entry, as reported by inspect_store().
+struct SectionInfo {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t alignment = 0;
+  std::uint32_t crc32 = 0;
+};
+
+/// Parsed container metadata (header + section table).
+struct StoreInfo {
+  std::uint32_t version = 0;
+  bool weighted = false;
+  std::uint32_t vector_lanes = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::vector<SectionInfo> sections;
+};
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// The extension the CLI tools route through this module.
+inline constexpr const char* kFileExtension = ".gzg";
+
+/// Writes `graph` to `path` as a packed container. Overwrites.
+/// Throws StoreError(kIoError) on write failure.
+void pack_graph(const Graph& graph, const std::filesystem::path& path);
+
+/// Opens a packed container zero-copy: the returned Graph's arrays
+/// borrow from a shared memory mapping of `path` (Graph::mapped() is
+/// true). Structural validation only — run verify_store() for a full
+/// checksum pass. Throws StoreError on any malformed input.
+[[nodiscard]] Graph open_graph(const std::filesystem::path& path);
+
+/// Copy-in fallback: reads every section into owned allocations,
+/// verifying each checksum along the way. Works without mmap support.
+[[nodiscard]] Graph read_graph(const std::filesystem::path& path);
+
+/// open_graph() when mmap is available, read_graph() otherwise.
+[[nodiscard]] Graph load_graph(const std::filesystem::path& path);
+
+/// Parses header + section table without touching payloads.
+[[nodiscard]] StoreInfo inspect_store(const std::filesystem::path& path);
+
+/// Full integrity pass: structural validation plus every section's
+/// CRC32. Throws StoreError (kChecksumMismatch names the section).
+void verify_store(const std::filesystem::path& path);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `size` bytes.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+}  // namespace grazelle::store

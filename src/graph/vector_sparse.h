@@ -26,8 +26,8 @@
 #include <span>
 
 #include "graph/compressed_sparse.h"
-#include "platform/aligned_buffer.h"
 #include "platform/bits.h"
+#include "platform/data_array.h"
 #include "platform/types.h"
 
 namespace grazelle {
@@ -146,6 +146,30 @@ class VectorSparseGraph {
   /// Neighbor order within each top-level vertex is preserved.
   [[nodiscard]] static VectorSparseGraph build(const CompressedSparse& adj);
 
+  /// Assembles from prebuilt arrays (owned or mapped) without copying.
+  /// The arrays must have the exact layout build() produces; this is
+  /// how the zero-copy store reconstitutes a packed structure.
+  [[nodiscard]] static VectorSparseGraph adopt(
+      GroupBy group_by, std::uint64_t num_edges,
+      DataArray<EdgeVector> vectors, DataArray<WeightVector> weights,
+      DataArray<VertexVectorRange> index,
+      DataArray<SourceWordSpan> vector_spans,
+      DataArray<SourceWordSpan> vertex_spans,
+      DataArray<EdgeIndex> source_offsets,
+      DataArray<std::uint32_t> source_vectors) {
+    VectorSparseGraph out;
+    out.group_by_ = group_by;
+    out.num_edges_ = num_edges;
+    out.vectors_ = std::move(vectors);
+    out.weights_ = std::move(weights);
+    out.index_ = std::move(index);
+    out.vector_spans_ = std::move(vector_spans);
+    out.vertex_spans_ = std::move(vertex_spans);
+    out.source_offsets_ = std::move(source_offsets);
+    out.source_vectors_ = std::move(source_vectors);
+    return out;
+  }
+
   [[nodiscard]] std::uint64_t num_vertices() const noexcept {
     return index_.size();
   }
@@ -211,13 +235,13 @@ class VectorSparseGraph {
  private:
   GroupBy group_by_ = GroupBy::kSource;
   std::uint64_t num_edges_ = 0;
-  AlignedBuffer<EdgeVector> vectors_;
-  AlignedBuffer<WeightVector> weights_;
-  AlignedBuffer<VertexVectorRange> index_;
-  AlignedBuffer<SourceWordSpan> vector_spans_;
-  AlignedBuffer<SourceWordSpan> vertex_spans_;
-  AlignedBuffer<EdgeIndex> source_offsets_;
-  AlignedBuffer<std::uint32_t> source_vectors_;
+  DataArray<EdgeVector> vectors_;
+  DataArray<WeightVector> weights_;
+  DataArray<VertexVectorRange> index_;
+  DataArray<SourceWordSpan> vector_spans_;
+  DataArray<SourceWordSpan> vertex_spans_;
+  DataArray<EdgeIndex> source_offsets_;
+  DataArray<std::uint32_t> source_vectors_;
 };
 
 }  // namespace grazelle

@@ -1,0 +1,136 @@
+// Owned-or-mapped data-plane arrays.
+//
+// Every engine-visible graph array is a DataArray<T>: a typed view over
+// storage that is either an owned, 64-byte-aligned allocation
+// (AlignedBuffer) or a borrowed span of a memory-mapped file. Builders
+// allocate and write through the owned path; the zero-copy store
+// (graph/store.h) reconstructs the same structures as borrowed views
+// over a shared MappedFile, so opening a packed graph copies nothing.
+//
+// Readers see one interface either way; mutation (reset/fill/non-const
+// element access) is only legal on owned storage and asserts otherwise.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "platform/aligned_buffer.h"
+
+namespace grazelle {
+
+template <typename T>
+class DataArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DataArray is for plain data-plane types");
+
+ public:
+  DataArray() = default;
+
+  /// Owned, uninitialized storage for `count` elements.
+  explicit DataArray(std::size_t count) : owned_(count) { sync_owned(); }
+
+  DataArray(std::size_t count, const T& init) : owned_(count, init) {
+    sync_owned();
+  }
+
+  /// Adopts an existing owned allocation.
+  explicit DataArray(AlignedBuffer<T> owned) : owned_(std::move(owned)) {
+    sync_owned();
+  }
+
+  /// A borrowed view over `count` elements at `data`, typically inside
+  /// a memory-mapped file. `keepalive` pins the backing storage (e.g. a
+  /// shared_ptr<MappedFile>) for the lifetime of this array and any
+  /// array moved-from it. `data` must satisfy alignof(T).
+  [[nodiscard]] static DataArray view(
+      const T* data, std::size_t count,
+      std::shared_ptr<const void> keepalive) {
+    assert(reinterpret_cast<std::uintptr_t>(data) % alignof(T) == 0);
+    DataArray a;
+    a.data_ = data;
+    a.size_ = count;
+    a.keepalive_ = std::move(keepalive);
+    return a;
+  }
+
+  DataArray(DataArray&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        keepalive_(std::move(other.keepalive_)) {}
+
+  DataArray& operator=(DataArray&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      keepalive_ = std::move(other.keepalive_);
+    }
+    return *this;
+  }
+
+  DataArray(const DataArray&) = delete;
+  DataArray& operator=(const DataArray&) = delete;
+
+  /// True when the elements live in borrowed (mapped) storage.
+  [[nodiscard]] bool mapped() const noexcept {
+    return data_ != nullptr && data_ != owned_.data();
+  }
+
+  /// Discards contents and reallocates owned, uninitialized storage.
+  void reset(std::size_t count) {
+    keepalive_.reset();
+    owned_.reset(count);
+    sync_owned();
+  }
+
+  void fill(const T& value) {
+    assert(!mapped());
+    owned_.fill(value);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  // Mutable access: owned storage only (builders).
+  [[nodiscard]] T* data() noexcept {
+    assert(!mapped());
+    return owned_.data();
+  }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    assert(!mapped());
+    return owned_.data()[i];
+  }
+  [[nodiscard]] std::span<T> span() noexcept {
+    assert(!mapped());
+    return owned_.span();
+  }
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size_; }
+
+ private:
+  void sync_owned() noexcept {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  AlignedBuffer<T> owned_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::shared_ptr<const void> keepalive_;
+};
+
+}  // namespace grazelle

@@ -1,0 +1,82 @@
+#include "platform/mapped_file.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRAZELLE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace grazelle {
+
+bool MappedFile::supported() noexcept {
+#if defined(GRAZELLE_HAVE_MMAP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+MappedFile MappedFile::map(const std::filesystem::path& path) {
+#if defined(GRAZELLE_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open " + path.string() + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot stat " + path.string() + ": " +
+                             std::strerror(err));
+  }
+  MappedFile mf;
+  mf.size_ = static_cast<std::size_t>(st.st_size);
+  if (mf.size_ > 0) {
+    void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("cannot mmap " + path.string() + ": " +
+                               std::strerror(err));
+    }
+    // Hint the kernel to start readahead now; the engine streams the
+    // edge-vector sections sequentially on first use.
+    ::madvise(p, mf.size_, MADV_WILLNEED);
+    mf.data_ = static_cast<const std::byte*>(p);
+  }
+  ::close(fd);
+  return mf;
+#else
+  throw std::runtime_error("memory mapping unsupported on this platform: " +
+                           path.string());
+#endif
+}
+
+void MappedFile::unmap() noexcept {
+#if defined(GRAZELLE_HAVE_MMAP)
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MappedRegion MappedFile::region(std::size_t offset,
+                                std::size_t length) const {
+  if (offset > size_ || length > size_ - offset) {
+    throw std::out_of_range("mapped region [" + std::to_string(offset) +
+                            ", +" + std::to_string(length) +
+                            ") exceeds file size " + std::to_string(size_));
+  }
+  return MappedRegion{data_ + offset, length};
+}
+
+}  // namespace grazelle

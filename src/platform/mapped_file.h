@@ -1,0 +1,72 @@
+// Read-only memory-mapped files: the storage side of the zero-copy
+// graph store. A MappedFile owns one mmap'd region for the lifetime of
+// the object; MappedRegion is a bounds-checked view into it. Graph
+// arrays opened from a packed .gzg container borrow their bytes from a
+// shared MappedFile instead of copying them into owned allocations.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <utility>
+
+namespace grazelle {
+
+/// A borrowed byte range inside a MappedFile (or any other stable
+/// storage). Plain view: does not keep the backing mapping alive.
+struct MappedRegion {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return size == 0; }
+};
+
+/// RAII read-only mapping of a whole file. Move-only; unmaps on
+/// destruction. The kernel is advised the mapping will be needed
+/// (madvise WILLNEED) so first-touch faults overlap with use.
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  ~MappedFile() { unmap(); }
+
+  /// Maps `path` read-only. Throws std::runtime_error on open/stat/mmap
+  /// failure (including platforms without mmap — see supported()).
+  [[nodiscard]] static MappedFile map(const std::filesystem::path& path);
+
+  /// Whether this platform can memory-map files at all. When false,
+  /// callers fall back to copy-in reads (store::read_graph).
+  [[nodiscard]] static bool supported() noexcept;
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+
+  /// Bounds-checked sub-view. Throws std::out_of_range when
+  /// [offset, offset + length) does not fit inside the mapping.
+  [[nodiscard]] MappedRegion region(std::size_t offset,
+                                    std::size_t length) const;
+
+ private:
+  void unmap() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace grazelle

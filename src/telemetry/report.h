@@ -51,7 +51,8 @@ struct RunStats {
 
 namespace telemetry {
 
-inline constexpr unsigned kReportSchemaVersion = 1;
+// v2: added graph_build_seconds / graph_load_seconds / graph_mapped.
+inline constexpr unsigned kReportSchemaVersion = 2;
 
 /// Wall-clock attribution of one run, split by phase. Derived from the
 /// per-iteration stats, so it is available with or without a Telemetry
@@ -81,6 +82,14 @@ struct RunReport {
   bool vectorized = false;
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
+  /// Wall time spent building the data-plane sections (CSR/CSC/VSS/VSD
+  /// and metadata). Exactly 0 when the graph was opened zero-copy from
+  /// a packed .gzg container — the sections are mapped, not rebuilt.
+  double graph_build_seconds = 0.0;
+  /// Total input wall time: parse + build, or container open.
+  double graph_load_seconds = 0.0;
+  /// Whether the graph's arrays are borrowed from a mapped container.
+  bool graph_mapped = false;
 
   RunStats stats;
   PhaseSeconds phases;
@@ -165,6 +174,9 @@ inline std::string RunReport::to_json() const {
       .field("vectorized", vectorized)
       .field("num_vertices", num_vertices)
       .field("num_edges", num_edges)
+      .field("graph_build_seconds", graph_build_seconds)
+      .field("graph_load_seconds", graph_load_seconds)
+      .field("graph_mapped", graph_mapped)
       .field("iterations", stats.iterations)
       .field("pull_iterations", stats.pull_iterations)
       .field("push_iterations", stats.push_iterations)

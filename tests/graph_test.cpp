@@ -484,6 +484,41 @@ TEST(GraphIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(GraphIo, RejectsEdgeCountInconsistentWithFileSize) {
+  // A corrupted num_edges field must fail header validation (with a
+  // clear message, before any multi-GB allocation), not be trusted.
+  // Binary header layout: magic[4] version u32 num_vertices u64
+  // num_edges u64 (at byte 16) weighted u32.
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_corrupt.grzb";
+  io::save_binary(small_graph(), path);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t bogus = std::uint64_t{1} << 40;
+    f.seekp(16);
+    f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  try {
+    (void)io::load_binary(path);
+    FAIL() << "corrupt header was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt header"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, RejectsTruncatedBinaryPayload) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_io_trunc.grzb";
+  io::save_binary(small_graph(), path);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 8);
+  EXPECT_THROW((void)io::load_binary(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
 TEST(GraphIo, DimacsLoader) {
   const auto path =
       std::filesystem::temp_directory_path() / "grazelle_io_test.gr";

@@ -3,12 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "platform/aligned_buffer.h"
 #include "platform/bits.h"
 #include "platform/cpu_features.h"
+#include "platform/data_array.h"
+#include "platform/mapped_file.h"
 #include "platform/numa_topology.h"
 #include "platform/timer.h"
 #include "platform/types.h"
@@ -89,6 +96,85 @@ TEST(AlignedBuffer, EmptyBuffer) {
   AlignedBuffer<int> buf;
   EXPECT_TRUE(buf.empty());
   EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(DataArray, OwnedStorageIsMutable) {
+  DataArray<int> arr;
+  EXPECT_TRUE(arr.empty());
+  EXPECT_FALSE(arr.mapped());
+  arr.reset(16);
+  for (std::size_t i = 0; i < arr.size(); ++i) arr[i] = static_cast<int>(i);
+  const DataArray<int>& carr = arr;
+  EXPECT_EQ(carr.size(), 16u);
+  EXPECT_EQ(carr[10], 10);
+  EXPECT_FALSE(carr.mapped());
+}
+
+TEST(DataArray, ViewBorrowsAndReportsMapped) {
+  auto backing = std::make_shared<std::vector<int>>(8, 5);
+  DataArray<int> view =
+      DataArray<int>::view(backing->data(), backing->size(), backing);
+  EXPECT_TRUE(view.mapped());
+  EXPECT_EQ(view.size(), 8u);
+  const DataArray<int>& cview = view;
+  EXPECT_EQ(cview.data(), backing->data());
+  EXPECT_EQ(cview[3], 5);
+}
+
+TEST(DataArray, ViewKeepaliveOutlivesOriginalHandle) {
+  auto backing = std::make_shared<std::vector<int>>(4, 9);
+  std::weak_ptr<std::vector<int>> watch = backing;
+  DataArray<int> view =
+      DataArray<int>::view(backing->data(), backing->size(), backing);
+  backing.reset();
+  EXPECT_FALSE(watch.expired());  // the view keeps the storage alive
+  const DataArray<int>& cview = view;
+  EXPECT_EQ(cview[0], 9);
+  view = DataArray<int>();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(DataArray, MoveTransfersOwnedStorage) {
+  DataArray<int> a;
+  a.reset(8);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<int>(i * 2);
+  const DataArray<int>& ca = a;
+  const int* data = ca.data();
+  DataArray<int> b(std::move(a));
+  const DataArray<int>& cb = b;
+  EXPECT_EQ(cb.data(), data);
+  EXPECT_EQ(cb.size(), 8u);
+  EXPECT_EQ(cb[3], 6);
+}
+
+TEST(MappedFile, MapsFileContents) {
+  if (!MappedFile::supported()) GTEST_SKIP() << "mmap unavailable";
+  const auto path =
+      std::filesystem::temp_directory_path() / "grazelle_mapped_file_test";
+  const std::string payload = "grazelle mapped-file payload";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << payload;
+  }
+  {
+    MappedFile file = MappedFile::map(path);
+    EXPECT_TRUE(file.valid());
+    ASSERT_EQ(file.size(), payload.size());
+    EXPECT_EQ(std::memcmp(file.data(), payload.data(), payload.size()), 0);
+
+    const MappedRegion region = file.region(9, 6);
+    EXPECT_EQ(std::memcmp(region.data, "mapped", 6), 0);
+    EXPECT_THROW((void)file.region(payload.size(), 1), std::out_of_range);
+    EXPECT_THROW((void)file.region(0, payload.size() + 1),
+                 std::out_of_range);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MappedFile, MissingFileThrows) {
+  if (!MappedFile::supported()) GTEST_SKIP() << "mmap unavailable";
+  EXPECT_THROW((void)MappedFile::map("/nonexistent/grazelle-mapped"),
+               std::runtime_error);
 }
 
 TEST(Timer, MeasuresNonNegativeTime) {

@@ -362,36 +362,22 @@ TEST(PhasePlan, EngineResolvesDirectionAndGating) {
   EXPECT_FALSE(engine.should_gate(g.num_vertices()));
 }
 
-TEST(EngineOptions, DeprecatedAliasesAliasThePolicyFields) {
-  EngineOptions o;
-  // Intentional use of the deprecated names to pin alias behavior.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  o.frontier_gating = true;
-  o.gating_divisor = 7;
-  o.select = EngineSelect::kPushOnly;
-  o.sparse_push = true;
-  o.sparse_push_divisor = 11;
-  o.gating_pull_divisor = 99;
-#pragma GCC diagnostic pop
-  EXPECT_TRUE(o.gating.enabled);
-  EXPECT_EQ(o.gating.density_divisor, 7u);
-  EXPECT_EQ(o.direction.select, EngineSelect::kPushOnly);
-  EXPECT_TRUE(o.direction.sparse_push);
-  EXPECT_EQ(o.direction.sparse_push_divisor, 11u);
-  EXPECT_EQ(o.direction.gated_pull_divisor, 99u);
-}
-
-TEST(EngineOptions, CopiesRebindAliasesToTheirOwnStorage) {
+TEST(EngineOptions, CopiesAreIndependentValues) {
   EngineOptions a;
   a.gating.enabled = true;
+  a.gating.density_divisor = 7;
+  a.direction.select = EngineSelect::kPushOnly;
+  a.direction.sparse_push = true;
+  a.direction.sparse_push_divisor = 11;
+  a.direction.gated_pull_divisor = 99;
   EngineOptions b = a;
   EXPECT_TRUE(b.gating.enabled);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  b.frontier_gating = false;  // must write b, not a
-#pragma GCC diagnostic pop
-  EXPECT_FALSE(b.gating.enabled);
+  EXPECT_EQ(b.gating.density_divisor, 7u);
+  EXPECT_EQ(b.direction.select, EngineSelect::kPushOnly);
+  EXPECT_TRUE(b.direction.sparse_push);
+  EXPECT_EQ(b.direction.sparse_push_divisor, 11u);
+  EXPECT_EQ(b.direction.gated_pull_divisor, 99u);
+  b.gating.enabled = false;  // must write b, not a
   EXPECT_TRUE(a.gating.enabled);
   b = a;
   EXPECT_TRUE(b.gating.enabled);

@@ -151,6 +151,39 @@ TEST(GraphConvertTool, RoundTripThroughBinary) {
   std::filesystem::remove(txt);
 }
 
+TEST(GraphConvertTool, PackAndServeRoundTrip) {
+  // The "pack once, run many" path end to end: pack a generated graph
+  // into a .gzg container, inspect it (checksums verified), then serve
+  // PageRank straight from the container with zero build time.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto gzg = dir / "grazelle_tool_pack.gzg";
+  const auto stats = dir / "grazelle_tool_pack_stats.json";
+
+  auto r = run_command(tools_dir() + "/graph_convert rmat:10 " +
+                       gzg.string() + " --pack");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("packed"), std::string::npos) << r.output;
+  ASSERT_TRUE(std::filesystem::exists(gzg));
+
+  r = run_command(tools_dir() + "/graph_info " + gzg.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("section"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("checksums OK"), std::string::npos) << r.output;
+
+  r = run_command(tools_dir() + "/grazelle_run -a pr -i " + gzg.string() +
+                  " -N 2 -n 3 --stats-json " + stats.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("PageRank Sum:"), std::string::npos) << r.output;
+
+  const auto v = telemetry::json::parse(read_file(stats));
+  EXPECT_TRUE(v.at("graph_mapped").boolean);
+  EXPECT_EQ(v.at("graph_build_seconds").num, 0.0);
+  EXPECT_GE(v.at("graph_load_seconds").num, 0.0);
+
+  std::filesystem::remove(gzg);
+  std::filesystem::remove(stats);
+}
+
 TEST(GraphInfoTool, PrintsStatsAndPacking) {
   const auto r = run_command(tools_dir() + "/graph_info C --scale 0.02");
   EXPECT_EQ(r.exit_code, 0) << r.output;

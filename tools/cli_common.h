@@ -15,8 +15,16 @@
 #include "gen/synthetic.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "graph/store.h"
+#include "platform/timer.h"
 
 namespace grazelle::cli {
+
+[[nodiscard]] inline bool has_suffix(const std::string& s,
+                                     const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() > n && s.compare(s.size() - n, n, suffix) == 0;
+}
 
 /// Parses the dataset selector: a file path (binary .grzb or text edge
 /// list), a named analog "C"/"D"/"L"/"T"/"F"/"U", or "rmat:<scale>" —
@@ -45,20 +53,50 @@ inline std::optional<EdgeList> load_input(const std::string& input,
     if (weighted) list = gen::with_random_weights(list, 0.1, 2.0);
     return list;
   }
-  const auto has_suffix = [&](const char* suffix) {
-    const std::size_t n = std::strlen(suffix);
-    return input.size() > n && input.compare(input.size() - n, n, suffix) == 0;
-  };
   try {
-    if (has_suffix(".grzb")) return io::load_binary(input);
-    if (has_suffix(".gr")) return io::load_dimacs(input);
-    if (has_suffix(".mtx")) return io::load_matrix_market(input);
+    if (has_suffix(input, ".grzb")) return io::load_binary(input);
+    if (has_suffix(input, ".gr")) return io::load_dimacs(input);
+    if (has_suffix(input, ".mtx")) return io::load_matrix_market(input);
     return io::load_text(input);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: cannot load '%s': %s\n", input.c_str(),
                  e.what());
     return std::nullopt;
   }
+}
+
+/// A loaded graph bundle plus where its wall-clock went, for the
+/// drivers' reports. For packed containers opened zero-copy,
+/// build_seconds is exactly 0 — no section is rebuilt.
+struct LoadedGraph {
+  Graph graph;
+  double load_seconds = 0.0;   ///< total: parse + build, or container open
+  double build_seconds = 0.0;  ///< section build time (0 when mapped)
+};
+
+/// Resolves a dataset selector into a ready-to-serve Graph. Packed
+/// `.gzg` containers route through the zero-copy mapped path
+/// (store::load_graph); everything else loads an edge list and builds.
+inline std::optional<LoadedGraph> load_graph_input(const std::string& input,
+                                                   double scale,
+                                                   bool weighted) {
+  WallTimer total;
+  if (has_suffix(input, store::kFileExtension)) {
+    try {
+      Graph g = store::load_graph(input);
+      return LoadedGraph{std::move(g), total.seconds(), 0.0};
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot open '%s': %s\n", input.c_str(),
+                   e.what());
+      return std::nullopt;
+    }
+  }
+  auto list = load_input(input, scale, weighted);
+  if (!list) return std::nullopt;
+  WallTimer build;
+  Graph g = Graph::build(std::move(*list));
+  const double build_seconds = build.seconds();
+  return LoadedGraph{std::move(g), total.seconds(), build_seconds};
 }
 
 inline std::optional<PullParallelism> parse_pull_mode(

@@ -1,13 +1,16 @@
-// graph_convert — converts between the text edge-list format and the
-// Grazelle binary format (the artifact ships preconverted binary
-// inputs; this is the converter a user needs to make their own).
+// graph_convert — converts between the text edge-list format, the
+// Grazelle binary edge-list format, and the packed .gzg container (the
+// artifact ships preconverted binary inputs; this is the converter a
+// user needs to make their own).
 //
-//   graph_convert <input> <output> [--canonicalize]
+//   graph_convert <input> <output> [--canonicalize] [--pack]
 //
 // Direction is inferred from the extensions: a ".grzb" output means
-// text -> binary, a ".grzb" input means binary -> text. Also supports
-// generating dataset analogs directly: an input of "C".."U" writes the
-// analog (use --scale to size it).
+// edge-list binary, a ".gzg" output (or --pack) builds every engine
+// representation once and packs it for zero-copy serving; a ".grzb" or
+// ".gzg" input converts back out. Also supports generating dataset
+// analogs directly: an input of "C".."U" writes the analog (use
+// --scale to size it).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,10 +22,13 @@ using namespace grazelle;
 int main(int argc, char** argv) {
   std::string input, output;
   bool canonicalize = false;
+  bool pack = false;
   double scale = 0.25;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--canonicalize") == 0) {
       canonicalize = true;
+    } else if (std::strcmp(argv[i], "--pack") == 0) {
+      pack = true;
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::atof(argv[++i]);
     } else if (input.empty()) {
@@ -36,30 +42,56 @@ int main(int argc, char** argv) {
   }
   if (input.empty() || output.empty()) {
     std::fprintf(stderr,
-                 "usage: %s <input> <output> [--canonicalize] "
+                 "usage: %s <input> <output> [--canonicalize] [--pack] "
                  "[--scale <f>]\n"
-                 "  .grzb extension selects the binary format; dataset\n"
+                 "  .grzb extension selects the binary edge-list format;\n"
+                 "  .gzg (or --pack) builds and packs every engine\n"
+                 "  representation for zero-copy mmap serving; dataset\n"
                  "  analog names (C D L T F U) are valid inputs.\n",
                  argv[0]);
     return 1;
   }
 
-  auto list = cli::load_input(input, scale, /*weighted=*/false);
-  if (!list) return 1;
-  if (canonicalize) list->canonicalize();
-
   try {
-    const bool binary_out =
-        output.size() > 5 && output.substr(output.size() - 5) == ".grzb";
+    EdgeList list = [&] {
+      if (cli::has_suffix(input, store::kFileExtension)) {
+        // A packed container already holds the canonical edge order.
+        return store::load_graph(input).to_edge_list();
+      }
+      auto loaded = cli::load_input(input, scale, /*weighted=*/false);
+      if (!loaded) std::exit(1);
+      return std::move(*loaded);
+    }();
+    if (canonicalize) list.canonicalize();
+
+    const bool pack_out = pack || cli::has_suffix(output,
+                                                  store::kFileExtension);
+    const bool binary_out = cli::has_suffix(output, ".grzb");
+    const char* kind = "text";
+    if (pack_out) {
+      // Build every representation once; serve many from the container.
+      const std::uint64_t edges_in = list.num_edges();
+      const Graph graph = Graph::build(std::move(list));
+      store::pack_graph(graph, output);
+      std::printf("packed %s: %llu vertices, %llu edges (from %llu raw), "
+                  "%llu VSD + %llu VSS vectors\n",
+                  output.c_str(),
+                  static_cast<unsigned long long>(graph.num_vertices()),
+                  static_cast<unsigned long long>(graph.num_edges()),
+                  static_cast<unsigned long long>(edges_in),
+                  static_cast<unsigned long long>(graph.vsd().num_vectors()),
+                  static_cast<unsigned long long>(graph.vss().num_vectors()));
+      return 0;
+    }
     if (binary_out) {
-      io::save_binary(*list, output);
+      io::save_binary(list, output);
+      kind = "binary";
     } else {
-      io::save_text(*list, output);
+      io::save_text(list, output);
     }
     std::printf("wrote %s: %llu vertices, %llu edges (%s)\n", output.c_str(),
-                static_cast<unsigned long long>(list->num_vertices()),
-                static_cast<unsigned long long>(list->num_edges()),
-                binary_out ? "binary" : "text");
+                static_cast<unsigned long long>(list.num_vertices()),
+                static_cast<unsigned long long>(list.num_edges()), kind);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,17 +1,21 @@
 // graph_info — inspects a graph: counts, degree distributions, and
 // Vector-Sparse packing efficiency at several vector widths (the
-// artifact's fig9 make target prints the same quantities).
+// artifact's fig9 make target prints the same quantities). For packed
+// .gzg containers it also prints the section table and verifies every
+// section checksum before serving any statistics.
 //
 //   graph_info <input> [--scale <f>]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cli_common.h"
 #include "graph/graph_stats.h"
 #include "graph/partition.h"
+#include "graph/store.h"
 #include "graph/vector_sparse.h"
 
 using namespace grazelle;
@@ -51,6 +55,32 @@ void print_degree_block(const char* title,
   }
 }
 
+/// Prints the container header and section table, verifies every
+/// section checksum, and opens the graph zero-copy. Returns nullopt
+/// (after reporting) on any container error.
+std::optional<Graph> open_packed(const std::string& input) {
+  try {
+    const store::StoreInfo info = store::inspect_store(input);
+    std::printf("packed container:  version %u, %s, %u-lane vectors\n",
+                info.version, info.weighted ? "weighted" : "unweighted",
+                info.vector_lanes);
+    std::printf("  %-14s %12s %14s %7s %10s\n", "section", "offset", "bytes",
+                "align", "crc32");
+    for (const store::SectionInfo& s : info.sections) {
+      std::printf("  %-14s %12llu %14llu %7u 0x%08x\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.length), s.alignment,
+                  s.crc32);
+    }
+    store::verify_store(input);
+    std::printf("  all %zu section checksums OK\n", info.sections.size());
+    return store::load_graph(input);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,9 +98,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto list = cli::load_input(input, scale, /*weighted=*/false);
-  if (!list) return 1;
-  const Graph graph = Graph::build(std::move(*list));
+  std::optional<Graph> opened;
+  if (cli::has_suffix(input, store::kFileExtension)) {
+    opened = open_packed(input);
+    if (!opened) return 1;
+  } else {
+    auto list = cli::load_input(input, scale, /*weighted=*/false);
+    if (!list) return 1;
+    opened = Graph::build(std::move(*list));
+  }
+  const Graph graph = std::move(*opened);
 
   std::printf("graph: %llu vertices, %llu edges%s\n",
               static_cast<unsigned long long>(graph.num_vertices()),
