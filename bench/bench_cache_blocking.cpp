@@ -1,0 +1,161 @@
+// Cache-blocked pull ablation: one PageRank Edge-Pull phase over R-MAT
+// graphs, blocked vs unblocked, with and without software prefetch.
+// The interesting shape: once the source-value array outgrows the LLC,
+// source-range blocking bounds the pull phase's random-read working
+// set to one block and the blocked walk wins; below LLC scale the
+// split-table bookkeeping must cost ~0 (the acceptance gate is <= 5%
+// regression there). A full-run row confirms blocked execution is
+// bit-identical to unblocked.
+//
+// Env knobs: GRAZELLE_BENCH_RMAT_SCALE (single scale; default sweeps
+// {14, 16, 18}), GRAZELLE_BENCH_THREADS, GRAZELLE_BLOCK_BYTES /
+// GRAZELLE_LLC_BYTES (block sizing overrides, see DESIGN.md §10).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "bench_common.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "platform/cpu_features.h"
+
+namespace grazelle {
+namespace {
+
+std::vector<unsigned> scales() {
+  if (const char* s = std::getenv("GRAZELLE_BENCH_RMAT_SCALE")) {
+    const int v = std::atoi(s);
+    if (v > 0) return {static_cast<unsigned>(v)};
+  }
+  return {14, 16, 18};
+}
+
+Graph build_graph(unsigned scale) {
+  gen::RmatParams p;
+  p.scale = scale;
+  p.num_edges = std::uint64_t{16} << scale;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return Graph::build(std::move(list));
+}
+
+/// Full 3-iteration PageRank with `blocked` requested; returns final
+/// ranks (copied) for the bitwise cross-check.
+template <bool Vec>
+std::vector<double> full_run_ranks(const Graph& g, bool blocked) {
+  EngineOptions opts;
+  opts.num_threads = bench::bench_threads();
+  opts.direction.select = EngineSelect::kPullOnly;
+  opts.blocking.enabled = blocked;
+  Engine<apps::PageRank, Vec> engine(g, opts);
+  apps::PageRank pr(g, engine.pool().size());
+  engine.run(pr, 3);
+  return {pr.ranks().begin(), pr.ranks().end()};
+}
+
+template <bool Vec>
+void run_scale(unsigned scale, bench::Table& table) {
+  const Graph g = build_graph(scale);
+
+  EngineOptions opts;
+  opts.num_threads = bench::bench_threads();
+  opts.direction.select = EngineSelect::kPullOnly;
+  opts.blocking.enabled = true;
+  Engine<apps::PageRank, Vec> engine(g, opts);
+  apps::PageRank pr(g, engine.pool().size());
+
+  EngineOptions nopf = opts;
+  nopf.prefetch.enabled = false;
+  Engine<apps::PageRank, Vec> engine_nopf(g, nopf);
+
+  const int repeats = 5;
+  // Untimed warmup so the first timed variant doesn't pay the cold
+  // caches (accumulators, message array, edge vectors) alone.
+  engine.prime_accumulators(pr);
+  engine.run_edge_phase(pr, PhasePlan::pull(false, false));
+
+  const auto time_phase = [&](auto& eng, bool blocked) {
+    eng.prime_accumulators(pr);
+    return bench::median_seconds(repeats, [&] {
+      eng.run_edge_phase(pr, PhasePlan::pull(false, blocked));
+    });
+  };
+  const double unblocked_s = time_phase(engine, false);
+  const double blocked_s = time_phase(engine, true);
+  const std::uint64_t blocks_executed = engine.last_blocks_executed();
+  const double nopf_unblocked_s = time_phase(engine_nopf, false);
+  const double nopf_blocked_s = time_phase(engine_nopf, true);
+
+  const unsigned num_blocks =
+      engine.block_index() != nullptr ? engine.block_index()->num_blocks() : 1;
+
+  const std::vector<double> base = full_run_ranks<Vec>(g, false);
+  const std::vector<double> blk = full_run_ranks<Vec>(g, true);
+  const bool identical =
+      base.size() == blk.size() &&
+      std::memcmp(base.data(), blk.data(), base.size() * sizeof(double)) == 0;
+
+  bench::JsonRow()
+      .field("bench", "cache_blocking")
+      .field("app", "pr")
+      .field("rmat_scale", static_cast<std::uint64_t>(scale))
+      .field("num_vertices", g.num_vertices())
+      .field("num_edge_vectors", g.vsd().num_vectors())
+      .field("num_blocks", num_blocks)
+      .field("blocks_executed", blocks_executed)
+      .field("prefetch_distance", engine.prefetch_distance())
+      .field("unblocked_ms", unblocked_s * 1e3)
+      .field("blocked_ms", blocked_s * 1e3)
+      .field("nopf_unblocked_ms", nopf_unblocked_s * 1e3)
+      .field("nopf_blocked_ms", nopf_blocked_s * 1e3)
+      .field("speedup", unblocked_s / blocked_s)
+      .field("bit_identical", identical)
+      .print();
+
+  table.add_row(
+      {std::to_string(scale), std::to_string(num_blocks),
+       bench::fmt_ms(unblocked_s), bench::fmt_ms(blocked_s),
+       bench::fmt_ms(nopf_unblocked_s), bench::fmt_ms(nopf_blocked_s),
+       bench::fmt(unblocked_s / blocked_s, 2), identical ? "yes" : "NO"});
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "error: blocked PageRank diverged from unblocked at rmat "
+                 "scale %u\n",
+                 scale);
+    std::exit(1);
+  }
+}
+
+template <bool Vec>
+void run_all() {
+  bench::Table table({"scale", "blocks", "unblocked ms", "blocked ms",
+                      "nopf unblk ms", "nopf blk ms", "speedup",
+                      "identical"});
+  for (unsigned scale : scales()) run_scale<Vec>(scale, table);
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace grazelle
+
+int main() {
+  using namespace grazelle;
+  bench::banner("Cache-blocked pull vs graph scale",
+                "One PageRank Edge-Pull phase per cell; blocking should win "
+                "once source values outgrow the LLC and cost ~0 below it.");
+  std::printf("LLC: %llu bytes, prefetch auto distance %u\n\n",
+              static_cast<unsigned long long>(cache_topology().llc_bytes),
+              platform::default_prefetch_distance());
+  if (vector_kernels_available()) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    run_all<true>();
+    return 0;
+#endif
+  }
+  run_all<false>();
+  return 0;
+}

@@ -163,9 +163,18 @@ inline void emit_json_line(const std::string& line) {
 
 /// Emits a structured RunReport (telemetry/report.h) to the JSON sink,
 /// and to stdout when no sink is configured. Benches that attach a
-/// telemetry::Telemetry to an engine hand the result here.
+/// telemetry::Telemetry to an engine hand the result here. Host
+/// context fields (peak RSS, LLC size) are filled in when the bench
+/// left them at zero, so every emitted report carries them.
 inline void emit_report(const RunReport& report) {
-  const std::string body = report.to_json();
+  RunReport filled = report;
+  if (filled.peak_rss_bytes == 0) {
+    filled.peak_rss_bytes = platform::peak_rss_bytes();
+  }
+  if (filled.llc_bytes == 0) {
+    filled.llc_bytes = cache_topology().llc_bytes;
+  }
+  const std::string body = filled.to_json();
   if (json_sink() != nullptr) {
     emit_json_line(body);
   } else {

@@ -22,7 +22,9 @@
 #include "core/vertex_phase.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
+#include "platform/cpu_features.h"
 #include "platform/numa_topology.h"
+#include "platform/prefetch.h"
 #include "platform/timer.h"
 #include "telemetry/report.h"
 #include "telemetry/telemetry.h"
@@ -52,6 +54,7 @@ class Engine {
       const unsigned node = static_cast<unsigned>(&piece - numa_pieces_.data());
       topology_.record_allocation(node, piece.vectors.size() * sizeof(EdgeVector));
     }
+    configure_blocking();
   }
 
   /// Current frontier (mutable so callers seed it before run()).
@@ -93,7 +96,7 @@ class Engine {
   /// frontier of `frontier_size` vertices, without running anything.
   [[nodiscard]] PhasePlan plan_edge_phase(std::uint64_t frontier_size) const {
     if (choose_pull(frontier_size)) {
-      return PhasePlan::pull(should_gate(frontier_size));
+      return PhasePlan::pull(should_gate(frontier_size), blocking_active());
     }
     const bool sparse =
         options_.direction.sparse_push && P::kUsesFrontier &&
@@ -109,10 +112,15 @@ class Engine {
   /// compare gated vs ungated on identical frontiers this way).
   void run_edge_phase(const P& prog, const PhasePlan& plan) {
     if (plan.is_pull()) {
+      PullRunConfig cfg;
+      cfg.mode = options_.pull_mode;
+      cfg.chunk_vectors = options_.chunk_vectors;
+      cfg.gated = plan.gated;
+      cfg.blocks = plan.blocked ? blocks_ : nullptr;
+      cfg.prefetch_distance = prefetch_distance_;
       pull_phase_.run(prog, graph_.vsd(), accum_.span(),
-                      P::kUsesFrontier ? &frontier_ : nullptr, pool_,
-                      options_.pull_mode, options_.chunk_vectors,
-                      merge_buffer_, plan.gated, telemetry_);
+                      P::kUsesFrontier ? &frontier_ : nullptr, pool_, cfg,
+                      merge_buffer_, telemetry_);
       return;
     }
     if (plan.sparse && P::kUsesFrontier) {
@@ -130,6 +138,34 @@ class Engine {
   /// Edge-Pull phase.
   [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
     return pull_phase_.last_vectors_skipped();
+  }
+
+  /// Non-empty (chunk, block) segments the most recent Edge-Pull phase
+  /// executed (0 when it ran unblocked).
+  [[nodiscard]] std::uint64_t last_blocks_executed() const noexcept {
+    return pull_phase_.last_blocks_executed();
+  }
+
+  /// Intra-chunk source-block transitions of the most recent Edge-Pull
+  /// phase.
+  [[nodiscard]] std::uint64_t last_block_switches() const noexcept {
+    return pull_phase_.last_block_switches();
+  }
+
+  /// Whether pull iterations run cache-blocked: blocking was requested
+  /// and the resolved block index is non-trivial for this graph.
+  [[nodiscard]] bool blocking_active() const noexcept {
+    return blocks_ != nullptr;
+  }
+
+  /// The resolved block index (nullptr when blocking is inactive).
+  [[nodiscard]] const BlockIndex* block_index() const noexcept {
+    return blocks_;
+  }
+
+  /// Software-prefetch distance the pull walkers use (0 = disabled).
+  [[nodiscard]] unsigned prefetch_distance() const noexcept {
+    return prefetch_distance_;
   }
 
   /// Whether a pull iteration over a frontier of this size would apply
@@ -174,6 +210,7 @@ class Engine {
       it.plan = plan_edge_phase(it.frontier_size);
       it.used_pull = it.plan.is_pull();
       it.gated = it.plan.is_pull() && it.plan.gated;
+      it.blocked = it.plan.is_pull() && it.plan.blocked;
       it.used_sparse_push = !it.plan.is_pull() && it.plan.sparse;
 
       WallTimer edge_timer;
@@ -188,10 +225,12 @@ class Engine {
         it.merge_seconds = pull_phase_.last_merge_seconds();
         it.idle_seconds = pull_phase_.last_idle_seconds();
         it.vectors_skipped = pull_phase_.last_vectors_skipped();
+        it.blocks_executed = pull_phase_.last_blocks_executed();
         if (it.gated) {
           ++stats.gated_iterations;
           stats.vectors_skipped += it.vectors_skipped;
         }
+        if (it.blocked) ++stats.blocked_iterations;
       } else if (it.used_sparse_push) {
         ++stats.sparse_push_iterations;
       }
@@ -218,6 +257,41 @@ class Engine {
   }
 
  private:
+  /// Resolves the blocking and prefetch policies against this graph
+  /// and host. Reuses the graph's persisted block index when its shift
+  /// matches the requested budget; otherwise builds a private one.
+  /// A trivial (single-block) outcome disables blocking entirely.
+  void configure_blocking() {
+    // Auto mode only prefetches when the gathered source-value array
+    // outgrows the LLC — on an LLC-resident graph every gather already
+    // hits cache and the extra prefetch decode/issue per vector is pure
+    // overhead. An explicit distance is always honored.
+    const bool gathers_miss_llc =
+        graph_.vsd().num_vertices() * sizeof(V) > cache_topology().llc_bytes;
+    prefetch_distance_ =
+        options_.prefetch.enabled
+            ? (options_.prefetch.distance != 0
+                   ? options_.prefetch.distance
+                   : (gathers_miss_llc ? platform::default_prefetch_distance()
+                                       : 0))
+            : 0;
+    if (!options_.blocking.enabled) return;
+    const std::uint64_t budget =
+        options_.blocking.block_bytes != 0
+            ? options_.blocking.block_bytes
+            : BlockIndex::default_budget_bytes(options_.blocking.llc_fraction);
+    const unsigned shift = BlockIndex::shift_for_budget(
+        graph_.vsd().num_vertices(), sizeof(V), budget);
+    const BlockIndex& persisted = graph_.vsd_blocks();
+    if (persisted.present() && persisted.source_shift() == shift) {
+      blocks_ = &persisted;
+    } else {
+      own_blocks_ = BlockIndex::build(graph_.vsd(), shift);
+      blocks_ = &own_blocks_;
+    }
+    if (blocks_->trivial()) blocks_ = nullptr;
+  }
+
   [[nodiscard]] bool choose_pull(std::uint64_t frontier_size) const {
     switch (options_.direction.select) {
       case EngineSelect::kPullOnly:
@@ -251,6 +325,9 @@ class Engine {
   DenseFrontier frontier_;
   DenseFrontier next_frontier_;
   std::vector<NumaPiece> numa_pieces_;
+  BlockIndex own_blocks_;
+  const BlockIndex* blocks_ = nullptr;
+  unsigned prefetch_distance_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
   // 0 so the first iteration's direction choice rests on the frontier
   // size alone (a single-seed BFS must start with a push, a full

@@ -1,0 +1,155 @@
+// Engine configuration and per-phase planning types.
+//
+// This header is the engine's *policy surface*: everything a driver
+// decides up front (thread count, parallelization mode, direction and
+// gating policies) lives here, decoupled from the engine template so
+// tools, benches, and the telemetry layer can speak about
+// configuration without instantiating an engine.
+//
+// The direction/gating knobs are grouped into named policy structs
+// (DirectionPolicy, GatingPolicy). The historical flat field names
+// (select, sparse_push, frontier_gating, ...) were kept as deprecated
+// aliases for one release and have been removed; address the policy
+// structs directly.
+#pragma once
+
+#include <cstdint>
+
+namespace grazelle {
+
+/// Which Edge-phase implementation the driver may pick.
+enum class EngineSelect {
+  kAuto,      ///< hybrid: frontier-density heuristic per iteration
+  kPullOnly,  ///< always Edge-Pull
+  kPushOnly,  ///< always Edge-Push
+};
+
+/// Pull Edge-phase parallelization mode (paper Figures 5-8).
+enum class PullParallelism {
+  kSequential,
+  kVertexParallel,
+  kTraditional,
+  kTraditionalNoAtomic,
+  kSchedulerAware,
+};
+
+/// Hybrid direction heuristic: when to pull vs push, and when a push
+/// iteration may use the explicit sparse-frontier list.
+struct DirectionPolicy {
+  EngineSelect select = EngineSelect::kAuto;
+  /// Beamer-style threshold divisor: pull once the frontier's active
+  /// out-edges exceed num_edges / pull_divisor.
+  std::uint64_t pull_divisor = 20;
+  /// Divisor used instead of pull_divisor when frontier gating is on
+  /// (gating makes sparse pull cheap, so the pull band widens).
+  std::uint64_t gated_pull_divisor = 200;
+  /// Extension beyond the paper (its §5 leaves frontier-representation
+  /// switching to future work): when the frontier is very sparse, push
+  /// from an explicit active-vertex list instead of scanning the
+  /// bitmask.
+  bool sparse_push = false;
+  /// Frontier-size threshold (fraction of vertices, denominator) below
+  /// which sparse push triggers: |F| < V / sparse_push_divisor.
+  std::uint64_t sparse_push_divisor = 64;
+};
+
+/// Frontier-gated pull (extension, DESIGN.md §6): skip provably
+/// inactive edge vectors wholesale on sparse frontiers.
+struct GatingPolicy {
+  /// Master switch; a no-op for programs with kUsesFrontier == false.
+  bool enabled = false;
+  /// Frontier-density threshold (denominator) below which the gate is
+  /// applied: |F| * density_divisor <= V. On denser frontiers nearly
+  /// every span is occupied, so the gate would be pure overhead.
+  std::uint64_t density_divisor = 32;
+};
+
+/// Cache-blocked pull execution (DESIGN.md §10): run each scheduler
+/// chunk block-major over LLC-sized source ranges so the random source
+/// gathers stay within a resident working set.
+struct BlockingPolicy {
+  /// Master switch. Off by default: blocking only pays once the source
+  /// value array spills the LLC.
+  bool enabled = false;
+  /// Fraction of the detected LLC the per-block source working set may
+  /// occupy (values outside (0, 1] fall back to 0.5). Ignored when
+  /// block_bytes != 0.
+  double llc_fraction = 0.5;
+  /// Explicit per-block source-value budget in bytes; 0 = derive from
+  /// llc_fraction and the detected LLC size.
+  std::uint64_t block_bytes = 0;
+};
+
+/// Distance-ahead software prefetch in the pull walkers (DESIGN.md
+/// §10).
+struct PrefetchPolicy {
+  /// Master switch. On by default: a pure hint, bit-identical results.
+  bool enabled = true;
+  /// Prefetch distance in edge vectors; 0 = auto-probe a default at
+  /// first use (platform::default_prefetch_distance()).
+  unsigned distance = 0;
+};
+
+struct EngineOptions {
+  unsigned num_threads = 1;
+  /// Simulated NUMA nodes the threads divide into (see DESIGN.md §2).
+  unsigned numa_nodes = 1;
+  /// Edge vectors per scheduler chunk; 0 = Grazelle's default of
+  /// 32 * num_threads equal chunks (§5).
+  std::uint64_t chunk_vectors = 0;
+  PullParallelism pull_mode = PullParallelism::kSchedulerAware;
+  /// Pull-vs-push direction choice and sparse-push policy.
+  DirectionPolicy direction{};
+  /// Frontier-gated pull policy.
+  GatingPolicy gating{};
+  /// Cache-blocked pull policy.
+  BlockingPolicy blocking{};
+  /// Software-prefetch policy (applies to all pull walkers).
+  PrefetchPolicy prefetch{};
+};
+
+/// Edge-phase direction for one iteration.
+enum class EdgeDirection : std::uint8_t { kPull, kPush };
+
+/// The engine's fully-resolved Edge-phase decision for one iteration:
+/// direction plus the per-direction execution variant. A plan is a
+/// *value* — the telemetry layer records it, benches construct it
+/// explicitly to pin a configuration, and Engine::plan_edge_phase()
+/// derives it from the frontier state and the policies above.
+struct PhasePlan {
+  EdgeDirection direction = EdgeDirection::kPull;
+  /// Pull only: apply the frontier-occupancy gate.
+  bool gated = false;
+  /// Push only: push from an explicit active-vertex list.
+  bool sparse = false;
+  /// Pull only: run cache-blocked over the source-range block index.
+  bool blocked = false;
+
+  [[nodiscard]] static constexpr PhasePlan pull(bool gated = false,
+                                                bool blocked = false) {
+    return PhasePlan{EdgeDirection::kPull, gated, false, blocked};
+  }
+  [[nodiscard]] static constexpr PhasePlan push(bool sparse = false) {
+    return PhasePlan{EdgeDirection::kPush, false, sparse, false};
+  }
+
+  [[nodiscard]] constexpr bool is_pull() const noexcept {
+    return direction == EdgeDirection::kPull;
+  }
+
+  /// Stable label used in traces, reports, and logs.
+  [[nodiscard]] constexpr const char* name() const noexcept {
+    if (is_pull()) {
+      if (blocked) {
+        return gated ? "edge_pull_blocked_gated" : "edge_pull_blocked";
+      }
+      return gated ? "edge_pull_gated" : "edge_pull";
+    }
+    return sparse ? "edge_push_sparse" : "edge_push";
+  }
+
+  friend constexpr bool operator==(const PhasePlan&,
+                                   const PhasePlan&) = default;
+};
+
+}  // namespace grazelle

@@ -19,17 +19,31 @@
 //                          under contention; benchmark-only, as in the
 //                          paper's "Traditional, Nonatomic" series)
 //   kSchedulerAware      — the paper's contribution
+//
+// Two execution-layer extensions ride on top of every mode
+// (DESIGN.md §10): distance-ahead software prefetch of upcoming edge
+// vectors and their gather targets, and cache-blocked execution —
+// each chunk is run block-major over the graph's source-range block
+// index so the random source gathers stay confined to an LLC-resident
+// window. Both preserve bit-identical results: prefetch only hints,
+// and blocking keeps each destination's vector visit order, SIMD lane
+// packing, and the chunk/merge-buffer write-once protocol exactly as
+// in the unblocked walk (per-destination vector accumulators are
+// parked in a scratch array between blocks and reduced once at flush).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "core/merge_buffer.h"
 #include "core/options.h"
+#include "graph/block_index.h"
 #include "platform/aligned_buffer.h"
 #include "platform/bits.h"
+#include "platform/prefetch.h"
 #include "platform/timer.h"
 #include "telemetry/telemetry.h"
 #include "threading/reduction.h"
@@ -140,6 +154,46 @@ inline void accumulate_vector_simd(const P& prog, const EdgeVector& ev,
 
 #endif  // GRAZELLE_HAVE_AVX2
 
+/// Distance-ahead software prefetch, issued once per visited edge
+/// vector: the vector `dist` ahead (keeps the edge stream beyond the
+/// hardware prefetcher's reach in flight) and the source values
+/// feeding the vector dist/2 ahead — by the time the walker reaches
+/// that vector its gather lines have arrived, and the half-distance
+/// vector itself is already cached, so decoding its lanes here is
+/// cheap. Programs whose message is the source id itself (BFS) gather
+/// nothing and only the edge stream is prefetched. dist == 0 disables
+/// both; compilers hoist that test out of the walk loops.
+template <GraphProgram P>
+inline void prefetch_ahead(const P& prog, const EdgeVector* vectors,
+                           std::uint64_t i, std::uint64_t end,
+                           unsigned dist) {
+  if (dist == 0) return;
+  if (i + dist < end) platform::prefetch_read(vectors + i + dist);
+  if constexpr (!P::kMessageIsSourceId) {
+    const std::uint64_t ahead = i + dist / 2;
+    if (ahead > i && ahead < end) {
+      const EdgeVector& ev = vectors[ahead];
+      const auto* messages = prog.message_array();
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        if (ev.valid(k)) platform::prefetch_read(messages + ev.neighbor(k));
+      }
+    }
+  }
+}
+
+/// Destination (top-level vertex) owning edge vector `i`. Zero-count
+/// destinations share first_vector with their successor and the owner
+/// is the last entry of such a run, hence upper_bound minus one.
+[[nodiscard]] inline VertexId dest_of_vector(
+    std::span<const VertexVectorRange> index, std::uint64_t i) noexcept {
+  const auto it = std::upper_bound(
+      index.begin(), index.end(), i,
+      [](std::uint64_t value, const VertexVectorRange& r) {
+        return value < r.first_vector;
+      });
+  return static_cast<VertexId>(it - index.begin()) - 1;
+}
+
 /// Walks edge vectors [begin, end) maintaining the running aggregate of
 /// the current top-level vertex. Whenever the top-level vertex changes,
 /// calls `flush(dest, aggregate)`. Returns the trailing (dest,
@@ -151,7 +205,7 @@ template <GraphProgram P, bool Vectorized, typename FlushFn>
 inline std::pair<VertexId, typename P::Value> process_vector_range(
     const P& prog, const VectorSparseGraph& graph,
     const DenseFrontier* frontier, std::uint64_t begin, std::uint64_t end,
-    FlushFn&& flush) {
+    unsigned prefetch, FlushFn&& flush) {
   using V = typename P::Value;
   const std::span<const EdgeVector> vectors = graph.vectors();
   const std::span<const WeightVector> weights = graph.weights();
@@ -169,6 +223,7 @@ inline std::pair<VertexId, typename P::Value> process_vector_range(
 
   bool skip_current = false;
   for (std::uint64_t i = begin; i < end; ++i) {
+    prefetch_ahead(prog, vectors.data(), i, end, prefetch);
     const EdgeVector& ev = vectors[i];
     const VertexId dest = ev.top_level();
     if (dest != prev) {
@@ -213,6 +268,18 @@ inline std::pair<VertexId, typename P::Value> process_vector_range(
   }
 }
 
+/// Prefetch-free overload kept for callers that walk tiny ranges
+/// (kernel microbenches, single-vector traditional-mode probes).
+template <GraphProgram P, bool Vectorized, typename FlushFn>
+inline std::pair<VertexId, typename P::Value> process_vector_range(
+    const P& prog, const VectorSparseGraph& graph,
+    const DenseFrontier* frontier, std::uint64_t begin, std::uint64_t end,
+    FlushFn&& flush) {
+  return process_vector_range<P, Vectorized>(prog, graph, frontier, begin,
+                                             end, /*prefetch=*/0u,
+                                             std::forward<FlushFn>(flush));
+}
+
 /// Tests one bit of the per-phase candidate bitmap (see
 /// PullEdgePhase::build_candidates): bit i set ⇔ edge vector i has at
 /// least one valid lane whose source is in the frontier. The word is
@@ -239,8 +306,8 @@ template <GraphProgram P, bool Vectorized, typename FlushFn>
 inline std::pair<VertexId, typename P::Value> process_vector_range_gated(
     const P& prog, const VectorSparseGraph& graph,
     const DenseFrontier* frontier, const std::uint64_t* candidates,
-    std::uint64_t begin, std::uint64_t end, std::uint64_t& skipped,
-    FlushFn&& flush) {
+    std::uint64_t begin, std::uint64_t end, unsigned prefetch,
+    std::uint64_t& skipped, FlushFn&& flush) {
   static_assert(P::kUsesFrontier,
                 "gating is meaningful only for frontier-driven programs");
   using V = typename P::Value;
@@ -280,6 +347,7 @@ inline std::pair<VertexId, typename P::Value> process_vector_range_gated(
     }
     skipped += tz;
     i += tz;
+    prefetch_ahead(prog, vectors.data(), i, end, prefetch);
     const EdgeVector& ev = vectors[i];
     const VertexId dest = ev.top_level();
     if (dest != prev) {
@@ -330,6 +398,23 @@ inline std::pair<VertexId, typename P::Value> process_vector_range_gated(
 
 }  // namespace detail
 
+/// Fully-resolved execution knobs for one pull Edge phase. The engine
+/// derives this from EngineOptions + PhasePlan; tests and benches
+/// construct it directly to pin a configuration.
+struct PullRunConfig {
+  PullParallelism mode = PullParallelism::kSchedulerAware;
+  /// Edge vectors per scheduler chunk (0 = 32 * threads chunks, §5).
+  std::uint64_t chunk_vectors = 0;
+  /// Apply the frontier-occupancy gate (candidate bitmap + tzcnt walk).
+  bool gated = false;
+  /// Cache-block index to execute block-major (DESIGN.md §10).
+  /// nullptr — or a trivial single-block index — runs the classic
+  /// single-pass walk. Must stay valid for the duration of run().
+  const BlockIndex* blocks = nullptr;
+  /// Edge vectors of distance-ahead software prefetch; 0 disables.
+  unsigned prefetch_distance = 0;
+};
+
 /// Edge-Pull phase runner. Owns no data; operates on the caller's
 /// accumulator array (one Value per vertex, pre-initialized to
 /// identity; the Vertex phase re-initializes entries as it consumes
@@ -361,16 +446,21 @@ class PullEdgePhase {
   /// lanes examined (visited vectors × lane width), an upper bound.
   void run(const P& prog, const VectorSparseGraph& graph,
            std::span<V> accum, const DenseFrontier* frontier,
-           ThreadPool& pool, PullParallelism mode,
-           std::uint64_t chunk_vectors, MergeBuffer<V>& merge_buffer,
-           bool gated = false, telemetry::Telemetry* t = nullptr) {
+           ThreadPool& pool, const PullRunConfig& cfg,
+           MergeBuffer<V>& merge_buffer,
+           telemetry::Telemetry* t = nullptr) {
     last_vectors_skipped_ = 0;
+    last_blocks_executed_ = 0;
+    last_block_switches_ = 0;
+    last_merge_seconds_ = 0.0;
+    last_idle_seconds_ = 0.0;
     telemetry_ = t;
+    prefetch_distance_ = cfg.prefetch_distance;
     const std::uint64_t n = graph.num_vectors();
     if (n == 0) return;
     const std::uint64_t chunk =
-        chunk_vectors != 0
-            ? chunk_vectors
+        cfg.chunk_vectors != 0
+            ? cfg.chunk_vectors
             : std::max<std::uint64_t>(
                   1, bits::ceil_div(n, std::uint64_t{32} * pool.size()));
 
@@ -379,14 +469,51 @@ class PullEdgePhase {
     }
     skipped_.reset(0);
 
+    bool gated = false;
     if constexpr (P::kUsesFrontier) {
-      if (gated && frontier != nullptr) {
-        {
-          telemetry::ScopedSpan span(t, 0, "gate_build");
-          build_candidates(graph, frontier);
+      gated = cfg.gated && frontier != nullptr;
+    }
+    if (gated) {
+      {
+        telemetry::ScopedSpan span(t, 0, "gate_build");
+        build_candidates(graph, frontier);
+      }
+      telemetry::count(t, 0, telemetry::Counter::kGateBuilds, 1);
+    }
+
+    const bool blocked = cfg.blocks != nullptr && !cfg.blocks->trivial();
+    if (blocked) {
+      if (blocks_executed_.size() < pool.size()) {
+        blocks_executed_ = ReductionArray<std::uint64_t>(pool.size(), 0);
+        block_switches_ = ReductionArray<std::uint64_t>(pool.size(), 0);
+      }
+      blocks_executed_.reset(0);
+      block_switches_.reset(0);
+      if (block_scratch_.size() < pool.size()) {
+        block_scratch_.resize(pool.size());
+        block_dests_.resize(pool.size());
+      }
+      bool dispatched = false;
+      if constexpr (P::kUsesFrontier) {
+        if (gated) {
+          run_blocked<true>(prog, graph, *cfg.blocks, accum, frontier, pool,
+                            cfg.mode, chunk, merge_buffer);
+          dispatched = true;
         }
-        telemetry::count(t, 0, telemetry::Counter::kGateBuilds, 1);
-        switch (mode) {
+      }
+      if (!dispatched) {
+        run_blocked<false>(prog, graph, *cfg.blocks, accum, frontier, pool,
+                           cfg.mode, chunk, merge_buffer);
+      }
+      last_blocks_executed_ = blocks_executed_.combine(
+          std::uint64_t{0},
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      last_block_switches_ = block_switches_.combine(
+          std::uint64_t{0},
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    } else if (gated) {
+      if constexpr (P::kUsesFrontier) {
+        switch (cfg.mode) {
           case PullParallelism::kSequential:
             run_sequential_gated(prog, graph, accum, frontier);
             break;
@@ -406,46 +533,66 @@ class PullEdgePhase {
                                       chunk, merge_buffer);
             break;
         }
-        last_vectors_skipped_ = skipped_.combine(
-            std::uint64_t{0},
-            [](std::uint64_t a, std::uint64_t b) { return a + b; });
-        if (t != nullptr) {
-          const std::uint64_t visited =
-              n - std::min(n, last_vectors_skipped_);
-          t->count(0, telemetry::Counter::kVectorsSkipped,
-                   last_vectors_skipped_);
-          t->count(0, telemetry::Counter::kVectorsVisited, visited);
-          t->count(0, telemetry::Counter::kEdgesTouched,
-                   visited * kEdgeVectorLanes);
-        }
-        return;
+      }
+    } else {
+      switch (cfg.mode) {
+        case PullParallelism::kSequential:
+          run_sequential(prog, graph, accum, frontier);
+          break;
+        case PullParallelism::kVertexParallel:
+          run_vertex_parallel(prog, graph, accum, frontier, pool);
+          break;
+        case PullParallelism::kTraditional:
+          run_traditional<true>(prog, graph, accum, frontier, pool, chunk);
+          break;
+        case PullParallelism::kTraditionalNoAtomic:
+          run_traditional<false>(prog, graph, accum, frontier, pool, chunk);
+          break;
+        case PullParallelism::kSchedulerAware:
+          run_scheduler_aware(prog, graph, accum, frontier, pool, chunk,
+                              merge_buffer);
+          break;
       }
     }
 
-    switch (mode) {
-      case PullParallelism::kSequential:
-        run_sequential(prog, graph, accum, frontier);
-        break;
-      case PullParallelism::kVertexParallel:
-        run_vertex_parallel(prog, graph, accum, frontier, pool);
-        break;
-      case PullParallelism::kTraditional:
-        run_traditional<true>(prog, graph, accum, frontier, pool, chunk);
-        break;
-      case PullParallelism::kTraditionalNoAtomic:
-        run_traditional<false>(prog, graph, accum, frontier, pool, chunk);
-        break;
-      case PullParallelism::kSchedulerAware:
-        run_scheduler_aware(prog, graph, accum, frontier, pool, chunk,
-                            merge_buffer);
-        break;
+    if (gated) {
+      last_vectors_skipped_ = skipped_.combine(
+          std::uint64_t{0},
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
     }
-
     if (t != nullptr) {
-      // Ungated: every vector is walked and every valid lane examined.
-      t->count(0, telemetry::Counter::kVectorsVisited, n);
-      t->count(0, telemetry::Counter::kEdgesTouched, graph.num_edges());
+      if (gated) {
+        const std::uint64_t visited = n - std::min(n, last_vectors_skipped_);
+        t->count(0, telemetry::Counter::kVectorsSkipped,
+                 last_vectors_skipped_);
+        t->count(0, telemetry::Counter::kVectorsVisited, visited);
+        t->count(0, telemetry::Counter::kEdgesTouched,
+                 visited * kEdgeVectorLanes);
+      } else {
+        // Ungated: every vector is walked and every valid lane examined.
+        t->count(0, telemetry::Counter::kVectorsVisited, n);
+        t->count(0, telemetry::Counter::kEdgesTouched, graph.num_edges());
+      }
+      if (blocked) {
+        t->count(0, telemetry::Counter::kBlocksExecuted,
+                 last_blocks_executed_);
+        t->count(0, telemetry::Counter::kBlockSwitches,
+                 last_block_switches_);
+      }
     }
+  }
+
+  /// Positional-argument compatibility overload (pre-blocking API).
+  void run(const P& prog, const VectorSparseGraph& graph,
+           std::span<V> accum, const DenseFrontier* frontier,
+           ThreadPool& pool, PullParallelism mode,
+           std::uint64_t chunk_vectors, MergeBuffer<V>& merge_buffer,
+           bool gated = false, telemetry::Telemetry* t = nullptr) {
+    PullRunConfig cfg;
+    cfg.mode = mode;
+    cfg.chunk_vectors = chunk_vectors;
+    cfg.gated = gated;
+    run(prog, graph, accum, frontier, pool, cfg, merge_buffer, t);
   }
 
   /// Wall-clock seconds spent in the sequential merge of the last
@@ -466,6 +613,19 @@ class PullEdgePhase {
   /// (0 after ungated runs).
   [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
     return last_vectors_skipped_;
+  }
+
+  /// Non-empty (chunk, block) segments the last blocked run executed
+  /// (0 after unblocked runs).
+  [[nodiscard]] std::uint64_t last_blocks_executed() const noexcept {
+    return last_blocks_executed_;
+  }
+
+  /// Transitions between distinct source blocks within chunks during
+  /// the last blocked run — each one re-targets the gathers at a new
+  /// LLC-resident source window.
+  [[nodiscard]] std::uint64_t last_block_switches() const noexcept {
+    return last_block_switches_;
   }
 
  private:
@@ -499,7 +659,7 @@ class PullEdgePhase {
   void run_sequential(const P& prog, const VectorSparseGraph& graph,
                       std::span<V> accum, const DenseFrontier* frontier) {
     auto [dest, value] = detail::process_vector_range<P, Vectorized>(
-        prog, graph, frontier, 0, graph.num_vectors(),
+        prog, graph, frontier, 0, graph.num_vectors(), prefetch_distance_,
         [&](VertexId d, V v) { accum[d] = v; });
     if (dest != kInvalidVertex) accum[dest] = value;
   }
@@ -510,7 +670,8 @@ class PullEdgePhase {
     std::uint64_t skipped = 0;
     auto [dest, value] = detail::process_vector_range_gated<P, Vectorized>(
         prog, graph, frontier, candidates_.data(), 0, graph.num_vectors(),
-        skipped, [&](VertexId d, V v) { accum[d] = v; });
+        prefetch_distance_, skipped,
+        [&](VertexId d, V v) { accum[d] = v; });
     if (dest != kInvalidVertex) accum[dest] = value;
     skipped_.local(0) += skipped;
   }
@@ -524,7 +685,8 @@ class PullEdgePhase {
       if (r.vector_count == 0) return;
       auto [dest, value] = detail::process_vector_range<P, Vectorized>(
           prog, graph, frontier, r.first_vector,
-          r.first_vector + r.vector_count, [&](VertexId, V) {});
+          r.first_vector + r.vector_count, prefetch_distance_,
+          [&](VertexId, V) {});
       accum[dest] = value;
     });
   }
@@ -557,8 +719,8 @@ class PullEdgePhase {
             auto [dest, value] =
                 detail::process_vector_range_gated<P, Vectorized>(
                     prog, graph, frontier, candidates_.data(),
-                    r.first_vector, r.first_vector + r.vector_count, skipped,
-                    [&](VertexId, V) {});
+                    r.first_vector, r.first_vector + r.vector_count,
+                    prefetch_distance_, skipped, [&](VertexId, V) {});
             if (dest != kInvalidVertex) accum[dest] = value;
           }
           skipped_.local(tid) += skipped;
@@ -573,7 +735,10 @@ class PullEdgePhase {
     // Traditional interface: the loop body sees one iteration (one edge
     // vector) at a time and must publish its partial immediately —
     // one shared-memory combine per vector, atomic for correctness.
-    parallel_for(pool, graph.num_vectors(), chunk, [&](std::uint64_t i) {
+    const std::uint64_t n = graph.num_vectors();
+    parallel_for(pool, n, chunk, [&](std::uint64_t i) {
+      detail::prefetch_ahead(prog, graph.vectors().data(), i, n,
+                             prefetch_distance_);
       auto [dest, value] = detail::process_vector_range<P, Vectorized>(
           prog, graph, frontier, i, i + 1, [&](VertexId, V) {});
       if (dest == kInvalidVertex) return;
@@ -607,6 +772,8 @@ class PullEdgePhase {
               ++skipped;
               continue;
             }
+            detail::prefetch_ahead(prog, graph.vectors().data(), i, c.end,
+                                   prefetch_distance_);
             auto [dest, value] = detail::process_vector_range<P, Vectorized>(
                 prog, graph, frontier, i, i + 1, [&](VertexId, V) {});
             if (dest == kInvalidVertex) continue;
@@ -648,7 +815,8 @@ class PullEdgePhase {
           std::uint64_t skipped = 0;
           auto [dest, value] =
               detail::process_vector_range_gated<P, Vectorized>(
-                  prog, graph, frontier, candidates, c.begin, c.end, skipped,
+                  prog, graph, frontier, candidates, c.begin, c.end,
+                  prefetch_distance_, skipped,
                   [&](VertexId d, V v) { accum[d] = v; });
           if (dest != kInvalidVertex) merge_buffer.deposit(c.id, dest, value);
           skipped_.local(tid) += skipped;
@@ -671,6 +839,7 @@ class PullEdgePhase {
       std::span<V> accum;
       const DenseFrontier* frontier;
       MergeBuffer<V>& merge_buffer;
+      unsigned prefetch = 0;
 
       VertexId prev = kInvalidVertex;
       V acc{};
@@ -678,13 +847,17 @@ class PullEdgePhase {
       typename detail::VecOf<V>::type vacc{};
 #endif
       bool skip_current = false;
+      std::uint64_t chunk_end = 0;
 
-      void start_chunk(const Chunk&) {
+      void start_chunk(const Chunk& c) {
         prev = kInvalidVertex;
+        chunk_end = c.end;
         reset_acc();
       }
 
       void iteration(std::uint64_t i) {
+        detail::prefetch_ahead(prog, graph.vectors().data(), i, chunk_end,
+                               prefetch);
         const EdgeVector& ev = graph.vectors()[i];
         const VertexId dest = ev.top_level();
         if (dest != prev) {
@@ -780,7 +953,8 @@ class PullEdgePhase {
     parallel_for_scheduler_aware(
         pool, n, chunk,
         [&, this](unsigned tid) {
-          return TimedBody{Body{prog, graph, accum, frontier, merge_buffer},
+          return TimedBody{Body{prog, graph, accum, frontier, merge_buffer,
+                                prefetch_distance_},
                            &busy_.local(tid)};
         },
         telemetry_, "pull_chunk");
@@ -811,13 +985,411 @@ class PullEdgePhase {
     merge_buffer.rearm();
   }
 
+  // ---- Cache-blocked execution (DESIGN.md §10) -----------------------
+  //
+  // Blocking reorders only the *interleaving across destinations*, never
+  // the per-destination work: for each destination the edge vectors are
+  // still visited in ascending index order (a destination's segments
+  // across blocks tile its range in ascending order), and the SIMD
+  // 4-lane accumulator is parked in scratch *unreduced* between blocks,
+  // so lane packing and the final horizontal reduction are exactly the
+  // unblocked kernel's. That, plus an unchanged chunk flush/deposit
+  // protocol, is what makes blocked runs bit-identical.
+
+  /// Per-destination inter-block accumulator: the full 4-lane vector
+  /// for the AVX2 kernel (store/reload of a Vec is bitwise-preserving;
+  /// reducing per block would reassociate the combine), the scalar
+  /// Value otherwise.
+#if defined(GRAZELLE_HAVE_AVX2)
+  using BlockAcc =
+      std::conditional_t<Vectorized, typename detail::VecOf<V>::type, V>;
+#else
+  using BlockAcc = V;
+#endif
+
+  [[nodiscard]] static BlockAcc block_identity(const P& prog) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    if constexpr (Vectorized) {
+      return simd::splat(prog.identity());
+    } else {
+      return prog.identity();
+    }
+#else
+    return prog.identity();
+#endif
+  }
+
+  [[nodiscard]] static V block_reduce(const BlockAcc& acc) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    if constexpr (Vectorized) {
+      return simd::reduce<P::kCombine>(acc);
+    } else {
+      return acc;
+    }
+#else
+    return acc;
+#endif
+  }
+
+  /// One edge vector into a parked accumulator — the same kernel the
+  /// unblocked walkers run, with the gated walkers' summary-pretested
+  /// lane test when `Gated`.
+  template <bool Gated>
+  static void block_accumulate(const P& prog, const EdgeVector& ev,
+                               const WeightVector* wv,
+                               const DenseFrontier* frontier,
+                               BlockAcc& acc) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    if constexpr (Vectorized) {
+      detail::accumulate_vector_simd<P, Gated>(prog, ev, wv, frontier, acc);
+    } else {
+      detail::accumulate_vector_scalar<P, Gated>(prog, ev, wv, frontier,
+                                                 acc);
+    }
+#else
+    detail::accumulate_vector_scalar<P, Gated>(prog, ev, wv, frontier, acc);
+#endif
+  }
+
+  [[nodiscard]] AlignedBuffer<BlockAcc>& block_scratch(unsigned tid,
+                                                       std::uint64_t count) {
+    AlignedBuffer<BlockAcc>& buf = block_scratch_[tid];
+    if (buf.size() < count) buf.reset(count);
+    return buf;
+  }
+
+  /// Compact per-chunk descriptor of one vector-owning destination.
+  /// The block-major walk revisits every destination once per block;
+  /// streaming this list instead of re-reading the chunk's whole
+  /// VertexVectorRange span num_blocks times keeps the revisit traffic
+  /// proportional to destinations that actually own vectors and drops
+  /// the zero-degree skip branch from the per-block loops.
+  /// 16 bytes so the num_blocks re-streams stay cheap. `slot` being
+  /// uint32 bounds one chunk to 2^32 destinations — far beyond any
+  /// graph this engine can hold (the vertex index alone would be
+  /// 64 GiB).
+  struct BlockDest {
+    std::uint64_t first_vector;
+    std::uint32_t slot;  ///< scratch slot j; dest = d_first + slot
+    std::uint32_t vector_count;
+  };
+
+  [[nodiscard]] AlignedBuffer<BlockDest>& block_dest_scratch(
+      unsigned tid, std::uint64_t count) {
+    AlignedBuffer<BlockDest>& buf = block_dests_[tid];
+    if (buf.size() < count) buf.reset(count);
+    return buf;
+  }
+
+  /// One pass over [d_first, d_first + count) gathering the vector-
+  /// owning destinations the traditional blocked walk must revisit.
+  /// Converged destinations stay in the list — the per-vector publish
+  /// contract (process_vector_range's skip plus the force-writes store
+  /// policy) decides what happens to them, exactly as in the unblocked
+  /// traditional walk. (The scratch-accumulator walker filters them at
+  /// its own compaction pass instead.)
+  std::uint64_t compact_block_dests(std::span<const VertexVectorRange> index,
+                                    VertexId d_first, std::uint64_t count,
+                                    AlignedBuffer<BlockDest>& out) {
+    std::uint64_t live = 0;
+    for (std::uint64_t j = 0; j < count; ++j) {
+      const VertexVectorRange& r = index[d_first + static_cast<VertexId>(j)];
+      if (r.vector_count == 0) continue;
+      out[live++] = BlockDest{r.first_vector, static_cast<std::uint32_t>(j),
+                              r.vector_count};
+    }
+    return live;
+  }
+
+  /// Block-major walk of edge vectors [vbegin, vend): for each source
+  /// block, each destination's segment inside this range is
+  /// accumulated into that destination's parked accumulator; after the
+  /// last block, every vector-owning destination except the trailing
+  /// one is flushed (ascending — the same set and values the unblocked
+  /// walk flushes, destinations whose vectors were all gated away
+  /// flushing the identity the caller's accumulator already holds) and
+  /// the trailing (dest, partial) pair is returned for the caller's
+  /// chunk protocol. `skipped` accumulates gated-away vectors.
+  template <bool Gated, typename FlushFn>
+  std::pair<VertexId, V> process_chunk_blocked(
+      const P& prog, const VectorSparseGraph& graph, const BlockIndex& blocks,
+      const DenseFrontier* frontier, std::uint64_t vbegin, std::uint64_t vend,
+      unsigned tid, std::uint64_t& skipped, FlushFn&& flush) {
+    if (vbegin >= vend) return {kInvalidVertex, prog.identity()};
+    const std::span<const VertexVectorRange> index = graph.index();
+    const std::span<const EdgeVector> vectors = graph.vectors();
+    const std::span<const WeightVector> weights = graph.weights();
+    const VertexId d_first = detail::dest_of_vector(index, vbegin);
+    const VertexId d_last = detail::dest_of_vector(index, vend - 1);
+    const std::uint64_t count = d_last - d_first + 1;
+
+    AlignedBuffer<BlockAcc>& scratch = block_scratch(tid, count);
+    AlignedBuffer<BlockDest>& live_dests = block_dest_scratch(tid, count);
+
+    // Single pre-pass over the chunk's destinations: park identity for
+    // every vector-owning slot (zero-degree slots are never read — the
+    // flush protocol skips them) and compact the destinations the
+    // block-major walk must revisit. Converged destinations keep their
+    // identity scratch but drop out of the revisit list, so the flush
+    // emits identity for them exactly as the unblocked walk does.
+    std::uint64_t live = 0;
+    for (std::uint64_t j = 0; j < count; ++j) {
+      const VertexId d = d_first + static_cast<VertexId>(j);
+      const VertexVectorRange& r = index[d];
+      if (r.vector_count == 0) continue;
+      scratch[j] = block_identity(prog);
+      if constexpr (P::kUsesConvergedSet) {
+        if (prog.skip_destination(d)) continue;
+      }
+      live_dests[live++] =
+          BlockDest{r.first_vector, static_cast<std::uint32_t>(j),
+                    r.vector_count};
+    }
+
+    [[maybe_unused]] const std::uint64_t* candidates = candidates_.data();
+    const std::uint32_t nb = blocks.num_blocks();
+    std::uint64_t executed = 0;
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      const std::uint64_t t0 =
+          telemetry_ != nullptr ? telemetry_->now_us() : 0;
+      bool touched = false;
+      for (std::uint64_t k = 0; k < live; ++k) {
+        const BlockDest& e = live_dests[k];
+        const VertexId d = d_first + static_cast<VertexId>(e.slot);
+        const std::uint64_t lo =
+            std::max(vbegin,
+                     e.first_vector + blocks.split(d, b, e.vector_count));
+        const std::uint64_t hi =
+            std::min(vend,
+                     e.first_vector + blocks.split(d, b + 1, e.vector_count));
+        if (lo >= hi) continue;
+        touched = true;
+        BlockAcc acc = scratch[e.slot];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          if constexpr (Gated) {
+            if (!detail::candidate_vector(candidates, i)) {
+              ++skipped;
+              continue;
+            }
+          }
+          detail::prefetch_ahead(prog, vectors.data(), i, hi,
+                                 prefetch_distance_);
+          const WeightVector* wv = weights.empty() ? nullptr : &weights[i];
+          block_accumulate<Gated>(prog, vectors[i], wv, frontier, acc);
+        }
+        scratch[e.slot] = acc;
+      }
+      if (touched) {
+        ++executed;
+        if (telemetry_ != nullptr) {
+          telemetry_->record(tid, "pull_block", t0,
+                             telemetry_->now_us() - t0, "block", b);
+        }
+      }
+    }
+    blocks_executed_.local(tid) += executed;
+    if (executed != 0) block_switches_.local(tid) += executed - 1;
+
+    if constexpr (P::kUsesConvergedSet) {
+      // Converged destinations are absent from the revisit list but
+      // must still flush identity, so walk the index once more.
+      for (std::uint64_t j = 0; j + 1 < count; ++j) {
+        const VertexId d = d_first + static_cast<VertexId>(j);
+        if (index[d].vector_count == 0) continue;
+        flush(d, block_reduce(scratch[j]));
+      }
+    } else {
+      // The revisit list IS the flushable set (ascending by slot);
+      // skip the trailing destination, which is returned instead.
+      for (std::uint64_t k = 0; k < live; ++k) {
+        const std::uint64_t j = live_dests[k].slot;
+        if (j + 1 >= count) break;
+        flush(d_first + static_cast<VertexId>(j), block_reduce(scratch[j]));
+      }
+    }
+    return {d_last, block_reduce(scratch[count - 1])};
+  }
+
+  template <bool Gated>
+  void run_blocked(const P& prog, const VectorSparseGraph& graph,
+                   const BlockIndex& blocks, std::span<V> accum,
+                   const DenseFrontier* frontier, ThreadPool& pool,
+                   PullParallelism mode, std::uint64_t chunk,
+                   MergeBuffer<V>& merge_buffer) {
+    switch (mode) {
+      case PullParallelism::kSequential: {
+        std::uint64_t skipped = 0;
+        auto [dest, value] = process_chunk_blocked<Gated>(
+            prog, graph, blocks, frontier, 0, graph.num_vectors(), 0, skipped,
+            [&](VertexId d, V v) { accum[d] = v; });
+        if (dest != kInvalidVertex) accum[dest] = value;
+        skipped_.local(0) += skipped;
+        break;
+      }
+      case PullParallelism::kVertexParallel:
+        run_vertex_parallel_blocked<Gated>(prog, graph, blocks, accum,
+                                           frontier, pool);
+        break;
+      case PullParallelism::kTraditional:
+        run_traditional_blocked<true, Gated>(prog, graph, blocks, accum,
+                                             frontier, pool, chunk);
+        break;
+      case PullParallelism::kTraditionalNoAtomic:
+        run_traditional_blocked<false, Gated>(prog, graph, blocks, accum,
+                                              frontier, pool, chunk);
+        break;
+      case PullParallelism::kSchedulerAware:
+        run_scheduler_aware_blocked<Gated>(prog, graph, blocks, accum,
+                                           frontier, pool, chunk,
+                                           merge_buffer);
+        break;
+    }
+  }
+
+  /// Vertex-parallel blocked: chunks of 1024 destinations, each walked
+  /// block-major. Chunks align to destination boundaries, so the
+  /// trailing destination is wholly owned and stored directly.
+  template <bool Gated>
+  void run_vertex_parallel_blocked(const P& prog,
+                                   const VectorSparseGraph& graph,
+                                   const BlockIndex& blocks,
+                                   std::span<V> accum,
+                                   const DenseFrontier* frontier,
+                                   ThreadPool& pool) {
+    const std::span<const VertexVectorRange> index = graph.index();
+    const std::uint64_t n = graph.num_vectors();
+    const std::uint64_t v = graph.num_vertices();
+    parallel_for_chunks(
+        pool, v, 1024,
+        [&](unsigned tid, const Chunk& c) {
+          const std::uint64_t vec_begin = index[c.begin].first_vector;
+          const std::uint64_t vec_end =
+              c.end < v ? index[c.end].first_vector : n;
+          std::uint64_t skipped = 0;
+          auto [dest, value] = process_chunk_blocked<Gated>(
+              prog, graph, blocks, frontier, vec_begin, vec_end, tid, skipped,
+              [&](VertexId d, V val) { accum[d] = val; });
+          if (dest != kInvalidVertex) accum[dest] = value;
+          skipped_.local(tid) += skipped;
+        },
+        telemetry_, "pull_chunk");
+  }
+
+  /// Traditional blocked: the per-vector publish-immediately contract
+  /// is kept (one shared-memory combine per vector), only the visit
+  /// order inside each chunk becomes block-major. Per destination the
+  /// combines still land in ascending vector order, so the nonatomic
+  /// variant remains bit-identical to its unblocked run when
+  /// uncontended.
+  template <bool Atomic, bool Gated>
+  void run_traditional_blocked(const P& prog, const VectorSparseGraph& graph,
+                               const BlockIndex& blocks, std::span<V> accum,
+                               const DenseFrontier* frontier,
+                               ThreadPool& pool, std::uint64_t chunk) {
+    const std::span<const VertexVectorRange> index = graph.index();
+    const std::span<const EdgeVector> vectors = graph.vectors();
+    [[maybe_unused]] const std::uint64_t* candidates = candidates_.data();
+    const std::uint32_t nb = blocks.num_blocks();
+    parallel_for_chunks(
+        pool, graph.num_vectors(), chunk,
+        [&](unsigned tid, const Chunk& c) {
+          std::uint64_t skipped = 0;
+          const VertexId d_first = detail::dest_of_vector(index, c.begin);
+          const VertexId d_last = detail::dest_of_vector(index, c.end - 1);
+          AlignedBuffer<BlockDest>& live_dests =
+              block_dest_scratch(tid, d_last - d_first + 1);
+          const std::uint64_t live = compact_block_dests(
+              index, d_first, d_last - d_first + 1, live_dests);
+          std::uint64_t executed = 0;
+          for (std::uint32_t b = 0; b < nb; ++b) {
+            bool touched = false;
+            for (std::uint64_t k = 0; k < live; ++k) {
+              const BlockDest& e = live_dests[k];
+              const VertexId d = d_first + static_cast<VertexId>(e.slot);
+              const std::uint64_t lo = std::max(
+                  c.begin, e.first_vector + blocks.split(d, b, e.vector_count));
+              const std::uint64_t hi =
+                  std::min(c.end, e.first_vector +
+                                      blocks.split(d, b + 1, e.vector_count));
+              if (lo >= hi) continue;
+              touched = true;
+              for (std::uint64_t i = lo; i < hi; ++i) {
+                if constexpr (Gated) {
+                  if (!detail::candidate_vector(candidates, i)) {
+                    ++skipped;
+                    continue;
+                  }
+                }
+                detail::prefetch_ahead(prog, vectors.data(), i, hi,
+                                       prefetch_distance_);
+                auto [dest, value] =
+                    detail::process_vector_range<P, Vectorized>(
+                        prog, graph, frontier, i, i + 1, [&](VertexId, V) {});
+                if (dest == kInvalidVertex) continue;
+                constexpr bool kForce = program_force_writes<P>();
+                if constexpr (Atomic) {
+                  atomic_combine<kForce>(&accum[dest], value, [](V a, V b) {
+                    return combine_scalar<P::kCombine>(a, b);
+                  });
+                } else {
+                  const V combined =
+                      combine_scalar<P::kCombine>(accum[dest], value);
+                  if (kForce || combined != accum[dest]) accum[dest] = combined;
+                }
+              }
+            }
+            if (touched) ++executed;
+          }
+          blocks_executed_.local(tid) += executed;
+          if (executed != 0) block_switches_.local(tid) += executed - 1;
+          skipped_.local(tid) += skipped;
+        },
+        telemetry_, "pull_chunk");
+  }
+
+  /// Scheduler-aware blocked: chunk claim order, interior direct
+  /// stores, trailing merge-buffer deposits and the sequential fold are
+  /// all exactly the unblocked protocol — only the walk inside each
+  /// chunk is block-major.
+  template <bool Gated>
+  void run_scheduler_aware_blocked(const P& prog,
+                                   const VectorSparseGraph& graph,
+                                   const BlockIndex& blocks,
+                                   std::span<V> accum,
+                                   const DenseFrontier* frontier,
+                                   ThreadPool& pool, std::uint64_t chunk,
+                                   MergeBuffer<V>& merge_buffer) {
+    const std::uint64_t n = graph.num_vectors();
+    merge_buffer.resize(bits::ceil_div(n, chunk));
+    parallel_for_chunks(
+        pool, n, chunk,
+        [&](unsigned tid, const Chunk& c) {
+          std::uint64_t skipped = 0;
+          auto [dest, value] = process_chunk_blocked<Gated>(
+              prog, graph, blocks, frontier, c.begin, c.end, tid, skipped,
+              [&](VertexId d, V val) { accum[d] = val; });
+          if (dest != kInvalidVertex) merge_buffer.deposit(c.id, dest, value);
+          skipped_.local(tid) += skipped;
+        },
+        telemetry_, "pull_chunk");
+
+    fold_merge_buffer(accum, merge_buffer);
+  }
+
   double last_merge_seconds_ = 0.0;
   double last_idle_seconds_ = 0.0;
   std::uint64_t last_vectors_skipped_ = 0;
+  std::uint64_t last_blocks_executed_ = 0;
+  std::uint64_t last_block_switches_ = 0;
+  unsigned prefetch_distance_ = 0;  // valid for one run() only
   telemetry::Telemetry* telemetry_ = nullptr;  // valid for one run() only
   ReductionArray<double> busy_{1, 0.0};
   ReductionArray<std::uint64_t> skipped_{1, 0};
+  ReductionArray<std::uint64_t> blocks_executed_{1, 0};
+  ReductionArray<std::uint64_t> block_switches_{1, 0};
   AlignedBuffer<std::uint64_t> candidates_;
+  std::vector<AlignedBuffer<BlockAcc>> block_scratch_;
+  std::vector<AlignedBuffer<BlockDest>> block_dests_;
 };
 
 }  // namespace grazelle

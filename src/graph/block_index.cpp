@@ -1,0 +1,101 @@
+#include "graph/block_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+
+#include "platform/bits.h"
+#include "platform/cpu_features.h"
+
+namespace grazelle {
+
+namespace {
+constexpr std::uint64_t kMinSourcesPerBlock = 64;
+// Ids are 48-bit; one block of 2^48 sources covers any graph.
+constexpr unsigned kMaxShift = 48;
+}  // namespace
+
+unsigned BlockIndex::shift_for_budget(std::uint64_t num_vertices,
+                                      std::uint64_t value_bytes,
+                                      std::uint64_t budget_bytes) {
+  const std::uint64_t bytes = std::max<std::uint64_t>(1, value_bytes);
+  const std::uint64_t per_block =
+      std::max(kMinSourcesPerBlock,
+               std::max<std::uint64_t>(1, budget_bytes) / bytes);
+  unsigned shift = std::min<unsigned>(
+      kMaxShift, static_cast<unsigned>(std::bit_width(per_block)) - 1);
+  const std::uint64_t v = std::max<std::uint64_t>(1, num_vertices);
+  while (shift < kMaxShift &&
+         bits::ceil_div(v, std::uint64_t{1} << shift) > kMaxBlocks) {
+    ++shift;
+  }
+  return shift;
+}
+
+std::uint64_t BlockIndex::default_budget_bytes(double llc_fraction) {
+  if (const char* env = std::getenv("GRAZELLE_BLOCK_BYTES")) {
+    const std::uint64_t forced = std::strtoull(env, nullptr, 10);
+    if (forced != 0) return forced;
+  }
+  const double fraction =
+      llc_fraction > 0.0 && llc_fraction <= 1.0 ? llc_fraction : 0.5;
+  const auto budget = static_cast<std::uint64_t>(
+      static_cast<double>(cache_topology().llc_bytes) * fraction);
+  return std::max<std::uint64_t>(std::uint64_t{1} << 16, budget);
+}
+
+BlockIndex BlockIndex::build(const VectorSparseGraph& graph,
+                             unsigned source_shift) {
+  BlockIndex out;
+  out.present_ = true;
+  out.source_shift_ = std::min(source_shift, kMaxShift);
+  const std::uint64_t v = graph.num_vertices();
+  // Raise the shift as needed so the split table stays bounded at
+  // kMaxBlocks - 1 entries per destination no matter the request.
+  while (out.source_shift_ < kMaxShift &&
+         bits::ceil_div(std::max<std::uint64_t>(1, v),
+                        std::uint64_t{1} << out.source_shift_) > kMaxBlocks) {
+    ++out.source_shift_;
+  }
+  const std::uint64_t nb =
+      v == 0 ? 1
+             : bits::ceil_div(v, std::uint64_t{1} << out.source_shift_);
+  out.num_blocks_ = static_cast<std::uint32_t>(nb);
+  out.num_vertices_ = v;
+  if (out.trivial()) return out;
+
+  // Column-major: boundary b-1 occupies splits_[(b-1)*v .. b*v), so the
+  // engine's block-major walk (b fixed, d ascending) streams two
+  // adjacent columns sequentially instead of striding the whole table.
+  out.splits_.reset(v * (nb - 1));
+  std::uint32_t* table = out.splits_.data();
+  const std::span<const VertexVectorRange> index = graph.index();
+  const std::span<const EdgeVector> vectors = graph.vectors();
+  for (std::uint64_t d = 0; d < v; ++d) {
+    const VertexVectorRange& r = index[d];
+    std::uint32_t vi = 0;
+    for (std::uint32_t b = 1; b < nb; ++b) {
+      const VertexId bound = static_cast<VertexId>(b) << out.source_shift_;
+      while (vi < r.vector_count &&
+             vectors[r.first_vector + vi].first_source() < bound) {
+        ++vi;
+      }
+      table[(b - 1) * v + d] = vi;
+    }
+  }
+  return out;
+}
+
+BlockIndex BlockIndex::adopt(unsigned source_shift, std::uint32_t num_blocks,
+                             std::uint64_t num_vertices,
+                             DataArray<std::uint32_t> splits) {
+  BlockIndex out;
+  out.present_ = true;
+  out.source_shift_ = std::min(source_shift, kMaxShift);
+  out.num_blocks_ = std::max<std::uint32_t>(1, num_blocks);
+  out.num_vertices_ = num_vertices;
+  out.splits_ = std::move(splits);
+  return out;
+}
+
+}  // namespace grazelle

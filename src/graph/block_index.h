@@ -1,0 +1,120 @@
+// Cache-block index for the Edge-Pull phase (DESIGN.md §10).
+//
+// Pull's inner loop streams edge vectors sequentially but gathers
+// source vertex values at random; once the per-vertex value array
+// outgrows the LLC every gather is a memory round-trip. The block
+// index partitions each destination's VSD edge-vector range into
+// *source-range segments*: block b covers sources
+// [b << shift, (b+1) << shift), with the shift chosen so one block's
+// source-value working set fits a budgeted fraction of the LLC
+// (shift_for_budget). Running the pull phase block-major confines the
+// gathers of each block to one LLC-resident source window.
+//
+// Within one destination the packed vectors are already in ascending
+// source order (CSC sorts neighbors; VectorSparseGraph::build
+// preserves the order), so a block's segment is a contiguous subrange
+// of the destination's vectors and the whole index reduces to
+// num_blocks-1 split offsets per destination: uint32 offsets relative
+// to first_vector, stored *column-major per block boundary* — entry
+// (b-1) * num_vertices + d — because the pull engine walks the table
+// with b fixed and d ascending, which this layout turns into two
+// sequential 4-byte streams instead of a strided scan of the whole
+// table once per block. Segment b of destination d is
+// [split(d, b), split(d, b+1)) with split(d, 0) = 0 and
+// split(d, num_blocks) = vector_count implicit. Executing
+// segments block-major visits every destination's vectors in exactly
+// the original ascending order, which is what keeps blocked results
+// bit-identical to unblocked ones (core/pull_engine.h).
+//
+// The index is persisted in .gzg containers as the vsd.blkhdr /
+// vsd.blksplit sections (graph/store.h) and rebuilt on demand by the
+// engine for legacy containers that lack them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/vector_sparse.h"
+#include "platform/data_array.h"
+
+namespace grazelle {
+
+class BlockIndex {
+ public:
+  /// Absent index (present() == false): the engine builds its own.
+  BlockIndex() = default;
+
+  /// Partitions `graph` (a VSD structure) into source blocks of
+  /// 2^source_shift vertices each. Single pass over the edge vectors;
+  /// safe on empty and degenerate graphs (0 vertices, 0 edges,
+  /// single-hub), where the result is a trivial one-block index.
+  [[nodiscard]] static BlockIndex build(const VectorSparseGraph& graph,
+                                        unsigned source_shift);
+
+  /// Assembles from a persisted split table (the store's entry point).
+  [[nodiscard]] static BlockIndex adopt(unsigned source_shift,
+                                        std::uint32_t num_blocks,
+                                        std::uint64_t num_vertices,
+                                        DataArray<std::uint32_t> splits);
+
+  /// Largest power-of-two source-block shift whose per-block source
+  /// working set (2^shift * value_bytes) stays within budget_bytes.
+  /// Clamped so a block holds at least 64 sources and the whole graph
+  /// splits into at most kMaxBlocks blocks.
+  [[nodiscard]] static unsigned shift_for_budget(std::uint64_t num_vertices,
+                                                 std::uint64_t value_bytes,
+                                                 std::uint64_t budget_bytes);
+
+  /// The default per-block working-set budget: `llc_fraction` of the
+  /// detected LLC (cache_topology), overridable via the
+  /// GRAZELLE_BLOCK_BYTES environment variable.
+  [[nodiscard]] static std::uint64_t default_budget_bytes(
+      double llc_fraction);
+
+  /// False for default-constructed instances — "no index", as opposed
+  /// to a built one that legitimately has a single block.
+  [[nodiscard]] bool present() const noexcept { return present_; }
+
+  /// A one-block index partitions nothing; blocked execution over it
+  /// would be the unblocked walk plus overhead.
+  [[nodiscard]] bool trivial() const noexcept { return num_blocks_ <= 1; }
+
+  [[nodiscard]] unsigned source_shift() const noexcept {
+    return source_shift_;
+  }
+  [[nodiscard]] std::uint32_t num_blocks() const noexcept {
+    return num_blocks_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> splits() const noexcept {
+    return splits_.span();
+  }
+
+  /// Start of destination d's segment for block b, relative to the
+  /// destination's first_vector. `vector_count` closes the final
+  /// segment (b == num_blocks).
+  [[nodiscard]] std::uint32_t split(std::uint64_t d, std::uint32_t b,
+                                    std::uint32_t vector_count)
+      const noexcept {
+    if (b == 0) return 0;
+    if (b >= num_blocks_) return vector_count;
+    return splits_[(b - 1) * num_vertices_ + d];
+  }
+
+  /// Block owning source vertex `src`.
+  [[nodiscard]] std::uint32_t block_of(VertexId src) const noexcept {
+    return static_cast<std::uint32_t>(src >> source_shift_);
+  }
+
+  static constexpr std::uint32_t kMaxBlocks = 256;
+
+ private:
+  bool present_ = false;
+  unsigned source_shift_ = 48;
+  std::uint32_t num_blocks_ = 1;
+  std::uint64_t num_vertices_ = 0;
+  /// (num_blocks - 1) x num_vertices, column-major per block boundary;
+  /// empty when trivial.
+  DataArray<std::uint32_t> splits_;
+};
+
+}  // namespace grazelle

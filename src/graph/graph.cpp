@@ -13,6 +13,10 @@ Graph Graph::build(EdgeList list) {
   g.csc_ = CompressedSparse::build(list, GroupBy::kDestination);
   g.vss_ = VectorSparseGraph::build(g.csr_);
   g.vsd_ = VectorSparseGraph::build(g.csc_);
+  g.vsd_blocks_ = BlockIndex::build(
+      g.vsd_, BlockIndex::shift_for_budget(
+                  g.vsd_.num_vertices(), sizeof(double),
+                  BlockIndex::default_budget_bytes(0.5)));
 
   const std::uint64_t v = g.csr_.num_vertices();
   g.out_degrees_.reset(v);
@@ -27,12 +31,14 @@ Graph Graph::build(EdgeList list) {
 Graph Graph::adopt(CompressedSparse csr, CompressedSparse csc,
                    VectorSparseGraph vss, VectorSparseGraph vsd,
                    DataArray<std::uint64_t> out_degrees,
-                   DataArray<std::uint64_t> in_degrees, bool mapped) {
+                   DataArray<std::uint64_t> in_degrees, bool mapped,
+                   BlockIndex vsd_blocks) {
   Graph g;
   g.csr_ = std::move(csr);
   g.csc_ = std::move(csc);
   g.vss_ = std::move(vss);
   g.vsd_ = std::move(vsd);
+  g.vsd_blocks_ = std::move(vsd_blocks);
   g.out_degrees_ = std::move(out_degrees);
   g.in_degrees_ = std::move(in_degrees);
   g.mapped_ = mapped;

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
+#include "graph/block_index.h"
 #include "graph/compressed_sparse.h"
 #include "graph/edge_list.h"
 #include "graph/vector_sparse.h"
@@ -33,7 +35,8 @@ class Graph {
                                    VectorSparseGraph vsd,
                                    DataArray<std::uint64_t> out_degrees,
                                    DataArray<std::uint64_t> in_degrees,
-                                   bool mapped);
+                                   bool mapped,
+                                   BlockIndex vsd_blocks = {});
 
   [[nodiscard]] std::uint64_t num_vertices() const noexcept {
     return csr_.num_vertices();
@@ -56,6 +59,20 @@ class Graph {
   /// Vector-Sparse-Destination (pull).
   [[nodiscard]] const VectorSparseGraph& vsd() const noexcept { return vsd_; }
 
+  /// Cache-block index over the VSD structure (DESIGN.md §10). build()
+  /// constructs it at the host's default block budget; containers
+  /// packed before format v2 yield an absent index
+  /// (present() == false) and the engine rebuilds one on demand.
+  [[nodiscard]] const BlockIndex& vsd_blocks() const noexcept {
+    return vsd_blocks_;
+  }
+
+  /// Replaces the VSD cache-block index (e.g. to re-partition for a
+  /// non-default block budget before packing).
+  void set_vsd_blocks(BlockIndex blocks) noexcept {
+    vsd_blocks_ = std::move(blocks);
+  }
+
   [[nodiscard]] std::span<const std::uint64_t> out_degrees() const noexcept {
     return out_degrees_.span();
   }
@@ -75,6 +92,7 @@ class Graph {
   CompressedSparse csc_;
   VectorSparseGraph vss_;
   VectorSparseGraph vsd_;
+  BlockIndex vsd_blocks_;
   DataArray<std::uint64_t> out_degrees_;
   DataArray<std::uint64_t> in_degrees_;
   bool mapped_ = false;

@@ -10,7 +10,23 @@ std::vector<NumaPiece> partition_vector_sparse(const VectorSparseGraph& graph,
   const std::uint64_t total_vectors = graph.num_vectors();
   const auto index = graph.index();
 
+  // num_nodes == 0 is treated as 1: the caller asked for "no
+  // partitioning", not "no pieces" — every consumer indexes pieces[0].
   std::vector<NumaPiece> pieces(std::max(1u, num_nodes));
+
+  // Degenerate graphs (no vertices, or no edge vectors at all —
+  // including 0-edge graphs) split into empty pieces with every vertex
+  // in the last one; skip the boundary searches, whose equal-split
+  // targets would all collapse to 0 anyway.
+  if (v == 0 || total_vectors == 0) {
+    for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+      pieces[i].vertices = {0, 0};
+      pieces[i].vectors = {0, 0};
+    }
+    pieces.back().vertices = {0, v};
+    pieces.back().vectors = {0, total_vectors};
+    return pieces;
+  }
 
   // Boundary vertices: for node i, the first vertex whose edge vectors
   // belong to node i. Found by binary search for the first vertex whose

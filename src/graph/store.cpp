@@ -96,10 +96,12 @@ Parsed parse(const std::byte* base, std::size_t size, std::string origin) {
   }
   FileHeader header;
   std::memcpy(&header, base, sizeof(header));
-  if (header.version != kFormatVersion) {
+  // Older versions are forward-compatible: every section added since is
+  // optional with an absent-tolerant reader. Newer versions are not.
+  if (header.version == 0 || header.version > kFormatVersion) {
     fail(StoreErrc::kBadVersion,
          p.origin + ": unsupported container version " +
-             std::to_string(header.version) + " (want " +
+             std::to_string(header.version) + " (want 1.." +
              std::to_string(kFormatVersion) + ")");
   }
   if (header.vector_lanes != kEdgeVectorLanes) {
@@ -262,9 +264,34 @@ Graph assemble(const Parsed& p, const std::shared_ptr<const void>& keepalive,
                                               keepalive, verify_crc);
   auto in_deg = section_array<std::uint64_t>(p, "deg.in", v, true, keepalive,
                                              verify_crc);
+
+  // VSD cache-block index (format v2; optional so v1 containers — and
+  // v2 ones written without an index — still open). Absent sections
+  // yield an absent BlockIndex; the engine rebuilds one on demand.
+  BlockIndex vsd_blocks;
+  const auto blkhdr = section_array<std::uint32_t>(p, "vsd.blkhdr", 2, false,
+                                                   keepalive, verify_crc);
+  if (!blkhdr.empty()) {
+    const std::uint32_t shift = blkhdr[0];
+    const std::uint32_t nb = blkhdr[1];
+    // Content checks stay out of the structural-open contract (the CRC
+    // passes own corruption detection), so an inconsistent header
+    // demotes the index to absent instead of failing the open.
+    const bool consistent =
+        shift <= 48 && nb >= 1 && nb <= BlockIndex::kMaxBlocks &&
+        (v == 0 ||
+         nb == bits::ceil_div(v, std::uint64_t{1} << shift));
+    if (consistent) {
+      auto splits = section_array<std::uint32_t>(
+          p, "vsd.blksplit", nb > 1 ? v * (nb - 1) : 0, nb > 1, keepalive,
+          verify_crc);
+      vsd_blocks = BlockIndex::adopt(shift, nb, v, std::move(splits));
+    }
+  }
+
   return Graph::adopt(std::move(csr), std::move(csc), std::move(vss),
                       std::move(vsd), std::move(out_deg), std::move(in_deg),
-                      mapped);
+                      mapped, std::move(vsd_blocks));
 }
 
 // ---------------------------------------------------------------------------
@@ -406,6 +433,20 @@ void pack_graph(const Graph& graph, const std::filesystem::path& path) {
   add_vector_sparse_sections(sections, "vsd", graph.vsd(), vs_names);
   add_section(sections, "deg.out", graph.out_degrees());
   add_section(sections, "deg.in", graph.in_degrees());
+
+  // VSD cache-block index (format v2). The header always ships when an
+  // index is present — even a trivial one, so reopeners know the shift
+  // it was built at; the split table only exists for num_blocks > 1.
+  const BlockIndex& blocks = graph.vsd_blocks();
+  const std::uint32_t blkhdr[2] = {blocks.source_shift(),
+                                   blocks.num_blocks()};
+  if (blocks.present()) {
+    sections.push_back(
+        PendingSection{"vsd.blkhdr", blkhdr, sizeof(blkhdr)});
+    if (!blocks.splits().empty()) {
+      add_section(sections, "vsd.blksplit", blocks.splits());
+    }
+  }
 
   FileHeader header{};
   std::memcpy(header.magic, kMagic.data(), kMagic.size());

@@ -75,7 +75,11 @@ struct StoreInfo {
   std::vector<SectionInfo> sections;
 };
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v1: CSR/CSC/VSS/VSD + degrees.
+// v2: optional vsd.blkhdr/vsd.blksplit cache-block-index sections
+//     (DESIGN.md §10). v1 containers still open; their graphs carry an
+//     absent BlockIndex and the engine rebuilds one on demand.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// The extension the CLI tools route through this module.
 inline constexpr const char* kFileExtension = ".gzg";

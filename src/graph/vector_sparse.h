@@ -93,6 +93,15 @@ struct alignas(32) EdgeVector {
     return vsenc::lane_neighbor(lane[k]);
   }
 
+  /// Neighbor id of lane 0. Valid lanes form a prefix and build()
+  /// packs lanes in the adjacency's neighbor order — ascending, since
+  /// CompressedSparse sorts — so for a non-empty vector this is its
+  /// minimum source id: the key the cache-block index partitions on
+  /// (graph/block_index.h).
+  [[nodiscard]] VertexId first_source() const noexcept {
+    return vsenc::lane_neighbor(lane[0]);
+  }
+
   [[nodiscard]] bool valid(unsigned k) const noexcept {
     return vsenc::lane_valid(lane[k]);
   }

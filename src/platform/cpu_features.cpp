@@ -2,6 +2,11 @@
 
 #include <cpuid.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 namespace grazelle {
 namespace {
 
@@ -17,7 +22,60 @@ CpuFeatures detect() {
   return f;
 }
 
+std::string read_sysfs_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+/// Parses sysfs cache sizes of the form "32K" / "8192K" / "1M".
+std::uint64_t parse_cache_size(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return 0;
+  std::uint64_t bytes = value;
+  switch (*end) {
+    case 'K': bytes <<= 10; break;
+    case 'M': bytes <<= 20; break;
+    case 'G': bytes <<= 30; break;
+    default: break;
+  }
+  return bytes;
+}
+
+CacheTopology detect_caches() {
+  CacheTopology topo;
+  std::uint64_t llc = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::string dir =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(i) + "/";
+    const std::string type = read_sysfs_line(dir + "type");
+    if (type.empty()) break;
+    if (type != "Data" && type != "Unified") continue;
+    const int level = std::atoi(read_sysfs_line(dir + "level").c_str());
+    const std::uint64_t size = parse_cache_size(read_sysfs_line(dir + "size"));
+    if (level <= 0 || size == 0) continue;
+    topo.detected = true;
+    if (level == 1) topo.l1d_bytes = size;
+    if (level == 2) topo.l2_bytes = size;
+    if (level >= 2) llc = std::max(llc, size);
+  }
+  if (llc != 0) topo.llc_bytes = llc;
+  if (const char* env = std::getenv("GRAZELLE_LLC_BYTES")) {
+    const std::uint64_t forced = std::strtoull(env, nullptr, 10);
+    if (forced != 0) topo.llc_bytes = forced;
+  }
+  return topo;
+}
+
 }  // namespace
+
+const CacheTopology& cache_topology() {
+  static const CacheTopology topology = detect_caches();
+  return topology;
+}
 
 const CpuFeatures& cpu_features() {
   static const CpuFeatures features = detect();

@@ -1,6 +1,9 @@
 // Runtime CPU feature detection so vectorized kernels can be selected
-// safely even when the binary was built with -mavx2.
+// safely even when the binary was built with -mavx2, plus cache-size
+// detection for the cache-blocked pull path (DESIGN.md §10).
 #pragma once
+
+#include <cstdint>
 
 namespace grazelle {
 
@@ -17,5 +20,22 @@ struct CpuFeatures {
 /// True when both the build (GRAZELLE_HAVE_AVX2) and the host support
 /// the AVX2 kernels.
 [[nodiscard]] bool vector_kernels_available();
+
+/// Host data-cache sizes in bytes. `llc_bytes` is the largest unified
+/// or data cache of level >= 2 — the budget cache blocking sizes
+/// against. `detected` is false when sysfs exposed nothing and the
+/// conservative defaults below are in effect.
+struct CacheTopology {
+  std::uint64_t l1d_bytes = 32ull << 10;
+  std::uint64_t l2_bytes = 1ull << 20;
+  std::uint64_t llc_bytes = 8ull << 20;
+  bool detected = false;
+};
+
+/// Reads /sys/devices/system/cpu/cpu0/cache once and caches the
+/// result. The GRAZELLE_LLC_BYTES environment variable, when set to a
+/// nonzero byte count, overrides the detected LLC size (useful for
+/// pinning block geometry in tests and CI).
+[[nodiscard]] const CacheTopology& cache_topology();
 
 }  // namespace grazelle

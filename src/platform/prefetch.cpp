@@ -1,0 +1,76 @@
+#include "platform/prefetch.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/cpu_features.h"
+
+namespace grazelle::platform {
+namespace {
+
+/// Replays the pull phase's memory behavior — a sequential index
+/// stream driving random gathers from an array larger than the LLC —
+/// once per candidate distance and keeps the fastest. The gather array
+/// is sized to twice the *detected* LLC (floor 16 MiB, cap 512 MiB) so
+/// the probe actually misses cache on big-LLC hosts instead of timing
+/// L3 hits. Fixed-seed LCG indices so the probe is deterministic on a
+/// given host. A larger distance must beat the incumbent by 2% to win,
+/// which biases ties toward smaller distances (less cache pollution,
+/// fewer wasted slots).
+unsigned probe() {
+  const std::uint64_t llc = cache_topology().llc_bytes;
+  const std::size_t kValues = std::bit_ceil(std::clamp<std::size_t>(
+      static_cast<std::size_t>(llc / sizeof(double)) * 2,
+      std::size_t{1} << 21, std::size_t{1} << 26));
+  constexpr std::size_t kStream = std::size_t{1} << 18;
+  std::vector<double> values(kValues, 1.0);
+  std::vector<std::uint32_t> stream(kStream);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (std::uint32_t& s : stream) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    s = static_cast<std::uint32_t>((state >> 33) % kValues);
+  }
+
+  constexpr unsigned kCandidates[] = {0, 2, 4, 8, 16, 32};
+  unsigned best = 0;
+  double best_seconds = 1e100;
+  volatile double sink = 0.0;
+  for (const unsigned dist : kCandidates) {
+    double fastest = 1e100;
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      double sum = 0.0;
+      for (std::size_t i = 0; i < kStream; ++i) {
+        if (dist != 0 && i + dist < kStream) {
+          prefetch_read(&values[stream[i + dist]]);
+        }
+        sum += values[stream[i]];
+      }
+      sink = sink + sum;
+      fastest = std::min(
+          fastest, std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+    }
+    if (fastest < best_seconds * 0.98) {
+      best_seconds = fastest;
+      best = dist;
+    } else {
+      best_seconds = std::min(best_seconds, fastest);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+unsigned default_prefetch_distance() {
+  static const unsigned distance = probe();
+  return distance;
+}
+
+}  // namespace grazelle::platform

@@ -1,0 +1,38 @@
+// Software-prefetch helpers for the pull walkers (DESIGN.md §10).
+//
+// The Edge-Pull inner loop streams edge vectors sequentially but
+// gathers source values at random; hardware prefetchers cover the
+// stream, not the gathers. The walkers issue explicit distance-ahead
+// prefetches through prefetch_read(); the default distance is measured
+// once per process by a small gather probe (default_prefetch_distance)
+// because the profitable distance depends on the host's memory latency
+// and is 0 on machines where software prefetch does not pay.
+#pragma once
+
+#if defined(__SSE__)
+#include <immintrin.h>
+#endif
+
+namespace grazelle::platform {
+
+/// Non-binding read prefetch of the cache line holding `p` into all
+/// cache levels. Compiles to nothing on targets without a prefetch
+/// instruction.
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__SSE__)
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+#elif defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+/// Auto-probed default prefetch distance, in 32-byte edge vectors
+/// ahead of the walk cursor. Measured once per process (then cached)
+/// by timing a deterministic random-gather loop at several candidate
+/// distances; returns 0 when no distance beats the unprefetched loop,
+/// i.e. software prefetch should stay off on this host.
+[[nodiscard]] unsigned default_prefetch_distance();
+
+}  // namespace grazelle::platform

@@ -1,0 +1,28 @@
+// Process resource accounting for reports and benches.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace grazelle::platform {
+
+/// Peak resident set size of this process, in bytes; 0 where the host
+/// does not expose it. Linux reports ru_maxrss in KiB, macOS in bytes.
+[[nodiscard]] inline std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace grazelle::platform

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/options.h"
+#include "platform/cpu_features.h"
+#include "platform/resource.h"
 #include "telemetry/json.h"
 #include "telemetry/telemetry.h"
 
@@ -36,6 +38,10 @@ struct IterationStats {
   bool gated = false;
   /// Edge vectors skipped by the occupancy gate (0 when not gated).
   std::uint64_t vectors_skipped = 0;
+  /// Whether cache-blocked pull execution was applied this iteration.
+  bool blocked = false;
+  /// Non-empty (chunk, source-block) segments run (0 when not blocked).
+  std::uint64_t blocks_executed = 0;
 };
 
 struct RunStats {
@@ -44,6 +50,7 @@ struct RunStats {
   unsigned push_iterations = 0;
   unsigned sparse_push_iterations = 0;  // subset of push_iterations
   unsigned gated_iterations = 0;  // subset of pull_iterations
+  unsigned blocked_iterations = 0;  // subset of pull_iterations
   std::uint64_t vectors_skipped = 0;  // total across gated iterations
   double total_seconds = 0.0;
   std::vector<IterationStats> per_iteration;
@@ -52,7 +59,10 @@ struct RunStats {
 namespace telemetry {
 
 // v2: added graph_build_seconds / graph_load_seconds / graph_mapped.
-inline constexpr unsigned kReportSchemaVersion = 2;
+// v3: added blocked / blocks_executed per iteration and
+//     blocked_iterations / peak_rss_bytes / llc_bytes /
+//     prefetch_distance at top level.
+inline constexpr unsigned kReportSchemaVersion = 3;
 
 /// Wall-clock attribution of one run, split by phase. Derived from the
 /// per-iteration stats, so it is available with or without a Telemetry
@@ -90,6 +100,15 @@ struct RunReport {
   double graph_load_seconds = 0.0;
   /// Whether the graph's arrays are borrowed from a mapped container.
   bool graph_mapped = false;
+  /// Process peak resident set at report-build time (getrusage; 0 when
+  /// the platform cannot report it).
+  std::uint64_t peak_rss_bytes = 0;
+  /// Detected last-level cache size of the host (the cache-blocking
+  /// budget's baseline).
+  std::uint64_t llc_bytes = 0;
+  /// Software-prefetch distance the run used (0 = disabled; set by the
+  /// driver from the engine).
+  unsigned prefetch_distance = 0;
 
   RunStats stats;
   PhaseSeconds phases;
@@ -125,6 +144,8 @@ struct RunReport {
   RunReport r;
   r.stats = stats;
   r.phases = phase_breakdown(stats);
+  r.peak_rss_bytes = platform::peak_rss_bytes();
+  r.llc_bytes = grazelle::cache_topology().llc_bytes;
   if (telemetry != nullptr) {
     r.counters = telemetry->counters();
     r.telemetry_attached = true;
@@ -160,7 +181,9 @@ inline std::string RunReport::to_json() const {
         .field("vertex_seconds", it.vertex_seconds)
         .field("fold_seconds", it.merge_seconds)
         .field("idle_seconds", it.idle_seconds)
-        .field("vectors_skipped", it.vectors_skipped);
+        .field("vectors_skipped", it.vectors_skipped)
+        .field("blocked", it.blocked)
+        .field("blocks_executed", it.blocks_executed);
     iterations.push_back(w.str());
   }
 
@@ -182,7 +205,11 @@ inline std::string RunReport::to_json() const {
       .field("push_iterations", stats.push_iterations)
       .field("sparse_push_iterations", stats.sparse_push_iterations)
       .field("gated_iterations", stats.gated_iterations)
+      .field("blocked_iterations", stats.blocked_iterations)
       .field("vectors_skipped", stats.vectors_skipped)
+      .field("peak_rss_bytes", peak_rss_bytes)
+      .field("llc_bytes", llc_bytes)
+      .field("prefetch_distance", prefetch_distance)
       .field("total_seconds", stats.total_seconds)
       .field("telemetry_attached", telemetry_attached)
       .field_raw("phases", phases_w.str())

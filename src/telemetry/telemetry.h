@@ -37,6 +37,8 @@ enum class Counter : unsigned {
   kPoolTasks,           ///< fork-join tasks executed by pool threads
   kAsyncRelaxations,    ///< worklist pops in the async engine
   kAsyncEdgeVisits,     ///< edges traversed by the async engine
+  kBlocksExecuted,      ///< non-empty (chunk, source-block) segments run
+  kBlockSwitches,       ///< source-block transitions inside chunks
   kCount,
 };
 
@@ -59,6 +61,8 @@ inline constexpr unsigned kNumCounters =
     case Counter::kPoolTasks: return "pool_tasks";
     case Counter::kAsyncRelaxations: return "async_relaxations";
     case Counter::kAsyncEdgeVisits: return "async_edge_visits";
+    case Counter::kBlocksExecuted: return "blocks_executed";
+    case Counter::kBlockSwitches: return "block_switches";
     case Counter::kCount: break;
   }
   return "unknown";

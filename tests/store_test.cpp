@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -254,6 +255,117 @@ TEST(Store, AppResultsBitIdenticalAcrossLoadPaths) {
       EXPECT_EQ(bfs_parents(built, o), bfs_parents(served, o));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-block index sections (format v2)
+
+TEST(Store, BlockIndexSectionsRoundTrip) {
+  // Force a non-trivial build-time index (64-source blocks) so both
+  // vsd.blkhdr and vsd.blksplit are exercised.
+  ASSERT_EQ(setenv("GRAZELLE_BLOCK_BYTES", "512", 1), 0);
+  const Graph built = Graph::build(rmat_graph());
+  unsetenv("GRAZELLE_BLOCK_BYTES");
+  ASSERT_TRUE(built.vsd_blocks().present());
+  ASSERT_FALSE(built.vsd_blocks().trivial());
+
+  TempStore store("grazelle_store_blocks");
+  store::pack_graph(built, store.path());
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  EXPECT_EQ(info.version, store::kFormatVersion);
+  bool has_hdr = false;
+  bool has_split = false;
+  for (const store::SectionInfo& s : info.sections) {
+    has_hdr |= s.name == "vsd.blkhdr";
+    has_split |= s.name == "vsd.blksplit";
+  }
+  EXPECT_TRUE(has_hdr);
+  EXPECT_TRUE(has_split);
+
+  const Graph served = store::load_graph(store.path());
+  ASSERT_TRUE(served.vsd_blocks().present());
+  EXPECT_EQ(served.vsd_blocks().source_shift(),
+            built.vsd_blocks().source_shift());
+  EXPECT_EQ(served.vsd_blocks().num_blocks(),
+            built.vsd_blocks().num_blocks());
+  expect_bytes_equal(built.vsd_blocks().splits(),
+                     served.vsd_blocks().splits(), "vsd.blksplit");
+
+  // An engine whose requested block size resolves to the persisted
+  // shift serves the mapped index zero-copy instead of rebuilding.
+  EngineOptions o;
+  o.num_threads = 1;
+  o.blocking.enabled = true;
+  o.blocking.block_bytes = 512;
+  Engine<apps::PageRank, false> engine(served, o);
+  ASSERT_TRUE(engine.blocking_active());
+  EXPECT_EQ(engine.block_index(), &served.vsd_blocks());
+}
+
+TEST(Store, TrivialIndexPersistsHeaderOnly) {
+  // Under the default budget this 512-vertex graph is one block: the
+  // header section still ships (recording the shift), the split table
+  // does not.
+  const Graph built = Graph::build(rmat_graph());
+  ASSERT_TRUE(built.vsd_blocks().trivial());
+  TempStore store("grazelle_store_trivial_blocks");
+  store::pack_graph(built, store.path());
+
+  bool has_hdr = false;
+  bool has_split = false;
+  for (const store::SectionInfo& s :
+       store::inspect_store(store.path()).sections) {
+    has_hdr |= s.name == "vsd.blkhdr";
+    has_split |= s.name == "vsd.blksplit";
+  }
+  EXPECT_TRUE(has_hdr);
+  EXPECT_FALSE(has_split);
+
+  const Graph served = store::load_graph(store.path());
+  EXPECT_TRUE(served.vsd_blocks().present());
+  EXPECT_TRUE(served.vsd_blocks().trivial());
+}
+
+TEST(Store, LegacyContainerWithoutBlockSectionsStillOpens) {
+  ASSERT_EQ(setenv("GRAZELLE_BLOCK_BYTES", "512", 1), 0);
+  const Graph built = Graph::build(rmat_graph());
+  unsetenv("GRAZELLE_BLOCK_BYTES");
+  TempStore store("grazelle_store_legacy");
+  store::pack_graph(built, store.path());
+
+  // Rewrite the container as a v1 file: version 1 in the header and
+  // the block sections renamed so lookups miss them (unknown sections
+  // are ignored, and each CRC covers its payload only).
+  const std::uint32_t v1 = 1;
+  patch_file(store.path(), 4, &v1, sizeof(v1));
+  const store::StoreInfo info = store::inspect_store(store.path());
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const std::string& name = info.sections[i].name;
+    if (name == "vsd.blkhdr" || name == "vsd.blksplit") {
+      std::string renamed = name;
+      renamed[0] = 'x';
+      patch_file(store.path(), 64 + i * 40, renamed.c_str(), renamed.size());
+    }
+  }
+
+  store::verify_store(store.path());  // still checksum-clean
+  const Graph legacy = store::load_graph(store.path());
+  EXPECT_FALSE(legacy.vsd_blocks().present());
+  expect_graphs_equal(built, legacy);
+
+  // The engine rebuilds an equivalent index on demand.
+  EngineOptions o;
+  o.num_threads = 1;
+  o.blocking.enabled = true;
+  o.blocking.block_bytes = 512;
+  Engine<apps::PageRank, false> engine(legacy, o);
+  ASSERT_TRUE(engine.blocking_active());
+  EXPECT_NE(engine.block_index(), &legacy.vsd_blocks());
+  EXPECT_EQ(engine.block_index()->num_blocks(),
+            built.vsd_blocks().num_blocks());
+  expect_bytes_equal(built.vsd_blocks().splits(),
+                     engine.block_index()->splits(), "rebuilt splits");
 }
 
 // ---------------------------------------------------------------------------

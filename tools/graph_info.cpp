@@ -116,6 +116,16 @@ int main(int argc, char** argv) {
   std::printf("edge vectors: VSD %llu, VSS %llu (32 bytes each)\n",
               static_cast<unsigned long long>(graph.vsd().num_vectors()),
               static_cast<unsigned long long>(graph.vss().num_vectors()));
+  if (graph.vsd_blocks().present()) {
+    std::printf("cache-block index: %u blocks of 2^%u sources "
+                "(%zu split entries)\n",
+                graph.vsd_blocks().num_blocks(),
+                graph.vsd_blocks().source_shift(),
+                graph.vsd_blocks().splits().size());
+  } else {
+    std::printf("cache-block index: absent (pre-v2 container; engine "
+                "rebuilds on demand)\n");
+  }
 
   print_degree_block("in-degrees (pull side)", graph.in_degrees());
   print_degree_block("out-degrees (push side)", graph.out_degrees());

@@ -42,6 +42,9 @@ struct Options {
   bool no_vector = false;
   bool sparse_push = false;
   bool frontier_gating = false;
+  bool cache_blocking = false;
+  std::uint64_t block_bytes = 0;       // --block-bytes: 0 = LLC-derived
+  int prefetch_distance = -1;          // --prefetch-distance: -1 = auto
   std::string stats_json;  // --stats-json: RunReport destination
   std::string trace;       // --trace: chrome://tracing destination
   // Enum args resolved (and rejected) up front in main(), before the
@@ -77,6 +80,13 @@ void usage(const char* argv0) {
       "  --sparse-push     enable the sparse-frontier push extension\n"
       "  --frontier-gating enable frontier-gated pull (skip edge vectors\n"
       "                    with no active sources on sparse frontiers)\n"
+      "  --cache-blocking  enable cache-blocked pull: run each chunk\n"
+      "                    block-major over LLC-sized source ranges\n"
+      "  --block-bytes <b> per-block source working-set budget in bytes\n"
+      "                    (default: half the detected LLC)\n"
+      "  --prefetch-distance <d>\n"
+      "                    software-prefetch distance in edge vectors\n"
+      "                    (0 disables; default: auto-probed)\n"
       "  --stats-json <f>  write a structured RunReport (stable JSON\n"
       "                    schema: phase times, counters, per-iteration\n"
       "                    stats) to <f>\n"
@@ -98,6 +108,13 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   eopts.chunk_vectors = opt.granularity;
   eopts.direction.sparse_push = opt.sparse_push;
   eopts.gating.enabled = opt.frontier_gating;
+  eopts.blocking.enabled = opt.cache_blocking;
+  eopts.blocking.block_bytes = opt.block_bytes;
+  if (opt.prefetch_distance == 0) {
+    eopts.prefetch.enabled = false;
+  } else if (opt.prefetch_distance > 0) {
+    eopts.prefetch.distance = static_cast<unsigned>(opt.prefetch_distance);
+  }
   eopts.pull_mode = opt.pull_mode_parsed;
   eopts.direction.select = opt.select_parsed;
 
@@ -121,6 +138,17 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
                 stats.gated_iterations,
                 static_cast<unsigned long long>(stats.vectors_skipped));
   }
+  if (opt.cache_blocking) {
+    if (engine.blocking_active()) {
+      std::printf("cache blocking:    %u blocks (2^%u sources each), "
+                  "%u blocked iterations\n",
+                  engine.block_index()->num_blocks(),
+                  engine.block_index()->source_shift(),
+                  stats.blocked_iterations);
+    } else {
+      std::printf("cache blocking:    inactive (graph fits one block)\n");
+    }
+  }
   std::printf("execution time:    %.3f ms\n", stats.total_seconds * 1e3);
   if (stats.iterations > 0) {
     std::printf("time/iteration:    %.3f ms\n",
@@ -140,6 +168,7 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
     report.graph_build_seconds = opt.graph_build_seconds;
     report.graph_load_seconds = opt.graph_load_seconds;
     report.graph_mapped = opt.graph_mapped;
+    report.prefetch_distance = engine.prefetch_distance();
     if (!cli::write_text_file(opt.stats_json, report.to_json())) return 1;
   }
   if (!opt.trace.empty() &&
@@ -234,6 +263,9 @@ int main(int argc, char** argv) {
       {"frontier-gating", no_argument, nullptr, 1004},
       {"stats-json", required_argument, nullptr, 1005},
       {"trace", required_argument, nullptr, 1006},
+      {"cache-blocking", no_argument, nullptr, 1007},
+      {"prefetch-distance", required_argument, nullptr, 1008},
+      {"block-bytes", required_argument, nullptr, 1009},
       {nullptr, 0, nullptr, 0},
   };
 
@@ -257,6 +289,9 @@ int main(int argc, char** argv) {
       case 1004: opt.frontier_gating = true; break;
       case 1005: opt.stats_json = optarg; break;
       case 1006: opt.trace = optarg; break;
+      case 1007: opt.cache_blocking = true; break;
+      case 1008: opt.prefetch_distance = std::atoi(optarg); break;
+      case 1009: opt.block_bytes = std::atoll(optarg); break;
       case 'h': usage(argv[0]); return 0;
       default: usage(argv[0]); return 1;
     }
