@@ -147,8 +147,7 @@ int main() {
   bench::banner("Cache-blocked pull vs graph scale",
                 "One PageRank Edge-Pull phase per cell; blocking should win "
                 "once source values outgrow the LLC and cost ~0 below it.");
-  std::printf("LLC: %llu bytes, prefetch auto distance %u\n\n",
-              static_cast<unsigned long long>(cache_topology().llc_bytes),
+  std::printf("prefetch auto distance: %u\n\n",
               platform::default_prefetch_distance());
   if (vector_kernels_available()) {
 #if defined(GRAZELLE_HAVE_AVX2)

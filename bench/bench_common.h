@@ -8,18 +8,24 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gen/datasets.h"
 #include "gen/synthetic.h"
 #include "graph/graph.h"
+#include "platform/cpu_features.h"
 #include "platform/timer.h"
+#include "telemetry/pmu.h"
 #include "telemetry/report.h"
+#include "threading/thread_pool.h"
 
 namespace grazelle::bench {
 
@@ -86,6 +92,46 @@ inline double median_seconds(int repeats, const std::function<void()>& fn) {
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
+}
+
+/// Median of a sample vector (copied; input order preserved).
+inline double median_of(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Population standard deviation of a sample vector.
+inline double stddev_of(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  return std::sqrt(var / static_cast<double>(samples.size()));
+}
+
+/// True when the bench should attach PMU counter groups: the
+/// --perf-counters flag appears in argv, or GRAZELLE_BENCH_PERF is set
+/// nonzero (the env form reaches benches whose main() takes no args).
+inline bool perf_counters_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf-counters") == 0) return true;
+  }
+  if (const char* env = std::getenv("GRAZELLE_BENCH_PERF")) {
+    return std::atoi(env) != 0;
+  }
+  return false;
+}
+
+/// Opens a PMU monitoring the calling thread plus every worker of
+/// `pool`. Never fails: a denied perf_event_open yields a degraded
+/// object (available() == false, rdtsc cycle estimates).
+inline std::unique_ptr<telemetry::Pmu> open_pmu(ThreadPool& pool) {
+  auto pmu = std::make_unique<telemetry::Pmu>();
+  for (pid_t tid : pool.worker_os_tids()) pmu->attach_thread(tid);
+  return pmu;
 }
 
 /// Fixed-width table printer.
@@ -231,6 +277,7 @@ class JsonRow {
 inline void banner(const std::string& title, const std::string& note) {
   std::printf("\n=== %s ===\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("host: %s\n", machine_fingerprint().summary().c_str());
   std::printf("(scale=%.3g, threads=%u; shapes, not absolute times, are "
               "the reproduction target)\n\n",
               bench_scale(), bench_threads());

@@ -192,6 +192,11 @@ class Engine {
   RunStats run(P& prog, unsigned max_iterations) {
     RunStats stats;
     WallTimer total;
+    // Whole-run PMU bracket: one "run"-named sample (and trace span)
+    // covering priming and every iteration — the RunReport's top-level
+    // counter deltas. Costless without telemetry or a PMU attached.
+    telemetry::ScopedSpan run_span(telemetry_, 0, "run", nullptr, 0,
+                                   telemetry::SpanPmu::kSample);
     prime_accumulators(prog);
 
     for (unsigned iter = 0; iter < max_iterations; ++iter) {
@@ -216,7 +221,8 @@ class Engine {
       WallTimer edge_timer;
       {
         telemetry::ScopedSpan span(telemetry_, 0, it.plan.name(),
-                                   "iteration", iter);
+                                   "iteration", iter,
+                                   telemetry::SpanPmu::kSample);
         run_edge_phase(prog, it.plan);
       }
       it.edge_seconds = edge_timer.seconds();
@@ -239,7 +245,7 @@ class Engine {
       VertexPhaseResult vr;
       {
         telemetry::ScopedSpan span(telemetry_, 0, "vertex", "iteration",
-                                   iter);
+                                   iter, telemetry::SpanPmu::kSample);
         vr = run_vertex(prog);
       }
       it.vertex_seconds = vertex_timer.seconds();

@@ -3,9 +3,11 @@
 #include <cpuid.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 namespace grazelle {
 namespace {
@@ -70,7 +72,49 @@ CacheTopology detect_caches() {
   return topo;
 }
 
+/// First "model name" line of /proc/cpuinfo, value part only.
+std::string detect_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "";
+}
+
+MachineFingerprint detect_fingerprint() {
+  MachineFingerprint fp;
+  fp.cpu_model = detect_cpu_model();
+  fp.logical_cores = std::thread::hardware_concurrency();
+  fp.avx2 = cpu_features().avx2;
+  fp.avx512f = cpu_features().avx512f;
+  fp.llc_bytes = cache_topology().llc_bytes;
+  fp.llc_detected = cache_topology().detected;
+  return fp;
+}
+
 }  // namespace
+
+std::string MachineFingerprint::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s | %u cores | AVX2 %s | AVX-512F %s | LLC %llu KiB%s",
+                cpu_model.empty() ? "unknown CPU" : cpu_model.c_str(),
+                logical_cores, avx2 ? "yes" : "no", avx512f ? "yes" : "no",
+                static_cast<unsigned long long>(llc_bytes >> 10),
+                llc_detected ? "" : " (default)");
+  return buf;
+}
+
+const MachineFingerprint& machine_fingerprint() {
+  static const MachineFingerprint fingerprint = detect_fingerprint();
+  return fingerprint;
+}
 
 const CacheTopology& cache_topology() {
   static const CacheTopology topology = detect_caches();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace grazelle {
 
@@ -37,5 +38,24 @@ struct CacheTopology {
 /// nonzero byte count, overrides the detected LLC size (useful for
 /// pinning block geometry in tests and CI).
 [[nodiscard]] const CacheTopology& cache_topology();
+
+/// Identity of the host a measurement was taken on. One definition for
+/// every consumer — RunReport JSON, BENCH_*.json baselines, and bench
+/// banners — so perf numbers always travel with the machine they came
+/// from and baseline diffs can flag cross-machine comparisons.
+struct MachineFingerprint {
+  std::string cpu_model;       ///< /proc/cpuinfo "model name" ("" unknown)
+  unsigned logical_cores = 0;  ///< hardware_concurrency
+  bool avx2 = false;
+  bool avx512f = false;
+  std::uint64_t llc_bytes = 0;  ///< detected (or overridden) LLC size
+  bool llc_detected = false;    ///< false = conservative default in effect
+
+  /// One-line human-readable form for bench banners.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Detects once and caches (cpuid + /proc/cpuinfo + cache_topology()).
+[[nodiscard]] const MachineFingerprint& machine_fingerprint();
 
 }  // namespace grazelle

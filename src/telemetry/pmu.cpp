@@ -1,0 +1,210 @@
+#include "telemetry/pmu.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace grazelle::telemetry {
+
+std::uint64_t read_tsc() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// perf_event_attr config for each PmuCounter slot.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+EventSpec event_spec(PmuCounter c) {
+  constexpr std::uint64_t kLlcRead =
+      PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8);
+  switch (c) {
+    case PmuCounter::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case PmuCounter::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case PmuCounter::kLlcLoads:
+      return {PERF_TYPE_HW_CACHE,
+              kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)};
+    case PmuCounter::kLlcMisses:
+      return {PERF_TYPE_HW_CACHE,
+              kLlcRead | (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)};
+    case PmuCounter::kBranchMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES};
+    case PmuCounter::kStalledCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND};
+    case PmuCounter::kCount: break;
+  }
+  return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+}
+
+int perf_open(PmuCounter c, pid_t tid, int group_fd) {
+  const EventSpec spec = event_spec(c);
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = spec.type;
+  attr.size = sizeof(attr);
+  attr.config = spec.config;
+  // The leader starts disabled and the whole group is enabled with one
+  // ioctl once every sibling has joined, so no counter ticks while the
+  // group is still assembling.
+  attr.disabled = (group_fd == -1) ? 1 : 0;
+  // Counting user work only keeps the layer usable at
+  // perf_event_paranoid <= 2 (the common unprivileged ceiling).
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, tid, /*cpu=*/-1, group_fd, 0));
+}
+
+bool pmu_disabled_by_env() {
+  const char* env = std::getenv("GRAZELLE_PMU_DISABLE");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+}  // namespace
+
+bool Pmu::open_group(pid_t tid, std::string* error) {
+  Group g;
+  g.leader_fd = perf_open(PmuCounter::kCycles, tid, -1);
+  if (g.leader_fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("perf_event_open(cycles): ") +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  g.fds.push_back(g.leader_fd);
+  std::uint64_t id = 0;
+  if (ioctl(g.leader_fd, PERF_EVENT_IOC_ID, &id) == 0) {
+    g.ids[static_cast<unsigned>(PmuCounter::kCycles)] = id;
+  }
+  for (unsigned c = 1; c < kNumPmuCounters; ++c) {
+    // Siblings are individually optional: a core without (say) a
+    // stalled-cycles event still yields the rest of the group.
+    const int fd = perf_open(static_cast<PmuCounter>(c), tid, g.leader_fd);
+    if (fd < 0) continue;
+    g.fds.push_back(fd);
+    if (ioctl(fd, PERF_EVENT_IOC_ID, &id) == 0) g.ids[c] = id;
+  }
+  ioctl(g.leader_fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(g.leader_fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  groups_.push_back(std::move(g));
+  return true;
+}
+
+Pmu::Pmu() : tsc_origin_(read_tsc()) {
+  if (pmu_disabled_by_env()) {
+    reason_ = "disabled by GRAZELLE_PMU_DISABLE";
+    return;
+  }
+  std::string error;
+  if (!open_group(/*tid=*/0, &error)) {
+    reason_ = error;
+    return;
+  }
+  available_ = true;
+}
+
+Pmu::~Pmu() {
+  for (const Group& g : groups_) {
+    for (int fd : g.fds) close(fd);
+  }
+}
+
+bool Pmu::attach_thread(pid_t tid) {
+  if (!available_) return false;
+  return open_group(tid, nullptr);
+}
+
+PmuArray Pmu::read() const {
+  PmuArray out{};
+  if (!available_) {
+    out[static_cast<unsigned>(PmuCounter::kCycles)] =
+        read_tsc() - tsc_origin_;
+    return out;
+  }
+  // PERF_FORMAT_GROUP | ID | TIME_ENABLED | TIME_RUNNING layout.
+  struct ReadValue {
+    std::uint64_t value;
+    std::uint64_t id;
+  };
+  struct ReadBuffer {
+    std::uint64_t nr;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+    ReadValue values[kNumPmuCounters];
+  };
+  for (const Group& g : groups_) {
+    ReadBuffer buf{};
+    const ssize_t n = ::read(g.leader_fd, &buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) continue;
+    // Scale for multiplexing: the kernel rotates groups when more are
+    // open than the PMU has slots; enabled/running extrapolates to the
+    // full enabled window.
+    const double scale =
+        (buf.time_running > 0)
+            ? static_cast<double>(buf.time_enabled) /
+                  static_cast<double>(buf.time_running)
+            : 1.0;
+    for (std::uint64_t i = 0; i < buf.nr && i < kNumPmuCounters; ++i) {
+      for (unsigned c = 0; c < kNumPmuCounters; ++c) {
+        if (g.ids[c] != 0 && g.ids[c] == buf.values[i].id) {
+          out[c] += static_cast<std::uint64_t>(
+              static_cast<double>(buf.values[i].value) * scale);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+#else  // !__linux__
+
+bool Pmu::open_group(pid_t, std::string*) { return false; }
+
+Pmu::Pmu() : tsc_origin_(read_tsc()) {
+  reason_ = "perf_event_open is Linux-only";
+}
+
+Pmu::~Pmu() = default;
+
+bool Pmu::attach_thread(pid_t) { return false; }
+
+PmuArray Pmu::read() const {
+  PmuArray out{};
+  out[static_cast<unsigned>(PmuCounter::kCycles)] = read_tsc() - tsc_origin_;
+  return out;
+}
+
+#endif  // __linux__
+
+}  // namespace grazelle::telemetry

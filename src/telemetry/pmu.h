@@ -1,0 +1,131 @@
+// Hardware PMU counter groups over perf_event_open(2) (DESIGN.md §11).
+//
+// The paper argues its Vector-Sparse and scheduler-awareness wins from
+// hardware evidence — instruction counts, cache behaviour, memory
+// bandwidth (Figs. 9-10). This layer makes those measurements
+// first-class: one counter group (cycles, instructions, LLC
+// loads/misses, branch misses, stalled cycles) per monitored thread,
+// read as scaled totals and recorded as per-phase deltas by the
+// telemetry spans.
+//
+// Degradation contract: opening counters is best-effort and NEVER
+// fails a run. When the kernel denies perf_event_open (seccomp,
+// perf_event_paranoid, no PMU in the VM) the object reports
+// available() == false and read() falls back to an rdtsc-based cycle
+// estimate (elapsed reference cycles of the reading thread; all other
+// counters stay 0). Consumers see pmu_available=false in RunReport and
+// must treat derived metrics as estimates in that mode.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace grazelle::telemetry {
+
+/// The fixed hardware-counter set one group carries. Names
+/// (pmu_counter_name) are stable: they are RunReport JSON keys.
+enum class PmuCounter : unsigned {
+  kCycles,         ///< PERF_COUNT_HW_CPU_CYCLES (group leader)
+  kInstructions,   ///< PERF_COUNT_HW_INSTRUCTIONS
+  kLlcLoads,       ///< HW_CACHE_LL read accesses
+  kLlcMisses,      ///< HW_CACHE_LL read misses
+  kBranchMisses,   ///< PERF_COUNT_HW_BRANCH_MISSES
+  kStalledCycles,  ///< PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+  kCount,
+};
+
+inline constexpr unsigned kNumPmuCounters =
+    static_cast<unsigned>(PmuCounter::kCount);
+
+/// Stable JSON field name for a PMU counter.
+[[nodiscard]] constexpr const char* pmu_counter_name(PmuCounter c) noexcept {
+  switch (c) {
+    case PmuCounter::kCycles: return "cycles";
+    case PmuCounter::kInstructions: return "instructions";
+    case PmuCounter::kLlcLoads: return "llc_loads";
+    case PmuCounter::kLlcMisses: return "llc_misses";
+    case PmuCounter::kBranchMisses: return "branch_misses";
+    case PmuCounter::kStalledCycles: return "stalled_cycles";
+    case PmuCounter::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Aggregated PMU readings, indexable by PmuCounter.
+using PmuArray = std::array<std::uint64_t, kNumPmuCounters>;
+
+/// One perf counter group per monitored thread, summed on read.
+///
+/// The constructor opens a group for the calling thread; worker
+/// threads are added with attach_thread(tid) (perf_event_open accepts
+/// another thread's tid, so attachment happens from the driver thread
+/// after the pool exists). The group leader is the cycles counter;
+/// sibling counters that the host cannot provide (e.g. stalled cycles
+/// on some cores) are skipped individually and read as 0 — only a
+/// leader failure degrades the whole object.
+///
+/// Counter multiplexing is handled: readings are scaled by
+/// time_enabled/time_running per group, so totals stay meaningful even
+/// when the kernel rotates more groups than the PMU has slots.
+///
+/// Setting the GRAZELLE_PMU_DISABLE environment variable to a nonzero
+/// value forces the degraded path (deterministic CI / tests).
+class Pmu {
+ public:
+  Pmu();
+  ~Pmu();
+
+  Pmu(const Pmu&) = delete;
+  Pmu& operator=(const Pmu&) = delete;
+
+  /// Opens a counter group for another thread (by OS tid). Returns
+  /// false — without side effects — when the PMU is degraded or the
+  /// kernel refuses.
+  bool attach_thread(pid_t tid);
+
+  /// True when hardware counters are live; false in rdtsc-fallback
+  /// mode.
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+  /// Human-readable reason for degradation; empty when available().
+  [[nodiscard]] const std::string& unavailable_reason() const noexcept {
+    return reason_;
+  }
+
+  /// Number of threads with an open counter group (0 when degraded).
+  [[nodiscard]] unsigned num_groups() const noexcept {
+    return static_cast<unsigned>(groups_.size());
+  }
+
+  /// Current totals summed across all attached threads,
+  /// multiplexing-scaled. Monotonic; callers diff successive reads for
+  /// span deltas. Degraded mode: kCycles = elapsed reference cycles
+  /// (rdtsc) since construction, everything else 0.
+  [[nodiscard]] PmuArray read() const;
+
+ private:
+  struct Group {
+    int leader_fd = -1;
+    /// perf sample IDs by counter slot; id 0 = counter not open.
+    std::array<std::uint64_t, kNumPmuCounters> ids{};
+    /// All open fds of the group (leader first), for closing.
+    std::vector<int> fds;
+  };
+
+  bool open_group(pid_t tid, std::string* error);
+
+  std::vector<Group> groups_;
+  bool available_ = false;
+  std::string reason_;
+  std::uint64_t tsc_origin_ = 0;
+};
+
+/// Elapsed-reference-cycle source for the degraded path: rdtsc on x86,
+/// a steady-clock nanosecond count elsewhere (≈ cycles at 1 GHz).
+[[nodiscard]] std::uint64_t read_tsc() noexcept;
+
+}  // namespace grazelle::telemetry

@@ -9,6 +9,7 @@
 // any field present at a given version.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -62,7 +63,56 @@ namespace telemetry {
 // v3: added blocked / blocks_executed per iteration and
 //     blocked_iterations / peak_rss_bytes / llc_bytes /
 //     prefetch_distance at top level.
-inline constexpr unsigned kReportSchemaVersion = 3;
+// v4: added the "machine" fingerprint object and, when a PMU source
+//     was attached, the "pmu" whole-run object (raw counters + ipc,
+//     cycles_per_edge, llc_misses_per_edge, effective_bandwidth_gbs)
+//     and the per-phase "pmu_phases" array. pmu.available=false means
+//     the degraded rdtsc path supplied the cycle estimate.
+inline constexpr unsigned kReportSchemaVersion = 4;
+
+/// Derived hardware efficiency metrics of one PMU-sampled interval.
+/// Formulas (DESIGN.md §11): ipc = instructions / cycles;
+/// cycles_per_edge = cycles / edges; llc_misses_per_edge = llc_misses
+/// / edges; effective_bandwidth_gbs = llc_misses * 64B / seconds /
+/// 1e9 (cache-line-granular memory traffic the LLC missed on).
+/// Each metric is 0 when its denominator is 0.
+struct PmuDerived {
+  double ipc = 0.0;
+  double cycles_per_edge = 0.0;
+  double llc_misses_per_edge = 0.0;
+  double effective_bandwidth_gbs = 0.0;
+};
+
+[[nodiscard]] inline PmuDerived derive_pmu_metrics(const PmuArray& counters,
+                                                   std::uint64_t edges,
+                                                   double seconds) {
+  PmuDerived d;
+  const auto at = [&](PmuCounter c) {
+    return static_cast<double>(counters[static_cast<unsigned>(c)]);
+  };
+  if (at(PmuCounter::kCycles) > 0) {
+    d.ipc = at(PmuCounter::kInstructions) / at(PmuCounter::kCycles);
+  }
+  if (edges > 0) {
+    d.cycles_per_edge = at(PmuCounter::kCycles) / static_cast<double>(edges);
+    d.llc_misses_per_edge =
+        at(PmuCounter::kLlcMisses) / static_cast<double>(edges);
+  }
+  if (seconds > 0) {
+    d.effective_bandwidth_gbs =
+        at(PmuCounter::kLlcMisses) * 64.0 / seconds / 1e9;
+  }
+  return d;
+}
+
+/// PMU totals aggregated over every sample of one phase name (a phase
+/// recurs across iterations; its samples sum).
+struct PmuPhaseTotals {
+  std::string phase;
+  PmuArray counters{};
+  std::uint64_t edges = 0;
+  double seconds = 0.0;
+};
 
 /// Wall-clock attribution of one run, split by phase. Derived from the
 /// per-iteration stats, so it is available with or without a Telemetry
@@ -116,6 +166,23 @@ struct RunReport {
   CounterArray counters{};
   bool telemetry_attached = false;
 
+  // --- PMU observability (schema v4) ---
+  /// Whether a Pmu source was attached to the telemetry sink.
+  bool pmu_attached = false;
+  /// False means perf_event_open was denied and pmu_totals carries the
+  /// degraded rdtsc cycle estimate (other counters 0).
+  bool pmu_available = false;
+  /// Degradation reason ("" when available).
+  std::string pmu_unavailable_reason;
+  /// Whole-run counter deltas (the engine's "run" sample).
+  PmuArray pmu_totals{};
+  /// Edge work of the whole run, for cycles/edge and misses/edge.
+  std::uint64_t pmu_run_edges = 0;
+  /// Per-phase aggregates ("edge_pull", "vertex", ...), iteration-summed.
+  std::vector<PmuPhaseTotals> pmu_phases;
+  /// Host identity the measurements were taken on.
+  MachineFingerprint machine = machine_fingerprint();
+
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -149,6 +216,34 @@ struct RunReport {
   if (telemetry != nullptr) {
     r.counters = telemetry->counters();
     r.telemetry_attached = true;
+    if (const Pmu* pmu = telemetry->pmu()) {
+      r.pmu_attached = true;
+      r.pmu_available = pmu->available();
+      r.pmu_unavailable_reason = pmu->unavailable_reason();
+      for (const PmuSample& s : telemetry->pmu_samples()) {
+        const std::string name = s.name;
+        if (name == "run") {
+          // The engine wraps every run() in one "run"-named sample;
+          // later runs on the same sink overwrite earlier ones, so the
+          // report describes the most recent run.
+          r.pmu_totals = s.delta;
+          r.pmu_run_edges = s.edges;
+          continue;
+        }
+        auto it = std::find_if(
+            r.pmu_phases.begin(), r.pmu_phases.end(),
+            [&](const PmuPhaseTotals& p) { return p.phase == name; });
+        if (it == r.pmu_phases.end()) {
+          r.pmu_phases.push_back({name, {}, 0, 0.0});
+          it = r.pmu_phases.end() - 1;
+        }
+        for (unsigned c = 0; c < kNumPmuCounters; ++c) {
+          it->counters[c] += s.delta[c];
+        }
+        it->edges += s.edges;
+        it->seconds += static_cast<double>(s.duration_us) * 1e-6;
+      }
+    }
   }
   return r;
 }
@@ -165,6 +260,49 @@ inline std::string RunReport::to_json() const {
   json::ObjectWriter counters_w;
   for (unsigned c = 0; c < kNumCounters; ++c) {
     counters_w.field(counter_name(static_cast<Counter>(c)), counters[c]);
+  }
+
+  json::ObjectWriter machine_w;
+  machine_w.field("cpu_model", machine.cpu_model)
+      .field("logical_cores", machine.logical_cores)
+      .field("avx2", machine.avx2)
+      .field("avx512f", machine.avx512f)
+      .field("llc_bytes", machine.llc_bytes)
+      .field("llc_detected", machine.llc_detected);
+
+  const auto pmu_counters_into = [](json::ObjectWriter& w,
+                                    const PmuArray& a) {
+    for (unsigned c = 0; c < kNumPmuCounters; ++c) {
+      w.field(pmu_counter_name(static_cast<PmuCounter>(c)), a[c]);
+    }
+  };
+  const auto pmu_derived_into = [](json::ObjectWriter& w,
+                                   const PmuDerived& d) {
+    w.field("ipc", d.ipc)
+        .field("cycles_per_edge", d.cycles_per_edge)
+        .field("llc_misses_per_edge", d.llc_misses_per_edge)
+        .field("effective_bandwidth_gbs", d.effective_bandwidth_gbs);
+  };
+
+  json::ObjectWriter pmu_w;
+  pmu_w.field("attached", pmu_attached)
+      .field("available", pmu_available)
+      .field("unavailable_reason", pmu_unavailable_reason);
+  pmu_counters_into(pmu_w, pmu_totals);
+  pmu_w.field("edges", pmu_run_edges);
+  pmu_derived_into(pmu_w,
+                   derive_pmu_metrics(pmu_totals, pmu_run_edges,
+                                      stats.total_seconds));
+
+  std::vector<std::string> pmu_phase_items;
+  pmu_phase_items.reserve(pmu_phases.size());
+  for (const PmuPhaseTotals& p : pmu_phases) {
+    json::ObjectWriter w;
+    w.field("phase", p.phase).field("seconds", p.seconds).field("edges",
+                                                                p.edges);
+    pmu_counters_into(w, p.counters);
+    pmu_derived_into(w, derive_pmu_metrics(p.counters, p.edges, p.seconds));
+    pmu_phase_items.push_back(w.str());
   }
 
   std::vector<std::string> iterations;
@@ -212,6 +350,9 @@ inline std::string RunReport::to_json() const {
       .field("prefetch_distance", prefetch_distance)
       .field("total_seconds", stats.total_seconds)
       .field("telemetry_attached", telemetry_attached)
+      .field_raw("machine", machine_w.str())
+      .field_raw("pmu", pmu_w.str())
+      .field_raw("pmu_phases", json::array(pmu_phase_items))
       .field_raw("phases", phases_w.str())
       .field_raw("counters", counters_w.str())
       .field_raw("per_iteration", json::array(iterations));

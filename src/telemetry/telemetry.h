@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/pmu.h"
+
 namespace grazelle::telemetry {
 
 /// Monotonic counters the engines maintain. Names (counter_name) are
@@ -81,6 +83,19 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   const char* arg_name = nullptr;  ///< nullptr = no argument
   std::uint64_t arg = 0;
+};
+
+/// PMU counter deltas over one completed phase span, plus the span's
+/// edge work (delta of the kEdgesTouched counter) so per-phase
+/// cycles/edge and LLC-misses/edge are exact. Recorded only by the
+/// engine's run loop (one thread), at phase granularity — never per
+/// chunk, so the read syscalls cannot perturb what they measure.
+struct PmuSample {
+  const char* name = nullptr;  ///< phase name ("run" = whole-run sample)
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  PmuArray delta{};
+  std::uint64_t edges = 0;
 };
 
 /// Per-run telemetry sink. One instance per instrumented run; attach it
@@ -149,6 +164,21 @@ class Telemetry {
     return n;
   }
 
+  /// Attaches (or with nullptr detaches) a PMU counter source. The
+  /// telemetry object only borrows it — the driver owns the Pmu and
+  /// its thread attachments. With a PMU attached, phase-level
+  /// ScopedSpans constructed with SpanPmu::kSample record a PmuSample.
+  void set_pmu(Pmu* p) noexcept { pmu_ = p; }
+  [[nodiscard]] Pmu* pmu() const noexcept { return pmu_; }
+
+  /// Records one completed PMU phase sample. Engine-loop thread only
+  /// (samples are phase-granular and the run loop is sequential).
+  void record_pmu(const PmuSample& s) { pmu_samples_.push_back(s); }
+
+  [[nodiscard]] const std::vector<PmuSample>& pmu_samples() const noexcept {
+    return pmu_samples_;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -163,6 +193,8 @@ class Telemetry {
 
   std::vector<PerThread> threads_;
   Clock::time_point epoch_;
+  Pmu* pmu_ = nullptr;
+  std::vector<PmuSample> pmu_samples_;
 };
 
 /// Null-safe counter hook: the disabled path is one branch.
@@ -171,22 +203,49 @@ inline void count(Telemetry* t, unsigned tid, Counter c,
   if (t != nullptr) t->count(tid, c, n);
 }
 
+/// Whether a span also snapshots the attached PMU group. Only the
+/// engine's phase-level spans (run loop, one per iteration phase) opt
+/// in — per-chunk spans never do, as a group read is a syscall per
+/// monitored thread and would perturb the measurement.
+enum class SpanPmu : std::uint8_t { kOff, kSample };
+
 /// RAII duration span; records on destruction. A null Telemetry makes
-/// construction and destruction no-ops (no clock reads).
+/// construction and destruction no-ops (no clock reads). With
+/// SpanPmu::kSample and a PMU attached to the sink, the span also
+/// records a PmuSample carrying the counter deltas and edge work of
+/// the interval.
 class ScopedSpan {
  public:
   ScopedSpan(Telemetry* t, unsigned tid, const char* name,
-             const char* arg_name = nullptr, std::uint64_t arg = 0) noexcept
+             const char* arg_name = nullptr, std::uint64_t arg = 0,
+             SpanPmu pmu = SpanPmu::kOff) noexcept
       : t_(t), tid_(tid), name_(name), arg_name_(arg_name), arg_(arg),
-        start_us_(t != nullptr ? t->now_us() : 0) {}
+        start_us_(t != nullptr ? t->now_us() : 0) {
+    if (t_ != nullptr && pmu == SpanPmu::kSample && t_->pmu() != nullptr) {
+      sample_pmu_ = true;
+      pmu_begin_ = t_->pmu()->read();
+      edges_begin_ = t_->total(Counter::kEdgesTouched);
+    }
+  }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
-    if (t_ != nullptr) {
-      t_->record(tid_, name_, start_us_, t_->now_us() - start_us_, arg_name_,
-                 arg_);
+    if (t_ == nullptr) return;
+    const std::uint64_t duration_us = t_->now_us() - start_us_;
+    t_->record(tid_, name_, start_us_, duration_us, arg_name_, arg_);
+    if (sample_pmu_ && t_->pmu() != nullptr) {
+      PmuSample s;
+      s.name = name_;
+      s.start_us = start_us_;
+      s.duration_us = duration_us;
+      const PmuArray end = t_->pmu()->read();
+      for (unsigned c = 0; c < kNumPmuCounters; ++c) {
+        s.delta[c] = end[c] - pmu_begin_[c];
+      }
+      s.edges = t_->total(Counter::kEdgesTouched) - edges_begin_;
+      t_->record_pmu(s);
     }
   }
 
@@ -197,6 +256,9 @@ class ScopedSpan {
   const char* arg_name_;
   std::uint64_t arg_;
   std::uint64_t start_us_;
+  bool sample_pmu_ = false;
+  PmuArray pmu_begin_{};
+  std::uint64_t edges_begin_ = 0;
 };
 
 }  // namespace grazelle::telemetry

@@ -3,13 +3,17 @@
 // Emits the Trace Event Format's JSON-object flavor: a "traceEvents"
 // array of complete ("ph":"X") duration events plus thread_name
 // metadata, timestamps in microseconds since the Telemetry epoch.
-// Load the file at chrome://tracing (or https://ui.perfetto.dev) to
-// see per-thread phase/chunk timelines — scheduler imbalance shows up
-// directly as ragged chunk rows.
+// When a PMU was attached, each recorded phase sample additionally
+// becomes a counter ("ph":"C") event carrying the running hardware
+// totals — chrome://tracing plots them as per-counter time series
+// above the span rows. Load the file at chrome://tracing (or
+// https://ui.perfetto.dev) to see per-thread phase/chunk timelines —
+// scheduler imbalance shows up directly as ragged chunk rows.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "telemetry/json.h"
 #include "telemetry/telemetry.h"
@@ -57,6 +61,30 @@ namespace grazelle::telemetry {
       }
       append(w.str());
     }
+  }
+
+  // PMU counter events: one "C" event per phase sample, carrying the
+  // running totals at the sample's end. The engine records samples
+  // sequentially, so end timestamps are monotone and the counter track
+  // renders as a proper staircase. The whole-run bracket sample is
+  // skipped — its end coincides with the last phase's and it would
+  // double-count every delta.
+  PmuArray running{};
+  for (const PmuSample& s : t.pmu_samples()) {
+    if (std::string_view(s.name) == "run") continue;
+    json::ObjectWriter args;
+    for (unsigned c = 0; c < kNumPmuCounters; ++c) {
+      running[c] += s.delta[c];
+      args.field(pmu_counter_name(static_cast<PmuCounter>(c)), running[c]);
+    }
+    json::ObjectWriter w;
+    w.field("name", "pmu")
+        .field("cat", "grazelle")
+        .field("ph", "C")
+        .field("ts", s.start_us + s.duration_us)
+        .field("pid", std::uint64_t{0})
+        .field_raw("args", args.str());
+    append(w.str());
   }
 
   out += "],\n\"displayTimeUnit\": \"ms\"}";

@@ -2,6 +2,7 @@
 
 #include <pthread.h>
 #include <sched.h>
+#include <unistd.h>
 
 #include <algorithm>
 
@@ -23,10 +24,22 @@ ThreadPool::ThreadPool(unsigned num_threads, bool pin_threads)
     : phase_barrier_(std::max(1u, num_threads)) {
   const unsigned workers = std::max(1u, num_threads) - 1;
   workers_.reserve(workers);
+  worker_tids_.resize(workers, 0);
   for (unsigned i = 0; i < workers; ++i) {
     workers_.emplace_back([this, tid = i + 1] { worker_loop(tid); });
     if (pin_threads) try_pin_to_cpu(workers_.back(), i + 1);
   }
+}
+
+std::vector<pid_t> ThreadPool::worker_os_tids() const {
+  // Spin-wait (bounded by worker startup, microseconds) until every
+  // worker has published; release/acquire on the counter orders the
+  // tid writes.
+  while (tids_published_.load(std::memory_order_acquire) <
+         worker_tids_.size()) {
+    std::this_thread::yield();
+  }
+  return worker_tids_;
 }
 
 ThreadPool::~ThreadPool() {
@@ -56,6 +69,8 @@ void ThreadPool::run(const std::function<void(unsigned)>& task) {
 }
 
 void ThreadPool::worker_loop(unsigned tid) {
+  worker_tids_[tid - 1] = gettid();
+  tids_published_.fetch_add(1, std::memory_order_release);
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(unsigned)>* task = nullptr;

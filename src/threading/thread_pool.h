@@ -3,9 +3,12 @@
 // this pool provides the same lifetime model behind a fork-join `run`.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <thread>
 #include <vector>
+
+#include <sys/types.h>
 
 #include "telemetry/telemetry.h"
 #include "threading/barrier.h"
@@ -48,10 +51,18 @@ class ThreadPool {
     return telemetry_;
   }
 
+  /// OS thread ids of the worker threads (size() - 1 entries; the
+  /// caller thread is not listed — it monitors itself). Blocks until
+  /// every worker has published its tid, so PMU counter groups can be
+  /// attached to live threads right after construction.
+  [[nodiscard]] std::vector<pid_t> worker_os_tids() const;
+
  private:
   void worker_loop(unsigned tid);
 
   std::vector<std::thread> workers_;
+  std::vector<pid_t> worker_tids_;
+  std::atomic<unsigned> tids_published_{0};
   Barrier phase_barrier_;
   telemetry::Telemetry* telemetry_ = nullptr;
 

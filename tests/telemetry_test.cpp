@@ -4,7 +4,9 @@
 // attached telemetry sink never changes computed results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "gen/rmat.h"
 #include "platform/cpu_features.h"
 #include "telemetry/json.h"
+#include "telemetry/pmu.h"
 #include "telemetry/report.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
@@ -331,6 +334,271 @@ TEST(TelemetryTransparency, BfsBitIdentical) {
         return std::vector<std::uint64_t>(bfs.parents().begin(),
                                           bfs.parents().end());
       });
+}
+
+// ---------------------------------------------------------------------------
+// PMU counter layer
+
+/// Forces the deterministic degraded path (GRAZELLE_PMU_DISABLE) for
+/// the enclosing scope. The flag is read at Pmu construction, so the
+/// guard must outlive the Pmu it governs.
+class PmuDisabledScope {
+ public:
+  PmuDisabledScope() { setenv("GRAZELLE_PMU_DISABLE", "1", 1); }
+  ~PmuDisabledScope() { unsetenv("GRAZELLE_PMU_DISABLE"); }
+};
+
+TEST(Pmu, DegradedPathReportsReasonAndEstimatesCycles) {
+  PmuDisabledScope disabled;
+  telemetry::Pmu pmu;
+  EXPECT_FALSE(pmu.available());
+  EXPECT_NE(pmu.unavailable_reason().find("GRAZELLE_PMU_DISABLE"),
+            std::string::npos);
+  // attach_thread is a harmless no-op when degraded.
+  EXPECT_FALSE(pmu.attach_thread(0));
+
+  const telemetry::PmuArray a = pmu.read();
+  // Burn some cycles so the rdtsc estimate visibly advances.
+  volatile double sink = 1.0;
+  for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.1;
+  const telemetry::PmuArray b = pmu.read();
+  const auto cyc = static_cast<unsigned>(telemetry::PmuCounter::kCycles);
+  EXPECT_GT(b[cyc], a[cyc]);  // reference cycles advance monotonically
+  for (unsigned c = 0; c < telemetry::kNumPmuCounters; ++c) {
+    if (c == cyc) continue;
+    EXPECT_EQ(a[c], 0u);  // every hardware counter pinned to zero
+    EXPECT_EQ(b[c], 0u);
+  }
+}
+
+TEST(Pmu, NeverThrowsRegardlessOfKernelSupport) {
+  // Whatever this host allows (full PMU, paranoid-restricted, or no
+  // PMU at all), construction and reads must succeed.
+  telemetry::Pmu pmu;
+  const telemetry::PmuArray a = pmu.read();
+  const telemetry::PmuArray b = pmu.read();
+  for (unsigned c = 0; c < telemetry::kNumPmuCounters; ++c) {
+    EXPECT_GE(b[c], a[c]) << "counter " << telemetry::pmu_counter_name(
+                                 static_cast<telemetry::PmuCounter>(c));
+  }
+  if (!pmu.available()) {
+    EXPECT_FALSE(pmu.unavailable_reason().empty());
+  }
+}
+
+TEST(Pmu, CounterNamesAreStableJsonKeys) {
+  EXPECT_STREQ(telemetry::pmu_counter_name(telemetry::PmuCounter::kCycles),
+               "cycles");
+  EXPECT_STREQ(
+      telemetry::pmu_counter_name(telemetry::PmuCounter::kLlcMisses),
+      "llc_misses");
+  EXPECT_STREQ(
+      telemetry::pmu_counter_name(telemetry::PmuCounter::kStalledCycles),
+      "stalled_cycles");
+}
+
+TEST(Pmu, ScopedSpanRecordsSampleDeltas) {
+  PmuDisabledScope disabled;
+  telemetry::Pmu pmu;
+  telemetry::Telemetry t(1);
+  t.set_pmu(&pmu);
+  {
+    telemetry::ScopedSpan span(&t, 0, "sampled", nullptr, 0,
+                               telemetry::SpanPmu::kSample);
+    t.count(0, telemetry::Counter::kEdgesTouched, 123);
+  }
+  { telemetry::ScopedSpan plain(&t, 0, "plain"); }
+  ASSERT_EQ(t.pmu_samples().size(), 1u);  // kOff spans record no sample
+  const telemetry::PmuSample& s = t.pmu_samples()[0];
+  EXPECT_STREQ(s.name, "sampled");
+  EXPECT_EQ(s.edges, 123u);
+}
+
+TEST(Pmu, DerivedMetricsHandleZeroDenominators) {
+  telemetry::PmuArray zero{};
+  const telemetry::PmuDerived d0 =
+      telemetry::derive_pmu_metrics(zero, 0, 0.0);
+  EXPECT_EQ(d0.ipc, 0.0);
+  EXPECT_EQ(d0.cycles_per_edge, 0.0);
+  EXPECT_EQ(d0.llc_misses_per_edge, 0.0);
+  EXPECT_EQ(d0.effective_bandwidth_gbs, 0.0);
+
+  telemetry::PmuArray c{};
+  c[static_cast<unsigned>(telemetry::PmuCounter::kCycles)] = 1000;
+  c[static_cast<unsigned>(telemetry::PmuCounter::kInstructions)] = 2500;
+  c[static_cast<unsigned>(telemetry::PmuCounter::kLlcMisses)] = 100;
+  const telemetry::PmuDerived d =
+      telemetry::derive_pmu_metrics(c, 50, 0.001);
+  EXPECT_DOUBLE_EQ(d.ipc, 2.5);
+  EXPECT_DOUBLE_EQ(d.cycles_per_edge, 20.0);
+  EXPECT_DOUBLE_EQ(d.llc_misses_per_edge, 2.0);
+  // 100 misses * 64 bytes / 1 ms = 6.4 MB/s.
+  EXPECT_DOUBLE_EQ(d.effective_bandwidth_gbs, 100 * 64.0 / 0.001 / 1e9);
+}
+
+TEST(RunReport, V4ExposesPmuAndMachineFields) {
+  PmuDisabledScope disabled;
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+  telemetry::Pmu pmu;
+  t.set_pmu(&pmu);
+  apps::PageRank pr(g, engine.pool().size());
+  const RunStats stats = engine.run(pr, 4);
+
+  const RunReport report = build_report(stats, &t);
+  EXPECT_TRUE(report.pmu_attached);
+  EXPECT_FALSE(report.pmu_available);  // degraded by env
+  EXPECT_GT(report.pmu_run_edges, 0u);
+
+  const auto v = telemetry::json::parse(report.to_json());
+  EXPECT_EQ(v.at("schema_version").num, 4.0);
+
+  ASSERT_TRUE(v.at("machine").is_object());
+  EXPECT_TRUE(v.at("machine").has("cpu_model"));
+  EXPECT_GE(v.at("machine").at("logical_cores").num, 1.0);
+  EXPECT_TRUE(v.at("machine").has("avx2"));
+  EXPECT_TRUE(v.at("machine").has("llc_bytes"));
+
+  ASSERT_TRUE(v.at("pmu").is_object());
+  const auto& p = v.at("pmu");
+  EXPECT_TRUE(p.at("attached").boolean);
+  EXPECT_FALSE(p.at("available").boolean);
+  EXPECT_NE(p.at("unavailable_reason").str, "");
+  for (unsigned c = 0; c < telemetry::kNumPmuCounters; ++c) {
+    EXPECT_TRUE(p.has(telemetry::pmu_counter_name(
+        static_cast<telemetry::PmuCounter>(c))));
+  }
+  EXPECT_GT(p.at("cycles").num, 0.0);  // rdtsc estimate, still nonzero
+  EXPECT_EQ(p.at("edges").num, static_cast<double>(report.pmu_run_edges));
+  EXPECT_TRUE(p.has("ipc"));
+  EXPECT_TRUE(p.has("cycles_per_edge"));
+  EXPECT_TRUE(p.has("llc_misses_per_edge"));
+  EXPECT_TRUE(p.has("effective_bandwidth_gbs"));
+  EXPECT_GT(p.at("cycles_per_edge").num, 0.0);
+
+  // Per-phase rollup: every entry names a phase and carries the same
+  // counter + derived-metric keys.
+  ASSERT_TRUE(v.at("pmu_phases").is_array());
+  ASSERT_FALSE(v.at("pmu_phases").items.empty());
+  for (const auto& ph : v.at("pmu_phases").items) {
+    EXPECT_TRUE(ph->has("phase"));
+    EXPECT_TRUE(ph->has("seconds"));
+    EXPECT_TRUE(ph->has("edges"));
+    EXPECT_TRUE(ph->has("cycles"));
+    EXPECT_TRUE(ph->has("ipc"));
+  }
+}
+
+TEST(RunReport, WithoutPmuFieldsSayUnattached) {
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+  apps::PageRank pr(g, engine.pool().size());
+  const RunStats stats = engine.run(pr, 3);
+  const RunReport report = build_report(stats, &t);
+  EXPECT_FALSE(report.pmu_attached);
+  const auto v = telemetry::json::parse(report.to_json());
+  EXPECT_FALSE(v.at("pmu").at("attached").boolean);
+  EXPECT_TRUE(v.at("pmu_phases").items.empty());
+}
+
+TEST(TelemetryTransparency, PageRankBitIdenticalWithPmuAttached) {
+  const Graph g = test_graph();
+  auto run_once = [&](bool with_pmu) {
+    Engine<apps::PageRank, false> engine(g, base_options(/*threads=*/3));
+    telemetry::Telemetry t(engine.pool().size());
+    engine.set_telemetry(&t);
+    telemetry::Pmu pmu;  // whatever this kernel grants — or degraded
+    if (with_pmu) t.set_pmu(&pmu);
+    apps::PageRank pr(g, engine.pool().size());
+    (void)engine.run(pr, 16);
+    pr.finalize();
+    return std::vector<double>(pr.ranks().begin(), pr.ranks().end());
+  };
+  const auto plain = run_once(false);
+  const auto sampled = run_once(true);
+  ASSERT_EQ(plain.size(), sampled.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], sampled[i]) << "diverged at vertex " << i;
+  }
+}
+
+TEST(MachineFingerprint, DescribesThisHost) {
+  const MachineFingerprint& m = machine_fingerprint();
+  EXPECT_GE(m.logical_cores, 1u);
+  EXPECT_FALSE(m.summary().empty());
+  // Cached: repeated calls serve the identical object.
+  EXPECT_EQ(&machine_fingerprint(), &m);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace: PMU counter track and span nesting
+
+TEST(ChromeTrace, EmitsMonotonePmuCounterEvents) {
+  PmuDisabledScope disabled;
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+  telemetry::Pmu pmu;
+  t.set_pmu(&pmu);
+  apps::PageRank pr(g, engine.pool().size());
+  (void)engine.run(pr, 4);
+  ASSERT_GT(t.pmu_samples().size(), 1u);
+
+  const auto v = telemetry::json::parse(telemetry::chrome_trace_json(t));
+  double prev_ts = -1.0;
+  double prev_cycles = -1.0;
+  std::size_t counter_events = 0;
+  for (const auto& e : v.at("traceEvents").items) {
+    if (e->at("ph").str != "C") continue;
+    ++counter_events;
+    EXPECT_EQ(e->at("name").str, "pmu");
+    EXPECT_GE(e->at("ts").num, prev_ts);  // emitted in time order
+    prev_ts = e->at("ts").num;
+    const double cycles = e->at("args").at("cycles").num;
+    EXPECT_GE(cycles, prev_cycles);  // cumulative totals only grow
+    prev_cycles = cycles;
+  }
+  EXPECT_GT(counter_events, 0u);
+}
+
+TEST(ChromeTrace, SpansAreWellNestedPerThread) {
+  const Graph g = test_graph();
+  Engine<apps::PageRank, false> engine(g, base_options());
+  telemetry::Telemetry t(engine.pool().size());
+  engine.set_telemetry(&t);
+  apps::PageRank pr(g, engine.pool().size());
+  (void)engine.run(pr, 4);
+
+  for (unsigned tid = 0; tid < engine.pool().size(); ++tid) {
+    std::vector<telemetry::TraceEvent> events(t.events(tid).begin(),
+                                              t.events(tid).end());
+    std::sort(events.begin(), events.end(),
+              [](const telemetry::TraceEvent& a,
+                 const telemetry::TraceEvent& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.duration_us > b.duration_us;  // outermost first
+              });
+    // Stack discipline: each span either starts after the enclosing
+    // span ends or finishes within it. RAII spans guarantee this
+    // structurally; the exporter must not break it.
+    std::vector<std::uint64_t> open_ends;
+    for (const telemetry::TraceEvent& e : events) {
+      while (!open_ends.empty() && open_ends.back() <= e.start_us) {
+        open_ends.pop_back();
+      }
+      if (!open_ends.empty()) {
+        EXPECT_LE(e.start_us + e.duration_us, open_ends.back())
+            << "span '" << e.name << "' on tid " << tid
+            << " overlaps its enclosing span without nesting";
+      }
+      open_ends.push_back(e.start_us + e.duration_us);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

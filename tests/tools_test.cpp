@@ -197,6 +197,153 @@ TEST(GraphInfoTool, FailsOnMissingFile) {
   EXPECT_NE(r.exit_code, 0);
 }
 
+TEST(GrazelleRunTool, UnwritableStatsPathFailsBeforeGraphLoad) {
+  // rmat:28 would take minutes to generate; the path probe must reject
+  // the destination first, so this returns immediately.
+  const auto r = run_command(
+      tools_dir() +
+      "/grazelle_run -a pr -i rmat:28 --stats-json /nonexistent-dir/s.json");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cannot write --stats-json"), std::string::npos)
+      << r.output;
+}
+
+TEST(GrazelleRunTool, TraceDirectoryPathRejected) {
+  const auto r = run_command(tools_dir() +
+                             "/grazelle_run -a pr -i rmat:28 --trace /tmp");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("is a directory"), std::string::npos) << r.output;
+}
+
+TEST(GrazelleRunTool, PerfCountersNeverFailsAndMatchesPlainRun) {
+  // Whether or not the kernel grants perf_event_open, --perf-counters
+  // must complete and leave results bit-identical to a plain run.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto plain = dir / "grazelle_tool_pmu_off.txt";
+  const auto sampled = dir / "grazelle_tool_pmu_on.txt";
+  const auto stats = dir / "grazelle_tool_pmu_stats.json";
+
+  auto r = run_command(tools_dir() + "/grazelle_run -a pr -i rmat:8 -N 4 " +
+                       "-n 2 -o " + plain.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = run_command(tools_dir() + "/grazelle_run -a pr -i rmat:8 -N 4 -n 2 " +
+                  "--perf-counters -o " + sampled.string() +
+                  " --stats-json " + stats.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(read_file(plain), read_file(sampled));
+
+  const auto v = telemetry::json::parse(read_file(stats));
+  EXPECT_TRUE(v.at("pmu").at("attached").boolean);
+  EXPECT_GT(v.at("pmu").at("cycles").num, 0.0);  // real or rdtsc estimate
+  EXPECT_GT(v.at("pmu_phases").items.size(), 0u);
+  EXPECT_TRUE(v.at("machine").has("cpu_model"));
+
+  std::filesystem::remove(plain);
+  std::filesystem::remove(sampled);
+  std::filesystem::remove(stats);
+}
+
+TEST(GraphInfoTool, JsonModeEmitsParsableStats) {
+  const auto r = run_command(tools_dir() + "/graph_info rmat:8 --json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const auto v = telemetry::json::parse(r.output);
+  EXPECT_EQ(v.at("tool").str, "graph_info");
+  EXPECT_GT(v.at("num_vertices").num, 0.0);
+  EXPECT_GT(v.at("num_edges").num, 0.0);
+  EXPECT_TRUE(v.at("block_index").has("present"));
+  EXPECT_TRUE(v.at("in_degrees").has("packing_efficiency_8"));
+  EXPECT_TRUE(v.at("out_degrees").has("avg_degree"));
+  EXPECT_FALSE(v.has("packed"));  // not a packed container
+}
+
+TEST(GraphInfoTool, JsonModeCoversPackedSectionTable) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto gzg = dir / "grazelle_tool_info_json.gzg";
+  auto r = run_command(tools_dir() + "/graph_convert rmat:8 " + gzg.string() +
+                       " --pack");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  r = run_command(tools_dir() + "/graph_info " + gzg.string() + " --json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const auto v = telemetry::json::parse(r.output);
+  ASSERT_TRUE(v.has("packed"));
+  EXPECT_TRUE(v.at("packed").at("checksums_ok").boolean);
+  const auto& sections = v.at("packed").at("sections").items;
+  ASSERT_GT(sections.size(), 0u);
+  for (const auto& s : sections) {
+    EXPECT_TRUE(s->has("name"));
+    EXPECT_TRUE(s->has("bytes"));
+    EXPECT_TRUE(s->has("crc32"));
+  }
+  std::filesystem::remove(gzg);
+}
+
+TEST(BenchReportTool, RunEmitsVersionedReport) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto out = dir / "grazelle_tool_bench.json";
+  const auto r = run_command(tools_dir() + "/bench_report -i rmat:8 " +
+                             "--repeats 2 --label test --apps pr,bfs --out " +
+                             out.string());
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const auto v = telemetry::json::parse(read_file(out));
+  EXPECT_EQ(v.at("bench_report_version").num, 1.0);
+  EXPECT_EQ(v.at("label").str, "test");
+  EXPECT_TRUE(v.at("machine").has("cpu_model"));
+  EXPECT_TRUE(v.has("pmu_available"));
+  const auto& benches = v.at("benchmarks").items;
+  ASSERT_EQ(benches.size(), 2u);  // pr and bfs, not cc
+  for (const auto& b : benches) {
+    EXPECT_GT(b->at("median_s").num, 0.0);
+    EXPECT_GE(b->at("stddev_s").num, 0.0);
+    EXPECT_GT(b->at("edges").num, 0.0);
+    EXPECT_TRUE(b->has("cycles_per_edge"));
+    EXPECT_TRUE(b->has("ipc"));
+  }
+  std::filesystem::remove(out);
+}
+
+TEST(BenchReportTool, DiffGatesOnRegression) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto base = dir / "grazelle_tool_bench_base.json";
+  const auto slow = dir / "grazelle_tool_bench_slow.json";
+  // Hand-built reports: only the fields diff mode reads.
+  const char* base_body =
+      R"({"bench_report_version": 1, "label": "a",)"
+      R"( "machine": {"cpu_model": "test-cpu"},)"
+      R"( "benchmarks": [{"name": "pr", "median_s": 0.100},)"
+      R"( {"name": "cc", "median_s": 0.050}]})";
+  const char* slow_body =
+      R"({"bench_report_version": 1, "label": "b",)"
+      R"( "machine": {"cpu_model": "test-cpu"},)"
+      R"( "benchmarks": [{"name": "pr", "median_s": 0.130},)"
+      R"( {"name": "cc", "median_s": 0.050}]})";
+  {
+    std::ofstream fa(base), fb(slow);
+    fa << base_body;
+    fb << slow_body;
+  }
+
+  // Identical files: clean exit.
+  auto r = run_command(tools_dir() + "/bench_report --diff " + base.string() +
+                       " " + base.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  // 30% slowdown on pr: regression at the default 10% threshold...
+  r = run_command(tools_dir() + "/bench_report --diff " + base.string() +
+                  " " + slow.string());
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos) << r.output;
+
+  // ...but tolerated when the caller raises the gate.
+  r = run_command(tools_dir() + "/bench_report --diff " + base.string() +
+                  " " + slow.string() + " --threshold 0.5");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  std::filesystem::remove(base);
+  std::filesystem::remove(slow);
+}
+
 TEST(ValidateOutputTool, CrossEngineResultsAgree) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto pull = dir / "grazelle_tool_pull.txt";

@@ -1,0 +1,381 @@
+// bench_report — the benchmark regression harness. Two modes:
+//
+// Run mode executes a fixed app subset (pr, cc, bfs by default) over
+// one input, `--repeats` times each, and writes a versioned
+// BENCH_<label>.json: per-benchmark median/stddev wall-clock, the
+// PMU-derived metrics of the final (instrumented) run, and the machine
+// fingerprint — enough to tell a real regression from a host change.
+//
+//   bench_report -i rmat:14 --label dev [--repeats 5] [--apps pr,cc]
+//                [--out BENCH_dev.json] [-n <threads>]
+//
+// Diff mode parses two such files and compares medians benchmark by
+// benchmark; any slowdown beyond --threshold (fractional, default
+// 0.10) is a regression and the exit status is non-zero, so CI can
+// gate on `bench_report --diff BENCH_seed.json BENCH_ci.json`.
+// Comparisons across different machine fingerprints are reported but
+// only warn — absolute times from different hosts don't gate.
+//
+// PMU counters degrade exactly as in grazelle_run: when the kernel
+// denies perf_event_open the run still completes, pmu_available is
+// false in the JSON, and diff mode ignores the estimated counters.
+#include <getopt.h>
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "bench_common.h"
+#include "cli_common.h"
+#include "core/engine.h"
+#include "platform/cpu_features.h"
+#include "telemetry/json.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
+
+using namespace grazelle;
+
+namespace {
+
+constexpr unsigned kBenchReportVersion = 1;
+
+struct Options {
+  std::string input = "rmat:14";
+  std::string apps = "pr,cc,bfs";
+  std::string label = "dev";
+  std::string out;  // default: BENCH_<label>.json
+  unsigned repeats = 5;
+  unsigned threads = 4;
+  unsigned iterations = 16;  // PageRank iteration budget
+  double scale = 0.25;
+  // Diff mode.
+  bool diff = false;
+  std::string diff_old;
+  std::string diff_new;
+  double threshold = 0.10;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [-i <input>] [--label <s>] [options]      (run mode)\n"
+      "       %s --diff <old.json> <new.json> [--threshold <frac>]\n"
+      "\n"
+      "run mode:\n"
+      "  -i <input>        graph input (default rmat:14; same selectors\n"
+      "                    as grazelle_run)\n"
+      "  --apps <list>     comma-separated subset of pr,cc,bfs\n"
+      "                    (default pr,cc,bfs)\n"
+      "  --repeats <n>     timed runs per benchmark (default 5)\n"
+      "  --label <s>       report label (default dev)\n"
+      "  --out <f>         output path (default BENCH_<label>.json)\n"
+      "  -n <threads>      worker threads (default 4)\n"
+      "  -N <iterations>   PageRank iterations (default 16)\n"
+      "  -S <scale>        dataset analog scale factor (default 0.25)\n"
+      "\n"
+      "diff mode:\n"
+      "  --diff <a> <b>    compare report <b> against baseline <a>;\n"
+      "                    exits 1 when any benchmark's median slowed\n"
+      "                    by more than the threshold\n"
+      "  --threshold <f>   fractional regression gate (default 0.10)\n",
+      argv0, argv0);
+}
+
+/// One benchmark's measurements: every repeat's wall-clock plus the
+/// PMU state of the final run (counters are re-read each run; the last
+/// run's totals are what build_report serves).
+struct BenchResult {
+  std::string name;
+  std::vector<double> seconds;
+  unsigned iterations = 0;
+  std::uint64_t edges = 0;
+  telemetry::PmuArray pmu{};
+  double pmu_seconds = 0.0;
+  bool pmu_available = false;
+};
+
+template <typename P, bool Vec, typename Make, typename Seed>
+BenchResult run_bench(const char* name, const Graph& graph,
+                      const Options& opt, Make&& make, Seed&& seed,
+                      unsigned max_iters) {
+  EngineOptions eopts;
+  eopts.num_threads = opt.threads;
+  Engine<P, Vec> engine(graph, eopts);
+  telemetry::Telemetry telem(engine.pool().size());
+  engine.set_telemetry(&telem);
+  auto pmu = bench::open_pmu(engine.pool());
+  telem.set_pmu(pmu.get());
+
+  BenchResult r;
+  r.name = name;
+  RunStats stats;
+  for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+    P prog = make(engine.pool().size());
+    seed(engine.frontier(), prog);
+    stats = engine.run(prog, max_iters);
+    r.seconds.push_back(stats.total_seconds);
+  }
+  const RunReport report = build_report(stats, &telem);
+  r.iterations = stats.iterations;
+  r.edges = report.pmu_run_edges;
+  r.pmu = report.pmu_totals;
+  r.pmu_seconds = stats.total_seconds;
+  r.pmu_available = report.pmu_available;
+  std::printf("  %-4s median %8.3f ms  stddev %7.3f ms  (%u iterations)\n",
+              name, bench::median_of(r.seconds) * 1e3,
+              bench::stddev_of(r.seconds) * 1e3, r.iterations);
+  return r;
+}
+
+template <bool Vec>
+std::vector<BenchResult> run_all(const Graph& graph, const Options& opt) {
+  std::vector<BenchResult> results;
+  const auto selected = [&](const char* name) {
+    return opt.apps.find(name) != std::string::npos;
+  };
+  if (selected("pr")) {
+    results.push_back(run_bench<apps::PageRank, Vec>(
+        "pr", graph, opt,
+        [&](unsigned threads) { return apps::PageRank(graph, threads); },
+        [](DenseFrontier&, apps::PageRank&) {}, opt.iterations));
+  }
+  if (selected("cc")) {
+    results.push_back(run_bench<apps::ConnectedComponents, Vec>(
+        "cc", graph, opt,
+        [&](unsigned) { return apps::ConnectedComponents(graph); },
+        [](DenseFrontier& f, apps::ConnectedComponents&) { f.set_all(); },
+        1u << 20));
+  }
+  if (selected("bfs")) {
+    results.push_back(run_bench<apps::BreadthFirstSearch, Vec>(
+        "bfs", graph, opt,
+        [&](unsigned) { return apps::BreadthFirstSearch(graph, 0); },
+        [](DenseFrontier& f, apps::BreadthFirstSearch& b) { b.seed(f); },
+        1u << 20));
+  }
+  return results;
+}
+
+std::string report_json(const std::vector<BenchResult>& results,
+                        const Options& opt, const Graph& graph,
+                        bool vectorized) {
+  namespace json = telemetry::json;
+  const MachineFingerprint& m = machine_fingerprint();
+  const bool pmu_available =
+      !results.empty() && results.front().pmu_available;
+
+  std::vector<std::string> benches;
+  for (const BenchResult& r : results) {
+    const telemetry::PmuDerived d =
+        telemetry::derive_pmu_metrics(r.pmu, r.edges, r.pmu_seconds);
+    json::ObjectWriter b;
+    b.field("name", r.name)
+        .field("median_s", bench::median_of(r.seconds))
+        .field("stddev_s", bench::stddev_of(r.seconds))
+        .field("repeats", static_cast<std::uint64_t>(r.seconds.size()))
+        .field("iterations", r.iterations)
+        .field("edges", r.edges)
+        .field("ipc", d.ipc)
+        .field("cycles_per_edge", d.cycles_per_edge)
+        .field("llc_misses_per_edge", d.llc_misses_per_edge)
+        .field("effective_bandwidth_gbs", d.effective_bandwidth_gbs);
+    benches.push_back(b.str());
+  }
+
+  json::ObjectWriter w;
+  w.field("bench_report_version",
+          static_cast<std::uint64_t>(kBenchReportVersion))
+      .field("label", opt.label)
+      .field("input", opt.input)
+      .field("num_vertices", graph.num_vertices())
+      .field("num_edges", graph.num_edges())
+      .field("threads", opt.threads)
+      .field("vectorized", vectorized)
+      .field("pmu_available", pmu_available)
+      .field_raw("machine", json::ObjectWriter()
+                                .field("cpu_model", m.cpu_model)
+                                .field("logical_cores", m.logical_cores)
+                                .field("avx2", m.avx2)
+                                .field("avx512f", m.avx512f)
+                                .field("llc_bytes", m.llc_bytes)
+                                .str())
+      .field_raw("benchmarks", json::array(benches));
+  return w.str();
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string body;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  return body;
+}
+
+int diff_reports(const Options& opt) {
+  const auto old_body = read_file(opt.diff_old);
+  const auto new_body = read_file(opt.diff_new);
+  if (!old_body || !new_body) return 1;
+
+  namespace json = telemetry::json;
+  json::Value a, b;
+  try {
+    a = json::parse(*old_body);
+    b = json::parse(*new_body);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: bad report JSON: %s\n", e.what());
+    return 1;
+  }
+  for (const json::Value* v : {&a, &b}) {
+    if (!v->is_object() || !v->has("bench_report_version") ||
+        !v->has("benchmarks")) {
+      std::fprintf(stderr, "error: not a bench_report file\n");
+      return 1;
+    }
+    if (static_cast<unsigned>(v->at("bench_report_version").num) >
+        kBenchReportVersion) {
+      std::fprintf(stderr,
+                   "error: report version %u is newer than this tool (%u)\n",
+                   static_cast<unsigned>(v->at("bench_report_version").num),
+                   kBenchReportVersion);
+      return 1;
+    }
+  }
+  if (a.has("input") && b.has("input") &&
+      a.at("input").str != b.at("input").str) {
+    std::printf("warning: different inputs (%s vs %s) — medians measure "
+                "different work\n",
+                a.at("input").str.c_str(), b.at("input").str.c_str());
+  }
+  if (a.at("machine").at("cpu_model").str !=
+      b.at("machine").at("cpu_model").str) {
+    std::printf("warning: different machines (%s vs %s) — timings are not "
+                "directly comparable\n",
+                a.at("machine").at("cpu_model").str.c_str(),
+                b.at("machine").at("cpu_model").str.c_str());
+  }
+
+  std::printf("%-6s %12s %12s %9s   %s\n", "bench", "old ms", "new ms",
+              "delta", "verdict");
+  bool regressed = false;
+  for (const auto& nb : b.at("benchmarks").items) {
+    const std::string name = nb->at("name").str;
+    const json::Value* ob = nullptr;
+    for (const auto& cand : a.at("benchmarks").items) {
+      if (cand->at("name").str == name) ob = cand.get();
+    }
+    if (ob == nullptr) {
+      std::printf("%-6s %12s %12.3f %9s   new (no baseline)\n", name.c_str(),
+                  "-", nb->at("median_s").num * 1e3, "-");
+      continue;
+    }
+    const double old_s = ob->at("median_s").num;
+    const double new_s = nb->at("median_s").num;
+    const double delta = old_s > 0 ? (new_s - old_s) / old_s : 0.0;
+    const bool bad = delta > opt.threshold;
+    regressed = regressed || bad;
+    std::printf("%-6s %12.3f %12.3f %+8.1f%%   %s\n", name.c_str(),
+                old_s * 1e3, new_s * 1e3, delta * 100,
+                bad ? "REGRESSION" : "ok");
+  }
+  if (regressed) {
+    std::fprintf(stderr,
+                 "error: regression beyond %.0f%% threshold (see table)\n",
+                 opt.threshold * 100);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  static option long_options[] = {
+      {"apps", required_argument, nullptr, 1000},
+      {"repeats", required_argument, nullptr, 1001},
+      {"label", required_argument, nullptr, 1002},
+      {"out", required_argument, nullptr, 1003},
+      {"diff", no_argument, nullptr, 1004},
+      {"threshold", required_argument, nullptr, 1005},
+      {nullptr, 0, nullptr, 0},
+  };
+  int c;
+  while ((c = getopt_long(argc, argv, "i:n:N:S:h", long_options, nullptr)) !=
+         -1) {
+    switch (c) {
+      case 'i': opt.input = optarg; break;
+      case 'n': opt.threads = std::atoi(optarg); break;
+      case 'N': opt.iterations = std::atoi(optarg); break;
+      case 'S': opt.scale = std::atof(optarg); break;
+      case 1000: opt.apps = optarg; break;
+      case 1001: opt.repeats = std::max(1, std::atoi(optarg)); break;
+      case 1002: opt.label = optarg; break;
+      case 1003: opt.out = optarg; break;
+      case 1004: opt.diff = true; break;
+      case 1005: opt.threshold = std::atof(optarg); break;
+      case 'h': usage(argv[0]); return 0;
+      default: usage(argv[0]); return 1;
+    }
+  }
+
+  if (opt.diff) {
+    if (optind + 2 != argc) {
+      std::fprintf(stderr, "error: --diff needs exactly two report files\n");
+      return 1;
+    }
+    opt.diff_old = argv[optind];
+    opt.diff_new = argv[optind + 1];
+    if (opt.threshold <= 0) {
+      std::fprintf(stderr, "error: --threshold must be positive\n");
+      return 1;
+    }
+    return diff_reports(opt);
+  }
+
+  if (opt.out.empty()) opt.out = "BENCH_" + opt.label + ".json";
+  if (!cli::validate_writable_path(opt.out, "--out")) return 1;
+
+  auto loaded = cli::load_graph_input(opt.input, opt.scale,
+                                      /*weighted=*/false);
+  if (!loaded) return 1;
+  const Graph graph = std::move(loaded->graph);
+
+  std::printf("bench_report: %s (%llu vertices, %llu edges), "
+              "%u repeats x {%s}, %u threads\n",
+              opt.input.c_str(),
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges()), opt.repeats,
+              opt.apps.c_str(), opt.threads);
+  std::printf("host: %s\n", machine_fingerprint().summary().c_str());
+
+  const bool vectorize = vector_kernels_available();
+  std::vector<BenchResult> results;
+#if defined(GRAZELLE_HAVE_AVX2)
+  if (vectorize) results = run_all<true>(graph, opt);
+#endif
+  if (results.empty()) results = run_all<false>(graph, opt);
+  if (results.empty()) {
+    std::fprintf(stderr, "error: no benchmark selected by --apps '%s'\n",
+                 opt.apps.c_str());
+    return 1;
+  }
+  if (!results.front().pmu_available) {
+    std::printf("pmu: unavailable; counters are rdtsc estimates "
+                "(pmu_available=false in the report)\n");
+  }
+
+  const std::string body = report_json(results, opt, graph, vectorize);
+  if (!cli::write_text_file(opt.out, body + "\n")) return 1;
+  std::printf("wrote %s\n", opt.out.c_str());
+  return 0;
+}

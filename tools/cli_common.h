@@ -3,11 +3,14 @@
 // the artifact's command-line interface (paper Appendix A.5.2).
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+
+#include <sys/stat.h>
 
 #include "core/engine.h"
 #include "gen/datasets.h"
@@ -120,17 +123,45 @@ inline std::optional<EngineSelect> parse_engine(const std::string& sel) {
   return std::nullopt;
 }
 
+/// Probes that `path` can be created and written, *before* any
+/// expensive load or run, so a typo'd report destination fails fast
+/// with a clear message instead of discarding the results of a long
+/// run at exit. The probe opens in append mode (an existing file is
+/// never truncated) and removes the file again if the probe created
+/// it. `what` names the flag in the error message.
+inline bool validate_writable_path(const std::string& path,
+                                   const char* what) {
+  if (path.empty()) return true;
+  struct stat st{};
+  const bool existed = ::stat(path.c_str(), &st) == 0;
+  if (existed && S_ISDIR(st.st_mode)) {
+    std::fprintf(stderr, "error: %s path '%s' is a directory\n", what,
+                 path.c_str());
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s file '%s': %s\n", what,
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  std::fclose(f);
+  if (!existed) std::remove(path.c_str());
+  return true;
+}
+
 /// Writes `body` to `path`, reporting failures on stderr.
 inline bool write_text_file(const std::string& path,
                             const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "error: cannot open output file %s\n", path.c_str());
+    std::fprintf(stderr, "error: cannot open output file '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
     return false;
   }
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   if (std::fclose(f) != 0 || !ok) {
-    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    std::fprintf(stderr, "error: short write to '%s'\n", path.c_str());
     return false;
   }
   return true;

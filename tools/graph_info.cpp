@@ -4,7 +4,13 @@
 // .gzg containers it also prints the section table and verifies every
 // section checksum before serving any statistics.
 //
-//   graph_info <input> [--scale <f>]
+//   graph_info <input> [--scale <f>] [--json]
+//
+// --json emits one machine-readable JSON object (stable field names)
+// instead of the human-readable text: counts, degree statistics,
+// packing efficiency, block-index presence, and — for packed
+// containers — the full section table with checksum verdicts. CI and
+// bench_report consume store metadata this way without scraping text.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +23,7 @@
 #include "graph/partition.h"
 #include "graph/store.h"
 #include "graph/vector_sparse.h"
+#include "telemetry/json.h"
 
 using namespace grazelle;
 
@@ -57,23 +64,30 @@ void print_degree_block(const char* title,
 
 /// Prints the container header and section table, verifies every
 /// section checksum, and opens the graph zero-copy. Returns nullopt
-/// (after reporting) on any container error.
-std::optional<Graph> open_packed(const std::string& input) {
+/// (after reporting) on any container error. `quiet` suppresses the
+/// text table (--json mode renders it from `info_out` instead).
+std::optional<Graph> open_packed(const std::string& input, bool quiet,
+                                 std::optional<store::StoreInfo>* info_out) {
   try {
     const store::StoreInfo info = store::inspect_store(input);
-    std::printf("packed container:  version %u, %s, %u-lane vectors\n",
-                info.version, info.weighted ? "weighted" : "unweighted",
-                info.vector_lanes);
-    std::printf("  %-14s %12s %14s %7s %10s\n", "section", "offset", "bytes",
-                "align", "crc32");
-    for (const store::SectionInfo& s : info.sections) {
-      std::printf("  %-14s %12llu %14llu %7u 0x%08x\n", s.name.c_str(),
-                  static_cast<unsigned long long>(s.offset),
-                  static_cast<unsigned long long>(s.length), s.alignment,
-                  s.crc32);
+    if (!quiet) {
+      std::printf("packed container:  version %u, %s, %u-lane vectors\n",
+                  info.version, info.weighted ? "weighted" : "unweighted",
+                  info.vector_lanes);
+      std::printf("  %-14s %12s %14s %7s %10s\n", "section", "offset", "bytes",
+                  "align", "crc32");
+      for (const store::SectionInfo& s : info.sections) {
+        std::printf("  %-14s %12llu %14llu %7u 0x%08x\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.offset),
+                    static_cast<unsigned long long>(s.length), s.alignment,
+                    s.crc32);
+      }
     }
     store::verify_store(input);
-    std::printf("  all %zu section checksums OK\n", info.sections.size());
+    if (!quiet) {
+      std::printf("  all %zu section checksums OK\n", info.sections.size());
+    }
+    if (info_out != nullptr) *info_out = info;
     return store::load_graph(input);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -81,26 +95,98 @@ std::optional<Graph> open_packed(const std::string& input) {
   }
 }
 
+/// Serializes one degree-stat block ("in"/"out" side) for --json.
+std::string degree_stats_json(std::span<const std::uint64_t> degrees) {
+  const DegreeStats s = compute_degree_stats(degrees, 1000);
+  return telemetry::json::ObjectWriter()
+      .field("min_degree", s.min_degree)
+      .field("avg_degree", s.avg_degree)
+      .field("max_degree", s.max_degree)
+      .field("zero_degree_count", s.zero_degree_count)
+      .field("high_degree_count", s.high_degree_count)
+      .field("packing_efficiency_4",
+             VectorSparseGraph::packing_efficiency(degrees, 4))
+      .field("packing_efficiency_8",
+             VectorSparseGraph::packing_efficiency(degrees, 8))
+      .field("packing_efficiency_16",
+             VectorSparseGraph::packing_efficiency(degrees, 16))
+      .str();
+}
+
+/// The complete --json document: graph shape, block-index geometry,
+/// degree statistics, and (for packed containers) the verified section
+/// table. Checksums in the section table are already verified by the
+/// time this runs — checksums_ok is a recorded fact, not a hope.
+std::string info_json(const Graph& graph,
+                      const std::optional<store::StoreInfo>& packed) {
+  namespace json = telemetry::json;
+  json::ObjectWriter w;
+  w.field("tool", "graph_info")
+      .field("num_vertices", graph.num_vertices())
+      .field("num_edges", graph.num_edges())
+      .field("weighted", graph.weighted())
+      .field("vsd_vectors", graph.vsd().num_vectors())
+      .field("vss_vectors", graph.vss().num_vectors());
+
+  json::ObjectWriter blocks;
+  blocks.field("present", graph.vsd_blocks().present());
+  if (graph.vsd_blocks().present()) {
+    blocks.field("num_blocks", graph.vsd_blocks().num_blocks())
+        .field("source_shift", graph.vsd_blocks().source_shift())
+        .field("split_entries",
+               static_cast<std::uint64_t>(graph.vsd_blocks().splits().size()));
+  }
+  w.field_raw("block_index", blocks.str());
+
+  w.field_raw("in_degrees", degree_stats_json(graph.in_degrees()));
+  w.field_raw("out_degrees", degree_stats_json(graph.out_degrees()));
+
+  if (packed.has_value()) {
+    std::vector<std::string> sections;
+    for (const store::SectionInfo& s : packed->sections) {
+      sections.push_back(json::ObjectWriter()
+                             .field("name", s.name)
+                             .field("offset", s.offset)
+                             .field("bytes", s.length)
+                             .field("alignment", s.alignment)
+                             .field("crc32", static_cast<std::uint64_t>(s.crc32))
+                             .str());
+    }
+    w.field_raw("packed", json::ObjectWriter()
+                              .field("version", packed->version)
+                              .field("vector_lanes", packed->vector_lanes)
+                              .field("checksums_ok", true)
+                              .field_raw("sections", json::array(sections))
+                              .str());
+  }
+  return w.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string input;
   double scale = 0.25;
+  bool json_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_mode = true;
     } else if (input.empty()) {
       input = argv[i];
     }
   }
   if (input.empty()) {
-    std::fprintf(stderr, "usage: %s <input> [--scale <f>]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <input> [--scale <f>] [--json]\n",
+                 argv[0]);
     return 1;
   }
 
   std::optional<Graph> opened;
+  std::optional<store::StoreInfo> packed_info;
   if (cli::has_suffix(input, store::kFileExtension)) {
-    opened = open_packed(input);
+    opened = open_packed(input, json_mode, &packed_info);
     if (!opened) return 1;
   } else {
     auto list = cli::load_input(input, scale, /*weighted=*/false);
@@ -108,6 +194,11 @@ int main(int argc, char** argv) {
     opened = Graph::build(std::move(*list));
   }
   const Graph graph = std::move(*opened);
+
+  if (json_mode) {
+    std::printf("%s\n", info_json(graph, packed_info).c_str());
+    return 0;
+  }
 
   std::printf("graph: %llu vertices, %llu edges%s\n",
               static_cast<unsigned long long>(graph.num_vertices()),

@@ -45,6 +45,7 @@ struct Options {
   bool cache_blocking = false;
   std::uint64_t block_bytes = 0;       // --block-bytes: 0 = LLC-derived
   int prefetch_distance = -1;          // --prefetch-distance: -1 = auto
+  bool perf_counters = false;  // --perf-counters: attach a PMU group set
   std::string stats_json;  // --stats-json: RunReport destination
   std::string trace;       // --trace: chrome://tracing destination
   // Enum args resolved (and rejected) up front in main(), before the
@@ -87,6 +88,14 @@ void usage(const char* argv0) {
       "  --prefetch-distance <d>\n"
       "                    software-prefetch distance in edge vectors\n"
       "                    (0 disables; default: auto-probed)\n"
+      "  --perf-counters   attach hardware PMU counter groups\n"
+      "                    (perf_event_open: cycles, instructions, LLC\n"
+      "                    loads/misses, branch misses, stalled cycles)\n"
+      "                    to every pool thread; per-phase and whole-run\n"
+      "                    IPC / cycles-per-edge / LLC-misses-per-edge\n"
+      "                    land in the report. Falls back to rdtsc cycle\n"
+      "                    estimates (pmu available=false) when the\n"
+      "                    kernel denies access — never fails the run\n"
       "  --stats-json <f>  write a structured RunReport (stable JSON\n"
       "                    schema: phase times, counters, per-iteration\n"
       "                    stats) to <f>\n"
@@ -122,9 +131,22 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   // A telemetry sink only when an output asks for one: disabled runs
   // carry no instrumentation cost.
   std::optional<telemetry::Telemetry> telem;
-  if (!opt.stats_json.empty() || !opt.trace.empty()) {
+  std::optional<telemetry::Pmu> pmu;
+  if (!opt.stats_json.empty() || !opt.trace.empty() || opt.perf_counters) {
     telem.emplace(engine.pool().size());
     engine.set_telemetry(&*telem);
+  }
+  if (opt.perf_counters) {
+    pmu.emplace();  // calling thread = pool tid 0
+    for (pid_t tid : engine.pool().worker_os_tids()) {
+      pmu->attach_thread(tid);
+    }
+    telem->set_pmu(&*pmu);
+    if (!pmu->available()) {
+      std::printf("pmu:               unavailable (%s); falling back to "
+                  "rdtsc cycle estimates\n",
+                  pmu->unavailable_reason().c_str());
+    }
   }
   P prog = make(engine.pool().size());
   seed(engine.frontier(), prog);
@@ -155,21 +177,39 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
                 stats.total_seconds * 1e3 / stats.iterations);
   }
 
-  if (!opt.stats_json.empty()) {
-    RunReport report = build_report(stats, telem ? &*telem : nullptr);
-    report.app = opt.app;
-    report.graph = opt.input;
-    report.engine = opt.engine;
-    report.pull_mode = opt.pull_mode;
-    report.threads = engine.pool().size();
-    report.vectorized = Vec;
-    report.num_vertices = graph.num_vertices();
-    report.num_edges = graph.num_edges();
-    report.graph_build_seconds = opt.graph_build_seconds;
-    report.graph_load_seconds = opt.graph_load_seconds;
-    report.graph_mapped = opt.graph_mapped;
-    report.prefetch_distance = engine.prefetch_distance();
-    if (!cli::write_text_file(opt.stats_json, report.to_json())) return 1;
+  std::optional<RunReport> report;
+  if (telem) {
+    report = build_report(stats, &*telem);
+    report->app = opt.app;
+    report->graph = opt.input;
+    report->engine = opt.engine;
+    report->pull_mode = opt.pull_mode;
+    report->threads = engine.pool().size();
+    report->vectorized = Vec;
+    report->num_vertices = graph.num_vertices();
+    report->num_edges = graph.num_edges();
+    report->graph_build_seconds = opt.graph_build_seconds;
+    report->graph_load_seconds = opt.graph_load_seconds;
+    report->graph_mapped = opt.graph_mapped;
+    report->prefetch_distance = engine.prefetch_distance();
+  }
+  if (opt.perf_counters && report) {
+    const telemetry::PmuDerived d = telemetry::derive_pmu_metrics(
+        report->pmu_totals, report->pmu_run_edges, stats.total_seconds);
+    if (report->pmu_available) {
+      std::printf("pmu:               IPC %.2f, %.1f cycles/edge, "
+                  "%.3f LLC-miss/edge, %.2f GB/s effective\n",
+                  d.ipc, d.cycles_per_edge, d.llc_misses_per_edge,
+                  d.effective_bandwidth_gbs);
+    } else {
+      std::printf("pmu (estimated):   %.1f ref-cycles/edge (rdtsc; "
+                  "hardware counters denied)\n",
+                  d.cycles_per_edge);
+    }
+  }
+  if (!opt.stats_json.empty() &&
+      !cli::write_text_file(opt.stats_json, report->to_json())) {
+    return 1;
   }
   if (!opt.trace.empty() &&
       !telemetry::write_chrome_trace(*telem, opt.trace)) {
@@ -266,6 +306,7 @@ int main(int argc, char** argv) {
       {"cache-blocking", no_argument, nullptr, 1007},
       {"prefetch-distance", required_argument, nullptr, 1008},
       {"block-bytes", required_argument, nullptr, 1009},
+      {"perf-counters", no_argument, nullptr, 1010},
       {nullptr, 0, nullptr, 0},
   };
 
@@ -292,6 +333,7 @@ int main(int argc, char** argv) {
       case 1007: opt.cache_blocking = true; break;
       case 1008: opt.prefetch_distance = std::atoi(optarg); break;
       case 1009: opt.block_bytes = std::atoll(optarg); break;
+      case 1010: opt.perf_counters = true; break;
       case 'h': usage(argv[0]); return 0;
       default: usage(argv[0]); return 1;
     }
@@ -323,6 +365,13 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "error: unknown engine '%s' (want auto|pull|push)\n",
                  opt.engine.c_str());
+    return 1;
+  }
+  // Probe every output destination now: an unwritable report path must
+  // fail before the run, not discard its results afterwards.
+  if (!cli::validate_writable_path(opt.stats_json, "--stats-json") ||
+      !cli::validate_writable_path(opt.trace, "--trace") ||
+      !cli::validate_writable_path(opt.output, "-o")) {
     return 1;
   }
 
