@@ -9,11 +9,18 @@
 // This bench is exact (pure data-structure computation), so the values
 // — not just the shape — should match the paper's: >90% for graphs
 // with average degree >= 25 at 4 lanes, dropping with wider vectors.
+//
+// Section (c) extends the figure with the PR-6 acceptance metric: on
+// skewed R-MAT graphs, the measured packing efficiency of the fused
+// 8-lane SELL-σ layout (degree-sorted pairing + hub-splitting,
+// DESIGN.md §12) against the naive 8-lane slicing the paper's 8-elem
+// series charges — target ≥1.5x on low-degree skewed inputs.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "gen/rmat.h"
+#include "graph/compressed_sparse.h"
 #include "graph/vector_sparse.h"
 
 using namespace grazelle;
@@ -60,5 +67,43 @@ int main() {
                    pct(VectorSparseGraph::packing_efficiency(d, 16))});
   }
   sweep.print();
-  return 0;
+
+  std::printf("\n(c) 8-lane SELL-sigma (measured) vs naive 8-lane slicing "
+              "on skewed R-MAT\n");
+  bench::Table sell({"log2(avg deg)", "naive 8-lane", "SELL-sigma 8-lane",
+                     "ratio", "hub splits"});
+  double best_ratio = 0.0;
+  for (unsigned k = 0; k <= 4; ++k) {
+    gen::RmatParams p;
+    p.scale = 12;
+    p.num_edges = (std::uint64_t{1} << k) * (std::uint64_t{1} << p.scale);
+    p.seed = 2000 + k;
+    // Skew the distribution harder than the default (a=0.57): this is
+    // the heavy-tailed regime Figure 9 shows collapsing.
+    p.a = 0.65;
+    p.b = (1.0 - p.a) / 3;
+    p.c = p.b;
+    EdgeList list = gen::generate_rmat(p);
+    list.canonicalize();
+    const auto degrees = list.in_degrees();
+    const double naive = VectorSparseGraph::packing_efficiency(
+        {degrees.data(), degrees.size()}, 8);
+    const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
+    const Vsd512Graph v512 = Vsd512Graph::build(csc);
+    const double sorted = v512.measured_packing_efficiency();
+    const double ratio = naive > 0 ? sorted / naive : 0.0;
+    if (ratio > best_ratio) best_ratio = ratio;
+    sell.add_row({std::to_string(k), pct(naive), pct(sorted),
+                  bench::fmt(ratio, 2) + "x",
+                  std::to_string(v512.hub_split_count())});
+  }
+  sell.print();
+  // The win is largest exactly where Figure 9 collapses — the sparse,
+  // heavy-tailed serving regime — and narrows as rows fill all eight
+  // lanes regardless of pairing.
+  const bool pass = best_ratio >= 1.5;
+  std::printf("\nacceptance (PR 6): SELL-sigma >= 1.5x naive 8-lane on "
+              "skewed R-MAT: %s (best %.2fx)\n", pass ? "PASS" : "FAIL",
+              best_ratio);
+  return pass ? 0 : 1;
 }

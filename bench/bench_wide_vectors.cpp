@@ -1,19 +1,21 @@
 // Extension bench (paper §4's "longer vectors" discussion + Figure 9's
 // wider-vector packing series): PageRank-shaped pull-sweep throughput
-// across vector widths — scalar, 4-lane AVX2, and 8-lane AVX-512 —
-// on the six dataset analogs.
+// across lane widths on the six dataset analogs — scalar and AVX2 over
+// the 4-lane layout vs scalar-per-half and fused AVX-512 over the
+// SELL-σ 8-lane Vsd512 layout (DESIGN.md §12).
 //
-// Expected shape: the AVX-512 kernel moves twice the lanes per gather
-// but pays the packing-efficiency drop Figure 9 quantifies, so its
-// advantage over AVX2 shrinks on low-degree graphs (D) and grows on
-// high-degree ones (T, U).
+// Expected shape: the fused kernel moves twice the lanes per gather
+// and the σ-sorted pairing keeps the 8-lane packing close to the
+// 4-lane baseline, so the AVX-512 column's advantage tracks the
+// "8-lane pack" column — near-4-lane packing on skewed graphs is
+// exactly what hub-splitting buys.
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "apps/pagerank.h"
-#include "core/pull_engine.h"
-#include "core/simd512.h"
 #include "bench_common.h"
+#include "core/pull_engine.h"
 #include "platform/cpu_features.h"
 
 using namespace grazelle;
@@ -42,40 +44,34 @@ double sweep_avx2(const Graph& g, const apps::PageRank& pr,
 }
 #endif
 
-double sweep_scalar8(const WideVectorSparse<8>& w, const double* messages,
-                     std::vector<double>& out) {
+/// Sequential pull over the fused layout. `Vectorized` false walks the
+/// halves with the scalar kernel; true takes the fused AVX-512 kernel
+/// when the host has it (per-half AVX2 otherwise).
+template <bool Vectorized>
+double sweep_512(const Graph& g, const apps::PageRank& pr, ThreadPool& pool,
+                 std::vector<double>& out) {
+  Pull512EdgePhase<apps::PageRank, Vectorized> phase;
+  MergeBuffer<double> mb;
+  PullRunConfig cfg;
+  cfg.mode = PullParallelism::kSequential;
   return bench::median_seconds(5, [&] {
-    auto t = wide::pull_sum_sweep_scalar<8>(
-        w, messages, 0, w.num_vectors(),
-        [&](VertexId d, double v) { out[d] = v; });
-    if (t.first != kInvalidVertex) out[t.first] = t.second;
+    phase.run(pr, g.vsd512(), std::span<double>(out), nullptr, pool, cfg,
+              mb);
   });
 }
-
-#if defined(GRAZELLE_HAVE_AVX512)
-double sweep_avx512(const WideVectorSparse<8>& w, const double* messages,
-                    std::vector<double>& out) {
-  return bench::median_seconds(5, [&] {
-    auto t = wide::pull_sum_sweep_avx512(
-        w, messages, 0, w.num_vectors(),
-        [&](VertexId d, double v) { out[d] = v; });
-    if (t.first != kInvalidVertex) out[t.first] = t.second;
-  });
-}
-#endif
 
 }  // namespace
 
 int main() {
-  bench::banner("Extension — pull-sweep throughput across vector widths",
+  bench::banner("Extension — pull-sweep throughput across lane widths",
                 "Speedups relative to the 4-lane scalar sweep; the 8-lane "
-                "column includes its packing-efficiency cost.");
+                "columns run the SELL-sigma Vsd512 layout.");
 
+  ThreadPool pool(1);
   bench::Table table({"Graph", "4-lane pack", "8-lane pack", "AVX2 4-lane",
                       "scalar 8-lane", "AVX-512 8-lane"});
   for (const auto& spec : gen::all_datasets()) {
     const Graph& g = bench::dataset(spec.id);
-    const auto wide8 = WideVectorSparse<8>::build(g.csc());
     apps::PageRank pr(g, 1);
     std::vector<double> out(g.num_vertices());
 
@@ -86,20 +82,14 @@ int main() {
       avx2 = bench::fmt(base / sweep_avx2(g, pr, out), 2) + "x";
     }
 #endif
-    scalar8 =
-        bench::fmt(base / sweep_scalar8(wide8, pr.message_array(), out), 2) +
-        "x";
-#if defined(GRAZELLE_HAVE_AVX512)
-    if (wide::wide_kernels_available()) {
-      avx512 =
-          bench::fmt(base / sweep_avx512(wide8, pr.message_array(), out), 2) +
-          "x";
+    scalar8 = bench::fmt(base / sweep_512<false>(g, pr, pool, out), 2) + "x";
+    if (wide_kernels_available()) {
+      avx512 = bench::fmt(base / sweep_512<true>(g, pr, pool, out), 2) + "x";
     }
-#endif
     table.add_row(
         {std::string(spec.abbr),
          bench::fmt(100 * g.vsd().measured_packing_efficiency(), 1) + "%",
-         bench::fmt(100 * wide8.measured_packing_efficiency(), 1) + "%",
+         bench::fmt(100 * g.vsd512().measured_packing_efficiency(), 1) + "%",
          avx2, scalar8, avx512});
   }
   table.print();

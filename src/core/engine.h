@@ -55,6 +55,15 @@ class Engine {
       topology_.record_allocation(node, piece.vectors.size() * sizeof(EdgeVector));
     }
     configure_blocking();
+    // Lane-policy resolution (DESIGN.md §12): the fused 8-lane layout
+    // is used when the graph carries one and either the driver forces
+    // it (k8 — the structure runs fine on per-half 4-lane or scalar
+    // kernels, which is what the forced-scalar CI identity checks
+    // exercise) or kAuto finds the full AVX-512 kernel path available.
+    use_wide_ = options.lanes != LanePolicy::k4 &&
+                graph.vsd512().present() &&
+                (options.lanes == LanePolicy::k8 ||
+                 (Vectorized && wide_kernels_available()));
   }
 
   /// Current frontier (mutable so callers seed it before run()).
@@ -118,9 +127,16 @@ class Engine {
       cfg.gated = plan.gated;
       cfg.blocks = plan.blocked ? blocks_ : nullptr;
       cfg.prefetch_distance = prefetch_distance_;
-      pull_phase_.run(prog, graph_.vsd(), accum_.span(),
-                      P::kUsesFrontier ? &frontier_ : nullptr, pool_, cfg,
-                      merge_buffer_, telemetry_);
+      last_pull_was_wide_ = use_wide_;
+      if (use_wide_) {
+        pull512_phase_.run(prog, graph_.vsd512(), accum_.span(),
+                           P::kUsesFrontier ? &frontier_ : nullptr, pool_,
+                           cfg, merge_buffer_, telemetry_);
+      } else {
+        pull_phase_.run(prog, graph_.vsd(), accum_.span(),
+                        P::kUsesFrontier ? &frontier_ : nullptr, pool_, cfg,
+                        merge_buffer_, telemetry_);
+      }
       return;
     }
     if (plan.sparse && P::kUsesFrontier) {
@@ -134,22 +150,30 @@ class Engine {
                     /*chunk_words=*/64, telemetry_);
   }
 
+  /// Whether pull iterations run over the fused 8-lane layout
+  /// (resolved once at construction from LanePolicy, the graph's
+  /// Vsd512 presence, and the host kernels).
+  [[nodiscard]] bool wide_active() const noexcept { return use_wide_; }
+
   /// Edge vectors the occupancy gate skipped during the most recent
-  /// Edge-Pull phase.
+  /// Edge-Pull phase (4-lane-equivalent units on the fused path).
   [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
-    return pull_phase_.last_vectors_skipped();
+    return last_pull_was_wide_ ? pull512_phase_.last_vectors_skipped()
+                               : pull_phase_.last_vectors_skipped();
   }
 
   /// Non-empty (chunk, block) segments the most recent Edge-Pull phase
   /// executed (0 when it ran unblocked).
   [[nodiscard]] std::uint64_t last_blocks_executed() const noexcept {
-    return pull_phase_.last_blocks_executed();
+    return last_pull_was_wide_ ? pull512_phase_.last_blocks_executed()
+                               : pull_phase_.last_blocks_executed();
   }
 
   /// Intra-chunk source-block transitions of the most recent Edge-Pull
   /// phase.
   [[nodiscard]] std::uint64_t last_block_switches() const noexcept {
-    return pull_phase_.last_block_switches();
+    return last_pull_was_wide_ ? pull512_phase_.last_block_switches()
+                               : pull_phase_.last_block_switches();
   }
 
   /// Whether pull iterations run cache-blocked: blocking was requested
@@ -228,10 +252,14 @@ class Engine {
       it.edge_seconds = edge_timer.seconds();
 
       if (it.used_pull) {
-        it.merge_seconds = pull_phase_.last_merge_seconds();
-        it.idle_seconds = pull_phase_.last_idle_seconds();
-        it.vectors_skipped = pull_phase_.last_vectors_skipped();
-        it.blocks_executed = pull_phase_.last_blocks_executed();
+        it.merge_seconds = last_pull_was_wide_
+                               ? pull512_phase_.last_merge_seconds()
+                               : pull_phase_.last_merge_seconds();
+        it.idle_seconds = last_pull_was_wide_
+                              ? pull512_phase_.last_idle_seconds()
+                              : pull_phase_.last_idle_seconds();
+        it.vectors_skipped = last_vectors_skipped();
+        it.blocks_executed = last_blocks_executed();
         if (it.gated) {
           ++stats.gated_iterations;
           stats.vectors_skipped += it.vectors_skipped;
@@ -324,6 +352,7 @@ class Engine {
   NumaTopology topology_;
   ThreadPool pool_;
   PullEdgePhase<P, Vectorized> pull_phase_;
+  Pull512EdgePhase<P, Vectorized> pull512_phase_;
   PushEdgePhase<P, Vectorized> push_phase_;
   VertexPhase<P> vertex_phase_;
   MergeBuffer<V> merge_buffer_;
@@ -334,6 +363,8 @@ class Engine {
   BlockIndex own_blocks_;
   const BlockIndex* blocks_ = nullptr;
   unsigned prefetch_distance_ = 0;
+  bool use_wide_ = false;
+  bool last_pull_was_wide_ = false;
   telemetry::Telemetry* telemetry_ = nullptr;
   // 0 so the first iteration's direction choice rests on the frontier
   // size alone (a single-seed BFS must start with a push, a full

@@ -24,6 +24,20 @@ enum class EngineSelect {
   kPushOnly,  ///< always Edge-Push
 };
 
+/// Which packed edge layout the pull walkers run over (DESIGN.md §12).
+enum class LanePolicy {
+  /// 8-lane fused layout when the graph carries one and the host has
+  /// the AVX-512 kernels; 4-lane otherwise.
+  kAuto,
+  /// Always the 4-lane layout.
+  k4,
+  /// Force the 8-lane layout when the graph carries one, even when the
+  /// engine is scalar or the host lacks AVX-512 — the fused *structure*
+  /// is walked with per-half 4-lane (or scalar) kernels. Falls back to
+  /// 4-lane only when the graph has no Vsd512 section.
+  k8,
+};
+
 /// Pull Edge-phase parallelization mode (paper Figures 5-8).
 enum class PullParallelism {
   kSequential,
@@ -98,6 +112,9 @@ struct EngineOptions {
   /// 32 * num_threads equal chunks (§5).
   std::uint64_t chunk_vectors = 0;
   PullParallelism pull_mode = PullParallelism::kSchedulerAware;
+  /// Packed-layout choice for the pull walkers (4-lane vs fused
+  /// 8-lane; DESIGN.md §12).
+  LanePolicy lanes = LanePolicy::kAuto;
   /// Pull-vs-push direction choice and sparse-push policy.
   DirectionPolicy direction{};
   /// Frontier-gated pull policy.

@@ -40,7 +40,9 @@
 
 #include "core/merge_buffer.h"
 #include "core/options.h"
+#include "core/simd512.h"
 #include "graph/block_index.h"
+#include "platform/cpu_features.h"
 #include "platform/aligned_buffer.h"
 #include "platform/bits.h"
 #include "platform/prefetch.h"
@@ -1390,6 +1392,978 @@ class PullEdgePhase {
   AlignedBuffer<std::uint64_t> candidates_;
   std::vector<AlignedBuffer<BlockAcc>> block_scratch_;
   std::vector<AlignedBuffer<BlockDest>> block_dests_;
+};
+
+namespace detail {
+
+/// Half `h` of a fused vector is occupied iff its lane 0 is valid —
+/// valid lanes form a prefix, so an all-invalid padding half is
+/// recognized from one lane.
+[[nodiscard]] inline bool half_occupied(const EdgeVector& h) noexcept {
+  return vsenc::lane_valid(h.lane[0]);
+}
+
+/// Distance-ahead prefetch for the fused walk — same policy as
+/// prefetch_ahead, with the distance expressed in fused (64-byte)
+/// vectors so the byte horizon matches the 4-lane walk's.
+template <GraphProgram P>
+inline void prefetch_ahead512(const P& prog, const EdgeVector512* vectors,
+                              std::uint64_t i, std::uint64_t end,
+                              unsigned dist) {
+  if (dist == 0) return;
+  if (i + dist < end) platform::prefetch_read(vectors + i + dist);
+  if constexpr (!P::kMessageIsSourceId) {
+    const std::uint64_t ahead = i + dist / 2;
+    if (ahead > i && ahead < end) {
+      const auto* messages = prog.message_array();
+      for (unsigned h = 0; h < 2; ++h) {
+        const EdgeVector& ev = vectors[ahead].half[h];
+        for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+          if (ev.valid(k)) platform::prefetch_read(messages + ev.neighbor(k));
+        }
+      }
+    }
+  }
+}
+
+#if defined(GRAZELLE_HAVE_AVX512) && defined(GRAZELLE_HAVE_AVX2)
+
+/// Fused accumulation of one EdgeVector512 (both rows of a paired
+/// slice) into an 8-lane accumulator. `allowed` carries 0x0F/0xF0
+/// nibbles for rows that may contribute (a converged row's nibble is
+/// cleared). The combine mask is per-half occupancy, not the frontier
+/// mask: the AVX2 kernel combines all four lanes of every occupied
+/// vector with masked-out lanes blended to identity, and this kernel
+/// reproduces that lane-for-lane so per-half reductions stay bitwise
+/// identical to the 4-lane walk.
+template <GraphProgram P>
+inline void accumulate_fused(
+    const P& prog, const EdgeVector512& fv, const WeightVector512* wv,
+    const DenseFrontier* frontier, __mmask8 allowed,
+    typename simd512::Vec8Of<typename P::Value>::type& vacc) {
+  using V = typename P::Value;
+  using Vec8 = typename simd512::Vec8Of<V>::type;
+  const simd512::Vec8U64 lanes = simd512::load_lanes(fv);
+  const __mmask8 valid =
+      static_cast<__mmask8>(simd512::valid_mask(lanes) & allowed);
+  const __mmask8 occ = simd512::half_occupancy_mask(valid);
+  if (occ == 0) return;
+  const simd512::Vec8U64 srcs = simd512::neighbor_ids(lanes);
+  __mmask8 active = valid;
+  if constexpr (P::kUsesFrontier) {
+    active = simd512::frontier_mask(frontier->words(), srcs, active);
+  }
+  const Vec8 identity = simd512::splat8(prog.identity());
+  Vec8 msgs;
+  if constexpr (P::kMessageIsSourceId) {
+    static_assert(std::is_same_v<V, std::uint64_t>);
+    msgs = simd512::blend(identity, srcs, active);
+  } else {
+    msgs = simd512::gather_masked(prog.message_array(), srcs, active,
+                                  identity);
+    if constexpr (P::kWeight != simd::WeightOp::kNone) {
+      static_assert(std::is_same_v<V, double>,
+                    "weighted programs aggregate doubles");
+      const simd512::Vec8F64 w = simd512::load_weights(*wv);
+      simd512::Vec8F64 weighted;
+      if constexpr (P::kWeight == simd::WeightOp::kAdd) {
+        weighted = simd512::add(msgs, w);
+      } else {
+        weighted = simd512::mul(msgs, w);
+      }
+      msgs = simd512::blend(identity, weighted, active);
+    }
+  }
+  vacc = simd512::combine_masked<P::kCombine>(vacc, msgs, occ);
+}
+
+#endif  // GRAZELLE_HAVE_AVX512 && GRAZELLE_HAVE_AVX2
+
+}  // namespace detail
+
+/// Edge-Pull phase runner over the fused 8-lane Vsd512 layout
+/// (DESIGN.md §12). Mirrors PullEdgePhase mode for mode; per-
+/// destination results are bitwise identical to the 4-lane walk
+/// because every row is still a 4-lane accumulator ladder — the fused
+/// kernel just runs two of them side by side and flushes through the
+/// same 256-bit horizontal reduce.
+///
+/// Scheduler-aware chunking snaps chunk boundaries forward to slice
+/// ends when they fall inside a *paired* slice (so both rows stay in
+/// one chunk and get plain stores); a *solo* (hub) slice may split at
+/// fused-vector granularity, each non-final segment depositing its
+/// running partial into the chunk's private merge-buffer slot —
+/// the write-once protocol is unchanged. Cache blocking reuses the
+/// graph's 4-lane BlockIndex: per-row source-range splits walk the
+/// identical per-destination vector lists block-major with parked
+/// unreduced accumulators. Traditional mode runs unblocked (its
+/// publish-immediately contract has nothing to park).
+template <GraphProgram P, bool Vectorized>
+class Pull512EdgePhase {
+ public:
+  using V = typename P::Value;
+
+  /// Runs one pull Edge phase over the fused structure. Contract and
+  /// knobs are PullEdgePhase::run's; `cfg.chunk_vectors` is still in
+  /// 4-lane edge vectors (one fused vector carries two). Skip/visit
+  /// telemetry is reported in 4-lane vector units (two per fused
+  /// vector) so gated runs stay comparable across lane widths.
+  void run(const P& prog, const Vsd512Graph& graph, std::span<V> accum,
+           const DenseFrontier* frontier, ThreadPool& pool,
+           const PullRunConfig& cfg, MergeBuffer<V>& merge_buffer,
+           telemetry::Telemetry* t = nullptr) {
+    last_vectors_skipped_ = 0;
+    last_blocks_executed_ = 0;
+    last_block_switches_ = 0;
+    last_merge_seconds_ = 0.0;
+    last_idle_seconds_ = 0.0;
+    telemetry_ = t;
+    prefetch_distance_ = cfg.prefetch_distance == 0
+                             ? 0u
+                             : std::max(1u, cfg.prefetch_distance / 2);
+    use_fused_ = false;
+    if constexpr (Vectorized) use_fused_ = wide_kernels_available();
+    const std::uint64_t nf = graph.num_fused();
+    if (nf == 0) return;
+    const std::uint64_t chunk =
+        cfg.chunk_vectors != 0
+            ? std::max<std::uint64_t>(
+                  1, bits::ceil_div(cfg.chunk_vectors, std::uint64_t{2}))
+            : std::max<std::uint64_t>(
+                  1, bits::ceil_div(nf, std::uint64_t{32} * pool.size()));
+
+    if (skipped_.size() < pool.size()) {
+      skipped_ = ReductionArray<std::uint64_t>(pool.size(), 0);
+    }
+    skipped_.reset(0);
+
+    bool gated = false;
+    if constexpr (P::kUsesFrontier) {
+      gated = cfg.gated && frontier != nullptr;
+    }
+    if (gated) {
+      {
+        telemetry::ScopedSpan span(t, 0, "gate_build");
+        build_candidates(graph, frontier);
+      }
+      telemetry::count(t, 0, telemetry::Counter::kGateBuilds, 1);
+    }
+
+    const bool blocked = cfg.blocks != nullptr && !cfg.blocks->trivial();
+    if (blocked) {
+      if (blocks_executed_.size() < pool.size()) {
+        blocks_executed_ = ReductionArray<std::uint64_t>(pool.size(), 0);
+        block_switches_ = ReductionArray<std::uint64_t>(pool.size(), 0);
+      }
+      blocks_executed_.reset(0);
+      block_switches_.reset(0);
+      if (scratch512_.size() < pool.size()) {
+        scratch512_.resize(pool.size());
+        rows512_.resize(pool.size());
+      }
+      bool dispatched = false;
+      if constexpr (P::kUsesFrontier) {
+        if (gated) {
+          run_blocked512<true>(prog, graph, *cfg.blocks, accum, frontier,
+                               pool, cfg.mode, chunk, merge_buffer);
+          dispatched = true;
+        }
+      }
+      if (!dispatched) {
+        run_blocked512<false>(prog, graph, *cfg.blocks, accum, frontier,
+                              pool, cfg.mode, chunk, merge_buffer);
+      }
+      last_blocks_executed_ = blocks_executed_.combine(
+          std::uint64_t{0},
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      last_block_switches_ = block_switches_.combine(
+          std::uint64_t{0},
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    } else if (gated) {
+      if constexpr (P::kUsesFrontier) {
+        dispatch_unblocked<true>(prog, graph, accum, frontier, pool,
+                                 cfg.mode, chunk, merge_buffer);
+      }
+    } else {
+      dispatch_unblocked<false>(prog, graph, accum, frontier, pool, cfg.mode,
+                                chunk, merge_buffer);
+    }
+
+    const std::uint64_t halves = 2 * nf;
+    if (gated) {
+      last_vectors_skipped_ = skipped_.combine(
+          std::uint64_t{0},
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    }
+    if (t != nullptr) {
+      if (gated) {
+        const std::uint64_t visited =
+            halves - std::min(halves, last_vectors_skipped_);
+        t->count(0, telemetry::Counter::kVectorsSkipped,
+                 last_vectors_skipped_);
+        t->count(0, telemetry::Counter::kVectorsVisited, visited);
+        t->count(0, telemetry::Counter::kEdgesTouched,
+                 visited * kEdgeVectorLanes);
+      } else {
+        t->count(0, telemetry::Counter::kVectorsVisited, halves);
+        t->count(0, telemetry::Counter::kEdgesTouched, graph.num_edges());
+      }
+      if (blocked) {
+        t->count(0, telemetry::Counter::kBlocksExecuted,
+                 last_blocks_executed_);
+        t->count(0, telemetry::Counter::kBlockSwitches,
+                 last_block_switches_);
+      }
+    }
+  }
+
+  [[nodiscard]] double last_merge_seconds() const noexcept {
+    return last_merge_seconds_;
+  }
+  /// Always 0 for now: the fused scheduler-aware runner hands out its
+  /// snapped chunk grid through the generic chunk scheduler, which has
+  /// no per-thread busy probe.
+  [[nodiscard]] double last_idle_seconds() const noexcept {
+    return last_idle_seconds_;
+  }
+  /// 4-lane-equivalent vector units (two per fused vector).
+  [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
+    return last_vectors_skipped_;
+  }
+  [[nodiscard]] std::uint64_t last_blocks_executed() const noexcept {
+    return last_blocks_executed_;
+  }
+  [[nodiscard]] std::uint64_t last_block_switches() const noexcept {
+    return last_block_switches_;
+  }
+
+ private:
+  /// Per-row running accumulator — the same type the 4-lane walk
+  /// carries per destination, so parking/reloading it is bitwise
+  /// preserving.
+#if defined(GRAZELLE_HAVE_AVX2)
+  using Acc =
+      std::conditional_t<Vectorized, typename detail::VecOf<V>::type, V>;
+#else
+  using Acc = V;
+#endif
+
+  [[nodiscard]] static Acc acc_identity(const P& prog) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    if constexpr (Vectorized) {
+      return simd::splat(prog.identity());
+    } else {
+      return prog.identity();
+    }
+#else
+    return prog.identity();
+#endif
+  }
+
+  [[nodiscard]] static V acc_reduce(const Acc& acc) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    if constexpr (Vectorized) {
+      return simd::reduce<P::kCombine>(acc);
+    } else {
+      return acc;
+    }
+#else
+    return acc;
+#endif
+  }
+
+  template <bool Gated>
+  static void acc_accumulate(const P& prog, const EdgeVector& ev,
+                             const WeightVector* wv,
+                             const DenseFrontier* frontier, Acc& acc) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    if constexpr (Vectorized) {
+      detail::accumulate_vector_simd<P, Gated>(prog, ev, wv, frontier, acc);
+    } else {
+      detail::accumulate_vector_scalar<P, Gated>(prog, ev, wv, frontier,
+                                                 acc);
+    }
+#else
+    detail::accumulate_vector_scalar<P, Gated>(prog, ev, wv, frontier, acc);
+#endif
+  }
+
+  /// Candidate bitmap over *fused* vectors — same scatter as the
+  /// 4-lane build_candidates, through Vsd512Graph's own incidence
+  /// index. One fused bit covers both halves; a half whose own
+  /// sources are all inactive may therefore still be walked, adding
+  /// exactly the identity.
+  void build_candidates(const Vsd512Graph& graph,
+                        const DenseFrontier* frontier) {
+    const std::uint64_t words =
+        bits::ceil_div(graph.num_fused(), std::uint64_t{64});
+    if (candidates_.size() < words) candidates_.reset(words);
+    std::fill_n(candidates_.data(), words, std::uint64_t{0});
+    const std::span<const EdgeIndex> offsets = graph.source_offsets();
+    const std::span<const std::uint32_t> incident = graph.source_vectors();
+    std::uint64_t* bits_out = candidates_.data();
+    frontier->for_each([&](VertexId v) {
+      const EdgeIndex hi = offsets[v + 1];
+      for (EdgeIndex j = offsets[v]; j < hi; ++j) {
+        const std::uint64_t i = incident[j];
+        bits_out[i >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+    });
+  }
+
+  /// Walks fused vectors [begin, end) of one solo (hub) slice,
+  /// accumulating both halves — the row's 4-lane vectors in ascending
+  /// order — into `acc`.
+  template <bool Gated>
+  void accumulate_solo_range(const P& prog, const Vsd512Graph& graph,
+                             const DenseFrontier* frontier, EdgeIndex begin,
+                             EdgeIndex end, std::uint64_t& skipped,
+                             Acc& acc) {
+    const std::span<const EdgeVector512> vectors = graph.vectors();
+    const std::span<const WeightVector512> weights = graph.weights();
+    [[maybe_unused]] const std::uint64_t* candidates = candidates_.data();
+    for (EdgeIndex i = begin; i < end; ++i) {
+      if constexpr (Gated) {
+        if (!detail::candidate_vector(candidates, i)) {
+          skipped += 2;
+          continue;
+        }
+      }
+      detail::prefetch_ahead512(prog, vectors.data(), i, end,
+                                prefetch_distance_);
+      const WeightVector512* wv = weights.empty() ? nullptr : &weights[i];
+      const EdgeVector512& fv = vectors[i];
+      for (unsigned h = 0; h < 2; ++h) {
+        const EdgeVector& half = fv.half[h];
+        // Occupied halves form a prefix of the row's layout.
+        if (!detail::half_occupied(half)) break;
+        acc_accumulate<Gated>(prog, half, wv ? &wv->half[h] : nullptr,
+                              frontier, acc);
+      }
+    }
+  }
+
+  /// Accumulates fused vectors [begin, end) of one paired slice and
+  /// reduces each row into out[0]/out[1]. Converged rows contribute
+  /// identity. Takes the fused AVX-512 kernel when available,
+  /// otherwise two per-half accumulator ladders — bitwise the same.
+  template <bool Gated>
+  void process_paired_slice(const P& prog, const Vsd512Graph& graph,
+                            const DenseFrontier* frontier,
+                            const Vsd512Slice& s, EdgeIndex begin,
+                            EdgeIndex end, std::uint64_t& skipped,
+                            V out[2]) {
+    bool skip0 = false;
+    bool skip1 = false;
+    if constexpr (P::kUsesConvergedSet) {
+      skip0 = prog.skip_destination(s.dest[0]);
+      skip1 = prog.skip_destination(s.dest[1]);
+    }
+    const std::span<const EdgeVector512> vectors = graph.vectors();
+    const std::span<const WeightVector512> weights = graph.weights();
+    [[maybe_unused]] const std::uint64_t* candidates = candidates_.data();
+
+#if defined(GRAZELLE_HAVE_AVX512) && defined(GRAZELLE_HAVE_AVX2)
+    if constexpr (Vectorized) {
+      if (use_fused_) {
+        using Vec8 = typename simd512::Vec8Of<V>::type;
+        Vec8 vacc = simd512::splat8(prog.identity());
+        const __mmask8 allowed = static_cast<__mmask8>(
+            (skip0 ? 0 : 0x0F) | (skip1 ? 0 : 0xF0));
+        for (EdgeIndex i = begin; i < end; ++i) {
+          if constexpr (Gated) {
+            if (!detail::candidate_vector(candidates, i)) {
+              skipped += 2;
+              continue;
+            }
+          }
+          detail::prefetch_ahead512(prog, vectors.data(), i, end,
+                                    prefetch_distance_);
+          const WeightVector512* wv =
+              weights.empty() ? nullptr : &weights[i];
+          detail::accumulate_fused(prog, vectors[i], wv, frontier, allowed,
+                                   vacc);
+        }
+        out[0] = simd::reduce<P::kCombine>(simd512::half(vacc, 0));
+        out[1] = simd::reduce<P::kCombine>(simd512::half(vacc, 1));
+        return;
+      }
+    }
+#endif
+    Acc a0 = acc_identity(prog);
+    Acc a1 = acc_identity(prog);
+    for (EdgeIndex i = begin; i < end; ++i) {
+      if constexpr (Gated) {
+        if (!detail::candidate_vector(candidates, i)) {
+          skipped += 2;
+          continue;
+        }
+      }
+      detail::prefetch_ahead512(prog, vectors.data(), i, end,
+                                prefetch_distance_);
+      const WeightVector512* wv = weights.empty() ? nullptr : &weights[i];
+      const EdgeVector512& fv = vectors[i];
+      if (!skip0 && detail::half_occupied(fv.half[0])) {
+        acc_accumulate<Gated>(prog, fv.half[0], wv ? &wv->half[0] : nullptr,
+                              frontier, a0);
+      }
+      if (!skip1 && detail::half_occupied(fv.half[1])) {
+        acc_accumulate<Gated>(prog, fv.half[1], wv ? &wv->half[1] : nullptr,
+                              frontier, a1);
+      }
+    }
+    out[0] = acc_reduce(a0);
+    out[1] = acc_reduce(a1);
+  }
+
+  /// Walks fused vectors [begin, end), slice by slice, flushing
+  /// completed rows with `flush(dest, value)`. The range may begin
+  /// and/or end mid-solo-slice (scheduler chunks split hub rows at
+  /// fused granularity); a solo row *ending* inside the range flushes
+  /// its final segment like any completed row, while a trailing
+  /// partial (range ends before the row does) is returned as the
+  /// (dest, partial) deposit pair — {kInvalidVertex, identity} when
+  /// the range ends on a slice boundary. Paired slices are never
+  /// split by the chunk grids that feed this walker.
+  template <bool Gated, typename FlushFn>
+  std::pair<VertexId, V> process_chunk512(const P& prog,
+                                          const Vsd512Graph& graph,
+                                          const DenseFrontier* frontier,
+                                          EdgeIndex begin, EdgeIndex end,
+                                          std::uint64_t& skipped,
+                                          FlushFn&& flush) {
+    if (begin >= end) return {kInvalidVertex, prog.identity()};
+    const std::span<const Vsd512Slice> slices = graph.slices();
+    const std::span<const EdgeIndex> offsets = graph.slice_offsets();
+    std::uint64_t si = graph.slice_of(begin);
+    EdgeIndex pos = begin;
+    while (pos < end) {
+      const Vsd512Slice& s = slices[si];
+      const EdgeIndex se = offsets[si + 1];
+      const EdgeIndex seg_end = std::min<EdgeIndex>(se, end);
+      if (s.solo()) {
+        bool skip = false;
+        if constexpr (P::kUsesConvergedSet) {
+          skip = prog.skip_destination(s.dest[0]);
+        }
+        Acc acc = acc_identity(prog);
+        if (!skip) {
+          accumulate_solo_range<Gated>(prog, graph, frontier, pos, seg_end,
+                                       skipped, acc);
+        }
+        const V value = acc_reduce(acc);
+        if (seg_end < se) return {s.dest[0], value};
+        flush(s.dest[0], value);
+      } else {
+        V out[2];
+        process_paired_slice<Gated>(prog, graph, frontier, s, pos, seg_end,
+                                    skipped, out);
+        flush(s.dest[0], out[0]);
+        flush(s.dest[1], out[1]);
+      }
+      pos = seg_end;
+      ++si;
+    }
+    return {kInvalidVertex, prog.identity()};
+  }
+
+  template <bool Gated>
+  void dispatch_unblocked(const P& prog, const Vsd512Graph& graph,
+                          std::span<V> accum, const DenseFrontier* frontier,
+                          ThreadPool& pool, PullParallelism mode,
+                          std::uint64_t chunk, MergeBuffer<V>& merge_buffer) {
+    switch (mode) {
+      case PullParallelism::kSequential: {
+        std::uint64_t skipped = 0;
+        process_chunk512<Gated>(prog, graph, frontier, 0, graph.num_fused(),
+                                skipped,
+                                [&](VertexId d, V v) { accum[d] = v; });
+        skipped_.local(0) += skipped;
+        break;
+      }
+      case PullParallelism::kVertexParallel:
+        run_vertex_parallel512<Gated>(prog, graph, accum, frontier, pool);
+        break;
+      case PullParallelism::kTraditional:
+        run_traditional512<true, Gated>(prog, graph, accum, frontier, pool,
+                                        chunk);
+        break;
+      case PullParallelism::kTraditionalNoAtomic:
+        run_traditional512<false, Gated>(prog, graph, accum, frontier, pool,
+                                         chunk);
+        break;
+      case PullParallelism::kSchedulerAware:
+        run_scheduler_aware512<Gated>(prog, graph, accum, frontier, pool,
+                                      chunk, merge_buffer);
+        break;
+    }
+  }
+
+  /// Outer loop over slices: every row in a chunk is wholly owned, so
+  /// all flushes are direct stores and no deposit can occur.
+  template <bool Gated>
+  void run_vertex_parallel512(const P& prog, const Vsd512Graph& graph,
+                              std::span<V> accum,
+                              const DenseFrontier* frontier,
+                              ThreadPool& pool) {
+    const std::span<const EdgeIndex> offsets = graph.slice_offsets();
+    parallel_for_chunks(
+        pool, graph.num_slices(), 512,
+        [&](unsigned tid, const Chunk& c) {
+          std::uint64_t skipped = 0;
+          process_chunk512<Gated>(prog, graph, frontier, offsets[c.begin],
+                                  offsets[c.end], skipped,
+                                  [&](VertexId d, V v) { accum[d] = v; });
+          skipped_.local(tid) += skipped;
+        },
+        telemetry_, "pull_chunk");
+  }
+
+  /// Traditional interface over the fused layout: each occupied half
+  /// is one "iteration" — reduced on its own and published with one
+  /// shared-memory combine, exactly the 4-lane per-vector contract
+  /// (single-threaded runs therefore combine the same per-vector
+  /// partials in the same ascending order).
+  template <bool Atomic, bool Gated>
+  void run_traditional512(const P& prog, const Vsd512Graph& graph,
+                          std::span<V> accum, const DenseFrontier* frontier,
+                          ThreadPool& pool, std::uint64_t chunk) {
+    const std::span<const EdgeVector512> vectors = graph.vectors();
+    const std::span<const WeightVector512> weights = graph.weights();
+    const std::span<const Vsd512Slice> slices = graph.slices();
+    const std::span<const EdgeIndex> offsets = graph.slice_offsets();
+    [[maybe_unused]] const std::uint64_t* candidates = candidates_.data();
+    parallel_for_chunks(
+        pool, graph.num_fused(), chunk,
+        [&](unsigned tid, const Chunk& c) {
+          if (c.begin >= c.end) return;
+          std::uint64_t skipped = 0;
+          std::uint64_t si = graph.slice_of(c.begin);
+          for (EdgeIndex i = c.begin; i < c.end; ++i) {
+            while (offsets[si + 1] <= i) ++si;
+            if constexpr (Gated) {
+              if (!detail::candidate_vector(candidates, i)) {
+                skipped += 2;
+                continue;
+              }
+            }
+            detail::prefetch_ahead512(prog, vectors.data(), i, c.end,
+                                      prefetch_distance_);
+            const Vsd512Slice& s = slices[si];
+            const WeightVector512* wv =
+                weights.empty() ? nullptr : &weights[i];
+            for (unsigned h = 0; h < 2; ++h) {
+              const EdgeVector& half = vectors[i].half[h];
+              if (!detail::half_occupied(half)) continue;
+              const VertexId dest = s.solo() ? s.dest[0] : s.dest[h];
+              V value;
+              bool skip = false;
+              if constexpr (P::kUsesConvergedSet) {
+                skip = prog.skip_destination(dest);
+              }
+              if (skip) {
+                value = prog.identity();
+              } else {
+                Acc acc = acc_identity(prog);
+                acc_accumulate<Gated>(prog, half,
+                                      wv ? &wv->half[h] : nullptr, frontier,
+                                      acc);
+                value = acc_reduce(acc);
+              }
+              constexpr bool kForce = program_force_writes<P>();
+              if constexpr (Atomic) {
+                atomic_combine<kForce>(&accum[dest], value, [](V a, V b) {
+                  return combine_scalar<P::kCombine>(a, b);
+                });
+              } else {
+                const V combined =
+                    combine_scalar<P::kCombine>(accum[dest], value);
+                if (kForce || combined != accum[dest]) accum[dest] = combined;
+              }
+            }
+          }
+          skipped_.local(tid) += skipped;
+        },
+        telemetry_, "pull_chunk");
+  }
+
+  /// Builds the snapped chunk grid: boundaries that land inside a
+  /// paired slice move forward to the slice end (both rows of a fused
+  /// column must be walked by one chunk); solo (hub) slices may split
+  /// at fused granularity, their partials going through the merge
+  /// buffer. The blocked scheduler-aware runner walks this exact grid
+  /// too, so its per-row segment grouping matches bitwise.
+  void build_chunk_grid(const Vsd512Graph& graph, std::uint64_t chunk) {
+    chunks_.clear();
+    const std::span<const Vsd512Slice> slices = graph.slices();
+    const std::span<const EdgeIndex> offsets = graph.slice_offsets();
+    const EdgeIndex nf = graph.num_fused();
+    EdgeIndex pos = 0;
+    while (pos < nf) {
+      EdgeIndex cut = std::min<EdgeIndex>(nf, pos + chunk);
+      if (cut < nf) {
+        const std::uint64_t si = graph.slice_of(cut);
+        if (offsets[si] != cut && !slices[si].solo()) {
+          cut = offsets[si + 1];
+        }
+      }
+      chunks_.push_back({pos, cut});
+      pos = cut;
+    }
+  }
+
+  /// Scheduler-aware over the snapped grid: chunks are claimed
+  /// dynamically by index, interior rows store directly, and only a
+  /// chunk ending mid-hub-row deposits (at most once, into its own
+  /// slot) — the fold then combines segments in chunk order, the same
+  /// grouping structure as the 4-lane protocol.
+  template <bool Gated>
+  void run_scheduler_aware512(const P& prog, const Vsd512Graph& graph,
+                              std::span<V> accum,
+                              const DenseFrontier* frontier, ThreadPool& pool,
+                              std::uint64_t chunk,
+                              MergeBuffer<V>& merge_buffer) {
+    build_chunk_grid(graph, chunk);
+    merge_buffer.resize(chunks_.size());
+    parallel_for_chunks(
+        pool, chunks_.size(), 1,
+        [&](unsigned tid, const Chunk& c) {
+          std::uint64_t skipped = 0;
+          for (std::uint64_t idx = c.begin; idx < c.end; ++idx) {
+            auto [dest, value] = process_chunk512<Gated>(
+                prog, graph, frontier, chunks_[idx].first,
+                chunks_[idx].second, skipped,
+                [&](VertexId d, V v) { accum[d] = v; });
+            if (dest != kInvalidVertex) merge_buffer.deposit(idx, dest, value);
+          }
+          skipped_.local(tid) += skipped;
+        },
+        telemetry_, "pull_chunk");
+    fold_merge_buffer(accum, merge_buffer);
+  }
+
+  void fold_merge_buffer(std::span<V> accum, MergeBuffer<V>& merge_buffer) {
+    if (telemetry_ != nullptr) {
+      telemetry_->count(0, telemetry::Counter::kMergeFolds,
+                        merge_buffer.used_count());
+    }
+    telemetry::ScopedSpan span(telemetry_, 0, "merge_fold");
+    WallTimer merge_timer;
+    merge_buffer.merge([&](VertexId d, V v) {
+      accum[d] = combine_scalar<P::kCombine>(accum[d], v);
+    });
+    last_merge_seconds_ = merge_timer.seconds();
+    merge_buffer.rearm();
+  }
+
+  // ---- Cache-blocked execution over the fused layout -----------------
+
+  /// One revisitable row of a blocked chunk. `half` 0/1 addresses a
+  /// paired row's half; 2 marks a solo row (its 4-lane vectors lie
+  /// sequentially through both halves). [jb, je) is the row-vector
+  /// range the owning chunk covers — the full row except where a
+  /// chunk boundary splits a solo row (or, in the traditional walk,
+  /// any row). `trailing` marks a solo row that continues past the
+  /// chunk: its partial goes through the merge buffer, never a store.
+  struct Row512 {
+    EdgeIndex first_fused;
+    VertexId dest;
+    std::uint32_t row_vectors;
+    std::uint32_t jb;
+    std::uint32_t je;
+    std::uint32_t slot;
+    std::uint8_t half;
+    bool trailing;
+  };
+
+  [[nodiscard]] AlignedBuffer<Acc>& scratch512(unsigned tid,
+                                               std::uint64_t count) {
+    AlignedBuffer<Acc>& buf = scratch512_[tid];
+    if (buf.size() < count) buf.reset(count);
+    return buf;
+  }
+
+  /// Collects the rows intersecting fused range [fb, fe) into
+  /// rows512_[tid], each with its row-vector range clipped to the
+  /// chunk. Converged rows are kept with an empty range so the flush
+  /// loop still writes their identity, exactly as unblocked does.
+  /// Returns the slot count.
+  std::uint32_t collect_rows512(const P& prog, const Vsd512Graph& graph,
+                                EdgeIndex fb, EdgeIndex fe, unsigned tid) {
+    const std::span<const Vsd512Slice> slices = graph.slices();
+    const std::span<const EdgeIndex> offsets = graph.slice_offsets();
+    std::vector<Row512>& rows = rows512_[tid];
+    rows.clear();
+    std::uint32_t slot = 0;
+    for (std::uint64_t si = graph.slice_of(fb);
+         si < graph.num_slices() && offsets[si] < fe; ++si) {
+      const Vsd512Slice& s = slices[si];
+      const EdgeIndex sb = offsets[si];
+      const unsigned nrows = s.solo() ? 1 : 2;
+      // Row vector j lives at fused sb + j (paired) or sb + j/2 (solo).
+      const std::uint64_t scale = s.solo() ? 2 : 1;
+      for (unsigned r = 0; r < nrows; ++r, ++slot) {
+        const std::uint32_t rv = s.row_vectors[r];
+        const std::uint32_t jb =
+            fb > sb ? static_cast<std::uint32_t>(
+                          std::min<std::uint64_t>(rv, scale * (fb - sb)))
+                    : 0u;
+        const std::uint32_t je = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(rv, scale * (fe - sb)));
+        bool converged = false;
+        if constexpr (P::kUsesConvergedSet) {
+          converged = prog.skip_destination(s.dest[r]);
+        }
+        rows.push_back(Row512{sb, s.dest[r], rv, converged ? je : jb, je,
+                              slot, static_cast<std::uint8_t>(s.solo() ? 2 : r),
+                              s.solo() && je < rv});
+      }
+    }
+    return slot;
+  }
+
+  /// Block-major walk of fused range [fb, fe): the graph's 4-lane
+  /// BlockIndex splits each *row's* vector list (identical to the
+  /// 4-lane per-destination list) per source block; parked
+  /// accumulators keep each row's ladder in ascending order across
+  /// blocks, so per-row partials match the unblocked walk of the same
+  /// range bitwise. Completed rows store directly; a trailing solo
+  /// partial (the range ends mid-hub-row) is returned as the
+  /// (dest, partial) deposit pair, mirroring process_chunk512 —
+  /// {kInvalidVertex, identity} when the range ends on a row boundary.
+  template <bool Gated>
+  std::pair<VertexId, V> process_blocked_chunk512(
+      const P& prog, const Vsd512Graph& graph, const BlockIndex& blocks,
+      std::span<V> accum, const DenseFrontier* frontier, EdgeIndex fb,
+      EdgeIndex fe, unsigned tid, std::uint64_t& skipped) {
+    if (fb >= fe) return {kInvalidVertex, prog.identity()};
+    const std::span<const EdgeVector512> vectors = graph.vectors();
+    const std::span<const WeightVector512> weights = graph.weights();
+    [[maybe_unused]] const std::uint64_t* candidates = candidates_.data();
+
+    const std::uint32_t nrows = collect_rows512(prog, graph, fb, fe, tid);
+    const std::vector<Row512>& rows = rows512_[tid];
+    AlignedBuffer<Acc>& scratch = scratch512(tid, nrows);
+    for (std::uint32_t k = 0; k < nrows; ++k) scratch[k] = acc_identity(prog);
+
+    const std::uint32_t nb = blocks.num_blocks();
+    std::uint64_t executed = 0;
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      const std::uint64_t t0 =
+          telemetry_ != nullptr ? telemetry_->now_us() : 0;
+      bool touched = false;
+      for (const Row512& row : rows) {
+        const std::uint64_t lo = std::max<std::uint64_t>(
+            row.jb, blocks.split(row.dest, b, row.row_vectors));
+        const std::uint64_t hi = std::min<std::uint64_t>(
+            row.je, blocks.split(row.dest, b + 1, row.row_vectors));
+        if (lo >= hi) continue;
+        touched = true;
+        Acc acc = scratch[row.slot];
+        const bool solo = row.half == 2;
+        for (std::uint64_t j = lo; j < hi; ++j) {
+          const EdgeIndex fi =
+              solo ? row.first_fused + (j >> 1) : row.first_fused + j;
+          if constexpr (Gated) {
+            if (!detail::candidate_vector(candidates, fi)) {
+              ++skipped;
+              continue;
+            }
+          }
+          const unsigned h = solo ? static_cast<unsigned>(j & 1)
+                                  : static_cast<unsigned>(row.half);
+          const WeightVector512* wv =
+              weights.empty() ? nullptr : &weights[fi];
+          acc_accumulate<Gated>(prog, vectors[fi].half[h],
+                                wv ? &wv->half[h] : nullptr, frontier, acc);
+        }
+        scratch[row.slot] = acc;
+      }
+      if (touched) {
+        ++executed;
+        if (telemetry_ != nullptr) {
+          telemetry_->record(tid, "pull_block", t0,
+                             telemetry_->now_us() - t0, "block", b);
+        }
+      }
+    }
+    blocks_executed_.local(tid) += executed;
+    if (executed != 0) block_switches_.local(tid) += executed - 1;
+
+    std::pair<VertexId, V> deposit{kInvalidVertex, prog.identity()};
+    for (const Row512& row : rows) {
+      const V value = acc_reduce(scratch[row.slot]);
+      if (row.trailing) {
+        deposit = {row.dest, value};
+      } else {
+        accum[row.dest] = value;
+      }
+    }
+    return deposit;
+  }
+
+  /// Blocked traditional: each chunk revisits its rows block-major,
+  /// but every row vector (occupied half) is still reduced on its own
+  /// and published with one shared-memory combine — nothing parks.
+  /// Per destination the publishes stay in ascending row-vector order
+  /// (the block splits partition each row ascending), so the combine
+  /// ladder per destination is exactly the unblocked traditional
+  /// one's. Converged rows get an empty range: min-combining identity
+  /// never stores, matching the unblocked no-write path.
+  template <bool Atomic, bool Gated>
+  void run_traditional512_blocked(const P& prog, const Vsd512Graph& graph,
+                                  const BlockIndex& blocks,
+                                  std::span<V> accum,
+                                  const DenseFrontier* frontier,
+                                  ThreadPool& pool, std::uint64_t chunk) {
+    const std::span<const EdgeVector512> vectors = graph.vectors();
+    const std::span<const WeightVector512> weights = graph.weights();
+    [[maybe_unused]] const std::uint64_t* candidates = candidates_.data();
+    parallel_for_chunks(
+        pool, graph.num_fused(), chunk,
+        [&](unsigned tid, const Chunk& c) {
+          if (c.begin >= c.end) return;
+          std::uint64_t skipped = 0;
+          collect_rows512(prog, graph, c.begin, c.end, tid);
+          const std::vector<Row512>& rows = rows512_[tid];
+          const std::uint32_t nb = blocks.num_blocks();
+          std::uint64_t executed = 0;
+          for (std::uint32_t b = 0; b < nb; ++b) {
+            const std::uint64_t t0 =
+                telemetry_ != nullptr ? telemetry_->now_us() : 0;
+            bool touched = false;
+            for (const Row512& row : rows) {
+              const std::uint64_t lo = std::max<std::uint64_t>(
+                  row.jb, blocks.split(row.dest, b, row.row_vectors));
+              const std::uint64_t hi = std::min<std::uint64_t>(
+                  row.je, blocks.split(row.dest, b + 1, row.row_vectors));
+              if (lo >= hi) continue;
+              touched = true;
+              const bool solo = row.half == 2;
+              for (std::uint64_t j = lo; j < hi; ++j) {
+                const EdgeIndex fi =
+                    solo ? row.first_fused + (j >> 1) : row.first_fused + j;
+                if constexpr (Gated) {
+                  if (!detail::candidate_vector(candidates, fi)) {
+                    ++skipped;
+                    continue;
+                  }
+                }
+                const unsigned h = solo ? static_cast<unsigned>(j & 1)
+                                        : static_cast<unsigned>(row.half);
+                const WeightVector512* wv =
+                    weights.empty() ? nullptr : &weights[fi];
+                Acc acc = acc_identity(prog);
+                acc_accumulate<Gated>(prog, vectors[fi].half[h],
+                                      wv ? &wv->half[h] : nullptr, frontier,
+                                      acc);
+                const V value = acc_reduce(acc);
+                constexpr bool kForce = program_force_writes<P>();
+                if constexpr (Atomic) {
+                  atomic_combine<kForce>(&accum[row.dest], value,
+                                         [](V a, V b) {
+                    return combine_scalar<P::kCombine>(a, b);
+                  });
+                } else {
+                  const V combined =
+                      combine_scalar<P::kCombine>(accum[row.dest], value);
+                  if (kForce || combined != accum[row.dest]) {
+                    accum[row.dest] = combined;
+                  }
+                }
+              }
+            }
+            if (touched) {
+              ++executed;
+              if (telemetry_ != nullptr) {
+                telemetry_->record(tid, "pull_block", t0,
+                                   telemetry_->now_us() - t0, "block", b);
+              }
+            }
+          }
+          blocks_executed_.local(tid) += executed;
+          if (executed != 0) block_switches_.local(tid) += executed - 1;
+          skipped_.local(tid) += skipped;
+        },
+        telemetry_, "pull_chunk");
+  }
+
+  template <bool Gated>
+  void run_blocked512(const P& prog, const Vsd512Graph& graph,
+                      const BlockIndex& blocks, std::span<V> accum,
+                      const DenseFrontier* frontier, ThreadPool& pool,
+                      PullParallelism mode, std::uint64_t chunk,
+                      MergeBuffer<V>& merge_buffer) {
+    const std::span<const EdgeIndex> offsets = graph.slice_offsets();
+    switch (mode) {
+      case PullParallelism::kSequential: {
+        std::uint64_t skipped = 0;
+        process_blocked_chunk512<Gated>(prog, graph, blocks, accum, frontier,
+                                        0, graph.num_fused(), 0, skipped);
+        skipped_.local(0) += skipped;
+        break;
+      }
+      case PullParallelism::kVertexParallel:
+        parallel_for_chunks(
+            pool, graph.num_slices(), 512,
+            [&](unsigned tid, const Chunk& c) {
+              std::uint64_t skipped = 0;
+              process_blocked_chunk512<Gated>(prog, graph, blocks, accum,
+                                              frontier, offsets[c.begin],
+                                              offsets[c.end], tid, skipped);
+              skipped_.local(tid) += skipped;
+            },
+            telemetry_, "pull_chunk");
+        break;
+      case PullParallelism::kTraditional:
+        run_traditional512_blocked<true, Gated>(prog, graph, blocks, accum,
+                                                frontier, pool, chunk);
+        break;
+      case PullParallelism::kTraditionalNoAtomic:
+        run_traditional512_blocked<false, Gated>(prog, graph, blocks, accum,
+                                                 frontier, pool, chunk);
+        break;
+      case PullParallelism::kSchedulerAware: {
+        // The same grid as unblocked scheduler-aware: identical row
+        // segments, identical deposit/fold grouping, identical bits.
+        build_chunk_grid(graph, chunk);
+        merge_buffer.resize(chunks_.size());
+        parallel_for_chunks(
+            pool, chunks_.size(), 1,
+            [&](unsigned tid, const Chunk& c) {
+              std::uint64_t skipped = 0;
+              for (std::uint64_t idx = c.begin; idx < c.end; ++idx) {
+                auto [dest, value] = process_blocked_chunk512<Gated>(
+                    prog, graph, blocks, accum, frontier, chunks_[idx].first,
+                    chunks_[idx].second, tid, skipped);
+                if (dest != kInvalidVertex) {
+                  merge_buffer.deposit(idx, dest, value);
+                }
+              }
+              skipped_.local(tid) += skipped;
+            },
+            telemetry_, "pull_chunk");
+        fold_merge_buffer(accum, merge_buffer);
+        break;
+      }
+    }
+  }
+
+  double last_merge_seconds_ = 0.0;
+  double last_idle_seconds_ = 0.0;
+  std::uint64_t last_vectors_skipped_ = 0;
+  std::uint64_t last_blocks_executed_ = 0;
+  std::uint64_t last_block_switches_ = 0;
+  unsigned prefetch_distance_ = 0;  // fused vectors; valid for one run()
+  telemetry::Telemetry* telemetry_ = nullptr;  // valid for one run() only
+  bool use_fused_ = false;  // AVX-512 kernel selected for this run()
+  ReductionArray<std::uint64_t> skipped_{1, 0};
+  ReductionArray<std::uint64_t> blocks_executed_{1, 0};
+  ReductionArray<std::uint64_t> block_switches_{1, 0};
+  AlignedBuffer<std::uint64_t> candidates_;
+  std::vector<std::pair<EdgeIndex, EdgeIndex>> chunks_;
+  std::vector<AlignedBuffer<Acc>> scratch512_;
+  std::vector<std::vector<Row512>> rows512_;
 };
 
 }  // namespace grazelle

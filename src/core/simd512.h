@@ -1,24 +1,28 @@
-// AVX-512 pull kernels over the 8-lane Wide Vector-Sparse format —
-// the "512-bit vectors in AVX-512" direction the paper sketches in §4.
+// AVX-512 primitives over the fused EdgeVector512 format (DESIGN.md
+// §12) — the "512-bit vectors in AVX-512" direction the paper sketches
+// in §4, promoted to a first-class engine path.
 //
-// Two sweep kernels cover the paper's aggregation operators:
-//   * wide_pull_sum_sweep  — gather doubles + add (PageRank-shaped)
-//   * wide_pull_min_sweep  — frontier-filtered min over u64 labels
-//     (Connected Components / BFS-shaped)
-// Each walks a range of 8-lane edge vectors keeping a 512-bit
-// accumulator, flushing `flush(dest, value)` when the top-level vertex
-// changes, and returns the trailing partial — the same contract as the
-// 4-lane detail::process_vector_range, so the scheduler-aware merge
-// protocol composes with these kernels unchanged.
+// One EdgeVector512 carries two complete 4-lane EdgeVectors, so the
+// fused kernel mirrors the AVX2 kernel (core/simd.h) lane for lane:
+// a 512-bit load covers both halves, the valid/frontier masks are
+// AVX-512 opmask registers instead of all-ones lane masks, and the
+// accumulator combine is a per-half all-or-nothing masked op — a half
+// with any valid lane combines all four of its lanes (masked-out lanes
+// carry the identity, exactly as the AVX2 kernel's identity blend), a
+// half with none is excluded entirely. Flushing extracts each 256-bit
+// half and reduces it with simd::reduce, so per-destination results
+// are bitwise identical to the 4-lane kernel's.
 //
-// Scalar fallbacks keep the suite buildable and testable without
-// AVX-512; wide_kernels_available() gates the fast path at runtime.
+// Everything here compiles only when both GRAZELLE_HAVE_AVX512 and
+// GRAZELLE_HAVE_AVX2 are set (the flush path reuses the AVX2 types);
+// runtime selection goes through wide_kernels_available()
+// (platform/cpu_features.h), which also honors GRAZELLE_FORCE_SCALAR.
 #pragma once
 
 #include <cstdint>
-#include <utility>
 
-#include "graph/wide_vector_sparse.h"
+#include "core/simd.h"
+#include "graph/vector_sparse.h"
 #include "platform/cpu_features.h"
 #include "platform/types.h"
 
@@ -26,72 +30,64 @@
 #include <immintrin.h>
 #endif
 
-namespace grazelle::wide {
+namespace grazelle::simd512 {
 
-/// True when the 8-lane AVX-512 kernels can run on this host/build.
-[[nodiscard]] inline bool wide_kernels_available() {
-#if defined(GRAZELLE_HAVE_AVX512)
-  return cpu_features().avx512f;
-#else
-  return false;
-#endif
+#if defined(GRAZELLE_HAVE_AVX512) && defined(GRAZELLE_HAVE_AVX2)
+
+inline constexpr bool kFusedBuild = true;
+
+struct Vec8U64 {
+  __m512i v;
+};
+
+struct Vec8F64 {
+  __m512d v;
+};
+
+template <typename V>
+struct Vec8Of;
+template <>
+struct Vec8Of<double> {
+  using type = Vec8F64;
+};
+template <>
+struct Vec8Of<std::uint64_t> {
+  using type = Vec8U64;
+};
+
+[[nodiscard]] inline Vec8U64 splat8(std::uint64_t x) noexcept {
+  return {_mm512_set1_epi64(static_cast<long long>(x))};
 }
 
-/// Scalar reference sweep: sum of gathered doubles per destination.
-template <unsigned Lanes, typename FlushFn>
-inline std::pair<VertexId, double> pull_sum_sweep_scalar(
-    const WideVectorSparse<Lanes>& graph, const double* messages,
-    std::uint64_t begin, std::uint64_t end, FlushFn&& flush) {
-  VertexId prev = kInvalidVertex;
-  double acc = 0.0;
-  const auto vectors = graph.vectors();
-  for (std::uint64_t i = begin; i < end; ++i) {
-    const auto& ev = vectors[i];
-    const VertexId dest = ev.top_level();
-    if (dest != prev) {
-      if (prev != kInvalidVertex) flush(prev, acc);
-      prev = dest;
-      acc = 0.0;
-    }
-    for (unsigned k = 0; k < Lanes; ++k) {
-      if (ev.valid(k)) acc += messages[ev.neighbor(k)];
-    }
-  }
-  return {prev, acc};
+[[nodiscard]] inline Vec8F64 splat8(double x) noexcept {
+  return {_mm512_set1_pd(x)};
 }
 
-/// Scalar reference sweep: frontier-filtered min of u64 labels.
-template <unsigned Lanes, typename FlushFn>
-inline std::pair<VertexId, std::uint64_t> pull_min_sweep_scalar(
-    const WideVectorSparse<Lanes>& graph, const std::uint64_t* messages,
-    const std::uint64_t* frontier_words, std::uint64_t begin,
-    std::uint64_t end, FlushFn&& flush) {
-  VertexId prev = kInvalidVertex;
-  std::uint64_t acc = kInvalidVertex;
-  const auto vectors = graph.vectors();
-  for (std::uint64_t i = begin; i < end; ++i) {
-    const auto& ev = vectors[i];
-    const VertexId dest = ev.top_level();
-    if (dest != prev) {
-      if (prev != kInvalidVertex) flush(prev, acc);
-      prev = dest;
-      acc = kInvalidVertex;
-    }
-    for (unsigned k = 0; k < Lanes; ++k) {
-      if (!ev.valid(k)) continue;
-      const VertexId src = ev.neighbor(k);
-      if (frontier_words != nullptr &&
-          (((frontier_words[src >> 6] >> (src & 63)) & 1) == 0)) {
-        continue;
-      }
-      const std::uint64_t m = messages[src];
-      acc = m < acc ? m : acc;
-    }
-  }
-  return {prev, acc};
+/// Aligned load of one fused vector's eight lanes (half 0 in lanes
+/// 0..3, half 1 in lanes 4..7).
+[[nodiscard]] inline Vec8U64 load_lanes(const EdgeVector512& fv) noexcept {
+  return {_mm512_load_si512(&fv)};
 }
 
-#if defined(GRAZELLE_HAVE_AVX512)
+/// Opmask of lanes whose valid bit (bit 63 = the sign bit) is set.
+[[nodiscard]] inline __mmask8 valid_mask(Vec8U64 lanes) noexcept {
+  return _mm512_cmplt_epi64_mask(lanes.v, _mm512_setzero_si512());
+}
+
+[[nodiscard]] inline Vec8U64 neighbor_ids(Vec8U64 lanes) noexcept {
+  return {_mm512_and_si512(
+      lanes.v, _mm512_set1_epi64(static_cast<long long>(kVertexIdMask)))};
+}
+
+/// Per-half all-or-nothing combine mask: a half contributes all four
+/// of its lanes when it has any valid (and row-allowed) lane, matching
+/// the AVX2 kernel's unconditional identity-blended combine per
+/// occupied EdgeVector; an all-invalid half (layout padding, or a
+/// converged row) is excluded entirely.
+[[nodiscard]] inline __mmask8 half_occupancy_mask(__mmask8 valid) noexcept {
+  return static_cast<__mmask8>(((valid & 0x0F) != 0 ? 0x0F : 0) |
+                               ((valid & 0xF0) != 0 ? 0xF0 : 0));
+}
 
 // GCC 12's avx512fintrin.h trips -Wmaybe-uninitialized on its own
 // _mm512_undefined_* helpers inside the gather intrinsics; the warning
@@ -99,89 +95,102 @@ inline std::pair<VertexId, std::uint64_t> pull_min_sweep_scalar(
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 
-/// AVX-512 sum sweep over 8-lane vectors. Semantics identical to
-/// pull_sum_sweep_scalar<8>.
-template <typename FlushFn>
-inline std::pair<VertexId, double> pull_sum_sweep_avx512(
-    const WideVectorSparse<8>& graph, const double* messages,
-    std::uint64_t begin, std::uint64_t end, FlushFn&& flush) {
-  VertexId prev = kInvalidVertex;
-  __m512d vacc = _mm512_setzero_pd();
-  const auto vectors = graph.vectors();
-  const __m512i id_mask = _mm512_set1_epi64(
-      static_cast<long long>(kVertexIdMask));
-  for (std::uint64_t i = begin; i < end; ++i) {
-    const auto& ev = vectors[i];
-    const VertexId dest = ev.top_level();
-    if (dest != prev) {
-      if (prev != kInvalidVertex) {
-        flush(prev, _mm512_reduce_add_pd(vacc));
-        vacc = _mm512_setzero_pd();
-      }
-      prev = dest;
-    }
-    const __m512i lanes = _mm512_load_si512(ev.lane);
-    // Valid lanes have bit 63 set: sign-bit compare against zero.
-    const __mmask8 valid =
-        _mm512_cmplt_epi64_mask(lanes, _mm512_setzero_si512());
-    const __m512i srcs = _mm512_and_si512(lanes, id_mask);
-    const __m512d msgs = _mm512_mask_i64gather_pd(
-        _mm512_setzero_pd(), valid, srcs, messages, 8);
-    vacc = _mm512_add_pd(vacc, msgs);
-  }
-  return {prev,
-          prev == kInvalidVertex ? 0.0 : _mm512_reduce_add_pd(vacc)};
+/// Opmask of `k` lanes whose frontier bit is set. The words are pulled
+/// with a masked hardware gather (eight scattered scalar loads would
+/// need extracts on this path); bit extraction mirrors
+/// simd::frontier_mask, so the admitted lane set is identical.
+[[nodiscard]] inline __mmask8 frontier_mask(const std::uint64_t* words,
+                                            Vec8U64 ids,
+                                            __mmask8 k) noexcept {
+  const __m512i gathered = _mm512_mask_i64gather_epi64(
+      _mm512_setzero_si512(), k, _mm512_srli_epi64(ids.v, 6),
+      reinterpret_cast<const long long*>(words), 8);
+  const __m512i bit_idx = _mm512_and_si512(ids.v, _mm512_set1_epi64(63));
+  const __m512i bit = _mm512_and_si512(_mm512_srlv_epi64(gathered, bit_idx),
+                                       _mm512_set1_epi64(1));
+  return k & _mm512_cmpeq_epi64_mask(bit, _mm512_set1_epi64(1));
 }
 
-/// AVX-512 frontier-filtered min sweep over 8-lane vectors.
-template <typename FlushFn>
-inline std::pair<VertexId, std::uint64_t> pull_min_sweep_avx512(
-    const WideVectorSparse<8>& graph, const std::uint64_t* messages,
-    const std::uint64_t* frontier_words, std::uint64_t begin,
-    std::uint64_t end, FlushFn&& flush) {
-  VertexId prev = kInvalidVertex;
-  const __m512i identity =
-      _mm512_set1_epi64(static_cast<long long>(kInvalidVertex));
-  __m512i vacc = identity;
-  const auto vectors = graph.vectors();
-  const __m512i id_mask =
-      _mm512_set1_epi64(static_cast<long long>(kVertexIdMask));
-  const __m512i ones = _mm512_set1_epi64(1);
-  for (std::uint64_t i = begin; i < end; ++i) {
-    const auto& ev = vectors[i];
-    const VertexId dest = ev.top_level();
-    if (dest != prev) {
-      if (prev != kInvalidVertex) {
-        flush(prev, _mm512_reduce_min_epu64(vacc));
-        vacc = identity;
-      }
-      prev = dest;
-    }
-    const __m512i lanes = _mm512_load_si512(ev.lane);
-    __mmask8 mask = _mm512_cmplt_epi64_mask(lanes, _mm512_setzero_si512());
-    const __m512i srcs = _mm512_and_si512(lanes, id_mask);
-    if (frontier_words != nullptr) {
-      // Gather the frontier words, shift the member bit down, test.
-      const __m512i words = _mm512_mask_i64gather_epi64(
-          _mm512_setzero_si512(), mask, _mm512_srli_epi64(srcs, 6),
-          frontier_words, 8);
-      const __m512i bit = _mm512_and_si512(
-          _mm512_srlv_epi64(words,
-                            _mm512_and_si512(srcs, _mm512_set1_epi64(63))),
-          ones);
-      mask &= _mm512_cmpeq_epi64_mask(bit, ones);
-    }
-    const __m512i msgs = _mm512_mask_i64gather_epi64(identity, mask, srcs,
-                                                     messages, 8);
-    vacc = _mm512_min_epu64(vacc, msgs);
-  }
-  return {prev, prev == kInvalidVertex
-                    ? kInvalidVertex
-                    : _mm512_reduce_min_epu64(vacc)};
+/// Masked gather of doubles: lanes outside `k` keep `defaults`.
+[[nodiscard]] inline Vec8F64 gather_masked(const double* base, Vec8U64 idx,
+                                           __mmask8 k,
+                                           Vec8F64 defaults) noexcept {
+  return {_mm512_mask_i64gather_pd(defaults.v, k, idx.v, base, 8)};
+}
+
+/// Masked gather of 64-bit integers.
+[[nodiscard]] inline Vec8U64 gather_masked(const std::uint64_t* base,
+                                           Vec8U64 idx, __mmask8 k,
+                                           Vec8U64 defaults) noexcept {
+  return {_mm512_mask_i64gather_epi64(
+      defaults.v, k, idx.v, reinterpret_cast<const long long*>(base), 8)};
 }
 
 #pragma GCC diagnostic pop
 
-#endif  // GRAZELLE_HAVE_AVX512
+/// Per-lane blend: lanes in `k` take `b`, the rest keep `a`.
+[[nodiscard]] inline Vec8U64 blend(Vec8U64 a, Vec8U64 b,
+                                   __mmask8 k) noexcept {
+  return {_mm512_mask_blend_epi64(k, a.v, b.v)};
+}
 
-}  // namespace grazelle::wide
+[[nodiscard]] inline Vec8F64 blend(Vec8F64 a, Vec8F64 b,
+                                   __mmask8 k) noexcept {
+  return {_mm512_mask_blend_pd(k, a.v, b.v)};
+}
+
+[[nodiscard]] inline Vec8F64 add(Vec8F64 a, Vec8F64 b) noexcept {
+  return {_mm512_add_pd(a.v, b.v)};
+}
+
+[[nodiscard]] inline Vec8F64 mul(Vec8F64 a, Vec8F64 b) noexcept {
+  return {_mm512_mul_pd(a.v, b.v)};
+}
+
+/// Loads one fused weight vector as eight doubles.
+[[nodiscard]] inline Vec8F64 load_weights(const WeightVector512& wv)
+    noexcept {
+  return {_mm512_load_pd(wv.half[0].w)};
+}
+
+/// Masked accumulator combine: lanes in `k` combine with `msgs`, the
+/// rest pass through unchanged. The per-lane ops match simd::combine
+/// (add_pd / min_pd; signed 64-bit min — all Grazelle values fit in
+/// 48 bits).
+template <simd::CombineOp Op>
+[[nodiscard]] inline Vec8F64 combine_masked(Vec8F64 acc, Vec8F64 msgs,
+                                            __mmask8 k) noexcept {
+  if constexpr (Op == simd::CombineOp::kAdd) {
+    return {_mm512_mask_add_pd(acc.v, k, acc.v, msgs.v)};
+  } else {
+    return {_mm512_mask_min_pd(acc.v, k, acc.v, msgs.v)};
+  }
+}
+
+template <simd::CombineOp Op>
+[[nodiscard]] inline Vec8U64 combine_masked(Vec8U64 acc, Vec8U64 msgs,
+                                            __mmask8 k) noexcept {
+  static_assert(Op == simd::CombineOp::kMin,
+                "integer aggregation supports min only");
+  return {_mm512_mask_min_epi64(acc.v, k, acc.v, msgs.v)};
+}
+
+/// The 256-bit half `h` of an 8-lane accumulator as the AVX2 type, so
+/// flushes reduce with exactly simd::reduce's arithmetic.
+[[nodiscard]] inline simd::VecF64 half(Vec8F64 x, unsigned h) noexcept {
+  return {h == 0 ? _mm512_castpd512_pd256(x.v)
+                 : _mm512_extractf64x4_pd(x.v, 1)};
+}
+
+[[nodiscard]] inline simd::VecU64 half(Vec8U64 x, unsigned h) noexcept {
+  return {h == 0 ? _mm512_castsi512_si256(x.v)
+                 : _mm512_extracti64x4_epi64(x.v, 1)};
+}
+
+#else  // !(GRAZELLE_HAVE_AVX512 && GRAZELLE_HAVE_AVX2)
+
+inline constexpr bool kFusedBuild = false;
+
+#endif
+
+}  // namespace grazelle::simd512

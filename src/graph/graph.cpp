@@ -13,6 +13,7 @@ Graph Graph::build(EdgeList list) {
   g.csc_ = CompressedSparse::build(list, GroupBy::kDestination);
   g.vss_ = VectorSparseGraph::build(g.csr_);
   g.vsd_ = VectorSparseGraph::build(g.csc_);
+  g.vsd512_ = Vsd512Graph::build(g.csc_);
   g.vsd_blocks_ = BlockIndex::build(
       g.vsd_, BlockIndex::shift_for_budget(
                   g.vsd_.num_vertices(), sizeof(double),
@@ -32,12 +33,13 @@ Graph Graph::adopt(CompressedSparse csr, CompressedSparse csc,
                    VectorSparseGraph vss, VectorSparseGraph vsd,
                    DataArray<std::uint64_t> out_degrees,
                    DataArray<std::uint64_t> in_degrees, bool mapped,
-                   BlockIndex vsd_blocks) {
+                   BlockIndex vsd_blocks, Vsd512Graph vsd512) {
   Graph g;
   g.csr_ = std::move(csr);
   g.csc_ = std::move(csc);
   g.vss_ = std::move(vss);
   g.vsd_ = std::move(vsd);
+  g.vsd512_ = std::move(vsd512);
   g.vsd_blocks_ = std::move(vsd_blocks);
   g.out_degrees_ = std::move(out_degrees);
   g.in_degrees_ = std::move(in_degrees);

@@ -36,7 +36,8 @@ class Graph {
                                    DataArray<std::uint64_t> out_degrees,
                                    DataArray<std::uint64_t> in_degrees,
                                    bool mapped,
-                                   BlockIndex vsd_blocks = {});
+                                   BlockIndex vsd_blocks = {},
+                                   Vsd512Graph vsd512 = {});
 
   [[nodiscard]] std::uint64_t num_vertices() const noexcept {
     return csr_.num_vertices();
@@ -73,6 +74,18 @@ class Graph {
     vsd_blocks_ = std::move(blocks);
   }
 
+  /// The optional 8-lane Vector-Sparse-Destination structure
+  /// (DESIGN.md §12). build() constructs it; containers packed before
+  /// format v3 — or stripped with `graph_convert --lanes 4` — report
+  /// !present() and engines fall back to the 4-lane VSD.
+  [[nodiscard]] const Vsd512Graph& vsd512() const noexcept { return vsd512_; }
+
+  /// Replaces or removes the 8-lane structure (pack-time lane
+  /// selection: `--lanes 4` installs a default-constructed instance).
+  void set_vsd512(Vsd512Graph vsd512) noexcept {
+    vsd512_ = std::move(vsd512);
+  }
+
   [[nodiscard]] std::span<const std::uint64_t> out_degrees() const noexcept {
     return out_degrees_.span();
   }
@@ -92,6 +105,7 @@ class Graph {
   CompressedSparse csc_;
   VectorSparseGraph vss_;
   VectorSparseGraph vsd_;
+  Vsd512Graph vsd512_;
   BlockIndex vsd_blocks_;
   DataArray<std::uint64_t> out_degrees_;
   DataArray<std::uint64_t> in_degrees_;

@@ -1,5 +1,6 @@
 #include "graph/store.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -24,9 +25,14 @@ static_assert(sizeof(EdgeVector) == 32);
 static_assert(sizeof(WeightVector) == 32);
 static_assert(sizeof(VertexVectorRange) == 16);
 static_assert(sizeof(SourceWordSpan) == 8);
+static_assert(sizeof(EdgeVector512) == 64);
+static_assert(sizeof(WeightVector512) == 64);
+static_assert(sizeof(Vsd512Slice) == 24);
 static_assert(std::is_trivially_copyable_v<EdgeVector>);
 static_assert(std::is_trivially_copyable_v<VertexVectorRange>);
 static_assert(std::is_trivially_copyable_v<SourceWordSpan>);
+static_assert(std::is_trivially_copyable_v<EdgeVector512>);
+static_assert(std::is_trivially_copyable_v<Vsd512Slice>);
 
 constexpr std::array<char, 4> kMagic = {'G', 'Z', 'G', 'F'};
 constexpr std::uint64_t kFlagWeighted = 1;
@@ -79,7 +85,8 @@ struct Parsed {
   }
 };
 
-Parsed parse(const std::byte* base, std::size_t size, std::string origin) {
+Parsed parse(const std::byte* base, std::size_t size, std::string origin,
+             std::uint32_t max_version) {
   Parsed p;
   p.base = base;
   p.file_size = size;
@@ -98,11 +105,12 @@ Parsed parse(const std::byte* base, std::size_t size, std::string origin) {
   std::memcpy(&header, base, sizeof(header));
   // Older versions are forward-compatible: every section added since is
   // optional with an absent-tolerant reader. Newer versions are not.
-  if (header.version == 0 || header.version > kFormatVersion) {
+  const std::uint32_t supported = std::min(max_version, kFormatVersion);
+  if (header.version == 0 || header.version > supported) {
     fail(StoreErrc::kBadVersion,
          p.origin + ": unsupported container version " +
              std::to_string(header.version) + " (want 1.." +
-             std::to_string(kFormatVersion) + ")");
+             std::to_string(supported) + ")");
   }
   if (header.vector_lanes != kEdgeVectorLanes) {
     fail(StoreErrc::kBadHeader,
@@ -289,9 +297,44 @@ Graph assemble(const Parsed& p, const std::shared_ptr<const void>& keepalive,
     }
   }
 
+  // Fused 8-lane SELL-σ layout (format v3; optional so v1/v2
+  // containers — and v3 ones packed with --lanes=4 — still open).
+  // Absent sections yield an absent Vsd512Graph; the engine falls
+  // back to the 4-lane layout.
+  Vsd512Graph vsd512;
+  const auto v512hdr = section_array<std::uint64_t>(p, "v512.hdr", 4, false,
+                                                    keepalive, verify_crc);
+  if (!v512hdr.empty()) {
+    // Content checks stay out of the structural-open contract (same
+    // convention as the block index): an inconsistent header demotes
+    // the fused layout to absent instead of failing the open.
+    if (v512hdr[3] == m) {
+      auto vectors = section_array<EdgeVector512>(
+          p, "v512.vectors", kAnyCount, true, keepalive, verify_crc);
+      const std::uint64_t nfused = vectors.size();
+      auto weights = section_array<WeightVector512>(
+          p, "v512.weights", w ? nfused : kAnyCount, w, keepalive,
+          verify_crc);
+      auto slices = section_array<Vsd512Slice>(p, "v512.slices", kAnyCount,
+                                               true, keepalive, verify_crc);
+      auto sliceoffs = section_array<EdgeIndex>(
+          p, "v512.sliceoffs", slices.size() + 1, true, keepalive,
+          verify_crc);
+      auto srcoffs = section_array<EdgeIndex>(p, "v512.srcoffs", v + 1, true,
+                                              keepalive, verify_crc);
+      auto srcvecs = section_array<std::uint32_t>(p, "v512.srcvecs", m, true,
+                                                  keepalive, verify_crc);
+      vsd512 = Vsd512Graph::adopt(
+          v, m, /*sigma=*/v512hdr[0], /*hub_min_degree=*/v512hdr[1],
+          /*hub_split_count=*/v512hdr[2], std::move(vectors),
+          std::move(weights), std::move(slices), std::move(sliceoffs),
+          std::move(srcoffs), std::move(srcvecs));
+    }
+  }
+
   return Graph::adopt(std::move(csr), std::move(csc), std::move(vss),
                       std::move(vsd), std::move(out_deg), std::move(in_deg),
-                      mapped, std::move(vsd_blocks));
+                      mapped, std::move(vsd_blocks), std::move(vsd512));
 }
 
 // ---------------------------------------------------------------------------
@@ -448,6 +491,22 @@ void pack_graph(const Graph& graph, const std::filesystem::path& path) {
     }
   }
 
+  // Fused 8-lane SELL-σ layout (format v3; DESIGN.md §12). Optional —
+  // a graph packed with --lanes=4 simply omits it.
+  const Vsd512Graph& v512 = graph.vsd512();
+  const std::uint64_t v512hdr[4] = {v512.sigma(), v512.hub_min_degree(),
+                                    v512.hub_split_count(),
+                                    v512.num_edges()};
+  if (v512.present()) {
+    sections.push_back(PendingSection{"v512.hdr", v512hdr, sizeof(v512hdr)});
+    add_section(sections, "v512.vectors", v512.vectors());
+    if (v512.weighted()) add_section(sections, "v512.weights", v512.weights());
+    add_section(sections, "v512.slices", v512.slices());
+    add_section(sections, "v512.sliceoffs", v512.slice_offsets());
+    add_section(sections, "v512.srcoffs", v512.source_offsets());
+    add_section(sections, "v512.srcvecs", v512.source_vectors());
+  }
+
   FileHeader header{};
   std::memcpy(header.magic, kMagic.data(), kMagic.size());
   header.version = kFormatVersion;
@@ -490,39 +549,44 @@ void pack_graph(const Graph& graph, const std::filesystem::path& path) {
   if (!out) fail(StoreErrc::kIoError, "write failed for " + path.string());
 }
 
-Graph open_graph(const std::filesystem::path& path) {
+Graph open_graph(const std::filesystem::path& path,
+                 std::uint32_t max_version) {
   FileImage img = map_image(path);
-  const Parsed p = parse(img.data, img.size, path.string());
+  const Parsed p = parse(img.data, img.size, path.string(), max_version);
   return assemble(p, img.keepalive, /*verify_crc=*/false, /*mapped=*/true);
 }
 
-Graph read_graph(const std::filesystem::path& path) {
+Graph read_graph(const std::filesystem::path& path,
+                 std::uint32_t max_version) {
   FileImage img = read_image(path);
-  const Parsed p = parse(img.data, img.size, path.string());
+  const Parsed p = parse(img.data, img.size, path.string(), max_version);
   return assemble(p, img.keepalive, /*verify_crc=*/true, /*mapped=*/false);
 }
 
-Graph load_graph(const std::filesystem::path& path) {
+Graph load_graph(const std::filesystem::path& path,
+                 std::uint32_t max_version) {
   if (MappedFile::supported()) {
     try {
-      return open_graph(path);
+      return open_graph(path, max_version);
     } catch (const StoreError& e) {
       // Only an I/O-level mmap failure falls back to the copy-in path;
       // format errors are real and must surface.
       if (e.code() != StoreErrc::kIoError) throw;
     }
   }
-  return read_graph(path);
+  return read_graph(path, max_version);
 }
 
-StoreInfo inspect_store(const std::filesystem::path& path) {
+StoreInfo inspect_store(const std::filesystem::path& path,
+                        std::uint32_t max_version) {
   FileImage img = open_image(path);
-  return parse(img.data, img.size, path.string()).info;
+  return parse(img.data, img.size, path.string(), max_version).info;
 }
 
-void verify_store(const std::filesystem::path& path) {
+void verify_store(const std::filesystem::path& path,
+                  std::uint32_t max_version) {
   FileImage img = open_image(path);
-  const Parsed p = parse(img.data, img.size, path.string());
+  const Parsed p = parse(img.data, img.size, path.string(), max_version);
   for (const SectionInfo& s : p.info.sections) verify_section(p, s);
 }
 

@@ -79,7 +79,13 @@ struct StoreInfo {
 // v2: optional vsd.blkhdr/vsd.blksplit cache-block-index sections
 //     (DESIGN.md §10). v1 containers still open; their graphs carry an
 //     absent BlockIndex and the engine rebuilds one on demand.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: optional v512.* sections carrying the fused 8-lane SELL-σ
+//     layout (DESIGN.md §12): v512.hdr (sigma, hub_min_degree,
+//     hub_split_count, num_edges), v512.vectors, v512.weights,
+//     v512.slices, v512.sliceoffs, v512.srcoffs, v512.srcvecs.
+//     v1/v2 containers still open; their graphs carry an absent
+//     Vsd512Graph and the engine falls back to the 4-lane layout.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// The extension the CLI tools route through this module.
 inline constexpr const char* kFileExtension = ".gzg";
@@ -92,21 +98,32 @@ void pack_graph(const Graph& graph, const std::filesystem::path& path);
 /// borrow from a shared memory mapping of `path` (Graph::mapped() is
 /// true). Structural validation only — run verify_store() for a full
 /// checksum pass. Throws StoreError on any malformed input.
-[[nodiscard]] Graph open_graph(const std::filesystem::path& path);
+///
+/// `max_version` caps the accepted container version (tests and
+/// long-lived readers pin the format they understand); a newer file
+/// throws StoreError(kBadVersion) naming the found and supported
+/// versions.
+[[nodiscard]] Graph open_graph(const std::filesystem::path& path,
+                               std::uint32_t max_version = kFormatVersion);
 
 /// Copy-in fallback: reads every section into owned allocations,
 /// verifying each checksum along the way. Works without mmap support.
-[[nodiscard]] Graph read_graph(const std::filesystem::path& path);
+[[nodiscard]] Graph read_graph(const std::filesystem::path& path,
+                               std::uint32_t max_version = kFormatVersion);
 
 /// open_graph() when mmap is available, read_graph() otherwise.
-[[nodiscard]] Graph load_graph(const std::filesystem::path& path);
+[[nodiscard]] Graph load_graph(const std::filesystem::path& path,
+                               std::uint32_t max_version = kFormatVersion);
 
 /// Parses header + section table without touching payloads.
-[[nodiscard]] StoreInfo inspect_store(const std::filesystem::path& path);
+[[nodiscard]] StoreInfo inspect_store(
+    const std::filesystem::path& path,
+    std::uint32_t max_version = kFormatVersion);
 
 /// Full integrity pass: structural validation plus every section's
 /// CRC32. Throws StoreError (kChecksumMismatch names the section).
-void verify_store(const std::filesystem::path& path);
+void verify_store(const std::filesystem::path& path,
+                  std::uint32_t max_version = kFormatVersion);
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `size` bytes.
 [[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;

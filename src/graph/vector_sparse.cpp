@@ -121,4 +121,183 @@ double VectorSparseGraph::packing_efficiency(
   return static_cast<double>(edges) / static_cast<double>(slots);
 }
 
+namespace {
+
+/// Fills one 4-lane edge vector of `top` exactly as the 4-lane builder
+/// does. `vi` past the last vector of `top` yields an all-invalid
+/// padding vector whose piece fields still encode `top`.
+void fill_edge_vector(const CompressedSparse& adj, VertexId top,
+                      std::uint64_t vi, EdgeVector& vec, WeightVector* wv) {
+  const auto neighbors = adj.neighbors_of(top);
+  const auto weights = adj.weights_of(top);
+  const std::uint64_t degree = neighbors.size();
+  for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+    const std::uint64_t e = vi * kEdgeVectorLanes + k;
+    const bool valid = e < degree;
+    const std::uint64_t piece =
+        (top >> (vsenc::kPieceBits * k)) & vsenc::kPieceMask;
+    vec.lane[k] = vsenc::make_lane(valid, piece, valid ? neighbors[e] : 0);
+    if (wv != nullptr) wv->w[k] = valid ? weights[e] : Weight{0};
+  }
+}
+
+/// Fused vectors a slice occupies: a paired slice spans the longer
+/// row's vector count; a solo slice halves its row (rounded up).
+[[nodiscard]] std::uint64_t slice_extent(const Vsd512Slice& s) noexcept {
+  if (s.solo()) return bits::ceil_div<std::uint64_t>(s.row_vectors[0], 2);
+  return std::max(s.row_vectors[0], s.row_vectors[1]);
+}
+
+}  // namespace
+
+Vsd512Graph Vsd512Graph::build(const CompressedSparse& adj,
+                               BuildParams params) {
+  const std::uint64_t v = adj.num_vertices();
+  if (v > kVertexIdMask) {
+    throw std::invalid_argument("vertex id space exceeds 48 bits");
+  }
+  if (adj.group_by() != GroupBy::kDestination) {
+    throw std::invalid_argument(
+        "Vsd512Graph requires a destination-grouped adjacency");
+  }
+
+  Vsd512Graph out;
+  out.present_ = true;
+  out.num_vertices_ = v;
+  out.num_edges_ = adj.num_edges();
+  out.sigma_ = params.sigma == 0 ? 1 : params.sigma;
+  out.hub_min_degree_ = params.hub_min_degree;
+  if (out.hub_min_degree_ == 0) {
+    const std::uint64_t avg =
+        v == 0 ? 0 : bits::ceil_div(out.num_edges_, v);
+    out.hub_min_degree_ = std::max<std::uint64_t>(64, 8 * std::max<std::uint64_t>(avg, 1));
+  }
+
+  // Slice plan: per σ-window, hubs go solo, the rest sort by in-degree
+  // (descending; id ascending for determinism) and pair off adjacent
+  // entries so paired rows are near-equal length.
+  std::vector<Vsd512Slice> slices;
+  std::vector<VertexId> window;
+  const auto vec_count = [&](VertexId d) -> std::uint32_t {
+    return static_cast<std::uint32_t>(
+        bits::ceil_div(adj.degree(d), kEdgeVectorLanes));
+  };
+  for (std::uint64_t w0 = 0; w0 < v; w0 += out.sigma_) {
+    const VertexId w1 =
+        static_cast<VertexId>(std::min<std::uint64_t>(v, w0 + out.sigma_));
+    window.clear();
+    for (VertexId d = w0; d < w1; ++d) {
+      if (adj.degree(d) > 0) window.push_back(d);
+    }
+    std::sort(window.begin(), window.end(), [&](VertexId a, VertexId b) {
+      const std::uint64_t da = adj.degree(a);
+      const std::uint64_t db = adj.degree(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    std::size_t i = 0;
+    for (; i < window.size() && adj.degree(window[i]) >= out.hub_min_degree_;
+         ++i) {
+      slices.push_back(Vsd512Slice{{window[i], window[i]},
+                                   {vec_count(window[i]), 0}});
+      ++out.hub_split_count_;
+    }
+    for (; i + 1 < window.size(); i += 2) {
+      slices.push_back(Vsd512Slice{{window[i], window[i + 1]},
+                                   {vec_count(window[i]),
+                                    vec_count(window[i + 1])}});
+    }
+    if (i < window.size()) {
+      slices.push_back(Vsd512Slice{{window[i], window[i]},
+                                   {vec_count(window[i]), 0}});
+    }
+  }
+
+  out.slices_.reset(slices.size());
+  std::copy(slices.begin(), slices.end(), out.slices_.data());
+  out.slice_offsets_.reset(slices.size() + 1);
+
+  std::uint64_t total_fused = 0;
+  for (std::size_t si = 0; si < slices.size(); ++si) {
+    out.slice_offsets_[si] = total_fused;
+    total_fused += slice_extent(slices[si]);
+  }
+  out.slice_offsets_[slices.size()] = total_fused;
+  out.vectors_.reset(total_fused);
+  if (adj.weighted()) out.weights_.reset(total_fused);
+
+  const auto weight_half = [&](EdgeIndex fused, unsigned h) -> WeightVector* {
+    return adj.weighted() ? &out.weights_[fused].half[h] : nullptr;
+  };
+  for (std::size_t si = 0; si < slices.size(); ++si) {
+    const Vsd512Slice& s = slices[si];
+    const EdgeIndex base = out.slice_offsets_[si];
+    const std::uint64_t extent = slice_extent(s);
+    if (s.solo()) {
+      // Sequential halves: vector j of the row at half j%2 of fused
+      // base + j/2 — contiguous memory identical to the 4-lane layout.
+      // 2*extent covers the odd-count padding half.
+      for (std::uint64_t j = 0; j < 2 * extent; ++j) {
+        fill_edge_vector(adj, s.dest[0], j, out.vectors_[base + j / 2].half[j % 2],
+                         weight_half(base + j / 2, j % 2));
+      }
+    } else {
+      for (std::uint64_t j = 0; j < extent; ++j) {
+        fill_edge_vector(adj, s.dest[0], j, out.vectors_[base + j].half[0],
+                         weight_half(base + j, 0));
+        fill_edge_vector(adj, s.dest[1], j, out.vectors_[base + j].half[1],
+                         weight_half(base + j, 1));
+      }
+    }
+  }
+
+  // Source->fused incidence: count / prefix-sum / fill, one entry per
+  // edge (mirrors the 4-lane incidence contract).
+  if (total_fused > ~std::uint32_t{0}) {
+    throw std::invalid_argument(
+        "fused vector count exceeds the 32-bit incidence encoding");
+  }
+  out.source_offsets_.reset(v + 1);
+  std::fill_n(out.source_offsets_.data(), v + 1, EdgeIndex{0});
+  for (std::uint64_t i = 0; i < total_fused; ++i) {
+    for (unsigned h = 0; h < 2; ++h) {
+      const EdgeVector& half = out.vectors_[i].half[h];
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        if (half.valid(k)) ++out.source_offsets_[half.neighbor(k) + 1];
+      }
+    }
+  }
+  for (VertexId u = 0; u < v; ++u) {
+    out.source_offsets_[u + 1] += out.source_offsets_[u];
+  }
+  out.source_vectors_.reset(out.num_edges_);
+  std::vector<EdgeIndex> fill_cursor(out.source_offsets_.data(),
+                                     out.source_offsets_.data() + v);
+  for (std::uint64_t i = 0; i < total_fused; ++i) {
+    for (unsigned h = 0; h < 2; ++h) {
+      const EdgeVector& half = out.vectors_[i].half[h];
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        if (half.valid(k)) {
+          out.source_vectors_[fill_cursor[half.neighbor(k)]++] =
+              static_cast<std::uint32_t>(i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Vsd512Graph::slice_of(EdgeIndex fused) const noexcept {
+  const auto offsets = slice_offsets();
+  const auto it =
+      std::upper_bound(offsets.begin(), offsets.end(), fused);
+  return static_cast<std::uint64_t>(it - offsets.begin()) - 1;
+}
+
+double Vsd512Graph::measured_packing_efficiency() const noexcept {
+  if (vectors_.empty()) return 1.0;
+  return static_cast<double>(num_edges_) /
+         (static_cast<double>(num_fused()) * 2 * kEdgeVectorLanes);
+}
+
 }  // namespace grazelle

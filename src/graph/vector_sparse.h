@@ -253,4 +253,174 @@ class VectorSparseGraph {
   DataArray<std::uint32_t> source_vectors_;
 };
 
+// ---------------------------------------------------------------------------
+// Vector-Sparse v2: the 512-bit fused pull format (DESIGN.md §12).
+//
+// One EdgeVector512 fuses two complete 4-lane EdgeVectors into a
+// 64-byte cache line. Each half is a standalone EdgeVector carrying its
+// own destination's full id in its piece fields, so every 4-lane
+// routine (scalar or AVX2) applies to a half unchanged, and the AVX-512
+// walker processes both halves with one 512-bit load/gather/add.
+//
+// Destinations are laid out in *slices* (SELL-C-σ style):
+//   - Within windows of σ destinations, occupied destinations are
+//     sorted by in-degree (descending) and paired off; the pair's two
+//     rows ride in half[0] / half[1] of the same fused vectors, the
+//     shorter row padded with all-invalid halves. Sorting makes paired
+//     rows near-equal length, which is where the packing win over a
+//     naive 8-lane format comes from.
+//   - A destination of degree >= hub_min_degree (a hub) gets a *solo*
+//     slice: its 4-lane vectors occupy consecutive halves
+//     (vector j at half j%2 of fused slice_start + j/2) — memory-
+//     identical to the 4-lane layout, so a sequential walk over a solo
+//     slice reproduces the 4-lane reduction bit for bit, and the
+//     scheduler-aware engine may split it across chunks, folding
+//     partials through the standard merge-buffer protocol.
+//   - An odd leftover destination in a window is also laid out solo.
+// ---------------------------------------------------------------------------
+
+/// Two fused 4-lane edge vectors: one 64-byte line, eight lanes.
+struct alignas(64) EdgeVector512 {
+  EdgeVector half[2];
+};
+
+static_assert(sizeof(EdgeVector512) == 64);
+
+/// Per-fused-vector weights (index-parallel with the fused array).
+struct alignas(64) WeightVector512 {
+  WeightVector half[2];
+};
+
+static_assert(sizeof(WeightVector512) == 64);
+
+/// One slice: the destination row in each half plus its 4-lane
+/// edge-vector count. dest[0] == dest[1] marks a solo slice (the
+/// destination's vectors occupy both halves sequentially and
+/// row_vectors[1] is 0).
+struct Vsd512Slice {
+  VertexId dest[2] = {0, 0};
+  std::uint32_t row_vectors[2] = {0, 0};
+
+  [[nodiscard]] bool solo() const noexcept { return dest[0] == dest[1]; }
+};
+
+static_assert(sizeof(Vsd512Slice) == 24);
+
+/// Immutable 8-lane Vector-Sparse-Destination adjacency. Optional: a
+/// default-constructed instance reports !present() and the engine
+/// falls back to the 4-lane format.
+class Vsd512Graph {
+ public:
+  struct BuildParams {
+    /// SELL-σ sort-window size in destinations.
+    std::uint64_t sigma = 4096;
+    /// Degree at or above which a destination is laid out solo
+    /// (hub-split). 0 = auto: max(64, 8 * average in-degree).
+    std::uint64_t hub_min_degree = 0;
+  };
+
+  Vsd512Graph() = default;
+
+  /// Packs a destination-grouped Compressed-Sparse adjacency.
+  [[nodiscard]] static Vsd512Graph build(const CompressedSparse& adj,
+                                         BuildParams params);
+  [[nodiscard]] static Vsd512Graph build(const CompressedSparse& adj) {
+    return build(adj, BuildParams{});
+  }
+
+  /// Assembles from prebuilt arrays (owned or mapped) without copying;
+  /// the zero-copy store path. Layout must match build()'s output.
+  [[nodiscard]] static Vsd512Graph adopt(
+      std::uint64_t num_vertices, std::uint64_t num_edges,
+      std::uint64_t sigma, std::uint64_t hub_min_degree,
+      std::uint64_t hub_split_count, DataArray<EdgeVector512> vectors,
+      DataArray<WeightVector512> weights, DataArray<Vsd512Slice> slices,
+      DataArray<EdgeIndex> slice_offsets, DataArray<EdgeIndex> source_offsets,
+      DataArray<std::uint32_t> source_vectors) {
+    Vsd512Graph out;
+    out.present_ = true;
+    out.num_vertices_ = num_vertices;
+    out.num_edges_ = num_edges;
+    out.sigma_ = sigma;
+    out.hub_min_degree_ = hub_min_degree;
+    out.hub_split_count_ = hub_split_count;
+    out.vectors_ = std::move(vectors);
+    out.weights_ = std::move(weights);
+    out.slices_ = std::move(slices);
+    out.slice_offsets_ = std::move(slice_offsets);
+    out.source_offsets_ = std::move(source_offsets);
+    out.source_vectors_ = std::move(source_vectors);
+    return out;
+  }
+
+  [[nodiscard]] bool present() const noexcept { return present_; }
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::uint64_t num_fused() const noexcept {
+    return vectors_.size();
+  }
+  [[nodiscard]] std::uint64_t num_slices() const noexcept {
+    return slices_.size();
+  }
+  [[nodiscard]] bool weighted() const noexcept { return !weights_.empty(); }
+  [[nodiscard]] std::uint64_t sigma() const noexcept { return sigma_; }
+  [[nodiscard]] std::uint64_t hub_min_degree() const noexcept {
+    return hub_min_degree_;
+  }
+  /// Number of hub destinations given solo slices (excludes odd-
+  /// leftover solos, which are a layout artifact, not a split).
+  [[nodiscard]] std::uint64_t hub_split_count() const noexcept {
+    return hub_split_count_;
+  }
+
+  [[nodiscard]] std::span<const EdgeVector512> vectors() const noexcept {
+    return vectors_.span();
+  }
+  [[nodiscard]] std::span<const WeightVector512> weights() const noexcept {
+    return weights_.span();
+  }
+  [[nodiscard]] std::span<const Vsd512Slice> slices() const noexcept {
+    return slices_.span();
+  }
+  /// Fused-vector index of each slice's start; num_slices()+1 entries.
+  [[nodiscard]] std::span<const EdgeIndex> slice_offsets() const noexcept {
+    return slice_offsets_.span();
+  }
+
+  /// Source->fused-vector incidence in CSR form, one uint32 entry per
+  /// edge (same contract as VectorSparseGraph::source_vectors, but the
+  /// indices address fused vectors). Drives the gated pull candidate
+  /// bitmap.
+  [[nodiscard]] std::span<const EdgeIndex> source_offsets() const noexcept {
+    return source_offsets_.span();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> source_vectors()
+      const noexcept {
+    return source_vectors_.span();
+  }
+
+  /// Index of the slice containing fused vector `fused`.
+  [[nodiscard]] std::uint64_t slice_of(EdgeIndex fused) const noexcept;
+
+  /// Fraction of the 8 * num_fused() lanes holding real edges — the
+  /// Figure 9 metric measured on this structure.
+  [[nodiscard]] double measured_packing_efficiency() const noexcept;
+
+ private:
+  bool present_ = false;
+  std::uint64_t num_vertices_ = 0;
+  std::uint64_t num_edges_ = 0;
+  std::uint64_t sigma_ = 0;
+  std::uint64_t hub_min_degree_ = 0;
+  std::uint64_t hub_split_count_ = 0;
+  DataArray<EdgeVector512> vectors_;
+  DataArray<WeightVector512> weights_;
+  DataArray<Vsd512Slice> slices_;
+  DataArray<EdgeIndex> slice_offsets_;
+  DataArray<EdgeIndex> source_offsets_;
+  DataArray<std::uint32_t> source_vectors_;
+};
+
 }  // namespace grazelle

@@ -126,9 +126,26 @@ const CpuFeatures& cpu_features() {
   return features;
 }
 
+bool force_scalar() {
+  static const bool forced = [] {
+    const char* env = std::getenv("GRAZELLE_FORCE_SCALAR");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return forced;
+}
+
 bool vector_kernels_available() {
 #if defined(GRAZELLE_HAVE_AVX2)
-  return cpu_features().avx2;
+  return cpu_features().avx2 && !force_scalar();
+#else
+  return false;
+#endif
+}
+
+bool wide_kernels_available() {
+#if defined(GRAZELLE_HAVE_AVX512) && defined(GRAZELLE_HAVE_AVX2)
+  return cpu_features().avx512f && cpu_features().avx2 && !force_scalar();
 #else
   return false;
 #endif

@@ -18,9 +18,22 @@ struct CpuFeatures {
 /// Queries CPUID once and caches the result.
 [[nodiscard]] const CpuFeatures& cpu_features();
 
+/// True when the GRAZELLE_FORCE_SCALAR environment variable is set to
+/// a non-empty value other than "0". Forces every vectorized kernel
+/// predicate below to report false, so dispatch falls through to the
+/// scalar walkers regardless of what the host supports — CI's
+/// forced-scalar job and A/B kernel debugging use this.
+[[nodiscard]] bool force_scalar();
+
 /// True when both the build (GRAZELLE_HAVE_AVX2) and the host support
-/// the AVX2 kernels.
+/// the AVX2 kernels (and GRAZELLE_FORCE_SCALAR is not set).
 [[nodiscard]] bool vector_kernels_available();
+
+/// True when the build (GRAZELLE_HAVE_AVX512 + GRAZELLE_HAVE_AVX2) and
+/// the host support the fused 8-lane AVX-512 kernels (and
+/// GRAZELLE_FORCE_SCALAR is not set). The AVX2 requirement is real:
+/// the fused kernel flushes through the 256-bit reduce.
+[[nodiscard]] bool wide_kernels_available();
 
 /// Host data-cache sizes in bytes. `llc_bytes` is the largest unified
 /// or data cache of level >= 2 — the budget cache blocking sizes

@@ -1,0 +1,334 @@
+// Cross-lane-width equivalence (DESIGN.md §12): the fused 8-lane
+// SELL-σ layout must produce the same answers as the 4-lane layout —
+// bit for bit for every pull mode with gating and blocking on and off,
+// because both layouts accumulate each destination's in-neighborhood
+// in the same ascending order with the same reduce tree. The one
+// deliberate exception: scheduler-aware PageRank with small chunks
+// regroups the hub ladder at different chunk boundaries per layout, so
+// the star-graph merge-fold case checks ULP-level closeness instead.
+// Also covers the LanePolicy plumbing (k4 / k8 / kAuto resolution).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "platform/cpu_features.h"
+
+namespace grazelle {
+namespace {
+
+EdgeList rmat_graph() {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.num_edges = 4000;
+  p.a = 0.6;
+  p.b = 0.15;
+  p.c = 0.19;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return list;
+}
+
+/// One vertex receives an edge from everyone: the hub is laid out as
+/// solo slices (hub-split) in the 8-lane format and its row crosses
+/// every scheduler chunk and cache block.
+EdgeList star_graph(std::uint64_t n) {
+  EdgeList list(n);
+  for (VertexId v = 1; v < n; ++v) list.add_edge(v, 0);
+  list.canonicalize();
+  return list;
+}
+
+struct LaneConfig {
+  PullParallelism mode;
+  bool vectorized;
+  bool gated;
+  bool blocked;
+};
+
+std::string config_name(const ::testing::TestParamInfo<LaneConfig>& info) {
+  const LaneConfig& c = info.param;
+  std::string mode;
+  switch (c.mode) {
+    case PullParallelism::kSequential: mode = "Seq"; break;
+    case PullParallelism::kVertexParallel: mode = "VtxPar"; break;
+    case PullParallelism::kTraditional: mode = "Trad"; break;
+    case PullParallelism::kTraditionalNoAtomic: mode = "TradNA"; break;
+    case PullParallelism::kSchedulerAware: mode = "SchedAware"; break;
+  }
+  return mode + (c.vectorized ? "Vec" : "Scalar") + (c.gated ? "Gated" : "") +
+         (c.blocked ? "Blocked" : "");
+}
+
+std::vector<LaneConfig> make_configs() {
+  std::vector<LaneConfig> configs;
+  const std::vector<bool> vec_options =
+      vector_kernels_available() ? std::vector<bool>{false, true}
+                                 : std::vector<bool>{false};
+  for (bool vec : vec_options) {
+    for (bool gated : {false, true}) {
+      for (bool blocked : {false, true}) {
+        for (PullParallelism mode :
+             {PullParallelism::kSequential, PullParallelism::kVertexParallel,
+              PullParallelism::kTraditional,
+              PullParallelism::kTraditionalNoAtomic,
+              PullParallelism::kSchedulerAware}) {
+          configs.push_back({mode, vec, gated, blocked});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+EngineOptions lane_options(const LaneConfig& c, unsigned threads,
+                           std::uint64_t chunk, LanePolicy lanes) {
+  EngineOptions o;
+  o.num_threads = threads;
+  o.chunk_vectors = chunk;
+  o.pull_mode = c.mode;
+  o.lanes = lanes;
+  o.direction.select = EngineSelect::kPullOnly;
+  o.blocking.enabled = c.blocked;
+  o.blocking.block_bytes = 512;
+  if (c.gated) {
+    o.gating.enabled = true;
+    o.gating.density_divisor = 0;  // gate every pull iteration
+  }
+  return o;
+}
+
+template <typename P, typename Fn>
+void with_engine(const Graph& g, const EngineOptions& opts, bool vectorized,
+                 Fn&& fn) {
+#if defined(GRAZELLE_HAVE_AVX2)
+  if (vectorized) {
+    Engine<P, true> engine(g, opts);
+    fn(engine);
+    return;
+  }
+#else
+  ASSERT_FALSE(vectorized) << "vector kernels not built";
+#endif
+  Engine<P, false> engine(g, opts);
+  fn(engine);
+}
+
+class LaneSweep : public ::testing::TestWithParam<LaneConfig> {};
+
+// PageRank's add is grouping-sensitive, so both lane widths must walk
+// full per-destination ladders: single-threaded for the traditional
+// modes (atomic combine order is scheduling-dependent) and a chunk
+// large enough that scheduler-aware runs one chunk per layout.
+TEST_P(LaneSweep, PageRankBitIdentical) {
+  const LaneConfig& c = GetParam();
+  const Graph g = Graph::build(rmat_graph());
+  const bool par = c.mode == PullParallelism::kVertexParallel ||
+                   c.mode == PullParallelism::kSchedulerAware;
+  const std::uint64_t chunk =
+      c.mode == PullParallelism::kSchedulerAware ? (std::uint64_t{1} << 30)
+      : c.mode == PullParallelism::kTraditional ||
+              c.mode == PullParallelism::kTraditionalNoAtomic
+          ? 16
+          : 0;
+  std::vector<double> narrow, wide;
+  for (LanePolicy lanes : {LanePolicy::k4, LanePolicy::k8}) {
+    with_engine<apps::PageRank>(
+        g, lane_options(c, par ? 4 : 1, chunk, lanes), c.vectorized,
+        [&](auto& engine) {
+          EXPECT_EQ(engine.wide_active(), lanes == LanePolicy::k8);
+          apps::PageRank pr(g, engine.pool().size());
+          engine.run(pr, 10);
+          auto& out = lanes == LanePolicy::k4 ? narrow : wide;
+          out.assign(pr.ranks().begin(), pr.ranks().end());
+        });
+  }
+  ASSERT_EQ(narrow.size(), wide.size());
+  EXPECT_EQ(std::memcmp(narrow.data(), wide.data(),
+                        narrow.size() * sizeof(double)),
+            0);
+}
+
+// min is grouping-insensitive, so every mode can run multi-threaded
+// except the ones whose correctness depends on a single worker.
+TEST_P(LaneSweep, ConnectedComponentsBitIdentical) {
+  const LaneConfig& c = GetParam();
+  const Graph g = Graph::build(rmat_graph());
+  const bool seq = c.mode == PullParallelism::kSequential ||
+                   c.mode == PullParallelism::kTraditionalNoAtomic;
+  const std::uint64_t chunk =
+      c.mode == PullParallelism::kSequential ||
+              c.mode == PullParallelism::kVertexParallel
+          ? 0
+          : 16;
+  std::vector<std::uint64_t> narrow, wide;
+  for (LanePolicy lanes : {LanePolicy::k4, LanePolicy::k8}) {
+    with_engine<apps::ConnectedComponents>(
+        g, lane_options(c, seq ? 1 : 4, chunk, lanes), c.vectorized,
+        [&](auto& engine) {
+          apps::ConnectedComponents cc(g);
+          engine.frontier().set_all();
+          engine.run(cc, 1000);
+          auto& out = lanes == LanePolicy::k4 ? narrow : wide;
+          out.assign(cc.labels().begin(), cc.labels().end());
+        });
+  }
+  ASSERT_EQ(narrow.size(), wide.size());
+  EXPECT_EQ(std::memcmp(narrow.data(), wide.data(),
+                        narrow.size() * sizeof(std::uint64_t)),
+            0);
+}
+
+TEST_P(LaneSweep, BfsParentsBitIdentical) {
+  const LaneConfig& c = GetParam();
+  const Graph g = Graph::build(rmat_graph());
+  const bool seq = c.mode == PullParallelism::kSequential ||
+                   c.mode == PullParallelism::kTraditionalNoAtomic;
+  const std::uint64_t chunk =
+      c.mode == PullParallelism::kSequential ||
+              c.mode == PullParallelism::kVertexParallel
+          ? 0
+          : 16;
+  std::vector<std::uint64_t> narrow, wide;
+  for (LanePolicy lanes : {LanePolicy::k4, LanePolicy::k8}) {
+    with_engine<apps::BreadthFirstSearch>(
+        g, lane_options(c, seq ? 1 : 4, chunk, lanes), c.vectorized,
+        [&](auto& engine) {
+          apps::BreadthFirstSearch bfs(g, 0);
+          bfs.seed(engine.frontier());
+          engine.run(bfs, 1u << 20);
+          auto& out = lanes == LanePolicy::k4 ? narrow : wide;
+          out.assign(bfs.parents().begin(), bfs.parents().end());
+        });
+  }
+  ASSERT_EQ(narrow.size(), wide.size());
+  EXPECT_EQ(std::memcmp(narrow.data(), wide.data(),
+                        narrow.size() * sizeof(std::uint64_t)),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LaneSweep,
+                         ::testing::ValuesIn(make_configs()), config_name);
+
+// ---------------------------------------------------------------------------
+// Hub-split merge-fold: the star hub's solo row crosses many small
+// scheduler chunks, so every chunk deposits a partial into the merge
+// buffer and the fold reassembles the ladder.
+
+TEST(HubSplitMergeFold, ConnectedComponentsExactAcrossLaneWidths) {
+  const Graph g = Graph::build(star_graph(600));
+  ASSERT_GT(g.vsd512().hub_split_count(), 0u);
+  std::vector<std::uint64_t> narrow, wide;
+  for (LanePolicy lanes : {LanePolicy::k4, LanePolicy::k8}) {
+    LaneConfig c{PullParallelism::kSchedulerAware, false, false, false};
+    with_engine<apps::ConnectedComponents>(
+        g, lane_options(c, 4, 8, lanes), /*vectorized=*/false,
+        [&](auto& engine) {
+          apps::ConnectedComponents cc(g);
+          engine.frontier().set_all();
+          engine.run(cc, 1000);
+          auto& out = lanes == LanePolicy::k4 ? narrow : wide;
+          out.assign(cc.labels().begin(), cc.labels().end());
+        });
+  }
+  EXPECT_EQ(std::memcmp(narrow.data(), wide.data(),
+                        narrow.size() * sizeof(std::uint64_t)),
+            0);
+}
+
+TEST(HubSplitMergeFold, BfsExactAcrossLaneWidths) {
+  const Graph g = Graph::build(star_graph(600));
+  std::vector<std::uint64_t> narrow, wide;
+  for (LanePolicy lanes : {LanePolicy::k4, LanePolicy::k8}) {
+    LaneConfig c{PullParallelism::kSchedulerAware, false, false, false};
+    with_engine<apps::BreadthFirstSearch>(
+        g, lane_options(c, 4, 8, lanes), /*vectorized=*/false,
+        [&](auto& engine) {
+          apps::BreadthFirstSearch bfs(g, 0);
+          bfs.seed(engine.frontier());
+          engine.run(bfs, 1u << 20);
+          auto& out = lanes == LanePolicy::k4 ? narrow : wide;
+          out.assign(bfs.parents().begin(), bfs.parents().end());
+        });
+  }
+  EXPECT_EQ(std::memcmp(narrow.data(), wide.data(),
+                        narrow.size() * sizeof(std::uint64_t)),
+            0);
+}
+
+// Small chunks regroup the hub's add ladder at different boundaries in
+// the two layouts (4-lane chunks count 4-lane vectors; fused chunks
+// count halves), so PageRank is near-equal, not bit-equal, here.
+TEST(HubSplitMergeFold, PageRankNearEqualAcrossLaneWidths) {
+  const Graph g = Graph::build(star_graph(600));
+  std::vector<double> narrow, wide;
+  for (LanePolicy lanes : {LanePolicy::k4, LanePolicy::k8}) {
+    LaneConfig c{PullParallelism::kSchedulerAware, false, false, false};
+    with_engine<apps::PageRank>(
+        g, lane_options(c, 4, 8, lanes), /*vectorized=*/false,
+        [&](auto& engine) {
+          apps::PageRank pr(g, engine.pool().size());
+          engine.run(pr, 10);
+          auto& out = lanes == LanePolicy::k4 ? narrow : wide;
+          out.assign(pr.ranks().begin(), pr.ranks().end());
+        });
+  }
+  ASSERT_EQ(narrow.size(), wide.size());
+  for (std::size_t i = 0; i < narrow.size(); ++i) {
+    ASSERT_NEAR(narrow[i], wide[i], 1e-12) << "vertex " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LanePolicy plumbing
+
+TEST(LanePolicyPlumbing, K4DisablesWideK8ForcesIt) {
+  const Graph g = Graph::build(rmat_graph());
+  EngineOptions o;
+  o.num_threads = 1;
+  o.lanes = LanePolicy::k4;
+  EXPECT_FALSE((Engine<apps::PageRank, false>(g, o)).wide_active());
+  o.lanes = LanePolicy::k8;
+  // k8 is an explicit request: honored even on the scalar engine
+  // (scalar-per-half kernels exist on every host).
+  EXPECT_TRUE((Engine<apps::PageRank, false>(g, o)).wide_active());
+}
+
+TEST(LanePolicyPlumbing, AutoOnScalarEngineStaysNarrow) {
+  const Graph g = Graph::build(rmat_graph());
+  EngineOptions o;
+  o.num_threads = 1;
+  o.lanes = LanePolicy::kAuto;
+  EXPECT_FALSE((Engine<apps::PageRank, false>(g, o)).wide_active());
+#if defined(GRAZELLE_HAVE_AVX2)
+  // On the vectorized engine, kAuto takes the wide path exactly when
+  // the host's AVX-512 kernels are usable.
+  EXPECT_EQ((Engine<apps::PageRank, true>(g, o)).wide_active(),
+            wide_kernels_available());
+#endif
+}
+
+TEST(LanePolicyPlumbing, StrippedGraphFallsBackTo4Lane) {
+  // A graph without the fused layout (e.g. loaded from a container
+  // packed with --lanes=4) ignores even an explicit k8 request.
+  Graph g = Graph::build(rmat_graph());
+  g.set_vsd512(Vsd512Graph{});
+  EngineOptions o;
+  o.num_threads = 1;
+  o.lanes = LanePolicy::k8;
+  Engine<apps::PageRank, false> engine(g, o);
+  EXPECT_FALSE(engine.wide_active());
+  apps::PageRank pr(g, 1);
+  engine.run(pr, 3);  // runs, on the 4-lane path
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace grazelle

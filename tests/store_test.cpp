@@ -88,6 +88,23 @@ void expect_sparse_equal(const VectorSparseGraph& a,
                      "source_vectors");
 }
 
+void expect_vsd512_equal(const Vsd512Graph& a, const Vsd512Graph& b) {
+  SCOPED_TRACE("vsd512");
+  ASSERT_EQ(a.present(), b.present());
+  if (!a.present()) return;
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.sigma(), b.sigma());
+  EXPECT_EQ(a.hub_min_degree(), b.hub_min_degree());
+  EXPECT_EQ(a.hub_split_count(), b.hub_split_count());
+  expect_bytes_equal(a.vectors(), b.vectors(), "v512.vectors");
+  expect_bytes_equal(a.weights(), b.weights(), "v512.weights");
+  expect_bytes_equal(a.slices(), b.slices(), "v512.slices");
+  expect_bytes_equal(a.slice_offsets(), b.slice_offsets(), "v512.sliceoffs");
+  expect_bytes_equal(a.source_offsets(), b.source_offsets(), "v512.srcoffs");
+  expect_bytes_equal(a.source_vectors(), b.source_vectors(), "v512.srcvecs");
+}
+
 void expect_graphs_equal(const Graph& a, const Graph& b) {
   EXPECT_EQ(a.num_vertices(), b.num_vertices());
   EXPECT_EQ(a.num_edges(), b.num_edges());
@@ -102,6 +119,7 @@ void expect_graphs_equal(const Graph& a, const Graph& b) {
   expect_bytes_equal(a.csc().weights(), b.csc().weights(), "csc.weights");
   expect_sparse_equal(a.vss(), b.vss(), "vss");
   expect_sparse_equal(a.vsd(), b.vsd(), "vsd");
+  expect_vsd512_equal(a.vsd512(), b.vsd512());
   expect_bytes_equal(a.out_degrees(), b.out_degrees(), "deg.out");
   expect_bytes_equal(a.in_degrees(), b.in_degrees(), "deg.in");
 }
@@ -366,6 +384,85 @@ TEST(Store, LegacyContainerWithoutBlockSectionsStillOpens) {
             built.vsd_blocks().num_blocks());
   expect_bytes_equal(built.vsd_blocks().splits(),
                      engine.block_index()->splits(), "rebuilt splits");
+}
+
+// ---------------------------------------------------------------------------
+// Fused 8-lane layout sections (format v3)
+
+TEST(Store, Vsd512SectionsRoundTrip) {
+  const Graph built = Graph::build(rmat_graph());
+  ASSERT_TRUE(built.vsd512().present());
+  TempStore store("grazelle_store_v512");
+  store::pack_graph(built, store.path());
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  EXPECT_EQ(info.version, store::kFormatVersion);
+  bool has_hdr = false;
+  bool has_vectors = false;
+  bool has_slices = false;
+  for (const store::SectionInfo& s : info.sections) {
+    has_hdr |= s.name == "v512.hdr";
+    has_vectors |= s.name == "v512.vectors";
+    has_slices |= s.name == "v512.slices";
+  }
+  EXPECT_TRUE(has_hdr);
+  EXPECT_TRUE(has_vectors);
+  EXPECT_TRUE(has_slices);
+
+  const Graph served = store::load_graph(store.path());
+  ASSERT_TRUE(served.vsd512().present());
+  expect_vsd512_equal(built.vsd512(), served.vsd512());
+}
+
+TEST(Store, StrippedVsd512ContainerFallsBackTo4Lane) {
+  // graph_convert --pack --lanes=4 ships a v3 container without the
+  // v512.* sections; it must open cleanly with an absent Vsd512Graph.
+  Graph built = Graph::build(rmat_graph());
+  built.set_vsd512(Vsd512Graph{});
+  TempStore store("grazelle_store_v512_stripped");
+  store::pack_graph(built, store.path());
+
+  for (const store::SectionInfo& s :
+       store::inspect_store(store.path()).sections) {
+    EXPECT_NE(s.name.substr(0, 5), "v512.") << s.name;
+  }
+  const Graph served = store::load_graph(store.path());
+  EXPECT_FALSE(served.vsd512().present());
+  expect_graphs_equal(built, served);
+}
+
+TEST(Store, VersionCappedReaderRejectsV3) {
+  // A long-lived reader pinned at v2 must refuse a v3 container with a
+  // message naming both the found and the supported versions.
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_v512_capped");
+  store::pack_graph(built, store.path());
+
+  for (auto open : {+[](const fs::path& p, std::uint32_t cap) {
+                      (void)store::open_graph(p, cap);
+                    },
+                    +[](const fs::path& p, std::uint32_t cap) {
+                      (void)store::read_graph(p, cap);
+                    },
+                    +[](const fs::path& p, std::uint32_t cap) {
+                      (void)store::load_graph(p, cap);
+                    },
+                    +[](const fs::path& p, std::uint32_t cap) {
+                      (void)store::inspect_store(p, cap);
+                    }}) {
+    try {
+      open(store.path(), 2);
+      FAIL() << "expected StoreError(kBadVersion)";
+    } catch (const store::StoreError& e) {
+      EXPECT_EQ(e.code(), store::StoreErrc::kBadVersion);
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("version 3"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("1..2"), std::string::npos) << msg;
+    }
+  }
+  // At the current cap the same file opens fine.
+  EXPECT_NO_THROW((void)store::load_graph(store.path(),
+                                          store::kFormatVersion));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,16 +1,19 @@
-// Tests for the lane-parameterized Wide Vector-Sparse format and the
-// AVX-512 8-lane pull kernels (checked against their scalar
-// references).
+// Tests for the fused 8-lane Vector-Sparse v2 format (Vsd512,
+// DESIGN.md §12): layout invariants of the paired/solo slice scheme,
+// per-destination neighbor round-trips against the CSC reference (the
+// SELL-σ permutation must map every result back to the original
+// vertex id), hub-splitting on skewed graphs, and the measured
+// packing-efficiency win of degree-sorted pairing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
-#include <random>
 #include <vector>
 
-#include "core/simd512.h"
-#include "graph/wide_vector_sparse.h"
 #include "gen/rmat.h"
 #include "gen/synthetic.h"
+#include "graph/vector_sparse.h"
+#include "platform/bits.h"
 
 namespace grazelle {
 namespace {
@@ -25,191 +28,178 @@ EdgeList sample_graph() {
   return list;
 }
 
-template <unsigned Lanes>
-void expect_round_trip(const CompressedSparse& csc) {
-  const auto wide = WideVectorSparse<Lanes>::build(csc);
-  EXPECT_EQ(wide.num_edges(), csc.num_edges());
-  for (VertexId top = 0; top < csc.num_vertices(); ++top) {
-    const auto expected = csc.neighbors_of(top);
-    const auto& r = wide.range(top);
-    EXPECT_EQ(r.degree, expected.size());
-    std::vector<VertexId> actual;
-    for (std::uint64_t i = 0; i < r.vector_count; ++i) {
-      const auto& ev = wide.vectors()[r.first_vector + i];
-      EXPECT_EQ(ev.top_level(), top);
-      for (unsigned k = 0; k < Lanes; ++k) {
-        if (ev.valid(k)) actual.push_back(ev.neighbor(k));
+/// Collects row `r` of slice `si` — its 4-lane edge vectors in layout
+/// order — checking the piece-encoded top-level id of every vector
+/// (occupied or padding) along the way.
+std::vector<VertexId> row_neighbors(const Vsd512Graph& g, std::uint64_t si,
+                                    unsigned r) {
+  const Vsd512Slice& s = g.slices()[si];
+  const EdgeIndex base = g.slice_offsets()[si];
+  const EdgeIndex extent = g.slice_offsets()[si + 1] - base;
+  std::vector<VertexId> out;
+  const std::uint32_t rv = s.row_vectors[r];
+  for (std::uint32_t j = 0; j < rv; ++j) {
+    const EdgeVector& ev = s.solo() ? g.vectors()[base + j / 2].half[j % 2]
+                                    : g.vectors()[base + j].half[r];
+    EXPECT_EQ(ev.top_level(), s.dest[r]) << "slice " << si << " row " << r;
+    for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+      if (ev.valid(k)) out.push_back(ev.neighbor(k));
+    }
+  }
+  // Padding beyond the row: all-invalid halves still carrying the
+  // row's dest pieces.
+  if (s.solo()) {
+    for (std::uint32_t j = rv; j < 2 * extent; ++j) {
+      const EdgeVector& ev = g.vectors()[base + j / 2].half[j % 2];
+      EXPECT_EQ(ev.top_level(), s.dest[0]);
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        EXPECT_FALSE(ev.valid(k));
       }
     }
-    ASSERT_EQ(actual, std::vector<VertexId>(expected.begin(),
-                                            expected.end()));
-  }
-}
-
-TEST(WideVectorSparse, RoundTripAllLaneWidths) {
-  const auto csc =
-      CompressedSparse::build(sample_graph(), GroupBy::kDestination);
-  expect_round_trip<4>(csc);
-  expect_round_trip<8>(csc);
-  expect_round_trip<16>(csc);
-}
-
-TEST(WideVectorSparse, FourLaneMatchesCanonicalFormat) {
-  const auto csc =
-      CompressedSparse::build(sample_graph(), GroupBy::kDestination);
-  const auto canonical = VectorSparseGraph::build(csc);
-  const auto wide = WideVectorSparse<4>::build(csc);
-  ASSERT_EQ(wide.num_vectors(), canonical.num_vectors());
-  for (std::uint64_t i = 0; i < wide.num_vectors(); ++i) {
-    for (unsigned k = 0; k < 4; ++k) {
-      EXPECT_EQ(wide.vectors()[i].lane[k], canonical.vectors()[i].lane[k]);
+  } else {
+    for (std::uint32_t j = rv; j < extent; ++j) {
+      const EdgeVector& ev = g.vectors()[base + j].half[r];
+      EXPECT_EQ(ev.top_level(), s.dest[r]);
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        EXPECT_FALSE(ev.valid(k));
+      }
     }
   }
+  return out;
 }
 
-TEST(WideVectorSparse, EightLanePieceReassembly) {
-  // 6-bit pieces: exercise a top-level id using all piece positions.
-  using V8 = WideEdgeVector<8>;
-  const VertexId top = 0x0000ABCDEF123456ull & kVertexIdMask;
-  V8 ev;
-  for (unsigned k = 0; k < 8; ++k) {
-    ev.lane[k] = V8::make_lane(true, (top >> (6 * k)) & 0x3f, k);
+TEST(Vsd512, SliceInvariantsAndNeighborRoundTrip) {
+  const auto csc =
+      CompressedSparse::build(sample_graph(), GroupBy::kDestination);
+  const Vsd512Graph g = Vsd512Graph::build(csc);
+  ASSERT_TRUE(g.present());
+  EXPECT_EQ(g.num_vertices(), csc.num_vertices());
+  EXPECT_EQ(g.num_edges(), csc.num_edges());
+  EXPECT_EQ(g.slice_offsets().size(), g.num_slices() + 1);
+  EXPECT_EQ(g.slice_offsets()[g.num_slices()], g.num_fused());
+
+  std::vector<bool> seen(csc.num_vertices(), false);
+  for (std::uint64_t si = 0; si < g.num_slices(); ++si) {
+    const Vsd512Slice& s = g.slices()[si];
+    const EdgeIndex extent = g.slice_offsets()[si + 1] - g.slice_offsets()[si];
+    const unsigned nrows = s.solo() ? 1 : 2;
+    if (s.solo()) {
+      EXPECT_EQ(extent, bits::ceil_div(std::uint64_t{s.row_vectors[0]},
+                                       std::uint64_t{2}));
+      EXPECT_EQ(s.row_vectors[1], 0u);
+    } else {
+      // Paired: rowA (half 0) is the longer row and sets the extent.
+      EXPECT_GE(s.row_vectors[0], s.row_vectors[1]);
+      EXPECT_EQ(extent, s.row_vectors[0]);
+      EXPECT_GE(s.row_vectors[1], 1u);
+    }
+    for (unsigned r = 0; r < nrows; ++r) {
+      const VertexId d = s.dest[r];
+      ASSERT_LT(d, csc.num_vertices());
+      EXPECT_FALSE(seen[d]) << "dest " << d << " appears in two slices";
+      seen[d] = true;
+      const auto expected = csc.neighbors_of(d);
+      EXPECT_EQ(s.row_vectors[r],
+                bits::ceil_div(std::uint64_t{expected.size()},
+                               std::uint64_t{kEdgeVectorLanes}));
+      const std::vector<VertexId> actual = row_neighbors(g, si, r);
+      ASSERT_EQ(actual,
+                std::vector<VertexId>(expected.begin(), expected.end()))
+          << "dest " << d;
+    }
   }
-  EXPECT_EQ(ev.top_level(), top);
-  EXPECT_EQ(V8::kPieceBits, 6u);
-}
-
-TEST(WideVectorSparse, PackingMatchesAnalytic) {
-  const EdgeList list = sample_graph();
-  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
-  const auto degrees = list.in_degrees();
-  const std::span<const std::uint64_t> d(degrees.data(), degrees.size());
-  EXPECT_NEAR(WideVectorSparse<8>::build(csc).measured_packing_efficiency(),
-              VectorSparseGraph::packing_efficiency(d, 8), 1e-12);
-  EXPECT_NEAR(WideVectorSparse<16>::build(csc).measured_packing_efficiency(),
-              VectorSparseGraph::packing_efficiency(d, 16), 1e-12);
-}
-
-TEST(WideSweep, ScalarSumSweepMatchesDirectComputation) {
-  const EdgeList list = sample_graph();
-  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
-  const auto wide = WideVectorSparse<8>::build(csc);
-
-  std::vector<double> messages(csc.num_vertices());
-  std::mt19937_64 rng(9);
-  for (auto& m : messages) {
-    m = std::uniform_real_distribution<>(0, 1)(rng);
-  }
-
-  std::vector<double> result(csc.num_vertices(), 0.0);
-  auto trailing = wide::pull_sum_sweep_scalar<8>(
-      wide, messages.data(), 0, wide.num_vectors(),
-      [&](VertexId d, double v) { result[d] = v; });
-  if (trailing.first != kInvalidVertex) {
-    result[trailing.first] = trailing.second;
-  }
-
+  // Every destination with in-edges is covered; zero-degree ones are
+  // not.
   for (VertexId v = 0; v < csc.num_vertices(); ++v) {
-    double expected = 0.0;
-    for (VertexId src : csc.neighbors_of(v)) expected += messages[src];
-    ASSERT_NEAR(result[v], expected, 1e-9) << "vertex " << v;
+    EXPECT_EQ(seen[v], !csc.neighbors_of(v).empty()) << "dest " << v;
   }
 }
 
-#if defined(GRAZELLE_HAVE_AVX512)
-
-class WideAvx512 : public ::testing::Test {
- protected:
-  void SetUp() override {
-    if (!wide::wide_kernels_available()) {
-      GTEST_SKIP() << "AVX-512 unavailable on this host";
+TEST(Vsd512, IncidenceIndexCoversEveryLane) {
+  const auto csc =
+      CompressedSparse::build(sample_graph(), GroupBy::kDestination);
+  const Vsd512Graph g = Vsd512Graph::build(csc);
+  const auto offsets = g.source_offsets();
+  const auto incident = g.source_vectors();
+  ASSERT_EQ(offsets.size(), g.num_vertices() + 1);
+  ASSERT_EQ(offsets[g.num_vertices()], g.num_edges());
+  ASSERT_EQ(incident.size(), g.num_edges());
+  // Count valid lanes per (source, fused vector) directly and check
+  // the index lists exactly those pairs.
+  std::vector<std::uint64_t> expected_counts(g.num_vertices(), 0);
+  for (std::uint64_t i = 0; i < g.num_fused(); ++i) {
+    for (unsigned h = 0; h < 2; ++h) {
+      const EdgeVector& ev = g.vectors()[i].half[h];
+      for (unsigned k = 0; k < kEdgeVectorLanes; ++k) {
+        if (ev.valid(k)) ++expected_counts[ev.neighbor(k)];
+      }
     }
   }
-};
-
-TEST_F(WideAvx512, SumSweepMatchesScalar) {
-  const EdgeList list = sample_graph();
-  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
-  const auto wide8 = WideVectorSparse<8>::build(csc);
-
-  std::vector<double> messages(csc.num_vertices());
-  std::mt19937_64 rng(11);
-  for (auto& m : messages) {
-    m = std::uniform_real_distribution<>(0, 1)(rng);
-  }
-
-  std::vector<std::pair<VertexId, double>> scalar, vec;
-  const auto ts = wide::pull_sum_sweep_scalar<8>(
-      wide8, messages.data(), 0, wide8.num_vectors(),
-      [&](VertexId d, double v) { scalar.emplace_back(d, v); });
-  const auto tv = wide::pull_sum_sweep_avx512(
-      wide8, messages.data(), 0, wide8.num_vectors(),
-      [&](VertexId d, double v) { vec.emplace_back(d, v); });
-
-  ASSERT_EQ(scalar.size(), vec.size());
-  for (std::size_t i = 0; i < scalar.size(); ++i) {
-    EXPECT_EQ(scalar[i].first, vec[i].first);
-    // Different summation order within the 8-lane accumulator.
-    EXPECT_NEAR(scalar[i].second, vec[i].second, 1e-9);
-  }
-  EXPECT_EQ(ts.first, tv.first);
-  EXPECT_NEAR(ts.second, tv.second, 1e-9);
-}
-
-TEST_F(WideAvx512, MinSweepMatchesScalarWithFrontier) {
-  const EdgeList list = sample_graph();
-  const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
-  const auto wide8 = WideVectorSparse<8>::build(csc);
-
-  std::vector<std::uint64_t> labels(csc.num_vertices());
-  for (VertexId v = 0; v < labels.size(); ++v) labels[v] = v;
-
-  // Random half-full frontier.
-  std::vector<std::uint64_t> frontier_words(
-      (csc.num_vertices() + 63) / 64, 0);
-  std::mt19937_64 rng(13);
-  for (auto& w : frontier_words) w = rng();
-
-  const std::vector<const std::uint64_t*> frontiers = {
-      nullptr, frontier_words.data()};
-  for (const std::uint64_t* frontier : frontiers) {
-    std::vector<std::pair<VertexId, std::uint64_t>> scalar, vec;
-    const auto ts = wide::pull_min_sweep_scalar<8>(
-        wide8, labels.data(), frontier, 0, wide8.num_vectors(),
-        [&](VertexId d, std::uint64_t v) { scalar.emplace_back(d, v); });
-    const auto tv = wide::pull_min_sweep_avx512(
-        wide8, labels.data(), frontier, 0, wide8.num_vectors(),
-        [&](VertexId d, std::uint64_t v) { vec.emplace_back(d, v); });
-    EXPECT_EQ(scalar, vec);
-    EXPECT_EQ(ts, tv);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(offsets[v + 1] - offsets[v], expected_counts[v]);
+    for (EdgeIndex j = offsets[v]; j < offsets[v + 1]; ++j) {
+      ASSERT_LT(incident[j], g.num_fused());
+    }
   }
 }
 
-TEST_F(WideAvx512, PartialRangesMatchScalar) {
-  const EdgeList list = sample_graph();
+TEST(Vsd512, StarGraphHubSplits) {
+  // A star pointing at vertex 0: one hub destination far above any
+  // auto threshold once hub_min_degree is pinned low.
+  EdgeList list;
+  list.set_num_vertices(65);
+  for (VertexId leaf = 1; leaf <= 64; ++leaf) list.add_edge(leaf, 0);
   const auto csc = CompressedSparse::build(list, GroupBy::kDestination);
-  const auto wide8 = WideVectorSparse<8>::build(csc);
-  std::vector<double> messages(csc.num_vertices(), 0.5);
-
-  const std::uint64_t n = wide8.num_vectors();
-  for (auto [b, e] : {std::pair<std::uint64_t, std::uint64_t>{0, 0},
-                      {0, 1},
-                      {n / 3, 2 * n / 3},
-                      {n - 1, n}}) {
-    std::vector<std::pair<VertexId, double>> scalar, vec;
-    const auto ts = wide::pull_sum_sweep_scalar<8>(
-        wide8, messages.data(), b, e,
-        [&](VertexId d, double v) { scalar.emplace_back(d, v); });
-    const auto tv = wide::pull_sum_sweep_avx512(
-        wide8, messages.data(), b, e,
-        [&](VertexId d, double v) { vec.emplace_back(d, v); });
-    EXPECT_EQ(scalar.size(), vec.size());
-    EXPECT_EQ(ts.first, tv.first);
-    EXPECT_NEAR(ts.second, tv.second, 1e-9);
-  }
+  Vsd512Graph::BuildParams params;
+  params.hub_min_degree = 16;
+  const Vsd512Graph g = Vsd512Graph::build(csc, params);
+  EXPECT_EQ(g.hub_split_count(), 1u);
+  ASSERT_EQ(g.num_slices(), 1u);
+  const Vsd512Slice& s = g.slices()[0];
+  EXPECT_TRUE(s.solo());
+  EXPECT_EQ(s.dest[0], 0u);
+  EXPECT_EQ(s.row_vectors[0], 16u);  // 64 edges / 4 lanes
+  EXPECT_EQ(g.num_fused(), 8u);      // 16 row vectors / 2 halves
+  EXPECT_DOUBLE_EQ(g.measured_packing_efficiency(), 1.0);
 }
 
-#endif  // GRAZELLE_HAVE_AVX512
+TEST(Vsd512, SigmaSortBeatsNaivePairing) {
+  // Skewed R-MAT: degree-sorted pairing within σ-windows must not pack
+  // worse than pairing destinations in vertex-id order (the naive
+  // 8-lane slicing Figure 9 charges against).
+  const auto csc =
+      CompressedSparse::build(sample_graph(), GroupBy::kDestination);
+  const Vsd512Graph g = Vsd512Graph::build(csc);
+
+  std::vector<std::uint64_t> row_vecs;
+  for (VertexId v = 0; v < csc.num_vertices(); ++v) {
+    const std::uint64_t deg = csc.neighbors_of(v).size();
+    if (deg != 0) {
+      row_vecs.push_back(
+          bits::ceil_div(deg, std::uint64_t{kEdgeVectorLanes}));
+    }
+  }
+  std::uint64_t naive_fused = 0;
+  for (std::size_t i = 0; i < row_vecs.size(); i += 2) {
+    naive_fused += i + 1 < row_vecs.size()
+                       ? std::max(row_vecs[i], row_vecs[i + 1])
+                       : bits::ceil_div(row_vecs[i], std::uint64_t{2});
+  }
+  EXPECT_LE(g.num_fused(), naive_fused);
+  EXPECT_GT(g.measured_packing_efficiency(), 0.0);
+  EXPECT_LE(g.measured_packing_efficiency(), 1.0);
+}
+
+TEST(Vsd512, EmptyAndUnweighted) {
+  EdgeList empty;
+  empty.set_num_vertices(8);
+  const auto csc = CompressedSparse::build(empty, GroupBy::kDestination);
+  const Vsd512Graph g = Vsd512Graph::build(csc);
+  EXPECT_EQ(g.num_fused(), 0u);
+  EXPECT_EQ(g.num_slices(), 0u);
+  EXPECT_DOUBLE_EQ(g.measured_packing_efficiency(), 1.0);
+  EXPECT_FALSE(g.weighted());
+}
 
 }  // namespace
 }  // namespace grazelle

@@ -4,6 +4,7 @@
 // user needs to make their own).
 //
 //   graph_convert <input> <output> [--canonicalize] [--pack]
+//                 [--lanes {4,8,auto}]
 //
 // Direction is inferred from the extensions: a ".grzb" output means
 // edge-list binary, a ".gzg" output (or --pack) builds every engine
@@ -11,6 +12,13 @@
 // ".gzg" input converts back out. Also supports generating dataset
 // analogs directly: an input of "C".."U" writes the analog (use
 // --scale to size it).
+//
+// --lanes controls whether the packed container carries the fused
+// 8-lane SELL-σ layout (DESIGN.md §12) alongside the 4-lane one:
+// 8 always ships it, 4 strips it, auto (the default) ships it only
+// when its measured packing efficiency stays within 10% of the
+// 4-lane layout's — below that the wider vectors waste more lanes
+// than they gain in width.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,6 +32,7 @@ int main(int argc, char** argv) {
   bool canonicalize = false;
   bool pack = false;
   double scale = 0.25;
+  std::string lanes = "auto";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--canonicalize") == 0) {
       canonicalize = true;
@@ -31,6 +40,13 @@ int main(int argc, char** argv) {
       pack = true;
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      lanes = argv[++i];
+      if (lanes != "4" && lanes != "8" && lanes != "auto") {
+        std::fprintf(stderr, "--lanes wants 4, 8, or auto (got %s)\n",
+                     lanes.c_str());
+        return 1;
+      }
     } else if (input.empty()) {
       input = argv[i];
     } else if (output.empty()) {
@@ -43,11 +59,15 @@ int main(int argc, char** argv) {
   if (input.empty() || output.empty()) {
     std::fprintf(stderr,
                  "usage: %s <input> <output> [--canonicalize] [--pack] "
-                 "[--scale <f>]\n"
+                 "[--scale <f>] [--lanes {4,8,auto}]\n"
                  "  .grzb extension selects the binary edge-list format;\n"
                  "  .gzg (or --pack) builds and packs every engine\n"
                  "  representation for zero-copy mmap serving; dataset\n"
-                 "  analog names (C D L T F U) are valid inputs.\n",
+                 "  analog names (C D L T F U) are valid inputs.\n"
+                 "  --lanes: ship the fused 8-lane SELL-sigma layout in\n"
+                 "  the container (8), strip it (4), or keep it only when\n"
+                 "  its measured packing efficiency is within 10%% of the\n"
+                 "  4-lane layout's (auto, the default).\n",
                  argv[0]);
     return 1;
   }
@@ -71,16 +91,31 @@ int main(int argc, char** argv) {
     if (pack_out) {
       // Build every representation once; serve many from the container.
       const std::uint64_t edges_in = list.num_edges();
-      const Graph graph = Graph::build(std::move(list));
+      Graph graph = Graph::build(std::move(list));
+      const char* lane_note = "8-lane kept";
+      if (lanes == "4") {
+        graph.set_vsd512(Vsd512Graph{});
+        lane_note = "8-lane stripped";
+      } else if (lanes == "auto") {
+        const double pack4 = graph.vsd().measured_packing_efficiency();
+        const double pack8 = graph.vsd512().measured_packing_efficiency();
+        if (pack8 < 0.9 * pack4) {
+          graph.set_vsd512(Vsd512Graph{});
+          lane_note = "8-lane dropped (packs poorly)";
+        } else {
+          lane_note = "8-lane kept (auto)";
+        }
+      }
       store::pack_graph(graph, output);
       std::printf("packed %s: %llu vertices, %llu edges (from %llu raw), "
-                  "%llu VSD + %llu VSS vectors\n",
+                  "%llu VSD + %llu VSS vectors, %s\n",
                   output.c_str(),
                   static_cast<unsigned long long>(graph.num_vertices()),
                   static_cast<unsigned long long>(graph.num_edges()),
                   static_cast<unsigned long long>(edges_in),
                   static_cast<unsigned long long>(graph.vsd().num_vectors()),
-                  static_cast<unsigned long long>(graph.vss().num_vectors()));
+                  static_cast<unsigned long long>(graph.vss().num_vectors()),
+                  lane_note);
       return 0;
     }
     if (binary_out) {

@@ -95,6 +95,39 @@ std::optional<Graph> open_packed(const std::string& input, bool quiet,
   }
 }
 
+/// Valid-lane counts across the fused 8-lane vectors: entry k is the
+/// number of vectors carrying exactly k real edges. The tail weight
+/// (k near 8) is what SELL-σ sorting plus hub-splitting buys.
+std::vector<std::uint64_t> v512_occupancy_histogram(const Vsd512Graph& v) {
+  std::vector<std::uint64_t> hist(9, 0);
+  for (const EdgeVector512& ev : v.vectors()) {
+    ++hist[ev.half[0].valid_count() + ev.half[1].valid_count()];
+  }
+  return hist;
+}
+
+/// Serializes the fused 8-lane layout block for --json.
+std::string vsd512_json(const Vsd512Graph& v) {
+  namespace json = telemetry::json;
+  json::ObjectWriter w;
+  w.field("present", v.present());
+  if (v.present()) {
+    w.field("lane_width", std::uint64_t{8})
+        .field("sigma", v.sigma())
+        .field("hub_min_degree", v.hub_min_degree())
+        .field("hub_split_count", v.hub_split_count())
+        .field("num_fused_vectors", v.num_fused())
+        .field("num_slices", v.num_slices())
+        .field("packing_efficiency_measured", v.measured_packing_efficiency());
+    std::vector<std::string> hist;
+    for (std::uint64_t c : v512_occupancy_histogram(v)) {
+      hist.push_back(std::to_string(c));
+    }
+    w.field_raw("occupancy_histogram", json::array(hist));
+  }
+  return w.str();
+}
+
 /// Serializes one degree-stat block ("in"/"out" side) for --json.
 std::string degree_stats_json(std::span<const std::uint64_t> degrees) {
   const DegreeStats s = compute_degree_stats(degrees, 1000);
@@ -137,6 +170,7 @@ std::string info_json(const Graph& graph,
                static_cast<std::uint64_t>(graph.vsd_blocks().splits().size()));
   }
   w.field_raw("block_index", blocks.str());
+  w.field_raw("vsd512", vsd512_json(graph.vsd512()));
 
   w.field_raw("in_degrees", degree_stats_json(graph.in_degrees()));
   w.field_raw("out_degrees", degree_stats_json(graph.out_degrees()));
@@ -216,6 +250,19 @@ int main(int argc, char** argv) {
   } else {
     std::printf("cache-block index: absent (pre-v2 container; engine "
                 "rebuilds on demand)\n");
+  }
+  if (graph.vsd512().present()) {
+    const Vsd512Graph& v = graph.vsd512();
+    std::printf("8-lane SELL-sigma:  %llu fused vectors in %llu slices, "
+                "sigma %llu, %llu hub splits, %.1f%% packed\n",
+                static_cast<unsigned long long>(v.num_fused()),
+                static_cast<unsigned long long>(v.num_slices()),
+                static_cast<unsigned long long>(v.sigma()),
+                static_cast<unsigned long long>(v.hub_split_count()),
+                100 * v.measured_packing_efficiency());
+  } else {
+    std::printf("8-lane SELL-sigma:  absent (pre-v3 container; engine "
+                "serves the 4-lane layout)\n");
   }
 
   print_degree_block("in-degrees (pull side)", graph.in_degrees());

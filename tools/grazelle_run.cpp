@@ -39,6 +39,7 @@ struct Options {
   double scale = 0.25;
   std::string engine = "auto";
   std::string pull_mode = "sa";
+  std::string lanes = "auto";
   bool no_vector = false;
   bool sparse_push = false;
   bool frontier_gating = false;
@@ -52,6 +53,7 @@ struct Options {
   // graph is loaded.
   PullParallelism pull_mode_parsed = PullParallelism::kSchedulerAware;
   EngineSelect select_parsed = EngineSelect::kAuto;
+  LanePolicy lanes_parsed = LanePolicy::kAuto;
   // Filled after the graph load, for the report.
   double graph_load_seconds = 0.0;
   double graph_build_seconds = 0.0;
@@ -78,6 +80,11 @@ void usage(const char* argv0) {
       "  --engine <e>      auto | pull | push (default auto)\n"
       "  --pull-mode <m>   sa | trad | tradna | vertex | seq (default sa)\n"
       "  --no-vector       disable the AVX2 kernels\n"
+      "  --lanes <l>       4 | 8 | auto (default auto): pull over the\n"
+      "                    4-lane layout, the fused 8-lane SELL-sigma\n"
+      "                    layout (when the graph carries one), or let\n"
+      "                    the engine pick 8 lanes exactly when the\n"
+      "                    graph and the host's AVX-512 kernels allow\n"
       "  --sparse-push     enable the sparse-frontier push extension\n"
       "  --frontier-gating enable frontier-gated pull (skip edge vectors\n"
       "                    with no active sources on sparse frontiers)\n"
@@ -126,8 +133,11 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   }
   eopts.pull_mode = opt.pull_mode_parsed;
   eopts.direction.select = opt.select_parsed;
+  eopts.lanes = opt.lanes_parsed;
 
   Engine<P, Vec> engine(graph, eopts);
+  std::printf("pull layout:       %s\n",
+              engine.wide_active() ? "8-lane fused (SELL-sigma)" : "4-lane");
   // A telemetry sink only when an output asks for one: disabled runs
   // carry no instrumentation cost.
   std::optional<telemetry::Telemetry> telem;
@@ -307,6 +317,7 @@ int main(int argc, char** argv) {
       {"prefetch-distance", required_argument, nullptr, 1008},
       {"block-bytes", required_argument, nullptr, 1009},
       {"perf-counters", no_argument, nullptr, 1010},
+      {"lanes", required_argument, nullptr, 1011},
       {nullptr, 0, nullptr, 0},
   };
 
@@ -334,6 +345,7 @@ int main(int argc, char** argv) {
       case 1008: opt.prefetch_distance = std::atoi(optarg); break;
       case 1009: opt.block_bytes = std::atoll(optarg); break;
       case 1010: opt.perf_counters = true; break;
+      case 1011: opt.lanes = optarg; break;
       case 'h': usage(argv[0]); return 0;
       default: usage(argv[0]); return 1;
     }
@@ -365,6 +377,17 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "error: unknown engine '%s' (want auto|pull|push)\n",
                  opt.engine.c_str());
+    return 1;
+  }
+  if (opt.lanes == "4") {
+    opt.lanes_parsed = LanePolicy::k4;
+  } else if (opt.lanes == "8") {
+    opt.lanes_parsed = LanePolicy::k8;
+  } else if (opt.lanes == "auto") {
+    opt.lanes_parsed = LanePolicy::kAuto;
+  } else {
+    std::fprintf(stderr, "error: unknown lane policy '%s' (want 4|8|auto)\n",
+                 opt.lanes.c_str());
     return 1;
   }
   // Probe every output destination now: an unwritable report path must
