@@ -1,0 +1,197 @@
+// Multi-source Breadth-First Search: up to 64 BFS traversals fused
+// into one frontier sweep (the frontier-amortization argument of
+// Besta et al., "To Push or To Pull" — concurrent traversals share
+// most of their edge work, so k sources touch far fewer total edges
+// than k sequential runs). grazelle_serve coalesces pending BFS
+// requests into one of these.
+//
+// The per-vertex value is a 64-bit reachability mask (bit b = "reached
+// by source b this level"), combined with bitwise OR — a new operator
+// (simd::CombineOp::kOr) the vector kernels implement alongside add
+// and min, so the fused sweep runs on every engine path: all five
+// pull modes, gating, blocking, 4- and 8-lane vectors, and push.
+//
+// Parent attribution is bit-identical to the single-source program
+// (bfs.h): there the aggregate is the *minimum* active in-neighbor id.
+// Here, when vertex v is newly reached for source b, apply() scans v's
+// in-neighbors in ascending id order (the CSC adjacency is sorted) and
+// takes the first one whose previous-frontier mask carries bit b —
+// exactly the minimum in-frontier in-neighbor. BFS levels are
+// engine-independent, so parents match k sequential runs bit for bit
+// (the session tests verify this across gating × blocking × lanes).
+//
+// Frontier masks are double-buffered through per-thread pending lists:
+// apply() (vertex phase, threads own disjoint 64-vertex blocks) must
+// not overwrite the masks the *next* edge phase's neighbor scans read,
+// so it records (v, newly) per thread and begin_iteration() — the
+// engine's single-threaded between-phases hook — retires the old
+// frontier's masks and publishes the new ones.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/program.h"
+#include "frontier/dense_frontier.h"
+#include "graph/graph.h"
+#include "platform/aligned_buffer.h"
+#include "platform/bits.h"
+
+namespace grazelle::apps {
+
+class MultiSourceBfs {
+ public:
+  using Value = std::uint64_t;
+  static constexpr simd::CombineOp kCombine = simd::CombineOp::kOr;
+  static constexpr simd::WeightOp kWeight = simd::WeightOp::kNone;
+  static constexpr bool kUsesFrontier = true;
+  static constexpr bool kUsesConvergedSet = true;
+  static constexpr bool kMessageIsSourceId = false;
+
+  /// One mask bit per source.
+  static constexpr unsigned kMaxSources = 64;
+
+  /// `num_threads` must be >= the pool size of the session that runs
+  /// this program (per-thread pending lists are indexed by tid).
+  MultiSourceBfs(const Graph& graph, std::span<const VertexId> sources,
+                 unsigned num_threads)
+      : graph_(graph),
+        sources_(sources.begin(), sources.end()),
+        mask_(graph.num_vertices(), 0),
+        visited_(graph.num_vertices(), 0),
+        full_mask_(sources.size() >= 64
+                       ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << sources.size()) - 1),
+        threads_(num_threads) {
+    assert(!sources_.empty() && sources_.size() <= kMaxSources);
+    parents_.reserve(sources_.size());
+    for (std::size_t b = 0; b < sources_.size(); ++b) {
+      parents_.emplace_back(graph.num_vertices(), kInvalidVertex);
+    }
+    for (std::size_t b = 0; b < sources_.size(); ++b) {
+      const VertexId s = sources_[b];
+      const std::uint64_t bit = std::uint64_t{1} << b;
+      parents_[b][s] = s;
+      visited_[s] |= bit;
+      // Seed masks ride the same double-buffer as every later level:
+      // begin_iteration() publishes them before the first edge phase.
+      threads_[0].pending.emplace_back(s, bit);
+    }
+  }
+
+  /// Seeds `frontier` with every source; call once before run().
+  void seed(DenseFrontier& frontier) const {
+    for (const VertexId s : sources_) frontier.set(s);
+  }
+
+  [[nodiscard]] std::uint64_t identity() const noexcept { return 0; }
+
+  /// Messages are the previous level's per-vertex frontier masks.
+  [[nodiscard]] const std::uint64_t* message_array() const noexcept {
+    return mask_.data();
+  }
+
+  /// Converged set: a vertex every source has visited contributes and
+  /// receives nothing further.
+  [[nodiscard]] bool skip_destination(VertexId v) const noexcept {
+    return visited_[v] == full_mask_;
+  }
+
+  bool apply(VertexId v, std::uint64_t aggregate, unsigned tid) {
+    const std::uint64_t newly = aggregate & ~visited_[v] & full_mask_;
+    if (newly == 0) return false;
+    attribute_parents(v, newly, tid);
+    visited_[v] |= newly;  // vertex-phase threads own disjoint 64-blocks
+    threads_[tid].pending.emplace_back(v, newly);
+    return true;
+  }
+
+  /// Between-phases hook (single-threaded, engine-invoked): retire the
+  /// old frontier's masks, publish the vertices the last vertex phase
+  /// reached as the new frontier's masks.
+  void begin_iteration() {
+    for (const VertexId v : frontier_vertices_) mask_[v] = 0;
+    frontier_vertices_.clear();
+    for (ThreadState& t : threads_) {
+      for (const auto& [v, bits_new] : t.pending) {
+        mask_[v] |= bits_new;
+        frontier_vertices_.push_back(v);
+      }
+      t.pending.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t num_sources() const noexcept {
+    return sources_.size();
+  }
+
+  [[nodiscard]] std::span<const VertexId> sources() const noexcept {
+    return sources_;
+  }
+
+  /// Parent array of source `b` — bit-identical to a single-source
+  /// BreadthFirstSearch run from sources()[b].
+  [[nodiscard]] std::span<const std::uint64_t> parents(
+      std::size_t b) const noexcept {
+    return parents_[b].span();
+  }
+
+  /// Reachability mask of `v` (bit b set = reached from source b).
+  [[nodiscard]] std::uint64_t visited_mask(VertexId v) const noexcept {
+    return visited_[v];
+  }
+
+  /// In-edges walked by parent attribution (the extra work the fused
+  /// sweep pays on top of the shared edge phases).
+  [[nodiscard]] std::uint64_t parent_scan_edges() const noexcept {
+    std::uint64_t total = 0;
+    for (const ThreadState& t : threads_) total += t.scan_edges;
+    return total;
+  }
+
+ private:
+  // Padded per-thread scratch: pending lists and counters are hot in
+  // the vertex phase; keep threads off each other's cache lines.
+  struct alignas(64) ThreadState {
+    std::vector<std::pair<VertexId, std::uint64_t>> pending;
+    std::uint64_t scan_edges = 0;
+  };
+
+  /// First (= minimum-id, CSC adjacency is ascending) in-neighbor in
+  /// the previous frontier carrying each newly-set bit becomes that
+  /// source's parent of v.
+  void attribute_parents(VertexId v, std::uint64_t newly, unsigned tid) {
+    std::uint64_t remaining = newly;
+    std::uint64_t scanned = 0;
+    for (const VertexId u : graph_.csc().neighbors_of(v)) {
+      ++scanned;
+      const std::uint64_t hit = mask_[u] & remaining;
+      if (hit != 0) {
+        bits::for_each_set_bit(hit, 0, [&](std::uint64_t b) {
+          parents_[b][v] = u;
+        });
+        remaining &= ~hit;
+        if (remaining == 0) break;
+      }
+    }
+    threads_[tid].scan_edges += scanned;
+    // Every aggregate bit has an in-frontier witness: masks are
+    // nonzero only on previous-frontier vertices, and both edge
+    // directions aggregate over exactly v's in-neighborhood.
+    assert(remaining == 0);
+  }
+
+  const Graph& graph_;
+  std::vector<VertexId> sources_;
+  AlignedBuffer<std::uint64_t> mask_;     // previous-frontier masks
+  AlignedBuffer<std::uint64_t> visited_;  // cumulative reachability
+  std::uint64_t full_mask_;
+  std::vector<AlignedBuffer<std::uint64_t>> parents_;
+  std::vector<ThreadState> threads_;
+  std::vector<VertexId> frontier_vertices_;  // masks to retire next hook
+};
+
+}  // namespace grazelle::apps

@@ -1,375 +1,47 @@
-// The Grazelle hybrid engine (§5): alternates Edge and Vertex phases,
-// selecting Edge-Push or Edge-Pull per iteration from the frontier
-// state, with the scheduler-aware parallelized and AVX2-vectorized pull
-// engine as the centerpiece.
+// One-shot hybrid engine (§5): the historical own-everything entry
+// point, now a thin shell over the GraphContext/Session split
+// (DESIGN.md §13). An Engine is exactly a private GraphContext that
+// borrows the caller's graph plus a public Session bound to it — the
+// full Session API (frontier seeding, plan/run_edge_phase, run,
+// telemetry, blocking/gating/lane introspection) is inherited
+// unchanged, so single-run drivers, tests, and benchmarks keep the
+// "construct, seed, run, drop" shape they always had.
 //
-// Engine configuration lives in core/options.h (EngineOptions with the
-// DirectionPolicy / GatingPolicy knob groups and the PhasePlan edge-
-// phase descriptor); run statistics and the structured RunReport live
-// in telemetry/report.h. This header wires them to the phase runners.
+// Long-lived callers that serve many requests over one graph should
+// hold a GraphContext themselves and construct Sessions per request
+// (core/session.h); that is what tools/grazelle_serve.cpp does.
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
-
-#include "core/merge_buffer.h"
-#include "core/options.h"
-#include "frontier/sparse_frontier.h"
-#include "core/program.h"
-#include "core/pull_engine.h"
-#include "core/push_engine.h"
-#include "core/vertex_phase.h"
-#include "graph/graph.h"
-#include "graph/partition.h"
-#include "platform/cpu_features.h"
-#include "platform/numa_topology.h"
-#include "platform/prefetch.h"
-#include "platform/timer.h"
-#include "telemetry/report.h"
-#include "telemetry/telemetry.h"
+#include "core/graph_context.h"
+#include "core/session.h"
 
 namespace grazelle {
+
+namespace detail {
+
+/// Holds the Engine's own GraphContext in a base so it is fully
+/// constructed before the Session base that references it (bases
+/// initialize in declaration order) and destroyed after it.
+struct OwnedGraphContext {
+  // Not named `context`: the Session base exposes a context() accessor
+  // and unqualified lookup through Engine must resolve to it.
+  GraphContext owned_context;
+};
+
+}  // namespace detail
 
 /// Compile-time-vectorized hybrid engine instance bound to one graph.
 /// The same instance can run many programs / iterations; all large
 /// state (accumulators, frontiers, merge buffer) is allocated once.
 template <GraphProgram P, bool Vectorized>
-class Engine {
+class Engine : private detail::OwnedGraphContext,
+               public Session<P, Vectorized> {
  public:
-  using V = typename P::Value;
-
+  /// `graph` is borrowed and must outlive the engine.
   Engine(const Graph& graph, const EngineOptions& options)
-      : graph_(graph),
-        options_(options),
-        topology_(options.numa_nodes,
-                  std::max(1u, options.num_threads / std::max(1u, options.numa_nodes))),
-        pool_(options.num_threads),
-        vertex_phase_(pool_.size()),
-        accum_(graph.num_vertices()),
-        frontier_(graph.num_vertices()),
-        next_frontier_(graph.num_vertices()),
-        numa_pieces_(partition_vector_sparse(graph.vsd(), options.numa_nodes)) {
-    for (const NumaPiece& piece : numa_pieces_) {
-      const unsigned node = static_cast<unsigned>(&piece - numa_pieces_.data());
-      topology_.record_allocation(node, piece.vectors.size() * sizeof(EdgeVector));
-    }
-    configure_blocking();
-    // Lane-policy resolution (DESIGN.md §12): the fused 8-lane layout
-    // is used when the graph carries one and either the driver forces
-    // it (k8 — the structure runs fine on per-half 4-lane or scalar
-    // kernels, which is what the forced-scalar CI identity checks
-    // exercise) or kAuto finds the full AVX-512 kernel path available.
-    use_wide_ = options.lanes != LanePolicy::k4 &&
-                graph.vsd512().present() &&
-                (options.lanes == LanePolicy::k8 ||
-                 (Vectorized && wide_kernels_available()));
-  }
-
-  /// Current frontier (mutable so callers seed it before run()).
-  [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
-
-  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
-
-  [[nodiscard]] const NumaTopology& topology() const noexcept {
-    return topology_;
-  }
-
-  [[nodiscard]] const std::vector<NumaPiece>& numa_pieces() const noexcept {
-    return numa_pieces_;
-  }
-
-  /// Attaches (or with nullptr detaches) a telemetry sink for
-  /// subsequent phases/runs. The sink only observes: results are
-  /// bit-identical with and without one. The engine forwards it to the
-  /// pool and every phase runner.
-  void set_telemetry(telemetry::Telemetry* t) noexcept {
-    telemetry_ = t;
-    pool_.set_telemetry(t);
-  }
-  [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
-    return telemetry_;
-  }
-
-  /// Resets all accumulators to the program's identity. Must run once
-  /// before the first Edge phase (the Vertex phase keeps them reset
-  /// afterwards).
-  void prime_accumulators(const P& prog) {
-    parallel_for(pool_, accum_.size(), 65536,
-                 [&](std::uint64_t v) { accum_[v] = prog.identity(); });
-  }
-
-  /// Resolves the per-iteration Edge-phase decision — direction
-  /// (Beamer-style heuristic honoring DirectionPolicy::select), pull
-  /// gating (GatingPolicy), sparse push (DirectionPolicy) — for a
-  /// frontier of `frontier_size` vertices, without running anything.
-  [[nodiscard]] PhasePlan plan_edge_phase(std::uint64_t frontier_size) const {
-    if (choose_pull(frontier_size)) {
-      return PhasePlan::pull(should_gate(frontier_size), blocking_active());
-    }
-    const bool sparse =
-        options_.direction.sparse_push && P::kUsesFrontier &&
-        frontier_size <
-            graph_.num_vertices() / options_.direction.sparse_push_divisor;
-    return PhasePlan::push(sparse);
-  }
-
-  /// Runs one Edge phase exactly as described by `plan` — the single
-  /// entry point behind which pull/gated-pull/push/sparse-push live.
-  /// Drivers either pass plan_edge_phase(...) for the engine's own
-  /// heuristic decision or construct a PhasePlan directly (benchmarks
-  /// compare gated vs ungated on identical frontiers this way).
-  void run_edge_phase(const P& prog, const PhasePlan& plan) {
-    if (plan.is_pull()) {
-      PullRunConfig cfg;
-      cfg.mode = options_.pull_mode;
-      cfg.chunk_vectors = options_.chunk_vectors;
-      cfg.gated = plan.gated;
-      cfg.blocks = plan.blocked ? blocks_ : nullptr;
-      cfg.prefetch_distance = prefetch_distance_;
-      last_pull_was_wide_ = use_wide_;
-      if (use_wide_) {
-        pull512_phase_.run(prog, graph_.vsd512(), accum_.span(),
-                           P::kUsesFrontier ? &frontier_ : nullptr, pool_,
-                           cfg, merge_buffer_, telemetry_);
-      } else {
-        pull_phase_.run(prog, graph_.vsd(), accum_.span(),
-                        P::kUsesFrontier ? &frontier_ : nullptr, pool_, cfg,
-                        merge_buffer_, telemetry_);
-      }
-      return;
-    }
-    if (plan.sparse && P::kUsesFrontier) {
-      const SparseFrontier sparse = SparseFrontier::from_dense(frontier_);
-      push_phase_.run_sparse(prog, graph_.vss(), accum_.span(),
-                             sparse.vertices(), pool_, telemetry_);
-      return;
-    }
-    push_phase_.run(prog, graph_.vss(), accum_.span(),
-                    P::kUsesFrontier ? &frontier_ : nullptr, pool_,
-                    /*chunk_words=*/64, telemetry_);
-  }
-
-  /// Whether pull iterations run over the fused 8-lane layout
-  /// (resolved once at construction from LanePolicy, the graph's
-  /// Vsd512 presence, and the host kernels).
-  [[nodiscard]] bool wide_active() const noexcept { return use_wide_; }
-
-  /// Edge vectors the occupancy gate skipped during the most recent
-  /// Edge-Pull phase (4-lane-equivalent units on the fused path).
-  [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
-    return last_pull_was_wide_ ? pull512_phase_.last_vectors_skipped()
-                               : pull_phase_.last_vectors_skipped();
-  }
-
-  /// Non-empty (chunk, block) segments the most recent Edge-Pull phase
-  /// executed (0 when it ran unblocked).
-  [[nodiscard]] std::uint64_t last_blocks_executed() const noexcept {
-    return last_pull_was_wide_ ? pull512_phase_.last_blocks_executed()
-                               : pull_phase_.last_blocks_executed();
-  }
-
-  /// Intra-chunk source-block transitions of the most recent Edge-Pull
-  /// phase.
-  [[nodiscard]] std::uint64_t last_block_switches() const noexcept {
-    return last_pull_was_wide_ ? pull512_phase_.last_block_switches()
-                               : pull_phase_.last_block_switches();
-  }
-
-  /// Whether pull iterations run cache-blocked: blocking was requested
-  /// and the resolved block index is non-trivial for this graph.
-  [[nodiscard]] bool blocking_active() const noexcept {
-    return blocks_ != nullptr;
-  }
-
-  /// The resolved block index (nullptr when blocking is inactive).
-  [[nodiscard]] const BlockIndex* block_index() const noexcept {
-    return blocks_;
-  }
-
-  /// Software-prefetch distance the pull walkers use (0 = disabled).
-  [[nodiscard]] unsigned prefetch_distance() const noexcept {
-    return prefetch_distance_;
-  }
-
-  /// Whether a pull iteration over a frontier of this size would apply
-  /// the occupancy gate.
-  [[nodiscard]] bool should_gate(std::uint64_t frontier_size) const noexcept {
-    return options_.gating.enabled && P::kUsesFrontier &&
-           frontier_size * options_.gating.density_divisor <=
-               graph_.num_vertices();
-  }
-
-  /// One Vertex phase; swaps in the next frontier.
-  VertexPhaseResult run_vertex(P& prog) {
-    const VertexPhaseResult r =
-        vertex_phase_.run(prog, accum_.span(), graph_.out_degrees(),
-                          next_frontier_, pool_, telemetry_);
-    frontier_.swap(next_frontier_);
-    return r;
-  }
-
-  /// Full synchronous execution: iterates Edge+Vertex until the
-  /// frontier empties (frontier-driven programs) or `max_iterations`
-  /// is reached. The caller must have seeded frontier() and the
-  /// program's state.
-  RunStats run(P& prog, unsigned max_iterations) {
-    RunStats stats;
-    WallTimer total;
-    // Whole-run PMU bracket: one "run"-named sample (and trace span)
-    // covering priming and every iteration — the RunReport's top-level
-    // counter deltas. Costless without telemetry or a PMU attached.
-    telemetry::ScopedSpan run_span(telemetry_, 0, "run", nullptr, 0,
-                                   telemetry::SpanPmu::kSample);
-    prime_accumulators(prog);
-
-    for (unsigned iter = 0; iter < max_iterations; ++iter) {
-      IterationStats it;
-      it.frontier_size = P::kUsesFrontier ? frontier_.count()
-                                          : graph_.num_vertices();
-      if (P::kUsesFrontier && it.frontier_size == 0) break;
-
-      // Optional per-iteration hook: programs fold their global
-      // variables (per-thread reduction slots) here, between the
-      // previous Vertex phase's barrier and the next Edge phase.
-      if constexpr (requires { prog.begin_iteration(); }) {
-        prog.begin_iteration();
-      }
-
-      it.plan = plan_edge_phase(it.frontier_size);
-      it.used_pull = it.plan.is_pull();
-      it.gated = it.plan.is_pull() && it.plan.gated;
-      it.blocked = it.plan.is_pull() && it.plan.blocked;
-      it.used_sparse_push = !it.plan.is_pull() && it.plan.sparse;
-
-      WallTimer edge_timer;
-      {
-        telemetry::ScopedSpan span(telemetry_, 0, it.plan.name(),
-                                   "iteration", iter,
-                                   telemetry::SpanPmu::kSample);
-        run_edge_phase(prog, it.plan);
-      }
-      it.edge_seconds = edge_timer.seconds();
-
-      if (it.used_pull) {
-        it.merge_seconds = last_pull_was_wide_
-                               ? pull512_phase_.last_merge_seconds()
-                               : pull_phase_.last_merge_seconds();
-        it.idle_seconds = last_pull_was_wide_
-                              ? pull512_phase_.last_idle_seconds()
-                              : pull_phase_.last_idle_seconds();
-        it.vectors_skipped = last_vectors_skipped();
-        it.blocks_executed = last_blocks_executed();
-        if (it.gated) {
-          ++stats.gated_iterations;
-          stats.vectors_skipped += it.vectors_skipped;
-        }
-        if (it.blocked) ++stats.blocked_iterations;
-      } else if (it.used_sparse_push) {
-        ++stats.sparse_push_iterations;
-      }
-
-      WallTimer vertex_timer;
-      VertexPhaseResult vr;
-      {
-        telemetry::ScopedSpan span(telemetry_, 0, "vertex", "iteration",
-                                   iter, telemetry::SpanPmu::kSample);
-        vr = run_vertex(prog);
-      }
-      it.vertex_seconds = vertex_timer.seconds();
-      it.changed = vr.changed;
-      last_active_out_edges_ = vr.active_out_edges;
-
-      ++stats.iterations;
-      (it.used_pull ? stats.pull_iterations : stats.push_iterations) += 1;
-      stats.per_iteration.push_back(it);
-
-      if (P::kUsesFrontier && vr.changed == 0) break;
-    }
-    stats.total_seconds = total.seconds();
-    return stats;
-  }
-
- private:
-  /// Resolves the blocking and prefetch policies against this graph
-  /// and host. Reuses the graph's persisted block index when its shift
-  /// matches the requested budget; otherwise builds a private one.
-  /// A trivial (single-block) outcome disables blocking entirely.
-  void configure_blocking() {
-    // Auto mode only prefetches when the gathered source-value array
-    // outgrows the LLC — on an LLC-resident graph every gather already
-    // hits cache and the extra prefetch decode/issue per vector is pure
-    // overhead. An explicit distance is always honored.
-    const bool gathers_miss_llc =
-        graph_.vsd().num_vertices() * sizeof(V) > cache_topology().llc_bytes;
-    prefetch_distance_ =
-        options_.prefetch.enabled
-            ? (options_.prefetch.distance != 0
-                   ? options_.prefetch.distance
-                   : (gathers_miss_llc ? platform::default_prefetch_distance()
-                                       : 0))
-            : 0;
-    if (!options_.blocking.enabled) return;
-    const std::uint64_t budget =
-        options_.blocking.block_bytes != 0
-            ? options_.blocking.block_bytes
-            : BlockIndex::default_budget_bytes(options_.blocking.llc_fraction);
-    const unsigned shift = BlockIndex::shift_for_budget(
-        graph_.vsd().num_vertices(), sizeof(V), budget);
-    const BlockIndex& persisted = graph_.vsd_blocks();
-    if (persisted.present() && persisted.source_shift() == shift) {
-      blocks_ = &persisted;
-    } else {
-      own_blocks_ = BlockIndex::build(graph_.vsd(), shift);
-      blocks_ = &own_blocks_;
-    }
-    if (blocks_->trivial()) blocks_ = nullptr;
-  }
-
-  [[nodiscard]] bool choose_pull(std::uint64_t frontier_size) const {
-    switch (options_.direction.select) {
-      case EngineSelect::kPullOnly:
-        return true;
-      case EngineSelect::kPushOnly:
-        return false;
-      case EngineSelect::kAuto:
-        break;
-    }
-    if (!P::kUsesFrontier) return true;
-    // Beamer-style direction heuristic: pull once the frontier's edge
-    // work is a substantial fraction of the graph. With frontier gating
-    // on, sparse pull iterations skip most edge vectors outright, so
-    // the pull band widens (a larger divisor lowers the threshold).
-    const std::uint64_t divisor = options_.gating.enabled
-                                      ? options_.direction.gated_pull_divisor
-                                      : options_.direction.pull_divisor;
-    return should_use_dense(frontier_size, last_active_out_edges_,
-                            graph_.num_edges(), divisor);
-  }
-
-  const Graph& graph_;
-  EngineOptions options_;
-  NumaTopology topology_;
-  ThreadPool pool_;
-  PullEdgePhase<P, Vectorized> pull_phase_;
-  Pull512EdgePhase<P, Vectorized> pull512_phase_;
-  PushEdgePhase<P, Vectorized> push_phase_;
-  VertexPhase<P> vertex_phase_;
-  MergeBuffer<V> merge_buffer_;
-  AlignedBuffer<V> accum_;
-  DenseFrontier frontier_;
-  DenseFrontier next_frontier_;
-  std::vector<NumaPiece> numa_pieces_;
-  BlockIndex own_blocks_;
-  const BlockIndex* blocks_ = nullptr;
-  unsigned prefetch_distance_ = 0;
-  bool use_wide_ = false;
-  bool last_pull_was_wide_ = false;
-  telemetry::Telemetry* telemetry_ = nullptr;
-  // 0 so the first iteration's direction choice rests on the frontier
-  // size alone (a single-seed BFS must start with a push, a full
-  // frontier with a pull).
-  std::uint64_t last_active_out_edges_ = 0;
+      : detail::OwnedGraphContext{GraphContext(&graph)},
+        Session<P, Vectorized>(detail::OwnedGraphContext::owned_context,
+                               options) {}
 };
 
 }  // namespace grazelle

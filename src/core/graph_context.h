@@ -1,0 +1,113 @@
+// Shared, immutable per-graph state for re-entrant execution: one
+// GraphContext wraps one Graph (owned, or borrowed from the caller)
+// together with every piece of derived read-only state the engine
+// needs — NUMA partitions of the edge-vector array and cache-blocking
+// indexes — cached so that many concurrent Sessions over the same
+// graph never rebuild or duplicate them.
+//
+// Thread-safety: all methods are const and safe to call from any
+// number of threads. The derived-state caches are keyed maps guarded
+// by an internal mutex; std::map guarantees reference stability, so
+// the returned references/pointers stay valid for the context's
+// lifetime and can be read lock-free by every Session thereafter.
+// Nothing in a GraphContext is ever mutated after insertion — the
+// mutex only serializes first-use construction.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/block_index.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "graph/store.h"
+
+namespace grazelle {
+
+/// Const, shareable graph handle: the "open once, query many" half of
+/// the Engine split (DESIGN.md §13). Sessions reference a context and
+/// hold only per-request mutable state.
+class GraphContext {
+ public:
+  /// Owning constructor: the context keeps the graph alive (moved in;
+  /// for a packed container this is the zero-copy mmapped form).
+  explicit GraphContext(Graph graph, std::string name = {})
+      : owned_(std::make_unique<Graph>(std::move(graph))),
+        graph_(owned_.get()),
+        name_(std::move(name)) {}
+
+  /// Borrowing constructor: the caller guarantees `graph` outlives the
+  /// context (the one-shot Engine wrapper uses this).
+  explicit GraphContext(const Graph* graph, std::string name = {})
+      : graph_(graph), name_(std::move(name)) {}
+
+  /// Opens a packed .gzg container zero-copy (or any loadable graph
+  /// file path accepted by store::load_graph).
+  static GraphContext open(const std::string& path, std::string name = {}) {
+    return GraphContext(store::load_graph(path),
+                        name.empty() ? path : std::move(name));
+  }
+
+  GraphContext(const GraphContext&) = delete;
+  GraphContext& operator=(const GraphContext&) = delete;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return graph_->num_vertices();
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return graph_->num_edges();
+  }
+
+  /// NUMA split of the VSD edge-vector array for `nodes` nodes,
+  /// computed once per node count and shared by every session.
+  [[nodiscard]] const std::vector<NumaPiece>& numa_pieces(
+      unsigned nodes) const {
+    nodes = std::max(1u, nodes);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = numa_cache_.find(nodes);
+    if (it == numa_cache_.end()) {
+      it = numa_cache_
+               .emplace(nodes, partition_vector_sparse(graph_->vsd(), nodes))
+               .first;
+    }
+    return it->second;
+  }
+
+  /// Cache-block index for one source-range shift: the container's
+  /// persisted index when its shift matches, else a context-cached
+  /// build (first session with that shift pays; the rest share).
+  /// Returns nullptr when the index is trivial — a single block, for
+  /// which blocked execution would be pure overhead.
+  [[nodiscard]] const BlockIndex* block_index(unsigned shift) const {
+    const BlockIndex& persisted = graph_->vsd_blocks();
+    if (persisted.present() && persisted.source_shift() == shift) {
+      return persisted.trivial() ? nullptr : &persisted;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = block_cache_.find(shift);
+    if (it == block_cache_.end()) {
+      it = block_cache_.emplace(shift, BlockIndex::build(graph_->vsd(), shift))
+               .first;
+    }
+    return it->second.trivial() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unique_ptr<Graph> owned_;  // null when borrowing
+  const Graph* graph_;
+  std::string name_;
+
+  mutable std::mutex mutex_;
+  mutable std::map<unsigned, std::vector<NumaPiece>> numa_cache_;
+  mutable std::map<unsigned, BlockIndex> block_cache_;
+};
+
+}  // namespace grazelle

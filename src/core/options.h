@@ -7,10 +7,7 @@
 // configuration without instantiating an engine.
 //
 // The direction/gating knobs are grouped into named policy structs
-// (DirectionPolicy, GatingPolicy). The historical flat field names
-// (select, sparse_push, frontier_gating, ...) were kept as deprecated
-// aliases for one release and have been removed; address the policy
-// structs directly.
+// (DirectionPolicy, GatingPolicy); address those structs directly.
 #pragma once
 
 #include <cstdint>

@@ -47,6 +47,8 @@ template <simd::CombineOp Op, typename V>
 [[nodiscard]] inline constexpr V combine_scalar(V a, V b) noexcept {
   if constexpr (Op == simd::CombineOp::kAdd) {
     return a + b;
+  } else if constexpr (Op == simd::CombineOp::kOr) {
+    return a | b;
   } else {
     return b < a ? b : a;
   }

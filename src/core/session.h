@@ -1,0 +1,418 @@
+// Re-entrant execution session (DESIGN.md §13): the per-request half
+// of the Engine split. A Session binds one GraphProgram instantiation
+// to one shared GraphContext and owns every piece of mutable state a
+// run needs — accumulators, frontiers, merge buffer, per-thread phase
+// scratch, and the EngineOptions snapshot — so any number of Sessions
+// execute concurrently over the same context with no shared mutable
+// state between them.
+//
+// By default each Session owns a ThreadPool sized from its options; a
+// server worker that runs requests back-to-back can instead pass a
+// long-lived pool it owns (one Session at a time per pool — fork-join
+// pools are not re-entrant).
+//
+// This is §5's hybrid engine verbatim: it alternates Edge and Vertex
+// phases, selecting Edge-Push or Edge-Pull per iteration from the
+// frontier state, with the scheduler-aware parallelized and
+// AVX2/AVX-512-vectorized pull engines as the centerpiece. The
+// one-shot own-everything `Engine` in core/engine.h is now a thin
+// wrapper: a private GraphContext plus this Session.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/graph_context.h"
+#include "core/merge_buffer.h"
+#include "core/options.h"
+#include "core/program.h"
+#include "core/pull_engine.h"
+#include "core/push_engine.h"
+#include "core/vertex_phase.h"
+#include "frontier/sparse_frontier.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "platform/cpu_features.h"
+#include "platform/numa_topology.h"
+#include "platform/prefetch.h"
+#include "platform/timer.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
+
+namespace grazelle {
+
+/// Compile-time-vectorized hybrid engine session bound to one shared
+/// GraphContext. The same instance can run many programs / iterations;
+/// all large state (accumulators, frontiers, merge buffer) is
+/// allocated once. Call reset() between runs to reuse an instance.
+template <GraphProgram P, bool Vectorized>
+class Session {
+ public:
+  using V = typename P::Value;
+
+  /// `shared_pool`, when non-null, must outlive the session and must
+  /// not be running another session's phases concurrently; when null
+  /// the session owns a pool of options.num_threads threads.
+  Session(const GraphContext& context, const EngineOptions& options,
+          ThreadPool* shared_pool = nullptr)
+      : context_(context),
+        graph_(context.graph()),
+        options_(options),
+        topology_(options.numa_nodes,
+                  std::max(1u, (shared_pool != nullptr
+                                    ? static_cast<unsigned>(shared_pool->size())
+                                    : options.num_threads) /
+                                   std::max(1u, options.numa_nodes))),
+        owned_pool_(shared_pool != nullptr
+                        ? nullptr
+                        : std::make_unique<ThreadPool>(options.num_threads)),
+        pool_(shared_pool != nullptr ? *shared_pool : *owned_pool_),
+        vertex_phase_(pool_.size()),
+        accum_(graph_.num_vertices()),
+        frontier_(graph_.num_vertices()),
+        next_frontier_(graph_.num_vertices()),
+        numa_pieces_(context.numa_pieces(options.numa_nodes)) {
+    for (const NumaPiece& piece : numa_pieces_) {
+      const unsigned node =
+          static_cast<unsigned>(&piece - numa_pieces_.data());
+      topology_.record_allocation(node,
+                                  piece.vectors.size() * sizeof(EdgeVector));
+    }
+    configure_blocking();
+    // Lane-policy resolution (DESIGN.md §12): the fused 8-lane layout
+    // is used when the graph carries one and either the driver forces
+    // it (k8 — the structure runs fine on per-half 4-lane or scalar
+    // kernels, which is what the forced-scalar CI identity checks
+    // exercise) or kAuto finds the full AVX-512 kernel path available.
+    use_wide_ = options.lanes != LanePolicy::k4 &&
+                graph_.vsd512().present() &&
+                (options.lanes == LanePolicy::k8 ||
+                 (Vectorized && wide_kernels_available()));
+  }
+
+  ~Session() {
+    // A shared pool outlives this session; never leave it pointing at
+    // a telemetry sink the session's owner is about to destroy.
+    if (telemetry_ != nullptr) pool_.set_telemetry(nullptr);
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] const GraphContext& context() const noexcept {
+    return context_;
+  }
+
+  /// Current frontier (mutable so callers seed it before run()).
+  [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
+
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  [[nodiscard]] const NumaTopology& topology() const noexcept {
+    return topology_;
+  }
+
+  [[nodiscard]] const std::vector<NumaPiece>& numa_pieces() const noexcept {
+    return numa_pieces_;
+  }
+
+  /// Attaches (or with nullptr detaches) a telemetry sink for
+  /// subsequent phases/runs. The sink only observes: results are
+  /// bit-identical with and without one. The session forwards it to
+  /// the pool and every phase runner.
+  void set_telemetry(telemetry::Telemetry* t) noexcept {
+    telemetry_ = t;
+    pool_.set_telemetry(t);
+  }
+  [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
+  /// Returns the session to its post-construction state so it can
+  /// serve another request: clears both frontiers and the direction-
+  /// heuristic memory. (Accumulators are primed by run().)
+  void reset() noexcept {
+    frontier_.clear_all();
+    next_frontier_.clear_all();
+    last_active_out_edges_ = 0;
+  }
+
+  /// Resets all accumulators to the program's identity. Must run once
+  /// before the first Edge phase (the Vertex phase keeps them reset
+  /// afterwards).
+  void prime_accumulators(const P& prog) {
+    parallel_for(pool_, accum_.size(), 65536,
+                 [&](std::uint64_t v) { accum_[v] = prog.identity(); });
+  }
+
+  /// Resolves the per-iteration Edge-phase decision — direction
+  /// (Beamer-style heuristic honoring DirectionPolicy::select), pull
+  /// gating (GatingPolicy), sparse push (DirectionPolicy) — for a
+  /// frontier of `frontier_size` vertices, without running anything.
+  [[nodiscard]] PhasePlan plan_edge_phase(std::uint64_t frontier_size) const {
+    if (choose_pull(frontier_size)) {
+      return PhasePlan::pull(should_gate(frontier_size), blocking_active());
+    }
+    const bool sparse =
+        options_.direction.sparse_push && P::kUsesFrontier &&
+        frontier_size <
+            graph_.num_vertices() / options_.direction.sparse_push_divisor;
+    return PhasePlan::push(sparse);
+  }
+
+  /// Runs one Edge phase exactly as described by `plan` — the single
+  /// entry point behind which pull/gated-pull/push/sparse-push live.
+  /// Drivers either pass plan_edge_phase(...) for the engine's own
+  /// heuristic decision or construct a PhasePlan directly (benchmarks
+  /// compare gated vs ungated on identical frontiers this way).
+  void run_edge_phase(const P& prog, const PhasePlan& plan) {
+    if (plan.is_pull()) {
+      PullRunConfig cfg;
+      cfg.mode = options_.pull_mode;
+      cfg.chunk_vectors = options_.chunk_vectors;
+      cfg.gated = plan.gated;
+      cfg.blocks = plan.blocked ? blocks_ : nullptr;
+      cfg.prefetch_distance = prefetch_distance_;
+      last_pull_was_wide_ = use_wide_;
+      if (use_wide_) {
+        pull512_phase_.run(prog, graph_.vsd512(), accum_.span(),
+                           P::kUsesFrontier ? &frontier_ : nullptr, pool_,
+                           cfg, merge_buffer_, telemetry_);
+      } else {
+        pull_phase_.run(prog, graph_.vsd(), accum_.span(),
+                        P::kUsesFrontier ? &frontier_ : nullptr, pool_, cfg,
+                        merge_buffer_, telemetry_);
+      }
+      return;
+    }
+    if (plan.sparse && P::kUsesFrontier) {
+      const SparseFrontier sparse = SparseFrontier::from_dense(frontier_);
+      push_phase_.run_sparse(prog, graph_.vss(), accum_.span(),
+                             sparse.vertices(), pool_, telemetry_);
+      return;
+    }
+    push_phase_.run(prog, graph_.vss(), accum_.span(),
+                    P::kUsesFrontier ? &frontier_ : nullptr, pool_,
+                    /*chunk_words=*/64, telemetry_);
+  }
+
+  /// Whether pull iterations run over the fused 8-lane layout
+  /// (resolved once at construction from LanePolicy, the graph's
+  /// Vsd512 presence, and the host kernels).
+  [[nodiscard]] bool wide_active() const noexcept { return use_wide_; }
+
+  /// Edge vectors the occupancy gate skipped during the most recent
+  /// Edge-Pull phase (4-lane-equivalent units on the fused path).
+  [[nodiscard]] std::uint64_t last_vectors_skipped() const noexcept {
+    return last_pull_was_wide_ ? pull512_phase_.last_vectors_skipped()
+                               : pull_phase_.last_vectors_skipped();
+  }
+
+  /// Non-empty (chunk, block) segments the most recent Edge-Pull phase
+  /// executed (0 when it ran unblocked).
+  [[nodiscard]] std::uint64_t last_blocks_executed() const noexcept {
+    return last_pull_was_wide_ ? pull512_phase_.last_blocks_executed()
+                               : pull_phase_.last_blocks_executed();
+  }
+
+  /// Intra-chunk source-block transitions of the most recent Edge-Pull
+  /// phase.
+  [[nodiscard]] std::uint64_t last_block_switches() const noexcept {
+    return last_pull_was_wide_ ? pull512_phase_.last_block_switches()
+                               : pull_phase_.last_block_switches();
+  }
+
+  /// Whether pull iterations run cache-blocked: blocking was requested
+  /// and the resolved block index is non-trivial for this graph.
+  [[nodiscard]] bool blocking_active() const noexcept {
+    return blocks_ != nullptr;
+  }
+
+  /// The resolved block index (nullptr when blocking is inactive).
+  [[nodiscard]] const BlockIndex* block_index() const noexcept {
+    return blocks_;
+  }
+
+  /// Software-prefetch distance the pull walkers use (0 = disabled).
+  [[nodiscard]] unsigned prefetch_distance() const noexcept {
+    return prefetch_distance_;
+  }
+
+  /// Whether a pull iteration over a frontier of this size would apply
+  /// the occupancy gate.
+  [[nodiscard]] bool should_gate(std::uint64_t frontier_size) const noexcept {
+    return options_.gating.enabled && P::kUsesFrontier &&
+           frontier_size * options_.gating.density_divisor <=
+               graph_.num_vertices();
+  }
+
+  /// One Vertex phase; swaps in the next frontier.
+  VertexPhaseResult run_vertex(P& prog) {
+    const VertexPhaseResult r =
+        vertex_phase_.run(prog, accum_.span(), graph_.out_degrees(),
+                          next_frontier_, pool_, telemetry_);
+    frontier_.swap(next_frontier_);
+    return r;
+  }
+
+  /// Full synchronous execution: iterates Edge+Vertex until the
+  /// frontier empties (frontier-driven programs) or `max_iterations`
+  /// is reached. The caller must have seeded frontier() and the
+  /// program's state.
+  RunStats run(P& prog, unsigned max_iterations) {
+    RunStats stats;
+    WallTimer total;
+    // Whole-run PMU bracket: one "run"-named sample (and trace span)
+    // covering priming and every iteration — the RunReport's top-level
+    // counter deltas. Costless without telemetry or a PMU attached.
+    telemetry::ScopedSpan run_span(telemetry_, 0, "run", nullptr, 0,
+                                   telemetry::SpanPmu::kSample);
+    prime_accumulators(prog);
+
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+      IterationStats it;
+      it.frontier_size = P::kUsesFrontier ? frontier_.count()
+                                          : graph_.num_vertices();
+      if (P::kUsesFrontier && it.frontier_size == 0) break;
+
+      // Optional per-iteration hook: programs fold their global
+      // variables (per-thread reduction slots) here, between the
+      // previous Vertex phase's barrier and the next Edge phase.
+      if constexpr (requires { prog.begin_iteration(); }) {
+        prog.begin_iteration();
+      }
+
+      it.plan = plan_edge_phase(it.frontier_size);
+      it.used_pull = it.plan.is_pull();
+      it.gated = it.plan.is_pull() && it.plan.gated;
+      it.blocked = it.plan.is_pull() && it.plan.blocked;
+      it.used_sparse_push = !it.plan.is_pull() && it.plan.sparse;
+
+      WallTimer edge_timer;
+      {
+        telemetry::ScopedSpan span(telemetry_, 0, it.plan.name(),
+                                   "iteration", iter,
+                                   telemetry::SpanPmu::kSample);
+        run_edge_phase(prog, it.plan);
+      }
+      it.edge_seconds = edge_timer.seconds();
+
+      if (it.used_pull) {
+        it.merge_seconds = last_pull_was_wide_
+                               ? pull512_phase_.last_merge_seconds()
+                               : pull_phase_.last_merge_seconds();
+        it.idle_seconds = last_pull_was_wide_
+                              ? pull512_phase_.last_idle_seconds()
+                              : pull_phase_.last_idle_seconds();
+        it.vectors_skipped = last_vectors_skipped();
+        it.blocks_executed = last_blocks_executed();
+        if (it.gated) {
+          ++stats.gated_iterations;
+          stats.vectors_skipped += it.vectors_skipped;
+        }
+        if (it.blocked) ++stats.blocked_iterations;
+      } else if (it.used_sparse_push) {
+        ++stats.sparse_push_iterations;
+      }
+
+      WallTimer vertex_timer;
+      VertexPhaseResult vr;
+      {
+        telemetry::ScopedSpan span(telemetry_, 0, "vertex", "iteration",
+                                   iter, telemetry::SpanPmu::kSample);
+        vr = run_vertex(prog);
+      }
+      it.vertex_seconds = vertex_timer.seconds();
+      it.changed = vr.changed;
+      last_active_out_edges_ = vr.active_out_edges;
+
+      ++stats.iterations;
+      (it.used_pull ? stats.pull_iterations : stats.push_iterations) += 1;
+      stats.per_iteration.push_back(it);
+
+      if (P::kUsesFrontier && vr.changed == 0) break;
+    }
+    stats.total_seconds = total.seconds();
+    return stats;
+  }
+
+ private:
+  /// Resolves the blocking and prefetch policies against this graph
+  /// and host. Block indexes live in the shared GraphContext: the
+  /// container's persisted index when its shift matches, else a
+  /// context-cached build shared by every session with this budget.
+  /// A trivial (single-block) outcome disables blocking entirely.
+  void configure_blocking() {
+    // Auto mode only prefetches when the gathered source-value array
+    // outgrows the LLC — on an LLC-resident graph every gather already
+    // hits cache and the extra prefetch decode/issue per vector is pure
+    // overhead. An explicit distance is always honored.
+    const bool gathers_miss_llc =
+        graph_.vsd().num_vertices() * sizeof(V) > cache_topology().llc_bytes;
+    prefetch_distance_ =
+        options_.prefetch.enabled
+            ? (options_.prefetch.distance != 0
+                   ? options_.prefetch.distance
+                   : (gathers_miss_llc ? platform::default_prefetch_distance()
+                                       : 0))
+            : 0;
+    if (!options_.blocking.enabled) return;
+    const std::uint64_t budget =
+        options_.blocking.block_bytes != 0
+            ? options_.blocking.block_bytes
+            : BlockIndex::default_budget_bytes(options_.blocking.llc_fraction);
+    const unsigned shift = BlockIndex::shift_for_budget(
+        graph_.vsd().num_vertices(), sizeof(V), budget);
+    blocks_ = context_.block_index(shift);
+  }
+
+  [[nodiscard]] bool choose_pull(std::uint64_t frontier_size) const {
+    switch (options_.direction.select) {
+      case EngineSelect::kPullOnly:
+        return true;
+      case EngineSelect::kPushOnly:
+        return false;
+      case EngineSelect::kAuto:
+        break;
+    }
+    if (!P::kUsesFrontier) return true;
+    // Beamer-style direction heuristic: pull once the frontier's edge
+    // work is a substantial fraction of the graph. With frontier gating
+    // on, sparse pull iterations skip most edge vectors outright, so
+    // the pull band widens (a larger divisor lowers the threshold).
+    const std::uint64_t divisor = options_.gating.enabled
+                                      ? options_.direction.gated_pull_divisor
+                                      : options_.direction.pull_divisor;
+    return should_use_dense(frontier_size, last_active_out_edges_,
+                            graph_.num_edges(), divisor);
+  }
+
+  const GraphContext& context_;
+  const Graph& graph_;
+  EngineOptions options_;
+  NumaTopology topology_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when pool is shared
+  ThreadPool& pool_;
+  PullEdgePhase<P, Vectorized> pull_phase_;
+  Pull512EdgePhase<P, Vectorized> pull512_phase_;
+  PushEdgePhase<P, Vectorized> push_phase_;
+  VertexPhase<P> vertex_phase_;
+  MergeBuffer<V> merge_buffer_;
+  AlignedBuffer<V> accum_;
+  DenseFrontier frontier_;
+  DenseFrontier next_frontier_;
+  const std::vector<NumaPiece>& numa_pieces_;
+  const BlockIndex* blocks_ = nullptr;
+  unsigned prefetch_distance_ = 0;
+  bool use_wide_ = false;
+  bool last_pull_was_wide_ = false;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  // 0 so the first iteration's direction choice rests on the frontier
+  // size alone (a single-seed BFS must start with a push, a full
+  // frontier with a pull).
+  std::uint64_t last_active_out_edges_ = 0;
+};
+
+}  // namespace grazelle

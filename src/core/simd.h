@@ -26,6 +26,7 @@ namespace grazelle::simd {
 enum class CombineOp {
   kAdd,  ///< summation (PageRank, Collaborative Filtering)
   kMin,  ///< minimization (Connected Components, BFS parent, SSSP)
+  kOr,   ///< bitwise union (multi-source BFS reachability masks)
 };
 
 /// How an edge's message is applied with its weight before combining.
@@ -180,11 +181,20 @@ template <CombineOp Op>
   }
 }
 
+/// Lane-wise bitwise OR — the mask-union combine of multi-source BFS.
+[[nodiscard]] inline VecU64 bit_or(VecU64 a, VecU64 b) noexcept {
+  return {_mm256_or_si256(a.v, b.v)};
+}
+
 template <CombineOp Op>
 [[nodiscard]] inline VecU64 combine(VecU64 a, VecU64 b) noexcept {
-  static_assert(Op == CombineOp::kMin,
-                "integer aggregation supports min only");
-  return min(a, b);
+  static_assert(Op == CombineOp::kMin || Op == CombineOp::kOr,
+                "integer aggregation supports min and or only");
+  if constexpr (Op == CombineOp::kOr) {
+    return bit_or(a, b);
+  } else {
+    return min(a, b);
+  }
 }
 
 template <CombineOp Op>
@@ -202,12 +212,16 @@ template <CombineOp Op>
 
 template <CombineOp Op>
 [[nodiscard]] inline std::uint64_t reduce(VecU64 x) noexcept {
-  static_assert(Op == CombineOp::kMin);
+  static_assert(Op == CombineOp::kMin || Op == CombineOp::kOr);
   alignas(32) std::uint64_t lanes[4];
   _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), x.v);
-  const std::uint64_t m01 = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
-  const std::uint64_t m23 = lanes[2] < lanes[3] ? lanes[2] : lanes[3];
-  return m01 < m23 ? m01 : m23;
+  if constexpr (Op == CombineOp::kOr) {
+    return (lanes[0] | lanes[1]) | (lanes[2] | lanes[3]);
+  } else {
+    const std::uint64_t m01 = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+    const std::uint64_t m23 = lanes[2] < lanes[3] ? lanes[2] : lanes[3];
+    return m01 < m23 ? m01 : m23;
+  }
 }
 
 /// Loads one WeightVector as doubles.

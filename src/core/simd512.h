@@ -170,9 +170,13 @@ template <simd::CombineOp Op>
 template <simd::CombineOp Op>
 [[nodiscard]] inline Vec8U64 combine_masked(Vec8U64 acc, Vec8U64 msgs,
                                             __mmask8 k) noexcept {
-  static_assert(Op == simd::CombineOp::kMin,
-                "integer aggregation supports min only");
-  return {_mm512_mask_min_epi64(acc.v, k, acc.v, msgs.v)};
+  static_assert(Op == simd::CombineOp::kMin || Op == simd::CombineOp::kOr,
+                "integer aggregation supports min and or only");
+  if constexpr (Op == simd::CombineOp::kOr) {
+    return {_mm512_mask_or_epi64(acc.v, k, acc.v, msgs.v)};
+  } else {
+    return {_mm512_mask_min_epi64(acc.v, k, acc.v, msgs.v)};
+  }
 }
 
 /// The 256-bit half `h` of an 8-lane accumulator as the AVX2 type, so

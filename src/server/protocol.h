@@ -1,0 +1,230 @@
+// grazelle_serve wire protocol (DESIGN.md §13): line-delimited JSON
+// over a Unix stream socket. One request object per line in, one
+// response object per line out; responses carry the request's "id" so
+// clients may pipeline. This header is the socket-free half — request
+// parsing/validation and response serialization — so the whole
+// protocol is unit-testable without a daemon.
+//
+// Request schema (unknown keys are rejected — the same fail-fast
+// stance the CLI takes on unknown flags):
+//   {"id": 7, "op": "bfs", "graph": "tw", "source": 12, "values": true}
+//   op:         "pr" | "cc" | "bfs" | "degree" | "stats" | "list"
+//   graph:      graph name (pr / cc / bfs / degree)
+//   source:     BFS source vertex
+//   vertex:     degree-query vertex
+//   iterations: PR iteration count (0 or absent = server default)
+//   values:     return the per-vertex result array (default false)
+//   gating / blocking: engine knobs (default off)
+//   lanes:      "4" | "8" | "auto" (default "auto")
+//   no_batch:   opt a BFS request out of multi-source coalescing
+//
+// Response: {"id":…, "ok":true, …} or
+//   {"id":…, "ok":false, "error": {"code":…, "message":…}} with codes
+//   bad_request | unknown_graph | overloaded | internal. "overloaded"
+//   is the admission-control reject: the bounded queue was full.
+//
+// Values serialize at %.17g so a double round-trips bit-exactly; the
+// "value_type" field ("float64" | "uint64") tells clients how to
+// re-render (grazelle_client re-emits %.10g to byte-match
+// `grazelle_run -o` output).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "platform/types.h"
+#include "telemetry/json.h"
+
+namespace grazelle::server {
+
+inline constexpr unsigned kProtocolVersion = 1;
+
+enum class ErrorCode {
+  kBadRequest,    ///< malformed JSON, unknown op/key, invalid argument
+  kUnknownGraph,  ///< graph name not in the served fleet
+  kOverloaded,    ///< admission control: request queue at capacity
+  kInternal,      ///< execution failed server-side
+};
+
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownGraph: return "unknown_graph";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string op;
+  std::string graph;
+  VertexId source = 0;
+  VertexId vertex = 0;
+  unsigned iterations = 0;  // 0 = server default (pr only)
+  bool values = false;
+  bool gating = false;
+  bool blocking = false;
+  std::string lanes = "auto";
+  bool no_batch = false;
+};
+
+struct ParsedRequest {
+  bool ok = false;
+  Request request;
+  std::string error;  // set when !ok
+};
+
+/// Parses and validates one request line. Shape errors (bad JSON,
+/// wrong types, unknown keys/ops, bad enum values) land in `error`;
+/// graph-dependent checks (name lookup, vertex range) are the
+/// service's job.
+[[nodiscard]] inline ParsedRequest parse_request(const std::string& line) {
+  namespace json = telemetry::json;
+  ParsedRequest out;
+  json::Value v;
+  try {
+    v = json::parse(line);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    return out;
+  }
+  if (!v.is_object()) {
+    out.error = "request must be a JSON object";
+    return out;
+  }
+
+  const auto fail = [&](const std::string& why) {
+    out.ok = false;
+    out.error = why;
+    return out;
+  };
+  const auto get_u64 = [&](const char* key, std::uint64_t& dst) {
+    const json::Value& n = v.at(key);
+    if (n.type != json::Value::Type::kNumber || n.num < 0 ||
+        n.num != std::floor(n.num)) {
+      return false;
+    }
+    dst = static_cast<std::uint64_t>(n.num);
+    return true;
+  };
+  const auto get_bool = [&](const char* key, bool& dst) {
+    const json::Value& b = v.at(key);
+    if (b.type != json::Value::Type::kBool) return false;
+    dst = b.boolean;
+    return true;
+  };
+  const auto get_str = [&](const char* key, std::string& dst) {
+    const json::Value& s = v.at(key);
+    if (s.type != json::Value::Type::kString) return false;
+    dst = s.str;
+    return true;
+  };
+
+  Request& r = out.request;
+  for (const auto& [key, value] : v.members) {
+    (void)value;
+    if (key == "id") {
+      if (!get_u64("id", r.id)) return fail("id must be a non-negative integer");
+    } else if (key == "op") {
+      if (!get_str("op", r.op)) return fail("op must be a string");
+    } else if (key == "graph") {
+      if (!get_str("graph", r.graph)) return fail("graph must be a string");
+    } else if (key == "source") {
+      if (!get_u64("source", r.source)) {
+        return fail("source must be a non-negative integer");
+      }
+    } else if (key == "vertex") {
+      if (!get_u64("vertex", r.vertex)) {
+        return fail("vertex must be a non-negative integer");
+      }
+    } else if (key == "iterations") {
+      std::uint64_t n = 0;
+      if (!get_u64("iterations", n)) {
+        return fail("iterations must be a non-negative integer");
+      }
+      r.iterations = static_cast<unsigned>(n);
+    } else if (key == "values") {
+      if (!get_bool("values", r.values)) return fail("values must be a bool");
+    } else if (key == "gating") {
+      if (!get_bool("gating", r.gating)) return fail("gating must be a bool");
+    } else if (key == "blocking") {
+      if (!get_bool("blocking", r.blocking)) {
+        return fail("blocking must be a bool");
+      }
+    } else if (key == "lanes") {
+      if (!get_str("lanes", r.lanes)) return fail("lanes must be a string");
+    } else if (key == "no_batch") {
+      if (!get_bool("no_batch", r.no_batch)) {
+        return fail("no_batch must be a bool");
+      }
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+
+  if (r.op.empty()) return fail("missing op");
+  if (r.op != "pr" && r.op != "cc" && r.op != "bfs" && r.op != "degree" &&
+      r.op != "stats" && r.op != "list") {
+    return fail("unknown op: " + r.op + " (want pr|cc|bfs|degree|stats|list)");
+  }
+  if (r.lanes != "4" && r.lanes != "8" && r.lanes != "auto") {
+    return fail("unknown lanes: " + r.lanes + " (want 4|8|auto)");
+  }
+  const bool needs_graph =
+      r.op == "pr" || r.op == "cc" || r.op == "bfs" || r.op == "degree";
+  if (needs_graph && r.graph.empty()) {
+    return fail("missing graph for op " + r.op);
+  }
+  out.ok = true;
+  return out;
+}
+
+/// %.17g: enough digits that a binary64 value round-trips bit-exactly.
+[[nodiscard]] inline std::string number_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+[[nodiscard]] inline std::string values_json(std::span<const double> values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += number_exact(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+[[nodiscard]] inline std::string values_json(
+    std::span<const std::uint64_t> values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+/// One error-response line (newline not included).
+[[nodiscard]] inline std::string error_response(std::uint64_t id,
+                                                ErrorCode code,
+                                                const std::string& message) {
+  namespace json = telemetry::json;
+  return json::ObjectWriter()
+      .field("id", id)
+      .field("ok", false)
+      .field_raw("error", json::ObjectWriter()
+                              .field("code", error_code_name(code))
+                              .field("message", message)
+                              .str())
+      .str();
+}
+
+}  // namespace grazelle::server

@@ -1,0 +1,415 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/msbfs.h"
+#include "apps/pagerank.h"
+#include "core/session.h"
+#include "platform/cpu_features.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
+
+namespace grazelle::server {
+
+namespace {
+
+namespace json = telemetry::json;
+
+[[nodiscard]] EngineOptions options_for(const Request& r, unsigned threads) {
+  EngineOptions o;
+  o.num_threads = threads;
+  o.numa_nodes = 1;
+  o.gating.enabled = r.gating;
+  o.blocking.enabled = r.blocking;
+  o.lanes = r.lanes == "4"   ? LanePolicy::k4
+            : r.lanes == "8" ? LanePolicy::k8
+                             : LanePolicy::kAuto;
+  return o;
+}
+
+/// Fills the RunReport context fields the way grazelle_run does, so a
+/// served report diffs cleanly against a one-shot run's.
+void fill_context(RunReport& rep, const Request& r, const std::string& graph,
+                  const GraphContext& context, unsigned threads,
+                  bool vectorized, unsigned prefetch_distance) {
+  rep.app = r.op;
+  rep.graph = graph;
+  rep.engine = "auto";
+  rep.pull_mode = "sa";
+  rep.threads = threads;
+  rep.vectorized = vectorized;
+  rep.num_vertices = context.num_vertices();
+  rep.num_edges = context.num_edges();
+  rep.graph_mapped = context.graph().mapped();
+  rep.prefetch_distance = prefetch_distance;
+}
+
+/// One success-response line for a run op. `values_raw` empty = omit.
+[[nodiscard]] std::string run_response(const Request& r,
+                                       const RunReport& rep,
+                                       std::uint64_t batched,
+                                       const char* value_type,
+                                       const std::string& values_raw) {
+  json::ObjectWriter w;
+  w.field("id", r.id)
+      .field("ok", true)
+      .field("protocol_version", kProtocolVersion)
+      .field("op", r.op)
+      .field("graph", r.graph);
+  if (r.op == "bfs") {
+    w.field("source", static_cast<std::uint64_t>(r.source));
+    w.field("batched", batched);
+  }
+  w.field("value_type", value_type);
+  if (!values_raw.empty()) w.field_raw("values", values_raw);
+  w.field_raw("report", rep.to_json());
+  return w.str();
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config) : config_(config) {
+  config_.workers = std::max(1u, config_.workers);
+  config_.threads_per_worker = std::max(1u, config_.threads_per_worker);
+  config_.queue_cap = std::max<std::size_t>(1, config_.queue_cap);
+  config_.batch_max =
+      std::clamp(config_.batch_max, 1u, apps::MultiSourceBfs::kMaxSources);
+  if (config_.default_iterations == 0) config_.default_iterations = 16;
+}
+
+Service::~Service() { stop(); }
+
+void Service::add_graph(const std::string& name,
+                        std::shared_ptr<const GraphContext> context) {
+  graphs_[name] = std::move(context);
+}
+
+void Service::open_graph(const std::string& name, const std::string& path) {
+  add_graph(name,
+            std::make_shared<const GraphContext>(store::load_graph(path), name));
+}
+
+bool Service::has_graph(const std::string& name) const {
+  return graphs_.count(name) != 0;
+}
+
+std::vector<std::string> Service::graph_names() const {
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, context] : graphs_) names.push_back(name);
+  return names;
+}
+
+void Service::start() {
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    if (started_) return;
+    started_ = true;
+    stopping_ = false;
+  }
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void Service::stop() {
+  std::deque<Job> leftover;
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    stopping_ = true;
+    leftover.swap(queue_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    started_ = false;
+  }
+  // Every accepted request still gets its reply.
+  for (Job& job : leftover) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    job.reply(error_response(job.request.id, ErrorCode::kOverloaded,
+                             "server shutting down"));
+  }
+}
+
+void Service::submit(const std::string& line, Reply reply) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  ParsedRequest parsed = parse_request(line);
+  if (!parsed.ok) {
+    rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+    reply(error_response(parsed.request.id, ErrorCode::kBadRequest,
+                         parsed.error));
+    return;
+  }
+  const Request& r = parsed.request;
+
+  if (r.op == "stats" || r.op == "list") {
+    reply(immediate_response(r));
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const auto it = graphs_.find(r.graph);
+  if (it == graphs_.end()) {
+    rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+    reply(error_response(r.id, ErrorCode::kUnknownGraph,
+                         "graph not served: " + r.graph));
+    return;
+  }
+  const GraphContext& context = *it->second;
+
+  if (r.op == "bfs" && r.source >= context.num_vertices()) {
+    rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+    reply(error_response(r.id, ErrorCode::kBadRequest, "source out of range"));
+    return;
+  }
+  if (r.op == "degree") {
+    if (r.vertex >= context.num_vertices()) {
+      rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+      reply(
+          error_response(r.id, ErrorCode::kBadRequest, "vertex out of range"));
+      return;
+    }
+    // Point query: answered inline off the shared immutable arrays —
+    // no session, no queue.
+    reply(json::ObjectWriter()
+              .field("id", r.id)
+              .field("ok", true)
+              .field("protocol_version", kProtocolVersion)
+              .field("op", r.op)
+              .field("graph", r.graph)
+              .field("vertex", static_cast<std::uint64_t>(r.vertex))
+              .field("out_degree", context.graph().out_degrees()[r.vertex])
+              .field("in_degree", context.graph().in_degrees()[r.vertex])
+              .str());
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // pr / cc / bfs run on the worker group behind the bounded queue.
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    if (stopping_ || queue_.size() >= config_.queue_cap) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      reply(error_response(r.id, ErrorCode::kOverloaded,
+                           stopping_ ? "server shutting down"
+                                     : "request queue full"));
+      return;
+    }
+    queue_.push_back(Job{std::move(parsed.request), std::move(reply)});
+  }
+  work_cv_.notify_all();
+}
+
+ServiceCounters Service::counters() const {
+  ServiceCounters c;
+  c.received = received_.load(std::memory_order_relaxed);
+  c.served = served_.load(std::memory_order_relaxed);
+  c.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  c.rejected_bad = rejected_bad_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  c.edges_touched = edges_touched_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string Service::immediate_response(const Request& r) const {
+  json::ObjectWriter w;
+  w.field("id", r.id)
+      .field("ok", true)
+      .field("protocol_version", kProtocolVersion)
+      .field("op", r.op);
+  if (r.op == "list") {
+    std::vector<std::string> items;
+    items.reserve(graphs_.size());
+    for (const auto& [name, context] : graphs_) {
+      items.push_back(json::ObjectWriter()
+                          .field("name", name)
+                          .field("num_vertices", context->num_vertices())
+                          .field("num_edges", context->num_edges())
+                          .field("weighted", context->graph().weighted())
+                          .field("mapped", context->graph().mapped())
+                          .str());
+    }
+    w.field_raw("graphs", json::array(items));
+  } else {  // stats
+    const ServiceCounters c = counters();
+    w.field_raw("counters", json::ObjectWriter()
+                                .field("received", c.received)
+                                .field("served", c.served)
+                                .field("rejected_overload", c.rejected_overload)
+                                .field("rejected_bad", c.rejected_bad)
+                                .field("batches", c.batches)
+                                .field("batched_requests", c.batched_requests)
+                                .field("edges_touched", c.edges_touched)
+                                .str());
+  }
+  return w.str();
+}
+
+void Service::worker_main() {
+  // One long-lived pool per worker; successive sessions borrow it, so
+  // OS threads are created once per worker, not once per request.
+  ThreadPool pool(config_.threads_per_worker);
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(lock_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      batch = next_batch(lock);
+    }
+    execute(std::move(batch), pool);
+  }
+}
+
+std::vector<Service::Job> Service::next_batch(
+    std::unique_lock<std::mutex>& lock) {
+  std::vector<Job> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const Request head = batch.front().request;
+  if (head.op != "bfs" || head.no_batch) return batch;
+
+  const auto compatible = [&](const Request& r) {
+    return r.op == "bfs" && !r.no_batch && r.graph == head.graph &&
+           r.gating == head.gating && r.blocking == head.blocking &&
+           r.lanes == head.lanes;
+  };
+  const auto harvest = [&] {
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < config_.batch_max;) {
+      if (compatible(it->request)) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  harvest();
+  // Batch window: hold the sweep open briefly for stragglers (a client
+  // burst arrives over a few reads). Skipped when already full.
+  if (batch.size() < config_.batch_max && config_.batch_window_ms > 0 &&
+      !stopping_) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.batch_window_ms);
+    while (batch.size() < config_.batch_max && !stopping_) {
+      if (work_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        harvest();
+        break;
+      }
+      harvest();
+    }
+  }
+  return batch;
+}
+
+void Service::execute(std::vector<Job> batch, ThreadPool& pool) {
+  const auto it = graphs_.find(batch.front().request.graph);
+  const GraphContext& context = *it->second;  // validated at submit
+#if defined(GRAZELLE_HAVE_AVX2)
+  if (config_.vectorize && vector_kernels_available()) {
+    run_jobs<true>(context, batch, pool);
+    return;
+  }
+#endif
+  run_jobs<false>(context, batch, pool);
+}
+
+template <bool Vec>
+void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
+                       ThreadPool& pool) {
+  const Request& first = batch.front().request;
+  const unsigned threads = static_cast<unsigned>(pool.size());
+  telemetry::Telemetry telem(threads);
+  const EngineOptions opts = options_for(first, threads);
+  try {
+    if (first.op == "pr") {
+      Session<apps::PageRank, Vec> session(context, opts, &pool);
+      session.set_telemetry(&telem);
+      apps::PageRank prog(context.graph(), threads);
+      const unsigned iters = first.iterations != 0
+                                 ? first.iterations
+                                 : config_.default_iterations;
+      const RunStats stats = session.run(prog, iters);
+      prog.finalize();
+      RunReport rep = build_report(stats, &telem);
+      fill_context(rep, first, first.graph, context, threads, Vec,
+                   session.prefetch_distance());
+      batch.front().reply(run_response(
+          first, rep, 0, "float64",
+          first.values ? values_json(prog.ranks()) : std::string()));
+    } else if (first.op == "cc") {
+      Session<apps::ConnectedComponents, Vec> session(context, opts, &pool);
+      session.set_telemetry(&telem);
+      apps::ConnectedComponents prog(context.graph());
+      session.frontier().set_all();
+      const RunStats stats = session.run(prog, 1u << 20);
+      RunReport rep = build_report(stats, &telem);
+      fill_context(rep, first, first.graph, context, threads, Vec,
+                   session.prefetch_distance());
+      batch.front().reply(run_response(
+          first, rep, 0, "uint64",
+          first.values ? values_json(prog.labels()) : std::string()));
+    } else if (batch.size() == 1) {
+      // Single-source BFS: the plain program (parents come free from
+      // kMessageIsSourceId — no attribution scan).
+      Session<apps::BreadthFirstSearch, Vec> session(context, opts, &pool);
+      session.set_telemetry(&telem);
+      apps::BreadthFirstSearch prog(context.graph(), first.source);
+      prog.seed(session.frontier());
+      const RunStats stats = session.run(prog, 1u << 20);
+      RunReport rep = build_report(stats, &telem);
+      fill_context(rep, first, first.graph, context, threads, Vec,
+                   session.prefetch_distance());
+      batch.front().reply(run_response(
+          first, rep, 1, "uint64",
+          first.values ? values_json(prog.parents()) : std::string()));
+    } else {
+      // Coalesced BFS: one multi-source sweep, one response per source.
+      std::vector<VertexId> sources;
+      sources.reserve(batch.size());
+      for (const Job& job : batch) sources.push_back(job.request.source);
+      Session<apps::MultiSourceBfs, Vec> session(context, opts, &pool);
+      session.set_telemetry(&telem);
+      apps::MultiSourceBfs prog(context.graph(), sources, threads);
+      prog.seed(session.frontier());
+      const RunStats stats = session.run(prog, 1u << 20);
+      RunReport rep = build_report(stats, &telem);
+      fill_context(rep, first, first.graph, context, threads, Vec,
+                   session.prefetch_distance());
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        const Request& r = batch[b].request;
+        batch[b].reply(run_response(
+            r, rep, batch.size(), "uint64",
+            r.values ? values_json(prog.parents(b)) : std::string()));
+      }
+    }
+    served_.fetch_add(batch.size(), std::memory_order_relaxed);
+    edges_touched_.fetch_add(
+        telem.counters()[static_cast<unsigned>(
+            telemetry::Counter::kEdgesTouched)],
+        std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    for (Job& job : batch) {
+      job.reply(
+          error_response(job.request.id, ErrorCode::kInternal, e.what()));
+    }
+  }
+}
+
+}  // namespace grazelle::server

@@ -1,0 +1,142 @@
+// Multi-tenant graph query service (DESIGN.md §13): the socket-free
+// core of grazelle_serve, structured after a driver / worker-group /
+// query-flush split. A Service owns
+//
+//   * a fleet of named, immutable GraphContexts (opened once, shared
+//     by every request — the GraphContext/Session split is what makes
+//     this safe),
+//   * a bounded request queue with admission control (submit() beyond
+//     the cap is rejected synchronously with a typed "overloaded"
+//     error — the daemon never builds unbounded backlog), and
+//   * a group of worker threads, each owning one long-lived ThreadPool
+//     that successive Sessions borrow (pool threads are created once,
+//     not per request).
+//
+// BFS coalescing: a worker that dequeues a BFS request collects every
+// other compatible pending BFS on the same graph — waiting up to
+// batch_window_ms for stragglers — and runs up to batch_max (≤ 64) of
+// them as ONE MultiSourceBfs sweep (apps/msbfs.h). Each request still
+// gets its own response, with per-source parents bit-identical to a
+// sequential run; the shared edge phases are the win (the batch
+// touches far fewer total edges than k one-shot runs — the smoke job
+// asserts this via the edges_touched counter).
+//
+// Threading contract: add_graph() before start(); submit() from any
+// thread (the daemon's per-connection readers); replies fire on worker
+// threads (or on the submitting thread for immediate ops and rejects)
+// exactly once per request. stop() drains nothing: it wakes workers,
+// rejects still-queued requests as overloaded, and joins.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/graph_context.h"
+#include "server/protocol.h"
+#include "threading/thread_pool.h"
+
+namespace grazelle::server {
+
+struct ServiceConfig {
+  unsigned workers = 2;
+  unsigned threads_per_worker = 2;
+  std::size_t queue_cap = 64;
+  unsigned batch_max = 16;       // clamped to [1, 64]
+  unsigned batch_window_ms = 5;  // 0 = coalesce only what is pending
+  unsigned default_iterations = 16;  // PR default
+  bool vectorize = true;
+};
+
+/// Monotonic server-level counters (exposed by the "stats" op).
+struct ServiceCounters {
+  std::uint64_t received = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_bad = 0;
+  std::uint64_t batches = 0;           // multi-source BFS sweeps run
+  std::uint64_t batched_requests = 0;  // BFS requests absorbed into them
+  std::uint64_t edges_touched = 0;     // summed over every run
+};
+
+class Service {
+ public:
+  /// A reply sink: receives exactly one response line (no newline).
+  using Reply = std::function<void(const std::string&)>;
+
+  explicit Service(ServiceConfig config);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Registers a graph under `name`. Call before start().
+  void add_graph(const std::string& name,
+                 std::shared_ptr<const GraphContext> context);
+
+  /// Convenience: open a packed container / graph file and register it.
+  void open_graph(const std::string& name, const std::string& path);
+
+  [[nodiscard]] bool has_graph(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> graph_names() const;
+
+  /// Launches the worker group. Requests submitted before start() sit
+  /// in the queue (still subject to the cap) — tests use this to make
+  /// admission control and batching deterministic.
+  void start();
+
+  /// Wakes and joins workers; queued-but-unserved requests are
+  /// rejected as overloaded so every submit() still gets its reply.
+  void stop();
+
+  /// Parses, validates, and routes one request line. Always calls
+  /// `reply` exactly once — synchronously for parse errors, immediate
+  /// ops (degree/stats/list), and admission rejects; from a worker
+  /// thread for queued ops (pr/cc/bfs).
+  void submit(const std::string& line, Reply reply);
+
+  [[nodiscard]] ServiceCounters counters() const;
+
+ private:
+  struct Job {
+    Request request;
+    Reply reply;
+  };
+
+  void worker_main();
+  /// Pops one job, coalescing compatible BFS jobs (holds lock_).
+  [[nodiscard]] std::vector<Job> next_batch(std::unique_lock<std::mutex>& lock);
+  void execute(std::vector<Job> batch, ThreadPool& pool);
+  template <bool Vec>
+  void run_jobs(const GraphContext& context, std::vector<Job>& batch,
+                ThreadPool& pool);
+  [[nodiscard]] std::string immediate_response(const Request& r) const;
+
+  ServiceConfig config_;
+  std::map<std::string, std::shared_ptr<const GraphContext>> graphs_;
+
+  mutable std::mutex lock_;
+  std::condition_variable work_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_bad_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> edges_touched_{0};
+};
+
+}  // namespace grazelle::server

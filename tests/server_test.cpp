@@ -1,0 +1,348 @@
+// grazelle_serve's socket-free core: the wire protocol
+// (server/protocol.h) and the Service layer (server/service.h) —
+// request validation, admission control, reply-exactly-once, BFS
+// batch coalescing, and value round-trips. Tests submit before start()
+// so queue contents (and therefore batch composition and admission
+// rejects) are deterministic, no timing windows involved. Service
+// runs are pinned scalar (vectorize = false) so served values compare
+// bit-exactly against scalar one-shot engines.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/pagerank.h"
+#include "core/engine.h"
+#include "core/graph_context.h"
+#include "gen/rmat.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "telemetry/json.h"
+
+namespace grazelle::server {
+namespace {
+
+namespace json = telemetry::json;
+
+EdgeList rmat_graph() {
+  gen::RmatParams p;
+  p.scale = 8;
+  p.num_edges = 2000;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return list;
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesFullRequest) {
+  const auto r = parse_request(
+      R"({"id":7,"op":"bfs","graph":"tw","source":12,"values":true,)"
+      R"("gating":true,"blocking":true,"lanes":"8","no_batch":true})");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.request.id, 7u);
+  EXPECT_EQ(r.request.op, "bfs");
+  EXPECT_EQ(r.request.graph, "tw");
+  EXPECT_EQ(r.request.source, 12u);
+  EXPECT_TRUE(r.request.values);
+  EXPECT_TRUE(r.request.gating);
+  EXPECT_TRUE(r.request.blocking);
+  EXPECT_EQ(r.request.lanes, "8");
+  EXPECT_TRUE(r.request.no_batch);
+}
+
+TEST(Protocol, DefaultsAreOffAndAuto) {
+  const auto r = parse_request(R"({"op":"pr","graph":"g"})");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.request.id, 0u);
+  EXPECT_FALSE(r.request.values);
+  EXPECT_FALSE(r.request.gating);
+  EXPECT_FALSE(r.request.blocking);
+  EXPECT_EQ(r.request.lanes, "auto");
+  EXPECT_FALSE(r.request.no_batch);
+  EXPECT_EQ(r.request.iterations, 0u);  // 0 = server default
+}
+
+TEST(Protocol, RejectsMalformedAndUnknown) {
+  EXPECT_FALSE(parse_request("not json").ok);
+  EXPECT_FALSE(parse_request("[1,2]").ok);
+  EXPECT_FALSE(parse_request(R"({"graph":"g"})").ok);  // missing op
+  EXPECT_FALSE(parse_request(R"({"op":"fly","graph":"g"})").ok);
+  EXPECT_FALSE(parse_request(R"({"op":"pr"})").ok);  // missing graph
+  EXPECT_FALSE(parse_request(R"({"op":"stats","zzz":1})").ok);  // unknown key
+  EXPECT_FALSE(parse_request(R"({"op":"pr","graph":"g","lanes":"16"})").ok);
+  EXPECT_FALSE(parse_request(R"({"op":"pr","graph":7})").ok);  // wrong type
+  EXPECT_FALSE(parse_request(R"({"op":"bfs","graph":"g","source":-3})").ok);
+  EXPECT_FALSE(parse_request(R"({"op":"bfs","graph":"g","source":1.5})").ok);
+  // stats/list need no graph.
+  EXPECT_TRUE(parse_request(R"({"op":"stats"})").ok);
+  EXPECT_TRUE(parse_request(R"({"op":"list"})").ok);
+}
+
+TEST(Protocol, UnknownOpNamesTheAlternatives) {
+  const auto r = parse_request(R"({"op":"nope","graph":"g"})");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown op: nope (want pr|cc|bfs|degree|stats|list)");
+}
+
+TEST(Protocol, NumberExactRoundTripsDoubles) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300}) {
+    EXPECT_EQ(std::stod(number_exact(v)), v);
+  }
+}
+
+TEST(Protocol, ErrorResponseIsParsableAndTyped) {
+  const std::string line =
+      error_response(9, ErrorCode::kOverloaded, "queue full");
+  const json::Value v = json::parse(line);
+  EXPECT_EQ(v.at("id").num, 9);
+  EXPECT_FALSE(v.at("ok").boolean);
+  EXPECT_EQ(v.at("error").at("code").str, "overloaded");
+  EXPECT_EQ(v.at("error").at("message").str, "queue full");
+}
+
+// ---------------------------------------------------------------- service
+
+/// Collects replies across worker threads; wait_for(n) blocks until n
+/// replies have landed.
+struct ReplyLog {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> lines;
+
+  Service::Reply sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> hold(mu);
+      lines.push_back(line);
+      cv.notify_all();
+    };
+  }
+  std::vector<std::string> wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> hold(mu);
+    cv.wait(hold, [&] { return lines.size() >= n; });
+    return lines;
+  }
+  std::size_t count() {
+    std::lock_guard<std::mutex> hold(mu);
+    return lines.size();
+  }
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : graph_(Graph::build(rmat_graph())) {}
+
+  ServiceConfig small_config() {
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.threads_per_worker = 2;
+    cfg.batch_window_ms = 0;  // coalesce only what is already queued
+    cfg.vectorize = false;    // compare against scalar engines
+    return cfg;
+  }
+
+  void add(Service& service) {
+    service.add_graph("g", std::make_shared<GraphContext>(&graph_, "g"));
+  }
+
+  Graph graph_;
+};
+
+TEST_F(ServiceTest, ImmediateOpsAnswerWithoutWorkers) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(R"({"id":1,"op":"list"})", log.sink());
+  service.submit(R"({"id":2,"op":"stats"})", log.sink());
+  service.submit(R"({"id":3,"op":"degree","graph":"g","vertex":0})",
+                 log.sink());
+  ASSERT_EQ(log.count(), 3u);  // replies were synchronous
+
+  const json::Value list = json::parse(log.lines[0]);
+  EXPECT_TRUE(list.at("ok").boolean);
+  ASSERT_EQ(list.at("graphs").items.size(), 1u);
+  const json::Value& entry = *list.at("graphs").items[0];
+  EXPECT_EQ(entry.at("name").str, "g");
+  EXPECT_EQ(entry.at("num_vertices").num,
+            static_cast<double>(graph_.num_vertices()));
+
+  const json::Value stats = json::parse(log.lines[1]);
+  EXPECT_TRUE(stats.at("ok").boolean);
+  EXPECT_EQ(stats.at("counters").at("served").num, 1);  // the list op
+
+  const json::Value degree = json::parse(log.lines[2]);
+  EXPECT_TRUE(degree.at("ok").boolean);
+  EXPECT_EQ(degree.at("out_degree").num,
+            static_cast<double>(graph_.out_degrees()[0]));
+  EXPECT_EQ(degree.at("in_degree").num,
+            static_cast<double>(graph_.in_degrees()[0]));
+}
+
+TEST_F(ServiceTest, RejectsBadRequestsAndUnknownGraphsSynchronously) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit("garbage", log.sink());
+  service.submit(R"({"id":5,"op":"pr","graph":"nope"})", log.sink());
+  service.submit(R"({"id":6,"op":"bfs","graph":"g","source":99999999})",
+                 log.sink());
+  ASSERT_EQ(log.count(), 3u);
+  EXPECT_EQ(json::parse(log.lines[0]).at("error").at("code").str,
+            "bad_request");
+  EXPECT_EQ(json::parse(log.lines[1]).at("error").at("code").str,
+            "unknown_graph");
+  EXPECT_EQ(json::parse(log.lines[2]).at("error").at("code").str,
+            "bad_request");
+  EXPECT_EQ(service.counters().rejected_bad, 3u);
+}
+
+TEST_F(ServiceTest, AdmissionControlRejectsBeyondQueueCap) {
+  ServiceConfig cfg = small_config();
+  cfg.queue_cap = 2;
+  Service service(cfg);
+  add(service);
+  ReplyLog log;
+  // Not started: the first two sit in the queue, the third must be
+  // rejected synchronously with the typed "overloaded" error.
+  service.submit(R"({"id":1,"op":"pr","graph":"g"})", log.sink());
+  service.submit(R"({"id":2,"op":"pr","graph":"g"})", log.sink());
+  EXPECT_EQ(log.count(), 0u);
+  service.submit(R"({"id":3,"op":"pr","graph":"g"})", log.sink());
+  ASSERT_EQ(log.count(), 1u);
+  const json::Value reject = json::parse(log.lines[0]);
+  EXPECT_EQ(reject.at("id").num, 3);
+  EXPECT_FALSE(reject.at("ok").boolean);
+  EXPECT_EQ(reject.at("error").at("code").str, "overloaded");
+  EXPECT_EQ(service.counters().rejected_overload, 1u);
+
+  // Every queued request still gets exactly one reply once started.
+  service.start();
+  const auto lines = log.wait_for(3);
+  service.stop();
+  EXPECT_EQ(lines.size(), 3u);
+  EXPECT_EQ(service.counters().served, 2u);
+}
+
+TEST_F(ServiceTest, StopRejectsLeftoverQueueAsOverloaded) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(R"({"id":1,"op":"pr","graph":"g"})", log.sink());
+  // Never started: stop() must still deliver the reply.
+  service.stop();
+  ASSERT_EQ(log.count(), 1u);
+  EXPECT_EQ(json::parse(log.lines[0]).at("error").at("code").str,
+            "overloaded");
+}
+
+TEST_F(ServiceTest, ServedPageRankMatchesOneShotEngine) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(R"({"id":1,"op":"pr","graph":"g","values":true})",
+                 log.sink());
+  service.start();
+  const auto lines = log.wait_for(1);
+  service.stop();
+
+  const json::Value v = json::parse(lines[0]);
+  ASSERT_TRUE(v.at("ok").boolean) << lines[0];
+  EXPECT_EQ(v.at("value_type").str, "float64");
+  EXPECT_EQ(v.at("report").at("iterations").num, 16);  // server default
+  EXPECT_FALSE(v.at("report").at("vectorized").boolean);
+  ASSERT_EQ(v.at("values").items.size(), graph_.num_vertices());
+
+  // Same options the service derives (scheduler-aware pull, 2 threads,
+  // scalar): the wire's %.17g round-trips binary64 bit-exactly, so
+  // served ranks must equal the engine's doubles.
+  EngineOptions opts;
+  opts.num_threads = 2;
+  Engine<apps::PageRank, false> engine(graph_, opts);
+  apps::PageRank pr(graph_, static_cast<unsigned>(engine.pool().size()));
+  engine.run(pr, 16);
+  pr.finalize();
+  for (std::size_t i = 0; i < graph_.num_vertices(); ++i) {
+    ASSERT_EQ(v.at("values").items[i]->num, pr.ranks()[i]) << "vertex " << i;
+  }
+}
+
+TEST_F(ServiceTest, QueuedBfsBurstCoalescesIntoOneBatch) {
+  ServiceConfig cfg = small_config();
+  cfg.batch_max = 8;
+  Service service(cfg);
+  add(service);
+  ReplyLog log;
+  const std::vector<VertexId> sources = {0, 1, 2, 3, 5, 8, 13, 21};
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    service.submit(R"({"id":)" + std::to_string(i) +
+                       R"(,"op":"bfs","graph":"g","source":)" +
+                       std::to_string(sources[i]) + R"(,"values":true})",
+                   log.sink());
+  }
+  service.start();
+  const auto lines = log.wait_for(sources.size());
+  service.stop();
+
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.batches, 1u);
+  EXPECT_EQ(counters.batched_requests, sources.size());
+  EXPECT_GT(counters.edges_touched, 0u);
+
+  for (const std::string& line : lines) {
+    const json::Value v = json::parse(line);
+    ASSERT_TRUE(v.at("ok").boolean) << line;
+    EXPECT_EQ(v.at("value_type").str, "uint64");
+    EXPECT_EQ(static_cast<std::size_t>(v.at("batched").num), sources.size());
+    const std::size_t id = static_cast<std::size_t>(v.at("id").num);
+    ASSERT_LT(id, sources.size());
+    EXPECT_EQ(static_cast<VertexId>(v.at("source").num), sources[id]);
+
+    // Per-source parents must match a sequential one-shot run. The
+    // parser stores numbers as double; compare in double space, where
+    // reachable parents (< 2^32 here) are exact and kInvalidVertex
+    // maps to the same value on both sides.
+    EngineOptions opts;
+    opts.num_threads = 2;
+    Engine<apps::BreadthFirstSearch, false> engine(graph_, opts);
+    apps::BreadthFirstSearch bfs(graph_, sources[id]);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+    ASSERT_EQ(v.at("values").items.size(), graph_.num_vertices());
+    for (std::size_t i = 0; i < graph_.num_vertices(); ++i) {
+      ASSERT_EQ(v.at("values").items[i]->num,
+                static_cast<double>(bfs.parents()[i]))
+          << "source " << sources[id] << " vertex " << i;
+    }
+  }
+}
+
+TEST_F(ServiceTest, NoBatchRequestsRunAlone) {
+  ServiceConfig cfg = small_config();
+  cfg.batch_max = 8;
+  Service service(cfg);
+  add(service);
+  ReplyLog log;
+  for (int i = 0; i < 3; ++i) {
+    service.submit(R"({"id":)" + std::to_string(i) +
+                       R"(,"op":"bfs","graph":"g","source":)" +
+                       std::to_string(i) + R"(,"no_batch":true})",
+                   log.sink());
+  }
+  service.start();
+  const auto lines = log.wait_for(3);
+  service.stop();
+  EXPECT_EQ(service.counters().batches, 0u);
+  for (const std::string& line : lines) {
+    const json::Value v = json::parse(line);
+    ASSERT_TRUE(v.at("ok").boolean) << line;
+    EXPECT_EQ(v.at("batched").num, 1);
+  }
+}
+
+}  // namespace
+}  // namespace grazelle::server

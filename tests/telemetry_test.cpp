@@ -1,7 +1,7 @@
 // Telemetry layer: JSON round-trips, counter monotonicity, phase-time
-// accounting, chrome-trace export, the PhasePlan API, the deprecated
-// EngineOptions aliases, and — the load-bearing guarantee — that an
-// attached telemetry sink never changes computed results.
+// accounting, chrome-trace export, the PhasePlan API, and — the
+// load-bearing guarantee — that an attached telemetry sink never
+// changes computed results.
 #include <gtest/gtest.h>
 
 #include <algorithm>

@@ -382,5 +382,80 @@ TEST(ValidateOutputTool, DetectsMismatch) {
   std::filesystem::remove(b);
 }
 
+// ---------------------------------------------------------------------------
+// The unified option-table parser (tools/cli_options.h) backs every
+// tool; each divergent error path has its own message contract, pinned
+// here end-to-end. All of these must fail at argument-parse time —
+// before any graph work — so each returns immediately.
+
+TEST(CliErrorMessages, UnknownOptionNamedAndUsagePrinted) {
+  const auto r = run_command(tools_dir() + "/grazelle_run --bogus-flag");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error: unknown option '--bogus-flag'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliErrorMessages, MissingValueNamesTheOption) {
+  const auto r = run_command(tools_dir() + "/grazelle_run -a pr -i");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error: option '-i' expects a value"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliErrorMessages, BadNumberShowsTheOffendingValue) {
+  const auto r = run_command(tools_dir() + "/grazelle_run -a pr -i C -n foo");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find("error: -n expects a non-negative integer (got 'foo')"),
+      std::string::npos)
+      << r.output;
+}
+
+TEST(CliErrorMessages, ChoiceErrorAdvertisesTheAlternatives) {
+  const auto r =
+      run_command(tools_dir() + "/grazelle_run -a pr -i C --lanes 16");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown lane policy '16' (want 4|8|auto)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliErrorMessages, SwitchRejectsAnInlineValue) {
+  const auto r =
+      run_command(tools_dir() + "/grazelle_run -a pr -i C --no-vector=1");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find("error: option '--no-vector' does not take a value"),
+      std::string::npos)
+      << r.output;
+}
+
+TEST(CliErrorMessages, StrayPositionalRejected) {
+  const auto r = run_command(tools_dir() + "/graph_info one.el two.el");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error: unexpected argument: two.el"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliErrorMessages, MissingRequiredPositionalPrintsUsage) {
+  const auto r = run_command(tools_dir() + "/graph_convert onlyinput.el");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(CliErrorMessages, HelpExitsZeroOnEveryTool) {
+  for (const char* tool :
+       {"grazelle_run", "graph_convert", "graph_info", "bench_report",
+        "grazelle_serve", "grazelle_client"}) {
+    const auto r = run_command(tools_dir() + "/" + tool + " --help");
+    EXPECT_EQ(r.exit_code, 0) << tool << ": " << r.output;
+    EXPECT_EQ(r.output.rfind("usage:", 0), 0u) << tool << ": " << r.output;
+  }
+}
+
 }  // namespace
 }  // namespace grazelle

@@ -19,8 +19,6 @@
 // PMU counters degrade exactly as in grazelle_run: when the kernel
 // denies perf_event_open the run still completes, pmu_available is
 // false in the JSON, and diff mode ignores the estimated counters.
-#include <getopt.h>
-
 #include <cmath>
 #include <cstdio>
 #include <optional>
@@ -32,6 +30,7 @@
 #include "apps/pagerank.h"
 #include "bench_common.h"
 #include "cli_common.h"
+#include "cli_options.h"
 #include "core/engine.h"
 #include "platform/cpu_features.h"
 #include "telemetry/json.h"
@@ -60,29 +59,39 @@ struct Options {
   double threshold = 0.10;
 };
 
-void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [-i <input>] [--label <s>] [options]      (run mode)\n"
-      "       %s --diff <old.json> <new.json> [--threshold <frac>]\n"
-      "\n"
-      "run mode:\n"
-      "  -i <input>        graph input (default rmat:14; same selectors\n"
-      "                    as grazelle_run)\n"
-      "  --apps <list>     comma-separated subset of pr,cc,bfs\n"
-      "                    (default pr,cc,bfs)\n"
-      "  --repeats <n>     timed runs per benchmark (default 5)\n"
-      "  --label <s>       report label (default dev)\n"
-      "  --out <f>         output path (default BENCH_<label>.json)\n"
-      "  -n <threads>      worker threads (default 4)\n"
-      "  -N <iterations>   PageRank iterations (default 16)\n"
-      "  -S <scale>        dataset analog scale factor (default 0.25)\n"
-      "\n"
-      "diff mode:\n"
-      "  --diff <a> <b>    compare report <b> against baseline <a>;\n"
-      "                    exits 1 when any benchmark's median slowed\n"
-      "                    by more than the threshold\n"
-      "  --threshold <f>   fractional regression gate (default 0.10)\n",
-      argv0, argv0);
+/// Registers run-mode and diff-mode flags on one table; the two diff
+/// report files arrive as optional positionals.
+cli::OptionTable make_table(Options& opt) {
+  cli::OptionTable table(
+      "[-i <input>] [--label <s>] [options]      (run mode)\n"
+      "       bench_report --diff <old.json> <new.json> [--threshold <frac>]");
+  table
+      .str('i', nullptr, &opt.input, "<input>",
+           "graph input (default rmat:14; same selectors\n"
+           "as grazelle_run)")
+      .str(0, "apps", &opt.apps, "<list>",
+           "comma-separated subset of pr,cc,bfs\n"
+           "(default pr,cc,bfs)")
+      .uint(0, "repeats", &opt.repeats, "<n>",
+            "timed runs per benchmark (default 5)")
+      .str(0, "label", &opt.label, "<s>", "report label (default dev)")
+      .out_path(0, "out", &opt.out, "<f>",
+                "output path (default BENCH_<label>.json)")
+      .uint('n', nullptr, &opt.threads, "<threads>",
+            "worker threads (default 4)")
+      .uint('N', nullptr, &opt.iterations, "<iterations>",
+            "PageRank iterations (default 16)")
+      .real('S', nullptr, &opt.scale, "<scale>",
+            "dataset analog scale factor (default 0.25)")
+      .flag(0, "diff", &opt.diff,
+            "compare the second report file against the\n"
+            "first; exits 1 when any benchmark's median\n"
+            "slowed by more than the threshold")
+      .real(0, "threshold", &opt.threshold, "<f>",
+            "fractional regression gate (default 0.10)")
+      .positional("<old.json>", &opt.diff_old, /*required=*/false)
+      .positional("<new.json>", &opt.diff_new, /*required=*/false);
+  return table;
 }
 
 /// One benchmark's measurements: every repeat's wall-clock plus the
@@ -207,23 +216,9 @@ std::string report_json(const std::vector<BenchResult>& results,
   return w.str();
 }
 
-std::optional<std::string> read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
-    return std::nullopt;
-  }
-  std::string body;
-  char buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
-  std::fclose(f);
-  return body;
-}
-
 int diff_reports(const Options& opt) {
-  const auto old_body = read_file(opt.diff_old);
-  const auto new_body = read_file(opt.diff_new);
+  const auto old_body = cli::read_file(opt.diff_old);
+  const auto new_body = cli::read_file(opt.diff_new);
   if (!old_body || !new_body) return 1;
 
   namespace json = telemetry::json;
@@ -300,46 +295,29 @@ int diff_reports(const Options& opt) {
 
 int main(int argc, char** argv) {
   Options opt;
-  static option long_options[] = {
-      {"apps", required_argument, nullptr, 1000},
-      {"repeats", required_argument, nullptr, 1001},
-      {"label", required_argument, nullptr, 1002},
-      {"out", required_argument, nullptr, 1003},
-      {"diff", no_argument, nullptr, 1004},
-      {"threshold", required_argument, nullptr, 1005},
-      {nullptr, 0, nullptr, 0},
-  };
-  int c;
-  while ((c = getopt_long(argc, argv, "i:n:N:S:h", long_options, nullptr)) !=
-         -1) {
-    switch (c) {
-      case 'i': opt.input = optarg; break;
-      case 'n': opt.threads = std::atoi(optarg); break;
-      case 'N': opt.iterations = std::atoi(optarg); break;
-      case 'S': opt.scale = std::atof(optarg); break;
-      case 1000: opt.apps = optarg; break;
-      case 1001: opt.repeats = std::max(1, std::atoi(optarg)); break;
-      case 1002: opt.label = optarg; break;
-      case 1003: opt.out = optarg; break;
-      case 1004: opt.diff = true; break;
-      case 1005: opt.threshold = std::atof(optarg); break;
-      case 'h': usage(argv[0]); return 0;
-      default: usage(argv[0]); return 1;
-    }
+  cli::OptionTable table = make_table(opt);
+  switch (table.parse(argc, argv)) {
+    case cli::OptionTable::Status::kHelp: return 0;
+    case cli::OptionTable::Status::kError: return 1;
+    case cli::OptionTable::Status::kOk: break;
   }
+  if (opt.repeats == 0) opt.repeats = 1;
 
   if (opt.diff) {
-    if (optind + 2 != argc) {
+    if (opt.diff_old.empty() || opt.diff_new.empty()) {
       std::fprintf(stderr, "error: --diff needs exactly two report files\n");
       return 1;
     }
-    opt.diff_old = argv[optind];
-    opt.diff_new = argv[optind + 1];
     if (opt.threshold <= 0) {
       std::fprintf(stderr, "error: --threshold must be positive\n");
       return 1;
     }
     return diff_reports(opt);
+  }
+  if (!opt.diff_old.empty()) {
+    std::fprintf(stderr, "error: unexpected argument: %s\n",
+                 opt.diff_old.c_str());
+    return 1;
   }
 
   if (opt.out.empty()) opt.out = "BENCH_" + opt.label + ".json";
@@ -375,7 +353,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string body = report_json(results, opt, graph, vectorize);
-  if (!cli::write_text_file(opt.out, body + "\n")) return 1;
+  if (!cli::write_json_report(opt.out, body)) return 1;
   std::printf("wrote %s\n", opt.out.c_str());
   return 0;
 }

@@ -167,6 +167,35 @@ inline bool write_text_file(const std::string& path,
   return true;
 }
 
+/// Reads an entire file into memory, reporting failures on stderr —
+/// the read half of the report plumbing (bench_report --diff,
+/// grazelle_client request replay).
+inline std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string body;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  return body;
+}
+
+/// Writes a JSON report document, newline-terminated, to `path` — the
+/// write half shared by --stats-json (grazelle_run) and --out
+/// (bench_report). The path should already have passed
+/// validate_writable_path before the run.
+inline bool write_json_report(const std::string& path,
+                              const std::string& body) {
+  if (!body.empty() && body.back() == '\n') {
+    return write_text_file(path, body);
+  }
+  return write_text_file(path, body + "\n");
+}
+
 /// Writes one value per line ("vertex value") to `path`, as the
 /// artifact's -o flag does.
 template <typename Span>

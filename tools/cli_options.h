@@ -1,0 +1,366 @@
+// Declarative command-line parsing shared by every Grazelle tool
+// (grazelle_run, graph_convert, graph_info, bench_report,
+// grazelle_serve, grazelle_client). Each tool registers one option
+// table; the table drives parsing, the generated --help text, and the
+// fail-fast validation the tools previously hand-rolled:
+//
+//   * unknown flags and malformed values are rejected with a clear
+//     message before any expensive work (graph loads in particular),
+//   * enumerated arguments ("choice" options) fail with the exact
+//     "unknown <what> '<v>' (want a|b|c)" messages the tools have
+//     always printed, and
+//   * output-path options ("out_path") are probed for writability at
+//     the end of parsing — a typo'd report destination fails before a
+//     long run, not after it (cli::validate_writable_path).
+//
+// Parse conventions match the getopt behavior the tools migrated
+// from: "-x v" / "-xv" for short options, "--name v" / "--name=v" for
+// long ones, "--" ends flag parsing, and a value-taking option
+// consumes the next argv verbatim (so negative numbers work).
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "cli_common.h"
+
+namespace grazelle::cli {
+
+class OptionTable {
+ public:
+  enum class Status {
+    kOk,     ///< parsed; options applied, validation passed
+    kHelp,   ///< -h/--help: full help already printed to stdout
+    kError,  ///< message already printed to stderr; exit nonzero
+  };
+
+  /// `usage_args` renders after the program name in the usage line,
+  /// e.g. "-a <app> -i <input> [options]".
+  explicit OptionTable(std::string usage_args)
+      : usage_args_(std::move(usage_args)) {}
+
+  /// A boolean switch (no value).
+  OptionTable& flag(char s, const char* l, bool* dst, const char* help) {
+    Opt o = make(s, l, "", help);
+    o.apply = [dst](const std::string&) -> std::string {
+      *dst = true;
+      return {};
+    };
+    opts_.push_back(std::move(o));
+    return *this;
+  }
+
+  /// A free-form string value.
+  OptionTable& str(char s, const char* l, std::string* dst, const char* arg,
+                   const char* help) {
+    Opt o = make(s, l, arg, help);
+    o.apply = [dst](const std::string& v) -> std::string {
+      *dst = v;
+      return {};
+    };
+    opts_.push_back(std::move(o));
+    return *this;
+  }
+
+  /// A repeatable string value; each occurrence appends to `dst`
+  /// (grazelle_serve's --graph name=path fleet registration).
+  OptionTable& multi(char s, const char* l, std::vector<std::string>* dst,
+                     const char* arg, const char* help) {
+    Opt o = make(s, l, arg, help);
+    o.apply = [dst](const std::string& v) -> std::string {
+      dst->push_back(v);
+      return {};
+    };
+    opts_.push_back(std::move(o));
+    return *this;
+  }
+
+  OptionTable& uint(char s, const char* l, unsigned* dst, const char* arg,
+                    const char* help) {
+    return number<unsigned>(s, l, dst, arg, help, "a non-negative integer");
+  }
+
+  OptionTable& u64(char s, const char* l, std::uint64_t* dst, const char* arg,
+                   const char* help) {
+    return number<std::uint64_t>(s, l, dst, arg, help,
+                                 "a non-negative integer");
+  }
+
+  OptionTable& i32(char s, const char* l, int* dst, const char* arg,
+                   const char* help) {
+    return number<int>(s, l, dst, arg, help, "an integer");
+  }
+
+  OptionTable& real(char s, const char* l, double* dst, const char* arg,
+                    const char* help) {
+    return number<double>(s, l, dst, arg, help, "a number");
+  }
+
+  /// An enumerated string: any value outside `allowed` fails with
+  ///   error: unknown <what> '<v>' (want <want>)
+  /// `want` is the displayed alternative list — it may omit accepted
+  /// aliases (e.g. engine accepts "hybrid" but advertises
+  /// "auto|pull|push").
+  OptionTable& choice(char s, const char* l, std::string* dst,
+                      const char* what, std::initializer_list<const char*> allowed,
+                      const char* want, const char* arg, const char* help) {
+    Opt o = make(s, l, arg, help);
+    std::vector<std::string> ok(allowed.begin(), allowed.end());
+    o.apply = [dst, ok = std::move(ok), what = std::string(what),
+               want = std::string(want)](const std::string& v) -> std::string {
+      for (const std::string& a : ok) {
+        if (v == a) {
+          *dst = v;
+          return {};
+        }
+      }
+      return "unknown " + what + " '" + v + "' (want " + want + ")";
+    };
+    opts_.push_back(std::move(o));
+    return *this;
+  }
+
+  /// An output-path value, probed with validate_writable_path() at the
+  /// end of parsing so unwritable destinations fail before the run.
+  OptionTable& out_path(char s, const char* l, std::string* dst,
+                        const char* arg, const char* help) {
+    str(s, l, dst, arg, help);
+    out_paths_.push_back({opts_.back().spelling_for_errors(), dst});
+    return *this;
+  }
+
+  /// A positional argument, filled in registration order. A missing
+  /// required positional prints the full usage text to stderr.
+  OptionTable& positional(const char* name, std::string* dst, bool required) {
+    positionals_.push_back({name, dst, required});
+    return *this;
+  }
+
+  /// Free-form text appended after the option list in --help.
+  OptionTable& epilog(const char* text) {
+    epilog_ = text;
+    return *this;
+  }
+
+  [[nodiscard]] Status parse(int argc, char** argv) {
+    prog_ = argc > 0 ? argv[0] : "tool";
+    std::size_t next_positional = 0;
+    bool flags_done = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (!flags_done && a == "--") {
+        flags_done = true;
+        continue;
+      }
+      if (!flags_done && (a == "-h" || a == "--help")) {
+        print_usage(stdout);
+        return Status::kHelp;
+      }
+      if (!flags_done && a.size() > 1 && a[0] == '-' &&
+          !(a.size() > 1 && (std::isdigit(static_cast<unsigned char>(a[1])) ||
+                             a[1] == '.'))) {
+        std::string name, inline_value;
+        bool has_inline = false;
+        Opt* opt = nullptr;
+        if (a.size() > 2 && a[1] == '-') {
+          // --name or --name=value
+          const std::size_t eq = a.find('=');
+          name = a.substr(2, eq == std::string::npos ? eq : eq - 2);
+          if (eq != std::string::npos) {
+            inline_value = a.substr(eq + 1);
+            has_inline = true;
+          }
+          opt = find_long(name);
+          name = "--" + name;
+        } else {
+          // -x, -xvalue
+          name = a.substr(0, 2);
+          opt = find_short(a[1]);
+          if (a.size() > 2) {
+            inline_value = a.substr(2);
+            has_inline = true;
+          }
+        }
+        if (opt == nullptr) {
+          std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
+          print_usage(stderr);
+          return Status::kError;
+        }
+        std::string value;
+        if (opt->arg.empty()) {
+          if (has_inline) {
+            std::fprintf(stderr, "error: option '%s' does not take a value\n",
+                         name.c_str());
+            return Status::kError;
+          }
+        } else if (has_inline) {
+          value = inline_value;
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        } else {
+          std::fprintf(stderr, "error: option '%s' expects a value %s\n",
+                       name.c_str(), opt->arg.c_str());
+          return Status::kError;
+        }
+        const std::string err = opt->apply(value);
+        if (!err.empty()) {
+          std::fprintf(stderr, "error: %s\n", err.c_str());
+          return Status::kError;
+        }
+        continue;
+      }
+      // Positional.
+      if (next_positional >= positionals_.size()) {
+        std::fprintf(stderr, "error: unexpected argument: %s\n", a.c_str());
+        return Status::kError;
+      }
+      *positionals_[next_positional++].dst = a;
+    }
+    for (std::size_t p = next_positional; p < positionals_.size(); ++p) {
+      if (positionals_[p].required) {
+        print_usage(stderr);
+        return Status::kError;
+      }
+    }
+    for (const OutPath& op : out_paths_) {
+      if (!validate_writable_path(*op.dst, op.label.c_str())) {
+        return Status::kError;
+      }
+    }
+    return Status::kOk;
+  }
+
+  /// The full generated help, starting with the "usage:" line.
+  void print_usage(std::FILE* f) const {
+    std::fprintf(f, "usage: %s %s\n\n", prog_.c_str(), usage_args_.c_str());
+    for (const Opt& o : opts_) {
+      std::string spelling = "  ";
+      if (o.short_name != 0) {
+        spelling += std::string("-") + o.short_name;
+        if (!o.long_name.empty()) spelling += ", ";
+      }
+      if (!o.long_name.empty()) spelling += "--" + o.long_name;
+      if (!o.arg.empty()) spelling += " " + o.arg;
+      // Two-column layout: wrap to a fresh line when the flag spelling
+      // overruns the help column.
+      constexpr std::size_t kHelpColumn = 22;
+      if (spelling.size() + 2 > kHelpColumn) {
+        std::fprintf(f, "%s\n%*s", spelling.c_str(),
+                     static_cast<int>(kHelpColumn), "");
+      } else {
+        std::fprintf(f, "%-*s", static_cast<int>(kHelpColumn),
+                     spelling.c_str());
+      }
+      // Indent continuation lines of multi-line help to the column.
+      for (std::size_t pos = 0; pos < o.help.size();) {
+        const std::size_t nl = o.help.find('\n', pos);
+        const std::size_t end = nl == std::string::npos ? o.help.size() : nl;
+        if (pos != 0) std::fprintf(f, "%*s", static_cast<int>(kHelpColumn), "");
+        std::fprintf(f, "%.*s\n", static_cast<int>(end - pos),
+                     o.help.c_str() + pos);
+        pos = end + 1;
+        if (nl == std::string::npos) break;
+      }
+      if (o.help.empty()) std::fprintf(f, "\n");
+    }
+    std::fprintf(f, "  -h, --help          this help\n");
+    if (!epilog_.empty()) std::fprintf(f, "\n%s", epilog_.c_str());
+  }
+
+ private:
+  struct Opt {
+    char short_name = 0;
+    std::string long_name;
+    std::string arg;   // empty = switch
+    std::string help;
+    std::function<std::string(const std::string&)> apply;
+
+    [[nodiscard]] std::string spelling_for_errors() const {
+      if (!long_name.empty()) return "--" + long_name;
+      return std::string("-") + short_name;
+    }
+  };
+  struct Positional {
+    std::string name;
+    std::string* dst;
+    bool required;
+  };
+  struct OutPath {
+    std::string label;
+    std::string* dst;
+  };
+
+  static Opt make(char s, const char* l, const char* arg, const char* help) {
+    Opt o;
+    o.short_name = s;
+    o.long_name = l == nullptr ? "" : l;
+    o.arg = arg;
+    o.help = help;
+    return o;
+  }
+
+  template <typename T>
+  OptionTable& number(char s, const char* l, T* dst, const char* arg,
+                      const char* help, const char* kind) {
+    Opt o = make(s, l, arg, help);
+    const std::string label = o.spelling_for_errors();
+    o.apply = [dst, label, kind = std::string(kind)](
+                  const std::string& v) -> std::string {
+      const char* begin = v.c_str();
+      char* end = nullptr;
+      errno = 0;
+      if constexpr (std::is_floating_point_v<T>) {
+        const double parsed = std::strtod(begin, &end);
+        if (end == begin || *end != '\0' || errno == ERANGE) {
+          return label + " expects " + kind + " (got '" + v + "')";
+        }
+        *dst = parsed;
+      } else if constexpr (std::is_signed_v<T>) {
+        const long long parsed = std::strtoll(begin, &end, 10);
+        if (end == begin || *end != '\0' || errno == ERANGE) {
+          return label + " expects " + kind + " (got '" + v + "')";
+        }
+        *dst = static_cast<T>(parsed);
+      } else {
+        const unsigned long long parsed = std::strtoull(begin, &end, 10);
+        if (end == begin || *end != '\0' || errno == ERANGE || v[0] == '-') {
+          return label + " expects " + kind + " (got '" + v + "')";
+        }
+        *dst = static_cast<T>(parsed);
+      }
+      return {};
+    };
+    opts_.push_back(std::move(o));
+    return *this;
+  }
+
+  Opt* find_short(char c) {
+    for (Opt& o : opts_) {
+      if (o.short_name == c) return &o;
+    }
+    return nullptr;
+  }
+  Opt* find_long(const std::string& name) {
+    for (Opt& o : opts_) {
+      if (o.long_name == name) return &o;
+    }
+    return nullptr;
+  }
+
+  std::string prog_ = "tool";
+  std::string usage_args_;
+  std::string epilog_;
+  std::vector<Opt> opts_;
+  std::vector<Positional> positionals_;
+  std::vector<OutPath> out_paths_;
+};
+
+}  // namespace grazelle::cli

@@ -20,10 +20,10 @@
 // 4-lane layout's — below that the wider vectors waste more lanes
 // than they gain in width.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "cli_common.h"
+#include "cli_options.h"
 
 using namespace grazelle;
 
@@ -33,43 +33,33 @@ int main(int argc, char** argv) {
   bool pack = false;
   double scale = 0.25;
   std::string lanes = "auto";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--canonicalize") == 0) {
-      canonicalize = true;
-    } else if (std::strcmp(argv[i], "--pack") == 0) {
-      pack = true;
-    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-      scale = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
-      lanes = argv[++i];
-      if (lanes != "4" && lanes != "8" && lanes != "auto") {
-        std::fprintf(stderr, "--lanes wants 4, 8, or auto (got %s)\n",
-                     lanes.c_str());
-        return 1;
-      }
-    } else if (input.empty()) {
-      input = argv[i];
-    } else if (output.empty()) {
-      output = argv[i];
-    } else {
-      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
-      return 1;
-    }
-  }
-  if (input.empty() || output.empty()) {
-    std::fprintf(stderr,
-                 "usage: %s <input> <output> [--canonicalize] [--pack] "
-                 "[--scale <f>] [--lanes {4,8,auto}]\n"
-                 "  .grzb extension selects the binary edge-list format;\n"
-                 "  .gzg (or --pack) builds and packs every engine\n"
-                 "  representation for zero-copy mmap serving; dataset\n"
-                 "  analog names (C D L T F U) are valid inputs.\n"
-                 "  --lanes: ship the fused 8-lane SELL-sigma layout in\n"
-                 "  the container (8), strip it (4), or keep it only when\n"
-                 "  its measured packing efficiency is within 10%% of the\n"
-                 "  4-lane layout's (auto, the default).\n",
-                 argv[0]);
-    return 1;
+  cli::OptionTable table(
+      "<input> <output> [--canonicalize] [--pack] "
+      "[--scale <f>] [--lanes {4,8,auto}]");
+  table.positional("<input>", &input, /*required=*/true)
+      .positional("<output>", &output, /*required=*/true)
+      .flag(0, "canonicalize", &canonicalize,
+            "sort edges and drop duplicates/self-loops")
+      .flag(0, "pack", &pack,
+            "build every engine representation and pack a\n"
+            ".gzg container (implied by a .gzg output)")
+      .real(0, "scale", &scale, "<f>",
+            "dataset analog scale factor (default 0.25)")
+      .choice(0, "lanes", &lanes, "lane policy", {"4", "8", "auto"},
+              "4|8|auto", "<l>",
+              "ship the fused 8-lane SELL-sigma layout in\n"
+              "the container (8), strip it (4), or keep it\n"
+              "only when its measured packing efficiency is\n"
+              "within 10% of the 4-lane layout's (auto)")
+      .epilog(
+          "  .grzb extension selects the binary edge-list format; .gzg\n"
+          "  (or --pack) builds and packs every engine representation\n"
+          "  for zero-copy mmap serving; dataset analog names\n"
+          "  (C D L T F U) are valid inputs.\n");
+  switch (table.parse(argc, argv)) {
+    case cli::OptionTable::Status::kHelp: return 0;
+    case cli::OptionTable::Status::kError: return 1;
+    case cli::OptionTable::Status::kOk: break;
   }
 
   try {

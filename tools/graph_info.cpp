@@ -13,12 +13,12 @@
 // bench_report consume store metadata this way without scraping text.
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cli_common.h"
+#include "cli_options.h"
 #include "graph/graph_stats.h"
 #include "graph/partition.h"
 #include "graph/store.h"
@@ -202,19 +202,17 @@ int main(int argc, char** argv) {
   std::string input;
   double scale = 0.25;
   bool json_mode = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-      scale = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json_mode = true;
-    } else if (input.empty()) {
-      input = argv[i];
-    }
-  }
-  if (input.empty()) {
-    std::fprintf(stderr, "usage: %s <input> [--scale <f>] [--json]\n",
-                 argv[0]);
-    return 1;
+  cli::OptionTable table("<input> [--scale <f>] [--json]");
+  table.positional("<input>", &input, /*required=*/true)
+      .real(0, "scale", &scale, "<f>",
+            "dataset analog scale factor (default 0.25)")
+      .flag(0, "json", &json_mode,
+            "emit one machine-readable JSON object (stable\n"
+            "field names) instead of the text report");
+  switch (table.parse(argc, argv)) {
+    case cli::OptionTable::Status::kHelp: return 0;
+    case cli::OptionTable::Status::kError: return 1;
+    case cli::OptionTable::Status::kOk: break;
   }
 
   std::optional<Graph> opened;

@@ -1,0 +1,229 @@
+// grazelle_client — the line-oriented client for grazelle_serve.
+// Reads request lines (JSON objects, server/protocol.h) from stdin,
+// sends them all to the daemon first, then reads exactly one response
+// line per request and prints each to stdout. Sending the whole batch
+// before awaiting replies is what lets the daemon coalesce a burst of
+// BFS requests into one multi-source sweep.
+//
+//   grazelle_client --socket /tmp/grazelle.sock < requests.jsonl
+//   echo '{"op":"bfs","graph":"tw","source":3,"values":true}' | \
+//       grazelle_client --socket /tmp/grazelle.sock --values-out parents.txt
+//
+// --values-out re-renders the last response carrying a "values" array
+// as "vertex value" lines, byte-identical to `grazelle_run -o`: the
+// response's value_type picks the format ("%.10g" for float64, "%llu"
+// for uint64; uint64 values are copied digit-for-digit, never routed
+// through a double). CI diffs served results against one-shot runs
+// this way.
+//
+// Exit status: nonzero when the daemon is unreachable, the connection
+// drops early, or any response has "ok":false.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cli_common.h"
+#include "cli_options.h"
+
+using namespace grazelle;
+
+namespace {
+
+[[nodiscard]] int connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("error: socket");
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: cannot connect to '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+[[nodiscard]] bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Pulls the raw text of the top-level "values" array out of a
+/// response line without a JSON round-trip: uint64 values (BFS
+/// parents, CC labels) must reach the output digit-for-digit — a
+/// double cannot carry kInvalidVertex exactly.
+[[nodiscard]] bool extract_values(const std::string& response,
+                                  std::string* body, bool* is_float) {
+  std::size_t key = response.find("\"values\": [");
+  std::size_t skip = std::strlen("\"values\": [");
+  if (key == std::string::npos) {
+    key = response.find("\"values\":[");
+    skip = std::strlen("\"values\":[");
+  }
+  if (key == std::string::npos) return false;
+  const std::size_t begin = key + skip;
+  const std::size_t end = response.find(']', begin);
+  if (end == std::string::npos) return false;
+  *body = response.substr(begin, end - begin);
+  *is_float = response.find("\"value_type\": \"float64\"") != std::string::npos ||
+              response.find("\"value_type\":\"float64\"") != std::string::npos;
+  return true;
+}
+
+[[nodiscard]] bool write_values(const std::string& path,
+                                const std::string& body, bool is_float) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open output file %s\n", path.c_str());
+    return false;
+  }
+  std::size_t v = 0;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string token = body.substr(pos, comma - pos);
+    if (is_float) {
+      // %.17g on the wire round-trips bit-exactly; re-render at the
+      // %.10g grazelle_run -o uses so the files diff clean.
+      std::fprintf(f, "%zu %.10g\n", v, std::strtod(token.c_str(), nullptr));
+    } else {
+      std::fprintf(f, "%zu %s\n", v, token.c_str());
+    }
+    ++v;
+    pos = comma + 1;
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string values_out;
+  cli::OptionTable table("--socket <path> [--values-out <file>] < requests");
+  table
+      .str(0, "socket", &socket_path, "<path>",
+           "Unix socket the daemon listens on")
+      .out_path(0, "values-out", &values_out, "<file>",
+                "write the last values-carrying response as\n"
+                "\"vertex value\" lines, byte-identical to\n"
+                "grazelle_run -o output")
+      .epilog(
+          "  Requests are read from stdin, one JSON object per line, and\n"
+          "  sent before any reply is awaited (so the daemon can batch).\n"
+          "  Responses print to stdout in arrival order.\n");
+  switch (table.parse(argc, argv)) {
+    case cli::OptionTable::Status::kHelp: return 0;
+    case cli::OptionTable::Status::kError: return 1;
+    case cli::OptionTable::Status::kOk: break;
+  }
+  if (socket_path.empty()) {
+    table.print_usage(stderr);
+    return 1;
+  }
+
+  // Batch of requests first...
+  std::string outgoing;
+  std::size_t num_requests = 0;
+  {
+    std::string line;
+    char buf[1 << 16];
+    while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+      line = buf;
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line.empty()) continue;
+      outgoing += line;
+      outgoing += "\n";
+      ++num_requests;
+    }
+  }
+  if (num_requests == 0) {
+    std::fprintf(stderr, "error: no requests on stdin\n");
+    return 1;
+  }
+
+  const int fd = connect_to(socket_path);
+  if (fd < 0) return 1;
+  if (!send_all(fd, outgoing)) {
+    std::fprintf(stderr, "error: short write to daemon\n");
+    ::close(fd);
+    return 1;
+  }
+
+  // ...then exactly one response line per request.
+  bool any_error = false;
+  std::string last_values;
+  bool last_values_float = false;
+  bool have_values = false;
+  std::string pending;
+  char buf[1 << 16];
+  std::size_t received = 0;
+  while (received < num_requests) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      std::fprintf(stderr, "error: connection closed after %zu of %zu "
+                   "responses\n", received, num_requests);
+      ::close(fd);
+      return 1;
+    }
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = pending.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string response = pending.substr(start, nl - start);
+      start = nl + 1;
+      ++received;
+      std::printf("%s\n", response.c_str());
+      if (response.find("\"ok\": false") != std::string::npos ||
+          response.find("\"ok\":false") != std::string::npos) {
+        any_error = true;
+      }
+      std::string body;
+      bool is_float = false;
+      if (!values_out.empty() && extract_values(response, &body, &is_float)) {
+        last_values = std::move(body);
+        last_values_float = is_float;
+        have_values = true;
+      }
+      if (received == num_requests) break;
+    }
+    pending.erase(0, start);
+  }
+  ::close(fd);
+
+  if (!values_out.empty()) {
+    if (!have_values) {
+      std::fprintf(stderr,
+                   "error: --values-out given but no response carried a "
+                   "values array (request it with \"values\":true)\n");
+      return 1;
+    }
+    if (!write_values(values_out, last_values, last_values_float)) return 1;
+  }
+  return any_error ? 1 : 0;
+}

@@ -6,8 +6,6 @@
 //   grazelle_run -a pr -i T -N 16
 //   grazelle_run -a bfs -i graph.grzb -r 5 -n 8 -o parents.txt
 //   grazelle_run -a cc -i U --engine pull --pull-mode trad -s 1000
-#include <getopt.h>
-
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -18,6 +16,7 @@
 #include "apps/sssp.h"
 #include "apps/weighted_rank.h"
 #include "cli_common.h"
+#include "cli_options.h"
 #include "platform/cpu_features.h"
 #include "telemetry/report.h"
 #include "telemetry/telemetry.h"
@@ -60,59 +59,85 @@ struct Options {
   bool graph_mapped = false;
 };
 
-void usage(const char* argv0) {
-  std::printf(
-      "usage: %s -a <app> -i <input> [options]\n"
-      "\n"
-      "  -a <app>          pr | cc | bfs | sssp | wrank (default pr)\n"
-      "  -i <input>        graph file (.gzg packed container, .grzb binary,\n"
-      "                    or text edge list), or a dataset analog name:\n"
-      "                    C D L T F U. Packed .gzg inputs are opened\n"
-      "                    zero-copy (mmap) with no build step.\n"
-      "  -n <threads>      worker threads (default 4)\n"
-      "  -u <nodes>        simulated NUMA nodes (default 1)\n"
-      "  -N <iterations>   iterations for PR/wrank (default 16)\n"
-      "  -s <granularity>  edge vectors per scheduler chunk\n"
-      "                    (default: 32 x threads chunks)\n"
-      "  -r <root>         BFS root / SSSP source (default 0)\n"
-      "  -o <file>         write per-vertex results to file\n"
-      "  -S <scale>        dataset analog scale factor (default 0.25)\n"
-      "  --engine <e>      auto | pull | push (default auto)\n"
-      "  --pull-mode <m>   sa | trad | tradna | vertex | seq (default sa)\n"
-      "  --no-vector       disable the AVX2 kernels\n"
-      "  --lanes <l>       4 | 8 | auto (default auto): pull over the\n"
-      "                    4-lane layout, the fused 8-lane SELL-sigma\n"
-      "                    layout (when the graph carries one), or let\n"
-      "                    the engine pick 8 lanes exactly when the\n"
-      "                    graph and the host's AVX-512 kernels allow\n"
-      "  --sparse-push     enable the sparse-frontier push extension\n"
-      "  --frontier-gating enable frontier-gated pull (skip edge vectors\n"
-      "                    with no active sources on sparse frontiers)\n"
-      "  --cache-blocking  enable cache-blocked pull: run each chunk\n"
-      "                    block-major over LLC-sized source ranges\n"
-      "  --block-bytes <b> per-block source working-set budget in bytes\n"
-      "                    (default: half the detected LLC)\n"
-      "  --prefetch-distance <d>\n"
-      "                    software-prefetch distance in edge vectors\n"
-      "                    (0 disables; default: auto-probed)\n"
-      "  --perf-counters   attach hardware PMU counter groups\n"
-      "                    (perf_event_open: cycles, instructions, LLC\n"
-      "                    loads/misses, branch misses, stalled cycles)\n"
-      "                    to every pool thread; per-phase and whole-run\n"
-      "                    IPC / cycles-per-edge / LLC-misses-per-edge\n"
-      "                    land in the report. Falls back to rdtsc cycle\n"
-      "                    estimates (pmu available=false) when the\n"
-      "                    kernel denies access — never fails the run\n"
-      "  --stats-json <f>  write a structured RunReport (stable JSON\n"
-      "                    schema: phase times, counters, per-iteration\n"
-      "                    stats) to <f>\n"
-      "  --trace <f>       write a chrome://tracing / Perfetto trace of\n"
-      "                    per-thread phase and chunk spans to <f>\n"
-      "  -h                this help\n"
-      "\n"
-      "  <input> also accepts rmat:<scale> for a synthetic R-MAT graph\n"
-      "  with 2^scale vertices.\n",
-      argv0);
+/// Registers every flag against `opt`; shared-table parsing gives the
+/// generated --help plus fail-fast unknown-flag / bad-enum /
+/// unwritable-path validation before any graph load.
+cli::OptionTable make_table(Options& opt) {
+  cli::OptionTable table("-a <app> -i <input> [options]");
+  table
+      .choice('a', nullptr, &opt.app, "application",
+              {"pr", "cc", "bfs", "sssp", "wrank"}, "pr|cc|bfs|sssp|wrank",
+              "<app>", "pr | cc | bfs | sssp | wrank (default pr)")
+      .str('i', nullptr, &opt.input, "<input>",
+           "graph file (.gzg packed container, .grzb binary,\n"
+           "or text edge list), or a dataset analog name:\n"
+           "C D L T F U. Packed .gzg inputs are opened\n"
+           "zero-copy (mmap) with no build step.")
+      .uint('n', nullptr, &opt.threads, "<threads>",
+            "worker threads (default 4)")
+      .uint('u', nullptr, &opt.numa_nodes, "<nodes>",
+            "simulated NUMA nodes (default 1)")
+      .uint('N', nullptr, &opt.iterations, "<iterations>",
+            "iterations for PR/wrank (default 16)")
+      .u64('s', nullptr, &opt.granularity, "<granularity>",
+           "edge vectors per scheduler chunk\n"
+           "(default: 32 x threads chunks)")
+      .u64('r', nullptr, &opt.root, "<root>",
+           "BFS root / SSSP source (default 0)")
+      .out_path('o', nullptr, &opt.output, "<file>",
+                "write per-vertex results to file")
+      .real('S', nullptr, &opt.scale, "<scale>",
+            "dataset analog scale factor (default 0.25)")
+      .choice(0, "engine", &opt.engine, "engine",
+              {"auto", "hybrid", "pull", "push"}, "auto|pull|push", "<e>",
+              "auto | pull | push (default auto)")
+      .choice(0, "pull-mode", &opt.pull_mode, "pull mode",
+              {"sa", "scheduler-aware", "trad", "traditional", "tradna",
+               "vertex", "seq"},
+              "sa|trad|tradna|vertex|seq", "<m>",
+              "sa | trad | tradna | vertex | seq (default sa)")
+      .flag(0, "no-vector", &opt.no_vector, "disable the AVX2 kernels")
+      .choice(0, "lanes", &opt.lanes, "lane policy", {"4", "8", "auto"},
+              "4|8|auto", "<l>",
+              "4 | 8 | auto (default auto): pull over the\n"
+              "4-lane layout, the fused 8-lane SELL-sigma\n"
+              "layout (when the graph carries one), or let\n"
+              "the engine pick 8 lanes exactly when the\n"
+              "graph and the host's AVX-512 kernels allow")
+      .flag(0, "sparse-push", &opt.sparse_push,
+            "enable the sparse-frontier push extension")
+      .flag(0, "frontier-gating", &opt.frontier_gating,
+            "enable frontier-gated pull (skip edge vectors\n"
+            "with no active sources on sparse frontiers)")
+      .flag(0, "cache-blocking", &opt.cache_blocking,
+            "enable cache-blocked pull: run each chunk\n"
+            "block-major over LLC-sized source ranges")
+      .u64(0, "block-bytes", &opt.block_bytes, "<b>",
+           "per-block source working-set budget in bytes\n"
+           "(default: half the detected LLC)")
+      .i32(0, "prefetch-distance", &opt.prefetch_distance, "<d>",
+           "software-prefetch distance in edge vectors\n"
+           "(0 disables; default: auto-probed)")
+      .flag(0, "perf-counters", &opt.perf_counters,
+            "attach hardware PMU counter groups\n"
+            "(perf_event_open: cycles, instructions, LLC\n"
+            "loads/misses, branch misses, stalled cycles)\n"
+            "to every pool thread; per-phase and whole-run\n"
+            "IPC / cycles-per-edge / LLC-misses-per-edge\n"
+            "land in the report. Falls back to rdtsc cycle\n"
+            "estimates (pmu available=false) when the\n"
+            "kernel denies access — never fails the run")
+      .out_path(0, "stats-json", &opt.stats_json, "<f>",
+                "write a structured RunReport (stable JSON\n"
+                "schema: phase times, counters, per-iteration\n"
+                "stats) to <f>")
+      .out_path(0, "trace", &opt.trace, "<f>",
+                "write a chrome://tracing / Perfetto trace of\n"
+                "per-thread phase and chunk spans to <f>")
+      .epilog(
+          "  <input> also accepts rmat:<scale> for a synthetic R-MAT graph\n"
+          "  with 2^scale vertices.\n");
+  return table;
 }
 
 template <typename P, bool Vec, typename Make, typename Seed, typename Out>
@@ -218,7 +243,7 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
     }
   }
   if (!opt.stats_json.empty() &&
-      !cli::write_text_file(opt.stats_json, report->to_json())) {
+      !cli::write_json_report(opt.stats_json, report->to_json())) {
     return 1;
   }
   if (!opt.trace.empty() &&
@@ -305,98 +330,24 @@ int dispatch(const Graph& graph, const Options& opt) {
 
 int main(int argc, char** argv) {
   Options opt;
-  static option long_options[] = {
-      {"engine", required_argument, nullptr, 1000},
-      {"pull-mode", required_argument, nullptr, 1001},
-      {"no-vector", no_argument, nullptr, 1002},
-      {"sparse-push", no_argument, nullptr, 1003},
-      {"frontier-gating", no_argument, nullptr, 1004},
-      {"stats-json", required_argument, nullptr, 1005},
-      {"trace", required_argument, nullptr, 1006},
-      {"cache-blocking", no_argument, nullptr, 1007},
-      {"prefetch-distance", required_argument, nullptr, 1008},
-      {"block-bytes", required_argument, nullptr, 1009},
-      {"perf-counters", no_argument, nullptr, 1010},
-      {"lanes", required_argument, nullptr, 1011},
-      {nullptr, 0, nullptr, 0},
-  };
-
-  int c;
-  while ((c = getopt_long(argc, argv, "a:i:n:u:N:s:r:o:S:h", long_options,
-                          nullptr)) != -1) {
-    switch (c) {
-      case 'a': opt.app = optarg; break;
-      case 'i': opt.input = optarg; break;
-      case 'n': opt.threads = std::atoi(optarg); break;
-      case 'u': opt.numa_nodes = std::atoi(optarg); break;
-      case 'N': opt.iterations = std::atoi(optarg); break;
-      case 's': opt.granularity = std::atoll(optarg); break;
-      case 'r': opt.root = std::atoll(optarg); break;
-      case 'o': opt.output = optarg; break;
-      case 'S': opt.scale = std::atof(optarg); break;
-      case 1000: opt.engine = optarg; break;
-      case 1001: opt.pull_mode = optarg; break;
-      case 1002: opt.no_vector = true; break;
-      case 1003: opt.sparse_push = true; break;
-      case 1004: opt.frontier_gating = true; break;
-      case 1005: opt.stats_json = optarg; break;
-      case 1006: opt.trace = optarg; break;
-      case 1007: opt.cache_blocking = true; break;
-      case 1008: opt.prefetch_distance = std::atoi(optarg); break;
-      case 1009: opt.block_bytes = std::atoll(optarg); break;
-      case 1010: opt.perf_counters = true; break;
-      case 1011: opt.lanes = optarg; break;
-      case 'h': usage(argv[0]); return 0;
-      default: usage(argv[0]); return 1;
-    }
+  cli::OptionTable table = make_table(opt);
+  switch (table.parse(argc, argv)) {
+    case cli::OptionTable::Status::kHelp: return 0;
+    case cli::OptionTable::Status::kError: return 1;
+    case cli::OptionTable::Status::kOk: break;
   }
   if (opt.input.empty()) {
-    usage(argv[0]);
+    table.print_usage(stderr);
     return 1;
   }
 
-  // Validate every enumerated argument up front, before the (possibly
-  // expensive) graph load, so a typo fails fast with a clear message.
-  if (opt.app != "pr" && opt.app != "cc" && opt.app != "bfs" &&
-      opt.app != "sssp" && opt.app != "wrank") {
-    std::fprintf(stderr,
-                 "error: unknown application '%s' (want pr|cc|bfs|sssp|wrank)\n",
-                 opt.app.c_str());
-    return 1;
-  }
-  if (const auto m = cli::parse_pull_mode(opt.pull_mode)) {
-    opt.pull_mode_parsed = *m;
-  } else {
-    std::fprintf(stderr,
-                 "error: unknown pull mode '%s' (want sa|trad|tradna|vertex|seq)\n",
-                 opt.pull_mode.c_str());
-    return 1;
-  }
-  if (const auto s = cli::parse_engine(opt.engine)) {
-    opt.select_parsed = *s;
-  } else {
-    std::fprintf(stderr, "error: unknown engine '%s' (want auto|pull|push)\n",
-                 opt.engine.c_str());
-    return 1;
-  }
-  if (opt.lanes == "4") {
-    opt.lanes_parsed = LanePolicy::k4;
-  } else if (opt.lanes == "8") {
-    opt.lanes_parsed = LanePolicy::k8;
-  } else if (opt.lanes == "auto") {
-    opt.lanes_parsed = LanePolicy::kAuto;
-  } else {
-    std::fprintf(stderr, "error: unknown lane policy '%s' (want 4|8|auto)\n",
-                 opt.lanes.c_str());
-    return 1;
-  }
-  // Probe every output destination now: an unwritable report path must
-  // fail before the run, not discard its results afterwards.
-  if (!cli::validate_writable_path(opt.stats_json, "--stats-json") ||
-      !cli::validate_writable_path(opt.trace, "--trace") ||
-      !cli::validate_writable_path(opt.output, "-o")) {
-    return 1;
-  }
+  // Enumerated arguments already passed the table's validation; these
+  // lookups cannot fail.
+  opt.pull_mode_parsed = *cli::parse_pull_mode(opt.pull_mode);
+  opt.select_parsed = *cli::parse_engine(opt.engine);
+  opt.lanes_parsed = opt.lanes == "4"   ? LanePolicy::k4
+                     : opt.lanes == "8" ? LanePolicy::k8
+                                        : LanePolicy::kAuto;
 
   const bool needs_weights = opt.app == "sssp" || opt.app == "wrank";
   auto loaded = cli::load_graph_input(opt.input, opt.scale, needs_weights);

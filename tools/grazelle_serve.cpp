@@ -1,0 +1,254 @@
+// grazelle_serve — the resident multi-tenant graph daemon (DESIGN.md
+// §13). Opens a fleet of packed .gzg graphs once (one shared
+// GraphContext each), listens on a Unix stream socket, and answers
+// line-delimited JSON requests (server/protocol.h) with per-request
+// engine Sessions drawn from a bounded worker pool. Pending BFS
+// requests on the same graph coalesce into one multi-source sweep.
+//
+//   grazelle_serve --socket /tmp/grazelle.sock \
+//       --graph tw=twitter.gzg --graph uk=uk2007.gzg \
+//       [--workers 2] [--session-threads 4] [--queue-cap 64] \
+//       [--batch-max 16] [--batch-window-ms 5] [--iterations 16]
+//
+// One reader thread per connection; responses may interleave across a
+// connection's requests in completion order (each carries its request
+// "id"). SIGTERM / SIGINT shut down cleanly: stop accepting, reject
+// everything still queued as "overloaded", join workers, unlink the
+// socket, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cli_common.h"
+#include "cli_options.h"
+#include "server/service.h"
+
+using namespace grazelle;
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; the accept loop polls
+// the read end alongside the listening socket.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// One accepted connection: the reader thread feeds lines to the
+/// service; replies (from worker threads) serialize through `write_mu`.
+struct Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  std::thread reader;
+
+  void send_line(const std::string& line) {
+    std::lock_guard<std::mutex> hold(write_mu);
+    std::string out = line + "\n";
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+      if (n <= 0) return;  // peer gone; drop the reply
+      off += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+void reader_main(const std::shared_ptr<Connection>& conn,
+                 server::Service& service) {
+  std::string pending;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = pending.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      service.submit(line, [conn](const std::string& response) {
+        conn->send_line(response);
+      });
+    }
+    pending.erase(0, start);
+  }
+}
+
+[[nodiscard]] int make_listener(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("error: socket");
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // the daemon owns its socket path
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: cannot bind '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    std::perror("error: listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> graph_specs;
+  server::ServiceConfig config;
+  bool no_vector = false;
+
+  cli::OptionTable table(
+      "--socket <path> --graph <name>=<file.gzg> [--graph ...] [options]");
+  table
+      .str(0, "socket", &socket_path, "<path>",
+           "Unix stream socket to listen on (created;\n"
+           "an existing file at the path is replaced)")
+      .multi(0, "graph", &graph_specs, "<name>=<file>",
+             "serve graph <file> under <name>; repeatable —\n"
+             "every graph is opened once and shared by all\n"
+             "sessions (packed .gzg opens zero-copy)")
+      .uint(0, "workers", &config.workers, "<n>",
+            "concurrent query workers (default 2); each\n"
+            "runs one session at a time on its own pool")
+      .uint(0, "session-threads", &config.threads_per_worker, "<n>",
+            "engine threads per worker session (default 2)")
+      .u64(0, "queue-cap", &config.queue_cap, "<n>",
+           "admission control: pending-request cap beyond\n"
+           "which submits are rejected as \"overloaded\"\n"
+           "(default 64)")
+      .uint(0, "batch-max", &config.batch_max, "<k>",
+            "max BFS requests fused into one multi-source\n"
+            "sweep (default 16, max 64)")
+      .uint(0, "batch-window-ms", &config.batch_window_ms, "<ms>",
+            "how long a worker holds a BFS batch open for\n"
+            "stragglers (default 5; 0 = only coalesce\n"
+            "what is already queued)")
+      .uint(0, "iterations", &config.default_iterations, "<n>",
+            "default PageRank iteration count (default 16)")
+      .flag(0, "no-vector", &no_vector, "disable the AVX2 kernels");
+  switch (table.parse(argc, argv)) {
+    case cli::OptionTable::Status::kHelp: return 0;
+    case cli::OptionTable::Status::kError: return 1;
+    case cli::OptionTable::Status::kOk: break;
+  }
+  if (socket_path.empty() || graph_specs.empty()) {
+    table.print_usage(stderr);
+    return 1;
+  }
+  config.vectorize = !no_vector;
+
+  server::Service service(config);
+  for (const std::string& spec : graph_specs) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      std::fprintf(stderr, "error: --graph wants <name>=<file> (got '%s')\n",
+                   spec.c_str());
+      return 1;
+    }
+    const std::string name = spec.substr(0, eq);
+    const std::string path = spec.substr(eq + 1);
+    try {
+      service.open_graph(name, path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot open graph '%s' from '%s': %s\n",
+                   name.c_str(), path.c_str(), e.what());
+      return 1;
+    }
+    std::printf("graph %-12s %s\n", name.c_str(), path.c_str());
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("error: pipe");
+    return 1;
+  }
+  std::signal(SIGPIPE, SIG_IGN);  // dead peers surface as write() errors
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  const int listen_fd = make_listener(socket_path);
+  if (listen_fd < 0) return 1;
+
+  service.start();
+  std::printf("serving %zu graph(s) on %s (%u workers x %u threads, "
+              "queue cap %zu, batch max %u)\n",
+              service.graph_names().size(), socket_path.c_str(),
+              config.workers, config.threads_per_worker, config.queue_cap,
+              config.batch_max);
+  std::fflush(stdout);
+
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::mutex connections_mu;
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      std::perror("error: poll");
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGTERM / SIGINT
+    if (fds[0].revents == 0) continue;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = conn_fd;
+    conn->reader = std::thread(
+        [conn, &service]() { reader_main(conn, service); });
+    std::lock_guard<std::mutex> hold(connections_mu);
+    connections.push_back(std::move(conn));
+  }
+
+  // Clean shutdown: no new connections, unblock every reader, reject
+  // whatever is still queued, join, remove the socket.
+  ::close(listen_fd);
+  {
+    std::lock_guard<std::mutex> hold(connections_mu);
+    for (const auto& conn : connections) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (const auto& conn : connections) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  service.stop();
+  for (const auto& conn : connections) ::close(conn->fd);
+  ::unlink(socket_path.c_str());
+
+  const server::ServiceCounters totals = service.counters();
+  std::printf("shutdown: %llu received, %llu served, %llu overloaded, "
+              "%llu bad, %llu batches (%llu requests fused)\n",
+              static_cast<unsigned long long>(totals.received),
+              static_cast<unsigned long long>(totals.served),
+              static_cast<unsigned long long>(totals.rejected_overload),
+              static_cast<unsigned long long>(totals.rejected_bad),
+              static_cast<unsigned long long>(totals.batches),
+              static_cast<unsigned long long>(totals.batched_requests));
+  return 0;
+}
