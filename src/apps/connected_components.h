@@ -61,6 +61,19 @@ class ConnectedComponentsT {
     return labels_.span();
   }
 
+  /// Warm-starts from a previous fixpoint (incremental recompute,
+  /// DESIGN.md §14). Min-label propagation is monotone: re-iterating
+  /// from any state ≥ the new fixpoint converges to exactly that
+  /// fixpoint, and edge inserts only lower labels, so the old labels
+  /// qualify. The caller reruns the engine with the frontier seeded
+  /// from the delta-touched sources (Session::run_incremental); labels
+  /// are exact integers, so the result is bit-identical to a cold run.
+  void warm_start(std::span<const std::uint64_t> labels) {
+    for (VertexId v = 0; v < labels_.size() && v < labels.size(); ++v) {
+      labels_[v] = labels[v];
+    }
+  }
+
   /// Mutable property access for the asynchronous engine (in-place
   /// atomic min updates).
   [[nodiscard]] std::uint64_t* property_array() noexcept {

@@ -1,0 +1,162 @@
+// Incremental recompute helpers for insert-only deltas (DESIGN.md
+// §14). The engine's workloads fall into three classes here:
+//
+//  * Connected Components is monotone min-label propagation, so it
+//    warm-starts through the engine itself: restore the old fixpoint
+//    (ConnectedComponents::warm_start), seed the frontier with the
+//    delta-touched sources, and rerun
+//    (Session::run_incremental) — chaotic iteration repairs exactly
+//    the constraints the new edges violated and converges to the
+//    unique new fixpoint. Labels are exact integers, so the result is
+//    bit-identical to a cold run.
+//
+//  * BFS cannot warm-start through the engine: its converged set
+//    (visited bitmap) blocks the level decreases an inserted shortcut
+//    edge causes. incremental_bfs() below is the replacement — a
+//    scalar level-ordered relaxation over the *new* epoch's CSR/CSC
+//    that settles exactly the vertices whose level or parent the delta
+//    changed. It reproduces the engine's canonical assignment
+//    (parent[v] = minimum-id in-neighbor one level closer to the
+//    root) exactly, so its output is bit-identical to a full engine
+//    run on the new graph.
+//
+//  * PageRank has no usable old fixpoint under an edge delta (every
+//    rank shifts), so the service simply reruns it; there is nothing
+//    for this header to do.
+//
+// All helpers require an insert-only delta. An effective delete
+// invalidates the old fixpoint as a bound (CC) or can *raise* levels
+// (BFS); callers detect that via DeltaEffect::insert_only /
+// DeltaReport::insert_only and fall back to a full recompute.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "platform/types.h"
+
+namespace grazelle::apps {
+
+/// Level assigned to vertices the root cannot reach.
+inline constexpr std::uint64_t kUnreachableLevel = ~std::uint64_t{0};
+
+/// Reconstructs BFS levels from a parent forest (parent[root] == root,
+/// kInvalidVertex = unreachable) by memoized chain walking: follow
+/// parents until a vertex with a known level, then unwind. O(V) total.
+/// Throws std::invalid_argument if the forest is cyclic or refers out
+/// of range.
+[[nodiscard]] inline std::vector<std::uint64_t> derive_levels(
+    std::span<const std::uint64_t> parents, VertexId root) {
+  const std::uint64_t n = parents.size();
+  if (root >= n) throw std::invalid_argument("bfs root out of range");
+  constexpr std::uint64_t kUnknown = kUnreachableLevel - 1;
+  std::vector<std::uint64_t> level(n, kUnknown);
+  level[root] = 0;
+  std::vector<VertexId> chain;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level[v] != kUnknown) continue;
+    if (parents[v] == kInvalidVertex) {
+      level[v] = kUnreachableLevel;
+      continue;
+    }
+    chain.clear();
+    VertexId cur = v;
+    while (level[cur] == kUnknown && parents[cur] != kInvalidVertex) {
+      chain.push_back(cur);
+      if (parents[cur] >= n || chain.size() > n) {
+        throw std::invalid_argument("bfs parent forest is not a tree");
+      }
+      cur = static_cast<VertexId>(parents[cur]);
+    }
+    std::uint64_t base = level[cur] != kUnknown ? level[cur]
+                                                : kUnreachableLevel;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      base = base == kUnreachableLevel ? kUnreachableLevel : base + 1;
+      level[*it] = base;
+    }
+  }
+  return level;
+}
+
+/// Incremental BFS after an insert-only delta: `old_parents` is the
+/// engine's fixpoint on the previous epoch (same root), `inserted` the
+/// effective inserts (DeltaEffect::inserted), and `graph` the *new*
+/// epoch. Returns the parent array a full engine run on `graph` would
+/// produce, bit-identically.
+///
+/// Level-ordered dynamic relaxation: inserts only lower levels, so the
+/// old levels upper-bound the new ones. Each inserted edge (u, w)
+/// seeds w with candidate level(u) + 1; a bucketed queue settles
+/// vertices in increasing level order (Dijkstra with unit weights), so
+/// when v finally pops at level l every level-(l-1) assignment is
+/// final and parent[v] is recomputed exactly as the minimum CSC
+/// in-neighbor at l-1. Relaxing v's CSR out-edges then covers the two
+/// cascade cases: a neighbor whose level drops re-enters the queue,
+/// and a neighbor w whose level is unchanged but gained v as a new
+/// level-(l) in-neighbor (l == level(w) - 1) takes the cheaper
+/// parent[w] = min(parent[w], v) fix — its level-(l) in-neighbor set
+/// only ever grows under inserts, so the minimum only tightens.
+[[nodiscard]] inline std::vector<std::uint64_t> incremental_bfs(
+    const Graph& graph, VertexId root,
+    std::span<const std::uint64_t> old_parents,
+    std::span<const Edge> inserted) {
+  const std::uint64_t n = graph.num_vertices();
+  if (old_parents.size() != n) {
+    throw std::invalid_argument(
+        "old bfs parents sized for a different vertex count");
+  }
+  std::vector<std::uint64_t> level = derive_levels(old_parents, root);
+  std::vector<std::uint64_t> parent(old_parents.begin(), old_parents.end());
+
+  using Entry = std::pair<std::uint64_t, VertexId>;  // (level, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+
+  const auto relax = [&](VertexId from, std::uint64_t from_level,
+                         VertexId to) {
+    const std::uint64_t cand = from_level + 1;
+    if (cand < level[to]) {
+      level[to] = cand;
+      queue.emplace(cand, to);
+    } else if (cand == level[to] && from < parent[to]) {
+      parent[to] = from;
+    }
+  };
+
+  for (const Edge& e : inserted) {
+    if (e.src >= n || e.dst >= n) {
+      throw std::invalid_argument("inserted edge out of range");
+    }
+    if (level[e.src] == kUnreachableLevel) continue;
+    relax(e.src, level[e.src], e.dst);
+  }
+
+  const CompressedSparse& csc = graph.csc();
+  const CompressedSparse& csr = graph.csr();
+  while (!queue.empty()) {
+    const auto [l, v] = queue.top();
+    queue.pop();
+    if (l != level[v]) continue;  // stale entry; v settled lower
+    if (v != root) {
+      // Final level: the minimum in-neighbor one level up. CSC
+      // neighbor lists are sorted by id, so the first hit is the
+      // canonical (minimum-id) parent the engine would assign.
+      for (const VertexId u : csc.neighbors_of(v)) {
+        if (level[u] + 1 == l) {  // unreachable is ~0: never matches
+          parent[v] = u;
+          break;
+        }
+      }
+    }
+    for (const VertexId w : csr.neighbors_of(v)) relax(v, l, w);
+  }
+  return parent;
+}
+
+}  // namespace grazelle::apps

@@ -1,113 +1,317 @@
-// Shared, immutable per-graph state for re-entrant execution: one
-// GraphContext wraps one Graph (owned, or borrowed from the caller)
-// together with every piece of derived read-only state the engine
-// needs — NUMA partitions of the edge-vector array and cache-blocking
-// indexes — cached so that many concurrent Sessions over the same
-// graph never rebuild or duplicate them.
+// Shared per-graph state for re-entrant execution, now epoch-versioned
+// (DESIGN.md §13–14): a GraphContext is a sequence of immutable Epochs.
+// Each Epoch wraps one Graph together with every piece of derived
+// read-only state the engine needs — NUMA partitions of the
+// edge-vector array and cache-blocking indexes — cached per epoch so
+// that many concurrent Sessions over the same epoch never rebuild or
+// duplicate them.
 //
-// Thread-safety: all methods are const and safe to call from any
-// number of threads. The derived-state caches are keyed maps guarded
-// by an internal mutex; std::map guarantees reference stability, so
-// the returned references/pointers stay valid for the context's
-// lifetime and can be read lock-free by every Session thereafter.
-// Nothing in a GraphContext is ever mutated after insertion — the
-// mutex only serializes first-use construction.
+// Mutation protocol: ingest() buffers edge insert/delete batches into
+// a DeltaOverlay (journaling them to the backing .gzg container when
+// it is format v4); publish() drains the overlay, materializes
+// base ∪ overlay through the same apply_delta() path that
+// `graph_convert --compact` uses, and atomically installs the result
+// as a new head Epoch. In-flight Sessions keep the Epoch they pinned
+// at construction (a shared_ptr snapshot), so a publish never perturbs
+// a running session — old epochs are reclaimed when their last
+// snapshot drops.
+//
+// Thread-safety: snapshot()/graph()/epoch() and every Epoch method are
+// safe from any number of threads. ingest()/publish() serialize on an
+// internal mutation mutex and may run concurrently with any reader.
+// The head-swap is the only cross-thread handoff: readers never see a
+// half-built epoch because the swap happens-after the full build.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/block_index.h"
+#include "graph/delta_overlay.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
 #include "graph/store.h"
 
 namespace grazelle {
 
-/// Const, shareable graph handle: the "open once, query many" half of
-/// the Engine split (DESIGN.md §13). Sessions reference a context and
-/// hold only per-request mutable state.
+/// Summary of one publish: what actually changed between the previous
+/// head epoch and the new one.
+struct DeltaReport {
+  std::uint64_t epoch = 0;        ///< newly published epoch number
+  std::uint64_t applied_ops = 0;  ///< canonical ops applied to the base
+  std::uint64_t inserted = 0;     ///< effective edge inserts
+  std::uint64_t deleted = 0;      ///< effective edge deletes
+  /// Sorted unique sources of the effective inserts — incremental
+  /// recompute's frontier seeds.
+  std::vector<VertexId> touched_sources;
+  bool insert_only = true;        ///< false ⇒ incremental CC/BFS must
+                                  ///< fall back to a full recompute
+};
+
+/// Epoch-versioned graph handle: the "open once, query many, mutate in
+/// batches" half of the Engine split (DESIGN.md §13). Sessions pin one
+/// Epoch and hold only per-request mutable state.
 class GraphContext {
  public:
+  /// One immutable published generation: a graph plus its memoized
+  /// derived state. All methods are const and thread-safe; the caches
+  /// are keyed maps guarded by an internal mutex, and std::map's
+  /// reference stability keeps returned references valid for the
+  /// epoch's lifetime.
+  class Epoch {
+   public:
+    Epoch(Graph graph, std::uint64_t number)
+        : owned_(std::make_unique<Graph>(std::move(graph))),
+          graph_(owned_.get()),
+          number_(number) {}
+    Epoch(const Graph* graph, std::uint64_t number)
+        : graph_(graph), number_(number) {}
+
+    Epoch(const Epoch&) = delete;
+    Epoch& operator=(const Epoch&) = delete;
+
+    [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+    [[nodiscard]] std::uint64_t number() const noexcept { return number_; }
+
+    /// NUMA split of the VSD edge-vector array for `nodes` nodes,
+    /// computed once per node count and shared by every session pinned
+    /// to this epoch.
+    [[nodiscard]] const std::vector<NumaPiece>& numa_pieces(
+        unsigned nodes) const {
+      nodes = std::max(1u, nodes);
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = numa_cache_.find(nodes);
+      if (it == numa_cache_.end()) {
+        it = numa_cache_
+                 .emplace(nodes,
+                          partition_vector_sparse(graph_->vsd(), nodes))
+                 .first;
+      }
+      return it->second;
+    }
+
+    /// Cache-block index for one source-range shift: the container's
+    /// persisted index when its shift matches, else an epoch-cached
+    /// build (first session with that shift pays; the rest share).
+    /// Returns nullptr when the index is trivial — a single block, for
+    /// which blocked execution would be pure overhead.
+    [[nodiscard]] const BlockIndex* block_index(unsigned shift) const {
+      const BlockIndex& persisted = graph_->vsd_blocks();
+      if (persisted.present() && persisted.source_shift() == shift) {
+        return persisted.trivial() ? nullptr : &persisted;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = block_cache_.find(shift);
+      if (it == block_cache_.end()) {
+        it = block_cache_
+                 .emplace(shift, BlockIndex::build(graph_->vsd(), shift))
+                 .first;
+      }
+      return it->second.trivial() ? nullptr : &it->second;
+    }
+
+   private:
+    std::unique_ptr<Graph> owned_;  // null when borrowing (epoch 0 only)
+    const Graph* graph_;
+    std::uint64_t number_ = 0;
+
+    mutable std::mutex mutex_;
+    mutable std::map<unsigned, std::vector<NumaPiece>> numa_cache_;
+    mutable std::map<unsigned, BlockIndex> block_cache_;
+  };
+
+  using Snapshot = std::shared_ptr<const Epoch>;
+
   /// Owning constructor: the context keeps the graph alive (moved in;
   /// for a packed container this is the zero-copy mmapped form).
   explicit GraphContext(Graph graph, std::string name = {})
-      : owned_(std::make_unique<Graph>(std::move(graph))),
-        graph_(owned_.get()),
-        name_(std::move(name)) {}
+      : head_(std::make_shared<Epoch>(std::move(graph), 0)),
+        name_(std::move(name)),
+        overlay_(head_->graph().num_vertices()) {}
 
   /// Borrowing constructor: the caller guarantees `graph` outlives the
   /// context (the one-shot Engine wrapper uses this).
   explicit GraphContext(const Graph* graph, std::string name = {})
-      : graph_(graph), name_(std::move(name)) {}
+      : head_(std::make_shared<Epoch>(graph, 0)),
+        name_(std::move(name)),
+        overlay_(graph->num_vertices()) {}
 
-  /// Opens a packed .gzg container zero-copy (or any loadable graph
-  /// file path accepted by store::load_graph).
+  /// Opens a packed .gzg container. When the container is format v4,
+  /// any journal batches already on disk are replayed into the base
+  /// before epoch 0 is built (through the same apply_delta path
+  /// `graph_convert --compact` folds them with, so the served graph is
+  /// bit-identical to the compacted container), and subsequently
+  /// ingested batches are appended to the journal — mutations survive
+  /// a restart. Pre-v4 containers serve fine but ingest memory-only.
   static GraphContext open(const std::string& path, std::string name = {}) {
-    return GraphContext(store::load_graph(path),
-                        name.empty() ? path : std::move(name));
+    const store::StoreInfo info = store::inspect_store(path);
+    return GraphContext(load_replayed(path, info),
+                        name.empty() ? path : std::move(name),
+                        info.version >= 4 ? path : std::string(),
+                        info.journal_batches);
+  }
+
+  /// open() for shared ownership (the server's fleet). A context is
+  /// immovable (it owns mutexes), so shared construction goes through
+  /// here rather than make_shared(open(...)).
+  [[nodiscard]] static std::shared_ptr<GraphContext> open_shared(
+      const std::string& path, std::string name = {}) {
+    const store::StoreInfo info = store::inspect_store(path);
+    return std::shared_ptr<GraphContext>(
+        new GraphContext(load_replayed(path, info),
+                         name.empty() ? path : std::move(name),
+                         info.version >= 4 ? path : std::string(),
+                         info.journal_batches));
   }
 
   GraphContext(const GraphContext&) = delete;
   GraphContext& operator=(const GraphContext&) = delete;
 
-  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
-  [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
-    return graph_->num_vertices();
-  }
-  [[nodiscard]] std::uint64_t num_edges() const noexcept {
-    return graph_->num_edges();
+  /// Pins the current head epoch. The returned snapshot (and every
+  /// reference obtained through it) stays valid across any number of
+  /// subsequent publishes.
+  [[nodiscard]] Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    return head_;
   }
 
-  /// NUMA split of the VSD edge-vector array for `nodes` nodes,
-  /// computed once per node count and shared by every session.
+  /// Head epoch's graph. Stable only until the next publish — callers
+  /// that may race a mutator must hold a snapshot() instead.
+  [[nodiscard]] const Graph& graph() const { return snapshot()->graph(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Fixed at pack time; identical across epochs.
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return overlay_.num_vertices();
+  }
+  [[nodiscard]] std::uint64_t num_edges() const {
+    return snapshot()->graph().num_edges();
+  }
+  /// Current head epoch number (0 until the first publish).
+  [[nodiscard]] std::uint64_t epoch() const { return snapshot()->number(); }
+
+  /// Head-epoch conveniences for single-epoch callers (tools, the
+  /// one-shot Engine). Sessions route through their pinned epoch.
   [[nodiscard]] const std::vector<NumaPiece>& numa_pieces(
       unsigned nodes) const {
-    nodes = std::max(1u, nodes);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = numa_cache_.find(nodes);
-    if (it == numa_cache_.end()) {
-      it = numa_cache_
-               .emplace(nodes, partition_vector_sparse(graph_->vsd(), nodes))
-               .first;
-    }
-    return it->second;
+    return snapshot()->numa_pieces(nodes);
+  }
+  [[nodiscard]] const BlockIndex* block_index(unsigned shift) const {
+    return snapshot()->block_index(shift);
   }
 
-  /// Cache-block index for one source-range shift: the container's
-  /// persisted index when its shift matches, else a context-cached
-  /// build (first session with that shift pays; the rest share).
-  /// Returns nullptr when the index is trivial — a single block, for
-  /// which blocked execution would be pure overhead.
-  [[nodiscard]] const BlockIndex* block_index(unsigned shift) const {
-    const BlockIndex& persisted = graph_->vsd_blocks();
-    if (persisted.present() && persisted.source_shift() == shift) {
-      return persisted.trivial() ? nullptr : &persisted;
+  // -- Mutation path (DESIGN.md §14) ----------------------------------
+
+  /// Buffers a batch of edge insert/delete ops into the overlay,
+  /// appending it to the backing container's delta journal first when
+  /// journaling is on (validate → journal → buffer, so a journal
+  /// failure leaves the overlay untouched). Throws
+  /// std::invalid_argument on malformed ops, store::StoreError on
+  /// journal I/O failure. Does not change what queries see — call
+  /// publish() to install a new epoch.
+  void ingest(std::span<const store::DeltaOp> ops) {
+    std::lock_guard<std::mutex> lock(mutation_mutex_);
+    DeltaOverlay::validate(ops, overlay_.num_vertices());
+    if (!journal_path_.empty()) {
+      store::append_delta_batch(journal_path_, ops);
+      ++journal_batches_;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = block_cache_.find(shift);
-    if (it == block_cache_.end()) {
-      it = block_cache_.emplace(shift, BlockIndex::build(graph_->vsd(), shift))
-               .first;
+    overlay_.ingest(ops);
+  }
+
+  /// Drains the overlay, materializes base ∪ overlay via apply_delta
+  /// (the same path `graph_convert --compact` folds the journal with),
+  /// and atomically installs the result as the new head epoch. An
+  /// empty overlay publishes nothing and reports the current epoch.
+  DeltaReport publish() {
+    std::lock_guard<std::mutex> lock(mutation_mutex_);
+    DeltaReport report;
+    const Snapshot base = snapshot();
+    report.epoch = base->number();
+    if (overlay_.empty()) return report;
+
+    const DeltaBatch batch = overlay_.drain();
+    DeltaEffect effect = apply_delta(base->graph(), batch.ops);
+    Graph next = Graph::build(std::move(effect.merged));
+    // Preserve the pack-time lane choice: a base stripped to 4 lanes
+    // (--lanes 4) stays stripped across publishes.
+    if (!base->graph().vsd512().present()) next.set_vsd512(Vsd512Graph{});
+
+    report.epoch = base->number() + 1;
+    report.applied_ops = batch.ops.size();
+    report.inserted = effect.inserted.size();
+    report.deleted = effect.deleted.size();
+    report.touched_sources = std::move(effect.touched_sources);
+    report.insert_only = effect.insert_only;
+
+    auto next_epoch = std::make_shared<Epoch>(std::move(next), report.epoch);
+    {
+      std::lock_guard<std::mutex> head_lock(head_mutex_);
+      head_ = std::move(next_epoch);
     }
-    return it->second.trivial() ? nullptr : &it->second;
+    return report;
+  }
+
+  /// Ops buffered but not yet published.
+  [[nodiscard]] std::uint64_t pending_ops() const {
+    std::lock_guard<std::mutex> lock(mutation_mutex_);
+    return overlay_.pending_ops();
+  }
+
+  /// Whether ingested batches are journaled to a backing v4 container.
+  [[nodiscard]] bool journaling() const noexcept {
+    return !journal_path_.empty();
+  }
+
+  /// Journal batches in the backing container (those present at open
+  /// plus every batch ingested since); 0 without journaling. This is
+  /// the "journal depth" compaction folds away.
+  [[nodiscard]] std::uint64_t journal_batches() const {
+    std::lock_guard<std::mutex> lock(mutation_mutex_);
+    return journal_batches_;
   }
 
  private:
-  std::unique_ptr<Graph> owned_;  // null when borrowing
-  const Graph* graph_;
+  /// Loads a container and folds its journal (if any) into the base.
+  static Graph load_replayed(const std::string& path,
+                             const store::StoreInfo& info) {
+    Graph base = store::load_graph(path);
+    if (info.journal_ops == 0) return base;
+    const store::DeltaJournal journal = store::read_delta_journal(path);
+    std::vector<store::DeltaOp> ops;
+    ops.reserve(journal.total_ops);
+    for (const auto& batch : journal.batches) {
+      ops.insert(ops.end(), batch.begin(), batch.end());
+    }
+    DeltaEffect effect = apply_delta(base, ops);
+    Graph next = Graph::build(std::move(effect.merged));
+    if (!base.vsd512().present()) next.set_vsd512(Vsd512Graph{});
+    return next;
+  }
+
+  GraphContext(Graph graph, std::string name, std::string journal_path,
+               std::uint64_t journal_batches)
+      : head_(std::make_shared<Epoch>(std::move(graph), 0)),
+        name_(std::move(name)),
+        overlay_(head_->graph().num_vertices()),
+        journal_path_(std::move(journal_path)),
+        journal_batches_(journal_batches) {}
+
+  mutable std::mutex head_mutex_;  // guards head_ swap/snapshot only
+  Snapshot head_;
   std::string name_;
 
-  mutable std::mutex mutex_;
-  mutable std::map<unsigned, std::vector<NumaPiece>> numa_cache_;
-  mutable std::map<unsigned, BlockIndex> block_cache_;
+  mutable std::mutex mutation_mutex_;  // serializes ingest/publish
+  DeltaOverlay overlay_;
+  std::filesystem::path journal_path_;  // empty = journaling off
+  std::uint64_t journal_batches_ = 0;
 };
 
 }  // namespace grazelle

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/graph_context.h"
@@ -55,10 +56,16 @@ class Session {
   /// `shared_pool`, when non-null, must outlive the session and must
   /// not be running another session's phases concurrently; when null
   /// the session owns a pool of options.num_threads threads.
+  ///
+  /// The session pins the context's head epoch at construction: every
+  /// graph, NUMA-piece, and block-index reference below resolves
+  /// through that snapshot, so a concurrent publish() on the context
+  /// never perturbs a running session (DESIGN.md §14).
   Session(const GraphContext& context, const EngineOptions& options,
           ThreadPool* shared_pool = nullptr)
       : context_(context),
-        graph_(context.graph()),
+        epoch_(context.snapshot()),
+        graph_(epoch_->graph()),
         options_(options),
         topology_(options.numa_nodes,
                   std::max(1u, (shared_pool != nullptr
@@ -73,7 +80,7 @@ class Session {
         accum_(graph_.num_vertices()),
         frontier_(graph_.num_vertices()),
         next_frontier_(graph_.num_vertices()),
-        numa_pieces_(context.numa_pieces(options.numa_nodes)) {
+        numa_pieces_(epoch_->numa_pieces(options.numa_nodes)) {
     for (const NumaPiece& piece : numa_pieces_) {
       const unsigned node =
           static_cast<unsigned>(&piece - numa_pieces_.data());
@@ -104,6 +111,19 @@ class Session {
   [[nodiscard]] const GraphContext& context() const noexcept {
     return context_;
   }
+
+  /// The epoch this session pinned at construction (it may lag the
+  /// context's head after a publish; the session intentionally keeps
+  /// serving the graph it started with).
+  [[nodiscard]] const GraphContext::Epoch& epoch() const noexcept {
+    return *epoch_;
+  }
+
+  /// The pinned epoch's graph — what every phase of this session runs
+  /// over. Callers building programs for this session must size them
+  /// from here, not from context().graph(), which may already be a
+  /// newer epoch.
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
 
   /// Current frontier (mutable so callers seed it before run()).
   [[nodiscard]] DenseFrontier& frontier() noexcept { return frontier_; }
@@ -338,6 +358,22 @@ class Session {
     return stats;
   }
 
+  /// Incremental recompute (DESIGN.md §14): resumes iteration from a
+  /// program warm-started with a previous fixpoint, seeding the
+  /// frontier with the delta-touched sources instead of every vertex.
+  /// The program must be monotone under re-iteration from its old
+  /// fixpoint (ConnectedComponents::warm_start qualifies: min-label
+  /// chaotic iteration converges to the unique new fixpoint from any
+  /// state ≥ it). The caller is responsible for the insert-only
+  /// precondition — an effective delete invalidates the old fixpoint
+  /// as a lower bound and requires a full recompute.
+  RunStats run_incremental(P& prog, std::span<const VertexId> seeds,
+                           unsigned max_iterations) {
+    reset();
+    for (const VertexId v : seeds) frontier_.set(v);
+    return run(prog, max_iterations);
+  }
+
  private:
   /// Resolves the blocking and prefetch policies against this graph
   /// and host. Block indexes live in the shared GraphContext: the
@@ -365,7 +401,7 @@ class Session {
             : BlockIndex::default_budget_bytes(options_.blocking.llc_fraction);
     const unsigned shift = BlockIndex::shift_for_budget(
         graph_.vsd().num_vertices(), sizeof(V), budget);
-    blocks_ = context_.block_index(shift);
+    blocks_ = epoch_->block_index(shift);
   }
 
   [[nodiscard]] bool choose_pull(std::uint64_t frontier_size) const {
@@ -390,7 +426,8 @@ class Session {
   }
 
   const GraphContext& context_;
-  const Graph& graph_;
+  GraphContext::Snapshot epoch_;  // pinned at construction
+  const Graph& graph_;            // == epoch_->graph()
   EngineOptions options_;
   NumaTopology topology_;
   std::unique_ptr<ThreadPool> owned_pool_;  // null when pool is shared

@@ -1,0 +1,154 @@
+#include "graph/delta_overlay.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace grazelle {
+
+namespace {
+
+using store::DeltaOp;
+using store::DeltaOpKind;
+
+void validate_op(const DeltaOp& op, std::uint64_t num_vertices) {
+  if (op.op_kind() != DeltaOpKind::kInsert &&
+      op.op_kind() != DeltaOpKind::kDelete) {
+    throw std::invalid_argument("delta op kind " + std::to_string(op.kind) +
+                                " is not insert/delete");
+  }
+  if (op.src >= num_vertices || op.dst >= num_vertices) {
+    throw std::invalid_argument(
+        "delta op vertex out of range (graph has " +
+        std::to_string(num_vertices) + " vertices)");
+  }
+}
+
+using PairKey = std::pair<VertexId, VertexId>;
+
+/// Last-op-per-pair fold; std::map iteration yields the canonical
+/// (src, dst) order drain() and apply_delta() both promise.
+using FoldedOps = std::map<PairKey, DeltaOp>;
+
+void fold_op(FoldedOps& folded, const DeltaOp& op) {
+  folded[PairKey{op.src, op.dst}] = op;
+}
+
+}  // namespace
+
+void DeltaOverlay::validate(std::span<const store::DeltaOp> ops,
+                            std::uint64_t num_vertices) {
+  for (const DeltaOp& op : ops) {
+    validate_op(op, num_vertices);
+    if (op.src == op.dst) {
+      throw std::invalid_argument("delta op is a self-loop (vertex " +
+                                  std::to_string(op.src) + ")");
+    }
+  }
+}
+
+void DeltaOverlay::ingest(std::span<const store::DeltaOp> ops) {
+  validate(ops, num_vertices_);
+  for (const DeltaOp& op : ops) {
+    std::vector<DeltaOp>& gutter = gutters_[op.src];
+    gutter.push_back(op);
+    ++pending_ops_;
+    if (gutter.size() >= kGutterCapacity) {
+      // Spill preserves arrival order: everything already in the log
+      // predates everything still sitting in a gutter.
+      spill_.insert(spill_.end(), gutter.begin(), gutter.end());
+      gutter.clear();
+    }
+  }
+}
+
+DeltaBatch DeltaOverlay::drain() {
+  DeltaBatch batch;
+  batch.buffered_ops = pending_ops_;
+  FoldedOps folded;
+  for (const DeltaOp& op : spill_) fold_op(folded, op);
+  for (const auto& [src, gutter] : gutters_) {
+    for (const DeltaOp& op : gutter) fold_op(folded, op);
+  }
+  batch.ops.reserve(folded.size());
+  for (const auto& [key, op] : folded) {
+    batch.ops.push_back(op);
+    if (op.op_kind() == DeltaOpKind::kDelete) batch.insert_only = false;
+  }
+  gutters_.clear();
+  spill_.clear();
+  pending_ops_ = 0;
+  return batch;
+}
+
+DeltaEffect apply_delta(const Graph& base,
+                        std::span<const store::DeltaOp> ops) {
+  FoldedOps folded;
+  for (const DeltaOp& op : ops) {
+    validate_op(op, base.num_vertices());
+    if (op.src == op.dst) continue;  // canonical graphs carry no self-loops
+    fold_op(folded, op);
+  }
+
+  const EdgeList list = base.to_edge_list();
+  const bool weighted = base.weighted();
+  DeltaEffect out;
+  out.merged.set_num_vertices(base.num_vertices());
+  out.merged.reserve(list.num_edges() + folded.size());
+
+  const auto add = [&](VertexId src, VertexId dst, Weight w) {
+    if (weighted) {
+      out.merged.add_edge(src, dst, w);
+    } else {
+      out.merged.add_edge(src, dst);
+    }
+  };
+  // An op on a pair absent from the base: inserts materialize, deletes
+  // evaporate.
+  const auto emit_novel = [&](const DeltaOp& op) {
+    if (op.op_kind() == DeltaOpKind::kInsert) {
+      add(op.src, op.dst, op.weight);
+      out.inserted.push_back(Edge{op.src, op.dst});
+    }
+  };
+
+  // Merge-walk: the base edge list and the folded ops are both sorted
+  // by (src, dst).
+  auto it = folded.begin();
+  const std::vector<Edge>& edges = list.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    const PairKey key{e.src, e.dst};
+    while (it != folded.end() && it->first < key) {
+      emit_novel(it->second);
+      ++it;
+    }
+    if (it != folded.end() && it->first == key) {
+      const DeltaOp& op = it->second;
+      ++it;
+      if (op.op_kind() == DeltaOpKind::kDelete) {
+        out.deleted.push_back(e);
+        continue;  // edge removed
+      }
+      // Re-insert of an existing edge: a weight change is effective
+      // (the overlay's way to update a weight), same-weight is a no-op.
+      const Weight old_w = weighted ? list.weights()[i] : Weight{0};
+      const Weight new_w = weighted ? op.weight : Weight{0};
+      add(e.src, e.dst, new_w);
+      if (weighted && new_w != old_w) out.inserted.push_back(e);
+      continue;
+    }
+    add(e.src, e.dst, weighted ? list.weights()[i] : Weight{0});
+  }
+  for (; it != folded.end(); ++it) emit_novel(it->second);
+
+  out.insert_only = out.deleted.empty();
+  out.touched_sources.reserve(out.inserted.size());
+  for (const Edge& e : out.inserted) out.touched_sources.push_back(e.src);
+  out.touched_sources.erase(
+      std::unique(out.touched_sources.begin(), out.touched_sources.end()),
+      out.touched_sources.end());
+  return out;
+}
+
+}  // namespace grazelle

@@ -1,0 +1,113 @@
+// Delta overlay (DESIGN.md §14): the in-memory mutation buffer between
+// the streaming ingest path and the immutable Vector-Sparse base.
+//
+// Producers append edge insert/delete ops into per-source gutters
+// (modeled on GraphZeppelin-style guttering: small per-source buffers
+// absorb bursts, overflowing gutters spill in arrival order into a
+// shared log so no gutter grows unboundedly). drain() folds everything
+// buffered into one canonical batch — sorted by (src, dst), exactly
+// one op per pair, last op wins — which is what epoch publication and
+// journal compaction both consume.
+//
+// apply_delta() is the single composition point: it merges a canonical
+// op batch into a base graph's edge list and reports the *effective*
+// mutations (an insert of an edge that already exists with the same
+// weight is a no-op; a delete of an absent edge is a no-op). Epoch
+// publication (core/graph_context.h) and `graph_convert --compact`
+// share this code path, which is what makes a published epoch
+// bit-identical to the compacted container by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "graph/store.h"
+
+namespace grazelle {
+
+/// One drained, canonical batch: sorted by (src, dst), one op per
+/// pair. `insert_only` is the incremental-recompute fast-path signal —
+/// any surviving delete forces a full recompute downstream.
+struct DeltaBatch {
+  std::vector<store::DeltaOp> ops;
+  bool insert_only = true;
+  std::uint64_t buffered_ops = 0;  ///< raw ops folded into this batch
+};
+
+/// Effect of applying a batch to a concrete base graph.
+struct DeltaEffect {
+  EdgeList merged;  ///< base ∪ batch, canonical, same vertex count
+  /// Effective inserts: edges absent from the base (or present with a
+  /// different weight — the overlay treats a weight change as a
+  /// re-insert). Sorted by (src, dst).
+  std::vector<Edge> inserted;
+  /// Effective deletes: edges present in the base that the batch
+  /// removed. Sorted by (src, dst).
+  std::vector<Edge> deleted;
+  /// Sorted, unique sources of the effective inserts — the frontier
+  /// seeds for incremental recompute (a new edge u→v propagates when u
+  /// re-enters the frontier; pull walkers then deliver u's value to v).
+  std::vector<VertexId> touched_sources;
+  bool insert_only = true;  ///< no effective deletes
+};
+
+/// Mutation buffer for one graph. Not thread-safe: the owning
+/// GraphContext serializes ingest/drain under its mutation lock.
+class DeltaOverlay {
+ public:
+  /// Gutter spill threshold: a source whose gutter reaches this many
+  /// buffered ops flushes it to the shared overflow log.
+  static constexpr std::size_t kGutterCapacity = 64;
+
+  explicit DeltaOverlay(std::uint64_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Rejects a batch that ingest() would reject, without buffering
+  /// anything: throws std::invalid_argument on an unknown kind, an
+  /// out-of-range vertex id (the id space is fixed at pack time), or a
+  /// self-loop (canonical graphs have none). GraphContext calls this
+  /// before journaling so the journal never records a batch the
+  /// overlay would refuse.
+  static void validate(std::span<const store::DeltaOp> ops,
+                       std::uint64_t num_vertices);
+
+  /// Buffers a batch of insert/delete ops, after validate()-ing it.
+  void ingest(std::span<const store::DeltaOp> ops);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::uint64_t pending_ops() const noexcept {
+    return pending_ops_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return pending_ops_ == 0; }
+
+  /// Folds everything buffered into one canonical batch and clears the
+  /// overlay. Per-pair op order is preserved (spilled ops predate the
+  /// gutter-resident ops of the same source), so "insert then delete"
+  /// nets to a delete and vice versa.
+  [[nodiscard]] DeltaBatch drain();
+
+ private:
+  std::uint64_t num_vertices_;
+  std::uint64_t pending_ops_ = 0;
+  // Per-source gutters in arrival order; the spill log holds flushed
+  // gutters, oldest first.
+  std::unordered_map<VertexId, std::vector<store::DeltaOp>> gutters_;
+  std::vector<store::DeltaOp> spill_;
+};
+
+/// Merges a canonical op batch into `base` and reports the effective
+/// mutations. `ops` need not be pre-folded — later ops win over
+/// earlier ones for the same (src, dst) pair, self-loop ops are
+/// dropped, and out-of-range ids throw std::invalid_argument.
+[[nodiscard]] DeltaEffect apply_delta(const Graph& base,
+                                      std::span<const store::DeltaOp> ops);
+
+}  // namespace grazelle

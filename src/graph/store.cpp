@@ -33,6 +33,8 @@ static_assert(std::is_trivially_copyable_v<VertexVectorRange>);
 static_assert(std::is_trivially_copyable_v<SourceWordSpan>);
 static_assert(std::is_trivially_copyable_v<EdgeVector512>);
 static_assert(std::is_trivially_copyable_v<Vsd512Slice>);
+static_assert(sizeof(DeltaOp) == 32);
+static_assert(std::is_trivially_copyable_v<DeltaOp>);
 
 constexpr std::array<char, 4> kMagic = {'G', 'Z', 'G', 'F'};
 constexpr std::uint64_t kFlagWeighted = 1;
@@ -60,6 +62,32 @@ struct SectionEntry {
   std::uint32_t crc32;
 };
 static_assert(sizeof(SectionEntry) == 40);
+
+// Field offsets append_delta_batch() patches in place.
+constexpr std::uint64_t kEntryLengthOffset = 24;
+constexpr std::uint64_t kEntryCrcOffset = 36;
+
+/// dlt.hdr payload (format v4): fixed-size journal summary. The net
+/// edge delta is an int64 stored as its bit pattern.
+struct DeltaJournalHeader {
+  std::uint64_t journal_version;
+  std::uint64_t batch_count;
+  std::uint64_t total_ops;  // inserts + deletes; batch marks excluded
+  std::uint64_t net_edge_delta_bits;
+};
+static_assert(sizeof(DeltaJournalHeader) == 32);
+
+constexpr std::uint64_t kJournalVersion = 1;
+
+[[nodiscard]] std::int64_t net_delta_of(const DeltaJournalHeader& h) {
+  std::int64_t v = 0;
+  std::memcpy(&v, &h.net_edge_delta_bits, sizeof(v));
+  return v;
+}
+
+void set_net_delta(DeltaJournalHeader& h, std::int64_t v) {
+  std::memcpy(&h.net_edge_delta_bits, &v, sizeof(v));
+}
 
 [[noreturn]] void fail(StoreErrc code, const std::string& what) {
   throw StoreError(code, what);
@@ -160,6 +188,22 @@ Parsed parse(const std::byte* base, std::size_t size, std::string origin,
                                       "' extends past end of file");
     }
     p.info.sections.push_back(std::move(s));
+  }
+
+  // Journal summary (format v4): surfaced through StoreInfo so
+  // metadata-only readers (graph_info, the serve daemon) see batch
+  // depth without touching the op stream. A malformed header demotes
+  // to "no journal" here — read_delta_journal() does strict checks.
+  if (const SectionInfo* dlt = p.find("dlt.hdr");
+      dlt != nullptr && dlt->length == sizeof(DeltaJournalHeader)) {
+    DeltaJournalHeader h;
+    std::memcpy(&h, base + dlt->offset, sizeof(h));
+    if (h.journal_version == kJournalVersion) {
+      p.info.has_journal = true;
+      p.info.journal_batches = h.batch_count;
+      p.info.journal_ops = h.total_ops;
+      p.info.journal_net_edge_delta = net_delta_of(h);
+    }
   }
   return p;
 }
@@ -507,6 +551,14 @@ void pack_graph(const Graph& graph, const std::filesystem::path& path) {
     add_section(sections, "v512.srcvecs", v512.source_vectors());
   }
 
+  // Delta journal (format v4): always shipped, empty at pack time.
+  // dlt.ops MUST be the final section — append_delta_batch() grows it
+  // at the end of the file without shifting any other payload.
+  const DeltaJournalHeader dlthdr{kJournalVersion, 0, 0, 0};
+  static constexpr char kEmptyPayload[1] = {};
+  sections.push_back(PendingSection{"dlt.hdr", &dlthdr, sizeof(dlthdr)});
+  sections.push_back(PendingSection{"dlt.ops", kEmptyPayload, 0});
+
   FileHeader header{};
   std::memcpy(header.magic, kMagic.data(), kMagic.size());
   header.version = kFormatVersion;
@@ -588,6 +640,166 @@ void verify_store(const std::filesystem::path& path,
   FileImage img = open_image(path);
   const Parsed p = parse(img.data, img.size, path.string(), max_version);
   for (const SectionInfo& s : p.info.sections) verify_section(p, s);
+}
+
+// ---------------------------------------------------------------------------
+// Delta journal (format v4)
+
+void append_delta_batch(const std::filesystem::path& path,
+                        std::span<const DeltaOp> ops) {
+  if (ops.empty()) return;
+  FileImage img = open_image(path);
+  const Parsed p = parse(img.data, img.size, path.string(), kFormatVersion);
+  if (p.info.version < 4) {
+    fail(StoreErrc::kBadVersion,
+         p.origin + ": container version " + std::to_string(p.info.version) +
+             " has no delta journal (repack with graph_convert to format " +
+             std::to_string(kFormatVersion) + ")");
+  }
+  const SectionInfo* hdr_s = p.find("dlt.hdr");
+  const SectionInfo* ops_s = p.find("dlt.ops");
+  if (hdr_s == nullptr || ops_s == nullptr ||
+      hdr_s->length != sizeof(DeltaJournalHeader)) {
+    fail(StoreErrc::kBadSection, p.origin + ": malformed delta journal");
+  }
+  // The in-place append only works while dlt.ops is the trailing
+  // payload (the invariant pack_graph establishes and this function
+  // preserves).
+  if (ops_s->offset + ops_s->length != p.file_size ||
+      ops_s->length % sizeof(DeltaOp) != 0) {
+    fail(StoreErrc::kBadSection,
+         p.origin + ": dlt.ops is not the trailing section; cannot append");
+  }
+
+  std::int64_t batch_delta = 0;
+  for (const DeltaOp& op : ops) {
+    if (op.op_kind() != DeltaOpKind::kInsert &&
+        op.op_kind() != DeltaOpKind::kDelete) {
+      fail(StoreErrc::kBadSection,
+           p.origin + ": batch op kind " + std::to_string(op.kind) +
+               " is not insert/delete");
+    }
+    if (op.src >= p.info.num_vertices || op.dst >= p.info.num_vertices) {
+      fail(StoreErrc::kBadSection,
+           p.origin + ": batch op vertex out of range (vertex-id space is "
+                      "fixed at pack time: " +
+               std::to_string(p.info.num_vertices) + " vertices)");
+    }
+    batch_delta += op.op_kind() == DeltaOpKind::kInsert ? 1 : -1;
+  }
+
+  // Appended bytes: the batch's ops plus one closing batch mark.
+  std::vector<DeltaOp> tail(ops.begin(), ops.end());
+  DeltaOp mark{};
+  mark.kind = static_cast<std::uint64_t>(DeltaOpKind::kBatchMark);
+  mark.src = ops.size();
+  tail.push_back(mark);
+  const std::uint64_t tail_bytes = tail.size() * sizeof(DeltaOp);
+
+  // Section CRCs cover whole payloads; rebuild old ∪ new contiguously.
+  std::vector<std::byte> payload(ops_s->length + tail_bytes);
+  std::memcpy(payload.data(), p.base + ops_s->offset, ops_s->length);
+  std::memcpy(payload.data() + ops_s->length, tail.data(), tail_bytes);
+  const std::uint32_t ops_crc = crc32(payload.data(), payload.size());
+
+  DeltaJournalHeader h;
+  std::memcpy(&h, p.base + hdr_s->offset, sizeof(h));
+  h.batch_count += 1;
+  h.total_ops += ops.size();
+  set_net_delta(h, net_delta_of(h) + batch_delta);
+  const std::uint32_t hdr_crc = crc32(&h, sizeof(h));
+
+  const auto entry_base = [&](const char* name) -> std::uint64_t {
+    for (std::size_t i = 0; i < p.info.sections.size(); ++i) {
+      if (p.info.sections[i].name == name) {
+        return sizeof(FileHeader) + i * sizeof(SectionEntry);
+      }
+    }
+    fail(StoreErrc::kBadSection, p.origin + ": lost section " + name);
+  };
+  const std::uint64_t ops_entry = entry_base("dlt.ops");
+  const std::uint64_t hdr_entry = entry_base("dlt.hdr");
+
+  std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) fail(StoreErrc::kIoError, "cannot reopen " + path.string());
+  const auto put = [&](std::uint64_t offset, const void* data,
+                       std::uint64_t size) {
+    out.seekp(static_cast<std::streamoff>(offset));
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  };
+  // Grow the op stream first, then flip the metadata that makes the
+  // new bytes visible (entry length last ⇒ a torn write leaves the old
+  // journal readable, albeit with trailing garbage past the section).
+  put(ops_s->offset + ops_s->length, tail.data(), tail_bytes);
+  put(hdr_s->offset, &h, sizeof(h));
+  put(hdr_entry + kEntryCrcOffset, &hdr_crc, sizeof(hdr_crc));
+  put(ops_entry + kEntryCrcOffset, &ops_crc, sizeof(ops_crc));
+  const std::uint64_t new_len = ops_s->length + tail_bytes;
+  put(ops_entry + kEntryLengthOffset, &new_len, sizeof(new_len));
+  out.flush();
+  if (!out) fail(StoreErrc::kIoError, "write failed for " + path.string());
+}
+
+DeltaJournal read_delta_journal(const std::filesystem::path& path,
+                                std::uint32_t max_version) {
+  FileImage img = open_image(path);
+  const Parsed p = parse(img.data, img.size, path.string(), max_version);
+  DeltaJournal journal;
+  const SectionInfo* hdr_s = p.find("dlt.hdr");
+  const SectionInfo* ops_s = p.find("dlt.ops");
+  if (hdr_s == nullptr || ops_s == nullptr) return journal;  // pre-v4
+  verify_section(p, *hdr_s);
+  verify_section(p, *ops_s);
+  if (hdr_s->length != sizeof(DeltaJournalHeader) ||
+      ops_s->length % sizeof(DeltaOp) != 0) {
+    fail(StoreErrc::kBadSection, p.origin + ": malformed delta journal");
+  }
+  DeltaJournalHeader h;
+  std::memcpy(&h, p.base + hdr_s->offset, sizeof(h));
+  if (h.journal_version != kJournalVersion) {
+    fail(StoreErrc::kBadSection,
+         p.origin + ": unsupported journal version " +
+             std::to_string(h.journal_version));
+  }
+  journal.journal_version = h.journal_version;
+  journal.total_ops = h.total_ops;
+  journal.net_edge_delta = net_delta_of(h);
+
+  const std::uint64_t count = ops_s->length / sizeof(DeltaOp);
+  std::vector<DeltaOp> batch;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DeltaOp op;
+    std::memcpy(&op, p.base + ops_s->offset + i * sizeof(DeltaOp),
+                sizeof(op));
+    if (op.op_kind() == DeltaOpKind::kBatchMark) {
+      if (op.src != batch.size()) {
+        fail(StoreErrc::kBadSection,
+             p.origin + ": journal batch mark count mismatch");
+      }
+      journal.batches.push_back(std::move(batch));
+      batch.clear();
+      continue;
+    }
+    if (op.op_kind() != DeltaOpKind::kInsert &&
+        op.op_kind() != DeltaOpKind::kDelete) {
+      fail(StoreErrc::kBadSection,
+           p.origin + ": journal op kind " + std::to_string(op.kind) +
+               " is not insert/delete");
+    }
+    batch.push_back(op);
+  }
+  if (!batch.empty()) {
+    fail(StoreErrc::kBadSection,
+         p.origin + ": journal ends with an unterminated batch");
+  }
+  std::uint64_t total = 0;
+  for (const auto& b : journal.batches) total += b.size();
+  if (journal.batches.size() != h.batch_count || total != h.total_ops) {
+    fail(StoreErrc::kBadSection,
+         p.origin + ": journal header disagrees with the op stream");
+  }
+  return journal;
 }
 
 }  // namespace grazelle::store

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -73,6 +74,11 @@ struct StoreInfo {
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
   std::vector<SectionInfo> sections;
+  // Delta-journal summary (format v4; zero/false for older containers).
+  bool has_journal = false;
+  std::uint64_t journal_batches = 0;
+  std::uint64_t journal_ops = 0;
+  std::int64_t journal_net_edge_delta = 0;
 };
 
 // v1: CSR/CSC/VSS/VSD + degrees.
@@ -85,10 +91,75 @@ struct StoreInfo {
 //     v512.slices, v512.sliceoffs, v512.srcoffs, v512.srcvecs.
 //     v1/v2 containers still open; their graphs carry an absent
 //     Vsd512Graph and the engine falls back to the 4-lane layout.
-inline constexpr std::uint32_t kFormatVersion = 3;
+// v4: append-only delta journal (DESIGN.md §14): dlt.hdr (journal
+//     version, batch count, op count, net edge delta) and dlt.ops (a
+//     stream of 32-byte DeltaOp records, batches delimited in-stream
+//     by batch-mark records) packed as the final two sections so
+//     append_delta_batch() grows the file in place. v1..v3 containers
+//     still open; they simply have no journal to read or append to.
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// The extension the CLI tools route through this module.
 inline constexpr const char* kFileExtension = ".gzg";
+
+// ---------------------------------------------------------------------------
+// Delta journal (format v4, DESIGN.md §14)
+
+/// Discriminator of one journal record.
+enum class DeltaOpKind : std::uint64_t {
+  kInsert = 0,     ///< add edge src→dst (replaces the weight if present)
+  kDelete = 1,     ///< remove edge src→dst (no-op if absent)
+  kBatchMark = 2,  ///< closes one batch; `src` holds the batch's op count
+};
+
+/// One 32-byte journal record. The on-disk dlt.ops section is a flat
+/// stream of these; every appended batch is terminated by a kBatchMark
+/// record so readers recover batch boundaries without a side table.
+struct DeltaOp {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 0.0;
+  std::uint64_t kind = 0;
+
+  [[nodiscard]] static DeltaOp insert(VertexId src, VertexId dst,
+                                      Weight weight = 0.0) noexcept {
+    return DeltaOp{src, dst, weight,
+                   static_cast<std::uint64_t>(DeltaOpKind::kInsert)};
+  }
+  [[nodiscard]] static DeltaOp remove(VertexId src, VertexId dst) noexcept {
+    return DeltaOp{src, dst, 0.0,
+                   static_cast<std::uint64_t>(DeltaOpKind::kDelete)};
+  }
+  [[nodiscard]] DeltaOpKind op_kind() const noexcept {
+    return static_cast<DeltaOpKind>(kind);
+  }
+};
+
+/// The journal read back from a container: batches in append order.
+struct DeltaJournal {
+  std::uint64_t journal_version = 0;  ///< 0 = container has no journal
+  std::uint64_t total_ops = 0;        ///< inserts + deletes over all batches
+  std::int64_t net_edge_delta = 0;    ///< op-level inserts minus deletes
+  std::vector<std::vector<DeltaOp>> batches;
+};
+
+/// Appends one batch of inserts/deletes to the container's delta
+/// journal in place: the dlt.ops section grows at the end of the file
+/// and the section table plus dlt.hdr are updated (lengths, CRCs).
+/// Requires a v4 container (throws kBadVersion naming the found
+/// version otherwise — repack with graph_convert to upgrade) whose
+/// dlt.ops section is still the trailing payload. Ops must be kInsert
+/// or kDelete with src/dst below the container's vertex count (the
+/// vertex-id space is fixed at pack time). An empty batch is a no-op.
+void append_delta_batch(const std::filesystem::path& path,
+                        std::span<const DeltaOp> ops);
+
+/// Reads the container's delta journal (checksum-verified). Containers
+/// older than v4 yield an empty journal (journal_version 0) rather
+/// than an error, so callers degrade gracefully on legacy files.
+[[nodiscard]] DeltaJournal read_delta_journal(
+    const std::filesystem::path& path,
+    std::uint32_t max_version = kFormatVersion);
 
 /// Writes `graph` to `path` as a packed container. Overwrites.
 /// Throws StoreError(kIoError) on write failure.

@@ -8,8 +8,8 @@
 // Request schema (unknown keys are rejected — the same fail-fast
 // stance the CLI takes on unknown flags):
 //   {"id": 7, "op": "bfs", "graph": "tw", "source": 12, "values": true}
-//   op:         "pr" | "cc" | "bfs" | "degree" | "stats" | "list"
-//   graph:      graph name (pr / cc / bfs / degree)
+//   op:         "pr" | "cc" | "bfs" | "degree" | "stats" | "list" | "ingest"
+//   graph:      graph name (pr / cc / bfs / degree / ingest)
 //   source:     BFS source vertex
 //   vertex:     degree-query vertex
 //   iterations: PR iteration count (0 or absent = server default)
@@ -17,6 +17,14 @@
 //   gating / blocking: engine knobs (default off)
 //   lanes:      "4" | "8" | "auto" (default "auto")
 //   no_batch:   opt a BFS request out of multi-source coalescing
+//   edges:      ingest-only: edge inserts, [[src,dst] | [src,dst,weight], …]
+//   deletes:    ingest-only: edge deletes, [[src,dst], …]
+//
+// An ingest request buffers its batch into the graph's delta overlay
+// (journaling it when the container is format v4) and publishes a new
+// epoch (DESIGN.md §14); the response reports the published epoch and
+// the effective insert/delete counts. In-flight queries keep the epoch
+// they pinned.
 //
 // Response: {"id":…, "ok":true, …} or
 //   {"id":…, "ok":false, "error": {"code":…, "message":…}} with codes
@@ -34,6 +42,7 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "platform/types.h"
 #include "telemetry/json.h"
@@ -59,6 +68,15 @@ enum class ErrorCode {
   return "unknown";
 }
 
+/// One edge in an ingest batch, parsed but not yet bound to a graph
+/// (range checks against the vertex count are the service's job).
+struct EdgeSpec {
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 0.0;
+  bool has_weight = false;
+};
+
 struct Request {
   std::uint64_t id = 0;
   std::string op;
@@ -71,6 +89,8 @@ struct Request {
   bool blocking = false;
   std::string lanes = "auto";
   bool no_batch = false;
+  std::vector<EdgeSpec> edges;    // ingest: inserts
+  std::vector<EdgeSpec> deletes;  // ingest: deletes
 };
 
 struct ParsedRequest {
@@ -124,6 +144,40 @@ struct ParsedRequest {
     dst = s.str;
     return true;
   };
+  const auto as_vertex = [](const json::Value& n, VertexId& dst) {
+    if (n.type != json::Value::Type::kNumber || n.num < 0 ||
+        n.num != std::floor(n.num)) {
+      return false;
+    }
+    dst = static_cast<VertexId>(n.num);
+    return true;
+  };
+  // "edges": [[src,dst] | [src,dst,weight], …]; "deletes": [[src,dst], …].
+  const auto get_edges = [&](const char* key, std::vector<EdgeSpec>& dst,
+                             bool allow_weight) {
+    const json::Value& a = v.at(key);
+    if (!a.is_array()) return false;
+    dst.reserve(a.items.size());
+    for (const auto& item : a.items) {
+      const json::Value& e = *item;
+      if (!e.is_array() || e.items.size() < 2 ||
+          e.items.size() > (allow_weight ? 3u : 2u)) {
+        return false;
+      }
+      EdgeSpec spec;
+      if (!as_vertex(*e.items[0], spec.src) ||
+          !as_vertex(*e.items[1], spec.dst)) {
+        return false;
+      }
+      if (e.items.size() == 3) {
+        if (e.items[2]->type != json::Value::Type::kNumber) return false;
+        spec.weight = e.items[2]->num;
+        spec.has_weight = true;
+      }
+      dst.push_back(spec);
+    }
+    return true;
+  };
 
   Request& r = out.request;
   for (const auto& [key, value] : v.members) {
@@ -162,6 +216,14 @@ struct ParsedRequest {
       if (!get_bool("no_batch", r.no_batch)) {
         return fail("no_batch must be a bool");
       }
+    } else if (key == "edges") {
+      if (!get_edges("edges", r.edges, /*allow_weight=*/true)) {
+        return fail("edges must be an array of [src,dst] or [src,dst,weight]");
+      }
+    } else if (key == "deletes") {
+      if (!get_edges("deletes", r.deletes, /*allow_weight=*/false)) {
+        return fail("deletes must be an array of [src,dst]");
+      }
     } else {
       return fail("unknown key: " + key);
     }
@@ -169,16 +231,23 @@ struct ParsedRequest {
 
   if (r.op.empty()) return fail("missing op");
   if (r.op != "pr" && r.op != "cc" && r.op != "bfs" && r.op != "degree" &&
-      r.op != "stats" && r.op != "list") {
-    return fail("unknown op: " + r.op + " (want pr|cc|bfs|degree|stats|list)");
+      r.op != "stats" && r.op != "list" && r.op != "ingest") {
+    return fail("unknown op: " + r.op +
+                " (want pr|cc|bfs|degree|stats|list|ingest)");
   }
   if (r.lanes != "4" && r.lanes != "8" && r.lanes != "auto") {
     return fail("unknown lanes: " + r.lanes + " (want 4|8|auto)");
   }
-  const bool needs_graph =
-      r.op == "pr" || r.op == "cc" || r.op == "bfs" || r.op == "degree";
+  const bool needs_graph = r.op == "pr" || r.op == "cc" || r.op == "bfs" ||
+                           r.op == "degree" || r.op == "ingest";
   if (needs_graph && r.graph.empty()) {
     return fail("missing graph for op " + r.op);
+  }
+  if (r.op == "ingest" && r.edges.empty() && r.deletes.empty()) {
+    return fail("ingest needs a non-empty edges or deletes array");
+  }
+  if (r.op != "ingest" && (!r.edges.empty() || !r.deletes.empty())) {
+    return fail("edges/deletes are only valid for op ingest");
   }
   out.ok = true;
   return out;

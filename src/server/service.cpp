@@ -10,7 +10,9 @@
 #include "apps/msbfs.h"
 #include "apps/pagerank.h"
 #include "core/session.h"
+#include "graph/store.h"
 #include "platform/cpu_features.h"
+#include "platform/resource.h"
 #include "telemetry/report.h"
 #include "telemetry/telemetry.h"
 
@@ -33,19 +35,21 @@ namespace json = telemetry::json;
 }
 
 /// Fills the RunReport context fields the way grazelle_run does, so a
-/// served report diffs cleanly against a one-shot run's.
+/// served report diffs cleanly against a one-shot run's. Reads the
+/// session's *pinned* graph, never the context head — a concurrent
+/// ingest may already have published a newer epoch.
 void fill_context(RunReport& rep, const Request& r, const std::string& graph,
-                  const GraphContext& context, unsigned threads,
-                  bool vectorized, unsigned prefetch_distance) {
+                  const Graph& pinned, unsigned threads, bool vectorized,
+                  unsigned prefetch_distance) {
   rep.app = r.op;
   rep.graph = graph;
   rep.engine = "auto";
   rep.pull_mode = "sa";
   rep.threads = threads;
   rep.vectorized = vectorized;
-  rep.num_vertices = context.num_vertices();
-  rep.num_edges = context.num_edges();
-  rep.graph_mapped = context.graph().mapped();
+  rep.num_vertices = pinned.num_vertices();
+  rep.num_edges = pinned.num_edges();
+  rep.graph_mapped = pinned.mapped();
   rep.prefetch_distance = prefetch_distance;
 }
 
@@ -85,13 +89,12 @@ Service::Service(ServiceConfig config) : config_(config) {
 Service::~Service() { stop(); }
 
 void Service::add_graph(const std::string& name,
-                        std::shared_ptr<const GraphContext> context) {
+                        std::shared_ptr<GraphContext> context) {
   graphs_[name] = std::move(context);
 }
 
 void Service::open_graph(const std::string& name, const std::string& path) {
-  add_graph(name,
-            std::make_shared<const GraphContext>(store::load_graph(path), name));
+  add_graph(name, GraphContext::open_shared(path, name));
 }
 
 bool Service::has_graph(const std::string& name) const {
@@ -177,8 +180,10 @@ void Service::submit(const std::string& line, Reply reply) {
           error_response(r.id, ErrorCode::kBadRequest, "vertex out of range"));
       return;
     }
-    // Point query: answered inline off the shared immutable arrays —
-    // no session, no queue.
+    // Point query: answered inline off a pinned epoch — no session, no
+    // queue. The snapshot keeps the arrays alive (and the read safe)
+    // across a concurrent ingest's publish.
+    const GraphContext::Snapshot snap = context.snapshot();
     reply(json::ObjectWriter()
               .field("id", r.id)
               .field("ok", true)
@@ -186,14 +191,16 @@ void Service::submit(const std::string& line, Reply reply) {
               .field("op", r.op)
               .field("graph", r.graph)
               .field("vertex", static_cast<std::uint64_t>(r.vertex))
-              .field("out_degree", context.graph().out_degrees()[r.vertex])
-              .field("in_degree", context.graph().in_degrees()[r.vertex])
+              .field("epoch", snap->number())
+              .field("out_degree", snap->graph().out_degrees()[r.vertex])
+              .field("in_degree", snap->graph().in_degrees()[r.vertex])
               .str());
     served_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
-  // pr / cc / bfs run on the worker group behind the bounded queue.
+  // pr / cc / bfs / ingest run on the worker group behind the bounded
+  // queue (admission control covers mutations too).
   {
     std::lock_guard<std::mutex> guard(lock_);
     if (stopping_ || queue_.size() >= config_.queue_cap) {
@@ -217,6 +224,8 @@ ServiceCounters Service::counters() const {
   c.batches = batches_.load(std::memory_order_relaxed);
   c.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   c.edges_touched = edges_touched_.load(std::memory_order_relaxed);
+  c.ingests = ingests_.load(std::memory_order_relaxed);
+  c.ingested_ops = ingested_ops_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -230,12 +239,14 @@ std::string Service::immediate_response(const Request& r) const {
     std::vector<std::string> items;
     items.reserve(graphs_.size());
     for (const auto& [name, context] : graphs_) {
+      const GraphContext::Snapshot snap = context->snapshot();
       items.push_back(json::ObjectWriter()
                           .field("name", name)
                           .field("num_vertices", context->num_vertices())
-                          .field("num_edges", context->num_edges())
-                          .field("weighted", context->graph().weighted())
-                          .field("mapped", context->graph().mapped())
+                          .field("num_edges", snap->graph().num_edges())
+                          .field("weighted", snap->graph().weighted())
+                          .field("mapped", snap->graph().mapped())
+                          .field("epoch", snap->number())
                           .str());
     }
     w.field_raw("graphs", json::array(items));
@@ -249,7 +260,24 @@ std::string Service::immediate_response(const Request& r) const {
                                 .field("batches", c.batches)
                                 .field("batched_requests", c.batched_requests)
                                 .field("edges_touched", c.edges_touched)
+                                .field("ingests", c.ingests)
+                                .field("ingested_ops", c.ingested_ops)
                                 .str());
+    // Per-graph streaming state: current epoch, journal depth (the
+    // batches `graph_convert --compact` would fold), and ops buffered
+    // but not yet published.
+    std::vector<std::string> items;
+    items.reserve(graphs_.size());
+    for (const auto& [name, context] : graphs_) {
+      items.push_back(json::ObjectWriter()
+                          .field("name", name)
+                          .field("epoch", context->epoch())
+                          .field("journal_batches", context->journal_batches())
+                          .field("pending_ops", context->pending_ops())
+                          .str());
+    }
+    w.field_raw("graphs", json::array(items));
+    w.field("peak_rss_bytes", platform::peak_rss_bytes());
   }
   return w.str();
 }
@@ -318,7 +346,11 @@ std::vector<Service::Job> Service::next_batch(
 
 void Service::execute(std::vector<Job> batch, ThreadPool& pool) {
   const auto it = graphs_.find(batch.front().request.graph);
-  const GraphContext& context = *it->second;  // validated at submit
+  GraphContext& context = *it->second;  // validated at submit
+  if (batch.front().request.op == "ingest") {
+    execute_ingest(context, batch.front());  // never coalesced
+    return;
+  }
 #if defined(GRAZELLE_HAVE_AVX2)
   if (config_.vectorize && vector_kernels_available()) {
     run_jobs<true>(context, batch, pool);
@@ -326,6 +358,46 @@ void Service::execute(std::vector<Job> batch, ThreadPool& pool) {
   }
 #endif
   run_jobs<false>(context, batch, pool);
+}
+
+void Service::execute_ingest(GraphContext& context, Job& job) {
+  const Request& r = job.request;
+  std::vector<store::DeltaOp> ops;
+  ops.reserve(r.edges.size() + r.deletes.size());
+  for (const EdgeSpec& e : r.edges) {
+    ops.push_back(store::DeltaOp::insert(e.src, e.dst, e.weight));
+  }
+  for (const EdgeSpec& e : r.deletes) {
+    ops.push_back(store::DeltaOp::remove(e.src, e.dst));
+  }
+  try {
+    context.ingest(ops);
+    const DeltaReport rep = context.publish();
+    // Counters first: a client that has seen the reply may immediately
+    // ask for stats, which must already account for this ingest.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    ingests_.fetch_add(1, std::memory_order_relaxed);
+    ingested_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
+    job.reply(json::ObjectWriter()
+                  .field("id", r.id)
+                  .field("ok", true)
+                  .field("protocol_version", kProtocolVersion)
+                  .field("op", r.op)
+                  .field("graph", r.graph)
+                  .field("epoch", rep.epoch)
+                  .field("applied_ops", rep.applied_ops)
+                  .field("inserted", rep.inserted)
+                  .field("deleted", rep.deleted)
+                  .field("insert_only", rep.insert_only)
+                  .field("journaled", context.journaling())
+                  .str());
+  } catch (const std::invalid_argument& e) {
+    // Out-of-range vertex, self-loop, …: the client's fault.
+    rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+    job.reply(error_response(r.id, ErrorCode::kBadRequest, e.what()));
+  } catch (const std::exception& e) {
+    job.reply(error_response(r.id, ErrorCode::kInternal, e.what()));
+  }
 }
 
 template <bool Vec>
@@ -336,17 +408,21 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
   telemetry::Telemetry telem(threads);
   const EngineOptions opts = options_for(first, threads);
   try {
+    // Every branch builds its program from the session's *pinned*
+    // graph (session.graph()), never context.graph(): a concurrent
+    // ingest may publish a newer epoch mid-run, and the program must
+    // be sized for — and read from — the epoch the session executes.
     if (first.op == "pr") {
       Session<apps::PageRank, Vec> session(context, opts, &pool);
       session.set_telemetry(&telem);
-      apps::PageRank prog(context.graph(), threads);
+      apps::PageRank prog(session.graph(), threads);
       const unsigned iters = first.iterations != 0
                                  ? first.iterations
                                  : config_.default_iterations;
       const RunStats stats = session.run(prog, iters);
       prog.finalize();
       RunReport rep = build_report(stats, &telem);
-      fill_context(rep, first, first.graph, context, threads, Vec,
+      fill_context(rep, first, first.graph, session.graph(), threads, Vec,
                    session.prefetch_distance());
       batch.front().reply(run_response(
           first, rep, 0, "float64",
@@ -354,11 +430,11 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
     } else if (first.op == "cc") {
       Session<apps::ConnectedComponents, Vec> session(context, opts, &pool);
       session.set_telemetry(&telem);
-      apps::ConnectedComponents prog(context.graph());
+      apps::ConnectedComponents prog(session.graph());
       session.frontier().set_all();
       const RunStats stats = session.run(prog, 1u << 20);
       RunReport rep = build_report(stats, &telem);
-      fill_context(rep, first, first.graph, context, threads, Vec,
+      fill_context(rep, first, first.graph, session.graph(), threads, Vec,
                    session.prefetch_distance());
       batch.front().reply(run_response(
           first, rep, 0, "uint64",
@@ -368,11 +444,11 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
       // kMessageIsSourceId — no attribution scan).
       Session<apps::BreadthFirstSearch, Vec> session(context, opts, &pool);
       session.set_telemetry(&telem);
-      apps::BreadthFirstSearch prog(context.graph(), first.source);
+      apps::BreadthFirstSearch prog(session.graph(), first.source);
       prog.seed(session.frontier());
       const RunStats stats = session.run(prog, 1u << 20);
       RunReport rep = build_report(stats, &telem);
-      fill_context(rep, first, first.graph, context, threads, Vec,
+      fill_context(rep, first, first.graph, session.graph(), threads, Vec,
                    session.prefetch_distance());
       batch.front().reply(run_response(
           first, rep, 1, "uint64",
@@ -384,11 +460,11 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
       for (const Job& job : batch) sources.push_back(job.request.source);
       Session<apps::MultiSourceBfs, Vec> session(context, opts, &pool);
       session.set_telemetry(&telem);
-      apps::MultiSourceBfs prog(context.graph(), sources, threads);
+      apps::MultiSourceBfs prog(session.graph(), sources, threads);
       prog.seed(session.frontier());
       const RunStats stats = session.run(prog, 1u << 20);
       RunReport rep = build_report(stats, &telem);
-      fill_context(rep, first, first.graph, context, threads, Vec,
+      fill_context(rep, first, first.graph, session.graph(), threads, Vec,
                    session.prefetch_distance());
       batches_.fetch_add(1, std::memory_order_relaxed);
       batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);

@@ -2,9 +2,11 @@
 // core of grazelle_serve, structured after a driver / worker-group /
 // query-flush split. A Service owns
 //
-//   * a fleet of named, immutable GraphContexts (opened once, shared
-//     by every request — the GraphContext/Session split is what makes
-//     this safe),
+//   * a fleet of named, epoch-versioned GraphContexts (opened once,
+//     shared by every request — the GraphContext/Session split is what
+//     makes this safe; the "ingest" op appends an edge delta and
+//     publishes a new epoch while in-flight queries keep the epoch
+//     they pinned, DESIGN.md §14),
 //   * a bounded request queue with admission control (submit() beyond
 //     the cap is rejected synchronously with a typed "overloaded"
 //     error — the daemon never builds unbounded backlog), and
@@ -65,6 +67,8 @@ struct ServiceCounters {
   std::uint64_t batches = 0;           // multi-source BFS sweeps run
   std::uint64_t batched_requests = 0;  // BFS requests absorbed into them
   std::uint64_t edges_touched = 0;     // summed over every run
+  std::uint64_t ingests = 0;           // ingest batches published
+  std::uint64_t ingested_ops = 0;      // raw ops across those batches
 };
 
 class Service {
@@ -78,11 +82,15 @@ class Service {
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
-  /// Registers a graph under `name`. Call before start().
+  /// Registers a graph under `name`. Call before start(). Non-const:
+  /// the "ingest" op mutates the context (its own locks make that safe
+  /// alongside every concurrent reader).
   void add_graph(const std::string& name,
-                 std::shared_ptr<const GraphContext> context);
+                 std::shared_ptr<GraphContext> context);
 
   /// Convenience: open a packed container / graph file and register it.
+  /// A format-v4 container journals ingested batches; older formats
+  /// serve fine but ingest memory-only.
   void open_graph(const std::string& name, const std::string& path);
 
   [[nodiscard]] bool has_graph(const std::string& name) const;
@@ -115,13 +123,14 @@ class Service {
   /// Pops one job, coalescing compatible BFS jobs (holds lock_).
   [[nodiscard]] std::vector<Job> next_batch(std::unique_lock<std::mutex>& lock);
   void execute(std::vector<Job> batch, ThreadPool& pool);
+  void execute_ingest(GraphContext& context, Job& job);
   template <bool Vec>
   void run_jobs(const GraphContext& context, std::vector<Job>& batch,
                 ThreadPool& pool);
   [[nodiscard]] std::string immediate_response(const Request& r) const;
 
   ServiceConfig config_;
-  std::map<std::string, std::shared_ptr<const GraphContext>> graphs_;
+  std::map<std::string, std::shared_ptr<GraphContext>> graphs_;
 
   mutable std::mutex lock_;
   std::condition_variable work_cv_;
@@ -137,6 +146,8 @@ class Service {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> edges_touched_{0};
+  std::atomic<std::uint64_t> ingests_{0};
+  std::atomic<std::uint64_t> ingested_ops_{0};
 };
 
 }  // namespace grazelle::server

@@ -1,0 +1,463 @@
+// Streaming-update coverage (DESIGN.md §14): apply_delta semantics,
+// DeltaOverlay guttering/folding, incremental recompute bit-identity
+// against full recomputes across every engine configuration, the
+// delete fallback signal, and journal replay at open matching the
+// published epoch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/incremental.h"
+#include "core/engine.h"
+#include "core/graph_context.h"
+#include "core/session.h"
+#include "gen/rmat.h"
+#include "graph/delta_overlay.h"
+#include "graph/store.h"
+#include "platform/cpu_features.h"
+
+namespace grazelle {
+namespace {
+
+namespace fs = std::filesystem;
+
+EdgeList rmat_graph() {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.num_edges = 4000;
+  p.a = 0.6;
+  p.b = 0.15;
+  p.c = 0.19;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return list;
+}
+
+/// A small fixed base graph whose edges are easy to reason about.
+Graph path_graph(std::uint64_t n = 16) {
+  EdgeList list(n);
+  for (VertexId v = 0; v + 1 < n; ++v) list.add_edge(v, v + 1);
+  return Graph::build(std::move(list));
+}
+
+std::vector<std::pair<VertexId, VertexId>> edge_pairs(const Graph& g) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  const EdgeList list = g.to_edge_list();
+  for (const Edge& e : list.edges()) pairs.emplace_back(e.src, e.dst);
+  return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// apply_delta semantics
+
+TEST(ApplyDelta, NovelInsertIsEffective) {
+  const Graph base = path_graph();
+  const std::vector<store::DeltaOp> ops = {store::DeltaOp::insert(0, 5)};
+  const DeltaEffect effect = apply_delta(base, ops);
+
+  ASSERT_EQ(effect.inserted.size(), 1u);
+  EXPECT_EQ(effect.inserted[0].src, 0u);
+  EXPECT_EQ(effect.inserted[0].dst, 5u);
+  EXPECT_TRUE(effect.deleted.empty());
+  EXPECT_TRUE(effect.insert_only);
+  ASSERT_EQ(effect.touched_sources.size(), 1u);
+  EXPECT_EQ(effect.touched_sources[0], 0u);
+  EXPECT_EQ(effect.merged.num_edges(), base.num_edges() + 1);
+}
+
+TEST(ApplyDelta, DuplicateInsertAndAbsentDeleteAreNoOps) {
+  const Graph base = path_graph();
+  const std::vector<store::DeltaOp> ops = {
+      store::DeltaOp::insert(3, 4),   // already present, same weight
+      store::DeltaOp::remove(9, 2)};  // absent
+  const DeltaEffect effect = apply_delta(base, ops);
+
+  EXPECT_TRUE(effect.inserted.empty());
+  EXPECT_TRUE(effect.deleted.empty());
+  EXPECT_TRUE(effect.insert_only);
+  EXPECT_TRUE(effect.touched_sources.empty());
+  EXPECT_EQ(effect.merged.num_edges(), base.num_edges());
+}
+
+TEST(ApplyDelta, EffectiveDeleteClearsInsertOnly) {
+  const Graph base = path_graph();
+  const std::vector<store::DeltaOp> ops = {store::DeltaOp::remove(3, 4)};
+  const DeltaEffect effect = apply_delta(base, ops);
+
+  ASSERT_EQ(effect.deleted.size(), 1u);
+  EXPECT_EQ(effect.deleted[0].src, 3u);
+  EXPECT_FALSE(effect.insert_only);
+  EXPECT_EQ(effect.merged.num_edges(), base.num_edges() - 1);
+}
+
+TEST(ApplyDelta, LaterOpWinsPerPair) {
+  const Graph base = path_graph();
+  const std::vector<store::DeltaOp> ops = {store::DeltaOp::insert(0, 5),
+                                           store::DeltaOp::remove(0, 5)};
+  const DeltaEffect effect = apply_delta(base, ops);
+  // Insert-then-delete of an edge absent from the base nets to nothing.
+  EXPECT_TRUE(effect.inserted.empty());
+  EXPECT_TRUE(effect.deleted.empty());
+  EXPECT_EQ(effect.merged.num_edges(), base.num_edges());
+}
+
+TEST(ApplyDelta, WeightChangeCountsAsInsert) {
+  EdgeList list(8);
+  list.add_edge(0, 1, 1.0);
+  list.add_edge(1, 2, 2.0);
+  const Graph base = Graph::build(std::move(list));
+  const std::vector<store::DeltaOp> ops = {
+      store::DeltaOp::insert(0, 1, 7.5)};
+  const DeltaEffect effect = apply_delta(base, ops);
+  ASSERT_EQ(effect.inserted.size(), 1u);
+  EXPECT_EQ(effect.inserted[0], (Edge{0, 1}));
+  EXPECT_EQ(effect.merged.num_edges(), base.num_edges());  // replaced
+  // The merged list carries the new weight for the replaced pair.
+  bool found = false;
+  for (std::size_t i = 0; i < effect.merged.edges().size(); ++i) {
+    const Edge& e = effect.merged.edges()[i];
+    if (e.src == 0 && e.dst == 1) {
+      found = true;
+      EXPECT_EQ(effect.merged.weights()[i], 7.5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApplyDelta, RejectsOutOfRangeAndDropsSelfLoopOps) {
+  const Graph base = path_graph();
+  const std::vector<store::DeltaOp> bad = {store::DeltaOp::insert(99, 0)};
+  EXPECT_THROW((void)apply_delta(base, bad), std::invalid_argument);
+
+  const std::vector<store::DeltaOp> loop = {store::DeltaOp::insert(2, 2)};
+  const DeltaEffect effect = apply_delta(base, loop);
+  EXPECT_TRUE(effect.inserted.empty());
+  EXPECT_EQ(effect.merged.num_edges(), base.num_edges());
+}
+
+// ---------------------------------------------------------------------------
+// DeltaOverlay guttering
+
+TEST(DeltaOverlay, DrainFoldsToCanonicalBatch) {
+  DeltaOverlay overlay(16);
+  overlay.ingest(std::vector<store::DeltaOp>{store::DeltaOp::insert(5, 1),
+                                             store::DeltaOp::insert(2, 9),
+                                             store::DeltaOp::insert(5, 0)});
+  EXPECT_EQ(overlay.pending_ops(), 3u);
+  const DeltaBatch batch = overlay.drain();
+  EXPECT_TRUE(overlay.empty());
+  ASSERT_EQ(batch.ops.size(), 3u);
+  // Sorted by (src, dst).
+  EXPECT_EQ(batch.ops[0].src, 2u);
+  EXPECT_EQ(batch.ops[1].src, 5u);
+  EXPECT_EQ(batch.ops[1].dst, 0u);
+  EXPECT_EQ(batch.ops[2].dst, 1u);
+  EXPECT_TRUE(batch.insert_only);
+}
+
+TEST(DeltaOverlay, GutterSpillPreservesPerPairOrder) {
+  DeltaOverlay overlay(1024);
+  // Force source 7's gutter to spill, then flip one of the spilled
+  // pairs with a later delete: the delete must win.
+  std::vector<store::DeltaOp> burst;
+  for (std::size_t i = 0; i < DeltaOverlay::kGutterCapacity + 8; ++i) {
+    burst.push_back(
+        store::DeltaOp::insert(7, static_cast<VertexId>(i + 10)));
+  }
+  overlay.ingest(burst);
+  overlay.ingest(std::vector<store::DeltaOp>{store::DeltaOp::remove(7, 10)});
+  const DeltaBatch batch = overlay.drain();
+  EXPECT_FALSE(batch.insert_only);
+  bool saw_delete = false;
+  for (const store::DeltaOp& op : batch.ops) {
+    if (op.src == 7 && op.dst == 10) {
+      EXPECT_EQ(op.op_kind(), store::DeltaOpKind::kDelete);
+      saw_delete = true;
+    }
+  }
+  EXPECT_TRUE(saw_delete);
+}
+
+TEST(DeltaOverlay, ValidateRejectsBadOps) {
+  const std::vector<store::DeltaOp> out_of_range = {
+      store::DeltaOp::insert(99, 0)};
+  EXPECT_THROW(DeltaOverlay::validate(out_of_range, 16),
+               std::invalid_argument);
+  const std::vector<store::DeltaOp> self_loop = {
+      store::DeltaOp::insert(3, 3)};
+  EXPECT_THROW(DeltaOverlay::validate(self_loop, 16), std::invalid_argument);
+  store::DeltaOp bad_kind = store::DeltaOp::insert(1, 2);
+  bad_kind.kind = 9;
+  EXPECT_THROW(DeltaOverlay::validate(std::vector<store::DeltaOp>{bad_kind},
+                                      16),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental recompute ≡ full recompute, across engine configurations
+
+struct DeltaConfig {
+  PullParallelism mode;
+  bool vectorized;
+  bool gated;
+  bool blocked;
+};
+
+std::string config_name(const ::testing::TestParamInfo<DeltaConfig>& info) {
+  const DeltaConfig& c = info.param;
+  std::string mode;
+  switch (c.mode) {
+    case PullParallelism::kSequential: mode = "Seq"; break;
+    case PullParallelism::kVertexParallel: mode = "VtxPar"; break;
+    case PullParallelism::kTraditional: mode = "Trad"; break;
+    case PullParallelism::kTraditionalNoAtomic: mode = "TradNA"; break;
+    case PullParallelism::kSchedulerAware: mode = "SchedAware"; break;
+  }
+  return mode + (c.vectorized ? "Vec" : "Scalar") + (c.gated ? "Gated" : "") +
+         (c.blocked ? "Blocked" : "");
+}
+
+std::vector<DeltaConfig> make_configs() {
+  std::vector<DeltaConfig> configs;
+  const std::vector<bool> vec_options =
+      vector_kernels_available() ? std::vector<bool>{false, true}
+                                 : std::vector<bool>{false};
+  for (bool vec : vec_options) {
+    for (bool gated : {false, true}) {
+      for (bool blocked : {false, true}) {
+        for (PullParallelism mode :
+             {PullParallelism::kSequential,
+              PullParallelism::kSchedulerAware}) {
+          configs.push_back({mode, vec, gated, blocked});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+EngineOptions config_options(const DeltaConfig& c) {
+  EngineOptions o;
+  o.num_threads = c.mode == PullParallelism::kSequential ? 1 : 2;
+  o.pull_mode = c.mode;
+  o.direction.select = EngineSelect::kPullOnly;
+  o.blocking.enabled = c.blocked;
+  o.blocking.block_bytes = 512;
+  if (c.gated) {
+    o.gating.enabled = true;
+    o.gating.density_divisor = 0;
+  }
+  return o;
+}
+
+/// The delta for the sweep: wire a handful of shortcut edges into the
+/// rmat graph, guaranteed-novel via high dst offsets inside range.
+std::vector<store::DeltaOp> sweep_delta(const Graph& base) {
+  std::vector<store::DeltaOp> ops;
+  const std::uint64_t n = base.num_vertices();
+  for (VertexId v = 0; v < 24; ++v) {
+    ops.push_back(store::DeltaOp::insert(v * 3 % n, (v * 17 + 251) % n));
+  }
+  return ops;
+}
+
+template <typename P, bool Vec, typename Make, typename Seed>
+std::vector<std::uint64_t> full_run(const GraphContext& ctx,
+                                    const EngineOptions& opts, Make&& make,
+                                    Seed&& seed) {
+  Session<P, Vec> session(ctx, opts);
+  P prog = make(session.graph());
+  seed(session, prog);
+  session.run(prog, 1u << 20);
+  if constexpr (requires { prog.labels(); }) {
+    return {prog.labels().begin(), prog.labels().end()};
+  } else {
+    return {prog.parents().begin(), prog.parents().end()};
+  }
+}
+
+class IncrementalSweep : public ::testing::TestWithParam<DeltaConfig> {};
+
+TEST_P(IncrementalSweep, WarmStartedCcMatchesFullRecompute) {
+  const DeltaConfig& c = GetParam();
+  const EngineOptions opts = config_options(c);
+  GraphContext ctx(Graph::build(rmat_graph()), "cc-inc");
+
+  const auto make_cc = [](const Graph& g) {
+    return apps::ConnectedComponents(g);
+  };
+  const auto seed_all = [](auto& session, auto&) {
+    session.frontier().set_all();
+  };
+
+  // Old fixpoint on epoch 0 (config-invariant, computed per config
+  // anyway so the warm start is exactly this config's cold output).
+  std::vector<std::uint64_t> old_labels;
+#if defined(GRAZELLE_HAVE_AVX2)
+  if (c.vectorized) {
+    old_labels = full_run<apps::ConnectedComponents, true>(ctx, opts,
+                                                           make_cc, seed_all);
+  }
+#endif
+  if (old_labels.empty()) {
+    old_labels = full_run<apps::ConnectedComponents, false>(
+        ctx, opts, make_cc, seed_all);
+  }
+  const std::vector<store::DeltaOp> ops = sweep_delta(ctx.graph());
+
+  ctx.ingest(ops);
+  const DeltaReport report = ctx.publish();
+  ASSERT_TRUE(report.insert_only);
+  ASSERT_GT(report.touched_sources.size(), 0u);
+
+  const auto run_pair = [&](auto vec_tag) {
+    constexpr bool kVec = decltype(vec_tag)::value;
+    const std::vector<std::uint64_t> full =
+        full_run<apps::ConnectedComponents, kVec>(ctx, opts, make_cc,
+                                                  seed_all);
+    Session<apps::ConnectedComponents, kVec> session(ctx, opts);
+    apps::ConnectedComponents prog(session.graph());
+    prog.warm_start(old_labels);
+    session.run_incremental(prog, report.touched_sources, 1u << 20);
+    const std::vector<std::uint64_t> inc(prog.labels().begin(),
+                                         prog.labels().end());
+    EXPECT_EQ(inc, full);
+  };
+#if defined(GRAZELLE_HAVE_AVX2)
+  if (c.vectorized) {
+    run_pair(std::true_type{});
+    return;
+  }
+#endif
+  ASSERT_FALSE(c.vectorized) << "vector kernels not built";
+  run_pair(std::false_type{});
+}
+
+TEST_P(IncrementalSweep, IncrementalBfsMatchesFullRecompute) {
+  const DeltaConfig& c = GetParam();
+  const EngineOptions opts = config_options(c);
+  GraphContext ctx(Graph::build(rmat_graph()), "bfs-inc");
+
+  const auto make_bfs = [](const Graph& g) {
+    return apps::BreadthFirstSearch(g, 0);
+  };
+  const auto seed_root = [](auto& session, auto& prog) {
+    prog.seed(session.frontier());
+  };
+  const auto run_full = [&]() -> std::vector<std::uint64_t> {
+#if defined(GRAZELLE_HAVE_AVX2)
+    if (c.vectorized) {
+      return full_run<apps::BreadthFirstSearch, true>(ctx, opts, make_bfs,
+                                                      seed_root);
+    }
+#endif
+    return full_run<apps::BreadthFirstSearch, false>(ctx, opts, make_bfs,
+                                                     seed_root);
+  };
+
+  const std::vector<std::uint64_t> old_parents = run_full();
+  const std::vector<store::DeltaOp> ops = sweep_delta(ctx.graph());
+  // The scalar relaxation needs the *effective* inserts; compute them
+  // against epoch 0 while it is still the head (the service gets them
+  // from the publish itself).
+  const DeltaEffect effect = apply_delta(ctx.graph(), ops);
+
+  ctx.ingest(ops);
+  const DeltaReport report = ctx.publish();
+  ASSERT_TRUE(report.insert_only);
+
+  const std::vector<std::uint64_t> full = run_full();
+  const GraphContext::Snapshot head = ctx.snapshot();
+  const std::vector<std::uint64_t> inc =
+      apps::incremental_bfs(head->graph(), 0, old_parents, effect.inserted);
+  EXPECT_EQ(inc, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, IncrementalSweep,
+                         ::testing::ValuesIn(make_configs()), config_name);
+
+// An effective delete clears insert_only: the fallback-to-full signal.
+TEST(IncrementalFallback, DeleteClearsInsertOnlySignal) {
+  GraphContext ctx(path_graph(), "fallback");
+  ctx.ingest(std::vector<store::DeltaOp>{store::DeltaOp::remove(3, 4),
+                                         store::DeltaOp::insert(0, 9)});
+  const DeltaReport report = ctx.publish();
+  EXPECT_FALSE(report.insert_only);
+  EXPECT_EQ(report.deleted, 1u);
+  EXPECT_EQ(report.inserted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal replay at open
+
+class TempStore {
+ public:
+  explicit TempStore(const char* stem)
+      : path_(fs::temp_directory_path() / (std::string(stem) + ".gzg")) {}
+  ~TempStore() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(JournalReplay, ReopenedContextMatchesPublishedEpoch) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_delta_replay");
+  store::pack_graph(built, store.path());
+
+  std::vector<std::pair<VertexId, VertexId>> published_pairs;
+  std::uint64_t published_edges = 0;
+  {
+    GraphContext ctx = GraphContext::open(store.path().string(), "replay");
+    ASSERT_TRUE(ctx.journaling());
+    std::vector<store::DeltaOp> ops = sweep_delta(ctx.graph());
+    ctx.ingest(ops);
+    const DeltaReport report = ctx.publish();
+    EXPECT_EQ(report.epoch, 1u);
+    EXPECT_EQ(ctx.journal_batches(), 1u);
+    const GraphContext::Snapshot head = ctx.snapshot();
+    published_pairs = edge_pairs(head->graph());
+    published_edges = head->graph().num_edges();
+  }
+
+  // The journal survived on disk: a fresh open replays it into epoch 0
+  // and serves exactly the graph the first process published.
+  {
+    GraphContext ctx = GraphContext::open(store.path().string(), "replay");
+    EXPECT_EQ(ctx.epoch(), 0u);
+    EXPECT_EQ(ctx.num_edges(), published_edges);
+    EXPECT_EQ(edge_pairs(ctx.graph()), published_pairs);
+    EXPECT_EQ(ctx.journal_batches(), 1u);
+  }
+
+  // graph_info-level summary agrees.
+  const store::StoreInfo info = store::inspect_store(store.path());
+  EXPECT_EQ(info.journal_batches, 1u);
+  EXPECT_GT(info.journal_ops, 0u);
+}
+
+TEST(JournalReplay, BorrowedContextIsMemoryOnly) {
+  const Graph g = path_graph();
+  GraphContext ctx(&g, "memory-only");
+  EXPECT_FALSE(ctx.journaling());
+  ctx.ingest(std::vector<store::DeltaOp>{store::DeltaOp::insert(0, 9)});
+  EXPECT_EQ(ctx.pending_ops(), 1u);
+  const DeltaReport report = ctx.publish();
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(ctx.journal_batches(), 0u);
+}
+
+}  // namespace
+}  // namespace grazelle

@@ -87,7 +87,47 @@ TEST(Protocol, RejectsMalformedAndUnknown) {
 TEST(Protocol, UnknownOpNamesTheAlternatives) {
   const auto r = parse_request(R"({"op":"nope","graph":"g"})");
   ASSERT_FALSE(r.ok);
-  EXPECT_EQ(r.error, "unknown op: nope (want pr|cc|bfs|degree|stats|list)");
+  EXPECT_EQ(r.error,
+            "unknown op: nope (want pr|cc|bfs|degree|stats|list|ingest)");
+}
+
+TEST(Protocol, ParsesIngestRequest) {
+  const auto r = parse_request(
+      R"({"id":3,"op":"ingest","graph":"g",)"
+      R"("edges":[[0,1],[2,3,0.5]],"deletes":[[4,5]]})");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.request.op, "ingest");
+  ASSERT_EQ(r.request.edges.size(), 2u);
+  EXPECT_EQ(r.request.edges[0].src, 0u);
+  EXPECT_EQ(r.request.edges[0].dst, 1u);
+  EXPECT_FALSE(r.request.edges[0].has_weight);
+  EXPECT_EQ(r.request.edges[1].src, 2u);
+  EXPECT_EQ(r.request.edges[1].weight, 0.5);
+  EXPECT_TRUE(r.request.edges[1].has_weight);
+  ASSERT_EQ(r.request.deletes.size(), 1u);
+  EXPECT_EQ(r.request.deletes[0].src, 4u);
+  EXPECT_EQ(r.request.deletes[0].dst, 5u);
+}
+
+TEST(Protocol, IngestValidationRules) {
+  // An ingest must carry something to apply.
+  EXPECT_FALSE(parse_request(R"({"op":"ingest","graph":"g"})").ok);
+  EXPECT_FALSE(
+      parse_request(R"({"op":"ingest","graph":"g","edges":[]})").ok);
+  // Edge tuples are [src,dst] or [src,dst,weight].
+  EXPECT_FALSE(
+      parse_request(R"({"op":"ingest","graph":"g","edges":[[1]]})").ok);
+  EXPECT_FALSE(
+      parse_request(R"({"op":"ingest","graph":"g","deletes":[[1,2,3]]})")
+          .ok);
+  // edges/deletes belong to ingest alone.
+  EXPECT_FALSE(
+      parse_request(R"({"op":"pr","graph":"g","edges":[[0,1]]})").ok);
+  // A well-formed ingest passes.
+  EXPECT_TRUE(
+      parse_request(R"({"op":"ingest","graph":"g","edges":[[0,1]]})").ok);
+  EXPECT_TRUE(
+      parse_request(R"({"op":"ingest","graph":"g","deletes":[[0,1]]})").ok);
 }
 
 TEST(Protocol, NumberExactRoundTripsDoubles) {
@@ -319,6 +359,70 @@ TEST_F(ServiceTest, QueuedBfsBurstCoalescesIntoOneBatch) {
           << "source " << sources[id] << " vertex " << i;
     }
   }
+}
+
+TEST_F(ServiceTest, IngestPublishesEpochVisibleToLaterRequests) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  const std::uint64_t old_out0 = graph_.out_degrees()[0];
+
+  // Three inserts from vertex 0; some may already exist in the rmat
+  // base, so trust the reply's effective-insert count.
+  service.submit(
+      R"({"id":1,"op":"ingest","graph":"g","edges":[[0,9],[0,11],[0,13]]})",
+      log.sink());
+  service.start();
+  const auto lines = log.wait_for(1);
+
+  const json::Value v = json::parse(lines[0]);
+  ASSERT_TRUE(v.at("ok").boolean) << lines[0];
+  EXPECT_EQ(v.at("op").str, "ingest");
+  EXPECT_EQ(v.at("epoch").num, 1);
+  EXPECT_EQ(v.at("applied_ops").num, 3);
+  EXPECT_TRUE(v.at("insert_only").boolean);
+  EXPECT_FALSE(v.at("journaled").boolean);  // borrowed graph: memory-only
+  const auto inserted = static_cast<std::uint64_t>(v.at("inserted").num);
+
+  // Immediate ops now see the new epoch.
+  service.submit(R"({"id":2,"op":"degree","graph":"g","vertex":0})",
+                 log.sink());
+  service.submit(R"({"id":3,"op":"stats"})", log.sink());
+  service.stop();
+  ASSERT_EQ(log.count(), 3u);
+
+  const json::Value degree = json::parse(log.lines[1]);
+  ASSERT_TRUE(degree.at("ok").boolean);
+  EXPECT_EQ(degree.at("epoch").num, 1);
+  EXPECT_EQ(degree.at("out_degree").num,
+            static_cast<double>(old_out0 + inserted));
+
+  const json::Value stats = json::parse(log.lines[2]);
+  ASSERT_TRUE(stats.at("ok").boolean);
+  EXPECT_EQ(stats.at("counters").at("ingests").num, 1);
+  EXPECT_EQ(stats.at("counters").at("ingested_ops").num, 3);
+  EXPECT_GT(stats.at("peak_rss_bytes").num, 0);
+  ASSERT_EQ(stats.at("graphs").items.size(), 1u);
+  const json::Value& entry = *stats.at("graphs").items[0];
+  EXPECT_EQ(entry.at("name").str, "g");
+  EXPECT_EQ(entry.at("epoch").num, 1);
+  EXPECT_EQ(entry.at("journal_batches").num, 0);
+  EXPECT_EQ(entry.at("pending_ops").num, 0);
+}
+
+TEST_F(ServiceTest, IngestRejectsOutOfRangeEdges) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(
+      R"({"id":1,"op":"ingest","graph":"g","edges":[[99999999,0]]})",
+      log.sink());
+  service.start();
+  const auto lines = log.wait_for(1);
+  service.stop();
+  const json::Value v = json::parse(lines[0]);
+  EXPECT_FALSE(v.at("ok").boolean);
+  EXPECT_EQ(v.at("error").at("code").str, "bad_request");
 }
 
 TEST_F(ServiceTest, NoBatchRequestsRunAlone) {

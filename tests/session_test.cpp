@@ -24,6 +24,7 @@
 #include "core/graph_context.h"
 #include "core/session.h"
 #include "gen/rmat.h"
+#include "graph/store.h"
 #include "platform/cpu_features.h"
 #include "telemetry/telemetry.h"
 
@@ -436,6 +437,93 @@ TEST(GraphContextCache, DerivedStateIsSharedPerKey) {
   opts.blocking.block_bytes = 2048;
   Session<apps::ConnectedComponents, false> d(ctx, opts);
   if (d.blocking_active()) EXPECT_NE(d.block_index(), a.block_index());
+}
+
+// ---------------------------------------------------------------------------
+// Epoch pinning (DESIGN.md §14): sessions keep the epoch they started
+// with across concurrent publishes.
+
+TEST(EpochPinning, SessionKeepsItsEpochAcrossPublish) {
+  const Graph g = Graph::build(rmat_graph());
+  GraphContext ctx(&g, "mutable");
+  EngineOptions opts;
+  opts.num_threads = 2;
+
+  Session<apps::ConnectedComponents, false> pinned(ctx, opts);
+  EXPECT_EQ(pinned.epoch().number(), 0u);
+  EXPECT_EQ(&pinned.graph(), &g);
+  const std::uint64_t old_edges = pinned.graph().num_edges();
+
+  // Publish a delta the base graph cannot already contain: vertex 0 is
+  // wired to every other vertex.
+  std::vector<store::DeltaOp> ops;
+  for (VertexId v = 1; v < 32; ++v) {
+    ops.push_back(store::DeltaOp::insert(0, v));
+  }
+  ctx.ingest(ops);
+  const DeltaReport report = ctx.publish();
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(ctx.epoch(), 1u);
+
+  // The pinned session still serves epoch 0 — same graph object, same
+  // edge count — while a fresh session binds the new epoch.
+  EXPECT_EQ(pinned.epoch().number(), 0u);
+  EXPECT_EQ(pinned.graph().num_edges(), old_edges);
+  Session<apps::ConnectedComponents, false> fresh(ctx, opts);
+  EXPECT_EQ(fresh.epoch().number(), 1u);
+  EXPECT_EQ(fresh.graph().num_edges(),
+            old_edges + report.inserted);
+}
+
+// A session mid-run when a publish lands must finish with answers from
+// its pinned epoch, bit-identical to a run with no mutator racing (the
+// TSan CI job runs this with real interleaving).
+TEST(EpochPinning, ConcurrentPublishDoesNotPerturbRunningSession) {
+  const Graph g = Graph::build(rmat_graph());
+  GraphContext ctx(&g, "mutable");
+  EngineOptions opts;
+  opts.num_threads = 2;
+
+  std::vector<std::uint64_t> expected;
+  {
+    Engine<apps::ConnectedComponents, false> engine(g, opts);
+    apps::ConnectedComponents cc(g);
+    engine.frontier().set_all();
+    engine.run(cc, 1u << 20);
+    expected.assign(cc.labels().begin(), cc.labels().end());
+  }
+
+  std::vector<std::uint64_t> actual;
+  std::uint64_t pinned_epoch = ~std::uint64_t{0};
+  std::thread reader([&]() {
+    Session<apps::ConnectedComponents, false> session(ctx, opts);
+    pinned_epoch = session.epoch().number();
+    apps::ConnectedComponents cc(session.graph());
+    session.frontier().set_all();
+    session.run(cc, 1u << 20);
+    actual.assign(cc.labels().begin(), cc.labels().end());
+  });
+  std::thread mutator([&]() {
+    for (int batch = 0; batch < 4; ++batch) {
+      std::vector<store::DeltaOp> ops;
+      for (VertexId v = 1; v < 8; ++v) {
+        ops.push_back(store::DeltaOp::insert(
+            static_cast<VertexId>(batch * 8), v + 100));
+      }
+      ctx.ingest(ops);
+      (void)ctx.publish();
+    }
+  });
+  reader.join();
+  mutator.join();
+
+  EXPECT_EQ(ctx.epoch(), 4u);
+  ASSERT_EQ(actual.size(), expected.size());
+  if (pinned_epoch == 0) {
+    // Epoch 0 pinned: the racing publishes must not have perturbed the
+    // run — labels are exactly the unperturbed fixpoint.
+    EXPECT_EQ(actual, expected);
+  }
 }
 
 // Engine is now a GraphContext + Session wrapper; its context

@@ -431,8 +431,8 @@ TEST(Store, StrippedVsd512ContainerFallsBackTo4Lane) {
   expect_graphs_equal(built, served);
 }
 
-TEST(Store, VersionCappedReaderRejectsV3) {
-  // A long-lived reader pinned at v2 must refuse a v3 container with a
+TEST(Store, VersionCappedReaderRejectsNewer) {
+  // A long-lived reader pinned at v2 must refuse a v4 container with a
   // message naming both the found and the supported versions.
   const Graph built = Graph::build(rmat_graph());
   TempStore store("grazelle_store_v512_capped");
@@ -456,13 +456,154 @@ TEST(Store, VersionCappedReaderRejectsV3) {
     } catch (const store::StoreError& e) {
       EXPECT_EQ(e.code(), store::StoreErrc::kBadVersion);
       const std::string msg = e.what();
-      EXPECT_NE(msg.find("version 3"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("version 4"), std::string::npos) << msg;
       EXPECT_NE(msg.find("1..2"), std::string::npos) << msg;
     }
   }
   // At the current cap the same file opens fine.
   EXPECT_NO_THROW((void)store::load_graph(store.path(),
                                           store::kFormatVersion));
+}
+
+// ---------------------------------------------------------------------------
+// Delta journal sections (format v4)
+
+TEST(Store, FreshPackHasEmptyJournal) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_journal_empty");
+  store::pack_graph(built, store.path());
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  EXPECT_EQ(info.version, store::kFormatVersion);
+  EXPECT_TRUE(info.has_journal);
+  EXPECT_EQ(info.journal_batches, 0u);
+  EXPECT_EQ(info.journal_ops, 0u);
+  EXPECT_EQ(info.journal_net_edge_delta, 0);
+
+  const store::DeltaJournal journal = store::read_delta_journal(store.path());
+  EXPECT_EQ(journal.journal_version, 1u);
+  EXPECT_TRUE(journal.batches.empty());
+  EXPECT_EQ(journal.total_ops, 0u);
+  EXPECT_NO_THROW(store::verify_store(store.path()));
+}
+
+TEST(Store, JournalAppendReadBackRoundTrip) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_journal_rt");
+  store::pack_graph(built, store.path());
+
+  const std::vector<store::DeltaOp> batch1 = {store::DeltaOp::insert(1, 2),
+                                              store::DeltaOp::remove(3, 4)};
+  const std::vector<store::DeltaOp> batch2 = {
+      store::DeltaOp::insert(5, 6, 2.5)};
+  store::append_delta_batch(store.path(), batch1);
+  store::append_delta_batch(store.path(), batch2);
+
+  const store::DeltaJournal journal = store::read_delta_journal(store.path());
+  ASSERT_EQ(journal.batches.size(), 2u);
+  EXPECT_EQ(journal.total_ops, 3u);
+  EXPECT_EQ(journal.net_edge_delta, 1);  // two inserts, one delete
+  const auto expect_ops_equal = [](std::span<const store::DeltaOp> got,
+                                   std::span<const store::DeltaOp> want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].src, want[i].src);
+      EXPECT_EQ(got[i].dst, want[i].dst);
+      EXPECT_EQ(got[i].weight, want[i].weight);
+      EXPECT_EQ(got[i].kind, want[i].kind);
+    }
+  };
+  expect_ops_equal(journal.batches[0], batch1);
+  expect_ops_equal(journal.batches[1], batch2);
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  EXPECT_EQ(info.journal_batches, 2u);
+  EXPECT_EQ(info.journal_ops, 3u);
+  EXPECT_EQ(info.journal_net_edge_delta, 1);
+
+  // The append updated every affected CRC, and the base payloads are
+  // untouched: the container still verifies and loads bit-identically.
+  EXPECT_NO_THROW(store::verify_store(store.path()));
+  expect_graphs_equal(built, store::load_graph(store.path()));
+}
+
+TEST(Store, JournalAppendValidatesOpsAndVersion) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_journal_reject");
+  store::pack_graph(built, store.path());
+
+  // Vertex ids beyond the packed id space are refused up front.
+  const std::vector<store::DeltaOp> out_of_range = {
+      store::DeltaOp::insert(built.num_vertices(), 0)};
+  expect_store_error(store::StoreErrc::kBadSection, [&] {
+    store::append_delta_batch(store.path(), out_of_range);
+  });
+
+  // A pre-v4 container has no journal to append to.
+  const std::uint32_t v3 = 3;
+  patch_file(store.path(), 4, &v3, sizeof(v3));
+  const std::vector<store::DeltaOp> fine = {store::DeltaOp::insert(1, 2)};
+  expect_store_error(store::StoreErrc::kBadVersion, [&] {
+    store::append_delta_batch(store.path(), fine);
+  });
+}
+
+TEST(Store, LegacyContainerYieldsEmptyJournal) {
+  // A v3-era file (no dlt.* sections) reads back as "no journal", not
+  // an error: rename the journal sections away and drop the version.
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_journal_legacy");
+  store::pack_graph(built, store.path());
+
+  const std::uint32_t v3 = 3;
+  patch_file(store.path(), 4, &v3, sizeof(v3));
+  const store::StoreInfo info = store::inspect_store(store.path());
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const std::string& name = info.sections[i].name;
+    if (name == "dlt.hdr" || name == "dlt.ops") {
+      std::string renamed = name;
+      renamed[0] = 'x';
+      patch_file(store.path(), 64 + i * 40, renamed.c_str(),
+                 renamed.size());
+    }
+  }
+
+  store::verify_store(store.path());  // still checksum-clean
+  const store::DeltaJournal journal = store::read_delta_journal(store.path());
+  EXPECT_EQ(journal.journal_version, 0u);
+  EXPECT_TRUE(journal.batches.empty());
+  EXPECT_FALSE(store::inspect_store(store.path()).has_journal);
+  expect_graphs_equal(built, store::load_graph(store.path()));
+}
+
+TEST(Store, JournalCorruptionFailsChecksum) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_journal_corrupt");
+  store::pack_graph(built, store.path());
+  const std::vector<store::DeltaOp> batch = {store::DeltaOp::insert(1, 2)};
+  store::append_delta_batch(store.path(), batch);
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  const store::SectionInfo* ops_section = nullptr;
+  for (const store::SectionInfo& s : info.sections) {
+    if (s.name == "dlt.ops") ops_section = &s;
+  }
+  ASSERT_NE(ops_section, nullptr);
+  ASSERT_GT(ops_section->length, 0u);
+
+  std::ifstream in(store.path(), std::ios::binary);
+  in.seekg(static_cast<std::streamoff>(ops_section->offset));
+  char byte = 0;
+  in.read(&byte, 1);
+  in.close();
+  byte = static_cast<char>(byte ^ 0x5a);
+  patch_file(store.path(), ops_section->offset, &byte, 1);
+
+  expect_store_error(store::StoreErrc::kChecksumMismatch,
+                     [&] { store::verify_store(store.path()); });
+  expect_store_error(store::StoreErrc::kChecksumMismatch, [&] {
+    (void)store::read_delta_journal(store.path());
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -508,10 +649,17 @@ TEST_F(StoreFailure, UnsupportedVersionIsDetected) {
 }
 
 TEST_F(StoreFailure, PayloadCorruptionFailsChecksum) {
-  // Flip one byte in the last section's payload. Structural open still
-  // succeeds (it validates layout only); the checksum passes catch it.
+  // Flip one byte in the last non-empty *graph* section's payload (the
+  // trailing dlt.* journal sections are covered by their own test, and
+  // read_graph does not consume them). Structural open still succeeds
+  // (it validates layout only); the checksum passes catch it.
   const store::StoreInfo info = store::inspect_store(path());
-  const store::SectionInfo& last = info.sections.back();
+  const store::SectionInfo* picked = nullptr;
+  for (const store::SectionInfo& s : info.sections) {
+    if (s.length > 0 && s.name.rfind("dlt.", 0) != 0) picked = &s;
+  }
+  ASSERT_NE(picked, nullptr);
+  const store::SectionInfo& last = *picked;
   ASSERT_GT(last.length, 0u);
   std::ifstream in(path(), std::ios::binary);
   in.seekg(static_cast<std::streamoff>(last.offset));

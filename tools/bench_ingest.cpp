@@ -1,0 +1,374 @@
+// bench_ingest — streaming-update microbench (DESIGN.md §14). For a
+// range of delta sizes it measures, against one base graph:
+//
+//   drain_<k>    overlay ingest + canonical drain of k edge inserts
+//                (guttering throughput, edges/sec — no graph rebuild)
+//   publish_<k>  ingest + epoch publication (drain, apply_delta, full
+//                Vector-Sparse rebuild, head swap)
+//   cc_full_<k>  / cc_inc_<k>    cold engine run on the new epoch vs
+//                warm-started incremental rerun seeded from the
+//                delta-touched sources (Session::run_incremental)
+//   bfs_full_<k> / bfs_inc_<k>   cold engine run vs the scalar
+//                level-ordered relaxation (apps::incremental_bfs)
+//
+// The delta is carved out of the input graph itself — every (E/k)-th
+// canonical edge is withheld from the base and re-ingested — so the
+// published epoch is the input graph again and both incremental paths
+// are verified bit-identical against their cold runs before timing is
+// trusted. Results are written in bench_report's JSON schema, so
+// `bench_report --diff` gates ingest regressions like any other bench.
+//
+//   bench_ingest [-i rmat:14] [--label ingest] [--repeats 5]
+//                [--deltas 64,1024,16384] [-n <threads>] [--out <f>]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/incremental.h"
+#include "bench_common.h"
+#include "cli_common.h"
+#include "cli_options.h"
+#include "core/graph_context.h"
+#include "core/session.h"
+#include "graph/delta_overlay.h"
+#include "platform/cpu_features.h"
+#include "telemetry/json.h"
+
+using namespace grazelle;
+
+namespace {
+
+constexpr unsigned kBenchReportVersion = 1;
+
+struct Options {
+  std::string input = "rmat:14";
+  std::string label = "ingest";
+  std::string out;  // default: BENCH_<label>.json
+  std::string deltas = "64,1024,16384";
+  unsigned repeats = 5;
+  unsigned threads = 4;
+  double scale = 0.25;
+};
+
+struct BenchRow {
+  std::string name;
+  std::vector<double> seconds;
+  std::uint64_t ops = 0;       // delta size k
+  double edges_per_s = 0.0;    // drain rows
+  double speedup = 0.0;        // *_inc rows: full median / inc median
+};
+
+/// Withholds every (E/k)-th canonical edge as the delta; the rest is
+/// the base. Re-ingesting the delta reproduces the input graph, which
+/// is what makes the bit-identity checks below possible.
+void split_delta(const EdgeList& full, std::uint64_t k, EdgeList& base,
+                 std::vector<store::DeltaOp>& ops) {
+  const std::vector<Edge>& edges = full.edges();
+  const std::uint64_t stride = std::max<std::uint64_t>(1, edges.size() / k);
+  base.set_num_vertices(full.num_vertices());
+  base.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i % stride == 0 && ops.size() < k) {
+      ops.push_back(store::DeltaOp::insert(edges[i].src, edges[i].dst));
+    } else {
+      base.add_edge(edges[i].src, edges[i].dst);
+    }
+  }
+}
+
+template <typename P, bool Vec, typename Prime>
+std::vector<double> time_runs(const GraphContext& ctx, unsigned threads,
+                              unsigned repeats, Prime&& prime) {
+  EngineOptions eopts;
+  eopts.num_threads = threads;
+  std::vector<double> seconds;
+  seconds.reserve(repeats);
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    Session<P, Vec> session(ctx, eopts);
+    WallTimer t;
+    prime(session);
+    seconds.push_back(t.seconds());
+  }
+  return seconds;
+}
+
+template <bool Vec>
+std::vector<BenchRow> run_delta(const Graph& full, const EdgeList& full_list,
+                                std::uint64_t k, const Options& opt) {
+  std::vector<BenchRow> rows;
+  EdgeList base_list;
+  std::vector<store::DeltaOp> ops;
+  split_delta(full_list, k, base_list, ops);
+  const Graph base = Graph::build(std::move(base_list));
+  const std::uint64_t n = base.num_vertices();
+  const auto tag = [&](const char* what) {
+    return std::string(what) + "_" + std::to_string(k);
+  };
+
+  // Overlay guttering: ingest + canonical drain, no rebuild.
+  {
+    BenchRow r;
+    r.name = tag("drain");
+    r.ops = ops.size();
+    for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+      WallTimer t;
+      DeltaOverlay overlay(n);
+      overlay.ingest(ops);
+      const DeltaBatch batch = overlay.drain();
+      r.seconds.push_back(t.seconds());
+      if (batch.ops.size() > ops.size()) std::abort();  // keep batch live
+    }
+    const double med = bench::median_of(r.seconds);
+    r.edges_per_s = med > 0 ? static_cast<double>(ops.size()) / med : 0.0;
+    rows.push_back(std::move(r));
+  }
+
+  // Epoch publication: drain + apply_delta + full rebuild + head swap.
+  {
+    BenchRow r;
+    r.name = tag("publish");
+    r.ops = ops.size();
+    for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+      GraphContext ctx(&base);
+      WallTimer t;
+      ctx.ingest(ops);
+      const DeltaReport rep_out = ctx.publish();
+      r.seconds.push_back(t.seconds());
+      if (rep_out.epoch != 1) std::abort();
+    }
+    rows.push_back(std::move(r));
+  }
+
+  // Incremental-vs-full recompute on one published context: the old
+  // fixpoints come from epoch 0, the delta report seeds the reruns.
+  GraphContext ctx(&base);
+  EngineOptions eopts;
+  eopts.num_threads = opt.threads;
+  std::vector<std::uint64_t> old_labels, old_parents;
+  {
+    Session<apps::ConnectedComponents, Vec> session(ctx, eopts);
+    apps::ConnectedComponents prog(session.graph());
+    session.frontier().set_all();
+    session.run(prog, 1u << 20);
+    old_labels.assign(prog.labels().begin(), prog.labels().end());
+  }
+  {
+    Session<apps::BreadthFirstSearch, Vec> session(ctx, eopts);
+    apps::BreadthFirstSearch prog(session.graph(), 0);
+    prog.seed(session.frontier());
+    session.run(prog, 1u << 20);
+    old_parents.assign(prog.parents().begin(), prog.parents().end());
+  }
+  const DeltaEffect effect = apply_delta(base, ops);
+  ctx.ingest(ops);
+  const DeltaReport delta = ctx.publish();
+
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "error: %s differs from the full recompute\n",
+                   what);
+      std::exit(1);
+    }
+  };
+
+  // Connected components: cold vs warm-started engine rerun.
+  std::vector<std::uint64_t> cc_full;
+  {
+    BenchRow r;
+    r.name = tag("cc_full");
+    r.ops = ops.size();
+    r.seconds = time_runs<apps::ConnectedComponents, Vec>(
+        ctx, opt.threads, opt.repeats, [&](auto& session) {
+          apps::ConnectedComponents prog(session.graph());
+          session.frontier().set_all();
+          session.run(prog, 1u << 20);
+          cc_full.assign(prog.labels().begin(), prog.labels().end());
+        });
+    rows.push_back(std::move(r));
+  }
+  {
+    BenchRow r;
+    r.name = tag("cc_inc");
+    r.ops = ops.size();
+    r.seconds = time_runs<apps::ConnectedComponents, Vec>(
+        ctx, opt.threads, opt.repeats, [&](auto& session) {
+          apps::ConnectedComponents prog(session.graph());
+          prog.warm_start(old_labels);
+          session.run_incremental(prog, delta.touched_sources, 1u << 20);
+          check(std::equal(cc_full.begin(), cc_full.end(),
+                           prog.labels().begin()),
+                "incremental cc");
+        });
+    r.speedup = bench::median_of(rows[rows.size() - 1].seconds) /
+                std::max(1e-12, bench::median_of(r.seconds));
+    rows.push_back(std::move(r));
+  }
+
+  // BFS: cold engine run vs the scalar level-ordered relaxation.
+  std::vector<std::uint64_t> bfs_full;
+  {
+    BenchRow r;
+    r.name = tag("bfs_full");
+    r.ops = ops.size();
+    r.seconds = time_runs<apps::BreadthFirstSearch, Vec>(
+        ctx, opt.threads, opt.repeats, [&](auto& session) {
+          apps::BreadthFirstSearch prog(session.graph(), 0);
+          prog.seed(session.frontier());
+          session.run(prog, 1u << 20);
+          bfs_full.assign(prog.parents().begin(), prog.parents().end());
+        });
+    rows.push_back(std::move(r));
+  }
+  {
+    BenchRow r;
+    r.name = tag("bfs_inc");
+    r.ops = ops.size();
+    const GraphContext::Snapshot head = ctx.snapshot();
+    for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+      WallTimer t;
+      const std::vector<std::uint64_t> parents = apps::incremental_bfs(
+          head->graph(), 0, old_parents, effect.inserted);
+      r.seconds.push_back(t.seconds());
+      check(parents == bfs_full, "incremental bfs");
+    }
+    r.speedup = bench::median_of(rows[rows.size() - 1].seconds) /
+                std::max(1e-12, bench::median_of(r.seconds));
+    rows.push_back(std::move(r));
+  }
+  (void)full;
+  return rows;
+}
+
+std::string report_json(const std::vector<BenchRow>& rows,
+                        const Options& opt, const Graph& graph,
+                        bool vectorized) {
+  namespace json = telemetry::json;
+  const MachineFingerprint& m = machine_fingerprint();
+  std::vector<std::string> benches;
+  for (const BenchRow& r : rows) {
+    json::ObjectWriter b;
+    b.field("name", r.name)
+        .field("median_s", bench::median_of(r.seconds))
+        .field("stddev_s", bench::stddev_of(r.seconds))
+        .field("repeats", static_cast<std::uint64_t>(r.seconds.size()))
+        .field("ops", r.ops);
+    if (r.edges_per_s > 0) b.field("edges_per_s", r.edges_per_s);
+    if (r.speedup > 0) b.field("speedup_vs_full", r.speedup);
+    benches.push_back(b.str());
+  }
+  json::ObjectWriter w;
+  w.field("bench_report_version",
+          static_cast<std::uint64_t>(kBenchReportVersion))
+      .field("label", opt.label)
+      .field("input", opt.input)
+      .field("num_vertices", graph.num_vertices())
+      .field("num_edges", graph.num_edges())
+      .field("threads", opt.threads)
+      .field("vectorized", vectorized)
+      .field("pmu_available", false)
+      .field_raw("machine", json::ObjectWriter()
+                                .field("cpu_model", m.cpu_model)
+                                .field("logical_cores", m.logical_cores)
+                                .field("avx2", m.avx2)
+                                .field("avx512f", m.avx512f)
+                                .field("llc_bytes", m.llc_bytes)
+                                .str())
+      .field_raw("benchmarks", json::array(benches));
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  cli::OptionTable table(
+      "[-i <input>] [--deltas <k,k,...>] [--label <s>] [options]");
+  table
+      .str('i', nullptr, &opt.input, "<input>",
+           "graph input (default rmat:14; same selectors\n"
+           "as grazelle_run)")
+      .str(0, "deltas", &opt.deltas, "<list>",
+           "comma-separated delta sizes in edges\n"
+           "(default 64,1024,16384)")
+      .uint(0, "repeats", &opt.repeats, "<n>",
+            "timed runs per benchmark (default 5)")
+      .str(0, "label", &opt.label, "<s>", "report label (default ingest)")
+      .out_path(0, "out", &opt.out, "<f>",
+                "output path (default BENCH_<label>.json)")
+      .uint('n', nullptr, &opt.threads, "<threads>",
+            "worker threads (default 4)")
+      .real('S', nullptr, &opt.scale, "<scale>",
+            "dataset analog scale factor (default 0.25)");
+  switch (table.parse(argc, argv)) {
+    case cli::OptionTable::Status::kHelp: return 0;
+    case cli::OptionTable::Status::kError: return 1;
+    case cli::OptionTable::Status::kOk: break;
+  }
+  if (opt.repeats == 0) opt.repeats = 1;
+  if (opt.out.empty()) opt.out = "BENCH_" + opt.label + ".json";
+  if (!cli::validate_writable_path(opt.out, "--out")) return 1;
+
+  std::vector<std::uint64_t> deltas;
+  for (std::size_t pos = 0; pos < opt.deltas.size();) {
+    const std::size_t comma = opt.deltas.find(',', pos);
+    const std::string tok = opt.deltas.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const long long v = std::atoll(tok.c_str());
+    if (v <= 0) {
+      std::fprintf(stderr, "error: bad delta size '%s'\n", tok.c_str());
+      return 1;
+    }
+    deltas.push_back(static_cast<std::uint64_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  auto loaded = cli::load_graph_input(opt.input, opt.scale,
+                                      /*weighted=*/false);
+  if (!loaded) return 1;
+  const Graph graph = std::move(loaded->graph);
+  const EdgeList full_list = graph.to_edge_list();
+
+  std::printf("bench_ingest: %s (%llu vertices, %llu edges), "
+              "%u repeats, deltas {%s}, %u threads\n",
+              opt.input.c_str(),
+              static_cast<unsigned long long>(graph.num_vertices()),
+              static_cast<unsigned long long>(graph.num_edges()), opt.repeats,
+              opt.deltas.c_str(), opt.threads);
+
+  const bool vectorize = vector_kernels_available();
+  std::vector<BenchRow> rows;
+  for (const std::uint64_t k : deltas) {
+    if (k >= graph.num_edges() / 2) {
+      std::printf("  (skipping delta %llu: more than half the edges)\n",
+                  static_cast<unsigned long long>(k));
+      continue;
+    }
+    std::vector<BenchRow> batch;
+#if defined(GRAZELLE_HAVE_AVX2)
+    if (vectorize) batch = run_delta<true>(graph, full_list, k, opt);
+#endif
+    if (batch.empty()) batch = run_delta<false>(graph, full_list, k, opt);
+    for (const BenchRow& r : batch) {
+      std::printf("  %-16s median %9.3f ms%s\n", r.name.c_str(),
+                  bench::median_of(r.seconds) * 1e3,
+                  r.speedup > 0
+                      ? ("  (" + bench::fmt(r.speedup, 1) + "x vs full)")
+                            .c_str()
+                      : "");
+      rows.push_back(r);
+    }
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "error: every delta size was skipped\n");
+    return 1;
+  }
+
+  const std::string body = report_json(rows, opt, graph, vectorize);
+  if (!cli::write_json_report(opt.out, body)) return 1;
+  std::printf("wrote %s\n", opt.out.c_str());
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include <sys/stat.h>
 
@@ -16,6 +17,7 @@
 #include "gen/datasets.h"
 #include "gen/rmat.h"
 #include "gen/synthetic.h"
+#include "graph/delta_overlay.h"
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/store.h"
@@ -79,15 +81,38 @@ struct LoadedGraph {
 
 /// Resolves a dataset selector into a ready-to-serve Graph. Packed
 /// `.gzg` containers route through the zero-copy mapped path
-/// (store::load_graph); everything else loads an edge list and builds.
+/// (store::load_graph); a container carrying a non-empty delta journal
+/// is replayed first (fold + rebuild, same composition as
+/// GraphContext::open and graph_convert --compact) so one-shot runs
+/// see the ingested edges, not the stale base. Everything else loads
+/// an edge list and builds.
 inline std::optional<LoadedGraph> load_graph_input(const std::string& input,
                                                    double scale,
                                                    bool weighted) {
   WallTimer total;
   if (has_suffix(input, store::kFileExtension)) {
     try {
+      const store::StoreInfo info = store::inspect_store(input);
       Graph g = store::load_graph(input);
-      return LoadedGraph{std::move(g), total.seconds(), 0.0};
+      if (info.journal_ops == 0) {
+        return LoadedGraph{std::move(g), total.seconds(), 0.0};
+      }
+      const store::DeltaJournal journal = store::read_delta_journal(input);
+      std::vector<store::DeltaOp> ops;
+      ops.reserve(journal.total_ops);
+      for (const auto& batch : journal.batches) {
+        ops.insert(ops.end(), batch.begin(), batch.end());
+      }
+      WallTimer build;
+      DeltaEffect effect = apply_delta(g, ops);
+      Graph next = Graph::build(std::move(effect.merged));
+      if (!g.vsd512().present()) next.set_vsd512(Vsd512Graph{});
+      std::fprintf(stderr,
+                   "note: replayed %llu journaled ops from '%s' "
+                   "(fold with graph_convert --compact)\n",
+                   static_cast<unsigned long long>(journal.total_ops),
+                   input.c_str());
+      return LoadedGraph{std::move(next), total.seconds(), build.seconds()};
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: cannot open '%s': %s\n", input.c_str(),
                    e.what());

@@ -4,7 +4,13 @@
 // user needs to make their own).
 //
 //   graph_convert <input> <output> [--canonicalize] [--pack]
-//                 [--lanes {4,8,auto}]
+//                 [--lanes {4,8,auto}] [--compact]
+//
+// --compact folds a v4 container's delta journal into the base: the
+// journaled insert/delete batches are applied to the packed edge list
+// (via the same apply_delta path epoch publication uses, so the output
+// is bit-identical to the graph a serving daemon materializes) and the
+// result is packed fresh with an empty journal.
 //
 // Direction is inferred from the extensions: a ".grzb" output means
 // edge-list binary, a ".gzg" output (or --pack) builds every engine
@@ -21,9 +27,11 @@
 // than they gain in width.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cli_common.h"
 #include "cli_options.h"
+#include "graph/delta_overlay.h"
 
 using namespace grazelle;
 
@@ -31,11 +39,12 @@ int main(int argc, char** argv) {
   std::string input, output;
   bool canonicalize = false;
   bool pack = false;
+  bool compact = false;
   double scale = 0.25;
   std::string lanes = "auto";
   cli::OptionTable table(
       "<input> <output> [--canonicalize] [--pack] "
-      "[--scale <f>] [--lanes {4,8,auto}]");
+      "[--scale <f>] [--lanes {4,8,auto}] [--compact]");
   table.positional("<input>", &input, /*required=*/true)
       .positional("<output>", &output, /*required=*/true)
       .flag(0, "canonicalize", &canonicalize,
@@ -43,6 +52,9 @@ int main(int argc, char** argv) {
       .flag(0, "pack", &pack,
             "build every engine representation and pack a\n"
             ".gzg container (implied by a .gzg output)")
+      .flag(0, "compact", &compact,
+            "fold the input container's delta journal into\n"
+            "the base before writing (requires a .gzg input)")
       .real(0, "scale", &scale, "<f>",
             "dataset analog scale factor (default 0.25)")
       .choice(0, "lanes", &lanes, "lane policy", {"4", "8", "auto"},
@@ -62,16 +74,44 @@ int main(int argc, char** argv) {
     case cli::OptionTable::Status::kOk: break;
   }
 
+  if (compact && !cli::has_suffix(input, store::kFileExtension)) {
+    std::fprintf(stderr, "error: --compact needs a %s input\n",
+                 store::kFileExtension);
+    return 1;
+  }
+
   try {
+    std::uint64_t folded_batches = 0;
+    std::uint64_t folded_ops = 0;
     EdgeList list = [&] {
       if (cli::has_suffix(input, store::kFileExtension)) {
         // A packed container already holds the canonical edge order.
-        return store::load_graph(input).to_edge_list();
+        Graph base = store::load_graph(input);
+        if (!compact) return base.to_edge_list();
+        // Fold the journal: concatenate its batches in order (later
+        // ops win per pair) and merge through apply_delta — the same
+        // path a serving daemon publishes epochs with, so the packed
+        // result is bit-identical to the served graph.
+        const store::DeltaJournal journal = store::read_delta_journal(input);
+        std::vector<store::DeltaOp> ops;
+        ops.reserve(journal.total_ops);
+        for (const auto& batch : journal.batches) {
+          ops.insert(ops.end(), batch.begin(), batch.end());
+          ++folded_batches;
+        }
+        folded_ops = ops.size();
+        DeltaEffect effect = apply_delta(base, ops);
+        return std::move(effect.merged);
       }
       auto loaded = cli::load_input(input, scale, /*weighted=*/false);
       if (!loaded) std::exit(1);
       return std::move(*loaded);
     }();
+    if (compact) {
+      std::printf("compacted %llu journal batches (%llu ops) into the base\n",
+                  static_cast<unsigned long long>(folded_batches),
+                  static_cast<unsigned long long>(folded_ops));
+    }
     if (canonicalize) list.canonicalize();
 
     const bool pack_out = pack || cli::has_suffix(output,

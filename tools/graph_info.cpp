@@ -186,10 +186,19 @@ std::string info_json(const Graph& graph,
                              .field("crc32", static_cast<std::uint64_t>(s.crc32))
                              .str());
     }
+    json::ObjectWriter journal;
+    journal.field("present", packed->has_journal);
+    if (packed->has_journal) {
+      journal.field("batches", packed->journal_batches)
+          .field("ops", packed->journal_ops)
+          .field_raw("net_edge_delta",
+                     std::to_string(packed->journal_net_edge_delta));
+    }
     w.field_raw("packed", json::ObjectWriter()
                               .field("version", packed->version)
                               .field("vector_lanes", packed->vector_lanes)
                               .field("checksums_ok", true)
+                              .field_raw("delta_journal", journal.str())
                               .field_raw("sections", json::array(sections))
                               .str());
   }
@@ -261,6 +270,18 @@ int main(int argc, char** argv) {
   } else {
     std::printf("8-lane SELL-sigma:  absent (pre-v3 container; engine "
                 "serves the 4-lane layout)\n");
+  }
+  if (packed_info.has_value()) {
+    if (packed_info->has_journal) {
+      std::printf("delta journal:      %llu batches, %llu ops, net edge "
+                  "delta %+lld (fold with graph_convert --compact)\n",
+                  static_cast<unsigned long long>(packed_info->journal_batches),
+                  static_cast<unsigned long long>(packed_info->journal_ops),
+                  static_cast<long long>(packed_info->journal_net_edge_delta));
+    } else {
+      std::printf("delta journal:      absent (pre-v4 container; ingest "
+                  "is memory-only)\n");
+    }
   }
 
   print_degree_block("in-degrees (pull side)", graph.in_degrees());
