@@ -1,0 +1,424 @@
+// Adaptive direction switching vs fixed plans (DESIGN.md §15).
+//
+// Part 1 — density sweep: per synthetic frontier density, one Edge
+// phase of BFS and CC is timed under each fixed plan (ungated pull,
+// gated pull, push), then a DirectionController converges at that
+// density and its steady-state pick is timed the same way. The
+// controller only selects among the fixed paths, so `auto` should
+// track the best fixed plan at every point (best/auto ~ 1.0) while
+// the worst fixed plan falls well behind overall — the cost model
+// learns the real push/pull crossover instead of a static threshold.
+//
+// Part 2 — end-to-end: full BFS / CC / PR runs under
+// adaptive / heuristic / pull-only / push-only with output identity
+// checks (exact for BFS parents and CC labels in every mode; PR is
+// bitwise vs the pull paths and 1e-10-close vs push, whose reduction
+// order differs). Identity failures make the benchmark exit nonzero;
+// performance ratios are reported, not enforced.
+//
+// Env knobs: GRAZELLE_BENCH_RMAT_SCALE (default 18; 2^scale vertices,
+// 16 * 2^scale sampled edges), GRAZELLE_BENCH_THREADS.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "bench_common.h"
+#include "core/autotune.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "platform/cpu_features.h"
+#include "telemetry/pmu.h"
+
+namespace grazelle {
+namespace {
+
+unsigned rmat_scale() {
+  if (const char* s = std::getenv("GRAZELLE_BENCH_RMAT_SCALE")) {
+    const int v = std::atoi(s);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 18;
+}
+
+Graph build_graph() {
+  gen::RmatParams p;
+  p.scale = rmat_scale();
+  p.num_edges = std::uint64_t{16} << p.scale;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return Graph::build(std::move(list));
+}
+
+/// Activates ~density * V distinct vertices (deterministic).
+void fill_frontier(DenseFrontier& f, std::uint64_t num_vertices,
+                   double density) {
+  f.clear_all();
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(density * static_cast<double>(num_vertices)));
+  if (target >= num_vertices) {
+    f.set_all();
+    return;
+  }
+  std::mt19937_64 rng(0xfaceu);
+  for (std::uint64_t i = 0; i < target; ++i) {
+    f.set(rng() % num_vertices);  // collisions only undershoot slightly
+  }
+}
+
+/// What the Vertex phase would hand the controller: the active vertex
+/// count and their summed out-degree.
+struct FrontierStats {
+  std::uint64_t size = 0;
+  std::uint64_t out_edges = 0;
+};
+
+FrontierStats frontier_stats(const DenseFrontier& f, const Graph& g) {
+  FrontierStats s;
+  const auto degrees = g.out_degrees();
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+    if (f.test(v)) {
+      ++s.size;
+      s.out_edges += degrees[v];
+    }
+  }
+  return s;
+}
+
+[[nodiscard]] PhasePlan plan_for(PlanKind k) {
+  switch (k) {
+    case PlanKind::kGatedPull: return PhasePlan::pull(true);
+    case PlanKind::kPush: return PhasePlan::push();
+    case PlanKind::kPull: break;
+  }
+  return PhasePlan::pull(false);
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: density sweep
+
+struct SweepTotals {
+  double auto_s = 0.0;
+  double best_s = 0.0;
+  double worst_s = 0.0;
+  double min_point_ratio = 1e9;  ///< min over points of best/auto
+};
+
+template <typename P, bool Vec, typename Make>
+SweepTotals sweep(const char* app, const Graph& g,
+                  const std::vector<double>& densities, Make&& make,
+                  int repeats) {
+  EngineOptions opts;
+  opts.num_threads = bench::bench_threads();
+  Engine<P, Vec> engine(g, opts);
+  P prog = make(engine.pool().size());
+
+  SweepTotals totals;
+  bench::Table table({"app", "density", "pull ms", "gated ms", "push ms",
+                      "auto ms", "auto picked", "best/auto"});
+  for (double density : densities) {
+    fill_frontier(engine.frontier(), g.num_vertices(), density);
+    const FrontierStats fs = frontier_stats(engine.frontier(), g);
+
+    // Untimed warmup so the first timed variant doesn't pay the cold
+    // caches alone.
+    engine.prime_accumulators(prog);
+    engine.run_edge_phase(prog, PhasePlan::pull(false));
+
+    engine.prime_accumulators(prog);
+    const double pull_s = bench::median_seconds(
+        repeats, [&] { engine.run_edge_phase(prog, PhasePlan::pull(false)); });
+    engine.prime_accumulators(prog);
+    const double gated_s = bench::median_seconds(
+        repeats, [&] { engine.run_edge_phase(prog, PhasePlan::pull(true)); });
+    engine.prime_accumulators(prog);
+    const double push_s = bench::median_seconds(
+        repeats, [&] { engine.run_edge_phase(prog, PhasePlan::push()); });
+
+    // A fresh controller per density point: what's measured is the
+    // converged choice at *this* density, exactly as a Session whose
+    // frontier settled there would run it.
+    DirectionController::Config cfg;
+    cfg.num_vertices = g.num_vertices();
+    cfg.num_edges = g.num_edges();
+    cfg.uses_frontier = true;
+    cfg.gating_available = true;
+    cfg.blocking_available = false;
+    DirectionController ctl(cfg);
+    for (int warm = 0; warm < 6; ++warm) {
+      const DirectionDecision d = ctl.decide(fs.size, fs.out_edges);
+      engine.prime_accumulators(prog);
+      const std::uint64_t t0 = telemetry::read_tsc();
+      engine.run_edge_phase(prog, plan_for(d.kind));
+      ctl.observe(d, telemetry::read_tsc() - t0);
+    }
+    const DirectionDecision steady = ctl.decide(fs.size, fs.out_edges);
+    engine.prime_accumulators(prog);
+    const double auto_s = bench::median_seconds(
+        repeats, [&] { engine.run_edge_phase(prog, plan_for(steady.kind)); });
+
+    const double best_s = std::min({pull_s, gated_s, push_s});
+    const double worst_s = std::max({pull_s, gated_s, push_s});
+    totals.auto_s += auto_s;
+    totals.best_s += best_s;
+    totals.worst_s += worst_s;
+    totals.min_point_ratio = std::min(totals.min_point_ratio, best_s / auto_s);
+
+    bench::JsonRow()
+        .field("bench", "autotune")
+        .field("app", app)
+        .field("density", density)
+        .field("frontier_size", fs.size)
+        .field("frontier_out_edges", fs.out_edges)
+        .field("pull_ms", pull_s * 1e3)
+        .field("gated_ms", gated_s * 1e3)
+        .field("push_ms", push_s * 1e3)
+        .field("auto_ms", auto_s * 1e3)
+        .field("auto_kind", plan_kind_name(steady.kind))
+        .field("best_over_auto", best_s / auto_s)
+        .field("worst_over_auto", worst_s / auto_s)
+        .print();
+    table.add_row({app, bench::fmt(density, 5), bench::fmt_ms(pull_s),
+                   bench::fmt_ms(gated_s), bench::fmt_ms(push_s),
+                   bench::fmt_ms(auto_s), plan_kind_name(steady.kind),
+                   bench::fmt(best_s / auto_s, 2)});
+  }
+  table.print();
+  std::printf("\n");
+  return totals;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: end-to-end runs with identity checks
+
+struct Mode {
+  const char* name;
+  EngineSelect select;
+};
+constexpr Mode kModes[] = {
+    {"adaptive", EngineSelect::kAdaptive},
+    {"heuristic", EngineSelect::kAuto},
+    {"pull", EngineSelect::kPullOnly},
+    {"push", EngineSelect::kPushOnly},
+};
+
+struct FullRun {
+  double seconds = 0.0;
+  std::vector<std::uint64_t> output;  ///< bit pattern of the result
+  std::map<std::string, unsigned> histogram;
+};
+
+template <typename P, bool Vec, typename Make, typename Seed, typename Extract>
+FullRun run_full(const Graph& g, EngineSelect select, unsigned iterations,
+                 int repeats, Make&& make, Seed&& seed, Extract&& extract) {
+  EngineOptions opts;
+  opts.num_threads = bench::bench_threads();
+  opts.direction.select = select;
+  opts.gating.enabled = true;
+  FullRun out;
+  std::vector<double> times;
+  for (int r = 0; r < repeats; ++r) {
+    Engine<P, Vec> engine(g, opts);
+    P prog = make(g, engine.pool().size());
+    seed(prog, engine);
+    WallTimer timer;
+    const RunStats stats = engine.run(prog, iterations);
+    times.push_back(timer.seconds());
+    if (r == 0) {
+      out.output = extract(prog);
+      for (const IterationStats& it : stats.per_iteration) {
+        ++out.histogram[it.plan.name()];
+      }
+    }
+  }
+  out.seconds = bench::median_of(times);
+  return out;
+}
+
+[[nodiscard]] std::string histogram_string(
+    const std::map<std::string, unsigned>& h) {
+  std::string s;
+  for (const auto& [name, count] : h) {
+    if (!s.empty()) s += " ";
+    s += name + ":" + std::to_string(count);
+  }
+  return s;
+}
+
+/// Max |a-b| between two double vectors stored as bit patterns.
+[[nodiscard]] double max_abs_diff(const std::vector<std::uint64_t>& a,
+                                  const std::vector<std::uint64_t>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    double x, y;
+    std::memcpy(&x, &a[i], sizeof(double));
+    std::memcpy(&y, &b[i], sizeof(double));
+    worst = std::max(worst, std::abs(x - y));
+  }
+  return worst;
+}
+
+template <bool Vec>
+int end_to_end(const Graph& g, int repeats) {
+  int failures = 0;
+  bench::Table table({"app", "mode", "time ms", "identical", "directions"});
+  const auto emit = [&](const char* app, const Mode& m, const FullRun& r,
+                        const char* identical) {
+    bench::JsonRow()
+        .field("bench", "autotune_e2e")
+        .field("app", app)
+        .field("mode", m.name)
+        .field("time_ms", r.seconds * 1e3)
+        .field("identical", identical)
+        .field("directions", histogram_string(r.histogram))
+        .print();
+    table.add_row({app, m.name, bench::fmt_ms(r.seconds), identical,
+                   histogram_string(r.histogram)});
+  };
+
+  // BFS and CC: parents / labels must be exact in every mode.
+  {
+    std::vector<FullRun> runs;
+    for (const Mode& m : kModes) {
+      runs.push_back(run_full<apps::BreadthFirstSearch, Vec>(
+          g, m.select, 1u << 20, repeats,
+          [](const Graph& gr, unsigned) {
+            return apps::BreadthFirstSearch(gr, 0);
+          },
+          [](auto& prog, auto& engine) { prog.seed(engine.frontier()); },
+          [](auto& prog) {
+            return std::vector<std::uint64_t>(prog.parents().begin(),
+                                              prog.parents().end());
+          }));
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const bool same = runs[i].output == runs[0].output;
+      if (!same) ++failures;
+      emit("bfs", kModes[i], runs[i], same ? "yes" : "NO");
+    }
+  }
+  {
+    std::vector<FullRun> runs;
+    for (const Mode& m : kModes) {
+      runs.push_back(run_full<apps::ConnectedComponents, Vec>(
+          g, m.select, 1u << 20, repeats,
+          [](const Graph& gr, unsigned) {
+            return apps::ConnectedComponents(gr);
+          },
+          [](auto&, auto& engine) { engine.frontier().set_all(); },
+          [](auto& prog) {
+            return std::vector<std::uint64_t>(prog.labels().begin(),
+                                              prog.labels().end());
+          }));
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const bool same = runs[i].output == runs[0].output;
+      if (!same) ++failures;
+      emit("cc", kModes[i], runs[i], same ? "yes" : "NO");
+    }
+  }
+  // PR: frontier-free, so adaptive and heuristic both resolve to pull
+  // and must match pull-only bitwise. Push sums in a different order —
+  // equal only to ~1e-10.
+  {
+    std::vector<FullRun> runs;
+    for (const Mode& m : kModes) {
+      runs.push_back(run_full<apps::PageRank, Vec>(
+          g, m.select, 16, repeats,
+          [](const Graph& gr, unsigned pool) {
+            return apps::PageRank(gr, pool);
+          },
+          [](auto&, auto&) {},
+          [](auto& prog) {
+            prog.finalize();
+            std::vector<std::uint64_t> bits(prog.ranks().size());
+            std::memcpy(bits.data(), prog.ranks().data(),
+                        prog.ranks().size_bytes());
+            return bits;
+          }));
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const char* verdict;
+      if (kModes[i].select == EngineSelect::kPushOnly) {
+        const double diff = max_abs_diff(runs[i].output, runs[0].output);
+        verdict = diff < 1e-10 ? "~1e-10" : "NO";
+        if (diff >= 1e-10) ++failures;
+      } else {
+        const bool same = runs[i].output == runs[0].output;
+        verdict = same ? "yes" : "NO";
+        if (!same) ++failures;
+      }
+      emit("pr", kModes[i], runs[i], verdict);
+    }
+  }
+  table.print();
+  std::printf("\n");
+  return failures;
+}
+
+template <bool Vec>
+int run_all(const Graph& g) {
+  const std::vector<double> densities = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+  const int repeats = 3;
+
+  SweepTotals total;
+  for (const SweepTotals& t :
+       {sweep<apps::BreadthFirstSearch, Vec>(
+            "bfs", g, densities,
+            [&](unsigned) { return apps::BreadthFirstSearch(g, 0); }, repeats),
+        sweep<apps::ConnectedComponents, Vec>(
+            "cc", g, densities,
+            [&](unsigned) { return apps::ConnectedComponents(g); }, repeats)}) {
+    total.auto_s += t.auto_s;
+    total.best_s += t.best_s;
+    total.worst_s += t.worst_s;
+    total.min_point_ratio = std::min(total.min_point_ratio, t.min_point_ratio);
+  }
+
+  const double worst_over_auto = total.worst_s / total.auto_s;
+  bench::JsonRow()
+      .field("bench", "autotune_summary")
+      .field("min_point_best_over_auto", total.min_point_ratio)
+      .field("overall_best_over_auto", total.best_s / total.auto_s)
+      .field("overall_worst_over_auto", worst_over_auto)
+      .print();
+  std::printf("summary: min(best/auto) per point %.2f (want ~1.0); "
+              "worst fixed / auto overall %.2fx (want >= 1.3x)\n\n",
+              total.min_point_ratio, worst_over_auto);
+
+  const int failures = end_to_end<Vec>(g, repeats);
+  if (failures != 0) {
+    std::printf("FAIL: %d output-identity mismatches\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace grazelle
+
+int main() {
+  using namespace grazelle;
+  bench::banner("Adaptive direction autotuning",
+                "Fixed plans vs the converged DirectionController per "
+                "frontier density, plus end-to-end runs per direction mode "
+                "with output-identity checks.");
+  const Graph g = build_graph();
+  std::printf("graph: rmat scale %u, %llu vertices, %llu edges\n\n",
+              rmat_scale(),
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()));
+  if (vector_kernels_available()) {
+#if defined(GRAZELLE_HAVE_AVX2)
+    return run_all<true>(g);
+#endif
+  }
+  return run_all<false>(g);
+}

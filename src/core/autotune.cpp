@@ -1,0 +1,349 @@
+#include "core/autotune.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace grazelle {
+
+namespace {
+
+using telemetry::Counter;
+
+constexpr std::uint32_t kGatingDivisorGrid[] = {16, 32, 64, 128};
+constexpr std::uint32_t kPrefetchGrid[] = {0, 4, 8, 16};
+
+}  // namespace
+
+DirectionController::DirectionController(const Config& cfg)
+    : cfg_(cfg),
+      gating_divisor_(cfg.base_gating_divisor),
+      prefetch_distance_(-1),
+      block_shift_(0) {
+  cpe_[static_cast<unsigned>(PlanKind::kPull)] = kSeedPullCpe;
+  cpe_[static_cast<unsigned>(PlanKind::kGatedPull)] = kSeedGatedPullCpe;
+  cpe_[static_cast<unsigned>(PlanKind::kPush)] = kSeedPushCpe;
+  if (cfg.seed.present) {
+    // A sidecar-warm start: the model begins where the last run on
+    // this machine ended, and the knob winners apply from iteration 1.
+    if (cfg.seed.pull_cycles_per_edge > 0.0) {
+      cpe_[static_cast<unsigned>(PlanKind::kPull)] =
+          cfg.seed.pull_cycles_per_edge;
+    }
+    if (cfg.seed.gated_pull_cycles_per_edge > 0.0) {
+      cpe_[static_cast<unsigned>(PlanKind::kGatedPull)] =
+          cfg.seed.gated_pull_cycles_per_edge;
+    }
+    if (cfg.seed.push_cycles_per_edge > 0.0) {
+      cpe_[static_cast<unsigned>(PlanKind::kPush)] =
+          cfg.seed.push_cycles_per_edge;
+    }
+    if (cfg.seed.gating_divisor != 0) {
+      gating_divisor_ = cfg.seed.gating_divisor;
+    }
+    if (cfg.seed.prefetch_distance >= 0) {
+      prefetch_distance_ = cfg.seed.prefetch_distance;
+    }
+    if (cfg.seed.block_shift != 0 && cfg.blocking_available) {
+      block_shift_ = cfg.seed.block_shift;
+    }
+    if (cfg.seed.llc_misses_per_edge > 0.0) {
+      llc_misses_per_edge_ = cfg.seed.llc_misses_per_edge;
+      llc_samples_ = 1;
+    }
+  }
+  for (unsigned k = 0; k < kNumPlanKinds; ++k) profile_cpe_[k] = cpe_[k];
+}
+
+std::uint64_t DirectionController::estimated_edges(
+    PlanKind k, std::uint64_t frontier_size,
+    std::uint64_t frontier_out_edges) const noexcept {
+  switch (k) {
+    case PlanKind::kPull:
+      // Ungated pull scans every in-edge regardless of the frontier.
+      return cfg_.num_edges;
+    case PlanKind::kGatedPull: {
+      // The occupancy gate skips vectors with no active source; the
+      // touched-edge count tracks the frontier's out-edges padded to
+      // vector granularity (hence the slop), floored at the frontier
+      // itself and capped at the full edge set.
+      const double est = static_cast<double>(frontier_out_edges) *
+                             kGatedPullSlop +
+                         static_cast<double>(frontier_size);
+      return std::min<std::uint64_t>(
+          cfg_.num_edges,
+          std::max<std::uint64_t>(static_cast<std::uint64_t>(est), 1));
+    }
+    case PlanKind::kPush:
+      // Push walks exactly the frontier's out-edges (plus the frontier
+      // scan itself).
+      return std::max<std::uint64_t>(frontier_out_edges + frontier_size, 1);
+  }
+  return cfg_.num_edges;
+}
+
+DirectionDecision DirectionController::decide(
+    std::uint64_t frontier_size, std::uint64_t frontier_out_edges) {
+  DirectionDecision d;
+  if (!cfg_.uses_frontier) {
+    // Frontier-free programs (PR): pull is the only kind that keeps
+    // results bitwise-reproducible, and it is also the asymptotically
+    // right choice — every vertex is live every iteration.
+    d.kind = PlanKind::kPull;
+    d.reason = "no_frontier";
+    d.estimated_edges = cfg_.num_edges;
+    d.estimated_cycles_per_edge = model_cpe(d.kind);
+    return d;
+  }
+
+  // Before the first vertex phase no out-edge tally exists yet; assume
+  // the frontier has average degree rather than zero out-edges — zero
+  // would make push look frontier-sized even for a full frontier and
+  // send the densest iteration down the scattered-atomics path.
+  if (frontier_out_edges == 0 && frontier_size > 0 &&
+      cfg_.num_vertices > 0) {
+    frontier_out_edges =
+        frontier_size *
+        std::max<std::uint64_t>(cfg_.num_edges / cfg_.num_vertices, 1);
+  }
+
+  const bool seeded = cfg_.seed.present && cfg_.seed.samples > 0;
+  // Candidate costs: model cycles/edge × estimated touched edges.
+  double best_cost = -1.0;
+  PlanKind best = PlanKind::kPull;
+  const PlanKind candidates[] = {PlanKind::kPull, PlanKind::kGatedPull,
+                                 PlanKind::kPush};
+  for (PlanKind k : candidates) {
+    if (k == PlanKind::kGatedPull && !cfg_.gating_available) continue;
+    const std::uint64_t edges =
+        estimated_edges(k, frontier_size, frontier_out_edges);
+    const double cost = model_cpe(k) * static_cast<double>(edges);
+    if (best_cost < 0.0 || cost < best_cost) {
+      best_cost = cost;
+      best = k;
+    }
+  }
+
+  d.kind = best;
+  d.reason = total_samples() == 0 ? (seeded ? "seeded" : "cold_start")
+                                  : "cost_model";
+
+  // Hysteresis: keep the incumbent unless the challenger is a clear
+  // win — near-ties must not flap the direction (and with it the
+  // working set) every iteration.
+  if (have_previous_ && previous_ != best) {
+    const std::uint64_t prev_edges =
+        estimated_edges(previous_, frontier_size, frontier_out_edges);
+    const double prev_cost =
+        model_cpe(previous_) * static_cast<double>(prev_edges);
+    if ((previous_ != PlanKind::kGatedPull || cfg_.gating_available) &&
+        prev_cost <= best_cost * kHysteresisMargin) {
+      d.kind = previous_;
+      d.reason = "hysteresis_hold";
+    }
+  }
+
+  if (have_previous_ && previous_ != d.kind) {
+    ++direction_switches_;
+    telemetry::count(telemetry_, 0, Counter::kTunerDirectionSwitches);
+  }
+  previous_ = d.kind;
+  have_previous_ = true;
+
+  d.estimated_edges =
+      estimated_edges(d.kind, frontier_size, frontier_out_edges);
+  d.estimated_cycles_per_edge = model_cpe(d.kind);
+  return d;
+}
+
+void DirectionController::apply_probe(const Probe& p) noexcept {
+  switch (p.knob) {
+    case Probe::Knob::kGatingDivisor:
+      gating_divisor_ = p.value;
+      break;
+    case Probe::Knob::kPrefetch:
+      prefetch_distance_ = static_cast<std::int32_t>(p.value);
+      break;
+    case Probe::Knob::kBlockShift:
+      block_shift_ = p.value;
+      break;
+  }
+}
+
+void DirectionController::begin_retune(PlanKind kind) {
+  probing_ = true;
+  probe_kind_ = kind;
+  probe_index_ = 0;
+  probe_queue_.clear();
+  // The incumbent values lead the queue so "no change" is always a
+  // candidate and a fruitless probe round restores them by winning.
+  if (cfg_.gating_available) {
+    probe_queue_.push_back(
+        {Probe::Knob::kGatingDivisor, gating_divisor_, -1.0});
+    for (std::uint32_t v : kGatingDivisorGrid) {
+      if (v != gating_divisor_) {
+        probe_queue_.push_back({Probe::Knob::kGatingDivisor, v, -1.0});
+      }
+    }
+  }
+  const std::uint32_t cur_pf =
+      prefetch_distance_ >= 0
+          ? static_cast<std::uint32_t>(prefetch_distance_)
+          : static_cast<std::uint32_t>(
+                std::max<std::int32_t>(cfg_.base_prefetch_distance, 0));
+  probe_queue_.push_back({Probe::Knob::kPrefetch, cur_pf, -1.0});
+  for (std::uint32_t v : kPrefetchGrid) {
+    if (v != cur_pf) probe_queue_.push_back({Probe::Knob::kPrefetch, v, -1.0});
+  }
+  if (cfg_.blocking_available && cfg_.base_block_shift > 1) {
+    const std::uint32_t cur =
+        block_shift_ != 0 ? block_shift_ : cfg_.base_block_shift;
+    probe_queue_.push_back({Probe::Knob::kBlockShift, cur, -1.0});
+    if (cur > 1) {
+      probe_queue_.push_back({Probe::Knob::kBlockShift, cur - 1, -1.0});
+    }
+    probe_queue_.push_back({Probe::Knob::kBlockShift, cur + 1, -1.0});
+  }
+  ++drift_retunes_;
+  telemetry::count(telemetry_, 0, Counter::kTunerDriftRetunes);
+  if (!probe_queue_.empty()) apply_probe(probe_queue_[0]);
+}
+
+void DirectionController::finish_retune() {
+  // Lock in the best measured candidate per knob. Each candidate is
+  // measured on a single iteration, so the comparison is noisy: the
+  // incumbent (always first in the queue per knob) only loses to a
+  // challenger that beats it by the hysteresis margin. Knobs whose
+  // incumbent never got a fair trial — the run converged mid-round —
+  // stay untouched.
+  constexpr unsigned kKnobs = 3;
+  const Probe* incumbent[kKnobs] = {nullptr, nullptr, nullptr};
+  const Probe* winner[kKnobs] = {nullptr, nullptr, nullptr};
+  for (const Probe& p : probe_queue_) {
+    const unsigned k = static_cast<unsigned>(p.knob);
+    if (incumbent[k] == nullptr) incumbent[k] = &p;
+    if (p.measured_cpe < 0.0) continue;
+    const Probe*& w = winner[k];
+    if (w == nullptr || p.measured_cpe < w->measured_cpe) w = &p;
+  }
+  for (unsigned k = 0; k < kKnobs; ++k) {
+    const Probe* inc = incumbent[k];
+    if (inc == nullptr) continue;
+    const Probe* w = winner[k];
+    const bool challenger_wins =
+        w != nullptr && w != inc && inc->measured_cpe >= 0.0 &&
+        w->measured_cpe * kHysteresisMargin < inc->measured_cpe;
+    // Either way re-apply: the in-flight probe left the last candidate's
+    // value active, so the loser must be rolled back explicitly.
+    apply_probe(challenger_wins ? *w : *inc);
+  }
+  probing_ = false;
+  probe_queue_.clear();
+  probe_index_ = 0;
+  // Re-baseline so the same drift does not immediately re-trigger.
+  for (unsigned k = 0; k < kNumPlanKinds; ++k) profile_cpe_[k] = cpe_[k];
+}
+
+void DirectionController::observe(const DirectionDecision& d,
+                                  std::uint64_t cycles) {
+  const unsigned k = static_cast<unsigned>(d.kind);
+  double measured =
+      static_cast<double>(cycles) /
+      static_cast<double>(std::max<std::uint64_t>(d.estimated_edges, 1));
+  // Trust region: a tiny phase (a few frontier edges under a whole
+  // parallel-for's fixed overhead) measures scheduling cost, not
+  // per-edge cost. Clamping against the profile keeps one such sample
+  // from pricing a kind out of contention forever.
+  // A clipped sample also never *replaces* the baseline — otherwise
+  // each replacement re-anchors the trust region and successive junk
+  // samples ratchet the model arbitrarily far from reality.
+  bool trusted = true;
+  if (profile_cpe_[k] > 0.0) {
+    const double lo = profile_cpe_[k] / kModelTrustFactor;
+    const double hi = profile_cpe_[k] * kModelTrustFactor;
+    if (measured < lo || measured > hi) {
+      measured = std::clamp(measured, lo, hi);
+      trusted = false;
+    }
+  }
+  // Confidence scales with how much of the graph the phase actually
+  // covered: a sliver-sized phase contributes a sliver-sized update.
+  const double full_weight_edges = std::max(
+      1.0, static_cast<double>(cfg_.num_edges) * kFullWeightEdgeFraction);
+  const double coverage = std::min(
+      1.0, static_cast<double>(std::max<std::uint64_t>(d.estimated_edges, 1)) /
+               full_weight_edges);
+  if (samples_[k] == 0 && trusted && coverage >= 1.0 &&
+      !(cfg_.seed.present && cfg_.seed.samples > 0)) {
+    cpe_[k] = measured;
+    profile_cpe_[k] = measured;
+  } else {
+    const double alpha = kEwmaAlpha * coverage;
+    cpe_[k] = (1.0 - alpha) * cpe_[k] + alpha * measured;
+  }
+  ++samples_[k];
+
+  if (probing_) {
+    if (d.kind == probe_kind_ && probe_index_ < probe_queue_.size()) {
+      Probe& p = probe_queue_[probe_index_];
+      p.measured_cpe = measured;
+      ++probe_count_;
+      telemetry::count(telemetry_, 0, Counter::kTunerProbes);
+      if (telemetry_ != nullptr) {
+        // Zero-duration trace event: what was probed and what it cost
+        // (cycles/edge ×1000 to survive the integer arg).
+        telemetry_->record(
+            0, "tuner_probe", telemetry_->now_us(), 0, "cpe_milli",
+            static_cast<std::uint64_t>(measured * 1000.0));
+      }
+      ++probe_index_;
+      if (probe_index_ >= probe_queue_.size()) {
+        finish_retune();
+      } else {
+        apply_probe(probe_queue_[probe_index_]);
+      }
+    }
+    return;
+  }
+
+  // Drift detection against the profile this run started from.
+  if (samples_[k] >= kDriftMinSamples && profile_cpe_[k] > 0.0) {
+    const double ratio = cpe_[k] / profile_cpe_[k];
+    if (ratio > kDriftThreshold || ratio < 1.0 / kDriftThreshold) {
+      begin_retune(d.kind);
+    }
+  }
+}
+
+void DirectionController::observe_llc(double llc_misses_per_edge) {
+  if (llc_misses_per_edge < 0.0) return;
+  if (llc_samples_ == 0) {
+    llc_misses_per_edge_ = llc_misses_per_edge;
+  } else {
+    llc_misses_per_edge_ = (1.0 - kEwmaAlpha) * llc_misses_per_edge_ +
+                           kEwmaAlpha * llc_misses_per_edge;
+  }
+  ++llc_samples_;
+}
+
+std::uint64_t DirectionController::total_samples() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t s : samples_) total += s;
+  return total;
+}
+
+TuningSeed DirectionController::learned() const {
+  TuningSeed seed;
+  seed.present = true;
+  seed.gating_divisor = gating_divisor_;
+  seed.block_shift =
+      block_shift_ != 0 ? block_shift_ : cfg_.base_block_shift;
+  seed.prefetch_distance = prefetch_distance_;
+  seed.pull_cycles_per_edge = model_cpe(PlanKind::kPull);
+  seed.gated_pull_cycles_per_edge = model_cpe(PlanKind::kGatedPull);
+  seed.push_cycles_per_edge = model_cpe(PlanKind::kPush);
+  seed.llc_misses_per_edge = llc_samples_ > 0 ? llc_misses_per_edge_ : 0.0;
+  seed.samples = total_samples() + cfg_.seed.samples;
+  return seed;
+}
+
+}  // namespace grazelle

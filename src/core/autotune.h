@@ -1,0 +1,228 @@
+// Closed-loop direction and knob autotuner (DESIGN.md §15).
+//
+// The DirectionController is the decision half of
+// EngineSelect::kAdaptive: each iteration the Session asks it to pick
+// push vs pull (and gated vs ungated pull) from the frontier state and
+// an online cost model of cycles/edge per execution kind, then feeds
+// back the measured cycle count so the model tracks this machine and
+// this graph instead of the heuristic constants it was seeded with.
+// Samples come from the PMU when one is attached and from rdtsc
+// otherwise (platform/pmu read_tsc()), so the loop closes even under
+// GRAZELLE_PMU_DISABLE=1 — just with wall-cycle estimates.
+//
+// It also owns the secondary-knob re-probe: when measured cycles/edge
+// drifts beyond kDriftThreshold from the profile it started from
+// (sidecar seed or its own first samples), it walks a small candidate
+// grid — gating divisor, block shift, prefetch distance — one
+// candidate per matching iteration, and locks in the winner. Every
+// probe decision is counted (Counter::kTunerProbes & friends) and
+// traced ("tuner_probe" events) so the trace shows what the tuner did
+// and why.
+//
+// The controller only ever *selects among* bit-identical execution
+// paths for deterministic programs: direction, gating, blocking and
+// prefetch all converge to the same values, so adaptive runs match
+// every fixed mode (tests/autotune_test.cpp sweeps this).
+//
+// Deliberately non-templated: it reasons about edge counts and cycle
+// samples only, so one translation unit serves every GraphProgram.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "telemetry/telemetry.h"
+
+namespace grazelle {
+
+/// The three execution kinds the cost model distinguishes. Blocking
+/// and lane width are per-session constants, so they do not split the
+/// model; gating changes the asymptotic edge count, so it does.
+enum class PlanKind : unsigned {
+  kPull = 0,
+  kGatedPull = 1,
+  kPush = 2,
+};
+inline constexpr unsigned kNumPlanKinds = 3;
+
+[[nodiscard]] constexpr const char* plan_kind_name(PlanKind k) noexcept {
+  switch (k) {
+    case PlanKind::kPull: return "pull";
+    case PlanKind::kGatedPull: return "gated_pull";
+    case PlanKind::kPush: return "push";
+  }
+  return "unknown";
+}
+
+/// One iteration's resolved direction choice, with the evidence that
+/// produced it — flows into IterationStats and the RunReport
+/// direction_trace so tuning decisions are debuggable offline.
+struct DirectionDecision {
+  PlanKind kind = PlanKind::kPull;
+  /// Stable reason label: "no_frontier", "cold_start", "cost_model",
+  /// "hysteresis_hold", "seeded".
+  const char* reason = "cost_model";
+  /// The model's cycles/edge estimate for the chosen kind at decision
+  /// time (what the trace compares against the measurement).
+  double estimated_cycles_per_edge = 0.0;
+  /// Edge count the estimate was scaled by.
+  std::uint64_t estimated_edges = 0;
+};
+
+class DirectionController {
+ public:
+  struct Config {
+    std::uint64_t num_vertices = 0;
+    std::uint64_t num_edges = 0;
+    /// P::kUsesFrontier. False pins every decision to pull (push with
+    /// no frontier floods all edges *and* breaks PR's bitwise
+    /// reproducibility), which keeps adaptive PR bit-identical to the
+    /// pull-only fixed mode.
+    bool uses_frontier = true;
+    /// GatingPolicy::enabled && uses_frontier: whether kGatedPull is a
+    /// candidate at all.
+    bool gating_available = false;
+    /// Whether the session resolved a non-trivial block index (block-
+    /// shift probing is pointless otherwise).
+    bool blocking_available = false;
+    std::uint32_t base_gating_divisor = 32;
+    std::uint32_t base_block_shift = 0;     ///< 0 = no block index
+    std::int32_t base_prefetch_distance = 0;
+    /// Sidecar seed (TuningSeed::present pre-warms model and knobs).
+    TuningSeed seed{};
+  };
+
+  explicit DirectionController(const Config& cfg);
+
+  /// Picks this iteration's execution kind. `frontier_out_edges` is
+  /// the previous Vertex phase's active-out-edge sum (0 before the
+  /// first iteration).
+  [[nodiscard]] DirectionDecision decide(std::uint64_t frontier_size,
+                                         std::uint64_t frontier_out_edges);
+
+  /// Feeds back the measured cycle count for the Edge phase just run
+  /// under `d`. Updates the EWMA cost model, advances any in-flight
+  /// probe, and may trigger a drift re-probe round.
+  void observe(const DirectionDecision& d, std::uint64_t cycles);
+
+  /// Optionally feeds the PMU's LLC-misses/edge for the same phase
+  /// (call after observe; ignored when negative).
+  void observe_llc(double llc_misses_per_edge);
+
+  // -- knob overrides the Session applies each iteration ------------
+  [[nodiscard]] std::uint32_t gating_divisor() const noexcept {
+    return gating_divisor_;
+  }
+  /// -1 = keep the session's own resolution; >= 0 overrides.
+  [[nodiscard]] std::int32_t prefetch_distance() const noexcept {
+    return prefetch_distance_;
+  }
+  /// 0 = keep the session's resolved shift; != 0 overrides.
+  [[nodiscard]] std::uint32_t block_shift() const noexcept {
+    return block_shift_;
+  }
+
+  // -- introspection (reports, tests) --------------------------------
+  [[nodiscard]] double model_cpe(PlanKind k) const noexcept {
+    const unsigned i = static_cast<unsigned>(k);
+    return cpe_[i < kNumPlanKinds ? i : 0];
+  }
+  [[nodiscard]] std::uint64_t samples(PlanKind k) const noexcept {
+    const unsigned i = static_cast<unsigned>(k);
+    return samples_[i < kNumPlanKinds ? i : 0];
+  }
+  [[nodiscard]] std::uint64_t total_samples() const noexcept;
+  [[nodiscard]] std::uint64_t probe_count() const noexcept {
+    return probe_count_;
+  }
+  [[nodiscard]] std::uint64_t direction_switches() const noexcept {
+    return direction_switches_;
+  }
+  [[nodiscard]] std::uint64_t drift_retunes() const noexcept {
+    return drift_retunes_;
+  }
+  [[nodiscard]] bool probing() const noexcept { return probing_; }
+
+  /// Exports the current model + locked knobs as a TuningSeed (the
+  /// engine-side mirror of a sidecar record) for persistence.
+  [[nodiscard]] TuningSeed learned() const;
+
+  /// Attaches a sink for probe/switch counters and trace events.
+  void set_telemetry(telemetry::Telemetry* t) noexcept { telemetry_ = t; }
+
+  // Tunables, exposed for the unit tests.
+  static constexpr double kEwmaAlpha = 0.3;
+  /// Stickiness: the incumbent kind survives until a challenger is
+  /// this factor cheaper (prevents flapping on near-ties).
+  static constexpr double kHysteresisMargin = 1.15;
+  /// Drift factor (either direction) of measured vs profile
+  /// cycles/edge that triggers a knob re-probe round.
+  static constexpr double kDriftThreshold = 1.5;
+  /// Samples of a kind required before its drift can trigger a
+  /// re-probe (early samples are warm-up noise).
+  static constexpr std::uint64_t kDriftMinSamples = 4;
+  /// Gated pull touches roughly the frontier's out-edges padded to
+  /// vector granularity; this slop factor scales that estimate.
+  static constexpr double kGatedPullSlop = 4.0;
+  /// Samples are clamped to [profile/8, profile*8] before entering
+  /// the model: a near-empty phase (BFS's first and last iterations)
+  /// is dominated by fixed scheduling overhead, and dividing that by
+  /// a handful of edges yields absurd cycles/edge figures that would
+  /// otherwise wedge the model away from a kind permanently.
+  static constexpr double kModelTrustFactor = 8.0;
+  /// A sample's EWMA weight additionally scales with the share of the
+  /// graph's edges the phase covered (full weight from 1/256th of the
+  /// graph upward): a 30-edge tail phase carries no per-edge signal
+  /// and must not steer decisions about million-edge phases.
+  static constexpr double kFullWeightEdgeFraction = 1.0 / 256.0;
+  // Heuristic cost-model seeds (cycles/edge) used when no sidecar seed
+  // is present. Absolute values matter less than their order: push
+  // costs more per edge (atomics, scattered writes) but touches only
+  // the frontier's edges.
+  static constexpr double kSeedPullCpe = 3.0;
+  static constexpr double kSeedGatedPullCpe = 6.0;
+  static constexpr double kSeedPushCpe = 9.0;
+
+ private:
+  struct Probe {
+    enum class Knob : unsigned { kGatingDivisor, kPrefetch, kBlockShift };
+    Knob knob;
+    std::uint32_t value;
+    double measured_cpe = -1.0;
+  };
+
+  void apply_probe(const Probe& p) noexcept;
+  void begin_retune(PlanKind kind);
+  void finish_retune();
+  [[nodiscard]] std::uint64_t estimated_edges(
+      PlanKind k, std::uint64_t frontier_size,
+      std::uint64_t frontier_out_edges) const noexcept;
+
+  Config cfg_;
+  double cpe_[kNumPlanKinds];
+  double profile_cpe_[kNumPlanKinds];  ///< drift baseline
+  std::uint64_t samples_[kNumPlanKinds] = {0, 0, 0};
+  double llc_misses_per_edge_ = 0.0;
+  std::uint64_t llc_samples_ = 0;
+
+  std::uint32_t gating_divisor_;
+  std::int32_t prefetch_distance_;
+  std::uint32_t block_shift_;
+
+  bool have_previous_ = false;
+  PlanKind previous_ = PlanKind::kPull;
+
+  bool probing_ = false;
+  PlanKind probe_kind_ = PlanKind::kPull;
+  std::vector<Probe> probe_queue_;
+  std::size_t probe_index_ = 0;
+
+  std::uint64_t probe_count_ = 0;
+  std::uint64_t direction_switches_ = 0;
+  std::uint64_t drift_retunes_ = 0;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+};
+
+}  // namespace grazelle

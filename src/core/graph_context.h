@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/options.h"
 #include "graph/block_index.h"
 #include "graph/delta_overlay.h"
 #include "graph/graph.h"
@@ -156,7 +157,7 @@ class GraphContext {
     return GraphContext(load_replayed(path, info),
                         name.empty() ? path : std::move(name),
                         info.version >= 4 ? path : std::string(),
-                        info.journal_batches);
+                        info.journal_batches, path, info.version);
   }
 
   /// open() for shared ownership (the server's fleet). A context is
@@ -169,7 +170,7 @@ class GraphContext {
         new GraphContext(load_replayed(path, info),
                          name.empty() ? path : std::move(name),
                          info.version >= 4 ? path : std::string(),
-                         info.journal_batches));
+                         info.journal_batches, path, info.version));
   }
 
   GraphContext(const GraphContext&) = delete;
@@ -278,6 +279,90 @@ class GraphContext {
     return journal_batches_;
   }
 
+  // -- Autotuning sidecar (DESIGN.md §15) -----------------------------
+
+  /// The tuning seed for `algorithm` on *this* machine: anything
+  /// recorded this process (freshest) wins, else the sidecar record
+  /// loaded at open whose fingerprint matches, else an absent seed.
+  /// Foreign-fingerprint and corrupt sidecar records never surface
+  /// here — that is the "ignored, not fatal" contract.
+  [[nodiscard]] TuningSeed tuning_for(const std::string& algorithm) const {
+    std::lock_guard<std::mutex> lock(tuning_mutex_);
+    if (auto it = learned_.find(algorithm); it != learned_.end()) {
+      return it->second;
+    }
+    const store::TuningRecord* rec = store::find_tuning(
+        tuning_profile_, algorithm, store::machine_tuning_fingerprint());
+    if (rec == nullptr) return TuningSeed{};
+    TuningSeed s;
+    s.present = true;
+    s.gating_divisor = rec->gating_divisor;
+    s.block_shift = rec->block_shift;
+    s.prefetch_distance = rec->prefetch_distance;
+    s.pull_cycles_per_edge = rec->pull_cycles_per_edge;
+    s.gated_pull_cycles_per_edge = rec->gated_pull_cycles_per_edge;
+    s.push_cycles_per_edge = rec->push_cycles_per_edge;
+    s.llc_misses_per_edge = rec->llc_misses_per_edge;
+    s.samples = rec->samples;
+    return s;
+  }
+
+  /// Records what an adaptive session learned (Session::
+  /// learned_tuning()) so later sessions start warm and
+  /// persist_tuning() can write it back. A seed with fewer samples
+  /// than the one already held is discarded (never regress to a less-
+  /// trusted model).
+  void record_tuning(const std::string& algorithm, const TuningSeed& seed) {
+    if (!seed.present || algorithm.empty()) return;
+    std::lock_guard<std::mutex> lock(tuning_mutex_);
+    auto it = learned_.find(algorithm);
+    if (it == learned_.end() || seed.samples >= it->second.samples) {
+      learned_[algorithm] = seed;
+    }
+  }
+
+  /// Whether persist_tuning() can actually reach a sidecar (opened
+  /// from a format-v5 container).
+  [[nodiscard]] bool tuning_persistable() const noexcept {
+    return !store_path_.empty() && store_version_ >= 5;
+  }
+
+  /// Best-effort write-back of every recorded seed to the container's
+  /// tuning sidecar, keyed by this machine's fingerprint (the server
+  /// calls this on graph close; graph_convert --tune calls it after
+  /// its calibration runs). Returns records written; 0 when nothing
+  /// was recorded or the container predates the sidecar. Write
+  /// failures are swallowed — tuning is advisory, closing a graph must
+  /// not throw.
+  std::uint64_t persist_tuning() {
+    std::lock_guard<std::mutex> lock(tuning_mutex_);
+    if (!(!store_path_.empty() && store_version_ >= 5) || learned_.empty()) {
+      return 0;
+    }
+    const std::uint64_t fp = store::machine_tuning_fingerprint();
+    std::uint64_t written = 0;
+    for (const auto& [algorithm, seed] : learned_) {
+      store::TuningRecord rec;
+      rec.algorithm = algorithm;
+      rec.fingerprint = fp;
+      rec.gating_divisor = seed.gating_divisor;
+      rec.block_shift = seed.block_shift;
+      rec.prefetch_distance = seed.prefetch_distance;
+      rec.pull_cycles_per_edge = seed.pull_cycles_per_edge;
+      rec.gated_pull_cycles_per_edge = seed.gated_pull_cycles_per_edge;
+      rec.push_cycles_per_edge = seed.push_cycles_per_edge;
+      rec.llc_misses_per_edge = seed.llc_misses_per_edge;
+      rec.samples = seed.samples;
+      try {
+        store::write_tuning(store_path_, rec);
+        ++written;
+      } catch (const std::exception&) {
+        break;
+      }
+    }
+    return written;
+  }
+
  private:
   /// Loads a container and folds its journal (if any) into the base.
   static Graph load_replayed(const std::string& path,
@@ -297,12 +382,20 @@ class GraphContext {
   }
 
   GraphContext(Graph graph, std::string name, std::string journal_path,
-               std::uint64_t journal_batches)
+               std::uint64_t journal_batches, std::filesystem::path store_path,
+               std::uint32_t store_version)
       : head_(std::make_shared<Epoch>(std::move(graph), 0)),
         name_(std::move(name)),
         overlay_(head_->graph().num_vertices()),
         journal_path_(std::move(journal_path)),
-        journal_batches_(journal_batches) {}
+        journal_batches_(journal_batches),
+        store_path_(std::move(store_path)),
+        store_version_(store_version) {
+    if (store_version_ >= 5) {
+      // Lenient by design: a stripped/corrupt sidecar reads as empty.
+      tuning_profile_ = store::read_tuning(store_path_);
+    }
+  }
 
   mutable std::mutex head_mutex_;  // guards head_ swap/snapshot only
   Snapshot head_;
@@ -312,6 +405,12 @@ class GraphContext {
   DeltaOverlay overlay_;
   std::filesystem::path journal_path_;  // empty = journaling off
   std::uint64_t journal_batches_ = 0;
+
+  std::filesystem::path store_path_;   // empty = not container-backed
+  std::uint32_t store_version_ = 0;    // 0 = not container-backed
+  mutable std::mutex tuning_mutex_;    // guards profile + learned seeds
+  store::TuningProfile tuning_profile_;  // loaded at open (v5+)
+  std::map<std::string, TuningSeed> learned_;  // algorithm → seed
 };
 
 }  // namespace grazelle

@@ -1,10 +1,17 @@
 // Engine configuration and per-phase planning types.
 //
-// This header is the engine's *policy surface*: everything a driver
-// decides up front (thread count, parallelization mode, direction and
-// gating policies) lives here, decoupled from the engine template so
+// This header is the engine's *policy surface*: the knobs a driver
+// sets before a run (thread count, parallelization mode, direction and
+// gating policies) live here, decoupled from the engine template so
 // tools, benches, and the telemetry layer can speak about
-// configuration without instantiating an engine.
+// configuration without instantiating an engine. Since the adaptive
+// autotuner (DESIGN.md §15) these are *starting points*, not final
+// decisions: under EngineSelect::kAdaptive the DirectionController
+// re-picks the edge-phase direction every iteration from its online
+// cost model, and may override the gating divisor, block shift, and
+// prefetch distance mid-run when measured cycles/edge drift from the
+// stored profile. The fixed modes (kAuto heuristic, kPullOnly,
+// kPushOnly) still honor these values verbatim.
 //
 // The direction/gating knobs are grouped into named policy structs
 // (DirectionPolicy, GatingPolicy); address those structs directly.
@@ -19,6 +26,12 @@ enum class EngineSelect {
   kAuto,      ///< hybrid: frontier-density heuristic per iteration
   kPullOnly,  ///< always Edge-Pull
   kPushOnly,  ///< always Edge-Push
+  /// Closed-loop per-iteration choice: the DirectionController picks
+  /// push vs pull (and gated vs ungated pull) from frontier density
+  /// and an online cycles/edge cost model refined from PMU or rdtsc
+  /// samples at phase boundaries (DESIGN.md §15). Converged results
+  /// are bit-identical to every fixed mode for deterministic programs.
+  kAdaptive,
 };
 
 /// Which packed edge layout the pull walkers run over (DESIGN.md §12).
@@ -101,6 +114,25 @@ struct PrefetchPolicy {
   unsigned distance = 0;
 };
 
+/// A persisted (or hand-fed) autotuning seed for one algorithm on one
+/// machine — the engine-facing mirror of store::TuningRecord, kept
+/// graph-layer-free so this header stays dependency-light. When
+/// `present`, the DirectionController starts from these knob values
+/// and cost-model estimates instead of the heuristic constants, which
+/// is what lets a sidecar-warm serve hit steady-state cycles/edge in
+/// its first iteration.
+struct TuningSeed {
+  bool present = false;
+  std::uint32_t gating_divisor = 0;     ///< 0 = keep GatingPolicy's value
+  std::uint32_t block_shift = 0;        ///< 0 = keep the packed index shift
+  std::int32_t prefetch_distance = -1;  ///< -1 = untuned; 0 = prefetch off
+  double pull_cycles_per_edge = 0.0;    ///< 0 = seed from heuristics
+  double gated_pull_cycles_per_edge = 0.0;
+  double push_cycles_per_edge = 0.0;
+  double llc_misses_per_edge = 0.0;
+  std::uint64_t samples = 0;
+};
+
 struct EngineOptions {
   unsigned num_threads = 1;
   /// Simulated NUMA nodes the threads divide into (see DESIGN.md §2).
@@ -120,6 +152,10 @@ struct EngineOptions {
   BlockingPolicy blocking{};
   /// Software-prefetch policy (applies to all pull walkers).
   PrefetchPolicy prefetch{};
+  /// Autotuning seed for EngineSelect::kAdaptive (ignored by the fixed
+  /// modes). Typically filled from a .gzg tuning sidecar via
+  /// GraphContext::tuning_for().
+  TuningSeed tuning{};
 };
 
 /// Edge-phase direction for one iteration.

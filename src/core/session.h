@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/autotune.h"
 #include "core/graph_context.h"
 #include "core/merge_buffer.h"
 #include "core/options.h"
@@ -88,6 +89,28 @@ class Session {
                                   piece.vectors.size() * sizeof(EdgeVector));
     }
     configure_blocking();
+    gating_divisor_ = options.gating.density_divisor;
+    // Adaptive direction mode (DESIGN.md §15): a per-session
+    // DirectionController picks push vs pull each iteration from its
+    // online cost model and may override the secondary knobs; the
+    // fixed modes and kAuto keep the static heuristic path below.
+    if (options.direction.select == EngineSelect::kAdaptive) {
+      DirectionController::Config cfg;
+      cfg.num_vertices = graph_.num_vertices();
+      cfg.num_edges = graph_.num_edges();
+      cfg.uses_frontier = P::kUsesFrontier;
+      cfg.gating_available = options.gating.enabled && P::kUsesFrontier;
+      cfg.blocking_available = blocks_ != nullptr;
+      cfg.base_gating_divisor =
+          static_cast<std::uint32_t>(options.gating.density_divisor);
+      cfg.base_block_shift =
+          blocks_ != nullptr ? blocks_->source_shift() : 0;
+      cfg.base_prefetch_distance =
+          static_cast<std::int32_t>(prefetch_distance_);
+      cfg.seed = options.tuning;
+      controller_ = std::make_unique<DirectionController>(cfg);
+      apply_tuner_overrides();
+    }
     // Lane-policy resolution (DESIGN.md §12): the fused 8-lane layout
     // is used when the graph carries one and either the driver forces
     // it (k8 — the structure runs fine on per-half 4-lane or scalar
@@ -145,6 +168,7 @@ class Session {
   void set_telemetry(telemetry::Telemetry* t) noexcept {
     telemetry_ = t;
     pool_.set_telemetry(t);
+    if (controller_ != nullptr) controller_->set_telemetry(t);
   }
   [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
     return telemetry_;
@@ -261,11 +285,27 @@ class Session {
   }
 
   /// Whether a pull iteration over a frontier of this size would apply
-  /// the occupancy gate.
+  /// the occupancy gate. Uses the effective divisor — the policy's
+  /// value, or the autotuner's locked-in override under kAdaptive.
   [[nodiscard]] bool should_gate(std::uint64_t frontier_size) const noexcept {
     return options_.gating.enabled && P::kUsesFrontier &&
-           frontier_size * options_.gating.density_divisor <=
-               graph_.num_vertices();
+           frontier_size * gating_divisor_ <= graph_.num_vertices();
+  }
+
+  /// The adaptive-mode controller (nullptr unless
+  /// EngineSelect::kAdaptive was selected).
+  [[nodiscard]] const DirectionController* controller() const noexcept {
+    return controller_.get();
+  }
+
+  /// Exports the controller's current model + knob winners for sidecar
+  /// persistence; TuningSeed::present == false for non-adaptive
+  /// sessions or before any iteration ran.
+  [[nodiscard]] TuningSeed learned_tuning() const {
+    if (controller_ == nullptr || controller_->total_samples() == 0) {
+      return TuningSeed{};
+    }
+    return controller_->learned();
   }
 
   /// One Vertex phase; swaps in the next frontier.
@@ -304,13 +344,23 @@ class Session {
         prog.begin_iteration();
       }
 
-      it.plan = plan_edge_phase(it.frontier_size);
+      DirectionDecision decision;
+      if (controller_ != nullptr) {
+        decision =
+            controller_->decide(it.frontier_size, last_active_out_edges_);
+        it.plan = plan_from_kind(decision.kind, it.frontier_size);
+        it.direction_reason = decision.reason;
+        it.estimated_cycles_per_edge = decision.estimated_cycles_per_edge;
+      } else {
+        it.plan = plan_edge_phase(it.frontier_size);
+      }
       it.used_pull = it.plan.is_pull();
       it.gated = it.plan.is_pull() && it.plan.gated;
       it.blocked = it.plan.is_pull() && it.plan.blocked;
       it.used_sparse_push = !it.plan.is_pull() && it.plan.sparse;
 
       WallTimer edge_timer;
+      const std::uint64_t tsc_before = telemetry::read_tsc();
       {
         telemetry::ScopedSpan span(telemetry_, 0, it.plan.name(),
                                    "iteration", iter,
@@ -318,6 +368,9 @@ class Session {
         run_edge_phase(prog, it.plan);
       }
       it.edge_seconds = edge_timer.seconds();
+      if (controller_ != nullptr) {
+        observe_edge_phase(it, decision, telemetry::read_tsc() - tsc_before);
+      }
 
       if (it.used_pull) {
         it.merge_seconds = last_pull_was_wide_
@@ -411,6 +464,10 @@ class Session {
       case EngineSelect::kPushOnly:
         return false;
       case EngineSelect::kAuto:
+      case EngineSelect::kAdaptive:
+        // run() routes adaptive planning through the controller;
+        // drivers calling plan_edge_phase() directly get the static
+        // heuristic (every candidate is result-identical anyway).
         break;
     }
     if (!P::kUsesFrontier) return true;
@@ -423,6 +480,73 @@ class Session {
                                       : options_.direction.pull_divisor;
     return should_use_dense(frontier_size, last_active_out_edges_,
                             graph_.num_edges(), divisor);
+  }
+
+  /// Maps a controller decision onto a concrete PhasePlan, reusing the
+  /// static path's sparse-push and blocking resolution.
+  [[nodiscard]] PhasePlan plan_from_kind(PlanKind kind,
+                                         std::uint64_t frontier_size) const {
+    switch (kind) {
+      case PlanKind::kPull:
+        return PhasePlan::pull(false, blocking_active());
+      case PlanKind::kGatedPull:
+        return PhasePlan::pull(true, blocking_active());
+      case PlanKind::kPush:
+        break;
+    }
+    const bool sparse =
+        options_.direction.sparse_push && P::kUsesFrontier &&
+        frontier_size <
+            graph_.num_vertices() / options_.direction.sparse_push_divisor;
+    return PhasePlan::push(sparse);
+  }
+
+  /// Closes the feedback loop after an adaptive Edge phase: prefers
+  /// the PMU's cycle delta for the phase (exact, or the rdtsc estimate
+  /// in degraded mode) over the raw caller-side tsc delta, feeds the
+  /// model, then applies any knob overrides the controller locked in.
+  void observe_edge_phase(IterationStats& it,
+                          const DirectionDecision& decision,
+                          std::uint64_t tsc_cycles) {
+    std::uint64_t cycles = tsc_cycles;
+    if (telemetry_ != nullptr && !telemetry_->pmu_samples().empty()) {
+      const telemetry::PmuSample& s = telemetry_->pmu_samples().back();
+      const std::uint64_t pmu_cycles =
+          s.delta[static_cast<unsigned>(telemetry::PmuCounter::kCycles)];
+      if (pmu_cycles > 0) {
+        cycles = pmu_cycles;
+        const std::uint64_t misses = s.delta[static_cast<unsigned>(
+            telemetry::PmuCounter::kLlcMisses)];
+        if (misses > 0 && decision.estimated_edges > 0) {
+          controller_->observe_llc(static_cast<double>(misses) /
+                                   static_cast<double>(
+                                       decision.estimated_edges));
+        }
+      }
+    }
+    controller_->observe(decision, cycles);
+    it.measured_cycles_per_edge =
+        static_cast<double>(cycles) /
+        static_cast<double>(std::max<std::uint64_t>(
+            decision.estimated_edges, 1));
+    apply_tuner_overrides();
+  }
+
+  /// Applies the controller's current knob overrides to the session's
+  /// execution state. Cheap when nothing changed; a block-shift change
+  /// resolves through the epoch's shared block-index cache.
+  void apply_tuner_overrides() {
+    gating_divisor_ = controller_->gating_divisor();
+    if (controller_->prefetch_distance() >= 0) {
+      prefetch_distance_ =
+          static_cast<unsigned>(controller_->prefetch_distance());
+    }
+    const std::uint32_t shift = controller_->block_shift();
+    if (shift != 0 && blocks_ != nullptr &&
+        shift != blocks_->source_shift()) {
+      const BlockIndex* resolved = epoch_->block_index(shift);
+      if (resolved != nullptr) blocks_ = resolved;
+    }
   }
 
   const GraphContext& context_;
@@ -443,6 +567,11 @@ class Session {
   const std::vector<NumaPiece>& numa_pieces_;
   const BlockIndex* blocks_ = nullptr;
   unsigned prefetch_distance_ = 0;
+  /// Effective gating divisor: GatingPolicy::density_divisor, possibly
+  /// overridden by the adaptive controller.
+  std::uint64_t gating_divisor_ = 32;
+  /// Present only under EngineSelect::kAdaptive.
+  std::unique_ptr<DirectionController> controller_;
   bool use_wide_ = false;
   bool last_pull_was_wide_ = false;
   telemetry::Telemetry* telemetry_ = nullptr;

@@ -9,6 +9,7 @@
 
 #include "platform/aligned_buffer.h"
 #include "platform/bits.h"
+#include "platform/cpu_features.h"
 #include "platform/mapped_file.h"
 #include "platform/types.h"
 
@@ -78,6 +79,88 @@ struct DeltaJournalHeader {
 static_assert(sizeof(DeltaJournalHeader) == 32);
 
 constexpr std::uint64_t kJournalVersion = 1;
+
+/// tun.hdr payload (format v5): fixed-size sidecar summary.
+struct TuningHeader {
+  std::uint64_t tuning_version;
+  std::uint64_t capacity;  ///< slots in tun.cfg (kTuningSlotCapacity)
+  std::uint64_t count;     ///< live records (first `count` slots)
+  std::uint64_t reserved;
+};
+static_assert(sizeof(TuningHeader) == 32);
+
+constexpr std::uint64_t kTuningVersion = 1;
+
+/// One tun.cfg slot (format v5). Doubles travel as bit patterns so the
+/// record stays trivially copyable and memcmp-stable. An all-zero slot
+/// (algorithm[0] == 0) is free.
+struct TuningRecordDisk {
+  char algorithm[8];  // NUL-padded
+  std::uint64_t fingerprint;
+  std::uint32_t gating_divisor;
+  std::uint32_t block_shift;
+  /// 0 = not tuned; n = distance n-1 (distinguishes "untuned" from a
+  /// tuned distance of 0, which means prefetch off).
+  std::uint32_t prefetch_distance_plus1;
+  std::uint32_t reserved32;
+  std::uint64_t pull_cpe_bits;
+  std::uint64_t gated_pull_cpe_bits;
+  std::uint64_t push_cpe_bits;
+  std::uint64_t llc_mpe_bits;
+  std::uint64_t samples;
+  std::uint8_t reserved[24];
+};
+static_assert(sizeof(TuningRecordDisk) == 96);
+static_assert(std::is_trivially_copyable_v<TuningRecordDisk>);
+
+[[nodiscard]] std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+[[nodiscard]] double bits_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+[[nodiscard]] TuningRecordDisk to_disk(const TuningRecord& r) {
+  TuningRecordDisk d{};
+  std::strncpy(d.algorithm, r.algorithm.c_str(), sizeof(d.algorithm) - 1);
+  d.fingerprint = r.fingerprint;
+  d.gating_divisor = r.gating_divisor;
+  d.block_shift = r.block_shift;
+  d.prefetch_distance_plus1 =
+      r.prefetch_distance < 0
+          ? 0
+          : static_cast<std::uint32_t>(r.prefetch_distance) + 1;
+  d.pull_cpe_bits = double_bits(r.pull_cycles_per_edge);
+  d.gated_pull_cpe_bits = double_bits(r.gated_pull_cycles_per_edge);
+  d.push_cpe_bits = double_bits(r.push_cycles_per_edge);
+  d.llc_mpe_bits = double_bits(r.llc_misses_per_edge);
+  d.samples = r.samples;
+  return d;
+}
+
+[[nodiscard]] TuningRecord from_disk(const TuningRecordDisk& d) {
+  TuningRecord r;
+  r.algorithm.assign(d.algorithm,
+                     ::strnlen(d.algorithm, sizeof(d.algorithm)));
+  r.fingerprint = d.fingerprint;
+  r.gating_divisor = d.gating_divisor;
+  r.block_shift = d.block_shift;
+  r.prefetch_distance =
+      d.prefetch_distance_plus1 == 0
+          ? -1
+          : static_cast<std::int32_t>(d.prefetch_distance_plus1 - 1);
+  r.pull_cycles_per_edge = bits_double(d.pull_cpe_bits);
+  r.gated_pull_cycles_per_edge = bits_double(d.gated_pull_cpe_bits);
+  r.push_cycles_per_edge = bits_double(d.push_cpe_bits);
+  r.llc_misses_per_edge = bits_double(d.llc_mpe_bits);
+  r.samples = d.samples;
+  return r;
+}
 
 [[nodiscard]] std::int64_t net_delta_of(const DeltaJournalHeader& h) {
   std::int64_t v = 0;
@@ -203,6 +286,23 @@ Parsed parse(const std::byte* base, std::size_t size, std::string origin,
       p.info.journal_batches = h.batch_count;
       p.info.journal_ops = h.total_ops;
       p.info.journal_net_edge_delta = net_delta_of(h);
+    }
+  }
+
+  // Tuning sidecar summary (format v5), same demote-to-absent
+  // convention as the journal: an inconsistent tun.hdr/tun.cfg pair
+  // reads as "no sidecar" — read_tuning() re-validates with CRCs.
+  if (const SectionInfo* tun = p.find("tun.hdr");
+      tun != nullptr && tun->length == sizeof(TuningHeader)) {
+    TuningHeader h;
+    std::memcpy(&h, base + tun->offset, sizeof(h));
+    const SectionInfo* cfg = p.find("tun.cfg");
+    if (h.tuning_version == kTuningVersion && h.capacity > 0 &&
+        h.count <= h.capacity && cfg != nullptr &&
+        cfg->length == h.capacity * sizeof(TuningRecordDisk)) {
+      p.info.has_tuning = true;
+      p.info.tuning_records = h.count;
+      p.info.tuning_capacity = h.capacity;
     }
   }
   return p;
@@ -551,6 +651,17 @@ void pack_graph(const Graph& graph, const std::filesystem::path& path) {
     add_section(sections, "v512.srcvecs", v512.source_vectors());
   }
 
+  // Autotuning sidecar (format v5): a fixed-capacity slot array,
+  // zero-filled at pack time; write_tuning() later fills slots in
+  // place (no resize ever needed). Emitted *before* the delta sections
+  // so dlt.ops stays the trailing payload.
+  const TuningHeader tunhdr{kTuningVersion, kTuningSlotCapacity, 0, 0};
+  const std::vector<TuningRecordDisk> tunslots(kTuningSlotCapacity);
+  sections.push_back(PendingSection{"tun.hdr", &tunhdr, sizeof(tunhdr)});
+  sections.push_back(
+      PendingSection{"tun.cfg", tunslots.data(),
+                     tunslots.size() * sizeof(TuningRecordDisk)});
+
   // Delta journal (format v4): always shipped, empty at pack time.
   // dlt.ops MUST be the final section — append_delta_batch() grows it
   // at the end of the file without shifting any other payload.
@@ -800,6 +911,174 @@ DeltaJournal read_delta_journal(const std::filesystem::path& path,
          p.origin + ": journal header disagrees with the op stream");
   }
   return journal;
+}
+
+// ---------------------------------------------------------------------------
+// Autotuning sidecar (format v5)
+
+std::uint64_t machine_tuning_fingerprint() {
+  // FNV-1a over the stable parts of the machine fingerprint. ISA flags
+  // are implied by cpu_model; thread-count overrides at run time do
+  // not change logical_cores, so the key survives --threads.
+  const MachineFingerprint& fp = machine_fingerprint();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(fp.cpu_model.data(), fp.cpu_model.size());
+  const std::uint64_t cores = fp.logical_cores;
+  mix(&cores, sizeof(cores));
+  mix(&fp.llc_bytes, sizeof(fp.llc_bytes));
+  return h;
+}
+
+TuningProfile read_tuning(const std::filesystem::path& path,
+                          std::uint32_t max_version) {
+  FileImage img = open_image(path);
+  const Parsed p = parse(img.data, img.size, path.string(), max_version);
+  TuningProfile profile;
+  // Advisory data: anything inconsistent — absent sections (pre-v5),
+  // malformed lengths, failed CRCs — yields an empty profile rather
+  // than an error. Container-level structural problems still threw in
+  // parse() above.
+  const SectionInfo* hdr_s = p.find("tun.hdr");
+  const SectionInfo* cfg_s = p.find("tun.cfg");
+  if (hdr_s == nullptr || cfg_s == nullptr ||
+      hdr_s->length != sizeof(TuningHeader)) {
+    return profile;
+  }
+  if (crc32(p.base + hdr_s->offset, hdr_s->length) != hdr_s->crc32 ||
+      crc32(p.base + cfg_s->offset, cfg_s->length) != cfg_s->crc32) {
+    return profile;
+  }
+  TuningHeader h;
+  std::memcpy(&h, p.base + hdr_s->offset, sizeof(h));
+  if (h.tuning_version != kTuningVersion || h.capacity == 0 ||
+      h.count > h.capacity ||
+      cfg_s->length != h.capacity * sizeof(TuningRecordDisk)) {
+    return profile;
+  }
+  profile.tuning_version = h.tuning_version;
+  profile.capacity = h.capacity;
+  profile.records.reserve(h.count);
+  for (std::uint64_t i = 0; i < h.capacity; ++i) {
+    TuningRecordDisk d;
+    std::memcpy(&d, p.base + cfg_s->offset + i * sizeof(d), sizeof(d));
+    if (d.algorithm[0] == '\0') continue;  // free slot
+    profile.records.push_back(from_disk(d));
+  }
+  return profile;
+}
+
+void write_tuning(const std::filesystem::path& path,
+                  const TuningRecord& record) {
+  if (record.algorithm.empty() ||
+      record.algorithm.size() >= sizeof(TuningRecordDisk{}.algorithm)) {
+    fail(StoreErrc::kBadSection,
+         path.string() + ": tuning algorithm key must be 1..7 chars, got '" +
+             record.algorithm + "'");
+  }
+  FileImage img = open_image(path);
+  const Parsed p = parse(img.data, img.size, path.string(), kFormatVersion);
+  if (p.info.version < 5) {
+    fail(StoreErrc::kBadVersion,
+         p.origin + ": container version " + std::to_string(p.info.version) +
+             " has no tuning sidecar (repack with graph_convert to format " +
+             std::to_string(kFormatVersion) + ")");
+  }
+  const SectionInfo* hdr_s = p.find("tun.hdr");
+  const SectionInfo* cfg_s = p.find("tun.cfg");
+  if (hdr_s == nullptr || cfg_s == nullptr ||
+      hdr_s->length != sizeof(TuningHeader) ||
+      cfg_s->length % sizeof(TuningRecordDisk) != 0) {
+    fail(StoreErrc::kBadSection, p.origin + ": malformed tuning sidecar");
+  }
+  TuningHeader h;
+  std::memcpy(&h, p.base + hdr_s->offset, sizeof(h));
+  const std::uint64_t capacity = cfg_s->length / sizeof(TuningRecordDisk);
+  if (h.tuning_version != kTuningVersion || h.capacity != capacity) {
+    fail(StoreErrc::kBadSection, p.origin + ": malformed tuning sidecar");
+  }
+
+  // Upsert in the in-memory copy of the slot array: same
+  // (algorithm, fingerprint) replaces; else the first free slot; else
+  // evict the record with the fewest samples (least-trusted entry).
+  std::vector<TuningRecordDisk> slots(capacity);
+  std::memcpy(slots.data(), p.base + cfg_s->offset, cfg_s->length);
+  const TuningRecordDisk incoming = to_disk(record);
+  std::size_t target = capacity;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    if (slots[i].algorithm[0] != '\0' &&
+        std::memcmp(slots[i].algorithm, incoming.algorithm,
+                    sizeof(incoming.algorithm)) == 0 &&
+        slots[i].fingerprint == incoming.fingerprint) {
+      target = i;
+      break;
+    }
+  }
+  if (target == capacity) {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      if (slots[i].algorithm[0] == '\0') {
+        target = i;
+        break;
+      }
+    }
+  }
+  if (target == capacity) {
+    target = 0;
+    for (std::size_t i = 1; i < capacity; ++i) {
+      if (slots[i].samples < slots[target].samples) target = i;
+    }
+  }
+  const bool new_slot = slots[target].algorithm[0] == '\0';
+  slots[target] = incoming;
+  const std::uint32_t cfg_crc =
+      crc32(slots.data(), slots.size() * sizeof(TuningRecordDisk));
+  if (new_slot) h.count += 1;
+  const std::uint32_t hdr_crc = crc32(&h, sizeof(h));
+
+  const auto entry_base = [&](const char* name) -> std::uint64_t {
+    for (std::size_t i = 0; i < p.info.sections.size(); ++i) {
+      if (p.info.sections[i].name == name) {
+        return sizeof(FileHeader) + i * sizeof(SectionEntry);
+      }
+    }
+    fail(StoreErrc::kBadSection, p.origin + ": lost section " + name);
+  };
+  const std::uint64_t cfg_entry = entry_base("tun.cfg");
+  const std::uint64_t hdr_entry = entry_base("tun.hdr");
+
+  std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) fail(StoreErrc::kIoError, "cannot reopen " + path.string());
+  const auto put = [&](std::uint64_t offset, const void* data,
+                       std::uint64_t size) {
+    out.seekp(static_cast<std::streamoff>(offset));
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  };
+  // Payload first, CRCs last. tun.cfg is fixed-size, so no section
+  // length ever changes; a torn write at worst leaves a CRC mismatch,
+  // which read_tuning() demotes to "no sidecar" — never a broken
+  // container.
+  put(cfg_s->offset, slots.data(), slots.size() * sizeof(TuningRecordDisk));
+  put(hdr_s->offset, &h, sizeof(h));
+  put(hdr_entry + kEntryCrcOffset, &hdr_crc, sizeof(hdr_crc));
+  put(cfg_entry + kEntryCrcOffset, &cfg_crc, sizeof(cfg_crc));
+  out.flush();
+  if (!out) fail(StoreErrc::kIoError, "write failed for " + path.string());
+}
+
+const TuningRecord* find_tuning(const TuningProfile& profile,
+                                const std::string& algorithm,
+                                std::uint64_t fingerprint) {
+  for (const TuningRecord& r : profile.records) {
+    if (r.algorithm == algorithm && r.fingerprint == fingerprint) return &r;
+  }
+  return nullptr;
 }
 
 }  // namespace grazelle::store

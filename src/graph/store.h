@@ -79,6 +79,11 @@ struct StoreInfo {
   std::uint64_t journal_batches = 0;
   std::uint64_t journal_ops = 0;
   std::int64_t journal_net_edge_delta = 0;
+  // Tuning-sidecar summary (format v5; zero/false for older containers
+  // or when the sidecar sections are malformed).
+  bool has_tuning = false;
+  std::uint64_t tuning_records = 0;
+  std::uint64_t tuning_capacity = 0;
 };
 
 // v1: CSR/CSC/VSS/VSD + degrees.
@@ -97,7 +102,17 @@ struct StoreInfo {
 //     by batch-mark records) packed as the final two sections so
 //     append_delta_batch() grows the file in place. v1..v3 containers
 //     still open; they simply have no journal to read or append to.
-inline constexpr std::uint32_t kFormatVersion = 4;
+// v5: autotuning sidecar (DESIGN.md §15): tun.hdr (tuning version,
+//     slot capacity, live record count) and tun.cfg (a fixed-capacity
+//     array of 96-byte TuningRecord slots keyed by machine fingerprint
+//     + algorithm), written zero-filled at pack time *before* the
+//     delta sections so dlt.ops stays the trailing payload, and
+//     updated in place by write_tuning() (payload, header, then entry
+//     CRCs — the same torn-write-tolerant patch order the journal
+//     uses). v1..v4 containers still open; they have no sidecar and
+//     read_tuning() yields an empty profile. The sidecar is advisory:
+//     a corrupt or foreign-fingerprint record is ignored, never fatal.
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /// The extension the CLI tools route through this module.
 inline constexpr const char* kFileExtension = ".gzg";
@@ -160,6 +175,66 @@ void append_delta_batch(const std::filesystem::path& path,
 [[nodiscard]] DeltaJournal read_delta_journal(
     const std::filesystem::path& path,
     std::uint32_t max_version = kFormatVersion);
+
+// ---------------------------------------------------------------------------
+// Autotuning sidecar (format v5, DESIGN.md §15)
+
+/// Slots reserved in tun.cfg at pack time. Fixed so write_tuning() can
+/// upsert in place without moving any other payload; when all slots
+/// are live, the record with the fewest samples is evicted.
+inline constexpr std::uint64_t kTuningSlotCapacity = 16;
+
+/// One persisted winning configuration: the knobs and observed
+/// per-edge costs the autotuner locked in for (algorithm, machine).
+/// A zero knob means "not tuned, use the engine default"; cost-model
+/// fields of 0 mean "unknown, seed from heuristic constants".
+struct TuningRecord {
+  std::string algorithm;          ///< "pr", "cc", "bfs", ... (1..7 chars)
+  std::uint64_t fingerprint = 0;  ///< machine_tuning_fingerprint() key
+  std::uint32_t gating_divisor = 0;    ///< GatingPolicy::density_divisor
+  std::uint32_t block_shift = 0;       ///< cache-block source shift
+  std::int32_t prefetch_distance = -1; ///< -1 = not tuned; 0 = disabled
+  double pull_cycles_per_edge = 0.0;
+  double gated_pull_cycles_per_edge = 0.0;
+  double push_cycles_per_edge = 0.0;
+  double llc_misses_per_edge = 0.0;
+  std::uint64_t samples = 0;  ///< phase samples behind the cost model
+};
+
+/// The sidecar read back from a container.
+struct TuningProfile {
+  std::uint64_t tuning_version = 0;  ///< 0 = container has no sidecar
+  std::uint64_t capacity = 0;
+  std::vector<TuningRecord> records;
+};
+
+/// Stable 64-bit key of the host the tuning was measured on (FNV-1a
+/// over cpu model string, logical core count, and LLC size). Records
+/// whose fingerprint differs from the opening machine's are ignored.
+[[nodiscard]] std::uint64_t machine_tuning_fingerprint();
+
+/// Reads the container's tuning sidecar. Deliberately lenient — the
+/// sidecar is advisory: pre-v5 containers, missing/stripped sections,
+/// and corrupt (checksum-mismatched or inconsistent) sidecars all
+/// yield an empty profile rather than an error. Container-level
+/// structural errors (bad magic, truncation) still throw.
+[[nodiscard]] TuningProfile read_tuning(
+    const std::filesystem::path& path,
+    std::uint32_t max_version = kFormatVersion);
+
+/// Upserts one tuning record into the container's sidecar in place,
+/// keyed by (algorithm, fingerprint): an existing slot with that key
+/// is overwritten, else a free slot is claimed, else the live record
+/// with the fewest samples is evicted. Requires a v5 container with
+/// intact tun.* sections (throws kBadVersion / kBadSection naming the
+/// problem — repack with graph_convert to upgrade).
+void write_tuning(const std::filesystem::path& path,
+                  const TuningRecord& record);
+
+/// The profile's record for (algorithm, fingerprint), or nullptr.
+[[nodiscard]] const TuningRecord* find_tuning(const TuningProfile& profile,
+                                              const std::string& algorithm,
+                                              std::uint64_t fingerprint);
 
 /// Writes `graph` to `path` as a packed container. Overwrites.
 /// Throws StoreError(kIoError) on write failure.

@@ -22,7 +22,9 @@ namespace {
 
 namespace json = telemetry::json;
 
-[[nodiscard]] EngineOptions options_for(const Request& r, unsigned threads) {
+[[nodiscard]] EngineOptions options_for(const Request& r, unsigned threads,
+                                        const ServiceConfig& config,
+                                        const GraphContext& context) {
   EngineOptions o;
   o.num_threads = threads;
   o.numa_nodes = 1;
@@ -31,6 +33,11 @@ namespace json = telemetry::json;
   o.lanes = r.lanes == "4"   ? LanePolicy::k4
             : r.lanes == "8" ? LanePolicy::k8
                              : LanePolicy::kAuto;
+  o.direction.select = config.direction;
+  // Warm-start the controller from the sidecar (or what an earlier
+  // request on this context already learned): with a seeded model the
+  // first iteration runs at steady-state knobs, not cold defaults.
+  o.tuning = context.tuning_for(r.op);
   return o;
 }
 
@@ -40,10 +47,11 @@ namespace json = telemetry::json;
 /// ingest may already have published a newer epoch.
 void fill_context(RunReport& rep, const Request& r, const std::string& graph,
                   const Graph& pinned, unsigned threads, bool vectorized,
-                  unsigned prefetch_distance) {
+                  unsigned prefetch_distance,
+                  EngineSelect direction = EngineSelect::kAdaptive) {
   rep.app = r.op;
   rep.graph = graph;
-  rep.engine = "auto";
+  rep.engine = direction == EngineSelect::kAdaptive ? "adaptive" : "auto";
   rep.pull_mode = "sa";
   rep.threads = threads;
   rep.vectorized = vectorized;
@@ -133,6 +141,12 @@ void Service::stop() {
   {
     std::lock_guard<std::mutex> guard(lock_);
     started_ = false;
+  }
+  // Write learned tuning back to each container's sidecar (graph
+  // close). Best-effort by contract: persist_tuning swallows I/O
+  // failures, and pre-v5 containers simply report nothing to write.
+  for (auto& [name, context] : graphs_) {
+    if (context->tuning_persistable()) context->persist_tuning();
   }
   // Every accepted request still gets its reply.
   for (Job& job : leftover) {
@@ -401,12 +415,12 @@ void Service::execute_ingest(GraphContext& context, Job& job) {
 }
 
 template <bool Vec>
-void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
+void Service::run_jobs(GraphContext& context, std::vector<Job>& batch,
                        ThreadPool& pool) {
   const Request& first = batch.front().request;
   const unsigned threads = static_cast<unsigned>(pool.size());
   telemetry::Telemetry telem(threads);
-  const EngineOptions opts = options_for(first, threads);
+  const EngineOptions opts = options_for(first, threads, config_, context);
   try {
     // Every branch builds its program from the session's *pinned*
     // graph (session.graph()), never context.graph(): a concurrent
@@ -421,9 +435,10 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
                                  : config_.default_iterations;
       const RunStats stats = session.run(prog, iters);
       prog.finalize();
+      context.record_tuning(first.op, session.learned_tuning());
       RunReport rep = build_report(stats, &telem);
       fill_context(rep, first, first.graph, session.graph(), threads, Vec,
-                   session.prefetch_distance());
+                   session.prefetch_distance(), config_.direction);
       batch.front().reply(run_response(
           first, rep, 0, "float64",
           first.values ? values_json(prog.ranks()) : std::string()));
@@ -433,9 +448,10 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
       apps::ConnectedComponents prog(session.graph());
       session.frontier().set_all();
       const RunStats stats = session.run(prog, 1u << 20);
+      context.record_tuning(first.op, session.learned_tuning());
       RunReport rep = build_report(stats, &telem);
       fill_context(rep, first, first.graph, session.graph(), threads, Vec,
-                   session.prefetch_distance());
+                   session.prefetch_distance(), config_.direction);
       batch.front().reply(run_response(
           first, rep, 0, "uint64",
           first.values ? values_json(prog.labels()) : std::string()));
@@ -447,9 +463,10 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
       apps::BreadthFirstSearch prog(session.graph(), first.source);
       prog.seed(session.frontier());
       const RunStats stats = session.run(prog, 1u << 20);
+      context.record_tuning(first.op, session.learned_tuning());
       RunReport rep = build_report(stats, &telem);
       fill_context(rep, first, first.graph, session.graph(), threads, Vec,
-                   session.prefetch_distance());
+                   session.prefetch_distance(), config_.direction);
       batch.front().reply(run_response(
           first, rep, 1, "uint64",
           first.values ? values_json(prog.parents()) : std::string()));
@@ -463,9 +480,10 @@ void Service::run_jobs(const GraphContext& context, std::vector<Job>& batch,
       apps::MultiSourceBfs prog(session.graph(), sources, threads);
       prog.seed(session.frontier());
       const RunStats stats = session.run(prog, 1u << 20);
+      context.record_tuning(first.op, session.learned_tuning());
       RunReport rep = build_report(stats, &telem);
       fill_context(rep, first, first.graph, session.graph(), threads, Vec,
-                   session.prefetch_distance());
+                   session.prefetch_distance(), config_.direction);
       batches_.fetch_add(1, std::memory_order_relaxed);
       batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
       for (std::size_t b = 0; b < batch.size(); ++b) {

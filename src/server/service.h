@@ -56,6 +56,11 @@ struct ServiceConfig {
   unsigned batch_window_ms = 5;  // 0 = coalesce only what is pending
   unsigned default_iterations = 16;  // PR default
   bool vectorize = true;
+  /// Edge-phase direction policy for served runs. The default is the
+  /// closed-loop adaptive controller (DESIGN.md §15): each session is
+  /// seeded from the context's tuning sidecar / learned seeds, and
+  /// what it learns is recorded back so later requests start warm.
+  EngineSelect direction = EngineSelect::kAdaptive;
 };
 
 /// Monotonic server-level counters (exposed by the "stats" op).
@@ -125,7 +130,7 @@ class Service {
   void execute(std::vector<Job> batch, ThreadPool& pool);
   void execute_ingest(GraphContext& context, Job& job);
   template <bool Vec>
-  void run_jobs(const GraphContext& context, std::vector<Job>& batch,
+  void run_jobs(GraphContext& context, std::vector<Job>& batch,
                 ThreadPool& pool);
   [[nodiscard]] std::string immediate_response(const Request& r) const;
 

@@ -43,6 +43,15 @@ struct IterationStats {
   bool blocked = false;
   /// Non-empty (chunk, source-block) segments run (0 when not blocked).
   std::uint64_t blocks_executed = 0;
+  /// Adaptive-mode trace (DESIGN.md §15): why the DirectionController
+  /// chose this iteration's plan. nullptr under the fixed modes — the
+  /// report's direction_trace array only covers adaptive iterations.
+  const char* direction_reason = nullptr;
+  /// Controller cost-model estimate at decision time (adaptive only).
+  double estimated_cycles_per_edge = 0.0;
+  /// Measured cycles/edge fed back to the model (adaptive only; from
+  /// the PMU when available, the rdtsc estimate otherwise).
+  double measured_cycles_per_edge = 0.0;
 };
 
 struct RunStats {
@@ -68,7 +77,11 @@ namespace telemetry {
 //     cycles_per_edge, llc_misses_per_edge, effective_bandwidth_gbs)
 //     and the per-phase "pmu_phases" array. pmu.available=false means
 //     the degraded rdtsc path supplied the cycle estimate.
-inline constexpr unsigned kReportSchemaVersion = 4;
+// v5: added the "direction_trace" array (one entry per adaptive-mode
+//     iteration: chosen phase, reason code, estimated vs measured
+//     cycles/edge) and the tuner_* telemetry counters. Empty under the
+//     fixed direction modes.
+inline constexpr unsigned kReportSchemaVersion = 5;
 
 /// Derived hardware efficiency metrics of one PMU-sampled interval.
 /// Formulas (DESIGN.md §11): ipc = instructions / cycles;
@@ -325,6 +338,23 @@ inline std::string RunReport::to_json() const {
     iterations.push_back(w.str());
   }
 
+  // Adaptive-mode decision trace (schema v5): what the
+  // DirectionController chose each iteration and why, with the cost
+  // model's estimate against the feedback measurement. Empty array for
+  // fixed-mode runs.
+  std::vector<std::string> trace;
+  for (std::size_t i = 0; i < stats.per_iteration.size(); ++i) {
+    const IterationStats& it = stats.per_iteration[i];
+    if (it.direction_reason == nullptr) continue;
+    json::ObjectWriter w;
+    w.field("iteration", static_cast<std::uint64_t>(i))
+        .field("phase", it.plan.name())
+        .field("reason", it.direction_reason)
+        .field("estimated_cycles_per_edge", it.estimated_cycles_per_edge)
+        .field("measured_cycles_per_edge", it.measured_cycles_per_edge);
+    trace.push_back(w.str());
+  }
+
   json::ObjectWriter w;
   w.field("schema_version", static_cast<std::uint64_t>(kReportSchemaVersion))
       .field("app", app)
@@ -355,7 +385,8 @@ inline std::string RunReport::to_json() const {
       .field_raw("pmu_phases", json::array(pmu_phase_items))
       .field_raw("phases", phases_w.str())
       .field_raw("counters", counters_w.str())
-      .field_raw("per_iteration", json::array(iterations));
+      .field_raw("per_iteration", json::array(iterations))
+      .field_raw("direction_trace", json::array(trace));
   return w.str();
 }
 

@@ -41,6 +41,9 @@ enum class Counter : unsigned {
   kAsyncEdgeVisits,     ///< edges traversed by the async engine
   kBlocksExecuted,      ///< non-empty (chunk, source-block) segments run
   kBlockSwitches,       ///< source-block transitions inside chunks
+  kTunerProbes,           ///< knob candidates measured by the autotuner
+  kTunerDirectionSwitches,///< adaptive direction changes between iterations
+  kTunerDriftRetunes,     ///< re-probe rounds triggered by cost drift
   kCount,
 };
 
@@ -65,6 +68,9 @@ inline constexpr unsigned kNumCounters =
     case Counter::kAsyncEdgeVisits: return "async_edge_visits";
     case Counter::kBlocksExecuted: return "blocks_executed";
     case Counter::kBlockSwitches: return "block_switches";
+    case Counter::kTunerProbes: return "tuner_probes";
+    case Counter::kTunerDirectionSwitches: return "tuner_direction_switches";
+    case Counter::kTunerDriftRetunes: return "tuner_drift_retunes";
     case Counter::kCount: break;
   }
   return "unknown";

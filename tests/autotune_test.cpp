@@ -1,0 +1,595 @@
+// Adaptive direction controller coverage (DESIGN.md §15). Two halves:
+//
+// Unit tests drive DirectionController directly — density-dependent
+// direction picks from the seeded cost model, first-sample/EWMA model
+// updates, hysteresis (no flapping on near-ties), drift-triggered knob
+// re-probe rounds, and sidecar-seeded warm starts.
+//
+// The sweep half runs BFS/CC/PR under EngineSelect::kAdaptive across
+// gating × blocking × lane configurations and asserts the results are
+// bit-identical to every fixed mode (pull-only, push-only, heuristic
+// hybrid): the controller only ever selects among deterministic
+// execution paths, so adapting the direction must never change an
+// answer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
+#include "core/autotune.h"
+#include "core/engine.h"
+#include "gen/rmat.h"
+#include "platform/cpu_features.h"
+#include "telemetry/telemetry.h"
+
+namespace grazelle {
+namespace {
+
+EdgeList rmat_graph() {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.num_edges = 4000;
+  p.a = 0.6;
+  p.b = 0.15;
+  p.c = 0.19;
+  EdgeList list = gen::generate_rmat(p);
+  list.canonicalize();
+  return list;
+}
+
+DirectionController::Config base_config() {
+  DirectionController::Config cfg;
+  cfg.num_vertices = 1000;
+  cfg.num_edges = 100000;
+  cfg.uses_frontier = true;
+  cfg.gating_available = true;
+  cfg.blocking_available = false;
+  cfg.base_gating_divisor = 32;
+  cfg.base_prefetch_distance = 0;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Direction decisions from the seeded cost model
+
+TEST(DirectionController, FrontierFreeProgramsAlwaysPull) {
+  DirectionController::Config cfg = base_config();
+  cfg.uses_frontier = false;
+  DirectionController c(cfg);
+  for (std::uint64_t frontier : {std::uint64_t{0}, std::uint64_t{1},
+                                 std::uint64_t{1000}}) {
+    const DirectionDecision d = c.decide(frontier, frontier * 10);
+    EXPECT_EQ(d.kind, PlanKind::kPull);
+    EXPECT_STREQ(d.reason, "no_frontier");
+    EXPECT_EQ(d.estimated_edges, cfg.num_edges);
+  }
+  EXPECT_EQ(c.direction_switches(), 0u);
+}
+
+TEST(DirectionController, SparseFrontierPicksPushDenseFrontierPicksPull) {
+  // With the heuristic seeds (push 3x pull per edge), a frontier whose
+  // out-edges are a sliver of the graph favors push; once the frontier
+  // covers most edges, scanning everything in pull order wins.
+  DirectionController sparse(base_config());
+  const DirectionDecision d1 = sparse.decide(10, 50);
+  EXPECT_EQ(d1.kind, PlanKind::kPush);
+  EXPECT_STREQ(d1.reason, "cold_start");
+
+  DirectionController dense(base_config());
+  const DirectionDecision d2 = dense.decide(900, 95000);
+  EXPECT_EQ(d2.kind, PlanKind::kPull);
+}
+
+TEST(DirectionController, GatedPullNeedsGatingAvailable) {
+  // Mid-density band where gated pull's estimated touched edges beat
+  // both full pull and push under the default model seeds.
+  DirectionController::Config cfg = base_config();
+  // pull: 3.0 * 100000 = 300k. push: 9.0 * (out + f). gated:
+  // 6.0 * (4*out + f). With out=9000, f=1000: push 90k, gated 222k —
+  // push wins; gated needs push costlier, so learn push up first.
+  DirectionController c(cfg);
+  DirectionDecision d = c.decide(1000, 9000);
+  ASSERT_EQ(d.kind, PlanKind::kPush);
+  // Teach the model that push costs ~30 cycles/edge here.
+  c.observe(d, d.estimated_edges * 30);
+  d = c.decide(1000, 9000);
+  // push now 30*10000=300k ties full pull; gated (6.0 * 37000 = 222k)
+  // is the cheapest candidate.
+  EXPECT_EQ(d.kind, PlanKind::kGatedPull);
+
+  cfg.gating_available = false;
+  DirectionController without(cfg);
+  DirectionDecision d2 = without.decide(1000, 9000);
+  without.observe(d2, d2.estimated_edges * 30);
+  d2 = without.decide(1000, 9000);
+  EXPECT_NE(d2.kind, PlanKind::kGatedPull);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model updates
+
+TEST(DirectionController, FirstSampleReplacesSeedThenEwmaSmooths) {
+  DirectionController c(base_config());
+  // Dense enough (8400 estimated edges > 100000/256) for full-weight
+  // samples; push still wins (9.0 * 8400 beats the 300k pull scan).
+  const DirectionDecision d = c.decide(400, 8000);
+  ASSERT_EQ(d.kind, PlanKind::kPush);
+  ASSERT_EQ(c.samples(PlanKind::kPush), 0u);
+
+  // First sample: the heuristic seed is discarded outright.
+  c.observe(d, d.estimated_edges * 20);
+  EXPECT_DOUBLE_EQ(c.model_cpe(PlanKind::kPush), 20.0);
+  EXPECT_EQ(c.samples(PlanKind::kPush), 1u);
+
+  // Later samples blend in with the EWMA.
+  c.observe(d, d.estimated_edges * 10);
+  const double expected = (1.0 - DirectionController::kEwmaAlpha) * 20.0 +
+                          DirectionController::kEwmaAlpha * 10.0;
+  EXPECT_DOUBLE_EQ(c.model_cpe(PlanKind::kPush), expected);
+  EXPECT_EQ(c.samples(PlanKind::kPush), 2u);
+  EXPECT_EQ(c.total_samples(), 2u);
+  // The other kinds keep their seeds untouched.
+  EXPECT_DOUBLE_EQ(c.model_cpe(PlanKind::kPull),
+                   DirectionController::kSeedPullCpe);
+}
+
+TEST(DirectionController, SeededModelIsNotReplacedByFirstSample) {
+  DirectionController::Config cfg = base_config();
+  cfg.seed.present = true;
+  cfg.seed.samples = 50;
+  cfg.seed.push_cycles_per_edge = 4.0;
+  cfg.seed.gating_divisor = 64;
+  cfg.seed.prefetch_distance = 8;
+  DirectionController c(cfg);
+
+  // Knob winners apply from construction (steady state in iteration 1).
+  EXPECT_EQ(c.gating_divisor(), 64u);
+  EXPECT_EQ(c.prefetch_distance(), 8);
+
+  const DirectionDecision d = c.decide(400, 8000);  // full-weight sample
+  EXPECT_STREQ(d.reason, "seeded");
+  ASSERT_EQ(d.kind, PlanKind::kPush);
+  // A trusted seed is smoothed toward, not overwritten — and a wild
+  // sample (40 cpe against a 4.0 profile) is first clamped to the
+  // trust region's ceiling (profile * kModelTrustFactor = 32).
+  c.observe(d, d.estimated_edges * 40);
+  const double clamped = 4.0 * DirectionController::kModelTrustFactor;
+  const double expected = (1.0 - DirectionController::kEwmaAlpha) * 4.0 +
+                          DirectionController::kEwmaAlpha * clamped;
+  EXPECT_DOUBLE_EQ(c.model_cpe(PlanKind::kPush), expected);
+}
+
+TEST(DirectionController, OverheadDominatedSampleIsClampedNotTrusted) {
+  // BFS's first iteration: a handful of frontier edges under a whole
+  // parallel-for's fixed overhead. The raw cycles/edge figure is
+  // absurd (hundreds of times the seed); the trust region caps what
+  // it can teach the model, so push stays a viable candidate for the
+  // sparse tail instead of being priced out by one bad sample.
+  DirectionController::Config cfg = base_config();
+  cfg.gating_available = false;  // isolate the push-vs-pull choice
+  DirectionController c(cfg);
+  const DirectionDecision d = c.decide(10, 50);
+  ASSERT_EQ(d.kind, PlanKind::kPush);
+  c.observe(d, d.estimated_edges * 3000);  // overhead-dominated
+  // Doubly discounted: the sample is clipped to the trust ceiling
+  // (9.0 * 8 = 72) and its EWMA weight scales with the tiny fraction
+  // of the graph the phase covered (60 of 100000 edges), so the model
+  // barely moves and the baseline stays anchored at the heuristic.
+  const double ceiling = DirectionController::kSeedPushCpe *
+                         DirectionController::kModelTrustFactor;
+  const double alpha =
+      DirectionController::kEwmaAlpha *
+      (static_cast<double>(d.estimated_edges) /
+       (100000.0 * DirectionController::kFullWeightEdgeFraction));
+  EXPECT_DOUBLE_EQ(c.model_cpe(PlanKind::kPush),
+                   (1.0 - alpha) * DirectionController::kSeedPushCpe +
+                       alpha * ceiling);
+  // A sparse tail (few out-edges) must still choose push over a full
+  // pull scan: ~12 cpe * ~1k edges beats 3 cpe * 100k edges.
+  const DirectionDecision tail = c.decide(100, 900);
+  EXPECT_EQ(tail.kind, PlanKind::kPush);
+}
+
+TEST(DirectionController, LearnedSeedRoundTripsModelAndKnobs) {
+  DirectionController c(base_config());
+  const DirectionDecision d = c.decide(400, 8000);  // full-weight sample
+  c.observe(d, d.estimated_edges * 20);
+  c.observe_llc(0.25);
+
+  const TuningSeed learned = c.learned();
+  EXPECT_TRUE(learned.present);
+  EXPECT_EQ(learned.gating_divisor, 32u);
+  EXPECT_DOUBLE_EQ(learned.push_cycles_per_edge, 20.0);
+  EXPECT_DOUBLE_EQ(learned.pull_cycles_per_edge,
+                   DirectionController::kSeedPullCpe);
+  EXPECT_DOUBLE_EQ(learned.llc_misses_per_edge, 0.25);
+  EXPECT_EQ(learned.samples, 1u);
+
+  // Round trip: a controller seeded with `learned` starts where this
+  // one ended.
+  DirectionController::Config cfg = base_config();
+  cfg.seed = learned;
+  DirectionController warm(cfg);
+  EXPECT_DOUBLE_EQ(warm.model_cpe(PlanKind::kPush), 20.0);
+  EXPECT_STREQ(warm.decide(10, 50).reason, "seeded");
+}
+
+// ---------------------------------------------------------------------------
+// Hysteresis
+
+TEST(DirectionController, NearTieHoldsIncumbentDirection) {
+  // num_edges=1000: pull cost 3.0*1000=3000. A frontier with
+  // out-edges=300 makes push cost 9.0*350=3150 — pull is nominally
+  // better, but within the 1.15 hysteresis band, so the incumbent
+  // (push) holds.
+  DirectionController::Config cfg = base_config();
+  cfg.num_edges = 1000;
+  cfg.gating_available = false;
+  DirectionController c(cfg);
+
+  DirectionDecision d = c.decide(50, 100);  // push clearly (9*150=1350)
+  ASSERT_EQ(d.kind, PlanKind::kPush);
+  d = c.decide(50, 300);
+  EXPECT_EQ(d.kind, PlanKind::kPush);
+  EXPECT_STREQ(d.reason, "hysteresis_hold");
+  EXPECT_EQ(c.direction_switches(), 0u);
+
+  // A decisive gap (55x) overcomes the margin and counts a switch.
+  d = c.decide(900, 20000);  // push 9*20900=188k vs pull 3000
+  EXPECT_EQ(d.kind, PlanKind::kPull);
+  EXPECT_EQ(c.direction_switches(), 1u);
+}
+
+TEST(DirectionController, StableDensityNeverFlaps) {
+  // Iterating at a fixed mid density with noisy-but-bounded samples
+  // must settle on one direction, not oscillate.
+  DirectionController c(base_config());
+  std::uint64_t switches_after_warmup = 0;
+  PlanKind settled{};
+  for (int i = 0; i < 50; ++i) {
+    const DirectionDecision d = c.decide(400, 8000);
+    // Alternate measured cost ±10% around 5 cycles/edge.
+    const double cpe = (i % 2) == 0 ? 4.5 : 5.5;
+    c.observe(d, static_cast<std::uint64_t>(
+                     static_cast<double>(d.estimated_edges) * cpe));
+    if (i == 10) {
+      settled = d.kind;
+      switches_after_warmup = c.direction_switches();
+    }
+    if (i > 10) EXPECT_EQ(d.kind, settled) << "flapped at iteration " << i;
+  }
+  EXPECT_EQ(c.direction_switches(), switches_after_warmup);
+}
+
+// ---------------------------------------------------------------------------
+// Drift-triggered knob re-probe
+
+TEST(DirectionController, DriftTriggersProbeRoundAndLocksWinner) {
+  DirectionController::Config cfg = base_config();
+  cfg.num_edges = 1000;
+  cfg.gating_available = true;
+  DirectionController c(cfg);
+  telemetry::Telemetry telem(1);
+  c.set_telemetry(&telem);
+
+  // Settle pull at ~3 cycles/edge (dense frontier keeps pull chosen).
+  const auto run_iter = [&](double cpe) {
+    const DirectionDecision d = c.decide(900, 950);
+    EXPECT_EQ(d.kind, PlanKind::kPull);
+    c.observe(d, static_cast<std::uint64_t>(
+                     static_cast<double>(d.estimated_edges) * cpe));
+    return d;
+  };
+  for (int i = 0; i < 4; ++i) run_iter(3.0);
+  ASSERT_FALSE(c.probing());
+  ASSERT_EQ(c.drift_retunes(), 0u);
+
+  // Drift the measured cost well past kDriftThreshold; once enough
+  // samples accumulate the EWMA crosses the ratio and a probe round
+  // opens.
+  int iters = 0;
+  while (!c.probing() && iters < 50) {
+    run_iter(9.0);
+    ++iters;
+  }
+  ASSERT_TRUE(c.probing()) << "drift never triggered a re-probe";
+  EXPECT_EQ(c.drift_retunes(), 1u);
+
+  // Walk the whole candidate grid; the probed values must stay inside
+  // it, and the round must terminate with probing() false.
+  iters = 0;
+  while (c.probing() && iters < 50) {
+    const std::uint32_t div = c.gating_divisor();
+    EXPECT_TRUE(div == 16 || div == 32 || div == 64 || div == 128) << div;
+    run_iter(3.0);
+    ++iters;
+  }
+  EXPECT_FALSE(c.probing());
+  EXPECT_GT(c.probe_count(), 0u);
+  EXPECT_EQ(telem.total(telemetry::Counter::kTunerProbes), c.probe_count());
+  EXPECT_EQ(telem.total(telemetry::Counter::kTunerDriftRetunes), 1u);
+
+  // Winners come from the grids.
+  const std::uint32_t div = c.gating_divisor();
+  EXPECT_TRUE(div == 16 || div == 32 || div == 64 || div == 128) << div;
+  const std::int32_t pf = c.prefetch_distance();
+  EXPECT_TRUE(pf == 0 || pf == 4 || pf == 8 || pf == 16) << pf;
+
+  // Re-baselined: holding the new cost steady does not immediately
+  // re-trigger.
+  for (int i = 0; i < 8; ++i) run_iter(3.0);
+  EXPECT_EQ(c.drift_retunes(), 1u);
+}
+
+TEST(DirectionController, ProbeChallengerNeedsDecisiveWinToDisplace) {
+  // Each grid candidate is measured on exactly one iteration, so a
+  // challenger that looks a few percent cheaper is indistinguishable
+  // from timer noise. Only a hysteresis-margin win displaces the
+  // incumbent knob value.
+  DirectionController::Config cfg = base_config();
+  cfg.num_edges = 1000;
+  DirectionController c(cfg);
+  const auto run_iter = [&](double cpe) {
+    const DirectionDecision d = c.decide(900, 950);
+    EXPECT_EQ(d.kind, PlanKind::kPull);
+    c.observe(d, static_cast<std::uint64_t>(
+                     static_cast<double>(d.estimated_edges) * cpe));
+  };
+  for (int i = 0; i < 4; ++i) run_iter(3.0);
+  int guard = 0;
+  while (!c.probing() && guard++ < 50) run_iter(9.0);
+  ASSERT_TRUE(c.probing());
+
+  // Queue order: gating {32, 16, 64, 128}, prefetch {0, 4, 8, 16} —
+  // incumbents first. Challengers measure ~8% cheaper than their
+  // incumbent: inside the 1.15 margin, so the incumbents must hold.
+  const double feed[] = {5.0, 4.6, 4.6, 4.6, 5.0, 4.6, 4.6, 4.6};
+  std::size_t idx = 0;
+  while (c.probing() && idx < std::size(feed)) run_iter(feed[idx++]);
+  EXPECT_FALSE(c.probing());
+  EXPECT_EQ(c.gating_divisor(), 32u);
+  EXPECT_EQ(c.prefetch_distance(), 0);
+}
+
+TEST(DirectionController, ProbeDecisiveWinnerIsLockedIn) {
+  DirectionController::Config cfg = base_config();
+  cfg.num_edges = 1000;
+  DirectionController c(cfg);
+  const auto run_iter = [&](double cpe) {
+    const DirectionDecision d = c.decide(900, 950);
+    EXPECT_EQ(d.kind, PlanKind::kPull);
+    c.observe(d, static_cast<std::uint64_t>(
+                     static_cast<double>(d.estimated_edges) * cpe));
+  };
+  for (int i = 0; i < 4; ++i) run_iter(3.0);
+  int guard = 0;
+  while (!c.probing() && guard++ < 50) run_iter(9.0);
+  ASSERT_TRUE(c.probing());
+
+  // Gating divisor 64 (third probe) measures 2x cheaper than the
+  // incumbent — decisively outside the margin — and wins; the prefetch
+  // incumbent survives its merely-noisy challengers.
+  const double feed[] = {6.0, 5.9, 3.0, 5.9, 6.0, 5.9, 5.9, 5.9};
+  std::size_t idx = 0;
+  while (c.probing() && idx < std::size(feed)) run_iter(feed[idx++]);
+  EXPECT_FALSE(c.probing());
+  EXPECT_EQ(c.gating_divisor(), 64u);
+  EXPECT_EQ(c.prefetch_distance(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity sweep: adaptive vs every fixed mode
+
+struct SweepConfig {
+  bool vectorized;
+  bool gating;
+  bool blocking;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepConfig>& info) {
+  const SweepConfig& c = info.param;
+  return std::string(c.vectorized ? "Vec" : "Scalar") +
+         (c.gating ? "Gated" : "") + (c.blocking ? "Blocked" : "");
+}
+
+std::vector<SweepConfig> sweep_configs() {
+  std::vector<SweepConfig> configs;
+  const std::vector<bool> vec_options =
+      vector_kernels_available() ? std::vector<bool>{false, true}
+                                 : std::vector<bool>{false};
+  for (bool vec : vec_options) {
+    for (bool gating : {false, true}) {
+      for (bool blocking : {false, true}) {
+        configs.push_back({vec, gating, blocking});
+      }
+    }
+  }
+  return configs;
+}
+
+EngineOptions sweep_options(const SweepConfig& c, EngineSelect select) {
+  EngineOptions o;
+  o.num_threads = 4;
+  o.direction.select = select;
+  o.gating.enabled = c.gating;
+  o.blocking.enabled = c.blocking;
+  o.blocking.block_bytes = 512;
+  return o;
+}
+
+template <typename P, typename Fn>
+void with_engine(const Graph& g, const EngineOptions& o, bool vectorized,
+                 Fn&& fn) {
+#if defined(GRAZELLE_HAVE_AVX2)
+  if (vectorized) {
+    Engine<P, true> engine(g, o);
+    fn(engine);
+    return;
+  }
+#else
+  ASSERT_FALSE(vectorized) << "vector kernels not built";
+#endif
+  Engine<P, false> engine(g, o);
+  fn(engine);
+}
+
+class AdaptiveSweep : public ::testing::TestWithParam<SweepConfig> {
+ protected:
+  static const Graph& graph() {
+    static const Graph g = Graph::build(rmat_graph());
+    return g;
+  }
+};
+
+std::vector<std::uint64_t> pagerank_bits(const Graph& g,
+                                         const EngineOptions& o,
+                                         bool vectorized) {
+  std::vector<std::uint64_t> bits;
+  with_engine<apps::PageRank>(g, o, vectorized, [&](auto& engine) {
+    apps::PageRank pr(g, engine.pool().size());
+    engine.run(pr, 10);
+    pr.finalize();
+    bits.resize(pr.ranks().size());
+    std::memcpy(bits.data(), pr.ranks().data(), pr.ranks().size_bytes());
+  });
+  return bits;
+}
+
+std::vector<std::uint64_t> cc_labels(const Graph& g, const EngineOptions& o,
+                                     bool vectorized) {
+  std::vector<std::uint64_t> labels;
+  with_engine<apps::ConnectedComponents>(g, o, vectorized, [&](auto& engine) {
+    apps::ConnectedComponents cc(g);
+    engine.frontier().set_all();
+    engine.run(cc, 1u << 20);
+    labels.assign(cc.labels().begin(), cc.labels().end());
+  });
+  return labels;
+}
+
+std::vector<std::uint64_t> bfs_parents(const Graph& g, const EngineOptions& o,
+                                       bool vectorized) {
+  std::vector<std::uint64_t> parents;
+  with_engine<apps::BreadthFirstSearch>(g, o, vectorized, [&](auto& engine) {
+    apps::BreadthFirstSearch bfs(g, 0);
+    bfs.seed(engine.frontier());
+    engine.run(bfs, 1u << 20);
+    parents.assign(bfs.parents().begin(), bfs.parents().end());
+  });
+  return parents;
+}
+
+constexpr EngineSelect kFixedModes[] = {
+    EngineSelect::kAuto, EngineSelect::kPullOnly, EngineSelect::kPushOnly};
+
+TEST_P(AdaptiveSweep, PageRankBitIdenticalToPullPaths) {
+  // Frontier-free PR pins the controller to pull, so adaptive must be
+  // bitwise equal to pull-only and to the heuristic (which also always
+  // pulls when there is no frontier). Push-only sums contributions in
+  // a different order — numerically equal, not bitwise — so it is
+  // compared within float tolerance like the engine tests do.
+  const SweepConfig& c = GetParam();
+  const auto adaptive = pagerank_bits(
+      graph(), sweep_options(c, EngineSelect::kAdaptive), c.vectorized);
+  for (EngineSelect fixed : {EngineSelect::kAuto, EngineSelect::kPullOnly}) {
+    const auto baseline =
+        pagerank_bits(graph(), sweep_options(c, fixed), c.vectorized);
+    ASSERT_EQ(adaptive.size(), baseline.size());
+    EXPECT_EQ(std::memcmp(adaptive.data(), baseline.data(),
+                          adaptive.size() * sizeof(std::uint64_t)),
+              0)
+        << "vs fixed mode " << static_cast<int>(fixed);
+  }
+  const auto pushed = pagerank_bits(
+      graph(), sweep_options(c, EngineSelect::kPushOnly), c.vectorized);
+  ASSERT_EQ(adaptive.size(), pushed.size());
+  for (std::size_t v = 0; v < adaptive.size(); ++v) {
+    double a, b;
+    std::memcpy(&a, &adaptive[v], sizeof(a));
+    std::memcpy(&b, &pushed[v], sizeof(b));
+    ASSERT_NEAR(a, b, 1e-10) << "vertex " << v;
+  }
+}
+
+TEST_P(AdaptiveSweep, ConnectedComponentsMatchEveryFixedMode) {
+  const SweepConfig& c = GetParam();
+  const auto adaptive = cc_labels(
+      graph(), sweep_options(c, EngineSelect::kAdaptive), c.vectorized);
+  for (EngineSelect fixed : kFixedModes) {
+    EXPECT_EQ(adaptive, cc_labels(graph(), sweep_options(c, fixed),
+                                  c.vectorized))
+        << "vs fixed mode " << static_cast<int>(fixed);
+  }
+}
+
+TEST_P(AdaptiveSweep, BfsParentsMatchEveryFixedMode) {
+  const SweepConfig& c = GetParam();
+  const auto adaptive = bfs_parents(
+      graph(), sweep_options(c, EngineSelect::kAdaptive), c.vectorized);
+  for (EngineSelect fixed : kFixedModes) {
+    EXPECT_EQ(adaptive, bfs_parents(graph(), sweep_options(c, fixed),
+                                    c.vectorized))
+        << "vs fixed mode " << static_cast<int>(fixed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, AdaptiveSweep,
+                         ::testing::ValuesIn(sweep_configs()), sweep_name);
+
+// ---------------------------------------------------------------------------
+// Session integration: the adaptive run exposes its controller and a
+// direction trace, and exports a learnable seed.
+
+TEST(AdaptiveSession, ControllerTraceAndLearnedSeed) {
+  const Graph g = Graph::build(rmat_graph());
+  EngineOptions o;
+  o.num_threads = 2;
+  o.direction.select = EngineSelect::kAdaptive;
+  o.gating.enabled = true;
+  Engine<apps::BreadthFirstSearch, false> engine(g, o);
+  ASSERT_NE(engine.controller(), nullptr);
+
+  apps::BreadthFirstSearch bfs(g, 0);
+  bfs.seed(engine.frontier());
+  const RunStats stats = engine.run(bfs, 1u << 20);
+  ASSERT_GT(stats.iterations, 0u);
+  for (const IterationStats& it : stats.per_iteration) {
+    ASSERT_NE(it.direction_reason, nullptr);
+    EXPECT_GT(it.estimated_cycles_per_edge, 0.0);
+    EXPECT_GT(it.measured_cycles_per_edge, 0.0);
+  }
+  EXPECT_EQ(engine.controller()->total_samples(), stats.iterations);
+
+  const TuningSeed learned = engine.learned_tuning();
+  EXPECT_TRUE(learned.present);
+  EXPECT_EQ(learned.samples, stats.iterations);
+  EXPECT_GT(learned.pull_cycles_per_edge +
+                learned.gated_pull_cycles_per_edge +
+                learned.push_cycles_per_edge,
+            0.0);
+}
+
+TEST(AdaptiveSession, FixedModeHasNoControllerOrTrace) {
+  const Graph g = Graph::build(rmat_graph());
+  EngineOptions o;
+  o.num_threads = 2;
+  o.direction.select = EngineSelect::kAuto;
+  Engine<apps::BreadthFirstSearch, false> engine(g, o);
+  EXPECT_EQ(engine.controller(), nullptr);
+
+  apps::BreadthFirstSearch bfs(g, 0);
+  bfs.seed(engine.frontier());
+  const RunStats stats = engine.run(bfs, 1u << 20);
+  for (const IterationStats& it : stats.per_iteration) {
+    EXPECT_EQ(it.direction_reason, nullptr);
+  }
+  EXPECT_FALSE(engine.learned_tuning().present);
+}
+
+}  // namespace
+}  // namespace grazelle

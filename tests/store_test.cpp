@@ -432,7 +432,7 @@ TEST(Store, StrippedVsd512ContainerFallsBackTo4Lane) {
 }
 
 TEST(Store, VersionCappedReaderRejectsNewer) {
-  // A long-lived reader pinned at v2 must refuse a v4 container with a
+  // A long-lived reader pinned at v2 must refuse a v5 container with a
   // message naming both the found and the supported versions.
   const Graph built = Graph::build(rmat_graph());
   TempStore store("grazelle_store_v512_capped");
@@ -456,7 +456,9 @@ TEST(Store, VersionCappedReaderRejectsNewer) {
     } catch (const store::StoreError& e) {
       EXPECT_EQ(e.code(), store::StoreErrc::kBadVersion);
       const std::string msg = e.what();
-      EXPECT_NE(msg.find("version 4"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("version " + std::to_string(store::kFormatVersion)),
+                std::string::npos)
+          << msg;
       EXPECT_NE(msg.find("1..2"), std::string::npos) << msg;
     }
   }
@@ -607,6 +609,276 @@ TEST(Store, JournalCorruptionFailsChecksum) {
 }
 
 // ---------------------------------------------------------------------------
+// Tuning sidecar sections (format v5)
+
+store::TuningRecord make_tuning_record(const char* algo,
+                                       std::uint64_t fingerprint) {
+  store::TuningRecord r;
+  r.algorithm = algo;
+  r.fingerprint = fingerprint;
+  r.gating_divisor = 64;
+  r.block_shift = 14;
+  r.prefetch_distance = 8;
+  r.pull_cycles_per_edge = 2.75;
+  r.gated_pull_cycles_per_edge = 5.5;
+  r.push_cycles_per_edge = 11.25;
+  r.llc_misses_per_edge = 0.375;
+  r.samples = 42;
+  return r;
+}
+
+TEST(Store, FreshPackHasEmptyTuningSidecar) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_empty");
+  store::pack_graph(built, store.path());
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  EXPECT_EQ(info.version, store::kFormatVersion);
+  EXPECT_TRUE(info.has_tuning);
+  EXPECT_EQ(info.tuning_records, 0u);
+  EXPECT_EQ(info.tuning_capacity, store::kTuningSlotCapacity);
+
+  const store::TuningProfile profile = store::read_tuning(store.path());
+  EXPECT_EQ(profile.tuning_version, 1u);
+  EXPECT_EQ(profile.capacity, store::kTuningSlotCapacity);
+  EXPECT_TRUE(profile.records.empty());
+  EXPECT_NO_THROW(store::verify_store(store.path()));
+}
+
+TEST(Store, TuningSidecarWriteReadRoundTrip) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_rt");
+  store::pack_graph(built, store.path());
+
+  const std::uint64_t fp = store::machine_tuning_fingerprint();
+  store::write_tuning(store.path(), make_tuning_record("pr", fp));
+  store::write_tuning(store.path(), make_tuning_record("bfs", fp));
+
+  const store::TuningProfile profile = store::read_tuning(store.path());
+  ASSERT_EQ(profile.records.size(), 2u);
+  const store::TuningRecord* rec = store::find_tuning(profile, "pr", fp);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->fingerprint, fp);
+  EXPECT_EQ(rec->gating_divisor, 64u);
+  EXPECT_EQ(rec->block_shift, 14u);
+  EXPECT_EQ(rec->prefetch_distance, 8);
+  EXPECT_EQ(rec->pull_cycles_per_edge, 2.75);
+  EXPECT_EQ(rec->gated_pull_cycles_per_edge, 5.5);
+  EXPECT_EQ(rec->push_cycles_per_edge, 11.25);
+  EXPECT_EQ(rec->llc_misses_per_edge, 0.375);
+  EXPECT_EQ(rec->samples, 42u);
+  EXPECT_EQ(store::find_tuning(profile, "cc", fp), nullptr);
+
+  // Upsert: the same (algorithm, fingerprint) replaces in place.
+  store::TuningRecord updated = make_tuning_record("pr", fp);
+  updated.gating_divisor = 128;
+  updated.samples = 100;
+  store::write_tuning(store.path(), updated);
+  const store::TuningProfile again = store::read_tuning(store.path());
+  EXPECT_EQ(again.records.size(), 2u);
+  const store::TuningRecord* rec2 = store::find_tuning(again, "pr", fp);
+  ASSERT_NE(rec2, nullptr);
+  EXPECT_EQ(rec2->gating_divisor, 128u);
+  EXPECT_EQ(rec2->samples, 100u);
+
+  // The in-place patch kept every CRC consistent and the base payloads
+  // untouched.
+  EXPECT_EQ(store::inspect_store(store.path()).tuning_records, 2u);
+  EXPECT_NO_THROW(store::verify_store(store.path()));
+  expect_graphs_equal(built, store::load_graph(store.path()));
+}
+
+TEST(Store, TuningSidecarEvictsFewestSamplesWhenFull) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_evict");
+  store::pack_graph(built, store.path());
+
+  // Fill every slot with distinct fingerprints; samples grow with the
+  // slot index so fingerprint 0 is the least-trusted record.
+  for (std::uint64_t i = 0; i < store::kTuningSlotCapacity; ++i) {
+    store::TuningRecord r = make_tuning_record("pr", i);
+    r.samples = 10 + i;
+    store::write_tuning(store.path(), r);
+  }
+  ASSERT_EQ(store::read_tuning(store.path()).records.size(),
+            store::kTuningSlotCapacity);
+
+  store::TuningRecord extra = make_tuning_record("cc", 999);
+  extra.samples = 1000;
+  store::write_tuning(store.path(), extra);
+  const store::TuningProfile profile = store::read_tuning(store.path());
+  EXPECT_EQ(profile.records.size(), store::kTuningSlotCapacity);
+  EXPECT_NE(store::find_tuning(profile, "cc", 999), nullptr);
+  EXPECT_EQ(store::find_tuning(profile, "pr", 0), nullptr);  // evicted
+  EXPECT_NE(store::find_tuning(profile, "pr", 1), nullptr);
+}
+
+TEST(Store, TuningSidecarRejectsBadAlgorithmKey) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_badkey");
+  store::pack_graph(built, store.path());
+  expect_store_error(store::StoreErrc::kBadSection, [&] {
+    store::write_tuning(store.path(), make_tuning_record("", 1));
+  });
+  expect_store_error(store::StoreErrc::kBadSection, [&] {
+    store::write_tuning(store.path(),
+                        make_tuning_record("toolongname", 1));
+  });
+}
+
+TEST(Store, StrippedTuningSectionsReadAsEmptyProfile) {
+  // A v5 container whose tun.* sections were stripped (or a foreign
+  // packer that never wrote them) must read as "no sidecar", not an
+  // error; writes, which need the slots, fail with a typed error.
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_stripped");
+  store::pack_graph(built, store.path());
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const std::string& name = info.sections[i].name;
+    if (name == "tun.hdr" || name == "tun.cfg") {
+      std::string renamed = name;
+      renamed[0] = 'x';
+      patch_file(store.path(), 64 + i * 40, renamed.c_str(),
+                 renamed.size());
+    }
+  }
+
+  store::verify_store(store.path());  // still checksum-clean
+  EXPECT_FALSE(store::inspect_store(store.path()).has_tuning);
+  EXPECT_TRUE(store::read_tuning(store.path()).records.empty());
+  expect_graphs_equal(built, store::load_graph(store.path()));
+  expect_store_error(store::StoreErrc::kBadSection, [&] {
+    store::write_tuning(store.path(), make_tuning_record("pr", 1));
+  });
+}
+
+TEST(Store, CorruptTuningSidecarIsIgnoredNotFatal) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_corrupt");
+  store::pack_graph(built, store.path());
+  store::write_tuning(store.path(),
+                      make_tuning_record(
+                          "pr", store::machine_tuning_fingerprint()));
+
+  const store::StoreInfo info = store::inspect_store(store.path());
+  const store::SectionInfo* cfg = nullptr;
+  for (const store::SectionInfo& s : info.sections) {
+    if (s.name == "tun.cfg") cfg = &s;
+  }
+  ASSERT_NE(cfg, nullptr);
+  std::ifstream in(store.path(), std::ios::binary);
+  in.seekg(static_cast<std::streamoff>(cfg->offset));
+  char byte = 0;
+  in.read(&byte, 1);
+  in.close();
+  byte = static_cast<char>(byte ^ 0x5a);
+  patch_file(store.path(), cfg->offset, &byte, 1);
+
+  // Tuning is advisory: the damaged sidecar reads as empty and the
+  // graph still serves; only the strict whole-file verify objects.
+  EXPECT_TRUE(store::read_tuning(store.path()).records.empty());
+  expect_graphs_equal(built, store::load_graph(store.path()));
+  expect_store_error(store::StoreErrc::kChecksumMismatch,
+                     [&] { store::verify_store(store.path()); });
+}
+
+TEST(Store, PreV5ContainerHasNoTuningSidecar) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_prev5");
+  store::pack_graph(built, store.path());
+
+  const std::uint32_t v4 = 4;
+  patch_file(store.path(), 4, &v4, sizeof(v4));
+  const store::StoreInfo info = store::inspect_store(store.path());
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const std::string& name = info.sections[i].name;
+    if (name == "tun.hdr" || name == "tun.cfg") {
+      std::string renamed = name;
+      renamed[0] = 'x';
+      patch_file(store.path(), 64 + i * 40, renamed.c_str(),
+                 renamed.size());
+    }
+  }
+
+  store::verify_store(store.path());
+  EXPECT_FALSE(store::inspect_store(store.path()).has_tuning);
+  EXPECT_TRUE(store::read_tuning(store.path()).records.empty());
+  expect_store_error(store::StoreErrc::kBadVersion, [&] {
+    store::write_tuning(store.path(), make_tuning_record("pr", 1));
+  });
+  // v4-and-older containers open exactly as before.
+  expect_graphs_equal(built, store::load_graph(store.path()));
+}
+
+TEST(Store, GraphContextIgnoresForeignFingerprintTuning) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_foreign");
+  store::pack_graph(built, store.path());
+
+  const std::uint64_t fp = store::machine_tuning_fingerprint();
+  store::write_tuning(store.path(), make_tuning_record("pr", fp + 1));
+  {
+    GraphContext ctx = GraphContext::open(store.path().string());
+    EXPECT_FALSE(ctx.tuning_for("pr").present);  // wrong machine
+    EXPECT_TRUE(ctx.tuning_persistable());
+  }
+
+  store::write_tuning(store.path(), make_tuning_record("pr", fp));
+  GraphContext ctx = GraphContext::open(store.path().string());
+  const TuningSeed seed = ctx.tuning_for("pr");
+  ASSERT_TRUE(seed.present);
+  EXPECT_EQ(seed.gating_divisor, 64u);
+  EXPECT_EQ(seed.prefetch_distance, 8);
+  EXPECT_EQ(seed.samples, 42u);
+  EXPECT_FALSE(ctx.tuning_for("bfs").present);
+}
+
+TEST(Store, GraphContextPersistTuningWritesLearnedSeeds) {
+  const Graph built = Graph::build(rmat_graph());
+  TempStore store("grazelle_store_tuning_persist");
+  store::pack_graph(built, store.path());
+
+  {
+    GraphContext ctx = GraphContext::open(store.path().string());
+    TuningSeed seed;
+    seed.present = true;
+    seed.gating_divisor = 16;
+    seed.block_shift = 12;
+    seed.prefetch_distance = 4;
+    seed.pull_cycles_per_edge = 1.5;
+    seed.gated_pull_cycles_per_edge = 3.0;
+    seed.push_cycles_per_edge = 7.0;
+    seed.samples = 9;
+    ctx.record_tuning("cc", seed);
+    // A lower-sample seed for the same algorithm must not regress the
+    // recorded one.
+    TuningSeed weaker = seed;
+    weaker.gating_divisor = 999;
+    weaker.samples = 2;
+    ctx.record_tuning("cc", weaker);
+    EXPECT_EQ(ctx.persist_tuning(), 1u);
+  }
+
+  const store::TuningProfile profile = store::read_tuning(store.path());
+  const store::TuningRecord* rec = store::find_tuning(
+      profile, "cc", store::machine_tuning_fingerprint());
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->gating_divisor, 16u);
+  EXPECT_EQ(rec->block_shift, 12u);
+  EXPECT_EQ(rec->prefetch_distance, 4);
+  EXPECT_EQ(rec->samples, 9u);
+
+  // A fresh context warm-starts from what the last one persisted.
+  GraphContext reopened = GraphContext::open(store.path().string());
+  const TuningSeed warm = reopened.tuning_for("cc");
+  ASSERT_TRUE(warm.present);
+  EXPECT_EQ(warm.gating_divisor, 16u);
+  EXPECT_EQ(warm.pull_cycles_per_edge, 1.5);
+}
+
+// ---------------------------------------------------------------------------
 // Failure modes: each malformed container throws the matching StoreErrc.
 // File layout: [FileHeader 64 B][SectionEntry 40 B x N][payloads].
 // FileHeader: magic[4] version u32 ... ; SectionEntry: name[16],
@@ -650,13 +922,17 @@ TEST_F(StoreFailure, UnsupportedVersionIsDetected) {
 
 TEST_F(StoreFailure, PayloadCorruptionFailsChecksum) {
   // Flip one byte in the last non-empty *graph* section's payload (the
-  // trailing dlt.* journal sections are covered by their own test, and
-  // read_graph does not consume them). Structural open still succeeds
-  // (it validates layout only); the checksum passes catch it.
+  // dlt.* journal and tun.* tuning-sidecar sections are covered by
+  // their own tests, and read_graph does not consume them).
+  // Structural open still succeeds (it validates layout only); the
+  // checksum passes catch it.
   const store::StoreInfo info = store::inspect_store(path());
   const store::SectionInfo* picked = nullptr;
   for (const store::SectionInfo& s : info.sections) {
-    if (s.length > 0 && s.name.rfind("dlt.", 0) != 0) picked = &s;
+    if (s.length > 0 && s.name.rfind("dlt.", 0) != 0 &&
+        s.name.rfind("tun.", 0) != 0) {
+      picked = &s;
+    }
   }
   ASSERT_NE(picked, nullptr);
   const store::SectionInfo& last = *picked;

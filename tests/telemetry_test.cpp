@@ -453,7 +453,8 @@ TEST(RunReport, V4ExposesPmuAndMachineFields) {
   EXPECT_GT(report.pmu_run_edges, 0u);
 
   const auto v = telemetry::json::parse(report.to_json());
-  EXPECT_EQ(v.at("schema_version").num, 4.0);
+  EXPECT_EQ(v.at("schema_version").num,
+            static_cast<double>(telemetry::kReportSchemaVersion));
 
   ASSERT_TRUE(v.at("machine").is_object());
   EXPECT_TRUE(v.at("machine").has("cpu_model"));

@@ -287,10 +287,11 @@ TEST(BenchReportTool, RunEmitsVersionedReport) {
   ASSERT_EQ(r.exit_code, 0) << r.output;
 
   const auto v = telemetry::json::parse(read_file(out));
-  EXPECT_EQ(v.at("bench_report_version").num, 1.0);
+  EXPECT_EQ(v.at("bench_report_version").num, 2.0);
   EXPECT_EQ(v.at("label").str, "test");
   EXPECT_TRUE(v.at("machine").has("cpu_model"));
   EXPECT_TRUE(v.has("pmu_available"));
+  EXPECT_TRUE(v.has("direction"));
   const auto& benches = v.at("benchmarks").items;
   ASSERT_EQ(benches.size(), 2u);  // pr and bfs, not cc
   for (const auto& b : benches) {
@@ -299,6 +300,8 @@ TEST(BenchReportTool, RunEmitsVersionedReport) {
     EXPECT_GT(b->at("edges").num, 0.0);
     EXPECT_TRUE(b->has("cycles_per_edge"));
     EXPECT_TRUE(b->has("ipc"));
+    EXPECT_TRUE(b->has("direction_histogram"));
+    EXPECT_TRUE(b->has("tuner_probes"));
   }
   std::filesystem::remove(out);
 }

@@ -9,6 +9,11 @@
 //   bench_report -i rmat:14 --label dev [--repeats 5] [--apps pr,cc]
 //                [--out BENCH_dev.json] [-n <threads>]
 //
+// --compare-directions races every direction policy (pull, push,
+// heuristic, auto) with repeats interleaved round-robin, so host
+// drift is shared and the per-policy medians in the report are
+// directly comparable (the auto-vs-best-fixed ratio is precomputed).
+//
 // Diff mode parses two such files and compares medians benchmark by
 // benchmark; any slowdown beyond --threshold (fractional, default
 // 0.10) is a regression and the exit status is non-zero, so CI can
@@ -21,6 +26,8 @@
 // false in the JSON, and diff mode ignores the estimated counters.
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,13 +48,18 @@ using namespace grazelle;
 
 namespace {
 
-constexpr unsigned kBenchReportVersion = 1;
+// v2 adds per-benchmark direction histograms and autotuner probe
+// counts (--direction). Diff mode accepts any version <= its own, so
+// v1 baselines still gate against v2 reports.
+constexpr unsigned kBenchReportVersion = 2;
 
 struct Options {
   std::string input = "rmat:14";
   std::string apps = "pr,cc,bfs";
   std::string label = "dev";
   std::string out;  // default: BENCH_<label>.json
+  std::string direction;  // empty = engine default (heuristic)
+  bool compare_directions = false;
   unsigned repeats = 5;
   unsigned threads = 4;
   unsigned iterations = 16;  // PageRank iteration budget
@@ -75,6 +87,20 @@ cli::OptionTable make_table(Options& opt) {
       .uint(0, "repeats", &opt.repeats, "<n>",
             "timed runs per benchmark (default 5)")
       .str(0, "label", &opt.label, "<s>", "report label (default dev)")
+      .choice(0, "direction", &opt.direction, "edge-phase direction",
+              {"auto", "adaptive", "heuristic", "pull", "push"},
+              "auto|adaptive|heuristic|pull|push", "<d>",
+              "edge-phase direction policy: auto/adaptive is\n"
+              "the closed-loop controller, heuristic the\n"
+              "static density rule, pull/push fixed\n"
+              "(default: engine heuristic)")
+      .flag(0, "compare-directions", &opt.compare_directions,
+            "run every direction policy (pull, push,\n"
+            "heuristic, auto) with repeats interleaved\n"
+            "round-robin — adjacent in time, so host drift\n"
+            "hits all policies equally — and record the\n"
+            "per-policy medians plus auto-vs-best-fixed\n"
+            "ratio in the report")
       .out_path(0, "out", &opt.out, "<f>",
                 "output path (default BENCH_<label>.json)")
       .uint('n', nullptr, &opt.threads, "<threads>",
@@ -105,14 +131,111 @@ struct BenchResult {
   telemetry::PmuArray pmu{};
   double pmu_seconds = 0.0;
   bool pmu_available = false;
+  /// Edge-phase plan label -> iterations it ran (final run only).
+  std::map<std::string, unsigned> direction_histogram;
+  std::uint64_t tuner_probes = 0;
+  std::uint64_t tuner_direction_switches = 0;
+  /// --compare-directions only: per-policy medians, interleaved run.
+  struct DirectionRun {
+    std::string mode;
+    std::vector<double> seconds;
+    std::map<std::string, unsigned> direction_histogram;
+  };
+  std::vector<DirectionRun> directions;
 };
+
+/// The four policies --compare-directions races; "auto" last so its
+/// BenchResult PMU totals come from the most recently finished engine.
+constexpr const char* kCompareModes[] = {"pull", "push", "heuristic", "auto"};
+
+/// Interleaved direction race: one engine per policy, repeats run
+/// round-robin (pull, push, heuristic, auto, pull, ...) so slow host
+/// drift — frequency steps, cgroup throttling — lands on every policy
+/// alike instead of biasing whichever ran last. The headline metrics
+/// (median_s, PMU, histogram) are the auto policy's, so diff mode
+/// gates on the tuner's own numbers.
+template <typename P, bool Vec, typename Make, typename Seed>
+BenchResult run_bench_compare(const char* name, const Graph& graph,
+                              const Options& opt, Make&& make, Seed&& seed,
+                              unsigned max_iters) {
+  struct ModeState {
+    const char* mode;
+    std::unique_ptr<Engine<P, Vec>> engine;
+    std::unique_ptr<telemetry::Telemetry> telem;
+    std::vector<double> seconds;
+    std::map<std::string, unsigned> direction_histogram;
+    RunStats stats;
+  };
+  std::vector<ModeState> modes;
+  for (const char* mode : kCompareModes) {
+    ModeState m;
+    m.mode = mode;
+    EngineOptions eopts;
+    eopts.num_threads = opt.threads;
+    eopts.direction.select = *cli::parse_direction(mode);
+    if (eopts.direction.select == EngineSelect::kAdaptive) {
+      eopts.tuning = cli::load_tuning_seed(opt.input, name);
+    }
+    m.engine = std::make_unique<Engine<P, Vec>>(graph, eopts);
+    m.telem = std::make_unique<telemetry::Telemetry>(m.engine->pool().size());
+    m.engine->set_telemetry(m.telem.get());
+    modes.push_back(std::move(m));
+  }
+  auto pmu = bench::open_pmu(modes.back().engine->pool());
+  modes.back().telem->set_pmu(pmu.get());
+
+  for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+    for (ModeState& m : modes) {
+      P prog = make(m.engine->pool().size());
+      seed(m.engine->frontier(), prog);
+      m.stats = m.engine->run(prog, max_iters);
+      m.seconds.push_back(m.stats.total_seconds);
+    }
+  }
+
+  BenchResult r;
+  r.name = name;
+  ModeState& autorun = modes.back();
+  const RunReport report = build_report(autorun.stats, autorun.telem.get());
+  r.seconds = autorun.seconds;
+  r.iterations = autorun.stats.iterations;
+  r.edges = report.pmu_run_edges;
+  r.pmu = report.pmu_totals;
+  r.pmu_seconds = autorun.stats.total_seconds;
+  r.pmu_available = report.pmu_available;
+  r.tuner_probes = autorun.telem->total(telemetry::Counter::kTunerProbes);
+  r.tuner_direction_switches =
+      autorun.telem->total(telemetry::Counter::kTunerDirectionSwitches);
+  for (ModeState& m : modes) {
+    for (const IterationStats& it : m.stats.per_iteration) {
+      ++m.direction_histogram[it.plan.name()];
+    }
+    r.directions.push_back({m.mode, m.seconds, m.direction_histogram});
+    std::printf("  %-4s %-9s median %8.3f ms  stddev %7.3f ms  "
+                "(%u iterations)\n",
+                name, m.mode, bench::median_of(m.seconds) * 1e3,
+                bench::stddev_of(m.seconds) * 1e3, m.stats.iterations);
+  }
+  r.direction_histogram = autorun.direction_histogram;
+  return r;
+}
 
 template <typename P, bool Vec, typename Make, typename Seed>
 BenchResult run_bench(const char* name, const Graph& graph,
                       const Options& opt, Make&& make, Seed&& seed,
                       unsigned max_iters) {
+  if (opt.compare_directions) {
+    return run_bench_compare<P, Vec>(name, graph, opt, make, seed, max_iters);
+  }
   EngineOptions eopts;
   eopts.num_threads = opt.threads;
+  if (!opt.direction.empty()) {
+    eopts.direction.select = *cli::parse_direction(opt.direction);
+    if (eopts.direction.select == EngineSelect::kAdaptive) {
+      // A packed input's tuning sidecar warm-starts every repeat.
+      eopts.tuning = cli::load_tuning_seed(opt.input, name);
+    }
+  }
   Engine<P, Vec> engine(graph, eopts);
   telemetry::Telemetry telem(engine.pool().size());
   engine.set_telemetry(&telem);
@@ -134,6 +257,12 @@ BenchResult run_bench(const char* name, const Graph& graph,
   r.pmu = report.pmu_totals;
   r.pmu_seconds = stats.total_seconds;
   r.pmu_available = report.pmu_available;
+  for (const IterationStats& it : stats.per_iteration) {
+    ++r.direction_histogram[it.plan.name()];
+  }
+  r.tuner_probes = telem.total(telemetry::Counter::kTunerProbes);
+  r.tuner_direction_switches =
+      telem.total(telemetry::Counter::kTunerDirectionSwitches);
   std::printf("  %-4s median %8.3f ms  stddev %7.3f ms  (%u iterations)\n",
               name, bench::median_of(r.seconds) * 1e3,
               bench::stddev_of(r.seconds) * 1e3, r.iterations);
@@ -192,6 +321,43 @@ std::string report_json(const std::vector<BenchResult>& results,
         .field("cycles_per_edge", d.cycles_per_edge)
         .field("llc_misses_per_edge", d.llc_misses_per_edge)
         .field("effective_bandwidth_gbs", d.effective_bandwidth_gbs);
+    json::ObjectWriter hist;
+    for (const auto& [plan, count] : r.direction_histogram) {
+      hist.field(plan, static_cast<std::uint64_t>(count));
+    }
+    b.field_raw("direction_histogram", hist.str())
+        .field("tuner_probes", r.tuner_probes)
+        .field("tuner_direction_switches", r.tuner_direction_switches);
+    if (!r.directions.empty()) {
+      json::ObjectWriter dirs;
+      double auto_median = 0.0;
+      double best_fixed = 0.0;
+      std::string best_fixed_mode;
+      for (const BenchResult::DirectionRun& dr : r.directions) {
+        const double median = bench::median_of(dr.seconds);
+        json::ObjectWriter mode_hist;
+        for (const auto& [plan, count] : dr.direction_histogram) {
+          mode_hist.field(plan, static_cast<std::uint64_t>(count));
+        }
+        dirs.field_raw(dr.mode,
+                       json::ObjectWriter()
+                           .field("median_s", median)
+                           .field("stddev_s", bench::stddev_of(dr.seconds))
+                           .field_raw("direction_histogram", mode_hist.str())
+                           .str());
+        if (dr.mode == "auto") {
+          auto_median = median;
+        } else if (best_fixed_mode.empty() || median < best_fixed) {
+          best_fixed = median;
+          best_fixed_mode = dr.mode;
+        }
+      }
+      b.field_raw("directions", dirs.str())
+          .field("best_fixed", best_fixed_mode)
+          .field("best_fixed_median_s", best_fixed)
+          .field("auto_vs_best_fixed",
+                 auto_median > 0.0 ? best_fixed / auto_median : 0.0);
+    }
     benches.push_back(b.str());
   }
 
@@ -203,6 +369,11 @@ std::string report_json(const std::vector<BenchResult>& results,
       .field("num_vertices", graph.num_vertices())
       .field("num_edges", graph.num_edges())
       .field("threads", opt.threads)
+      .field("direction",
+             opt.compare_directions
+                 ? std::string("compare")
+                 : opt.direction.empty() ? std::string("heuristic")
+                                         : opt.direction)
       .field("vectorized", vectorized)
       .field("pmu_available", pmu_available)
       .field_raw("machine", json::ObjectWriter()

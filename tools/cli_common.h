@@ -148,6 +148,46 @@ inline std::optional<EngineSelect> parse_engine(const std::string& sel) {
   return std::nullopt;
 }
 
+/// --direction vocabulary: here "auto" means the closed-loop adaptive
+/// controller (DESIGN.md §15) and "heuristic" the static
+/// frontier-density rule that --engine calls "auto".
+inline std::optional<EngineSelect> parse_direction(const std::string& sel) {
+  if (sel == "auto" || sel == "adaptive") return EngineSelect::kAdaptive;
+  if (sel == "heuristic" || sel == "hybrid") return EngineSelect::kAuto;
+  if (sel == "pull") return EngineSelect::kPullOnly;
+  if (sel == "push") return EngineSelect::kPushOnly;
+  return std::nullopt;
+}
+
+/// The container's tuning-sidecar record for (algorithm, this
+/// machine) as an engine seed, so one-shot adaptive runs on a tuned
+/// .gzg start at steady state. Non-present for non-container inputs,
+/// sidecar-less containers, and foreign-machine records; the sidecar
+/// is advisory, so read failures also just start cold.
+inline TuningSeed load_tuning_seed(const std::string& input,
+                                   const std::string& algorithm) {
+  TuningSeed s;
+  if (!has_suffix(input, store::kFileExtension)) return s;
+  try {
+    const store::TuningProfile profile = store::read_tuning(input);
+    const store::TuningRecord* rec = store::find_tuning(
+        profile, algorithm, store::machine_tuning_fingerprint());
+    if (rec == nullptr) return s;
+    s.present = true;
+    s.gating_divisor = rec->gating_divisor;
+    s.block_shift = rec->block_shift;
+    s.prefetch_distance = rec->prefetch_distance;
+    s.pull_cycles_per_edge = rec->pull_cycles_per_edge;
+    s.gated_pull_cycles_per_edge = rec->gated_pull_cycles_per_edge;
+    s.push_cycles_per_edge = rec->push_cycles_per_edge;
+    s.llc_misses_per_edge = rec->llc_misses_per_edge;
+    s.samples = rec->samples;
+  } catch (const std::exception&) {
+    // Advisory: an unreadable sidecar means a cold start, not an error.
+  }
+  return s;
+}
+
 /// Probes that `path` can be created and written, *before* any
 /// expensive load or run, so a typo'd report destination fails fast
 /// with a clear message instead of discarding the results of a long

@@ -25,26 +25,89 @@
 // when its measured packing efficiency stays within 10% of the
 // 4-lane layout's — below that the wider vectors waste more lanes
 // than they gain in width.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "apps/bfs.h"
+#include "apps/connected_components.h"
+#include "apps/pagerank.h"
 #include "cli_common.h"
 #include "cli_options.h"
 #include "graph/delta_overlay.h"
 
 using namespace grazelle;
 
+namespace {
+
+/// One calibration run for --tune: an adaptive session over the
+/// freshly packed container, whose learned model/knobs are recorded on
+/// the context for persistence.
+template <typename P, bool Vec, typename Make, typename Seed>
+void tune_one(GraphContext& ctx, const char* algo, unsigned threads,
+              Make&& make, Seed&& seed, unsigned max_iters) {
+  EngineOptions o;
+  o.num_threads = threads;
+  o.direction.select = EngineSelect::kAdaptive;
+  // Gated pull must be a candidate during calibration or its
+  // cycles/edge never gets measured.
+  o.gating.enabled = true;
+  o.tuning = ctx.tuning_for(algo);
+  Session<P, Vec> s(ctx, o);
+  P prog = make(s.pool().size(), s.graph());
+  seed(s.frontier(), prog);
+  s.run(prog, max_iters);
+  ctx.record_tuning(algo, s.learned_tuning());
+}
+
+/// graph_convert --tune: calibrates PR/CC/BFS adaptively against the
+/// packed container and persists the winners into its tuning sidecar,
+/// keyed by this machine's fingerprint — subsequent serves start warm.
+template <bool Vec>
+int run_tuning(const std::string& path) {
+  const unsigned threads = std::clamp(
+      std::thread::hardware_concurrency(), 1u, 8u);
+  GraphContext ctx = GraphContext::open(path);
+  tune_one<apps::PageRank, Vec>(
+      ctx, "pr", threads,
+      [](unsigned t, const Graph& g) { return apps::PageRank(g, t); },
+      [](DenseFrontier&, apps::PageRank&) {}, 16);
+  tune_one<apps::ConnectedComponents, Vec>(
+      ctx, "cc", threads,
+      [](unsigned, const Graph& g) { return apps::ConnectedComponents(g); },
+      [](DenseFrontier& f, apps::ConnectedComponents&) { f.set_all(); },
+      1u << 20);
+  tune_one<apps::BreadthFirstSearch, Vec>(
+      ctx, "bfs", threads,
+      [](unsigned, const Graph& g) {
+        return apps::BreadthFirstSearch(g, 0);
+      },
+      [](DenseFrontier& f, apps::BreadthFirstSearch& b) { b.seed(f); },
+      1u << 20);
+  const std::uint64_t written = ctx.persist_tuning();
+  std::printf("tuned %s: %llu sidecar records written "
+              "(machine fingerprint %016llx)\n",
+              path.c_str(), static_cast<unsigned long long>(written),
+              static_cast<unsigned long long>(
+                  store::machine_tuning_fingerprint()));
+  return written > 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string input, output;
   bool canonicalize = false;
   bool pack = false;
   bool compact = false;
+  bool tune = false;
   double scale = 0.25;
   std::string lanes = "auto";
   cli::OptionTable table(
       "<input> <output> [--canonicalize] [--pack] "
-      "[--scale <f>] [--lanes {4,8,auto}] [--compact]");
+      "[--scale <f>] [--lanes {4,8,auto}] [--compact] [--tune]");
   table.positional("<input>", &input, /*required=*/true)
       .positional("<output>", &output, /*required=*/true)
       .flag(0, "canonicalize", &canonicalize,
@@ -55,6 +118,12 @@ int main(int argc, char** argv) {
       .flag(0, "compact", &compact,
             "fold the input container's delta journal into\n"
             "the base before writing (requires a .gzg input)")
+      .flag(0, "tune", &tune,
+            "after packing, calibrate the autotuner (run\n"
+            "PR/CC/BFS adaptively against the container)\n"
+            "and persist the winning configuration in its\n"
+            "tuning sidecar, keyed by this machine's\n"
+            "fingerprint (requires a .gzg output)")
       .real(0, "scale", &scale, "<f>",
             "dataset analog scale factor (default 0.25)")
       .choice(0, "lanes", &lanes, "lane policy", {"4", "8", "auto"},
@@ -76,6 +145,11 @@ int main(int argc, char** argv) {
 
   if (compact && !cli::has_suffix(input, store::kFileExtension)) {
     std::fprintf(stderr, "error: --compact needs a %s input\n",
+                 store::kFileExtension);
+    return 1;
+  }
+  if (tune && !(pack || cli::has_suffix(output, store::kFileExtension))) {
+    std::fprintf(stderr, "error: --tune needs a %s output\n",
                  store::kFileExtension);
     return 1;
   }
@@ -146,6 +220,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(graph.vsd().num_vectors()),
                   static_cast<unsigned long long>(graph.vss().num_vectors()),
                   lane_note);
+      if (tune) {
+#if defined(GRAZELLE_HAVE_AVX2)
+        if (vector_kernels_available()) return run_tuning<true>(output);
+#endif
+        return run_tuning<false>(output);
+      }
       return 0;
     }
     if (binary_out) {

@@ -146,11 +146,54 @@ std::string degree_stats_json(std::span<const std::uint64_t> degrees) {
       .str();
 }
 
+/// Serializes the tuning sidecar block for --json: the summary from
+/// the store info plus every live record (read leniently — a corrupt
+/// sidecar renders as present=false, never an error) with a
+/// this_machine marker so scripts can spot the applicable record.
+std::string tuning_json(const std::string& path,
+                        const store::StoreInfo& info) {
+  namespace json = telemetry::json;
+  json::ObjectWriter w;
+  w.field("present", info.has_tuning);
+  if (!info.has_tuning) return w.str();
+  w.field("records", info.tuning_records)
+      .field("capacity", info.tuning_capacity);
+  const store::TuningProfile profile = store::read_tuning(path);
+  const std::uint64_t fp = store::machine_tuning_fingerprint();
+  char fp_hex[32];
+  std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                static_cast<unsigned long long>(fp));
+  w.field("machine_fingerprint", std::string(fp_hex));
+  std::vector<std::string> records;
+  for (const store::TuningRecord& r : profile.records) {
+    char rec_fp[32];
+    std::snprintf(rec_fp, sizeof(rec_fp), "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    records.push_back(
+        json::ObjectWriter()
+            .field("algorithm", r.algorithm)
+            .field("fingerprint", std::string(rec_fp))
+            .field("this_machine", r.fingerprint == fp)
+            .field("gating_divisor", static_cast<std::uint64_t>(r.gating_divisor))
+            .field("block_shift", static_cast<std::uint64_t>(r.block_shift))
+            .field_raw("prefetch_distance",
+                       std::to_string(r.prefetch_distance))
+            .field("pull_cycles_per_edge", r.pull_cycles_per_edge)
+            .field("gated_pull_cycles_per_edge", r.gated_pull_cycles_per_edge)
+            .field("push_cycles_per_edge", r.push_cycles_per_edge)
+            .field("llc_misses_per_edge", r.llc_misses_per_edge)
+            .field("samples", r.samples)
+            .str());
+  }
+  w.field_raw("records_detail", json::array(records));
+  return w.str();
+}
+
 /// The complete --json document: graph shape, block-index geometry,
 /// degree statistics, and (for packed containers) the verified section
 /// table. Checksums in the section table are already verified by the
 /// time this runs — checksums_ok is a recorded fact, not a hope.
-std::string info_json(const Graph& graph,
+std::string info_json(const Graph& graph, const std::string& path,
                       const std::optional<store::StoreInfo>& packed) {
   namespace json = telemetry::json;
   json::ObjectWriter w;
@@ -194,13 +237,15 @@ std::string info_json(const Graph& graph,
           .field_raw("net_edge_delta",
                      std::to_string(packed->journal_net_edge_delta));
     }
-    w.field_raw("packed", json::ObjectWriter()
-                              .field("version", packed->version)
-                              .field("vector_lanes", packed->vector_lanes)
-                              .field("checksums_ok", true)
-                              .field_raw("delta_journal", journal.str())
-                              .field_raw("sections", json::array(sections))
-                              .str());
+    w.field_raw("packed",
+                json::ObjectWriter()
+                    .field("version", packed->version)
+                    .field("vector_lanes", packed->vector_lanes)
+                    .field("checksums_ok", true)
+                    .field_raw("delta_journal", journal.str())
+                    .field_raw("tuning", tuning_json(path, *packed))
+                    .field_raw("sections", json::array(sections))
+                    .str());
   }
   return w.str();
 }
@@ -237,7 +282,7 @@ int main(int argc, char** argv) {
   const Graph graph = std::move(*opened);
 
   if (json_mode) {
-    std::printf("%s\n", info_json(graph, packed_info).c_str());
+    std::printf("%s\n", info_json(graph, input, packed_info).c_str());
     return 0;
   }
 
@@ -281,6 +326,16 @@ int main(int argc, char** argv) {
     } else {
       std::printf("delta journal:      absent (pre-v4 container; ingest "
                   "is memory-only)\n");
+    }
+    if (packed_info->has_tuning) {
+      std::printf("tuning sidecar:     %llu/%llu records (pre-tune with "
+                  "graph_convert --tune)\n",
+                  static_cast<unsigned long long>(packed_info->tuning_records),
+                  static_cast<unsigned long long>(
+                      packed_info->tuning_capacity));
+    } else {
+      std::printf("tuning sidecar:     absent (pre-v5 container; the "
+                  "autotuner starts cold)\n");
     }
   }
 

@@ -37,6 +37,7 @@ struct Options {
   VertexId root = 0;
   double scale = 0.25;
   std::string engine = "auto";
+  std::string direction;  // --direction: empty = use --engine
   std::string pull_mode = "sa";
   std::string lanes = "auto";
   bool no_vector = false;
@@ -91,6 +92,15 @@ cli::OptionTable make_table(Options& opt) {
       .choice(0, "engine", &opt.engine, "engine",
               {"auto", "hybrid", "pull", "push"}, "auto|pull|push", "<e>",
               "auto | pull | push (default auto)")
+      .choice(0, "direction", &opt.direction, "direction",
+              {"auto", "adaptive", "heuristic", "pull", "push"},
+              "auto|heuristic|pull|push", "<d>",
+              "edge-phase direction mode (overrides --engine):\n"
+              "auto = closed-loop autotuner (per-iteration\n"
+              "push/pull from an online cycles/edge model,\n"
+              "knob re-probe on drift; DESIGN.md 15),\n"
+              "heuristic = static frontier-density rule,\n"
+              "pull | push = fixed")
       .choice(0, "pull-mode", &opt.pull_mode, "pull mode",
               {"sa", "scheduler-aware", "trad", "traditional", "tradna",
                "vertex", "seq"},
@@ -159,6 +169,9 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   eopts.pull_mode = opt.pull_mode_parsed;
   eopts.direction.select = opt.select_parsed;
   eopts.lanes = opt.lanes_parsed;
+  if (eopts.direction.select == EngineSelect::kAdaptive) {
+    eopts.tuning = cli::load_tuning_seed(opt.input, opt.app);
+  }
 
   Engine<P, Vec> engine(graph, eopts);
   std::printf("pull layout:       %s\n",
@@ -210,6 +223,17 @@ int run_app(const Graph& graph, const Options& opt, Make&& make, Seed&& seed,
   if (stats.iterations > 0) {
     std::printf("time/iteration:    %.3f ms\n",
                 stats.total_seconds * 1e3 / stats.iterations);
+  }
+  if (const DirectionController* ctl = engine.controller()) {
+    std::printf("autotuner:         %llu switches, %llu probes, "
+                "%llu retunes; model %.2f/%.2f/%.2f cyc/edge "
+                "(pull/gated/push)\n",
+                static_cast<unsigned long long>(ctl->direction_switches()),
+                static_cast<unsigned long long>(ctl->probe_count()),
+                static_cast<unsigned long long>(ctl->drift_retunes()),
+                ctl->model_cpe(PlanKind::kPull),
+                ctl->model_cpe(PlanKind::kGatedPull),
+                ctl->model_cpe(PlanKind::kPush));
   }
 
   std::optional<RunReport> report;
@@ -345,6 +369,10 @@ int main(int argc, char** argv) {
   // lookups cannot fail.
   opt.pull_mode_parsed = *cli::parse_pull_mode(opt.pull_mode);
   opt.select_parsed = *cli::parse_engine(opt.engine);
+  if (!opt.direction.empty()) {
+    opt.select_parsed = *cli::parse_direction(opt.direction);
+    opt.engine = opt.direction;  // the report's "engine" field follows
+  }
   opt.lanes_parsed = opt.lanes == "4"   ? LanePolicy::k4
                      : opt.lanes == "8" ? LanePolicy::k8
                                         : LanePolicy::kAuto;

@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::vector<std::string> graph_specs;
   server::ServiceConfig config;
+  std::string direction = "adaptive";
   bool no_vector = false;
 
   cli::OptionTable table(
@@ -154,6 +155,13 @@ int main(int argc, char** argv) {
             "what is already queued)")
       .uint(0, "iterations", &config.default_iterations, "<n>",
             "default PageRank iteration count (default 16)")
+      .choice(0, "direction", &direction, "edge-phase direction",
+              {"auto", "adaptive", "heuristic", "pull", "push"},
+              "auto|adaptive|heuristic|pull|push", "<d>",
+              "edge-phase direction policy for served runs\n"
+              "(default adaptive: the closed-loop controller\n"
+              "seeded from each container's tuning sidecar;\n"
+              "learned knobs are written back on shutdown)")
       .flag(0, "no-vector", &no_vector, "disable the AVX2 kernels");
   switch (table.parse(argc, argv)) {
     case cli::OptionTable::Status::kHelp: return 0;
@@ -165,6 +173,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.vectorize = !no_vector;
+  config.direction = *cli::parse_direction(direction);
 
   server::Service service(config);
   for (const std::string& spec : graph_specs) {
