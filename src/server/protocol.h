@@ -8,7 +8,8 @@
 // Request schema (unknown keys are rejected — the same fail-fast
 // stance the CLI takes on unknown flags):
 //   {"id": 7, "op": "bfs", "graph": "tw", "source": 12, "values": true}
-//   op:         "pr" | "cc" | "bfs" | "degree" | "stats" | "list" | "ingest"
+//   op:         "pr" | "cc" | "bfs" | "degree" | "stats" | "list" |
+//               "ingest" | "metrics" | "dump"
 //   graph:      graph name (pr / cc / bfs / degree / ingest)
 //   source:     BFS source vertex
 //   vertex:     degree-query vertex
@@ -19,6 +20,14 @@
 //   no_batch:   opt a BFS request out of multi-source coalescing
 //   edges:      ingest-only: edge inserts, [[src,dst] | [src,dst,weight], …]
 //   deletes:    ingest-only: edge deletes, [[src,dst], …]
+//   format:     metrics-only: "json" (default) | "prometheus"
+//
+// The "metrics" op returns the registry snapshot (DESIGN.md §16) —
+// either a JSON object of instruments or the Prometheus 0.0.4 text
+// exposition carried in an "exposition" string field. The "dump" op
+// returns the flight recorder's ring as inline chrome-trace JSON.
+// Both are immediate ops and the only ops (besides stats/list) that
+// the daemon's --metrics-socket accepts.
 //
 // An ingest request buffers its batch into the graph's delta overlay
 // (journaling it when the container is format v4) and publishes a new
@@ -91,6 +100,7 @@ struct Request {
   bool no_batch = false;
   std::vector<EdgeSpec> edges;    // ingest: inserts
   std::vector<EdgeSpec> deletes;  // ingest: deletes
+  std::string format = "json";    // metrics: snapshot rendering
 };
 
 struct ParsedRequest {
@@ -224,6 +234,8 @@ struct ParsedRequest {
       if (!get_edges("deletes", r.deletes, /*allow_weight=*/false)) {
         return fail("deletes must be an array of [src,dst]");
       }
+    } else if (key == "format") {
+      if (!get_str("format", r.format)) return fail("format must be a string");
     } else {
       return fail("unknown key: " + key);
     }
@@ -231,12 +243,19 @@ struct ParsedRequest {
 
   if (r.op.empty()) return fail("missing op");
   if (r.op != "pr" && r.op != "cc" && r.op != "bfs" && r.op != "degree" &&
-      r.op != "stats" && r.op != "list" && r.op != "ingest") {
+      r.op != "stats" && r.op != "list" && r.op != "ingest" &&
+      r.op != "metrics" && r.op != "dump") {
     return fail("unknown op: " + r.op +
-                " (want pr|cc|bfs|degree|stats|list|ingest)");
+                " (want pr|cc|bfs|degree|stats|list|ingest|metrics|dump)");
   }
   if (r.lanes != "4" && r.lanes != "8" && r.lanes != "auto") {
     return fail("unknown lanes: " + r.lanes + " (want 4|8|auto)");
+  }
+  if (r.format != "json" && r.format != "prometheus") {
+    return fail("unknown format: " + r.format + " (want json|prometheus)");
+  }
+  if (r.op != "metrics" && v.has("format")) {
+    return fail("format is only valid for op metrics");
   }
   const bool needs_graph = r.op == "pr" || r.op == "cc" || r.op == "bfs" ||
                            r.op == "degree" || r.op == "ingest";

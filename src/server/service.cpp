@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -83,22 +84,129 @@ void fill_context(RunReport& rep, const Request& r, const std::string& graph,
   return w.str();
 }
 
+/// Formats a request id for the flight recorder's fixed id slot.
+struct IdBuf {
+  char buf[24];
+  unsigned len;
+  explicit IdBuf(std::uint64_t id) {
+    len = static_cast<unsigned>(std::snprintf(
+        buf, sizeof(buf), "%llu", static_cast<unsigned long long>(id)));
+  }
+  [[nodiscard]] std::string_view view() const { return {buf, len}; }
+};
+
 }  // namespace
 
-Service::Service(ServiceConfig config) : config_(config) {
+OpIndex op_index(const std::string& op) noexcept {
+  for (unsigned i = 0; i + 1 < kNumOps; ++i) {  // kUnknown is the fallback
+    if (op == kOpNames[i]) return static_cast<OpIndex>(i);
+  }
+  return OpIndex::kUnknown;
+}
+
+Service::Service(ServiceConfig config)
+    : config_(config),
+      start_time_(std::chrono::steady_clock::now()),
+      recorder_(config.flight_capacity) {
   config_.workers = std::max(1u, config_.workers);
   config_.threads_per_worker = std::max(1u, config_.threads_per_worker);
   config_.queue_cap = std::max<std::size_t>(1, config_.queue_cap);
   config_.batch_max =
       std::clamp(config_.batch_max, 1u, apps::MultiSourceBfs::kMaxSources);
   if (config_.default_iterations == 0) config_.default_iterations = 16;
+  if (config_.metrics) {
+    registry_ = std::make_unique<telemetry::metrics::Registry>();
+    register_instruments();
+  }
 }
 
 Service::~Service() { stop(); }
 
+void Service::register_instruments() {
+  telemetry::metrics::Registry& reg = *registry_;
+  constexpr double kUsToS = 1e-6;
+  for (unsigned i = 0; i < kNumOps; ++i) {
+    const std::string op = kOpNames[i];
+    op_instruments_[i].total = reg.histogram(
+        "grazelle_request_duration_seconds",
+        "End-to-end request latency, submit to reply", {{"op", op}}, kUsToS);
+    for (unsigned o = 0; o < kNumOutcomes; ++o) {
+      outcome_counters_[i * kNumOutcomes + o] = reg.counter(
+          "grazelle_requests_total", "Requests by op and terminal outcome",
+          {{"op", op}, {"outcome", kOutcomeNames[o]}});
+    }
+  }
+  // Stage breakdown exists only for ops that traverse the worker queue.
+  for (const OpIndex qop :
+       {OpIndex::kPr, OpIndex::kCc, OpIndex::kBfs, OpIndex::kIngest}) {
+    const unsigned i = static_cast<unsigned>(qop);
+    const std::string op = kOpNames[i];
+    const auto stage = [&](const char* name) {
+      return reg.histogram("grazelle_request_stage_seconds",
+                           "Per-stage request latency",
+                           {{"op", op}, {"stage", name}}, kUsToS);
+    };
+    op_instruments_[i].queue_wait = stage("queue_wait");
+    op_instruments_[i].coalesce = stage("coalesce_wait");
+    op_instruments_[i].execute = stage("execute");
+    op_instruments_[i].reply = stage("reply_serialize");
+  }
+  ingest_batch_hist_ =
+      reg.histogram("grazelle_ingest_batch_ops",
+                    "Delta ops per published ingest batch", {}, 1.0);
+  tuner_probes_ = reg.counter("grazelle_tuner_probes_total",
+                              "Direction-controller probe iterations");
+  tuner_switches_ = reg.counter("grazelle_direction_switches_total",
+                                "Push/pull direction switches across runs");
+  tuner_retunes_ = reg.counter("grazelle_drift_retunes_total",
+                               "Drift-triggered parameter re-probes");
+  edges_counter_ =
+      reg.counter("grazelle_edges_touched_total", "Edges touched by all runs");
+  batches_counter_ = reg.counter("grazelle_bfs_batches_total",
+                                 "Coalesced multi-source BFS sweeps");
+  batched_counter_ = reg.counter("grazelle_bfs_batched_requests_total",
+                                 "BFS requests absorbed into sweeps");
+  ingests_counter_ =
+      reg.counter("grazelle_ingests_total", "Ingest batches published");
+  ingested_ops_counter_ = reg.counter("grazelle_ingested_ops_total",
+                                      "Delta ops across ingest batches");
+  queue_depth_gauge_ =
+      reg.gauge("grazelle_queue_depth", "Requests waiting in the admission queue");
+  in_flight_gauge_ =
+      reg.gauge("grazelle_in_flight_requests", "Requests currently executing");
+  uptime_gauge_ =
+      reg.gauge("grazelle_uptime_seconds", "Seconds since service start");
+  graphs_gauge_ = reg.gauge("grazelle_graphs_served", "Graphs in the fleet");
+}
+
+void Service::observe_request(OpIndex op, std::uint64_t id, Outcome outcome,
+                              std::uint64_t start_us,
+                              std::uint64_t end_us) noexcept {
+  note_outcome(op, outcome);
+  const unsigned i = static_cast<unsigned>(op);
+  const std::uint64_t dur = end_us >= start_us ? end_us - start_us : 0;
+  recorder_.record("request", kOpNames[i], IdBuf(id).view(), start_us, dur,
+                   kOutcomeNames[static_cast<unsigned>(outcome)]);
+  if (registry_ != nullptr && op_instruments_[i].total != nullptr) {
+    op_instruments_[i].total->record(dur);
+  }
+}
+
 void Service::add_graph(const std::string& name,
                         std::shared_ptr<GraphContext> context) {
   graphs_[name] = std::move(context);
+  if (registry_ != nullptr) {
+    GraphGauges g;
+    g.epoch = registry_->gauge("grazelle_graph_epoch",
+                               "Published epoch number", {{"graph", name}});
+    g.journal =
+        registry_->gauge("grazelle_graph_journal_batches",
+                         "Journaled delta batches", {{"graph", name}});
+    g.pending = registry_->gauge("grazelle_graph_pending_ops",
+                                 "Buffered unpublished delta ops",
+                                 {{"graph", name}});
+    graph_gauges_[name] = g;
+  }
 }
 
 void Service::open_graph(const std::string& name, const std::string& path) {
@@ -153,23 +261,84 @@ void Service::stop() {
     rejected_overload_.fetch_add(1, std::memory_order_relaxed);
     job.reply(error_response(job.request.id, ErrorCode::kOverloaded,
                              "server shutting down"));
+    observe_request(op_index(job.request.op), job.request.id,
+                    Outcome::kOverloaded, job.submitted_us,
+                    recorder_.now_us());
   }
 }
 
-void Service::submit(const std::string& line, Reply reply) {
+void Service::submit(const std::string& line, Reply reply, Scope scope) {
   received_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t t0 = recorder_.now_us();
   ParsedRequest parsed = parse_request(line);
   if (!parsed.ok) {
     rejected_bad_.fetch_add(1, std::memory_order_relaxed);
     reply(error_response(parsed.request.id, ErrorCode::kBadRequest,
                          parsed.error));
+    observe_request(op_index(parsed.request.op), parsed.request.id,
+                    Outcome::kBadRequest, t0, recorder_.now_us());
     return;
   }
   const Request& r = parsed.request;
+  const OpIndex op = op_index(r.op);
+
+  const bool observability_op = r.op == "stats" || r.op == "list" ||
+                                r.op == "metrics" || r.op == "dump";
+  if (scope == Scope::kObservability && !observability_op) {
+    rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+    reply(error_response(r.id, ErrorCode::kBadRequest,
+                         "op not allowed on the metrics socket: " + r.op));
+    observe_request(op, r.id, Outcome::kBadRequest, t0, recorder_.now_us());
+    return;
+  }
 
   if (r.op == "stats" || r.op == "list") {
     reply(immediate_response(r));
     served_.fetch_add(1, std::memory_order_relaxed);
+    observe_request(op, r.id, Outcome::kOk, t0, recorder_.now_us());
+    return;
+  }
+
+  if (r.op == "metrics") {
+    if (registry_ == nullptr) {
+      rejected_bad_.fetch_add(1, std::memory_order_relaxed);
+      reply(error_response(r.id, ErrorCode::kBadRequest,
+                           "metrics registry disabled"));
+      observe_request(op, r.id, Outcome::kBadRequest, t0, recorder_.now_us());
+      return;
+    }
+    json::ObjectWriter w;
+    w.field("id", r.id)
+        .field("ok", true)
+        .field("protocol_version", kProtocolVersion)
+        .field("op", r.op)
+        .field("format", r.format);
+    if (r.format == "prometheus") {
+      w.field("exposition", metrics_prometheus());
+    } else {
+      w.field_raw("metrics", metrics_json());
+    }
+    reply(w.str());
+    served_.fetch_add(1, std::memory_order_relaxed);
+    observe_request(op, r.id, Outcome::kOk, t0, recorder_.now_us());
+    return;
+  }
+
+  if (r.op == "dump") {
+    // Inline chrome-trace JSON of the flight ring (always available —
+    // the recorder has no off switch).
+    reply(json::ObjectWriter()
+              .field("id", r.id)
+              .field("ok", true)
+              .field("protocol_version", kProtocolVersion)
+              .field("op", r.op)
+              .field("events_recorded", recorder_.total_recorded())
+              .field("ring_capacity",
+                     static_cast<std::uint64_t>(recorder_.capacity()))
+              .field_raw("trace", recorder_.chrome_trace_json())
+              .str());
+    served_.fetch_add(1, std::memory_order_relaxed);
+    observe_request(op, r.id, Outcome::kOk, t0, recorder_.now_us());
     return;
   }
 
@@ -178,6 +347,7 @@ void Service::submit(const std::string& line, Reply reply) {
     rejected_bad_.fetch_add(1, std::memory_order_relaxed);
     reply(error_response(r.id, ErrorCode::kUnknownGraph,
                          "graph not served: " + r.graph));
+    observe_request(op, r.id, Outcome::kBadRequest, t0, recorder_.now_us());
     return;
   }
   const GraphContext& context = *it->second;
@@ -185,6 +355,7 @@ void Service::submit(const std::string& line, Reply reply) {
   if (r.op == "bfs" && r.source >= context.num_vertices()) {
     rejected_bad_.fetch_add(1, std::memory_order_relaxed);
     reply(error_response(r.id, ErrorCode::kBadRequest, "source out of range"));
+    observe_request(op, r.id, Outcome::kBadRequest, t0, recorder_.now_us());
     return;
   }
   if (r.op == "degree") {
@@ -192,6 +363,7 @@ void Service::submit(const std::string& line, Reply reply) {
       rejected_bad_.fetch_add(1, std::memory_order_relaxed);
       reply(
           error_response(r.id, ErrorCode::kBadRequest, "vertex out of range"));
+      observe_request(op, r.id, Outcome::kBadRequest, t0, recorder_.now_us());
       return;
     }
     // Point query: answered inline off a pinned epoch — no session, no
@@ -210,6 +382,7 @@ void Service::submit(const std::string& line, Reply reply) {
               .field("in_degree", snap->graph().in_degrees()[r.vertex])
               .str());
     served_.fetch_add(1, std::memory_order_relaxed);
+    observe_request(op, r.id, Outcome::kOk, t0, recorder_.now_us());
     return;
   }
 
@@ -222,9 +395,12 @@ void Service::submit(const std::string& line, Reply reply) {
       reply(error_response(r.id, ErrorCode::kOverloaded,
                            stopping_ ? "server shutting down"
                                      : "request queue full"));
+      observe_request(op, r.id, Outcome::kOverloaded, t0, recorder_.now_us());
       return;
     }
-    queue_.push_back(Job{std::move(parsed.request), std::move(reply)});
+    Job job{std::move(parsed.request), std::move(reply)};
+    job.submitted_us = t0;
+    queue_.push_back(std::move(job));
   }
   work_cv_.notify_all();
 }
@@ -241,6 +417,47 @@ ServiceCounters Service::counters() const {
   c.ingests = ingests_.load(std::memory_order_relaxed);
   c.ingested_ops = ingested_ops_.load(std::memory_order_relaxed);
   return c;
+}
+
+void Service::collect() {
+  if (registry_ == nullptr) return;
+  // Mirror the always-on tables into registry counters; scrape-time
+  // set() keeps the hot path down to one table bump.
+  for (unsigned i = 0; i < kNumOps * kNumOutcomes; ++i) {
+    outcome_counters_[i]->set(op_outcomes_[i].load(std::memory_order_relaxed));
+  }
+  edges_counter_->set(edges_touched_.load(std::memory_order_relaxed));
+  batches_counter_->set(batches_.load(std::memory_order_relaxed));
+  batched_counter_->set(batched_requests_.load(std::memory_order_relaxed));
+  ingests_counter_->set(ingests_.load(std::memory_order_relaxed));
+  ingested_ops_counter_->set(ingested_ops_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+  }
+  in_flight_gauge_->set(
+      static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+  uptime_gauge_->set(uptime_seconds());
+  graphs_gauge_->set(static_cast<double>(graphs_.size()));
+  for (const auto& [name, context] : graphs_) {
+    const auto it = graph_gauges_.find(name);
+    if (it == graph_gauges_.end()) continue;
+    it->second.epoch->set(static_cast<double>(context->epoch()));
+    it->second.journal->set(static_cast<double>(context->journal_batches()));
+    it->second.pending->set(static_cast<double>(context->pending_ops()));
+  }
+}
+
+std::string Service::metrics_json() {
+  if (registry_ == nullptr) return "{}";
+  collect();
+  return registry_->json();
+}
+
+std::string Service::metrics_prometheus() {
+  if (registry_ == nullptr) return "";
+  collect();
+  return registry_->prometheus_text();
 }
 
 std::string Service::immediate_response(const Request& r) const {
@@ -266,6 +483,7 @@ std::string Service::immediate_response(const Request& r) const {
     w.field_raw("graphs", json::array(items));
   } else {  // stats
     const ServiceCounters c = counters();
+    w.field("uptime_seconds", uptime_seconds());
     w.field_raw("counters", json::ObjectWriter()
                                 .field("received", c.received)
                                 .field("served", c.served)
@@ -277,6 +495,21 @@ std::string Service::immediate_response(const Request& r) const {
                                 .field("ingests", c.ingests)
                                 .field("ingested_ops", c.ingested_ops)
                                 .str());
+    // Per-op totals by terminal outcome — the richer breakdown the
+    // `metrics` op also mirrors, available to plain stats scrapers.
+    json::ObjectWriter requests;
+    for (unsigned i = 0; i < kNumOps; ++i) {
+      json::ObjectWriter per_op;
+      bool any = false;
+      for (unsigned o = 0; o < kNumOutcomes; ++o) {
+        const std::uint64_t n =
+            op_outcomes_[i * kNumOutcomes + o].load(std::memory_order_relaxed);
+        per_op.field(kOutcomeNames[o], n);
+        any = any || n != 0;
+      }
+      if (any) requests.field_raw(kOpNames[i], per_op.str());
+    }
+    w.field_raw("requests", requests.str());
     // Per-graph streaming state: current epoch, journal depth (the
     // batches `graph_convert --compact` would fold), and ops buffered
     // but not yet published.
@@ -318,7 +551,9 @@ void Service::worker_main() {
 std::vector<Service::Job> Service::next_batch(
     std::unique_lock<std::mutex>& lock) {
   std::vector<Job> batch;
+  const std::uint64_t now = recorder_.now_us();
   batch.push_back(std::move(queue_.front()));
+  batch.back().dequeued_us = now;
   queue_.pop_front();
   const Request head = batch.front().request;
   if (head.op != "bfs" || head.no_batch) return batch;
@@ -329,10 +564,12 @@ std::vector<Service::Job> Service::next_batch(
            r.lanes == head.lanes;
   };
   const auto harvest = [&] {
+    const std::uint64_t t = recorder_.now_us();
     for (auto it = queue_.begin();
          it != queue_.end() && batch.size() < config_.batch_max;) {
       if (compatible(it->request)) {
         batch.push_back(std::move(*it));
+        batch.back().dequeued_us = t;
         it = queue_.erase(it);
       } else {
         ++it;
@@ -361,21 +598,30 @@ std::vector<Service::Job> Service::next_batch(
 void Service::execute(std::vector<Job> batch, ThreadPool& pool) {
   const auto it = graphs_.find(batch.front().request.graph);
   GraphContext& context = *it->second;  // validated at submit
+  in_flight_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                       std::memory_order_relaxed);
   if (batch.front().request.op == "ingest") {
     execute_ingest(context, batch.front());  // never coalesced
-    return;
-  }
+  } else {
 #if defined(GRAZELLE_HAVE_AVX2)
-  if (config_.vectorize && vector_kernels_available()) {
-    run_jobs<true>(context, batch, pool);
-    return;
-  }
+    if (config_.vectorize && vector_kernels_available()) {
+      run_jobs<true>(context, batch, pool);
+    } else {
+      run_jobs<false>(context, batch, pool);
+    }
+#else
+    run_jobs<false>(context, batch, pool);
 #endif
-  run_jobs<false>(context, batch, pool);
+  }
+  in_flight_.fetch_sub(static_cast<std::int64_t>(batch.size()),
+                       std::memory_order_relaxed);
 }
 
 void Service::execute_ingest(GraphContext& context, Job& job) {
   const Request& r = job.request;
+  constexpr unsigned kIngestIdx = static_cast<unsigned>(OpIndex::kIngest);
+  const OpInstruments& inst = op_instruments_[kIngestIdx];
+  const std::uint64_t exec_start = recorder_.now_us();
   std::vector<store::DeltaOp> ops;
   ops.reserve(r.edges.size() + r.deletes.size());
   for (const EdgeSpec& e : r.edges) {
@@ -384,6 +630,7 @@ void Service::execute_ingest(GraphContext& context, Job& job) {
   for (const EdgeSpec& e : r.deletes) {
     ops.push_back(store::DeltaOp::remove(e.src, e.dst));
   }
+  Outcome outcome = Outcome::kOk;
   try {
     context.ingest(ops);
     const DeltaReport rep = context.publish();
@@ -392,6 +639,7 @@ void Service::execute_ingest(GraphContext& context, Job& job) {
     served_.fetch_add(1, std::memory_order_relaxed);
     ingests_.fetch_add(1, std::memory_order_relaxed);
     ingested_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
+    const std::uint64_t exec_done = recorder_.now_us();
     job.reply(json::ObjectWriter()
                   .field("id", r.id)
                   .field("ok", true)
@@ -405,20 +653,38 @@ void Service::execute_ingest(GraphContext& context, Job& job) {
                   .field("insert_only", rep.insert_only)
                   .field("journaled", context.journaling())
                   .str());
+    const std::uint64_t done = recorder_.now_us();
+    if (registry_ != nullptr) {
+      ingest_batch_hist_->record(ops.size());
+      inst.queue_wait->record(job.dequeued_us - job.submitted_us);
+      inst.coalesce->record(exec_start - job.dequeued_us);
+      inst.execute->record(exec_done - exec_start);
+      inst.reply->record(done - exec_done);
+    }
+    recorder_.record("phase", "ingest_apply", IdBuf(r.id).view(), exec_start,
+                     exec_done - exec_start, kOpNames[kIngestIdx]);
   } catch (const std::invalid_argument& e) {
     // Out-of-range vertex, self-loop, …: the client's fault.
     rejected_bad_.fetch_add(1, std::memory_order_relaxed);
     job.reply(error_response(r.id, ErrorCode::kBadRequest, e.what()));
+    outcome = Outcome::kBadRequest;
   } catch (const std::exception& e) {
     job.reply(error_response(r.id, ErrorCode::kInternal, e.what()));
+    outcome = Outcome::kBadRequest;
   }
+  observe_request(OpIndex::kIngest, r.id, outcome, job.submitted_us,
+                  recorder_.now_us());
 }
 
 template <bool Vec>
 void Service::run_jobs(GraphContext& context, std::vector<Job>& batch,
                        ThreadPool& pool) {
   const Request& first = batch.front().request;
+  const OpIndex op = op_index(first.op);
+  const OpInstruments& inst = op_instruments_[static_cast<unsigned>(op)];
   const unsigned threads = static_cast<unsigned>(pool.size());
+  const std::uint64_t exec_start = recorder_.now_us();
+  std::uint64_t exec_done = exec_start;
   telemetry::Telemetry telem(threads);
   const EngineOptions opts = options_for(first, threads, config_, context);
   try {
@@ -439,6 +705,7 @@ void Service::run_jobs(GraphContext& context, std::vector<Job>& batch,
       RunReport rep = build_report(stats, &telem);
       fill_context(rep, first, first.graph, session.graph(), threads, Vec,
                    session.prefetch_distance(), config_.direction);
+      exec_done = recorder_.now_us();
       batch.front().reply(run_response(
           first, rep, 0, "float64",
           first.values ? values_json(prog.ranks()) : std::string()));
@@ -452,6 +719,7 @@ void Service::run_jobs(GraphContext& context, std::vector<Job>& batch,
       RunReport rep = build_report(stats, &telem);
       fill_context(rep, first, first.graph, session.graph(), threads, Vec,
                    session.prefetch_distance(), config_.direction);
+      exec_done = recorder_.now_us();
       batch.front().reply(run_response(
           first, rep, 0, "uint64",
           first.values ? values_json(prog.labels()) : std::string()));
@@ -467,6 +735,7 @@ void Service::run_jobs(GraphContext& context, std::vector<Job>& batch,
       RunReport rep = build_report(stats, &telem);
       fill_context(rep, first, first.graph, session.graph(), threads, Vec,
                    session.prefetch_distance(), config_.direction);
+      exec_done = recorder_.now_us();
       batch.front().reply(run_response(
           first, rep, 1, "uint64",
           first.values ? values_json(prog.parents()) : std::string()));
@@ -486,6 +755,7 @@ void Service::run_jobs(GraphContext& context, std::vector<Job>& batch,
                    session.prefetch_distance(), config_.direction);
       batches_.fetch_add(1, std::memory_order_relaxed);
       batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+      exec_done = recorder_.now_us();
       for (std::size_t b = 0; b < batch.size(); ++b) {
         const Request& r = batch[b].request;
         batch[b].reply(run_response(
@@ -494,14 +764,44 @@ void Service::run_jobs(GraphContext& context, std::vector<Job>& batch,
       }
     }
     served_.fetch_add(batch.size(), std::memory_order_relaxed);
-    edges_touched_.fetch_add(
-        telem.counters()[static_cast<unsigned>(
-            telemetry::Counter::kEdgesTouched)],
-        std::memory_order_relaxed);
+    const auto counter_of = [&](telemetry::Counter c) {
+      return telem.counters()[static_cast<unsigned>(c)];
+    };
+    edges_touched_.fetch_add(counter_of(telemetry::Counter::kEdgesTouched),
+                             std::memory_order_relaxed);
+    const std::uint64_t done = recorder_.now_us();
+    // Feed the per-run tuner activity (DESIGN.md §15) into the
+    // fleet-wide counters and stage histograms.
+    const std::uint64_t switches =
+        counter_of(telemetry::Counter::kTunerDirectionSwitches);
+    if (registry_ != nullptr) {
+      tuner_probes_->add(counter_of(telemetry::Counter::kTunerProbes));
+      tuner_switches_->add(switches);
+      tuner_retunes_->add(counter_of(telemetry::Counter::kTunerDriftRetunes));
+      for (const Job& job : batch) {
+        inst.queue_wait->record(job.dequeued_us - job.submitted_us);
+        inst.coalesce->record(exec_start - job.dequeued_us);
+        inst.execute->record(exec_done - exec_start);
+        inst.reply->record(done - exec_done);
+      }
+    }
+    recorder_.record("phase", "execute", IdBuf(first.id).view(), exec_start,
+                     exec_done - exec_start,
+                     kOpNames[static_cast<unsigned>(op)]);
+    if (switches != 0) {
+      recorder_.record("tuner", "direction_switch", IdBuf(switches).view(),
+                       exec_done, 0, kOpNames[static_cast<unsigned>(op)]);
+    }
+    for (const Job& job : batch) {
+      observe_request(op, job.request.id, Outcome::kOk, job.submitted_us,
+                      done);
+    }
   } catch (const std::exception& e) {
     for (Job& job : batch) {
       job.reply(
           error_response(job.request.id, ErrorCode::kInternal, e.what()));
+      observe_request(op, job.request.id, Outcome::kBadRequest,
+                      job.submitted_us, recorder_.now_us());
     }
   }
 }

@@ -23,6 +23,18 @@
 // touches far fewer total edges than k one-shot runs — the smoke job
 // asserts this via the edges_touched counter).
 //
+// Observability (DESIGN.md §16): when config.metrics is set the
+// service owns a MetricsRegistry — per-op × per-stage latency
+// histograms (queue wait, coalesce wait, execute, reply serialize,
+// end-to-end), queue-depth / in-flight / per-graph gauges, and
+// counters mirrored from the always-on tables — scrapeable through
+// the `metrics` protocol op as JSON or Prometheus text. Recording
+// never touches engine state, so metrics-on results are bit-identical
+// to metrics-off (same null-sink contract as the PR 2 telemetry
+// layer). Independent of the registry, a fixed-size FlightRecorder
+// ring always captures recent request/phase/tuner events for the
+// `dump` op and the daemon's SIGUSR1 / crash dumps.
+//
 // Threading contract: add_graph() before start(); submit() from any
 // thread (the daemon's per-connection readers); replies fire on worker
 // threads (or on the submitting thread for immediate ops and rejects)
@@ -30,7 +42,9 @@
 // rejects still-queued requests as overloaded, and joins.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,6 +58,8 @@
 
 #include "core/graph_context.h"
 #include "server/protocol.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
 #include "threading/thread_pool.h"
 
 namespace grazelle::server {
@@ -61,6 +77,12 @@ struct ServiceConfig {
   /// seeded from the context's tuning sidecar / learned seeds, and
   /// what it learns is recorded back so later requests start warm.
   EngineSelect direction = EngineSelect::kAdaptive;
+  /// Attach a MetricsRegistry (latency histograms, gauges, the
+  /// `metrics` op). Off = instrumentation costs one branch per stage;
+  /// results are bit-identical either way.
+  bool metrics = true;
+  /// Flight-recorder ring size (events; rounded up to a power of two).
+  std::size_t flight_capacity = telemetry::FlightRecorder::kDefaultCapacity;
 };
 
 /// Monotonic server-level counters (exposed by the "stats" op).
@@ -76,10 +98,43 @@ struct ServiceCounters {
   std::uint64_t ingested_ops = 0;      // raw ops across those batches
 };
 
+/// Request ops, as dense indices for the per-op outcome tables.
+enum class OpIndex : unsigned {
+  kPr,
+  kCc,
+  kBfs,
+  kDegree,
+  kStats,
+  kList,
+  kIngest,
+  kMetrics,
+  kDump,
+  kUnknown,  // parse failures / unrecognized op strings
+};
+inline constexpr unsigned kNumOps = 10;
+inline constexpr std::array<const char*, kNumOps> kOpNames = {
+    "pr",   "cc",      "bfs",  "degree",  "stats",
+    "list", "ingest",  "metrics", "dump", "unknown"};
+
+[[nodiscard]] OpIndex op_index(const std::string& op) noexcept;
+
+/// Terminal outcome of a request, from the client's point of view.
+/// unknown_graph and internal failures count as bad_request here —
+/// the stats table tracks the three outcomes scrapers alert on.
+enum class Outcome : unsigned { kOk, kBadRequest, kOverloaded };
+inline constexpr unsigned kNumOutcomes = 3;
+inline constexpr std::array<const char*, kNumOutcomes> kOutcomeNames = {
+    "ok", "bad_request", "overloaded"};
+
 class Service {
  public:
   /// A reply sink: receives exactly one response line (no newline).
   using Reply = std::function<void(const std::string&)>;
+
+  /// Which ops a submission channel may reach. kObservability is the
+  /// daemon's metrics socket: stats / list / metrics / dump only, so
+  /// scrapes can never occupy the admission queue or a worker.
+  enum class Scope { kFull, kObservability };
 
   explicit Service(ServiceConfig config);
   ~Service();
@@ -112,16 +167,43 @@ class Service {
 
   /// Parses, validates, and routes one request line. Always calls
   /// `reply` exactly once — synchronously for parse errors, immediate
-  /// ops (degree/stats/list), and admission rejects; from a worker
-  /// thread for queued ops (pr/cc/bfs).
-  void submit(const std::string& line, Reply reply);
+  /// ops (degree/stats/list/metrics/dump), and admission rejects; from
+  /// a worker thread for queued ops (pr/cc/bfs/ingest).
+  void submit(const std::string& line, Reply reply,
+              Scope scope = Scope::kFull);
 
   [[nodiscard]] ServiceCounters counters() const;
+
+  /// Null when config.metrics is false. Gauges are refreshed on every
+  /// scrape (metrics_json / metrics_prometheus), not continuously.
+  [[nodiscard]] telemetry::metrics::Registry* metrics_registry() {
+    return registry_.get();
+  }
+
+  /// Always-on ring of recent request/phase/tuner events; the daemon
+  /// dumps it on SIGUSR1 and unclean shutdown.
+  [[nodiscard]] telemetry::FlightRecorder& flight_recorder() {
+    return recorder_;
+  }
+
+  /// Registry snapshots with gauges freshly collected. Empty-object /
+  /// empty-string when metrics are disabled.
+  [[nodiscard]] std::string metrics_json();
+  [[nodiscard]] std::string metrics_prometheus();
+
+  [[nodiscard]] double uptime_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time_)
+        .count();
+  }
 
  private:
   struct Job {
     Request request;
     Reply reply;
+    // Flight-recorder / latency-histogram timebase (recorder ticks).
+    std::uint64_t submitted_us = 0;
+    std::uint64_t dequeued_us = 0;
   };
 
   void worker_main();
@@ -133,6 +215,22 @@ class Service {
   void run_jobs(GraphContext& context, std::vector<Job>& batch,
                 ThreadPool& pool);
   [[nodiscard]] std::string immediate_response(const Request& r) const;
+
+  /// Bumps the always-on per-op × outcome table (feeds `stats` and the
+  /// mirrored registry counters).
+  void note_outcome(OpIndex op, Outcome outcome) noexcept {
+    op_outcomes_[static_cast<unsigned>(op) * kNumOutcomes +
+                 static_cast<unsigned>(outcome)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Records one finished (or rejected) request into the flight ring
+  /// and, when metrics are on, the per-op stage histograms.
+  void observe_request(OpIndex op, std::uint64_t id, Outcome outcome,
+                       std::uint64_t start_us, std::uint64_t end_us) noexcept;
+  /// Pre-registers every instrument (constructor, metrics on).
+  void register_instruments();
+  /// Scrape-time gauge refresh + counter mirroring.
+  void collect();
 
   ServiceConfig config_;
   std::map<std::string, std::shared_ptr<GraphContext>> graphs_;
@@ -153,6 +251,44 @@ class Service {
   std::atomic<std::uint64_t> edges_touched_{0};
   std::atomic<std::uint64_t> ingests_{0};
   std::atomic<std::uint64_t> ingested_ops_{0};
+
+  // Always-on observability state (independent of config.metrics).
+  std::chrono::steady_clock::time_point start_time_;
+  std::array<std::atomic<std::uint64_t>, kNumOps * kNumOutcomes>
+      op_outcomes_{};
+  std::atomic<std::int64_t> in_flight_{0};
+  telemetry::FlightRecorder recorder_;
+
+  // Registry-backed instruments (null / empty when metrics are off).
+  std::unique_ptr<telemetry::metrics::Registry> registry_;
+  struct OpInstruments {
+    telemetry::metrics::Histogram* total = nullptr;       // submit → reply
+    telemetry::metrics::Histogram* queue_wait = nullptr;  // submit → dequeue
+    telemetry::metrics::Histogram* coalesce = nullptr;    // dequeue → execute
+    telemetry::metrics::Histogram* execute = nullptr;     // run / apply time
+    telemetry::metrics::Histogram* reply = nullptr;       // serialize + send
+  };
+  std::array<OpInstruments, kNumOps> op_instruments_{};
+  std::array<telemetry::metrics::Counter*, kNumOps * kNumOutcomes> outcome_counters_{};
+  telemetry::metrics::Histogram* ingest_batch_hist_ = nullptr;
+  telemetry::metrics::Counter* tuner_probes_ = nullptr;
+  telemetry::metrics::Counter* tuner_switches_ = nullptr;
+  telemetry::metrics::Counter* tuner_retunes_ = nullptr;
+  telemetry::metrics::Counter* edges_counter_ = nullptr;
+  telemetry::metrics::Counter* batches_counter_ = nullptr;
+  telemetry::metrics::Counter* batched_counter_ = nullptr;
+  telemetry::metrics::Counter* ingests_counter_ = nullptr;
+  telemetry::metrics::Counter* ingested_ops_counter_ = nullptr;
+  telemetry::metrics::Gauge* queue_depth_gauge_ = nullptr;
+  telemetry::metrics::Gauge* in_flight_gauge_ = nullptr;
+  telemetry::metrics::Gauge* uptime_gauge_ = nullptr;
+  telemetry::metrics::Gauge* graphs_gauge_ = nullptr;
+  struct GraphGauges {
+    telemetry::metrics::Gauge* epoch = nullptr;
+    telemetry::metrics::Gauge* journal = nullptr;
+    telemetry::metrics::Gauge* pending = nullptr;
+  };
+  std::map<std::string, GraphGauges> graph_gauges_;
 };
 
 }  // namespace grazelle::server

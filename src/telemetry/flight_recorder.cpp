@@ -1,0 +1,108 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "telemetry/histogram.h"
+#include "telemetry/json.h"
+
+namespace grazelle::telemetry {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+      slots_(new Slot[capacity_]),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::record(const char* kind, const char* name,
+                            std::string_view id, std::uint64_t ts_us,
+                            std::uint64_t dur_us,
+                            const char* detail) noexcept {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & (capacity_ - 1)];
+  s.seq.store(0, std::memory_order_release);  // mark busy
+  s.kind.store(kind, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.detail.store(detail, std::memory_order_relaxed);
+  s.ts_us.store(ts_us, std::memory_order_relaxed);
+  s.dur_us.store(dur_us, std::memory_order_relaxed);
+  s.tid.store(thread_ordinal(), std::memory_order_relaxed);
+  const std::uint8_t len =
+      static_cast<std::uint8_t>(std::min(id.size(), kIdBytes));
+  s.id_len.store(len, std::memory_order_relaxed);
+  for (std::uint8_t i = 0; i < len; ++i) {
+    s.id[i].store(id[i], std::memory_order_relaxed);
+  }
+  s.seq.store(ticket + 1, std::memory_order_release);  // publish
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 == 0) continue;  // never written, or mid-overwrite
+    FlightEvent e;
+    e.ticket = s1 - 1;
+    e.kind = s.kind.load(std::memory_order_relaxed);
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.ts_us = s.ts_us.load(std::memory_order_relaxed);
+    e.dur_us = s.dur_us.load(std::memory_order_relaxed);
+    e.detail = s.detail.load(std::memory_order_relaxed);
+    e.tid = s.tid.load(std::memory_order_relaxed);
+    const std::uint8_t len = s.id_len.load(std::memory_order_relaxed);
+    e.id.resize(std::min<std::size_t>(len, kIdBytes));
+    for (std::size_t c = 0; c < e.id.size(); ++c) {
+      e.id[c] = s.id[c].load(std::memory_order_relaxed);
+    }
+    const std::uint64_t s2 = s.seq.load(std::memory_order_acquire);
+    if (s1 != s2) continue;  // torn by a wrapping writer — drop
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.ticket < b.ticket;
+            });
+  return out;
+}
+
+std::string FlightRecorder::chrome_trace_json() const {
+  const std::vector<FlightEvent> events = snapshot();
+  std::vector<std::string> items;
+  items.reserve(events.size());
+  for (const FlightEvent& e : events) {
+    json::ObjectWriter w;
+    w.field("name", e.name);
+    w.field("cat", e.kind);
+    w.field("ph", "X");
+    w.field("ts", e.ts_us);
+    w.field("dur", e.dur_us);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", std::uint64_t{e.tid});
+    json::ObjectWriter args;
+    args.field("seq", e.ticket);
+    if (!e.id.empty()) args.field("id", e.id);
+    if (e.detail[0] != '\0') args.field("detail", e.detail);
+    w.field_raw("args", args.str());
+    items.push_back(w.str());
+  }
+  json::ObjectWriter top;
+  top.field_raw("traceEvents", json::array(items));
+  top.field("displayTimeUnit", "ms");
+  top.field("recorded_total", total_recorded());
+  top.field("ring_capacity", std::uint64_t{capacity_});
+  return top.str();
+}
+
+bool FlightRecorder::dump(const std::string& path) const {
+  const std::string text = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = wrote == text.size() && std::fclose(f) == 0;
+  if (wrote != text.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace grazelle::telemetry

@@ -1,0 +1,117 @@
+// Always-on flight recorder (DESIGN.md §16): a fixed-size lock-free
+// ring of the most recent request / phase / tuner events, cheap enough
+// to leave running in production and dumped as chrome-trace JSON when
+// something goes wrong (SIGUSR1, unclean shutdown, or the `dump`
+// protocol op).
+//
+// Concurrency: writers claim a monotonically increasing ticket with
+// one fetch_add and own slot `ticket % capacity`. Every slot field is
+// a std::atomic, written with a per-slot seqlock discipline:
+//
+//   writer: seq <- 0 (release)        // mark busy
+//           fields <- ... (relaxed)
+//           seq <- ticket + 1 (release)  // publish, never 0
+//   reader: s1 = seq (acquire); if s1 == 0 skip
+//           fields -> ... (relaxed)
+//           s2 = seq (acquire); accept iff s1 == s2
+//
+// A reader that races a wrapping writer observes s1 != s2 and drops
+// the slot — the event was being overwritten anyway. Because every
+// access is atomic, the protocol is race-free by construction (clean
+// under TSan), not merely benign.
+//
+// Strings are interned `const char*` literals with static storage
+// duration (event kinds, op names, outcomes) — recording never
+// allocates. The free-form id is captured into a fixed per-slot
+// atomic<char> array, truncating long ids.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grazelle::telemetry {
+
+/// Decoded ring entry, oldest-first in FlightRecorder::snapshot().
+struct FlightEvent {
+  std::uint64_t ticket = 0;     // global sequence number of the event
+  const char* kind = "";        // category: "request" | "phase" | "tuner" | ...
+  const char* name = "";        // event name (op or phase literal)
+  std::string id;               // free-form correlation id (request id)
+  std::uint64_t ts_us = 0;      // start, microseconds since recorder start
+  std::uint64_t dur_us = 0;     // duration, microseconds (0 = instant)
+  const char* detail = "";      // outcome / annotation literal
+  std::uint32_t tid = 0;        // recording thread ordinal
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kIdBytes = 24;
+
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Microseconds since this recorder was constructed — the timebase
+  /// for every ts_us passed to record().
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records one event. `kind`, `name`, and `detail` MUST be string
+  /// literals (or otherwise outlive the recorder); `id` is copied
+  /// (truncated to kIdBytes). Wait-free; never allocates.
+  void record(const char* kind, const char* name, std::string_view id,
+              std::uint64_t ts_us, std::uint64_t dur_us,
+              const char* detail = "") noexcept;
+
+  /// Decodes the ring, oldest event first. Slots mid-overwrite are
+  /// skipped. Safe to call concurrently with record().
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Chrome-trace JSON ("traceEvents" of ph:"X" complete events, one
+  /// row per recording thread) of the current ring contents. Loadable
+  /// in chrome://tracing and Perfetto.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`. Returns false on I/O error.
+  bool dump(const std::string& path) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Total events ever recorded (>= capacity means the ring wrapped).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = empty/busy, else ticket+1
+    std::atomic<const char*> kind{""};
+    std::atomic<const char*> name{""};
+    std::atomic<const char*> detail{""};
+    std::atomic<std::uint64_t> ts_us{0};
+    std::atomic<std::uint64_t> dur_us{0};
+    std::atomic<std::uint32_t> tid{0};
+    std::atomic<std::uint8_t> id_len{0};
+    std::array<std::atomic<char>, kIdBytes> id{};
+  };
+
+  std::size_t capacity_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace grazelle::telemetry

@@ -1,0 +1,213 @@
+// HDR-style log-bucketed latency histograms (DESIGN.md §16).
+//
+// The bucket layout is the classic high-dynamic-range scheme: values
+// below 2^kSubBits land in exact unit buckets; above that, each
+// power-of-two range splits into 2^kSubBits sub-buckets, so every
+// recorded value is attributed with a bounded relative error of
+// 2^-kSubBits (6.25% at the default 4 sub-bucket bits) across the full
+// uint64 range. Indexing is two instructions (countl_zero + shift) —
+// cheap enough for per-request hot paths.
+//
+// Two flavors share the layout:
+//  * LogHistogram — single-writer accumulation (plain uint64 buckets),
+//    used by tests and anywhere ownership is per-thread already.
+//  * ShardedHistogram — the serving-path instrument: kShards
+//    cache-line-padded atomic bucket arrays, writers pick a shard from
+//    a process-wide thread ordinal and fetch_add relaxed (no CAS
+//    loops, no locks, no cross-thread contention until the thread
+//    count exceeds the shard count), readers merge every shard into a
+//    HistogramSnapshot at scrape time. Recording is wait-free;
+//    snapshots are only eventually consistent with in-flight records,
+//    which is exactly what a scrape wants.
+//
+// HistogramSnapshot carries the merged counts plus count/sum and
+// answers quantile queries (p50/p95/p99/p999) by cumulative walk,
+// returning the containing bucket's upper bound — an estimate that is
+// never below the true percentile and at most one bucket width above
+// it. Snapshots merge (element-wise add), so per-shard, per-process,
+// or per-scrape aggregation all compose.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace grazelle::telemetry {
+
+/// Shared bucket geometry for the histogram flavors.
+struct HistogramLayout {
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;  // 16
+  /// Power-of-two groups above the exact region: values in
+  /// [kSubBuckets << (g-1), kSubBuckets << g) for g = 1..kGroups.
+  static constexpr unsigned kGroups = 64 - kSubBits;  // 60
+  static constexpr unsigned kNumBuckets = kSubBuckets * (kGroups + 1);
+
+  /// Bucket index of a value. Total order preserving: v <= w implies
+  /// index(v) <= index(w).
+  [[nodiscard]] static constexpr unsigned index(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<unsigned>(v);
+    const unsigned e = 63 - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = e - kSubBits;
+    const unsigned sub =
+        static_cast<unsigned>((v >> shift) & (kSubBuckets - 1));
+    return (shift + 1) * kSubBuckets + sub;
+  }
+
+  /// Largest value the bucket contains (inclusive). The top bucket
+  /// clamps to the uint64 maximum.
+  [[nodiscard]] static constexpr std::uint64_t upper(unsigned index) noexcept {
+    const unsigned group = index / kSubBuckets;
+    const unsigned sub = index % kSubBuckets;
+    if (group == 0) return sub;
+    const unsigned shift = group - 1;
+    if (shift + kSubBits >= 60) {
+      // (kSubBuckets + sub + 1) << shift would overflow; the tail
+      // bucket absorbs everything.
+      const unsigned __int128 wide =
+          static_cast<unsigned __int128>(kSubBuckets + sub + 1) << shift;
+      constexpr unsigned __int128 kMax = ~static_cast<std::uint64_t>(0);
+      return wide > kMax ? ~static_cast<std::uint64_t>(0)
+                         : static_cast<std::uint64_t>(wide) - 1;
+    }
+    return ((static_cast<std::uint64_t>(kSubBuckets + sub + 1)) << shift) - 1;
+  }
+};
+
+/// Merged, immutable view of a histogram at one point in time.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  // HistogramLayout::kNumBuckets wide
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  HistogramSnapshot() : counts(HistogramLayout::kNumBuckets, 0) {}
+
+  /// Element-wise accumulate: snapshots of shards (or of separate
+  /// histograms tracking the same quantity) compose by addition.
+  void merge(const HistogramSnapshot& other) {
+    for (unsigned b = 0; b < HistogramLayout::kNumBuckets; ++b) {
+      counts[b] += other.counts[b];
+    }
+    count += other.count;
+    sum += other.sum;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]).
+  /// 0 for an empty histogram. The estimate is >= the exact
+  /// percentile and overshoots by at most one bucket width (a 6.25%
+  /// relative error at the default layout).
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target observation, 1-based.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+    std::uint64_t cumulative = 0;
+    for (unsigned b = 0; b < HistogramLayout::kNumBuckets; ++b) {
+      cumulative += counts[b];
+      if (cumulative >= rank) return HistogramLayout::upper(b);
+    }
+    return HistogramLayout::upper(HistogramLayout::kNumBuckets - 1);
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Highest non-empty bucket index + 1 (0 when empty): the exposition
+  /// renderer stops emitting buckets here.
+  [[nodiscard]] unsigned significant_buckets() const noexcept {
+    for (unsigned b = HistogramLayout::kNumBuckets; b > 0; --b) {
+      if (counts[b - 1] != 0) return b;
+    }
+    return 0;
+  }
+};
+
+/// Single-writer histogram: plain counters, no synchronization. Use
+/// when the recording thread is already exclusive (per-thread slabs,
+/// tests).
+class LogHistogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+    ++counts_[HistogramLayout::index(v)];
+    ++count_;
+    sum_ += v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    for (unsigned b = 0; b < HistogramLayout::kNumBuckets; ++b) {
+      s.counts[b] = counts_[b];
+    }
+    s.count = count_;
+    s.sum = sum_;
+    return s;
+  }
+
+ private:
+  std::array<std::uint64_t, HistogramLayout::kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Process-wide small integer identity for the calling thread, used to
+/// spread concurrent writers across shards. Monotonic, never reused —
+/// shard selection wraps it, so long-lived processes with thread
+/// churn merely rotate which shard a new thread lands on.
+[[nodiscard]] inline unsigned thread_ordinal() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Lock-free multi-writer histogram: per-shard atomic buckets merged
+/// at snapshot time. Writers never block or spin; readers see every
+/// record that happened-before the snapshot and possibly some that
+/// race with it (relaxed counters — fine for monitoring).
+class ShardedHistogram {
+ public:
+  static constexpr unsigned kShards = 8;
+
+  void record(std::uint64_t v) noexcept {
+    Shard& s = shards_[thread_ordinal() % kShards];
+    s.counts[HistogramLayout::index(v)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+    for (const Shard& s : shards_) {
+      for (unsigned b = 0; b < HistogramLayout::kNumBuckets; ++b) {
+        const std::uint64_t n = s.counts[b].load(std::memory_order_relaxed);
+        out.counts[b] += n;
+        out.count += n;
+      }
+      out.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, HistogramLayout::kNumBuckets>
+        counts{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  std::array<Shard, kShards> shards_{};
+};
+
+}  // namespace grazelle::telemetry

@@ -1,0 +1,237 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "telemetry/json.h"
+
+namespace grazelle::telemetry::metrics {
+namespace {
+
+// %.17g round-trips doubles exactly, matching the protocol layer's
+// value serialization.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Renders `{op="pr",graph="web"}` (empty string for no labels).
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += prometheus_escape_label(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same but with an extra `le` label appended for histogram buckets.
+std::string label_block_with_le(const Labels& labels,
+                                const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += k;
+    out += "=\"";
+    out += prometheus_escape_label(v);
+    out += "\",";
+  }
+  out += "le=\"";
+  out += le;
+  out += "\"}";
+  return out;
+}
+
+// Escapes a HELP line: only backslash and newline per the format spec.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Registry::Entry* Registry::find_or_create(
+    Kind kind, const std::string& name, const std::string& help,
+    Labels labels, double scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::logic_error("metric '" + name +
+                               "' re-registered as a different type");
+      }
+      if (e->labels == labels) return e.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(labels);
+  switch (kind) {
+    case Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(scale);
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* Registry::counter(const std::string& name,
+                                  const std::string& help,
+                                  Labels labels) {
+  return find_or_create(Kind::kCounter, name, help, std::move(labels), 1.0)
+      ->counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& help,
+                              Labels labels) {
+  return find_or_create(Kind::kGauge, name, help, std::move(labels), 1.0)
+      ->gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      Labels labels,
+                                      double exposition_scale) {
+  return find_or_create(Kind::kHistogram, name, help, std::move(labels),
+                        exposition_scale)
+      ->histogram.get();
+}
+
+std::size_t Registry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Same-name series must be contiguous under one HELP/TYPE header, so
+  // scrape over a name-grouped view (stable: registration order breaks
+  // ties, keeping label order deterministic).
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& e : entries_) ordered.push_back(e.get());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->name < b->name;
+                   });
+  std::string out;
+  std::string last_name;  // HELP/TYPE emitted once per metric name
+  for (const Entry* e : ordered) {
+    if (e->name != last_name) {
+      last_name = e->name;
+      out += "# HELP " + e->name + " " + escape_help(e->help) + "\n";
+      out += "# TYPE " + e->name + " ";
+      switch (e->kind) {
+        case Kind::kCounter: out += "counter\n"; break;
+        case Kind::kGauge: out += "gauge\n"; break;
+        case Kind::kHistogram: out += "histogram\n"; break;
+      }
+    }
+    const std::string labels = label_block(e->labels);
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += e->name + labels + " " + std::to_string(e->counter->value()) +
+               "\n";
+        break;
+      case Kind::kGauge:
+        out += e->name + labels + " " + format_double(e->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = e->histogram->snapshot();
+        const double scale = e->histogram->exposition_scale();
+        // Cumulative buckets; empty buckets are skipped, which stays
+        // valid because `le` boundaries remain sorted and cumulative.
+        std::uint64_t cumulative = 0;
+        const unsigned top = snap.significant_buckets();
+        for (unsigned b = 0; b < top; ++b) {
+          if (snap.counts[b] == 0) continue;
+          cumulative += snap.counts[b];
+          const double le =
+              static_cast<double>(HistogramLayout::upper(b)) * scale;
+          out += e->name + "_bucket" +
+                 label_block_with_le(e->labels, format_double(le)) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += e->name + "_bucket" + label_block_with_le(e->labels, "+Inf") +
+               " " + std::to_string(snap.count) + "\n";
+        out += e->name + "_sum" + labels + " " +
+               format_double(static_cast<double>(snap.sum) * scale) + "\n";
+        out += e->name + "_count" + labels + " " +
+               std::to_string(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::ObjectWriter w;
+  for (const auto& e : entries_) {
+    std::string key = e->name;
+    if (!e->labels.empty()) {
+      key += "{";
+      for (std::size_t i = 0; i < e->labels.size(); ++i) {
+        if (i != 0) key += ",";
+        key += e->labels[i].first + "=" + e->labels[i].second;
+      }
+      key += "}";
+    }
+    switch (e->kind) {
+      case Kind::kCounter: w.field(key, e->counter->value()); break;
+      case Kind::kGauge: w.field(key, e->gauge->value()); break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = e->histogram->snapshot();
+        const double scale = e->histogram->exposition_scale();
+        json::ObjectWriter h;
+        h.field("count", snap.count);
+        h.field("sum", static_cast<double>(snap.sum) * scale);
+        h.field("mean", snap.mean() * scale);
+        h.field("p50", static_cast<double>(snap.quantile(0.50)) * scale);
+        h.field("p95", static_cast<double>(snap.quantile(0.95)) * scale);
+        h.field("p99", static_cast<double>(snap.quantile(0.99)) * scale);
+        h.field("p999", static_cast<double>(snap.quantile(0.999)) * scale);
+        w.field_raw(key, h.str());
+        break;
+      }
+    }
+  }
+  return w.str();
+}
+
+}  // namespace grazelle::telemetry::metrics

@@ -1,0 +1,158 @@
+// Service-grade metrics registry (DESIGN.md §16): named, labeled
+// instruments — monotonic counters, gauges, and HDR-style latency
+// histograms — registered once at startup and scraped concurrently
+// with recording.
+//
+// Contracts:
+//  * Recording is lock-free. Counter::add and Gauge::set are single
+//    relaxed atomic ops; Histogram::record is a sharded fetch_add
+//    (histogram.h). No instrument ever takes a lock on the hot path.
+//  * Registration is mutex-guarded and idempotent: asking for an
+//    instrument that already exists (same name + label set + type)
+//    returns the existing one. Instruments live as long as the
+//    registry; handles are plain pointers that never invalidate.
+//  * Scraping renders two formats from one pass over the registry:
+//    a JSON snapshot (telemetry/json.h writer, quantiles included)
+//    and the Prometheus text exposition format, version 0.0.4
+//    (`# HELP`/`# TYPE` headers, label escaping, cumulative `_bucket`
+//    series with `le` boundaries, `_sum`/`_count`). Histograms carry
+//    an exposition scale so internally-microsecond instruments render
+//    as base-unit seconds, per Prometheus naming conventions.
+//
+// Naming conventions (DESIGN.md §16): every metric is prefixed
+// `grazelle_`, counters end `_total`, latency histograms end
+// `_seconds`, and label keys are fixed at registration — there is no
+// dynamic label creation on the record path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/histogram.h"
+
+namespace grazelle::telemetry::metrics {
+
+/// Ordered label set, fixed at registration ({{"op","pr"},...}).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. set() exists for scrape-time mirroring of
+/// externally-maintained totals (the server's always-on per-op
+/// tables); regular instrumentation uses add().
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, epoch number, uptime).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    // Monitoring-grade accuracy: a racing add may be lost; the serving
+    // paths that use add() (in-flight tracking) tolerate that, and
+    // scrape-time set() callers never race at all.
+    value_.store(value_.load(std::memory_order_relaxed) + d,
+                 std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Lock-free latency/size distribution. Values record in integer
+/// units (the server uses microseconds); `exposition_scale` converts
+/// to the exposed unit at scrape time (1e-6 renders microsecond
+/// records as seconds).
+class Histogram {
+ public:
+  explicit Histogram(double exposition_scale = 1.0)
+      : scale_(exposition_scale) {}
+
+  void record(std::uint64_t v) noexcept { sharded_.record(v); }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const {
+    return sharded_.snapshot();
+  }
+  [[nodiscard]] double exposition_scale() const noexcept { return scale_; }
+
+ private:
+  ShardedHistogram sharded_;
+  double scale_;
+};
+
+/// The registry: instrument ownership + scrape rendering. One per
+/// Service; tests may build their own.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) an instrument. `help` is kept from the
+  /// first registration of a name. Throws std::logic_error if a name
+  /// is re-registered as a different instrument type.
+  Counter* counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge* gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       Labels labels = {},
+                       double exposition_scale = 1.0);
+
+  /// Prometheus text exposition format 0.0.4 of every instrument.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// JSON snapshot: one member per instrument keyed
+  /// "name{label=value,...}"; histograms render as objects with
+  /// count / sum / mean / p50 / p95 / p99 / p999 in the exposed unit.
+  [[nodiscard]] std::string json() const;
+
+  [[nodiscard]] std::size_t num_instruments() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* find_or_create(Kind kind, const std::string& name,
+                        const std::string& help, Labels labels,
+                        double scale);
+
+  mutable std::mutex mu_;
+  // Deque-like stability: entries are pointed into by handles, so the
+  // vector stores unique_ptrs and never erases.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline get backslash escapes (exposition format 0.0.4).
+[[nodiscard]] std::string prometheus_escape_label(const std::string& v);
+
+}  // namespace grazelle::telemetry::metrics

@@ -81,7 +81,18 @@ namespace telemetry {
 //     iteration: chosen phase, reason code, estimated vs measured
 //     cycles/edge) and the tuner_* telemetry counters. Empty under the
 //     fixed direction modes.
-inline constexpr unsigned kReportSchemaVersion = 5;
+// v6: bounded direction_trace — at most the first and last
+//     kDirectionTraceKeep adaptive iterations are serialized (a
+//     long-lived serve session's CC/BFS runs may iterate thousands of
+//     times); added direction_trace_truncated and
+//     direction_trace_total so consumers can detect the elision.
+inline constexpr unsigned kReportSchemaVersion = 6;
+
+/// Cap on each end of the serialized direction_trace: runs with more
+/// than 2 * kDirectionTraceKeep adaptive iterations keep the first and
+/// last kDirectionTraceKeep entries (the interesting ones — warmup
+/// probes and converged steady state) and set the truncated flag.
+inline constexpr std::size_t kDirectionTraceKeep = 32;
 
 /// Derived hardware efficiency metrics of one PMU-sampled interval.
 /// Formulas (DESIGN.md §11): ipc = instructions / cycles;
@@ -341,11 +352,21 @@ inline std::string RunReport::to_json() const {
   // Adaptive-mode decision trace (schema v5): what the
   // DirectionController chose each iteration and why, with the cost
   // model's estimate against the feedback measurement. Empty array for
-  // fixed-mode runs.
-  std::vector<std::string> trace;
+  // fixed-mode runs. Bounded since v6: only the first and last
+  // kDirectionTraceKeep adaptive iterations serialize, so a report's
+  // size stays constant however long the run converged.
+  std::vector<std::size_t> adaptive;  // iteration indices with a reason
   for (std::size_t i = 0; i < stats.per_iteration.size(); ++i) {
+    if (stats.per_iteration[i].direction_reason != nullptr) {
+      adaptive.push_back(i);
+    }
+  }
+  const bool trace_truncated = adaptive.size() > 2 * kDirectionTraceKeep;
+  const std::uint64_t trace_total = adaptive.size();
+  std::vector<std::string> trace;
+  trace.reserve(std::min(adaptive.size(), 2 * kDirectionTraceKeep));
+  const auto trace_entry = [&](std::size_t i) {
     const IterationStats& it = stats.per_iteration[i];
-    if (it.direction_reason == nullptr) continue;
     json::ObjectWriter w;
     w.field("iteration", static_cast<std::uint64_t>(i))
         .field("phase", it.plan.name())
@@ -353,6 +374,17 @@ inline std::string RunReport::to_json() const {
         .field("estimated_cycles_per_edge", it.estimated_cycles_per_edge)
         .field("measured_cycles_per_edge", it.measured_cycles_per_edge);
     trace.push_back(w.str());
+  };
+  if (!trace_truncated) {
+    for (std::size_t i : adaptive) trace_entry(i);
+  } else {
+    for (std::size_t k = 0; k < kDirectionTraceKeep; ++k) {
+      trace_entry(adaptive[k]);
+    }
+    for (std::size_t k = adaptive.size() - kDirectionTraceKeep;
+         k < adaptive.size(); ++k) {
+      trace_entry(adaptive[k]);
+    }
   }
 
   json::ObjectWriter w;
@@ -386,7 +418,9 @@ inline std::string RunReport::to_json() const {
       .field_raw("phases", phases_w.str())
       .field_raw("counters", counters_w.str())
       .field_raw("per_iteration", json::array(iterations))
-      .field_raw("direction_trace", json::array(trace));
+      .field_raw("direction_trace", json::array(trace))
+      .field("direction_trace_truncated", trace_truncated)
+      .field("direction_trace_total", trace_total);
   return w.str();
 }
 

@@ -88,7 +88,23 @@ TEST(Protocol, UnknownOpNamesTheAlternatives) {
   const auto r = parse_request(R"({"op":"nope","graph":"g"})");
   ASSERT_FALSE(r.ok);
   EXPECT_EQ(r.error,
-            "unknown op: nope (want pr|cc|bfs|degree|stats|list|ingest)");
+            "unknown op: nope "
+            "(want pr|cc|bfs|degree|stats|list|ingest|metrics|dump)");
+}
+
+TEST(Protocol, ParsesMetricsAndDumpRequests) {
+  const auto m = parse_request(R"({"id":1,"op":"metrics"})");
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_EQ(m.request.format, "json");  // default
+  const auto p =
+      parse_request(R"({"id":2,"op":"metrics","format":"prometheus"})");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.format, "prometheus");
+  EXPECT_TRUE(parse_request(R"({"op":"dump"})").ok);
+  // format is constrained and metrics-only.
+  EXPECT_FALSE(parse_request(R"({"op":"metrics","format":"xml"})").ok);
+  EXPECT_FALSE(
+      parse_request(R"({"op":"pr","graph":"g","format":"json"})").ok);
 }
 
 TEST(Protocol, ParsesIngestRequest) {
@@ -446,6 +462,200 @@ TEST_F(ServiceTest, NoBatchRequestsRunAlone) {
     ASSERT_TRUE(v.at("ok").boolean) << line;
     EXPECT_EQ(v.at("batched").num, 1);
   }
+}
+
+// ----------------------------------------------------------- observability
+
+/// Parses the trailing number off a `name{labels} value` exposition
+/// line. Returns -1 when the series is absent.
+double exposition_value(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    // Must be at line start to avoid matching a longer metric name.
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
+
+TEST_F(ServiceTest, MetricsOpExposesPrometheusHistogramsMatchingTraffic) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  const std::size_t kPr = 3;
+  for (std::size_t i = 0; i < kPr; ++i) {
+    service.submit(R"({"id":)" + std::to_string(i) + R"(,"op":"pr","graph":"g"})",
+                   log.sink());
+  }
+  service.start();
+  (void)log.wait_for(kPr);
+  service.stop();
+
+  ReplyLog scrape;
+  service.submit(R"({"id":9,"op":"metrics","format":"prometheus"})",
+                 scrape.sink());
+  ASSERT_EQ(scrape.count(), 1u);
+  const json::Value v = json::parse(scrape.lines[0]);
+  ASSERT_TRUE(v.at("ok").boolean) << scrape.lines[0];
+  EXPECT_EQ(v.at("op").str, "metrics");
+  EXPECT_EQ(v.at("format").str, "prometheus");
+  const std::string& text = v.at("exposition").str;
+
+  // The latency histogram saw exactly the submitted pr requests.
+  EXPECT_EQ(exposition_value(
+                text, "grazelle_request_duration_seconds_count{op=\"pr\"}"),
+            static_cast<double>(kPr));
+  EXPECT_EQ(exposition_value(text,
+                             "grazelle_requests_total{op=\"pr\","
+                             "outcome=\"ok\"}"),
+            static_cast<double>(kPr));
+  // Stage histograms cover the executed op too.
+  EXPECT_EQ(exposition_value(text,
+                             "grazelle_request_stage_seconds_count{"
+                             "op=\"pr\",stage=\"execute\"}"),
+            static_cast<double>(kPr));
+  // Gauges render at scrape time.
+  EXPECT_EQ(exposition_value(text, "grazelle_graphs_served"), 1.0);
+  EXPECT_EQ(exposition_value(text, "grazelle_queue_depth"), 0.0);
+  EXPECT_GE(exposition_value(text, "grazelle_uptime_seconds"), 0.0);
+  EXPECT_EQ(exposition_value(text, "grazelle_graph_epoch{graph=\"g\"}"), 0.0);
+  // Exposition headers are present.
+  EXPECT_NE(text.find("# TYPE grazelle_request_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("grazelle_request_duration_seconds_bucket{op=\"pr\","
+                "le=\"+Inf\"} 3"),
+      std::string::npos);
+}
+
+TEST_F(ServiceTest, MetricsOpJsonFormatParsesWithQuantiles) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(R"({"id":1,"op":"pr","graph":"g"})", log.sink());
+  service.start();
+  (void)log.wait_for(1);
+  service.stop();
+
+  ReplyLog scrape;
+  service.submit(R"({"id":2,"op":"metrics"})", scrape.sink());
+  ASSERT_EQ(scrape.count(), 1u);
+  const json::Value v = json::parse(scrape.lines[0]);
+  ASSERT_TRUE(v.at("ok").boolean) << scrape.lines[0];
+  EXPECT_EQ(v.at("format").str, "json");
+  const json::Value& m = v.at("metrics");
+  ASSERT_TRUE(m.is_object());
+  const json::Value& hist =
+      m.at("grazelle_request_duration_seconds{op=pr}");
+  EXPECT_EQ(hist.at("count").num, 1.0);
+  EXPECT_GT(hist.at("p50").num, 0.0);
+  EXPECT_EQ(m.at("grazelle_requests_total{op=pr,outcome=ok}").num, 1.0);
+}
+
+TEST_F(ServiceTest, MetricsDisabledIsRejectedAndValuesStayBitIdentical) {
+  ServiceConfig cfg_off = small_config();
+  cfg_off.metrics = false;
+  Service off(cfg_off);
+  Service on(small_config());
+  add(off);
+  add(on);
+
+  // The metrics op needs the registry.
+  ReplyLog probe;
+  off.submit(R"({"id":1,"op":"metrics"})", probe.sink());
+  ASSERT_EQ(probe.count(), 1u);
+  const json::Value err = json::parse(probe.lines[0]);
+  EXPECT_FALSE(err.at("ok").boolean);
+  EXPECT_EQ(err.at("error").at("code").str, "bad_request");
+
+  // Metrics on vs. off must not perturb computed values: identical
+  // request, bit-identical served ranks.
+  ReplyLog log_off;
+  ReplyLog log_on;
+  const std::string req = R"({"id":2,"op":"pr","graph":"g","values":true})";
+  off.submit(req, log_off.sink());
+  on.submit(req, log_on.sink());
+  off.start();
+  on.start();
+  const auto a = log_off.wait_for(1);
+  const auto b = log_on.wait_for(1);
+  off.stop();
+  on.stop();
+  const json::Value va = json::parse(a[0]);
+  const json::Value vb = json::parse(b[0]);
+  ASSERT_TRUE(va.at("ok").boolean) << a[0];
+  ASSERT_TRUE(vb.at("ok").boolean) << b[0];
+  ASSERT_EQ(va.at("values").items.size(), vb.at("values").items.size());
+  for (std::size_t i = 0; i < va.at("values").items.size(); ++i) {
+    ASSERT_EQ(va.at("values").items[i]->num, vb.at("values").items[i]->num)
+        << "vertex " << i;
+  }
+}
+
+TEST_F(ServiceTest, StatsCarriesUptimeAndPerOpOutcomeTotals) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(R"({"id":1,"op":"pr","graph":"g"})", log.sink());
+  service.submit(R"({"id":2,"op":"pr","graph":"nope"})", log.sink());
+  service.start();
+  (void)log.wait_for(2);
+  service.stop();
+
+  ReplyLog stats_log;
+  service.submit(R"({"id":3,"op":"stats"})", stats_log.sink());
+  ASSERT_EQ(stats_log.count(), 1u);
+  const json::Value v = json::parse(stats_log.lines[0]);
+  ASSERT_TRUE(v.at("ok").boolean) << stats_log.lines[0];
+  EXPECT_GE(v.at("uptime_seconds").num, 0.0);
+  const json::Value& requests = v.at("requests");
+  EXPECT_EQ(requests.at("pr").at("ok").num, 1.0);
+  EXPECT_EQ(requests.at("pr").at("bad_request").num, 1.0);
+  EXPECT_EQ(requests.at("pr").at("overloaded").num, 0.0);
+}
+
+TEST_F(ServiceTest, DumpOpReturnsChromeTraceOfRecentEvents) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(R"({"id":1,"op":"list"})", log.sink());
+  service.submit(R"({"id":2,"op":"dump"})", log.sink());
+  ASSERT_EQ(log.count(), 2u);
+  const json::Value v = json::parse(log.lines[1]);
+  ASSERT_TRUE(v.at("ok").boolean) << log.lines[1];
+  EXPECT_GE(v.at("events_recorded").num, 1.0);  // the list op was recorded
+  EXPECT_GT(v.at("ring_capacity").num, 0.0);
+  ASSERT_TRUE(v.at("trace").at("traceEvents").is_array());
+  ASSERT_GE(v.at("trace").at("traceEvents").items.size(), 1u);
+  const json::Value& ev = *v.at("trace").at("traceEvents").items[0];
+  EXPECT_EQ(ev.at("ph").str, "X");
+  EXPECT_EQ(ev.at("cat").str, "request");
+}
+
+TEST_F(ServiceTest, ObservabilityScopeAdmitsOnlyReadOnlyOps) {
+  Service service(small_config());
+  add(service);
+  ReplyLog log;
+  service.submit(R"({"id":1,"op":"pr","graph":"g"})", log.sink(),
+                 Service::Scope::kObservability);
+  service.submit(R"({"id":2,"op":"ingest","graph":"g","edges":[[0,1]]})",
+                 log.sink(), Service::Scope::kObservability);
+  service.submit(R"({"id":3,"op":"stats"})", log.sink(),
+                 Service::Scope::kObservability);
+  service.submit(R"({"id":4,"op":"metrics"})", log.sink(),
+                 Service::Scope::kObservability);
+  ASSERT_EQ(log.count(), 4u);  // all synchronous: two rejects, two answers
+  const json::Value r1 = json::parse(log.lines[0]);
+  EXPECT_FALSE(r1.at("ok").boolean);
+  EXPECT_EQ(r1.at("error").at("code").str, "bad_request");
+  EXPECT_NE(r1.at("error").at("message").str.find("metrics socket"),
+            std::string::npos);
+  EXPECT_FALSE(json::parse(log.lines[1]).at("ok").boolean);
+  EXPECT_TRUE(json::parse(log.lines[2]).at("ok").boolean);
+  EXPECT_TRUE(json::parse(log.lines[3]).at("ok").boolean);
 }
 
 }  // namespace

@@ -16,6 +16,13 @@
 // through a double). CI diffs served results against one-shot runs
 // this way.
 //
+// Subcommand: `grazelle_client metrics --socket PATH [--format f]`
+// scrapes the daemon's metrics registry (works against the main
+// socket or the dedicated --metrics-socket). --format json (default)
+// prints the full JSON response line; --format prometheus unwraps the
+// "exposition" field and prints the raw Prometheus 0.0.4 text, ready
+// to pipe into promtool or a node-exporter textfile.
+//
 // Exit status: nonzero when the daemon is unreachable, the connection
 // drops early, or any response has "ok":false.
 #include <cstdio>
@@ -30,6 +37,7 @@
 
 #include "cli_common.h"
 #include "cli_options.h"
+#include "telemetry/json.h"
 
 using namespace grazelle;
 
@@ -117,23 +125,88 @@ namespace {
   return true;
 }
 
+/// Sends one line, awaits exactly one response line.
+[[nodiscard]] bool round_trip(int fd, const std::string& request,
+                              std::string* response) {
+  if (!send_all(fd, request + "\n")) return false;
+  std::string pending;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t nl = pending.find('\n');
+    if (nl != std::string::npos) {
+      *response = pending.substr(0, nl);
+      return true;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return false;
+    pending.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// `grazelle_client metrics`: one-shot scrape of the daemon's registry.
+[[nodiscard]] int run_metrics_command(const std::string& socket_path,
+                                      const std::string& format) {
+  const int fd = connect_to(socket_path);
+  if (fd < 0) return 1;
+  const std::string request =
+      "{\"id\": 0, \"op\": \"metrics\", \"format\": \"" + format + "\"}";
+  std::string response;
+  const bool got = round_trip(fd, request, &response);
+  ::close(fd);
+  if (!got) {
+    std::fprintf(stderr, "error: no response from daemon\n");
+    return 1;
+  }
+  if (format == "json") {
+    std::printf("%s\n", response.c_str());
+    return response.find("\"ok\": false") != std::string::npos ? 1 : 0;
+  }
+  // prometheus: unwrap the exposition text and print it raw.
+  try {
+    const auto v = telemetry::json::parse(response);
+    if (!v.at("ok").boolean) {
+      std::fprintf(stderr, "error: %s\n", response.c_str());
+      return 1;
+    }
+    std::fputs(v.at("exposition").str.c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: bad metrics response: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string values_out;
-  cli::OptionTable table("--socket <path> [--values-out <file>] < requests");
+  std::string command;
+  std::string format = "json";
+  cli::OptionTable table(
+      "[metrics] --socket <path> [--values-out <file>] [--format <f>] "
+      "< requests");
   table
+      .positional("command", &command, /*required=*/false)
       .str(0, "socket", &socket_path, "<path>",
            "Unix socket the daemon listens on")
       .out_path(0, "values-out", &values_out, "<file>",
                 "write the last values-carrying response as\n"
                 "\"vertex value\" lines, byte-identical to\n"
                 "grazelle_run -o output")
+      .choice(0, "format", &format, "metrics format", {"json", "prometheus"},
+              "json|prometheus", "<f>",
+              "rendering for the `metrics` subcommand:\n"
+              "json (default) prints the response line;\n"
+              "prometheus prints raw exposition text")
       .epilog(
           "  Requests are read from stdin, one JSON object per line, and\n"
           "  sent before any reply is awaited (so the daemon can batch).\n"
-          "  Responses print to stdout in arrival order.\n");
+          "  Responses print to stdout in arrival order.\n"
+          "\n"
+          "  The `metrics` subcommand sends a single {\"op\":\"metrics\"}\n"
+          "  request instead of reading stdin — point it at the daemon's\n"
+          "  --metrics-socket for contention-free scrapes.\n");
   switch (table.parse(argc, argv)) {
     case cli::OptionTable::Status::kHelp: return 0;
     case cli::OptionTable::Status::kError: return 1;
@@ -141,6 +214,12 @@ int main(int argc, char** argv) {
   }
   if (socket_path.empty()) {
     table.print_usage(stderr);
+    return 1;
+  }
+  if (command == "metrics") return run_metrics_command(socket_path, format);
+  if (!command.empty()) {
+    std::fprintf(stderr, "error: unknown command: %s (want metrics)\n",
+                 command.c_str());
     return 1;
   }
 

@@ -8,16 +8,29 @@
 //   grazelle_serve --socket /tmp/grazelle.sock \
 //       --graph tw=twitter.gzg --graph uk=uk2007.gzg \
 //       [--workers 2] [--session-threads 4] [--queue-cap 64] \
-//       [--batch-max 16] [--batch-window-ms 5] [--iterations 16]
+//       [--batch-max 16] [--batch-window-ms 5] [--iterations 16] \
+//       [--metrics-socket /tmp/grazelle-metrics.sock] \
+//       [--flight-dump /tmp/grazelle-flight.json]
 //
 // One reader thread per connection; responses may interleave across a
 // connection's requests in completion order (each carries its request
 // "id"). SIGTERM / SIGINT shut down cleanly: stop accepting, reject
 // everything still queued as "overloaded", join workers, unlink the
 // socket, exit 0.
+//
+// Observability (DESIGN.md §16): --metrics-socket opens a SECOND Unix
+// socket restricted to the read-only ops (stats / list / metrics /
+// dump), so Prometheus scrapes can never occupy the admission queue or
+// contend with query traffic. SIGUSR1 dumps the always-on flight
+// recorder as chrome-trace JSON to the --flight-dump path (default
+// "<socket>.flight.json") and keeps serving; a crash (SIGSEGV /
+// SIGABRT / unhandled exception) writes the same dump best-effort
+// before dying, turning an unclean death into an inspectable trace.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,13 +50,47 @@ using namespace grazelle;
 
 namespace {
 
-// Self-pipe: the signal handler writes one byte; the accept loop polls
-// the read end alongside the listening socket.
+// Self-pipe: the signal handler writes the signal's tag byte; the
+// accept loop polls the read end alongside the listening sockets and
+// discriminates shutdown (SIGTERM / SIGINT) from flight-recorder dump
+// requests (SIGUSR1).
 int g_signal_pipe[2] = {-1, -1};
+constexpr char kShutdownByte = 's';
+constexpr char kDumpByte = 'u';
 
-void on_signal(int) {
-  const char byte = 1;
-  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
+void on_shutdown_signal(int) {
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &kShutdownByte, 1);
+}
+
+void on_dump_signal(int) {
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &kDumpByte, 1);
+}
+
+// Crash path: dump the flight ring before dying. Set once before the
+// handlers are installed, never mutated after — the handler only
+// reads. dump() allocates (not strictly async-signal-safe), but this
+// runs on the way to abort with a reentrancy guard; a torn dump is
+// still better than none.
+server::Service* g_crash_service = nullptr;
+const char* g_crash_dump_path = nullptr;
+std::atomic<bool> g_crash_dumping{false};
+
+void dump_on_crash() {
+  if (g_crash_service == nullptr || g_crash_dump_path == nullptr) return;
+  if (g_crash_dumping.exchange(true)) return;  // one attempt only
+  g_crash_service->flight_recorder().dump(g_crash_dump_path);
+  std::fprintf(stderr, "flight recorder dumped to %s\n", g_crash_dump_path);
+}
+
+void on_crash_signal(int sig) {
+  dump_on_crash();
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void on_terminate() {
+  dump_on_crash();
+  std::abort();
 }
 
 /// One accepted connection: the reader thread feeds lines to the
@@ -52,6 +99,7 @@ struct Connection {
   int fd = -1;
   std::mutex write_mu;
   std::thread reader;
+  server::Service::Scope scope = server::Service::Scope::kFull;
 
   void send_line(const std::string& line) {
     std::lock_guard<std::mutex> hold(write_mu);
@@ -81,9 +129,10 @@ void reader_main(const std::shared_ptr<Connection>& conn,
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      service.submit(line, [conn](const std::string& response) {
-        conn->send_line(response);
-      });
+      service.submit(
+          line,
+          [conn](const std::string& response) { conn->send_line(response); },
+          conn->scope);
     }
     pending.erase(0, start);
   }
@@ -122,10 +171,14 @@ void reader_main(const std::shared_ptr<Connection>& conn,
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string metrics_socket_path;
+  std::string flight_dump_path;
   std::vector<std::string> graph_specs;
   server::ServiceConfig config;
   std::string direction = "adaptive";
   bool no_vector = false;
+  bool no_metrics = false;
+  std::uint64_t flight_capacity = 0;
 
   cli::OptionTable table(
       "--socket <path> --graph <name>=<file.gzg> [--graph ...] [options]");
@@ -162,6 +215,20 @@ int main(int argc, char** argv) {
               "(default adaptive: the closed-loop controller\n"
               "seeded from each container's tuning sidecar;\n"
               "learned knobs are written back on shutdown)")
+      .str(0, "metrics-socket", &metrics_socket_path, "<path>",
+           "second Unix socket restricted to the read-only\n"
+           "observability ops (stats/list/metrics/dump) so\n"
+           "scrapes never contend with query admission")
+      .str(0, "flight-dump", &flight_dump_path, "<path>",
+           "where SIGUSR1 / crash dumps write the flight\n"
+           "recorder's chrome-trace JSON (default\n"
+           "\"<socket>.flight.json\")")
+      .u64(0, "flight-capacity", &flight_capacity, "<n>",
+           "flight-recorder ring size in events (default\n"
+           "4096; rounded up to a power of two)")
+      .flag(0, "no-metrics", &no_metrics,
+            "drop the metrics registry (the `metrics` op\n"
+            "errors; the flight recorder stays on)")
       .flag(0, "no-vector", &no_vector, "disable the AVX2 kernels");
   switch (table.parse(argc, argv)) {
     case cli::OptionTable::Status::kHelp: return 0;
@@ -174,6 +241,11 @@ int main(int argc, char** argv) {
   }
   config.vectorize = !no_vector;
   config.direction = *cli::parse_direction(direction);
+  config.metrics = !no_metrics;
+  if (flight_capacity != 0) config.flight_capacity = flight_capacity;
+  if (flight_dump_path.empty()) {
+    flight_dump_path = socket_path + ".flight.json";
+  }
 
   server::Service service(config);
   for (const std::string& spec : graph_specs) {
@@ -200,11 +272,27 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::signal(SIGPIPE, SIG_IGN);  // dead peers surface as write() errors
-  std::signal(SIGTERM, on_signal);
-  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGUSR1, on_dump_signal);
+  // Unclean-death dumps: static storage set before handler installation.
+  g_crash_service = &service;
+  g_crash_dump_path = flight_dump_path.c_str();
+  std::signal(SIGSEGV, on_crash_signal);
+  std::signal(SIGABRT, on_crash_signal);
+  std::set_terminate(on_terminate);
 
   const int listen_fd = make_listener(socket_path);
   if (listen_fd < 0) return 1;
+  int metrics_fd = -1;
+  if (!metrics_socket_path.empty()) {
+    metrics_fd = make_listener(metrics_socket_path);
+    if (metrics_fd < 0) {
+      ::close(listen_fd);
+      ::unlink(socket_path.c_str());
+      return 1;
+    }
+  }
 
   service.start();
   std::printf("serving %zu graph(s) on %s (%u workers x %u threads, "
@@ -212,33 +300,63 @@ int main(int argc, char** argv) {
               service.graph_names().size(), socket_path.c_str(),
               config.workers, config.threads_per_worker, config.queue_cap,
               config.batch_max);
+  if (metrics_fd >= 0) {
+    std::printf("metrics on %s (%s registry, flight dump -> %s)\n",
+                metrics_socket_path.c_str(),
+                config.metrics ? "full" : "no", flight_dump_path.c_str());
+  }
   std::fflush(stdout);
 
   std::vector<std::shared_ptr<Connection>> connections;
   std::mutex connections_mu;
+  const auto accept_on = [&](int fd, server::Service::Scope scope) {
+    const int conn_fd = ::accept(fd, nullptr, nullptr);
+    if (conn_fd < 0) return;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = conn_fd;
+    conn->scope = scope;
+    conn->reader =
+        std::thread([conn, &service]() { reader_main(conn, service); });
+    std::lock_guard<std::mutex> hold(connections_mu);
+    connections.push_back(std::move(conn));
+  };
   for (;;) {
-    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
+    pollfd fds[3] = {{listen_fd, POLLIN, 0},
+                     {g_signal_pipe[0], POLLIN, 0},
+                     {metrics_fd, POLLIN, 0}};  // fd -1 = ignored by poll
+    const int rc = ::poll(fds, 3, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       std::perror("error: poll");
       break;
     }
-    if (fds[1].revents != 0) break;  // SIGTERM / SIGINT
-    if (fds[0].revents == 0) continue;
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) continue;
-    auto conn = std::make_shared<Connection>();
-    conn->fd = conn_fd;
-    conn->reader = std::thread(
-        [conn, &service]() { reader_main(conn, service); });
-    std::lock_guard<std::mutex> hold(connections_mu);
-    connections.push_back(std::move(conn));
+    if (fds[1].revents != 0) {
+      char byte = kShutdownByte;
+      [[maybe_unused]] const auto n = ::read(g_signal_pipe[0], &byte, 1);
+      if (byte == kDumpByte) {
+        // SIGUSR1: snapshot the flight ring and keep serving.
+        if (service.flight_recorder().dump(flight_dump_path)) {
+          std::printf("flight recorder dumped to %s\n",
+                      flight_dump_path.c_str());
+        } else {
+          std::fprintf(stderr, "error: cannot write flight dump %s\n",
+                       flight_dump_path.c_str());
+        }
+        std::fflush(stdout);
+        continue;
+      }
+      break;  // SIGTERM / SIGINT
+    }
+    if (fds[0].revents != 0) accept_on(listen_fd, server::Service::Scope::kFull);
+    if (metrics_fd >= 0 && fds[2].revents != 0) {
+      accept_on(metrics_fd, server::Service::Scope::kObservability);
+    }
   }
 
   // Clean shutdown: no new connections, unblock every reader, reject
-  // whatever is still queued, join, remove the socket.
+  // whatever is still queued, join, remove the socket(s).
   ::close(listen_fd);
+  if (metrics_fd >= 0) ::close(metrics_fd);
   {
     std::lock_guard<std::mutex> hold(connections_mu);
     for (const auto& conn : connections) ::shutdown(conn->fd, SHUT_RD);
@@ -249,6 +367,7 @@ int main(int argc, char** argv) {
   service.stop();
   for (const auto& conn : connections) ::close(conn->fd);
   ::unlink(socket_path.c_str());
+  if (!metrics_socket_path.empty()) ::unlink(metrics_socket_path.c_str());
 
   const server::ServiceCounters totals = service.counters();
   std::printf("shutdown: %llu received, %llu served, %llu overloaded, "
